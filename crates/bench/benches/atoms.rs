@@ -1,0 +1,45 @@
+//! Criterion bench: storage and memory atoms (the E.5 block-size
+//! ablation on the real host).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use synapse_atoms::{MemoryAtom, StorageAtom};
+
+fn storage_block_sizes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("storage_write");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(10);
+    let bytes: u64 = 4 << 20;
+    group.throughput(Throughput::Bytes(bytes));
+    for block in [4u64 << 10, 64 << 10, 1 << 20] {
+        let dir = std::env::temp_dir().join("synapse-bench-storage");
+        let mut atom = StorageAtom::with_config(&dir, block, block, 64 << 20).unwrap();
+        group.bench_function(BenchmarkId::new("block", block), |b| {
+            b.iter(|| atom.write(std::hint::black_box(bytes)).unwrap())
+        });
+        atom.cleanup();
+    }
+    group.finish();
+}
+
+fn memory_alloc_free(c: &mut Criterion) {
+    let mut group = c.benchmark_group("memory_atom");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(20);
+    let bytes: u64 = 16 << 20;
+    group.throughput(Throughput::Bytes(bytes));
+    for block in [64u64 << 10, 1 << 20, 4 << 20] {
+        group.bench_function(BenchmarkId::new("alloc_free", block), |b| {
+            let mut atom = MemoryAtom::with_config(block, 1 << 30);
+            b.iter(|| {
+                atom.allocate(std::hint::black_box(bytes));
+                atom.free(bytes);
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, storage_block_sizes, memory_alloc_free);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Criterion bench: emulator replay-loop cost (the "tight loop that
+//! feeds into the Synapse atoms", §4.5) on the simulated backend, and
+//! the sample-ordering ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use synapse::emulator::{EmulationPlan, Emulator};
+use synapse_model::{Profile, ProfileKey, Sample, SystemInfo, Tags};
+use synapse_sim::thinkie;
+
+fn profile_with(nsamples: usize) -> Profile {
+    let mut p = Profile::new(
+        ProfileKey::new("bench", Tags::new()),
+        SystemInfo::default(),
+        10.0,
+    );
+    p.runtime = nsamples as f64 * 0.1;
+    for i in 0..nsamples {
+        let mut s = Sample::at(i as f64 * 0.1, 0.1);
+        s.compute.cycles = 10_000_000;
+        s.storage.bytes_written = 1 << 16;
+        s.memory.allocated = 1 << 16;
+        p.push(s).unwrap();
+    }
+    p
+}
+
+fn sim_replay_loop(c: &mut Criterion) {
+    let machine = thinkie();
+    let mut group = c.benchmark_group("sim_replay");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for n in [100usize, 1000, 10_000] {
+        let profile = profile_with(n);
+        let emulator = Emulator::default();
+        group.bench_function(BenchmarkId::new("samples", n), |b| {
+            b.iter(|| emulator.simulate(std::hint::black_box(&profile), &machine).tx)
+        });
+    }
+    group.finish();
+}
+
+fn ordering_ablation(c: &mut Criterion) {
+    let machine = thinkie();
+    let profile = profile_with(1000);
+    let mut group = c.benchmark_group("ordering");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let ordered = Emulator::new(EmulationPlan::default());
+    let unordered = Emulator::new(EmulationPlan {
+        preserve_sample_order: false,
+        ..Default::default()
+    });
+    group.bench_function("preserve_order", |b| {
+        b.iter(|| ordered.simulate(&profile, &machine).tx)
+    });
+    group.bench_function("merged", |b| {
+        b.iter(|| unordered.simulate(&profile, &machine).tx)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, sim_replay_loop, ordering_ablation);
+criterion_main!(benches);

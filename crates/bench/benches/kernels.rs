@@ -1,0 +1,47 @@
+//! Criterion bench: compute-kernel throughput (the E.3 ablation).
+//!
+//! Compares the in-cache (ASM-analogue) and out-of-cache (C-analogue)
+//! matmul kernels plus the spin kernel when consuming a fixed cycle
+//! budget, and measures per-unit quantization overhead.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use synapse_atoms::{CMatmulKernel, ComputeKernel, InCacheAsmKernel, SpinKernel};
+
+fn kernel_cycle_budget(c: &mut Criterion) {
+    let mut group = c.benchmark_group("execute_cycles");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(10);
+    let budget: u64 = 50_000_000;
+    let asm = InCacheAsmKernel::new();
+    let ck = CMatmulKernel::new();
+    let spin = SpinKernel;
+    group.bench_function(BenchmarkId::new("asm_incache", budget), |b| {
+        b.iter(|| asm.execute_cycles(std::hint::black_box(budget)))
+    });
+    group.bench_function(BenchmarkId::new("c_outofcache", budget), |b| {
+        b.iter(|| ck.execute_cycles(std::hint::black_box(budget)))
+    });
+    group.bench_function(BenchmarkId::new("spin", budget), |b| {
+        b.iter(|| spin.execute_cycles(std::hint::black_box(budget)))
+    });
+    group.finish();
+}
+
+fn kernel_parallel_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("execute_cycles_parallel");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(10);
+    let budget: u64 = 100_000_000;
+    let spin = SpinKernel;
+    for threads in [1u32, 2, 4] {
+        group.bench_function(BenchmarkId::new("spin", threads), |b| {
+            b.iter(|| spin.execute_cycles_parallel(std::hint::black_box(budget), threads))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, kernel_cycle_budget, kernel_parallel_scaling);
+criterion_main!(benches);

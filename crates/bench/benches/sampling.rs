@@ -1,0 +1,40 @@
+//! Criterion bench: per-sample watcher cost — the profiling overhead
+//! (E.1) measured directly. One watcher tick costs microseconds, so
+//! even 10 Hz sampling consumes a negligible core fraction, which is
+//! the mechanism behind Fig. 4's flat overhead.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use synapse::watcher::Watcher;
+use synapse::watchers::{IoWatcher, MemWatcher};
+use synapse_proc::{read_pid_io, read_pid_stat, read_pid_status};
+
+fn proc_read_costs(c: &mut Criterion) {
+    let pid = std::process::id() as i32;
+    let mut group = c.benchmark_group("proc_reads");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.bench_function("pid_stat", |b| b.iter(|| read_pid_stat(pid).unwrap()));
+    group.bench_function("pid_status", |b| b.iter(|| read_pid_status(pid).unwrap()));
+    group.bench_function("pid_io", |b| {
+        b.iter(|| {
+            let _ = read_pid_io(pid); // may be denied in containers
+        })
+    });
+    group.finish();
+}
+
+fn watcher_tick_cost(c: &mut Criterion) {
+    let pid = std::process::id() as i32;
+    let mut group = c.benchmark_group("watcher_tick");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let mut mem = MemWatcher::new(pid);
+    group.bench_function("mem", |b| b.iter(|| mem.sample(0.0, 0.1).unwrap()));
+    let mut io = IoWatcher::new(pid);
+    io.pre_process().unwrap();
+    group.bench_function("io", |b| b.iter(|| io.sample(0.0, 0.1).unwrap()));
+    group.finish();
+}
+
+criterion_group!(benches, proc_read_costs, watcher_tick_cost);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Criterion bench: document store insert/find and profile
+//! (de)serialization (the DB-backend ablation of §4.5).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use serde_json::json;
+use synapse_model::{Profile, ProfileKey, Sample, SystemInfo, Tags};
+use synapse_store::{Collection, Document, Query};
+
+fn profile_with_samples(n: usize) -> Profile {
+    let mut p = Profile::new(
+        ProfileKey::new("bench", Tags::parse("steps=1")),
+        SystemInfo::default(),
+        10.0,
+    );
+    p.runtime = n as f64 * 0.1;
+    for i in 0..n {
+        let mut s = Sample::at(i as f64 * 0.1, 0.1);
+        s.compute.cycles = 1_000_000 + i as u64;
+        p.push(s).unwrap();
+    }
+    p
+}
+
+fn collection_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("collection");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(20);
+    group.bench_function("insert_1k_docs", |b| {
+        b.iter(|| {
+            let mut col = Collection::new("bench");
+            for i in 0..1000 {
+                col.insert(Document {
+                    id: format!("d{i}"),
+                    body: json!({"n": i, "kind": "bench"}),
+                })
+                .unwrap();
+            }
+            col.len()
+        })
+    });
+    let mut col = Collection::new("bench");
+    for i in 0..1000 {
+        col.insert(Document {
+            id: format!("d{i}"),
+            body: json!({"n": i % 10, "kind": "bench"}),
+        })
+        .unwrap();
+    }
+    group.bench_function("find_in_1k_docs", |b| {
+        let q = Query::all().field("n", 3);
+        b.iter(|| col.find(std::hint::black_box(&q)).len())
+    });
+    group.finish();
+}
+
+fn profile_serialization(c: &mut Criterion) {
+    let mut group = c.benchmark_group("profile_json");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(20);
+    for n in [100usize, 1000, 10_000] {
+        let p = profile_with_samples(n);
+        group.bench_function(BenchmarkId::new("serialize", n), |b| {
+            b.iter(|| p.to_json().unwrap().len())
+        });
+        let json = p.to_json().unwrap();
+        group.bench_function(BenchmarkId::new("deserialize", n), |b| {
+            b.iter(|| Profile::from_json(std::hint::black_box(&json)).unwrap().len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, collection_ops, profile_serialization);
+criterion_main!(benches);

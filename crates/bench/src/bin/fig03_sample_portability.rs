@@ -1,0 +1,4 @@
+//! Regenerates the paper's Fig. 3.
+fn main() {
+    print!("{}", bench::sampling::run_fig03());
+}

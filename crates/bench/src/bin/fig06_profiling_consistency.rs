@@ -1,0 +1,4 @@
+//! Regenerates the paper's Fig. 6.
+fn main() {
+    print!("{}", bench::e1::run_fig06());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's Fig. 7.
+fn main() {
+    print!("{}", bench::e2::run_fig07());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's Fig. 10.
+fn main() {
+    print!("{}", bench::e3::run_fig10());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's Fig. 13.
+fn main() {
+    print!("{}", bench::e4::run_fig13());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's Fig. 15.
+fn main() {
+    print!("{}", bench::e5::run_fig15());
+}

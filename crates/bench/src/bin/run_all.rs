@@ -1,0 +1,10 @@
+//! Regenerates every table and figure of the paper in sequence
+//! (the data source for EXPERIMENTS.md).
+fn main() {
+    for (name, runner) in bench::all_experiments() {
+        println!("================================================================");
+        println!("== {name}");
+        println!("================================================================");
+        println!("{}", runner());
+    }
+}

@@ -1,0 +1,85 @@
+//! Shared helpers for the experiment harness.
+
+use synapse_model::Summary;
+use synapse_sim::{MachineModel, Noise};
+use synapse_workloads::{AppModel, SimRun};
+
+/// The step counts of E.1/E.2 (Fig. 4/5/7): 1e4 … 1e7, log-spaced the
+/// way the paper labels its x-axis.
+pub const STEPS_E12: [u64; 7] = [
+    10_000, 50_000, 100_000, 500_000, 1_000_000, 5_000_000, 10_000_000,
+];
+
+/// The step counts of E.3 (Figs 8–11).
+pub const STEPS_E3: [u64; 7] = [1_000, 5_000, 10_000, 25_000, 50_000, 75_000, 100_000];
+
+/// The sampling rates of E.1 (Fig. 4/6), in Hz.
+pub const RATES: [f64; 7] = [0.1, 0.2, 0.5, 1.0, 2.0, 5.0, 10.0];
+
+/// Repeated application runs with seeded noise (one summary per
+/// metric extractor).
+pub fn repeated_runs(
+    app: &AppModel,
+    machine: &MachineModel,
+    steps: u64,
+    repeats: usize,
+    seed: u64,
+) -> Vec<SimRun> {
+    let mut noise = Noise::new(seed ^ steps, 0.01);
+    (0..repeats)
+        .map(|_| app.execute(machine, steps, &mut noise))
+        .collect()
+}
+
+/// Summary over a metric of repeated runs.
+pub fn summarize(runs: &[SimRun], f: impl Fn(&SimRun) -> f64) -> Summary {
+    Summary::of(&runs.iter().map(f).collect::<Vec<_>>()).expect("non-empty runs")
+}
+
+/// Format a value with its 99 % CI half-width, e.g. `12.34 ±0.05`.
+pub fn with_ci(s: &Summary) -> String {
+    format!("{:.4e} ±{:.1e}", s.mean, s.ci99())
+}
+
+/// A right-aligned numeric cell.
+pub fn cell(v: f64) -> String {
+    if v.abs() >= 1e5 {
+        format!("{v:>12.4e}")
+    } else {
+        format!("{v:>12.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use synapse_sim::thinkie;
+
+    #[test]
+    fn repeated_runs_are_seeded_deterministic() {
+        let app = AppModel::default();
+        let m = thinkie();
+        let a = repeated_runs(&app, &m, 10_000, 3, 1);
+        let b = repeated_runs(&app, &m, 10_000, 3, 1);
+        assert_eq!(a[0].tx.to_bits(), b[0].tx.to_bits());
+        let c = repeated_runs(&app, &m, 10_000, 3, 2);
+        assert_ne!(a[0].tx.to_bits(), c[0].tx.to_bits());
+    }
+
+    #[test]
+    fn summarize_extracts_metric() {
+        let app = AppModel::default();
+        let m = thinkie();
+        let runs = repeated_runs(&app, &m, 10_000, 5, 3);
+        let s = summarize(&runs, |r| r.tx);
+        assert!(s.mean > 0.0);
+        assert_eq!(s.n, 5);
+        assert!(!with_ci(&s).is_empty());
+    }
+
+    #[test]
+    fn cells_format() {
+        assert!(cell(1.5).contains("1.500"));
+        assert!(cell(2.5e9).contains('e'));
+    }
+}

@@ -1,0 +1,91 @@
+//! Shared demand/report types for emulation atoms.
+
+use std::time::Duration;
+
+/// What one profile sample asks of the atoms (per-resource deltas,
+/// extracted from a [`synapse_model::Sample`] by the emulator).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AtomDemand {
+    /// CPU cycles to consume.
+    pub cycles: u64,
+    /// Bytes to allocate.
+    pub mem_alloc: u64,
+    /// Bytes to free.
+    pub mem_free: u64,
+    /// Bytes to read from storage.
+    pub bytes_read: u64,
+    /// Bytes to write to storage.
+    pub bytes_written: u64,
+    /// Bytes to send over the network.
+    pub net_sent: u64,
+    /// Bytes to receive over the network.
+    pub net_recv: u64,
+}
+
+impl AtomDemand {
+    /// Whether this demand asks for anything at all.
+    pub fn is_empty(&self) -> bool {
+        *self == AtomDemand::default()
+    }
+}
+
+/// What an atom actually did for one sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AtomReport {
+    /// Cycles actually consumed (compute atom; ≥ directed because of
+    /// work-unit quantization).
+    pub cycles_consumed: u64,
+    /// Bytes actually moved (storage/network/memory atoms).
+    pub bytes_processed: u64,
+    /// Operations performed (write calls, allocations, ...).
+    pub operations: u64,
+    /// Wall time the atom spent on this sample.
+    pub elapsed: Duration,
+}
+
+impl AtomReport {
+    /// Merge another report into this one (accumulation across
+    /// samples; elapsed adds, counters add).
+    pub fn accumulate(&mut self, other: &AtomReport) {
+        self.cycles_consumed += other.cycles_consumed;
+        self.bytes_processed += other.bytes_processed;
+        self.operations += other.operations;
+        self.elapsed += other.elapsed;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_demand_detection() {
+        assert!(AtomDemand::default().is_empty());
+        let d = AtomDemand {
+            cycles: 1,
+            ..Default::default()
+        };
+        assert!(!d.is_empty());
+    }
+
+    #[test]
+    fn report_accumulation() {
+        let mut a = AtomReport {
+            cycles_consumed: 10,
+            bytes_processed: 100,
+            operations: 2,
+            elapsed: Duration::from_millis(5),
+        };
+        let b = AtomReport {
+            cycles_consumed: 5,
+            bytes_processed: 50,
+            operations: 1,
+            elapsed: Duration::from_millis(3),
+        };
+        a.accumulate(&b);
+        assert_eq!(a.cycles_consumed, 15);
+        assert_eq!(a.bytes_processed, 150);
+        assert_eq!(a.operations, 3);
+        assert_eq!(a.elapsed, Duration::from_millis(8));
+    }
+}

@@ -1,0 +1,410 @@
+//! Cycle-budgeted compute kernels.
+//!
+//! "The default compute atom implementation contains a kernel running
+//! a loop of assembly code that performs a matrix multiplication with
+//! small matrices (they fit into the CPU cache) very efficiently. ...
+//! Other kernels ... perform matrix multiplications on data which do
+//! not usually fit into the CPU caches. Those kernels have a lower
+//! efficiency, but they represent actual application codes more
+//! realistically." (§4.2)
+//!
+//! A kernel advances in whole *work units* (one matrix multiplication)
+//! whose cycle cost is calibrated once at startup; to consume a
+//! directed cycle budget it executes `ceil(budget / unit_cycles)`
+//! units. The overshoot this quantization causes — large for small
+//! budgets, converging to the per-unit overhead for large ones — is
+//! exactly the E.3 error-convergence behaviour.
+
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
+
+use synapse_perf::calibrate_frequency;
+use synapse_perf::calibration::spin_cycles;
+use synapse_sim::KernelClass;
+
+use crate::atom::AtomReport;
+
+/// Outcome of one kernel invocation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KernelRun {
+    /// Cycles the emulator asked for.
+    pub directed_cycles: u64,
+    /// Cycles the kernel actually consumed (units × unit cost).
+    pub consumed_cycles: u64,
+    /// Work units executed.
+    pub units: u64,
+    /// Wall time spent.
+    pub elapsed: Duration,
+}
+
+/// A compute kernel: the exchangeable work-generating core of the
+/// compute atom. Implement this to provide application-specific
+/// kernels (the paper's fidelity escape hatch).
+pub trait ComputeKernel: Send + Sync {
+    /// Kernel name for reports and provenance.
+    fn name(&self) -> &'static str;
+
+    /// Which modelled kernel class this corresponds to (used when the
+    /// same emulation plan runs on a simulated machine).
+    fn class(&self) -> KernelClass;
+
+    /// Calibrated cycle cost of one work unit on this host.
+    fn unit_cycles(&self) -> u64;
+
+    /// Execute `units` work units, returning a checksum that the
+    /// caller black-boxes (defeats dead-code elimination).
+    fn run_units(&self, units: u64) -> f64;
+
+    /// Consume a directed cycle budget by executing whole work units.
+    fn execute_cycles(&self, directed: u64) -> KernelRun {
+        let unit = self.unit_cycles().max(1);
+        let units = if directed == 0 { 0 } else { directed.div_ceil(unit) };
+        let start = Instant::now();
+        std::hint::black_box(self.run_units(units));
+        KernelRun {
+            directed_cycles: directed,
+            consumed_cycles: units * unit,
+            units,
+            elapsed: start.elapsed(),
+        }
+    }
+
+    /// Consume a budget with `threads`-way data parallelism (the
+    /// OpenMP-style emulation of E.4): units are split evenly, each
+    /// thread runs its share, the run ends when the last finishes.
+    fn execute_cycles_parallel(&self, directed: u64, threads: u32) -> KernelRun
+    where
+        Self: Sized,
+    {
+        let threads = threads.max(1);
+        if threads == 1 {
+            return self.execute_cycles(directed);
+        }
+        let unit = self.unit_cycles().max(1);
+        let units = if directed == 0 { 0 } else { directed.div_ceil(unit) };
+        let per = units / threads as u64;
+        let extra = units % threads as u64;
+        let start = Instant::now();
+        std::thread::scope(|s| {
+            for t in 0..threads as u64 {
+                let share = per + u64::from(t < extra);
+                if share > 0 {
+                    s.spawn(move || std::hint::black_box(self.run_units(share)));
+                }
+            }
+        });
+        KernelRun {
+            directed_cycles: directed,
+            consumed_cycles: units * unit,
+            units,
+            elapsed: start.elapsed(),
+        }
+    }
+
+    /// An [`AtomReport`] for a directed budget (the emulator's view).
+    fn consume(&self, directed: u64) -> AtomReport {
+        let run = self.execute_cycles(directed);
+        AtomReport {
+            cycles_consumed: run.consumed_cycles,
+            bytes_processed: 0,
+            operations: run.units,
+            elapsed: run.elapsed,
+        }
+    }
+}
+
+/// Calibrate the wall-clock cost of one work unit by running a few and
+/// taking the fastest (least-disturbed) observation, converted to
+/// cycles via the calibrated frequency.
+fn calibrate_unit<F: FnMut()>(mut run_one: F) -> u64 {
+    // Warm caches and frequency scaling.
+    run_one();
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let t = Instant::now();
+        run_one();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    ((best * calibrate_frequency()) as u64).max(1)
+}
+
+/// Naive `n×n` f64 matrix multiplication (ijk order), returning a
+/// checksum element.
+fn matmul(a: &[f64], b: &[f64], c: &mut [f64], n: usize) -> f64 {
+    for i in 0..n {
+        for j in 0..n {
+            let mut acc = 0.0;
+            for k in 0..n {
+                acc += a[i * n + k] * b[k * n + j];
+            }
+            c[i * n + j] = acc;
+        }
+    }
+    c[0]
+}
+
+fn filled(n: usize, seed: f64) -> Vec<f64> {
+    (0..n * n).map(|i| seed + (i % 17) as f64 * 1e-3).collect()
+}
+
+/// The in-cache kernel (the paper's hand-optimized assembly loop):
+/// 24×24 matrices — three of them occupy ~14 KiB, comfortably inside
+/// L1d — multiplied repeatedly. Maximum efficiency, minimal memory
+/// traffic.
+pub struct InCacheAsmKernel {
+    n: usize,
+}
+
+impl InCacheAsmKernel {
+    /// Matrix dimension used by the in-cache kernel.
+    pub const N: usize = 24;
+
+    /// Create the kernel (calibration happens lazily on first use).
+    pub fn new() -> Self {
+        InCacheAsmKernel { n: Self::N }
+    }
+}
+
+impl Default for InCacheAsmKernel {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ComputeKernel for InCacheAsmKernel {
+    fn name(&self) -> &'static str {
+        "asm-matmul-incache"
+    }
+
+    fn class(&self) -> KernelClass {
+        KernelClass::AsmMatmul
+    }
+
+    fn unit_cycles(&self) -> u64 {
+        static UNIT: OnceLock<u64> = OnceLock::new();
+        *UNIT.get_or_init(|| {
+            let n = InCacheAsmKernel::N;
+            let a = filled(n, 1.0);
+            let b = filled(n, 2.0);
+            let mut c = vec![0.0; n * n];
+            // One calibration unit = many multiplications so the timer
+            // resolution does not dominate.
+            calibrate_unit(|| {
+                for _ in 0..REPS_PER_UNIT {
+                    std::hint::black_box(matmul(&a, &b, &mut c, n));
+                }
+            })
+        })
+    }
+
+    fn run_units(&self, units: u64) -> f64 {
+        let n = self.n;
+        let a = filled(n, 1.0);
+        let b = filled(n, 2.0);
+        let mut c = vec![0.0; n * n];
+        let mut acc = 0.0;
+        for _ in 0..units {
+            for _ in 0..REPS_PER_UNIT {
+                acc += matmul(&a, &b, &mut c, n);
+            }
+        }
+        acc
+    }
+}
+
+/// Repetitions of the small matmul bundled into one work unit, so a
+/// unit is large enough to time (~0.3–1 ms) but small enough that the
+/// quantization error stays modest.
+const REPS_PER_UNIT: u64 = 24;
+
+/// The out-of-cache kernel (the paper's C kernel): 256×256 matrices —
+/// three of them occupy 1.5 MiB, exceeding typical L2 — multiplied
+/// once per unit. Lower efficiency, realistic memory access.
+pub struct CMatmulKernel {
+    n: usize,
+}
+
+impl CMatmulKernel {
+    /// Matrix dimension used by the out-of-cache kernel.
+    pub const N: usize = 256;
+
+    /// Create the kernel.
+    pub fn new() -> Self {
+        CMatmulKernel { n: Self::N }
+    }
+}
+
+impl Default for CMatmulKernel {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ComputeKernel for CMatmulKernel {
+    fn name(&self) -> &'static str {
+        "c-matmul-outofcache"
+    }
+
+    fn class(&self) -> KernelClass {
+        KernelClass::CMatmul
+    }
+
+    fn unit_cycles(&self) -> u64 {
+        static UNIT: OnceLock<u64> = OnceLock::new();
+        *UNIT.get_or_init(|| {
+            let n = CMatmulKernel::N;
+            let a = filled(n, 1.0);
+            let b = filled(n, 2.0);
+            let mut c = vec![0.0; n * n];
+            calibrate_unit(|| {
+                std::hint::black_box(matmul(&a, &b, &mut c, n));
+            })
+        })
+    }
+
+    fn run_units(&self, units: u64) -> f64 {
+        let n = self.n;
+        let a = filled(n, 1.0);
+        let b = filled(n, 2.0);
+        let mut c = vec![0.0; n * n];
+        let mut acc = 0.0;
+        for _ in 0..units {
+            acc += matmul(&a, &b, &mut c, n);
+        }
+        acc
+    }
+}
+
+/// A fine-grained integer spin kernel: negligible quantization (unit =
+/// 100k iterations), useful for tests and as a user-kernel example.
+pub struct SpinKernel;
+
+impl ComputeKernel for SpinKernel {
+    fn name(&self) -> &'static str {
+        "spin"
+    }
+
+    fn class(&self) -> KernelClass {
+        KernelClass::AsmMatmul
+    }
+
+    fn unit_cycles(&self) -> u64 {
+        100_000
+    }
+
+    fn run_units(&self, units: u64) -> f64 {
+        spin_cycles(units * self.unit_cycles()) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernels_have_distinct_footprints() {
+        // In-cache: 3 × 24² × 8 B ≈ 14 KiB; out-of-cache: 3 × 256² ×
+        // 8 B ≈ 1.5 MiB.
+        let small = 3 * InCacheAsmKernel::N * InCacheAsmKernel::N * 8;
+        let large = 3 * CMatmulKernel::N * CMatmulKernel::N * 8;
+        assert!(small < 32 * 1024, "fits L1: {small}");
+        assert!(large > 1024 * 1024, "exceeds L2: {large}");
+    }
+
+    #[test]
+    fn execute_cycles_meets_or_exceeds_budget() {
+        let k = SpinKernel;
+        let run = k.execute_cycles(1_234_567);
+        assert!(run.consumed_cycles >= run.directed_cycles);
+        // Overshoot bounded by one unit.
+        assert!(run.consumed_cycles - run.directed_cycles < k.unit_cycles());
+        assert_eq!(run.units, 13);
+    }
+
+    #[test]
+    fn zero_budget_is_free() {
+        let run = SpinKernel.execute_cycles(0);
+        assert_eq!(run.units, 0);
+        assert_eq!(run.consumed_cycles, 0);
+    }
+
+    #[test]
+    fn overshoot_fraction_shrinks_with_budget() {
+        let k = SpinKernel;
+        let err = |d: u64| {
+            let r = k.execute_cycles(d);
+            r.consumed_cycles as f64 / d as f64 - 1.0
+        };
+        assert!(err(150_000) > err(15_000_000));
+    }
+
+    #[test]
+    fn matmul_kernels_calibrate_and_run() {
+        for k in [&InCacheAsmKernel::new() as &dyn ComputeKernel, &CMatmulKernel::new()] {
+            let unit = k.unit_cycles();
+            assert!(unit > 1000, "{}: unit {unit} too small to be real", k.name());
+            let run = k.execute_cycles(unit * 2);
+            assert_eq!(run.units, 2);
+            assert!(run.elapsed > Duration::ZERO);
+        }
+    }
+
+    #[test]
+    fn incache_kernel_is_faster_per_flop() {
+        // The same number of *FLOPs* takes less wall time in cache.
+        // One unit of ASM = REPS × 2×24³ flops; one unit of C = 2×256³.
+        let asm = InCacheAsmKernel::new();
+        let c = CMatmulKernel::new();
+        let asm_flops_per_unit = REPS_PER_UNIT as f64 * 2.0 * 24f64.powi(3);
+        let c_flops_per_unit = 2.0 * 256f64.powi(3);
+        // Wall seconds per flop ~ unit_cycles / flops_per_unit.
+        let asm_cost = asm.unit_cycles() as f64 / asm_flops_per_unit;
+        let c_cost = c.unit_cycles() as f64 / c_flops_per_unit;
+        assert!(asm_cost > 0.0 && c_cost > 0.0);
+        // The cache advantage only exists in optimized builds: debug
+        // code is dominated by bounds checks and uninlined indexing,
+        // which cost both kernels the same.
+        #[cfg(not(debug_assertions))]
+        assert!(
+            asm_cost < c_cost,
+            "in-cache flops must be cheaper: {asm_cost} vs {c_cost}"
+        );
+    }
+
+    #[test]
+    fn parallel_execution_covers_all_units() {
+        let k = SpinKernel;
+        let run = k.execute_cycles_parallel(1_000_000, 4);
+        assert_eq!(run.units, 10);
+        assert_eq!(run.consumed_cycles, 1_000_000);
+        // One thread degenerates to serial.
+        let serial = k.execute_cycles_parallel(1_000_000, 1);
+        assert_eq!(serial.units, run.units);
+    }
+
+    #[test]
+    fn consume_reports_atom_fields() {
+        let rep = SpinKernel.consume(500_000);
+        assert_eq!(rep.operations, 5);
+        assert_eq!(rep.cycles_consumed, 500_000);
+        assert_eq!(rep.bytes_processed, 0);
+    }
+
+    #[test]
+    fn kernel_classes_map_to_sim_model() {
+        assert_eq!(InCacheAsmKernel::new().class(), KernelClass::AsmMatmul);
+        assert_eq!(CMatmulKernel::new().class(), KernelClass::CMatmul);
+    }
+
+    #[test]
+    fn matmul_is_deterministic() {
+        let a = filled(8, 1.0);
+        let b = filled(8, 2.0);
+        let mut c1 = vec![0.0; 64];
+        let mut c2 = vec![0.0; 64];
+        let r1 = matmul(&a, &b, &mut c1, 8);
+        let r2 = matmul(&a, &b, &mut c2, 8);
+        assert_eq!(r1.to_bits(), r2.to_bits());
+        assert_eq!(c1, c2);
+    }
+}

@@ -1,0 +1,36 @@
+#![warn(missing_docs)]
+
+//! Emulation atoms: "fine-grained and tunable software elements that
+//! consume one type of system resource" (§4).
+//!
+//! The Synapse emulator feeds profile samples to one atom per resource
+//! type; atoms run concurrently (one thread each) and a sample ends
+//! when the last atom finishes its share (§4.4). This crate implements
+//! the atoms and their exchangeable kernels:
+//!
+//! * [`compute`] — cycle-budgeted matrix-multiplication kernels. The
+//!   **ASM-analogue** kernel multiplies small matrices that fit in L1
+//!   cache (maximum efficiency, like the paper's hand-written assembly
+//!   loop); the **C-analogue** kernel multiplies matrices that do not
+//!   fit in cache (realistic memory access, lower IPC). Users can
+//!   implement [`compute::ComputeKernel`] for application-specific
+//!   kernels, the paper's escape hatch for fidelity (§4.5, E.3).
+//! * [`memory`] — `malloc`/`free`-style allocation with tunable block
+//!   size, holding memory across samples (net residency).
+//! * [`storage`] — file read/write with tunable block sizes and target
+//!   directory, the E.5 malleability dimensions.
+//! * [`network`] — loopback socket traffic (the paper's "emulation of
+//!   simple socket-based network communication").
+//! * [`atom`] — the shared report/demand types.
+
+pub mod atom;
+pub mod compute;
+pub mod memory;
+pub mod network;
+pub mod storage;
+
+pub use atom::{AtomDemand, AtomReport};
+pub use compute::{CMatmulKernel, ComputeKernel, InCacheAsmKernel, KernelRun, SpinKernel};
+pub use memory::MemoryAtom;
+pub use network::NetworkAtom;
+pub use storage::StorageAtom;

@@ -1,0 +1,221 @@
+//! The memory atom: canonical `malloc`/`free` behaviour with tunable
+//! block size (§4.2).
+//!
+//! Allocations are held across samples (the emulated application's
+//! resident set is the running net of allocations minus frees), every
+//! allocated page is touched so the memory actually becomes resident,
+//! and frees release the oldest blocks first.
+
+use std::collections::VecDeque;
+use std::time::Instant;
+
+use crate::atom::AtomReport;
+
+/// Default allocation block size (1 MiB, like the paper's default
+/// "tunable but static" block configuration).
+pub const DEFAULT_MEM_BLOCK: u64 = 1 << 20;
+
+/// The memory emulation atom.
+pub struct MemoryAtom {
+    block_size: u64,
+    held: VecDeque<Vec<u8>>,
+    held_bytes: u64,
+    peak_bytes: u64,
+    /// Cap on residency, protecting the host when a profile replays a
+    /// larger machine's footprint.
+    limit_bytes: u64,
+}
+
+impl MemoryAtom {
+    /// Atom with the default block size and a 1 GiB safety cap.
+    pub fn new() -> Self {
+        Self::with_config(DEFAULT_MEM_BLOCK, 1 << 30)
+    }
+
+    /// Atom with explicit block size and residency cap.
+    pub fn with_config(block_size: u64, limit_bytes: u64) -> Self {
+        MemoryAtom {
+            block_size: block_size.max(4096),
+            held: VecDeque::new(),
+            held_bytes: 0,
+            peak_bytes: 0,
+            limit_bytes,
+        }
+    }
+
+    /// Currently held bytes.
+    pub fn held_bytes(&self) -> u64 {
+        self.held_bytes
+    }
+
+    /// Peak held bytes over the atom's lifetime.
+    pub fn peak_bytes(&self) -> u64 {
+        self.peak_bytes
+    }
+
+    /// Configured block size.
+    pub fn block_size(&self) -> u64 {
+        self.block_size
+    }
+
+    /// Allocate (and touch) `bytes`, in blocks.
+    pub fn allocate(&mut self, bytes: u64) -> AtomReport {
+        let start = Instant::now();
+        let mut remaining = bytes.min(self.limit_bytes.saturating_sub(self.held_bytes));
+        let mut ops = 0u64;
+        let mut processed = 0u64;
+        while remaining > 0 {
+            let n = remaining.min(self.block_size) as usize;
+            let mut block = vec![0u8; n];
+            // Touch one byte per page so the block becomes resident.
+            for i in (0..n).step_by(4096) {
+                block[i] = 0xa5;
+            }
+            self.held_bytes += n as u64;
+            processed += n as u64;
+            self.held.push_back(block);
+            ops += 1;
+            remaining -= n as u64;
+        }
+        self.peak_bytes = self.peak_bytes.max(self.held_bytes);
+        AtomReport {
+            cycles_consumed: 0,
+            bytes_processed: processed,
+            operations: ops,
+            elapsed: start.elapsed(),
+        }
+    }
+
+    /// Free `bytes`, oldest blocks first (partial blocks shrink).
+    pub fn free(&mut self, bytes: u64) -> AtomReport {
+        let start = Instant::now();
+        let mut remaining = bytes.min(self.held_bytes);
+        let mut ops = 0u64;
+        let mut processed = 0u64;
+        while remaining > 0 {
+            let Some(mut block) = self.held.pop_front() else {
+                break;
+            };
+            let len = block.len() as u64;
+            if len <= remaining {
+                remaining -= len;
+                self.held_bytes -= len;
+                processed += len;
+                ops += 1;
+            } else {
+                block.truncate((len - remaining) as usize);
+                block.shrink_to_fit();
+                self.held_bytes -= remaining;
+                processed += remaining;
+                remaining = 0;
+                ops += 1;
+                self.held.push_front(block);
+            }
+        }
+        AtomReport {
+            cycles_consumed: 0,
+            bytes_processed: processed,
+            operations: ops,
+            elapsed: start.elapsed(),
+        }
+    }
+
+    /// One sample's worth of memory activity: allocations then frees.
+    pub fn consume(&mut self, alloc: u64, free: u64) -> AtomReport {
+        let mut rep = self.allocate(alloc);
+        rep.accumulate(&self.free(free));
+        rep
+    }
+
+    /// Release everything (end of emulation).
+    pub fn release_all(&mut self) {
+        self.held.clear();
+        self.held_bytes = 0;
+    }
+}
+
+impl Default for MemoryAtom {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocate_holds_and_free_releases() {
+        let mut m = MemoryAtom::with_config(1 << 16, 1 << 26);
+        let rep = m.allocate(200_000);
+        assert_eq!(m.held_bytes(), 200_000);
+        assert_eq!(rep.bytes_processed, 200_000);
+        // 200000 / 65536 = 3.05 -> 4 blocks
+        assert_eq!(rep.operations, 4);
+        let rep2 = m.free(150_000);
+        assert_eq!(rep2.bytes_processed, 150_000);
+        assert_eq!(m.held_bytes(), 50_000);
+        assert_eq!(m.peak_bytes(), 200_000);
+    }
+
+    #[test]
+    fn free_more_than_held_clamps() {
+        let mut m = MemoryAtom::new();
+        m.allocate(10_000);
+        let rep = m.free(1_000_000);
+        assert_eq!(rep.bytes_processed, 10_000);
+        assert_eq!(m.held_bytes(), 0);
+    }
+
+    #[test]
+    fn residency_cap_is_respected() {
+        let mut m = MemoryAtom::with_config(1 << 20, 4 << 20);
+        let rep = m.allocate(100 << 20);
+        assert_eq!(m.held_bytes(), 4 << 20);
+        assert_eq!(rep.bytes_processed, 4 << 20);
+    }
+
+    #[test]
+    fn consume_is_alloc_then_free() {
+        let mut m = MemoryAtom::new();
+        let rep = m.consume(5_000_000, 2_000_000);
+        assert_eq!(m.held_bytes(), 3_000_000);
+        assert_eq!(rep.bytes_processed, 7_000_000);
+        assert!(rep.operations > 0);
+    }
+
+    #[test]
+    fn partial_block_free_keeps_remainder() {
+        let mut m = MemoryAtom::with_config(1 << 20, 1 << 30);
+        m.allocate(1 << 20); // one block
+        m.free(1 << 19); // half of it
+        assert_eq!(m.held_bytes(), 1 << 19);
+        m.free(1 << 19);
+        assert_eq!(m.held_bytes(), 0);
+    }
+
+    #[test]
+    fn release_all_clears_everything() {
+        let mut m = MemoryAtom::new();
+        m.allocate(10 << 20);
+        m.release_all();
+        assert_eq!(m.held_bytes(), 0);
+        // Peak survives release (it is a high-water mark).
+        assert_eq!(m.peak_bytes(), 10 << 20);
+    }
+
+    #[test]
+    fn block_size_floor() {
+        let m = MemoryAtom::with_config(1, 1 << 20);
+        assert_eq!(m.block_size(), 4096);
+    }
+
+    #[test]
+    fn zero_requests_are_noops() {
+        let mut m = MemoryAtom::new();
+        let rep = m.consume(0, 0);
+        assert_eq!(rep.bytes_processed, 0);
+        assert_eq!(rep.operations, 0);
+        assert_eq!(m.held_bytes(), 0);
+    }
+}

@@ -1,0 +1,218 @@
+//! The network atom: loopback socket traffic.
+//!
+//! The paper implements "emulation of simple socket-based network
+//! communication" (§4.5, IPC/MPI). This atom drives a real TCP
+//! connection to a peer thread on the loopback interface: *send*
+//! demand streams bytes to the peer (which sinks them); *receive*
+//! demand asks the peer to stream bytes back. The request protocol is
+//! a 16-byte header (`send_len`, `want_back_len`) followed by the
+//! payload.
+
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use crate::atom::AtomReport;
+
+const CHUNK: usize = 64 * 1024;
+
+/// The network emulation atom (client side + embedded peer).
+pub struct NetworkAtom {
+    stream: TcpStream,
+    peer: Option<JoinHandle<()>>,
+    sent_total: u64,
+    recv_total: u64,
+}
+
+impl NetworkAtom {
+    /// Start the peer thread and connect to it over loopback.
+    pub fn new() -> std::io::Result<Self> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let peer = std::thread::Builder::new()
+            .name("synapse-net-peer".into())
+            .spawn(move || {
+                if let Ok((stream, _)) = listener.accept() {
+                    let _ = peer_loop(stream);
+                }
+            })?;
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(NetworkAtom {
+            stream,
+            peer: Some(peer),
+            sent_total: 0,
+            recv_total: 0,
+        })
+    }
+
+    /// Total bytes sent so far.
+    pub fn sent_total(&self) -> u64 {
+        self.sent_total
+    }
+
+    /// Total bytes received so far.
+    pub fn recv_total(&self) -> u64 {
+        self.recv_total
+    }
+
+    /// One sample's worth of network activity: stream `send` bytes to
+    /// the peer and request `recv` bytes back.
+    pub fn consume(&mut self, send: u64, recv: u64) -> std::io::Result<AtomReport> {
+        if send == 0 && recv == 0 {
+            return Ok(AtomReport::default());
+        }
+        let start = Instant::now();
+        let mut header = [0u8; 16];
+        header[..8].copy_from_slice(&send.to_le_bytes());
+        header[8..].copy_from_slice(&recv.to_le_bytes());
+        self.stream.write_all(&header)?;
+        // Stream the outgoing payload.
+        let buf = [0x42u8; CHUNK];
+        let mut remaining = send;
+        let mut ops = 0u64;
+        while remaining > 0 {
+            let n = remaining.min(CHUNK as u64) as usize;
+            self.stream.write_all(&buf[..n])?;
+            remaining -= n as u64;
+            ops += 1;
+        }
+        self.stream.flush()?;
+        // Drain the requested return traffic.
+        let mut rbuf = vec![0u8; CHUNK];
+        let mut to_read = recv;
+        while to_read > 0 {
+            let want = to_read.min(CHUNK as u64) as usize;
+            let n = self.stream.read(&mut rbuf[..want])?;
+            if n == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "peer closed mid-transfer",
+                ));
+            }
+            to_read -= n as u64;
+            ops += 1;
+        }
+        self.sent_total += send;
+        self.recv_total += recv;
+        Ok(AtomReport {
+            cycles_consumed: 0,
+            bytes_processed: send + recv,
+            operations: ops,
+            elapsed: start.elapsed(),
+        })
+    }
+
+    /// Shut the connection and join the peer thread.
+    pub fn shutdown(mut self) {
+        let _ = self.stream.shutdown(std::net::Shutdown::Both);
+        if let Some(peer) = self.peer.take() {
+            let _ = peer.join();
+        }
+    }
+}
+
+impl Drop for NetworkAtom {
+    fn drop(&mut self) {
+        let _ = self.stream.shutdown(std::net::Shutdown::Both);
+        if let Some(peer) = self.peer.take() {
+            let _ = peer.join();
+        }
+    }
+}
+
+/// Peer side: sink incoming payloads, produce requested return
+/// traffic, until the client closes.
+fn peer_loop(mut stream: TcpStream) -> std::io::Result<()> {
+    stream.set_nodelay(true)?;
+    let mut header = [0u8; 16];
+    let mut buf = vec![0u8; CHUNK];
+    loop {
+        // Read a full header or detect a clean close.
+        let mut got = 0;
+        while got < 16 {
+            let n = stream.read(&mut header[got..])?;
+            if n == 0 {
+                return Ok(()); // clean shutdown
+            }
+            got += n;
+        }
+        let send_len = u64::from_le_bytes(header[..8].try_into().unwrap());
+        let want_back = u64::from_le_bytes(header[8..].try_into().unwrap());
+        // Sink the payload.
+        let mut remaining = send_len;
+        while remaining > 0 {
+            let want = remaining.min(CHUNK as u64) as usize;
+            let n = stream.read(&mut buf[..want])?;
+            if n == 0 {
+                return Ok(());
+            }
+            remaining -= n as u64;
+        }
+        // Produce the return traffic.
+        let out = [0x24u8; CHUNK];
+        let mut to_send = want_back;
+        while to_send > 0 {
+            let n = to_send.min(CHUNK as u64) as usize;
+            stream.write_all(&out[..n])?;
+            to_send -= n as u64;
+        }
+        stream.flush()?;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_only() {
+        let mut a = NetworkAtom::new().unwrap();
+        let rep = a.consume(100_000, 0).unwrap();
+        assert_eq!(rep.bytes_processed, 100_000);
+        assert_eq!(a.sent_total(), 100_000);
+        assert_eq!(a.recv_total(), 0);
+        a.shutdown();
+    }
+
+    #[test]
+    fn recv_only() {
+        let mut a = NetworkAtom::new().unwrap();
+        let rep = a.consume(0, 50_000).unwrap();
+        assert_eq!(rep.bytes_processed, 50_000);
+        assert_eq!(a.recv_total(), 50_000);
+        a.shutdown();
+    }
+
+    #[test]
+    fn bidirectional_and_repeated() {
+        let mut a = NetworkAtom::new().unwrap();
+        for _ in 0..5 {
+            let rep = a.consume(10_000, 20_000).unwrap();
+            assert_eq!(rep.bytes_processed, 30_000);
+        }
+        assert_eq!(a.sent_total(), 50_000);
+        assert_eq!(a.recv_total(), 100_000);
+        a.shutdown();
+    }
+
+    #[test]
+    fn zero_demand_is_noop() {
+        let mut a = NetworkAtom::new().unwrap();
+        let rep = a.consume(0, 0).unwrap();
+        assert_eq!(rep.bytes_processed, 0);
+        assert_eq!(rep.operations, 0);
+        a.shutdown();
+    }
+
+    #[test]
+    fn large_transfer_crosses_chunk_boundaries() {
+        let mut a = NetworkAtom::new().unwrap();
+        let big = (CHUNK * 3 + 123) as u64;
+        let rep = a.consume(big, big).unwrap();
+        assert_eq!(rep.bytes_processed, 2 * big);
+        assert!(rep.operations >= 8);
+        a.shutdown();
+    }
+}

@@ -1,0 +1,476 @@
+#![warn(missing_docs)]
+
+//! Implementation of the `synapse` command-line tool.
+//!
+//! The paper ships "a set of command line tools which are wrappers
+//! around certain configurations and combinations of the profile and
+//! emulate methods" (§4). This crate provides the same:
+//!
+//! ```text
+//! synapse profile  "<command>" [--tags k=v,...] [--rate HZ] [--store DIR]
+//! synapse emulate  "<command>" [--tags k=v,...] [--kernel asm|c|spin]
+//!                  [--threads N] [--write-block BYTES] [--store DIR]
+//! synapse stats    "<command>" [--tags k=v,...] [--store DIR]
+//! synapse inspect  "<command>" [--tags k=v,...] [--store DIR]
+//! synapse table1
+//! synapse machines
+//! ```
+
+use std::path::PathBuf;
+
+use synapse::config::ProfilerConfig;
+use synapse::emulator::{EmulationPlan, KernelChoice};
+use synapse_model::{metrics, Tags};
+use synapse_store::{FileStore, ProfileStore};
+
+/// Parsed command-line invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Invocation {
+    /// Profile a command.
+    Profile {
+        /// The command to run and observe.
+        command: String,
+        /// Tags for the profile key.
+        tags: Tags,
+        /// Sampling rate in Hz.
+        rate: f64,
+        /// Profile store directory.
+        store: PathBuf,
+    },
+    /// Emulate a profiled command.
+    Emulate {
+        /// The command whose profile to replay.
+        command: String,
+        /// Tags to match.
+        tags: Tags,
+        /// Kernel name (asm | c | spin).
+        kernel: String,
+        /// Worker width (threads or processes, depending on mode).
+        threads: u32,
+        /// Parallel mode (openmp | mpi).
+        mode: String,
+        /// Write block size in bytes.
+        write_block: u64,
+        /// Profile store directory.
+        store: PathBuf,
+    },
+    /// Internal: consume a cycle budget as an MPI-analogue worker
+    /// process (spawned by the emulator, not by users).
+    Worker {
+        /// Kernel name.
+        kernel: String,
+        /// Cycles to consume.
+        cycles: u64,
+    },
+    /// Print statistics over stored profiles of a command.
+    Stats {
+        /// Command to look up.
+        command: String,
+        /// Tags to match.
+        tags: Tags,
+        /// Profile store directory.
+        store: PathBuf,
+    },
+    /// Dump the representative profile of a command.
+    Inspect {
+        /// Command to look up.
+        command: String,
+        /// Tags to match.
+        tags: Tags,
+        /// Profile store directory.
+        store: PathBuf,
+    },
+    /// Print the Table 1 metric registry.
+    Table1,
+    /// List the built-in machine models.
+    Machines,
+    /// Print usage.
+    Help,
+}
+
+/// Default profile store location.
+pub fn default_store() -> PathBuf {
+    std::env::temp_dir().join("synapse-profiles")
+}
+
+/// Parse CLI arguments (without the binary name).
+pub fn parse_args(args: &[String]) -> Result<Invocation, String> {
+    let Some(sub) = args.first() else {
+        return Ok(Invocation::Help);
+    };
+    let mut command = None;
+    let mut tags = Tags::new();
+    let mut rate = 10.0;
+    let mut store = default_store();
+    let mut kernel = "asm".to_string();
+    let mut threads = 1u32;
+    let mut mode = "openmp".to_string();
+    let mut write_block = 1u64 << 20;
+    let mut cycles = 0u64;
+
+    let mut i = 1;
+    while i < args.len() {
+        let arg = &args[i];
+        let value = |i: &mut usize| -> Result<String, String> {
+            *i += 1;
+            args.get(*i)
+                .cloned()
+                .ok_or_else(|| format!("missing value after {arg}"))
+        };
+        match arg.as_str() {
+            "--tags" => tags = Tags::parse(&value(&mut i)?),
+            "--rate" => {
+                rate = value(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--rate: {e}"))?
+            }
+            "--store" => store = PathBuf::from(value(&mut i)?),
+            "--kernel" => kernel = value(&mut i)?,
+            "--threads" => {
+                threads = value(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?
+            }
+            "--mode" => mode = value(&mut i)?,
+            "--cycles" => {
+                cycles = value(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--cycles: {e}"))?
+            }
+            "--write-block" => {
+                write_block = value(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--write-block: {e}"))?
+            }
+            other if other.starts_with("--") => return Err(format!("unknown flag {other}")),
+            other => {
+                if command.is_some() {
+                    return Err(format!("unexpected positional argument {other:?} (quote the command)"));
+                }
+                command = Some(other.to_string());
+            }
+        }
+        i += 1;
+    }
+
+    let need_command = |what: &str| {
+        command
+            .clone()
+            .ok_or_else(|| format!("{what} requires a command argument"))
+    };
+    match sub.as_str() {
+        "profile" => Ok(Invocation::Profile {
+            command: need_command("profile")?,
+            tags,
+            rate,
+            store,
+        }),
+        "emulate" => Ok(Invocation::Emulate {
+            command: need_command("emulate")?,
+            tags,
+            kernel,
+            threads,
+            mode,
+            write_block,
+            store,
+        }),
+        "worker" => Ok(Invocation::Worker { kernel, cycles }),
+        "stats" => Ok(Invocation::Stats {
+            command: need_command("stats")?,
+            tags,
+            store,
+        }),
+        "inspect" => Ok(Invocation::Inspect {
+            command: need_command("inspect")?,
+            tags,
+            store,
+        }),
+        "table1" => Ok(Invocation::Table1),
+        "machines" => Ok(Invocation::Machines),
+        "help" | "--help" | "-h" => Ok(Invocation::Help),
+        other => Err(format!("unknown subcommand {other}")),
+    }
+}
+
+/// Resolve a kernel name to a [`KernelChoice`].
+pub fn kernel_by_name(name: &str) -> Result<KernelChoice, String> {
+    match name.to_ascii_lowercase().as_str() {
+        "asm" => Ok(KernelChoice::Asm),
+        "c" => Ok(KernelChoice::C),
+        "spin" => Ok(KernelChoice::Spin),
+        other => Err(format!("unknown kernel {other} (asm | c | spin)")),
+    }
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+synapse — synthetic application profiler and emulator
+
+USAGE:
+  synapse profile  \"<command>\" [--tags k=v,...] [--rate HZ] [--store DIR]
+  synapse emulate  \"<command>\" [--tags k=v,...] [--kernel asm|c|spin]
+                   [--threads N] [--mode openmp|mpi] [--write-block BYTES]
+                   [--store DIR]
+  synapse stats    \"<command>\" [--tags k=v,...] [--store DIR]
+  synapse inspect  \"<command>\" [--tags k=v,...] [--store DIR]
+  synapse table1
+  synapse machines
+";
+
+/// Execute an invocation, writing human-readable output to `out`.
+pub fn run(invocation: Invocation, out: &mut impl std::io::Write) -> Result<(), String> {
+    match invocation {
+        Invocation::Help => {
+            write!(out, "{USAGE}").map_err(|e| e.to_string())?;
+        }
+        Invocation::Table1 => {
+            write!(out, "{}", metrics::render_table1()).map_err(|e| e.to_string())?;
+        }
+        Invocation::Machines => {
+            for name in synapse_sim::MACHINE_NAMES {
+                let m = synapse_sim::machine_by_name(name).expect("catalog name");
+                writeln!(
+                    out,
+                    "{:<10} {:>2} cores  {:>5.2} GHz nominal  {:>6.1} GiB  default fs: {}",
+                    m.name,
+                    m.cpu.ncores,
+                    m.cpu.nominal_freq_hz / 1e9,
+                    m.total_memory as f64 / (1u64 << 30) as f64,
+                    m.default_fs.name(),
+                )
+                .map_err(|e| e.to_string())?;
+            }
+        }
+        Invocation::Profile {
+            command,
+            tags,
+            rate,
+            store,
+        } => {
+            let store = FileStore::open(&store).map_err(|e| e.to_string())?;
+            let config = ProfilerConfig::with_rate(rate);
+            let outcome = synapse::api::profile(&command, Some(tags), &store, &config)
+                .map_err(|e| e.to_string())?;
+            let totals = outcome.profile.totals();
+            writeln!(
+                out,
+                "profiled {:?}: Tx={:.3}s exit={} samples={} cycles={} bytes_written={}",
+                command,
+                outcome.profile.runtime,
+                outcome.timed.exit_code,
+                outcome.profile.len(),
+                totals.cycles,
+                totals.bytes_written,
+            )
+            .map_err(|e| e.to_string())?;
+        }
+        Invocation::Worker { kernel, cycles } => {
+            let run = kernel_by_name(&kernel)?.build().execute_cycles(cycles);
+            writeln!(out, "consumed={}", run.consumed_cycles).map_err(|e| e.to_string())?;
+        }
+        Invocation::Emulate {
+            command,
+            tags,
+            kernel,
+            threads,
+            mode,
+            write_block,
+            store,
+        } => {
+            let store = FileStore::open(&store).map_err(|e| e.to_string())?;
+            let mode = match mode.to_ascii_lowercase().as_str() {
+                "openmp" | "omp" => synapse_sim::ParallelMode::OpenMp,
+                "mpi" | "openmpi" => synapse_sim::ParallelMode::Mpi,
+                other => return Err(format!("unknown mode {other} (openmp | mpi)")),
+            };
+            let plan = EmulationPlan {
+                kernel: kernel_by_name(&kernel)?,
+                threads,
+                mode,
+                // MPI-analogue workers re-invoke this very binary.
+                worker_binary: std::env::current_exe().ok(),
+                io_write_block: write_block,
+                ..Default::default()
+            };
+            let report = synapse::api::emulate(&command, Some(tags), &store, &plan)
+                .map_err(|e| e.to_string())?;
+            writeln!(
+                out,
+                "emulated {:?}: Tx={:.3}s samples={} directed_cycles={} consumed_cycles={}",
+                command,
+                report.tx,
+                report.samples,
+                report.consumed.directed_cycles,
+                report.consumed.cycles,
+            )
+            .map_err(|e| e.to_string())?;
+        }
+        Invocation::Stats {
+            command,
+            tags,
+            store,
+        } => {
+            let store = FileStore::open(&store).map_err(|e| e.to_string())?;
+            let key = synapse_model::ProfileKey::new(command.trim(), tags);
+            let set = ProfileStore::load_set(&store, &key).map_err(|e| e.to_string())?;
+            let rt = set.runtime_summary().map_err(|e| e.to_string())?;
+            let cycles = set
+                .totals_summary(|t| t.cycles as f64)
+                .map_err(|e| e.to_string())?;
+            writeln!(
+                out,
+                "{} runs: Tx mean={:.3}s std={:.3}s ci99={:.3}s | cycles mean={:.3e} ci99={:.3e}",
+                set.len(),
+                rt.mean,
+                rt.std,
+                rt.ci99(),
+                cycles.mean,
+                cycles.ci99(),
+            )
+            .map_err(|e| e.to_string())?;
+        }
+        Invocation::Inspect {
+            command,
+            tags,
+            store,
+        } => {
+            let store = FileStore::open(&store).map_err(|e| e.to_string())?;
+            let key = synapse_model::ProfileKey::new(command.trim(), tags);
+            let profile = store.load_representative(&key).map_err(|e| e.to_string())?;
+            let json = profile.to_json().map_err(|e| e.to_string())?;
+            writeln!(out, "{json}").map_err(|e| e.to_string())?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_profile_with_flags() {
+        let inv = parse_args(&argv(&[
+            "profile",
+            "sleep 1",
+            "--tags",
+            "a=1,b=2",
+            "--rate",
+            "2.5",
+            "--store",
+            "/tmp/x",
+        ]))
+        .unwrap();
+        match inv {
+            Invocation::Profile {
+                command,
+                tags,
+                rate,
+                store,
+            } => {
+                assert_eq!(command, "sleep 1");
+                assert_eq!(tags.get("a"), Some("1"));
+                assert_eq!(rate, 2.5);
+                assert_eq!(store, PathBuf::from("/tmp/x"));
+            }
+            other => panic!("wrong invocation: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_emulate_with_kernel_and_threads() {
+        let inv = parse_args(&argv(&[
+            "emulate", "app", "--kernel", "c", "--threads", "8", "--write-block", "4096",
+        ]))
+        .unwrap();
+        match inv {
+            Invocation::Emulate {
+                kernel,
+                threads,
+                write_block,
+                ..
+            } => {
+                assert_eq!(kernel, "c");
+                assert_eq!(threads, 8);
+                assert_eq!(write_block, 4096);
+            }
+            other => panic!("wrong invocation: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_unknown_flags_and_subcommands() {
+        assert!(parse_args(&argv(&["profile", "x", "--bogus"])).is_err());
+        assert!(parse_args(&argv(&["frobnicate"])).is_err());
+        assert!(parse_args(&argv(&["profile"])).is_err()); // no command
+        assert!(parse_args(&argv(&["profile", "a", "b"])).is_err()); // two positionals
+    }
+
+    #[test]
+    fn no_args_is_help() {
+        assert_eq!(parse_args(&[]).unwrap(), Invocation::Help);
+        assert_eq!(parse_args(&argv(&["--help"])).unwrap(), Invocation::Help);
+    }
+
+    #[test]
+    fn kernel_names_resolve() {
+        assert!(kernel_by_name("ASM").is_ok());
+        assert!(kernel_by_name("c").is_ok());
+        assert!(kernel_by_name("spin").is_ok());
+        assert!(kernel_by_name("fortran").is_err());
+    }
+
+    #[test]
+    fn table1_and_machines_render() {
+        let mut buf = Vec::new();
+        run(Invocation::Table1, &mut buf).unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        assert!(s.contains("FLOPs"));
+        let mut buf2 = Vec::new();
+        run(Invocation::Machines, &mut buf2).unwrap();
+        let s2 = String::from_utf8(buf2).unwrap();
+        assert!(s2.contains("thinkie"));
+        assert!(s2.contains("titan"));
+    }
+
+    #[test]
+    fn help_renders_usage() {
+        let mut buf = Vec::new();
+        run(Invocation::Help, &mut buf).unwrap();
+        assert!(String::from_utf8(buf).unwrap().contains("USAGE"));
+    }
+
+    #[test]
+    fn profile_and_stats_through_cli_layer() {
+        let dir = std::env::temp_dir().join(format!("synapse-cli-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut buf = Vec::new();
+        run(
+            Invocation::Profile {
+                command: "sleep 0.1".into(),
+                tags: Tags::parse("t=cli"),
+                rate: 10.0,
+                store: dir.clone(),
+            },
+            &mut buf,
+        )
+        .unwrap();
+        assert!(String::from_utf8(buf).unwrap().contains("Tx="));
+        let mut buf2 = Vec::new();
+        run(
+            Invocation::Stats {
+                command: "sleep 0.1".into(),
+                tags: Tags::parse("t=cli"),
+                store: dir.clone(),
+            },
+            &mut buf2,
+        )
+        .unwrap();
+        assert!(String::from_utf8(buf2).unwrap().contains("1 runs"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

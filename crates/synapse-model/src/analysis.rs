@@ -1,0 +1,190 @@
+//! Profile analysis: derived I/O granularity and profile comparison.
+//!
+//! Two capabilities the paper motivates:
+//!
+//! * **Block-size inference** (§4.2/§6): the profiler cannot yet trace
+//!   block-level I/O directly (the blktrace watcher is "experimental"),
+//!   but per-sample byte and operation counts imply mean block sizes —
+//!   "We consider using this data in Synapse emulation when
+//!   applications require that granularity". [`IoGranularity`]
+//!   extracts them so an emulation plan can adopt the *profiled*
+//!   granularity instead of static defaults.
+//! * **Profile comparison** (E.2): "As a sanity check, we profiled the
+//!   emulated application and compared the reported system resource
+//!   consumption results". [`compare_profiles`] quantifies that
+//!   agreement metric by metric.
+
+use serde::{Deserialize, Serialize};
+
+use crate::profile::Profile;
+use crate::stats::error_pct;
+
+/// Inferred I/O granularity of a profile.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IoGranularity {
+    /// Mean read block size over the whole run (bytes/ops), if any
+    /// read operations were recorded.
+    pub read_block: Option<u64>,
+    /// Mean write block size, if any write operations were recorded.
+    pub write_block: Option<u64>,
+    /// Largest single-sample mean write block (bursts often reveal the
+    /// application's true buffer size better than the global mean).
+    pub peak_write_block: Option<u64>,
+}
+
+/// Infer I/O granularity from a profile's sample series.
+pub fn io_granularity(profile: &Profile) -> IoGranularity {
+    let t = profile.totals();
+    let read_block = (t.read_ops > 0).then(|| t.bytes_read / t.read_ops);
+    let write_block = (t.write_ops > 0).then(|| t.bytes_written / t.write_ops);
+    let peak_write_block = profile
+        .samples
+        .iter()
+        .filter_map(|s| s.storage.write_block_size())
+        .max();
+    IoGranularity {
+        read_block,
+        write_block,
+        peak_write_block,
+    }
+}
+
+/// Per-metric relative errors between two profiles (measured vs
+/// reference), as percentages. `None` where the reference is zero.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct ProfileComparison {
+    /// Runtime Tx error.
+    pub runtime: Option<f64>,
+    /// Used-cycles error.
+    pub cycles: Option<f64>,
+    /// Instruction-count error.
+    pub instructions: Option<f64>,
+    /// Bytes-read error.
+    pub bytes_read: Option<f64>,
+    /// Bytes-written error.
+    pub bytes_written: Option<f64>,
+    /// Peak-RSS error.
+    pub mem_peak: Option<f64>,
+}
+
+impl ProfileComparison {
+    /// The largest error across all compared metrics (ignoring
+    /// undefined ones). `None` when nothing was comparable.
+    pub fn worst(&self) -> Option<f64> {
+        [
+            self.runtime,
+            self.cycles,
+            self.instructions,
+            self.bytes_read,
+            self.bytes_written,
+            self.mem_peak,
+        ]
+        .into_iter()
+        .flatten()
+        .fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.max(v))))
+    }
+
+    /// Whether every comparable metric is within `tolerance_pct`.
+    pub fn within(&self, tolerance_pct: f64) -> bool {
+        self.worst().is_none_or(|w| w <= tolerance_pct)
+    }
+}
+
+/// Compare a measured profile against a reference, metric by metric.
+pub fn compare_profiles(reference: &Profile, measured: &Profile) -> ProfileComparison {
+    let r = reference.totals();
+    let m = measured.totals();
+    ProfileComparison {
+        runtime: error_pct(measured.runtime, reference.runtime),
+        cycles: error_pct(m.cycles as f64, r.cycles as f64),
+        instructions: error_pct(m.instructions as f64, r.instructions as f64),
+        bytes_read: error_pct(m.bytes_read as f64, r.bytes_read as f64),
+        bytes_written: error_pct(m.bytes_written as f64, r.bytes_written as f64),
+        mem_peak: error_pct(m.mem_peak as f64, r.mem_peak as f64),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::SystemInfo;
+    use crate::sample::Sample;
+    use crate::tags::{ProfileKey, Tags};
+
+    fn profile_with_io(ops: &[(u64, u64)]) -> Profile {
+        // ops: per sample (bytes_written, write_ops)
+        let mut p = Profile::new(
+            ProfileKey::new("io", Tags::new()),
+            SystemInfo::default(),
+            1.0,
+        );
+        p.runtime = ops.len() as f64;
+        for (i, &(bytes, n)) in ops.iter().enumerate() {
+            let mut s = Sample::at(i as f64, 1.0);
+            s.storage.bytes_written = bytes;
+            s.storage.write_ops = n;
+            s.storage.bytes_read = bytes / 2;
+            s.storage.read_ops = n;
+            s.compute.cycles = 1000;
+            s.compute.instructions = 2000;
+            p.push(s).unwrap();
+        }
+        p
+    }
+
+    #[test]
+    fn granularity_from_totals_and_peak() {
+        // Sample blocks: 4096 (8192/2), 65536 (65536/1).
+        let p = profile_with_io(&[(8192, 2), (65536, 1)]);
+        let g = io_granularity(&p);
+        assert_eq!(g.write_block, Some((8192 + 65536) / 3));
+        assert_eq!(g.peak_write_block, Some(65536));
+        assert_eq!(g.read_block, Some(((8192 + 65536) / 2) / 3));
+    }
+
+    #[test]
+    fn granularity_of_io_free_profile_is_none() {
+        let mut p = Profile::new(ProfileKey::default(), SystemInfo::default(), 1.0);
+        p.runtime = 1.0;
+        p.push(Sample::at(0.0, 1.0)).unwrap();
+        let g = io_granularity(&p);
+        assert_eq!(g.read_block, None);
+        assert_eq!(g.write_block, None);
+        assert_eq!(g.peak_write_block, None);
+    }
+
+    #[test]
+    fn identical_profiles_compare_to_zero() {
+        let p = profile_with_io(&[(8192, 2)]);
+        let c = compare_profiles(&p, &p);
+        assert_eq!(c.worst(), Some(0.0));
+        assert!(c.within(0.0));
+    }
+
+    #[test]
+    fn comparison_reports_per_metric_errors() {
+        let a = profile_with_io(&[(10_000, 2)]);
+        let mut b = profile_with_io(&[(10_000, 2)]);
+        b.runtime = a.runtime * 1.10;
+        b.samples[0].storage.bytes_written = 12_000;
+        let c = compare_profiles(&a, &b);
+        assert!((c.runtime.unwrap() - 10.0).abs() < 1e-9);
+        assert!((c.bytes_written.unwrap() - 20.0).abs() < 1e-9);
+        assert_eq!(c.cycles, Some(0.0));
+        assert!((c.worst().unwrap() - 20.0).abs() < 1e-9);
+        assert!(c.within(20.0));
+        assert!(!c.within(19.9));
+    }
+
+    #[test]
+    fn zero_reference_metrics_are_undefined_not_infinite() {
+        let mut a = Profile::new(ProfileKey::default(), SystemInfo::default(), 1.0);
+        a.runtime = 1.0;
+        a.push(Sample::at(0.0, 1.0)).unwrap();
+        let b = profile_with_io(&[(100, 1)]);
+        let c = compare_profiles(&a, &b);
+        assert!(c.bytes_written.is_none());
+        // worst() skips undefined metrics.
+        assert!(c.worst().is_some()); // runtime is comparable
+    }
+}

@@ -1,0 +1,76 @@
+//! Error type for the data-model layer.
+
+use std::fmt;
+
+/// Errors produced while constructing, validating or serializing model
+/// types.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// A sample or profile field carried a value outside its domain
+    /// (negative interval, NaN timestamp, ...).
+    InvalidValue {
+        /// Name of the offending field.
+        field: &'static str,
+        /// Human-readable description of the violation.
+        reason: String,
+    },
+    /// Samples were not ordered by timestamp.
+    UnorderedSamples {
+        /// Index of the first out-of-order sample.
+        index: usize,
+    },
+    /// A profile had no samples where at least one was required.
+    EmptyProfile,
+    /// JSON (de)serialization failure.
+    Serde(String),
+    /// A statistics routine was asked for a summary of an empty series.
+    EmptySeries,
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::InvalidValue { field, reason } => {
+                write!(f, "invalid value for `{field}`: {reason}")
+            }
+            ModelError::UnorderedSamples { index } => {
+                write!(f, "sample {index} is out of timestamp order")
+            }
+            ModelError::EmptyProfile => write!(f, "profile contains no samples"),
+            ModelError::Serde(e) => write!(f, "serialization error: {e}"),
+            ModelError::EmptySeries => write!(f, "statistics requested over an empty series"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+impl From<serde_json::Error> for ModelError {
+    fn from(e: serde_json::Error) -> Self {
+        ModelError::Serde(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ModelError::InvalidValue {
+            field: "dt",
+            reason: "negative".into(),
+        };
+        assert!(e.to_string().contains("dt"));
+        assert!(e.to_string().contains("negative"));
+        assert!(ModelError::EmptyProfile.to_string().contains("no samples"));
+        assert!(ModelError::UnorderedSamples { index: 3 }.to_string().contains('3'));
+    }
+
+    #[test]
+    fn from_serde_error() {
+        let bad: Result<u32, _> = serde_json::from_str("not json");
+        let err: ModelError = bad.unwrap_err().into();
+        assert!(matches!(err, ModelError::Serde(_)));
+    }
+}

@@ -1,0 +1,509 @@
+//! Application profiles: time series of samples plus system context.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::ModelError;
+use crate::sample::Sample;
+use crate::stats::Summary;
+use crate::tags::ProfileKey;
+
+/// Host information recorded alongside every profile (the "System"
+/// block of Table 1). Needed to compute derived metrics (utilization)
+/// and to judge profile portability.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SystemInfo {
+    /// Host name of the profiling resource.
+    pub hostname: String,
+    /// Number of CPU cores.
+    pub ncores: u32,
+    /// Maximum CPU frequency in Hz.
+    pub max_freq_hz: f64,
+    /// Total system memory in bytes.
+    pub total_memory: u64,
+    /// 1-minute system load average at profiling start (Table 1's
+    /// "system load (CPU)" total). Zero when unknown.
+    #[serde(default)]
+    pub load_avg: f64,
+}
+
+impl Default for SystemInfo {
+    fn default() -> Self {
+        SystemInfo {
+            hostname: "unknown".into(),
+            ncores: 1,
+            max_freq_hz: 1e9,
+            total_memory: 1 << 30,
+            load_avg: 0.0,
+        }
+    }
+}
+
+/// Integrated totals over a whole profile (the "Tot." column of
+/// Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Totals {
+    /// Total used CPU cycles.
+    pub cycles: u64,
+    /// Total retired instructions.
+    pub instructions: u64,
+    /// Total frontend-stalled cycles.
+    pub stalled_frontend: u64,
+    /// Total backend-stalled cycles.
+    pub stalled_backend: u64,
+    /// Total floating-point operations.
+    pub flops: u64,
+    /// Total bytes read from storage.
+    pub bytes_read: u64,
+    /// Total bytes written to storage.
+    pub bytes_written: u64,
+    /// Total storage read operations.
+    pub read_ops: u64,
+    /// Total storage write operations.
+    pub write_ops: u64,
+    /// Total bytes allocated.
+    pub mem_allocated: u64,
+    /// Total bytes freed.
+    pub mem_freed: u64,
+    /// Peak resident set size observed.
+    pub mem_peak: u64,
+    /// Total bytes sent over the network.
+    pub net_sent: u64,
+    /// Total bytes received over the network.
+    pub net_recv: u64,
+    /// Maximum number of threads observed.
+    pub max_threads: u32,
+}
+
+/// Metrics derived from totals and system info (the "Der." rows of
+/// Table 1: efficiency, utilization, FLOPs rate, IPC).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DerivedMetrics {
+    /// `cycles_used / (cycles_used + cycles_wasted)` — the paper's
+    /// efficiency formula, counting all stalls as waste.
+    pub efficiency: Option<f64>,
+    /// `cycles_used / cycles_max`, where `cycles_max = max_freq *
+    /// runtime * threads_used`. The paper derives `cycles_max` from
+    /// clock speed and architecture; we additionally scale by the
+    /// number of threads the application actually employed so a
+    /// single-threaded run on a 24-core node is not reported as ~4 %
+    /// busy.
+    pub utilization: Option<f64>,
+    /// Instructions retired per used cycle.
+    pub ipc: Option<f64>,
+    /// Floating-point operations per second of runtime.
+    pub flops_per_sec: Option<f64>,
+}
+
+/// A complete application profile: identification, host context,
+/// sampling configuration and the observed time series.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Profile {
+    /// `(command, tags)` identification used as the database index.
+    pub key: ProfileKey,
+    /// Host the profile was taken on.
+    pub system: SystemInfo,
+    /// Configured sampling rate in Hz (samples per second).
+    pub sample_rate_hz: f64,
+    /// Total application runtime Tx in seconds (wall clock, corrected
+    /// for the profiler startup offset via the `time -v` wrapper).
+    pub runtime: f64,
+    /// The observed samples, ordered by timestamp.
+    pub samples: Vec<Sample>,
+}
+
+impl Profile {
+    /// Create an empty profile shell for a key on a host.
+    pub fn new(key: ProfileKey, system: SystemInfo, sample_rate_hz: f64) -> Self {
+        Profile {
+            key,
+            system,
+            sample_rate_hz,
+            runtime: 0.0,
+            samples: Vec::new(),
+        }
+    }
+
+    /// Append a sample, keeping the series ordered.
+    pub fn push(&mut self, sample: Sample) -> Result<(), ModelError> {
+        sample.validate()?;
+        if let Some(last) = self.samples.last() {
+            if sample.t < last.t {
+                return Err(ModelError::UnorderedSamples {
+                    index: self.samples.len(),
+                });
+            }
+        }
+        self.samples.push(sample);
+        Ok(())
+    }
+
+    /// Validate the whole profile: ordered, valid samples and a
+    /// non-negative runtime.
+    pub fn validate(&self) -> Result<(), ModelError> {
+        if !self.runtime.is_finite() || self.runtime < 0.0 {
+            return Err(ModelError::InvalidValue {
+                field: "runtime",
+                reason: format!("{} must be finite and >= 0", self.runtime),
+            });
+        }
+        let mut prev = f64::NEG_INFINITY;
+        for (i, s) in self.samples.iter().enumerate() {
+            s.validate()?;
+            if s.t < prev {
+                return Err(ModelError::UnorderedSamples { index: i });
+            }
+            prev = s.t;
+        }
+        Ok(())
+    }
+
+    /// Number of samples collected.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the profile holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Integrate the sample series into totals.
+    pub fn totals(&self) -> Totals {
+        let mut t = Totals::default();
+        for s in &self.samples {
+            t.cycles += s.compute.cycles;
+            t.instructions += s.compute.instructions;
+            t.stalled_frontend += s.compute.stalled_frontend;
+            t.stalled_backend += s.compute.stalled_backend;
+            t.flops += s.compute.flops;
+            t.bytes_read += s.storage.bytes_read;
+            t.bytes_written += s.storage.bytes_written;
+            t.read_ops += s.storage.read_ops;
+            t.write_ops += s.storage.write_ops;
+            t.mem_allocated += s.memory.allocated;
+            t.mem_freed += s.memory.freed;
+            t.mem_peak = t.mem_peak.max(s.memory.peak).max(s.memory.rss);
+            t.net_sent += s.network.bytes_sent;
+            t.net_recv += s.network.bytes_recv;
+            t.max_threads = t.max_threads.max(s.compute.threads);
+        }
+        t
+    }
+
+    /// Compute the derived metrics of Table 1 from the totals and the
+    /// recorded system information.
+    pub fn derived(&self) -> DerivedMetrics {
+        let t = self.totals();
+        let wasted = t.stalled_frontend + t.stalled_backend;
+        let spent = t.cycles + wasted;
+        let efficiency = if spent == 0 {
+            None
+        } else {
+            Some(t.cycles as f64 / spent as f64)
+        };
+        let threads = t.max_threads.max(1) as f64;
+        let cycles_max = self.system.max_freq_hz * self.runtime * threads;
+        let utilization = if cycles_max > 0.0 {
+            Some(t.cycles as f64 / cycles_max)
+        } else {
+            None
+        };
+        let ipc = if t.cycles == 0 {
+            None
+        } else {
+            Some(t.instructions as f64 / t.cycles as f64)
+        };
+        let flops_per_sec = if self.runtime > 0.0 {
+            Some(t.flops as f64 / self.runtime)
+        } else {
+            None
+        };
+        DerivedMetrics {
+            efficiency,
+            utilization,
+            ipc,
+            flops_per_sec,
+        }
+    }
+
+    /// Merge every group of `factor` consecutive samples into one,
+    /// producing the profile that a `factor`-times-slower sampling rate
+    /// would have observed. Used by the sampling-effect experiments
+    /// (Figs 2–3) and the ordering ablation.
+    pub fn downsample(&self, factor: usize) -> Profile {
+        assert!(factor >= 1, "downsample factor must be >= 1");
+        let mut out = Profile {
+            key: self.key.clone(),
+            system: self.system.clone(),
+            sample_rate_hz: self.sample_rate_hz / factor as f64,
+            runtime: self.runtime,
+            samples: Vec::with_capacity(self.samples.len().div_ceil(factor)),
+        };
+        for chunk in self.samples.chunks(factor) {
+            let mut merged = chunk[0];
+            for s in &chunk[1..] {
+                merged = merged.absorb(s);
+            }
+            out.samples.push(merged);
+        }
+        out
+    }
+
+    /// Last sample end time; 0 for an empty profile. Useful as a lower
+    /// bound on the runtime (profiling only terminates on full sample
+    /// periods, §4.5).
+    pub fn observed_span(&self) -> f64 {
+        self.samples.last().map_or(0.0, Sample::t_end)
+    }
+
+    /// Serialize to a JSON string.
+    pub fn to_json(&self) -> Result<String, ModelError> {
+        Ok(serde_json::to_string(self)?)
+    }
+
+    /// Deserialize from a JSON string.
+    pub fn from_json(s: &str) -> Result<Profile, ModelError> {
+        Ok(serde_json::from_str(s)?)
+    }
+}
+
+/// A set of repeated profiles of the same `(command, tags)` workload,
+/// supporting the "basic statistics analysis" §4 describes.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ProfileSet {
+    profiles: Vec<Profile>,
+}
+
+impl ProfileSet {
+    /// Empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a profile. All profiles in a set should share a key; the
+    /// first profile fixes it and mismatching keys are rejected.
+    pub fn push(&mut self, p: Profile) -> Result<(), ModelError> {
+        if let Some(first) = self.profiles.first() {
+            if first.key != p.key {
+                return Err(ModelError::InvalidValue {
+                    field: "key",
+                    reason: format!("expected {}, got {}", first.key, p.key),
+                });
+            }
+        }
+        self.profiles.push(p);
+        Ok(())
+    }
+
+    /// Number of profiles in the set.
+    pub fn len(&self) -> usize {
+        self.profiles.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.profiles.is_empty()
+    }
+
+    /// The profiles.
+    pub fn profiles(&self) -> &[Profile] {
+        &self.profiles
+    }
+
+    /// Summary of runtimes Tx across the repeated runs.
+    pub fn runtime_summary(&self) -> Result<Summary, ModelError> {
+        Summary::of(&self.profiles.iter().map(|p| p.runtime).collect::<Vec<_>>())
+    }
+
+    /// Summary of one totals field across the runs.
+    pub fn totals_summary(&self, f: impl Fn(&Totals) -> f64) -> Result<Summary, ModelError> {
+        Summary::of(
+            &self
+                .profiles
+                .iter()
+                .map(|p| f(&p.totals()))
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    /// The *mean profile*: the profile whose runtime is closest to the
+    /// mean runtime. Emulation of a profile set replays a concrete run
+    /// (sample ordering matters), so we pick the most representative
+    /// one rather than averaging sample-by-sample.
+    pub fn representative(&self) -> Option<&Profile> {
+        let mean = self.runtime_summary().ok()?.mean;
+        self.profiles
+            .iter()
+            .min_by(|a, b| {
+                (a.runtime - mean)
+                    .abs()
+                    .partial_cmp(&(b.runtime - mean).abs())
+                    .unwrap()
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sample::{ComputeSample, MemorySample, NetworkSample, StorageSample};
+    use crate::tags::Tags;
+
+    fn sample(t: f64, cycles: u64, written: u64) -> Sample {
+        Sample {
+            t,
+            dt: 0.5,
+            compute: ComputeSample {
+                cycles,
+                instructions: cycles * 2,
+                stalled_frontend: cycles / 10,
+                stalled_backend: cycles / 10,
+                flops: cycles / 2,
+                threads: 1,
+            },
+            memory: MemorySample {
+                allocated: 100,
+                freed: 50,
+                rss: 1000,
+                peak: 1200,
+            },
+            storage: StorageSample {
+                bytes_read: 10,
+                bytes_written: written,
+                read_ops: 1,
+                write_ops: 1,
+            },
+            network: NetworkSample::default(),
+        }
+    }
+
+    fn profile() -> Profile {
+        let mut p = Profile::new(
+            ProfileKey::new("app", Tags::parse("steps=10")),
+            SystemInfo {
+                hostname: "thinkie".into(),
+                ncores: 4,
+                max_freq_hz: 2e9,
+                total_memory: 8 << 30,
+                load_avg: 0.0,
+            },
+            2.0,
+        );
+        p.runtime = 2.0;
+        for i in 0..4 {
+            p.push(sample(i as f64 * 0.5, 1000, 64)).unwrap();
+        }
+        p
+    }
+
+    #[test]
+    fn push_enforces_order() {
+        let mut p = profile();
+        let early = sample(0.1, 1, 1);
+        assert!(matches!(
+            p.push(early),
+            Err(ModelError::UnorderedSamples { .. })
+        ));
+        // Equal timestamps are allowed (watchers are unsynchronized).
+        let same_t = sample(1.5, 1, 1);
+        assert!(p.push(same_t).is_ok());
+    }
+
+    #[test]
+    fn totals_integrate_series() {
+        let t = profile().totals();
+        assert_eq!(t.cycles, 4000);
+        assert_eq!(t.instructions, 8000);
+        assert_eq!(t.flops, 2000);
+        assert_eq!(t.bytes_written, 256);
+        assert_eq!(t.mem_allocated, 400);
+        assert_eq!(t.mem_peak, 1200);
+        assert_eq!(t.max_threads, 1);
+    }
+
+    #[test]
+    fn derived_metrics_follow_paper_formulas() {
+        let p = profile();
+        let d = p.derived();
+        // efficiency = 4000 / (4000 + 800)
+        assert!((d.efficiency.unwrap() - 4000.0 / 4800.0).abs() < 1e-12);
+        // utilization = 4000 / (2e9 * 2.0 * 1 thread)
+        assert!((d.utilization.unwrap() - 4000.0 / 4e9).abs() < 1e-18);
+        assert!((d.ipc.unwrap() - 2.0).abs() < 1e-12);
+        assert!((d.flops_per_sec.unwrap() - 1000.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn derived_metrics_on_empty_profile() {
+        let p = Profile::new(ProfileKey::default(), SystemInfo::default(), 1.0);
+        let d = p.derived();
+        assert!(d.efficiency.is_none());
+        assert!(d.ipc.is_none());
+        assert!(d.flops_per_sec.is_none());
+    }
+
+    #[test]
+    fn downsample_preserves_totals() {
+        let p = profile();
+        let d = p.downsample(2);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.sample_rate_hz, 1.0);
+        assert_eq!(d.totals(), p.totals());
+        // And further down to a single sample.
+        let d4 = p.downsample(4);
+        assert_eq!(d4.len(), 1);
+        assert_eq!(d4.totals(), p.totals());
+    }
+
+    #[test]
+    fn downsample_uneven_chunks() {
+        let mut p = profile();
+        p.push(sample(2.0, 500, 1)).unwrap(); // 5 samples now
+        let d = p.downsample(2);
+        assert_eq!(d.len(), 3); // 2 + 2 + 1
+        assert_eq!(d.totals(), p.totals());
+    }
+
+    #[test]
+    fn observed_span_and_validate() {
+        let p = profile();
+        assert!((p.observed_span() - 2.0).abs() < 1e-12);
+        assert!(p.validate().is_ok());
+        let mut bad = p.clone();
+        bad.runtime = f64::NAN;
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let p = profile();
+        let back = Profile::from_json(&p.to_json().unwrap()).unwrap();
+        assert_eq!(p, back);
+    }
+
+    #[test]
+    fn profile_set_statistics() {
+        let mut set = ProfileSet::new();
+        for rt in [1.0, 2.0, 3.0] {
+            let mut p = profile();
+            p.runtime = rt;
+            set.push(p).unwrap();
+        }
+        let s = set.runtime_summary().unwrap();
+        assert!((s.mean - 2.0).abs() < 1e-12);
+        assert_eq!(set.len(), 3);
+        // representative = run closest to the mean runtime
+        assert!((set.representative().unwrap().runtime - 2.0).abs() < 1e-12);
+        let cyc = set.totals_summary(|t| t.cycles as f64).unwrap();
+        assert!((cyc.mean - 4000.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn profile_set_rejects_key_mismatch() {
+        let mut set = ProfileSet::new();
+        set.push(profile()).unwrap();
+        let mut other = profile();
+        other.key = ProfileKey::new("different", Tags::new());
+        assert!(set.push(other).is_err());
+    }
+}

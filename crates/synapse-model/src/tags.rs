@@ -1,0 +1,219 @@
+//! Profile identification: command lines and tags.
+//!
+//! Per the paper (§4), the application startup command and custom tags
+//! are used as the search index in the profile database. Tags
+//! distinguish profiles where the command line is identical but
+//! configuration files or environment change the actual workload (e.g.
+//! `steps=100000` for a Gromacs run).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// An ordered set of `key=value` tags attached to a profile.
+///
+/// Tags are kept in a sorted map so that two tag sets with the same
+/// content always produce the same canonical form, independent of
+/// insertion order — essential for database lookups.
+///
+/// ```
+/// use synapse_model::Tags;
+/// let stored = Tags::parse("steps=100000,host=thinkie");
+/// // Queries match on a subset of tags:
+/// assert!(stored.matches(&Tags::parse("steps=100000")));
+/// assert!(!stored.matches(&Tags::parse("steps=1")));
+/// // Canonical form is insertion-order independent:
+/// assert_eq!(stored.to_string(), "host=thinkie,steps=100000");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Tags(BTreeMap<String, String>);
+
+impl Tags {
+    /// Empty tag set.
+    pub fn new() -> Self {
+        Tags(BTreeMap::new())
+    }
+
+    /// Build from `key=value` pairs. Later duplicates win.
+    pub fn from_pairs<I, K, V>(pairs: I) -> Self
+    where
+        I: IntoIterator<Item = (K, V)>,
+        K: Into<String>,
+        V: Into<String>,
+    {
+        Tags(pairs.into_iter().map(|(k, v)| (k.into(), v.into())).collect())
+    }
+
+    /// Parse a comma-separated `k=v,k2=v2` string (the CLI format).
+    /// A bare token without `=` becomes a flag tag with empty value.
+    pub fn parse(s: &str) -> Self {
+        let mut map = BTreeMap::new();
+        for tok in s.split(',').map(str::trim).filter(|t| !t.is_empty()) {
+            match tok.split_once('=') {
+                Some((k, v)) => map.insert(k.trim().to_string(), v.trim().to_string()),
+                None => map.insert(tok.to_string(), String::new()),
+            };
+        }
+        Tags(map)
+    }
+
+    /// Insert or replace one tag; returns `self` for chaining.
+    pub fn with(mut self, key: impl Into<String>, value: impl ToString) -> Self {
+        self.0.insert(key.into(), value.to_string());
+        self
+    }
+
+    /// Look a tag value up.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.0.get(key).map(String::as_str)
+    }
+
+    /// Number of tags.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the tag set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Whether all of `other`'s tags are present with equal values.
+    /// (Database queries match on a subset: a query `{steps=100}`
+    /// matches a stored profile tagged `{steps=100, host=thinkie}`.)
+    pub fn matches(&self, query: &Tags) -> bool {
+        query.0.iter().all(|(k, v)| self.0.get(k) == Some(v))
+    }
+
+    /// Iterate `(key, value)` pairs in canonical (sorted) order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.0.iter().map(|(k, v)| (k.as_str(), v.as_str()))
+    }
+}
+
+impl fmt::Display for Tags {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (k, v) in &self.0 {
+            if !first {
+                write!(f, ",")?;
+            }
+            first = false;
+            if v.is_empty() {
+                write!(f, "{k}")?;
+            } else {
+                write!(f, "{k}={v}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The `(command, tags)` pair that identifies a family of profiles in
+/// the store.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ProfileKey {
+    /// Application startup command line.
+    pub command: String,
+    /// Workload-distinguishing tags.
+    pub tags: Tags,
+}
+
+impl ProfileKey {
+    /// Construct a key.
+    pub fn new(command: impl Into<String>, tags: Tags) -> Self {
+        ProfileKey {
+            command: command.into(),
+            tags,
+        }
+    }
+
+    /// Canonical string id, stable across tag insertion orders; used as
+    /// the index key in the document store and as file names in the
+    /// file store (after sanitisation).
+    pub fn id(&self) -> String {
+        if self.tags.is_empty() {
+            self.command.clone()
+        } else {
+            format!("{}#{}", self.command, self.tags)
+        }
+    }
+
+    /// Whether a stored key satisfies this key used as a query:
+    /// commands must be equal, stored tags must contain the query tags.
+    pub fn matches(&self, query: &ProfileKey) -> bool {
+        self.command == query.command && self.tags.matches(&query.tags)
+    }
+}
+
+impl fmt::Display for ProfileKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.id())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tags_canonical_order_is_insertion_independent() {
+        let a = Tags::new().with("b", 2).with("a", 1);
+        let b = Tags::new().with("a", 1).with("b", 2);
+        assert_eq!(a, b);
+        assert_eq!(a.to_string(), "a=1,b=2");
+    }
+
+    #[test]
+    fn parse_handles_flags_and_whitespace() {
+        let t = Tags::parse(" steps=100 , gpu ,host=thinkie ");
+        assert_eq!(t.get("steps"), Some("100"));
+        assert_eq!(t.get("gpu"), Some(""));
+        assert_eq!(t.get("host"), Some("thinkie"));
+        assert_eq!(t.len(), 3);
+        assert!(Tags::parse("").is_empty());
+    }
+
+    #[test]
+    fn display_roundtrips_through_parse() {
+        let t = Tags::parse("a=1,b,c=x");
+        let back = Tags::parse(&t.to_string());
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn subset_matching() {
+        let stored = Tags::parse("steps=100,host=thinkie");
+        assert!(stored.matches(&Tags::parse("steps=100")));
+        assert!(stored.matches(&Tags::new()));
+        assert!(!stored.matches(&Tags::parse("steps=200")));
+        assert!(!stored.matches(&Tags::parse("missing=1")));
+    }
+
+    #[test]
+    fn key_id_stable_and_command_sensitive() {
+        let k1 = ProfileKey::new("gromacs mdrun", Tags::parse("steps=100"));
+        let k2 = ProfileKey::new("gromacs mdrun", Tags::parse("steps=100"));
+        assert_eq!(k1.id(), k2.id());
+        assert!(k1.id().contains('#'));
+        let plain = ProfileKey::new("sleep 1", Tags::new());
+        assert_eq!(plain.id(), "sleep 1");
+    }
+
+    #[test]
+    fn key_query_matching() {
+        let stored = ProfileKey::new("app", Tags::parse("steps=100,host=x"));
+        assert!(stored.matches(&ProfileKey::new("app", Tags::parse("steps=100"))));
+        assert!(!stored.matches(&ProfileKey::new("other", Tags::parse("steps=100"))));
+        assert!(!stored.matches(&ProfileKey::new("app", Tags::parse("steps=1"))));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let k = ProfileKey::new("cmd", Tags::parse("a=1"));
+        let json = serde_json::to_string(&k).unwrap();
+        let back: ProfileKey = serde_json::from_str(&json).unwrap();
+        assert_eq!(k, back);
+    }
+}

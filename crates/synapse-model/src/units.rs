@@ -1,0 +1,103 @@
+//! Unit helpers: byte sizes, frequencies and durations.
+//!
+//! The paper reports quantities in a mix of units (Hz sampling rates,
+//! GHz clock speeds, bytes, MB documents, seconds). These helpers keep
+//! conversions in one place and make the experiment harness output
+//! readable.
+
+/// Number of bytes in a kibibyte.
+pub const KIB: u64 = 1024;
+/// Number of bytes in a mebibyte.
+pub const MIB: u64 = 1024 * KIB;
+/// Number of bytes in a gibibyte.
+pub const GIB: u64 = 1024 * MIB;
+
+/// One million cycles/ops — convenient for counter arithmetic.
+pub const MEGA: u64 = 1_000_000;
+/// One billion cycles/ops.
+pub const GIGA: u64 = 1_000_000_000;
+
+/// Convert a frequency in GHz to Hz.
+#[inline]
+pub fn ghz(f: f64) -> f64 {
+    f * 1e9
+}
+
+/// Convert a frequency in MHz to Hz.
+#[inline]
+pub fn mhz(f: f64) -> f64 {
+    f * 1e6
+}
+
+/// Format a byte count with a binary-prefixed unit, e.g. `1.50 MiB`.
+pub fn fmt_bytes(bytes: u64) -> String {
+    let b = bytes as f64;
+    if bytes >= GIB {
+        format!("{:.2} GiB", b / GIB as f64)
+    } else if bytes >= MIB {
+        format!("{:.2} MiB", b / MIB as f64)
+    } else if bytes >= KIB {
+        format!("{:.2} KiB", b / KIB as f64)
+    } else {
+        format!("{bytes} B")
+    }
+}
+
+/// Format an operation count with an SI prefix, e.g. `2.40 Gops`.
+pub fn fmt_ops(ops: u64) -> String {
+    let o = ops as f64;
+    if ops >= GIGA {
+        format!("{:.2} G", o / GIGA as f64)
+    } else if ops >= MEGA {
+        format!("{:.2} M", o / MEGA as f64)
+    } else if ops >= 1000 {
+        format!("{:.2} k", o / 1e3)
+    } else {
+        format!("{ops} ")
+    }
+}
+
+/// Format seconds with adaptive precision, e.g. `12.3 s` or `45 ms`.
+pub fn fmt_secs(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.1} ms", s * 1e3)
+    } else {
+        format!("{:.1} us", s * 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_formatting_uses_binary_prefixes() {
+        assert_eq!(fmt_bytes(512), "512 B");
+        assert_eq!(fmt_bytes(2048), "2.00 KiB");
+        assert_eq!(fmt_bytes(3 * MIB + MIB / 2), "3.50 MiB");
+        assert_eq!(fmt_bytes(GIB), "1.00 GiB");
+    }
+
+    #[test]
+    fn ops_formatting_uses_si_prefixes() {
+        assert_eq!(fmt_ops(999), "999 ");
+        assert_eq!(fmt_ops(1_500), "1.50 k");
+        assert_eq!(fmt_ops(2_500_000), "2.50 M");
+        assert_eq!(fmt_ops(7 * GIGA), "7.00 G");
+    }
+
+    #[test]
+    fn seconds_formatting_adapts() {
+        assert_eq!(fmt_secs(2.5), "2.500 s");
+        assert_eq!(fmt_secs(0.0123), "12.3 ms");
+        assert_eq!(fmt_secs(42e-6), "42.0 us");
+    }
+
+    #[test]
+    fn frequency_conversions() {
+        assert_eq!(ghz(2.5), 2.5e9);
+        assert_eq!(mhz(800.0), 8e8);
+    }
+}

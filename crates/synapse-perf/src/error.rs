@@ -1,0 +1,56 @@
+//! Error type for the counter layer.
+
+use std::fmt;
+
+/// Errors opening or reading hardware counters.
+#[derive(Debug)]
+pub enum PerfError {
+    /// The kernel denied `perf_event_open` (paranoid level, seccomp,
+    /// missing PMU). The caller should fall back to the calibrated
+    /// model.
+    NotPermitted(i32),
+    /// A syscall failed for another reason.
+    Sys {
+        /// The call that failed.
+        call: &'static str,
+        /// errno value.
+        errno: i32,
+    },
+    /// Reading a counter returned a short or malformed value.
+    BadRead(String),
+    /// The target process vanished.
+    ProcessGone(i32),
+}
+
+impl fmt::Display for PerfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PerfError::NotPermitted(errno) => {
+                write!(f, "perf_event_open not permitted (errno {errno})")
+            }
+            PerfError::Sys { call, errno } => write!(f, "{call} failed with errno {errno}"),
+            PerfError::BadRead(what) => write!(f, "bad counter read: {what}"),
+            PerfError::ProcessGone(pid) => write!(f, "process {pid} is gone"),
+        }
+    }
+}
+
+impl std::error::Error for PerfError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(PerfError::NotPermitted(1).to_string().contains("permitted"));
+        assert!(PerfError::Sys {
+            call: "read",
+            errno: 9
+        }
+        .to_string()
+        .contains("read"));
+        assert!(PerfError::BadRead("short".into()).to_string().contains("short"));
+        assert!(PerfError::ProcessGone(5).to_string().contains('5'));
+    }
+}

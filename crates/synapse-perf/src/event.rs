@@ -1,0 +1,126 @@
+//! Hardware event identifiers and counter snapshots.
+
+/// The hardware events Synapse profiles (the compute rows of Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HardwareEvent {
+    /// CPU cycles attributed to the task (`perf stat`'s `cycles`).
+    Cycles,
+    /// Retired instructions.
+    Instructions,
+    /// Cycles during which the frontend stalled.
+    StalledFrontend,
+    /// Cycles during which the backend stalled.
+    StalledBackend,
+}
+
+impl HardwareEvent {
+    /// All events a counter group tracks, in snapshot order.
+    pub const ALL: [HardwareEvent; 4] = [
+        HardwareEvent::Cycles,
+        HardwareEvent::Instructions,
+        HardwareEvent::StalledFrontend,
+        HardwareEvent::StalledBackend,
+    ];
+
+    /// The `perf_event_open` config value for this event
+    /// (PERF_COUNT_HW_*).
+    pub fn perf_config(self) -> u64 {
+        match self {
+            // Values from include/uapi/linux/perf_event.h.
+            HardwareEvent::Cycles => 0,          // PERF_COUNT_HW_CPU_CYCLES
+            HardwareEvent::Instructions => 1,    // PERF_COUNT_HW_INSTRUCTIONS
+            HardwareEvent::StalledFrontend => 7, // PERF_COUNT_HW_STALLED_CYCLES_FRONTEND
+            HardwareEvent::StalledBackend => 8,  // PERF_COUNT_HW_STALLED_CYCLES_BACKEND
+        }
+    }
+
+    /// Human-readable name (matches `perf stat` output naming).
+    pub fn name(self) -> &'static str {
+        match self {
+            HardwareEvent::Cycles => "cycles",
+            HardwareEvent::Instructions => "instructions",
+            HardwareEvent::StalledFrontend => "stalled-cycles-frontend",
+            HardwareEvent::StalledBackend => "stalled-cycles-backend",
+        }
+    }
+}
+
+/// Cumulative counter values since a session was attached.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CounterSnapshot {
+    /// Used CPU cycles.
+    pub cycles: u64,
+    /// Retired instructions.
+    pub instructions: u64,
+    /// Frontend-stalled cycles.
+    pub stalled_frontend: u64,
+    /// Backend-stalled cycles.
+    pub stalled_backend: u64,
+}
+
+impl CounterSnapshot {
+    /// Saturating counter-wise difference (`self - earlier`), for
+    /// converting cumulative readings into per-sample deltas.
+    pub fn delta_since(&self, earlier: &CounterSnapshot) -> CounterSnapshot {
+        CounterSnapshot {
+            cycles: self.cycles.saturating_sub(earlier.cycles),
+            instructions: self.instructions.saturating_sub(earlier.instructions),
+            stalled_frontend: self.stalled_frontend.saturating_sub(earlier.stalled_frontend),
+            stalled_backend: self.stalled_backend.saturating_sub(earlier.stalled_backend),
+        }
+    }
+
+    /// Instructions per used cycle, `None` when no cycles elapsed.
+    pub fn ipc(&self) -> Option<f64> {
+        if self.cycles == 0 {
+            None
+        } else {
+            Some(self.instructions as f64 / self.cycles as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perf_configs_match_kernel_abi() {
+        assert_eq!(HardwareEvent::Cycles.perf_config(), 0);
+        assert_eq!(HardwareEvent::Instructions.perf_config(), 1);
+        assert_eq!(HardwareEvent::StalledFrontend.perf_config(), 7);
+        assert_eq!(HardwareEvent::StalledBackend.perf_config(), 8);
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let names: std::collections::HashSet<_> =
+            HardwareEvent::ALL.iter().map(|e| e.name()).collect();
+        assert_eq!(names.len(), 4);
+    }
+
+    #[test]
+    fn snapshot_delta_and_ipc() {
+        let a = CounterSnapshot {
+            cycles: 100,
+            instructions: 250,
+            stalled_frontend: 10,
+            stalled_backend: 20,
+        };
+        let b = CounterSnapshot {
+            cycles: 300,
+            instructions: 650,
+            stalled_frontend: 15,
+            stalled_backend: 40,
+        };
+        let d = b.delta_since(&a);
+        assert_eq!(d.cycles, 200);
+        assert_eq!(d.instructions, 400);
+        assert_eq!(d.stalled_frontend, 5);
+        assert_eq!(d.stalled_backend, 20);
+        assert!((d.ipc().unwrap() - 2.0).abs() < 1e-12);
+        assert!(CounterSnapshot::default().ipc().is_none());
+        // Saturating on reset.
+        assert_eq!(a.delta_since(&b).cycles, 0);
+    }
+}

@@ -1,0 +1,25 @@
+#![warn(missing_docs)]
+
+//! A miniature pilot-job agent executing Synapse proxy tasks.
+//!
+//! Use case 2.1 of the paper: RADICAL-Pilot's agent must be engineered
+//! for "optimal resource utilization while maintaining full
+//! generality" across task shapes — and Synapse proxy tasks are the
+//! tool for exercising it without deploying real scientific codes.
+//! This crate provides that downstream consumer: a node-local pilot
+//! agent with core slots, a FIFO/backfill scheduler, and tasks whose
+//! runtimes come from emulating Synapse profiles on a machine model.
+//!
+//! The agent runs in virtual time, so middleware experiments
+//! (scheduler policies, task heterogeneity, pilot sizing) execute in
+//! microseconds regardless of the workload's nominal hours.
+
+pub mod agent;
+pub mod report;
+pub mod skeleton;
+pub mod task;
+
+pub use agent::{PilotAgent, SchedulerPolicy};
+pub use report::{ScheduleReport, TaskRecord};
+pub use skeleton::{Skeleton, SkeletonError};
+pub use task::{ProxyTask, TaskState};

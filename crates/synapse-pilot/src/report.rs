@@ -1,0 +1,92 @@
+//! Schedule reports: what the pilot agent did with a workload.
+
+/// Execution record of one task.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskRecord {
+    /// Task id.
+    pub id: String,
+    /// Cores occupied.
+    pub cores: u32,
+    /// Virtual start time (seconds since agent start).
+    pub start: f64,
+    /// Virtual end time.
+    pub end: f64,
+}
+
+impl TaskRecord {
+    /// Task duration.
+    pub fn duration(&self) -> f64 {
+        self.end - self.start
+    }
+}
+
+/// Outcome of executing a workload through the agent.
+#[derive(Debug, Clone, Default)]
+pub struct ScheduleReport {
+    /// Per-task records, in completion order.
+    pub tasks: Vec<TaskRecord>,
+    /// Total cores of the pilot.
+    pub total_cores: u32,
+    /// Time the last task finished.
+    pub makespan: f64,
+}
+
+impl ScheduleReport {
+    /// Core-seconds actually used divided by core-seconds available:
+    /// the utilization metric pilot developers optimize (use case 2.1).
+    pub fn utilization(&self) -> f64 {
+        if self.makespan <= 0.0 || self.total_cores == 0 {
+            return 0.0;
+        }
+        let used: f64 = self
+            .tasks
+            .iter()
+            .map(|t| t.duration() * t.cores as f64)
+            .sum();
+        used / (self.makespan * self.total_cores as f64)
+    }
+
+    /// Mean task turnaround (start→end).
+    pub fn mean_duration(&self) -> f64 {
+        if self.tasks.is_empty() {
+            return 0.0;
+        }
+        self.tasks.iter().map(TaskRecord::duration).sum::<f64>() / self.tasks.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utilization_of_perfect_packing() {
+        let report = ScheduleReport {
+            tasks: vec![
+                TaskRecord { id: "a".into(), cores: 2, start: 0.0, end: 10.0 },
+                TaskRecord { id: "b".into(), cores: 2, start: 0.0, end: 10.0 },
+            ],
+            total_cores: 4,
+            makespan: 10.0,
+        };
+        assert!((report.utilization() - 1.0).abs() < 1e-12);
+        assert!((report.mean_duration() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn utilization_of_half_idle_pilot() {
+        let report = ScheduleReport {
+            tasks: vec![TaskRecord { id: "a".into(), cores: 1, start: 0.0, end: 10.0 }],
+            total_cores: 2,
+            makespan: 10.0,
+        };
+        assert!((report.utilization() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_reports_are_zero() {
+        let empty = ScheduleReport::default();
+        assert_eq!(empty.utilization(), 0.0);
+        assert_eq!(empty.mean_duration(), 0.0);
+    }
+}

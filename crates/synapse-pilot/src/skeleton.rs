@@ -1,0 +1,355 @@
+//! Application Skeletons integration: DAGs of proxy tasks.
+//!
+//! The paper's related work (§7, ref. [24] Katz et al.) discusses how
+//! "Synapse can be used to complement Application Skeletons, in that
+//! it provides configuration parameters at the level of individual DAG
+//! components": Skeletons describe the logical and data dependencies
+//! between application components, Synapse makes each component a
+//! tunable proxy. This module provides that DAG layer on top of the
+//! pilot agent: tasks with explicit dependencies, executed in
+//! dependency order under the node's core constraints.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use synapse_sim::MachineModel;
+
+use crate::report::{ScheduleReport, TaskRecord};
+use crate::task::ProxyTask;
+
+/// A DAG of proxy tasks.
+#[derive(Default)]
+pub struct Skeleton {
+    tasks: Vec<ProxyTask>,
+    /// Edges by task id: `deps[b]` contains `a` when `a → b`.
+    deps: BTreeMap<String, BTreeSet<String>>,
+}
+
+/// Errors constructing or executing a skeleton.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SkeletonError {
+    /// A dependency references an unknown task id.
+    UnknownTask(String),
+    /// A task id was added twice.
+    DuplicateTask(String),
+    /// The dependency graph contains a cycle involving this task.
+    Cycle(String),
+}
+
+impl std::fmt::Display for SkeletonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SkeletonError::UnknownTask(id) => write!(f, "unknown task {id}"),
+            SkeletonError::DuplicateTask(id) => write!(f, "duplicate task {id}"),
+            SkeletonError::Cycle(id) => write!(f, "dependency cycle through {id}"),
+        }
+    }
+}
+
+impl std::error::Error for SkeletonError {}
+
+impl Skeleton {
+    /// Empty skeleton.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a task node.
+    pub fn add_task(&mut self, task: ProxyTask) -> Result<(), SkeletonError> {
+        if self.tasks.iter().any(|t| t.id == task.id) {
+            return Err(SkeletonError::DuplicateTask(task.id));
+        }
+        self.deps.entry(task.id.clone()).or_default();
+        self.tasks.push(task);
+        Ok(())
+    }
+
+    /// Declare that `after` depends on (runs after) `before`.
+    pub fn add_dependency(
+        &mut self,
+        before: &str,
+        after: &str,
+    ) -> Result<(), SkeletonError> {
+        for id in [before, after] {
+            if !self.tasks.iter().any(|t| t.id == id) {
+                return Err(SkeletonError::UnknownTask(id.to_string()));
+            }
+        }
+        self.deps
+            .entry(after.to_string())
+            .or_default()
+            .insert(before.to_string());
+        Ok(())
+    }
+
+    /// Number of task nodes.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Whether the skeleton has no tasks.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Convenience: an ensemble pipeline of `stages`, where every task
+    /// of stage `i+1` depends on every task of stage `i` (the
+    /// Ensemble-Toolkit pattern of use case 2.3).
+    pub fn pipeline(stages: Vec<Vec<ProxyTask>>) -> Result<Skeleton, SkeletonError> {
+        let mut sk = Skeleton::new();
+        let mut prev_ids: Vec<String> = Vec::new();
+        for stage in stages {
+            let ids: Vec<String> = stage.iter().map(|t| t.id.clone()).collect();
+            for task in stage {
+                sk.add_task(task)?;
+            }
+            for before in &prev_ids {
+                for after in &ids {
+                    sk.add_dependency(before, after)?;
+                }
+            }
+            prev_ids = ids;
+        }
+        Ok(sk)
+    }
+
+    /// Execute the DAG on a machine in virtual time.
+    ///
+    /// Event-driven list scheduling: a task becomes *eligible* when
+    /// all its dependencies completed; eligible tasks start when
+    /// enough cores are free (smaller-first backfill among eligibles).
+    pub fn execute(&self, machine: &MachineModel) -> Result<ScheduleReport, SkeletonError> {
+        self.check_acyclic()?;
+        let total_cores = machine.cpu.ncores;
+        let mut done: BTreeSet<String> = BTreeSet::new();
+        let mut done_time: BTreeMap<String, f64> = BTreeMap::new();
+        let mut running: Vec<(f64, String, u32)> = Vec::new(); // (end, id, cores)
+        let mut pending: Vec<&ProxyTask> = self.tasks.iter().collect();
+        let mut free = total_cores;
+        let mut now = 0.0f64;
+        let mut records = Vec::with_capacity(self.tasks.len());
+
+        while !pending.is_empty() || !running.is_empty() {
+            // Start every eligible task that fits, smallest first.
+            let mut started: Vec<usize> = Vec::new();
+            let mut eligible: Vec<(usize, &ProxyTask)> = pending
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| {
+                    self.deps[&t.id].iter().all(|d| done.contains(d))
+                })
+                .map(|(i, t)| (i, *t))
+                .collect();
+            eligible.sort_by_key(|(_, t)| t.cores);
+            for (idx, task) in eligible {
+                let cores = task.cores.min(total_cores);
+                if cores <= free {
+                    // A task may not start before its dependencies'
+                    // completion instants.
+                    let ready_at = self.deps[&task.id]
+                        .iter()
+                        .map(|d| done_time[d])
+                        .fold(0.0f64, f64::max);
+                    let start = now.max(ready_at);
+                    let duration = task.duration_on(machine);
+                    records.push(TaskRecord {
+                        id: task.id.clone(),
+                        cores,
+                        start,
+                        end: start + duration,
+                    });
+                    running.push((start + duration, task.id.clone(), cores));
+                    free -= cores;
+                    started.push(idx);
+                }
+            }
+            started.sort_unstable_by(|a, b| b.cmp(a));
+            for idx in started {
+                pending.remove(idx);
+            }
+
+            // Advance to the next completion.
+            if running.is_empty() {
+                if !pending.is_empty() {
+                    // Nothing runnable and nothing running: the DAG is
+                    // acyclic (checked), so this cannot happen.
+                    unreachable!("scheduler stalled on an acyclic DAG");
+                }
+                break;
+            }
+            running.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+            let (end, id, cores) = running.remove(0);
+            now = now.max(end);
+            free += cores;
+            done_time.insert(id.clone(), end);
+            done.insert(id);
+        }
+
+        records.sort_by(|a, b| a.end.partial_cmp(&b.end).unwrap());
+        let makespan = records.last().map_or(0.0, |r| r.end);
+        Ok(ScheduleReport {
+            tasks: records,
+            total_cores,
+            makespan,
+        })
+    }
+
+    /// Kahn's algorithm cycle check.
+    fn check_acyclic(&self) -> Result<(), SkeletonError> {
+        let mut indeg: BTreeMap<&str, usize> = self
+            .tasks
+            .iter()
+            .map(|t| (t.id.as_str(), self.deps[&t.id].len()))
+            .collect();
+        let mut queue: Vec<&str> = indeg
+            .iter()
+            .filter(|(_, &d)| d == 0)
+            .map(|(&id, _)| id)
+            .collect();
+        let mut seen = 0usize;
+        while let Some(id) = queue.pop() {
+            seen += 1;
+            for (after, befores) in &self.deps {
+                if befores.contains(id) {
+                    let d = indeg.get_mut(after.as_str()).expect("known task");
+                    *d -= 1;
+                    if *d == 0 {
+                        queue.push(after);
+                    }
+                }
+            }
+        }
+        if seen != self.tasks.len() {
+            let stuck = indeg
+                .iter()
+                .find(|(_, &d)| d > 0)
+                .map(|(&id, _)| id.to_string())
+                .unwrap_or_default();
+            return Err(SkeletonError::Cycle(stuck));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use synapse::emulator::EmulationPlan;
+    use synapse_model::{Profile, ProfileKey, Sample, SystemInfo, Tags};
+    use synapse_sim::titan;
+
+    fn task(id: &str, cores: u32, cycles: u64) -> ProxyTask {
+        let mut p = Profile::new(
+            ProfileKey::new("t", Tags::new()),
+            SystemInfo::default(),
+            1.0,
+        );
+        p.runtime = 1.0;
+        let mut s = Sample::at(0.0, 1.0);
+        s.compute.cycles = cycles;
+        p.push(s).unwrap();
+        ProxyTask::new(
+            id,
+            cores,
+            p,
+            EmulationPlan {
+                sim_startup_seconds: 0.1,
+                ..Default::default()
+            },
+        )
+    }
+
+    #[test]
+    fn linear_chain_serializes() {
+        let mut sk = Skeleton::new();
+        for id in ["a", "b", "c"] {
+            sk.add_task(task(id, 4, 5_000_000_000)).unwrap();
+        }
+        sk.add_dependency("a", "b").unwrap();
+        sk.add_dependency("b", "c").unwrap();
+        let report = sk.execute(&titan()).unwrap();
+        let by_id = |id: &str| report.tasks.iter().find(|t| t.id == id).unwrap().clone();
+        assert!(by_id("b").start >= by_id("a").end - 1e-9);
+        assert!(by_id("c").start >= by_id("b").end - 1e-9);
+    }
+
+    #[test]
+    fn independent_tasks_run_concurrently() {
+        let mut sk = Skeleton::new();
+        for i in 0..4 {
+            sk.add_task(task(&format!("t{i}"), 4, 5_000_000_000)).unwrap();
+        }
+        let report = sk.execute(&titan()).unwrap();
+        assert!(report.tasks.iter().all(|t| t.start == 0.0));
+        assert!(report.utilization() > 0.9);
+    }
+
+    #[test]
+    fn diamond_dag_respects_both_branches() {
+        // a -> (b, c) -> d; b is much longer than c.
+        let mut sk = Skeleton::new();
+        sk.add_task(task("a", 2, 1_000_000_000)).unwrap();
+        sk.add_task(task("b", 2, 20_000_000_000)).unwrap();
+        sk.add_task(task("c", 2, 2_000_000_000)).unwrap();
+        sk.add_task(task("d", 2, 1_000_000_000)).unwrap();
+        for (x, y) in [("a", "b"), ("a", "c"), ("b", "d"), ("c", "d")] {
+            sk.add_dependency(x, y).unwrap();
+        }
+        let report = sk.execute(&titan()).unwrap();
+        let by_id = |id: &str| report.tasks.iter().find(|t| t.id == id).unwrap().clone();
+        // d waits for the longer branch.
+        assert!(by_id("d").start >= by_id("b").end - 1e-9);
+        // b and c overlap (both depend only on a).
+        assert!(by_id("c").start < by_id("b").end);
+    }
+
+    #[test]
+    fn pipeline_builder_is_stage_ordered() {
+        let stages = vec![
+            (0..3).map(|i| task(&format!("sim{i}"), 4, 8_000_000_000)).collect(),
+            vec![task("analysis", 8, 2_000_000_000)],
+            (0..3).map(|i| task(&format!("sim2-{i}"), 4, 8_000_000_000)).collect(),
+        ];
+        let sk = Skeleton::pipeline(stages).unwrap();
+        assert_eq!(sk.len(), 7);
+        let report = sk.execute(&titan()).unwrap();
+        let by_id = |id: &str| report.tasks.iter().find(|t| t.id == id).unwrap().clone();
+        let stage0_end = (0..3)
+            .map(|i| by_id(&format!("sim{i}")).end)
+            .fold(0.0f64, f64::max);
+        assert!(by_id("analysis").start >= stage0_end - 1e-9);
+        assert!(by_id("sim2-0").start >= by_id("analysis").end - 1e-9);
+    }
+
+    #[test]
+    fn cycles_are_rejected() {
+        let mut sk = Skeleton::new();
+        sk.add_task(task("a", 1, 1)).unwrap();
+        sk.add_task(task("b", 1, 1)).unwrap();
+        sk.add_dependency("a", "b").unwrap();
+        sk.add_dependency("b", "a").unwrap();
+        assert!(matches!(sk.execute(&titan()), Err(SkeletonError::Cycle(_))));
+    }
+
+    #[test]
+    fn unknown_and_duplicate_tasks_are_rejected() {
+        let mut sk = Skeleton::new();
+        sk.add_task(task("a", 1, 1)).unwrap();
+        assert!(matches!(
+            sk.add_task(task("a", 1, 1)),
+            Err(SkeletonError::DuplicateTask(_))
+        ));
+        assert!(matches!(
+            sk.add_dependency("a", "ghost"),
+            Err(SkeletonError::UnknownTask(_))
+        ));
+    }
+
+    #[test]
+    fn empty_skeleton_executes_trivially() {
+        let sk = Skeleton::new();
+        assert!(sk.is_empty());
+        let report = sk.execute(&titan()).unwrap();
+        assert!(report.tasks.is_empty());
+        assert_eq!(report.makespan, 0.0);
+    }
+}

@@ -1,0 +1,81 @@
+//! Error type for process introspection.
+
+use std::fmt;
+
+/// Errors reading or parsing `/proc` data and process accounting.
+#[derive(Debug)]
+pub enum ProcError {
+    /// Filesystem failure (including ENOENT for vanished processes).
+    Io(std::io::Error),
+    /// A `/proc` file did not have the expected shape.
+    Parse {
+        /// Which file was being parsed.
+        what: &'static str,
+        /// What went wrong.
+        reason: String,
+    },
+    /// The observed process exited before/while being sampled.
+    ProcessGone(i32),
+    /// A libc call failed.
+    Sys {
+        /// The libc call.
+        call: &'static str,
+        /// errno value.
+        errno: i32,
+    },
+}
+
+impl fmt::Display for ProcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProcError::Io(e) => write!(f, "io error: {e}"),
+            ProcError::Parse { what, reason } => write!(f, "cannot parse {what}: {reason}"),
+            ProcError::ProcessGone(pid) => write!(f, "process {pid} is gone"),
+            ProcError::Sys { call, errno } => write!(f, "{call} failed with errno {errno}"),
+        }
+    }
+}
+
+impl std::error::Error for ProcError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ProcError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ProcError {
+    fn from(e: std::io::Error) -> Self {
+        ProcError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(ProcError::ProcessGone(42).to_string().contains("42"));
+        assert!(ProcError::Parse {
+            what: "stat",
+            reason: "short".into()
+        }
+        .to_string()
+        .contains("stat"));
+        assert!(ProcError::Sys {
+            call: "getrusage",
+            errno: 22
+        }
+        .to_string()
+        .contains("getrusage"));
+    }
+
+    #[test]
+    fn io_conversion_preserves_source() {
+        use std::error::Error;
+        let e: ProcError = std::io::Error::new(std::io::ErrorKind::NotFound, "gone").into();
+        assert!(e.source().is_some());
+    }
+}

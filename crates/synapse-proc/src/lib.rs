@@ -1,0 +1,37 @@
+#![warn(missing_docs)]
+
+//! OS process introspection for the Synapse profiler.
+//!
+//! The paper's profiler "uses the perf-stat utility to inspect CPU
+//! activity, the /proc/ filesystem to read system counters on memory
+//! and disk I/O, and the POSIX rusage call to obtain runtime process
+//! information" (§4.1). This crate implements the `/proc` and `rusage`
+//! parts natively:
+//!
+//! * [`pidstat`] — `/proc/<pid>/stat` (CPU time, thread count, state),
+//! * [`pidstatus`] — `/proc/<pid>/status` (VmRSS, VmPeak, VmSize),
+//! * [`pidio`] — `/proc/<pid>/io` (bytes read/written, syscall counts),
+//! * [`sysinfo`] — host facts (`/proc/cpuinfo`, `/proc/meminfo`,
+//!   load averages) for the "System" block of Table 1,
+//! * [`rusage`] — `getrusage(2)` / `wait4(2)` process accounting,
+//! * [`timev`] — a `time -v` analogue used to correct the profiler
+//!   startup offset (§4.1).
+//!
+//! All parsers are pure functions over text so they are unit-testable
+//! without a live process; thin I/O wrappers read the actual files.
+
+pub mod error;
+pub mod pidio;
+pub mod pidstat;
+pub mod pidstatus;
+pub mod rusage;
+pub mod sysinfo;
+pub mod timev;
+
+pub use error::ProcError;
+pub use pidio::{read_pid_io, PidIo};
+pub use pidstat::{read_pid_stat, PidStat};
+pub use pidstatus::{read_pid_status, PidStatus};
+pub use rusage::{rusage_children, rusage_self, ResourceUsage};
+pub use sysinfo::{host_system_info, read_loadavg, LoadAvg};
+pub use timev::{TimedChild, TimedResult};

@@ -1,0 +1,137 @@
+//! `/proc/<pid>/status` parsing: memory gauges (VmRSS, VmPeak, VmSize).
+
+use std::fs;
+
+use crate::error::ProcError;
+
+/// Memory-related fields of `/proc/<pid>/status`, in bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PidStatus {
+    /// Current resident set size.
+    pub vm_rss: u64,
+    /// Peak resident set size ("high water mark").
+    pub vm_hwm: u64,
+    /// Current virtual memory size.
+    pub vm_size: u64,
+    /// Peak virtual memory size.
+    pub vm_peak: u64,
+    /// Number of threads.
+    pub threads: u32,
+}
+
+/// Parse the content of a `/proc/<pid>/status` file.
+///
+/// Unknown lines are ignored; missing memory lines (kernel threads)
+/// default to zero, matching the profiler's "no data" semantics.
+pub fn parse_pid_status(content: &str) -> Result<PidStatus, ProcError> {
+    let mut out = PidStatus::default();
+    for line in content.lines() {
+        let Some((key, value)) = line.split_once(':') else {
+            continue;
+        };
+        let value = value.trim();
+        match key.trim() {
+            "VmRSS" => out.vm_rss = parse_kb(value)?,
+            "VmHWM" => out.vm_hwm = parse_kb(value)?,
+            "VmSize" => out.vm_size = parse_kb(value)?,
+            "VmPeak" => out.vm_peak = parse_kb(value)?,
+            "Threads" => {
+                out.threads = value.parse().map_err(|e| ProcError::Parse {
+                    what: "pid/status",
+                    reason: format!("Threads: {e}"),
+                })?
+            }
+            _ => {}
+        }
+    }
+    Ok(out)
+}
+
+/// Parse a `<n> kB` memory value into bytes.
+fn parse_kb(value: &str) -> Result<u64, ProcError> {
+    let num = value
+        .split_whitespace()
+        .next()
+        .ok_or_else(|| ProcError::Parse {
+            what: "pid/status",
+            reason: format!("empty memory value: {value:?}"),
+        })?;
+    let kb: u64 = num.parse().map_err(|e| ProcError::Parse {
+        what: "pid/status",
+        reason: format!("memory value {value:?}: {e}"),
+    })?;
+    Ok(kb * 1024)
+}
+
+/// Read and parse `/proc/<pid>/status` for a live process.
+pub fn read_pid_status(pid: i32) -> Result<PidStatus, ProcError> {
+    let path = format!("/proc/{pid}/status");
+    match fs::read_to_string(&path) {
+        Ok(content) => parse_pid_status(&content),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Err(ProcError::ProcessGone(pid)),
+        Err(e) => Err(e.into()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const STATUS: &str = "\
+Name:\tgromacs\n\
+Umask:\t0022\n\
+State:\tR (running)\n\
+VmPeak:\t  123456 kB\n\
+VmSize:\t  100000 kB\n\
+VmHWM:\t    8192 kB\n\
+VmRSS:\t    4096 kB\n\
+Threads:\t4\n\
+voluntary_ctxt_switches:\t100\n";
+
+    #[test]
+    fn parses_memory_fields_to_bytes() {
+        let s = parse_pid_status(STATUS).unwrap();
+        assert_eq!(s.vm_rss, 4096 * 1024);
+        assert_eq!(s.vm_hwm, 8192 * 1024);
+        assert_eq!(s.vm_size, 100000 * 1024);
+        assert_eq!(s.vm_peak, 123456 * 1024);
+        assert_eq!(s.threads, 4);
+    }
+
+    #[test]
+    fn missing_fields_default_to_zero() {
+        let s = parse_pid_status("Name:\tkthreadd\nThreads:\t1\n").unwrap();
+        assert_eq!(s.vm_rss, 0);
+        assert_eq!(s.vm_peak, 0);
+        assert_eq!(s.threads, 1);
+    }
+
+    #[test]
+    fn malformed_values_are_errors() {
+        assert!(parse_pid_status("VmRSS:\tnot-a-number kB\n").is_err());
+        assert!(parse_pid_status("Threads:\tmany\n").is_err());
+        assert!(parse_pid_status("VmRSS:\n").is_err());
+    }
+
+    #[test]
+    fn unknown_lines_ignored() {
+        let s = parse_pid_status("SomeNewKernelField:\t77\nVmRSS:\t1 kB\n").unwrap();
+        assert_eq!(s.vm_rss, 1024);
+    }
+
+    #[test]
+    fn reads_own_process() {
+        let s = read_pid_status(std::process::id() as i32).unwrap();
+        assert!(s.vm_rss > 0, "a running Rust test has resident memory");
+        assert!(s.threads >= 1);
+        assert!(s.vm_hwm >= s.vm_rss || s.vm_hwm == 0);
+    }
+
+    #[test]
+    fn vanished_process_reports_gone() {
+        assert!(matches!(
+            read_pid_status(i32::MAX),
+            Err(ProcError::ProcessGone(_))
+        ));
+    }
+}

@@ -1,0 +1,154 @@
+//! Parallel scaling models for E.4 ("Emulating Parallel Execution").
+//!
+//! Synapse distributes the compute emulation over OpenMP threads or
+//! MPI ranks. The paper observes good scaling at small core counts and
+//! diminishing returns near the full node ("overall system stress
+//! limits potential performance gains"), with machine-dependent
+//! ordering: OpenMP beats MPI on Titan but loses on Supermic.
+//!
+//! We model the parallel execution time of a fixed work volume W as
+//!
+//! ```text
+//! t(n) = startup(n) + (W / n) × (1 + contention(n))
+//! startup(n)    = s₀ + s₁ × n                  (thread/rank launch)
+//! contention(n) = c × (n - 1) / ncores         (shared-resource stress)
+//! ```
+//!
+//! with per-mode parameters (`s₀`, `s₁`, `c`). Threads share memory so
+//! their per-thread startup is cheap but contention higher; ranks pay
+//! per-process startup and duplicated resources but less sharing —
+//! which of the two wins at a given `n` depends on the machine's
+//! parameter set, exactly the crossover the paper reports.
+
+use serde::{Deserialize, Serialize};
+
+/// The two single-node parallelization modes Synapse emulation offers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ParallelMode {
+    /// Thread-based data parallelism (the paper's OpenMP kernels).
+    OpenMp,
+    /// Process-based parallelism (the paper's OpenMPI emulation).
+    Mpi,
+}
+
+impl ParallelMode {
+    /// Display name matching the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            ParallelMode::OpenMp => "OpenMP",
+            ParallelMode::Mpi => "OpenMPI",
+        }
+    }
+}
+
+/// Scaling-cost parameters of one mode on one machine.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ParallelModel {
+    /// Fixed startup cost in seconds (runtime/communicator setup).
+    pub startup_fixed: f64,
+    /// Per-worker startup cost in seconds.
+    pub startup_per_worker: f64,
+    /// Contention coefficient: fractional slowdown per worker relative
+    /// to the node's core count.
+    pub contention: f64,
+}
+
+impl ParallelModel {
+    /// Execution time of `serial_seconds` of work spread over `n`
+    /// workers on a node with `ncores` cores.
+    pub fn time(&self, serial_seconds: f64, n: u32, ncores: u32) -> f64 {
+        let n = n.max(1) as f64;
+        let ncores = ncores.max(1) as f64;
+        let startup = self.startup_fixed + self.startup_per_worker * n;
+        let contention = self.contention * (n - 1.0) / ncores;
+        startup + (serial_seconds / n) * (1.0 + contention)
+    }
+
+    /// Speedup relative to one worker.
+    pub fn speedup(&self, serial_seconds: f64, n: u32, ncores: u32) -> f64 {
+        self.time(serial_seconds, 1, ncores) / self.time(serial_seconds, n, ncores)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> ParallelModel {
+        ParallelModel {
+            startup_fixed: 0.2,
+            startup_per_worker: 0.05,
+            contention: 0.8,
+        }
+    }
+
+    #[test]
+    fn scaling_improves_then_saturates() {
+        let m = model();
+        let w = 100.0;
+        let t1 = m.time(w, 1, 16);
+        let t4 = m.time(w, 4, 16);
+        let t16 = m.time(w, 16, 16);
+        assert!(t4 < t1, "4 workers beat 1");
+        assert!(t16 < t4, "16 workers beat 4 for large work");
+        // Speedup is sublinear near the full node.
+        let s16 = m.speedup(w, 16, 16);
+        assert!(s16 < 16.0, "contention prevents linear speedup, got {s16}");
+        assert!(s16 > 4.0, "but parallelism still pays off, got {s16}");
+    }
+
+    #[test]
+    fn small_work_is_dominated_by_startup() {
+        let m = model();
+        // 0.1 s of work: launching 16 workers costs more than it saves.
+        assert!(m.time(0.1, 16, 16) > m.time(0.1, 1, 16));
+    }
+
+    #[test]
+    fn diminishing_returns_monotone_in_contention() {
+        let low = ParallelModel {
+            contention: 0.1,
+            ..model()
+        };
+        let high = ParallelModel {
+            contention: 2.0,
+            ..model()
+        };
+        assert!(low.speedup(100.0, 16, 16) > high.speedup(100.0, 16, 16));
+    }
+
+    #[test]
+    fn n_zero_clamps_to_one() {
+        let m = model();
+        assert_eq!(m.time(10.0, 0, 16), m.time(10.0, 1, 16));
+    }
+
+    #[test]
+    fn mode_names_match_paper() {
+        assert_eq!(ParallelMode::OpenMp.name(), "OpenMP");
+        assert_eq!(ParallelMode::Mpi.name(), "OpenMPI");
+    }
+
+    #[test]
+    fn crossover_between_modes_is_parameter_driven() {
+        // Titan-like: threads cheap, contention moderate -> OpenMP wins.
+        let omp = ParallelModel {
+            startup_fixed: 0.1,
+            startup_per_worker: 0.01,
+            contention: 0.5,
+        };
+        let mpi = ParallelModel {
+            startup_fixed: 0.5,
+            startup_per_worker: 0.08,
+            contention: 0.4,
+        };
+        let w = 60.0;
+        assert!(omp.time(w, 16, 16) < mpi.time(w, 16, 16));
+        // Supermic-like: heavier thread contention -> MPI wins.
+        let omp2 = ParallelModel {
+            contention: 2.5,
+            ..omp
+        };
+        assert!(mpi.time(w, 20, 20) < omp2.time(w, 20, 20));
+    }
+}

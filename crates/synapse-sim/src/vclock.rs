@@ -1,0 +1,104 @@
+//! Virtual time for simulated executions.
+
+/// A virtual clock: simulated executions advance it instead of
+/// sleeping. Time is in seconds, monotone, and supports the "max of
+//  concurrent branches" pattern the emulator's concurrent atoms need.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct VirtualClock {
+    now: f64,
+}
+
+impl VirtualClock {
+    /// A clock at t = 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current virtual time in seconds.
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Advance by a non-negative duration (negative/NaN inputs are
+    /// clamped to zero — simulation cost functions can round to tiny
+    /// negatives through float error).
+    pub fn advance(&mut self, dt: f64) {
+        if dt.is_finite() && dt > 0.0 {
+            self.now += dt;
+        }
+    }
+
+    /// Advance to an absolute time, never moving backwards.
+    pub fn advance_to(&mut self, t: f64) {
+        if t.is_finite() && t > self.now {
+            self.now = t;
+        }
+    }
+
+    /// Run several concurrent branches starting now: each closure gets
+    /// its own copy of the clock, and the parent clock jumps to the
+    /// *latest* finish time (a barrier, like the emulator's per-sample
+    /// "all atoms complete" semantics).
+    pub fn concurrently<F>(&mut self, branches: &mut [F])
+    where
+        F: FnMut(&mut VirtualClock),
+    {
+        let start = *self;
+        let mut latest = self.now;
+        for branch in branches.iter_mut() {
+            let mut local = start;
+            branch(&mut local);
+            latest = latest.max(local.now);
+        }
+        self.now = latest;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advances_monotonically() {
+        let mut c = VirtualClock::new();
+        c.advance(1.5);
+        c.advance(0.5);
+        assert!((c.now() - 2.0).abs() < 1e-12);
+        c.advance(-1.0); // ignored
+        c.advance(f64::NAN); // ignored
+        assert!((c.now() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn advance_to_never_rewinds() {
+        let mut c = VirtualClock::new();
+        c.advance_to(3.0);
+        c.advance_to(1.0);
+        assert!((c.now() - 3.0).abs() < 1e-12);
+    }
+
+    type Branch = Box<dyn FnMut(&mut VirtualClock)>;
+
+    #[test]
+    fn concurrent_branches_join_at_latest() {
+        let mut c = VirtualClock::new();
+        c.advance(1.0);
+        let durations = [0.5, 2.0, 1.0];
+        let mut branches: Vec<Branch> = durations
+            .iter()
+            .map(|&d| Box::new(move |clk: &mut VirtualClock| clk.advance(d)) as _)
+            .collect();
+        c.concurrently(&mut branches);
+        // Started at 1.0, longest branch 2.0 -> 3.0.
+        assert!((c.now() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn concurrent_with_no_branches_is_noop() {
+        let mut c = VirtualClock::new();
+        c.advance(1.0);
+        let mut branches: Vec<Branch> = Vec::new();
+        c.concurrently(&mut branches);
+        assert!((c.now() - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,259 @@
+//! An in-memory collection of documents with insert/find/remove.
+
+use std::collections::BTreeMap;
+
+use serde_json::Value;
+
+use crate::document::{Document, DEFAULT_DOC_LIMIT};
+use crate::error::StoreError;
+use crate::query::Query;
+
+/// A named set of documents, ordered by id, enforcing the per-document
+/// size limit on insert (like a MongoDB collection).
+#[derive(Debug, Clone)]
+pub struct Collection {
+    name: String,
+    doc_limit: usize,
+    docs: BTreeMap<String, Document>,
+}
+
+impl Collection {
+    /// New empty collection with the default 16 MB document limit.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self::with_limit(name, DEFAULT_DOC_LIMIT)
+    }
+
+    /// New empty collection with a custom document limit (tests and
+    /// the DB-truncation ablation shrink it).
+    pub fn with_limit(name: impl Into<String>, doc_limit: usize) -> Self {
+        Collection {
+            name: name.into(),
+            doc_limit,
+            docs: BTreeMap::new(),
+        }
+    }
+
+    /// Collection name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Configured per-document size limit in bytes.
+    pub fn doc_limit(&self) -> usize {
+        self.doc_limit
+    }
+
+    /// Number of documents.
+    pub fn len(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// Whether the collection is empty.
+    pub fn is_empty(&self) -> bool {
+        self.docs.is_empty()
+    }
+
+    /// Insert a new document. Fails on duplicate id or an oversized
+    /// body.
+    pub fn insert(&mut self, doc: Document) -> Result<(), StoreError> {
+        doc.check_limit(self.doc_limit)?;
+        if self.docs.contains_key(&doc.id) {
+            return Err(StoreError::DuplicateId(doc.id));
+        }
+        self.docs.insert(doc.id.clone(), doc);
+        Ok(())
+    }
+
+    /// Insert or replace a document (upsert).
+    pub fn upsert(&mut self, doc: Document) -> Result<(), StoreError> {
+        doc.check_limit(self.doc_limit)?;
+        self.docs.insert(doc.id.clone(), doc);
+        Ok(())
+    }
+
+    /// Fetch by id.
+    pub fn get(&self, id: &str) -> Option<&Document> {
+        self.docs.get(id)
+    }
+
+    /// Remove by id, returning the removed document.
+    pub fn remove(&mut self, id: &str) -> Option<Document> {
+        self.docs.remove(id)
+    }
+
+    /// All documents whose body matches the query, in id order.
+    pub fn find(&self, query: &Query) -> Vec<&Document> {
+        self.docs
+            .values()
+            .filter(|d| query.matches(&d.body))
+            .collect()
+    }
+
+    /// First match, if any.
+    pub fn find_one(&self, query: &Query) -> Option<&Document> {
+        self.docs.values().find(|d| query.matches(&d.body))
+    }
+
+    /// Number of documents matching the query.
+    pub fn count(&self, query: &Query) -> usize {
+        self.docs.values().filter(|d| query.matches(&d.body)).count()
+    }
+
+    /// Iterate all documents in id order.
+    pub fn iter(&self) -> impl Iterator<Item = &Document> {
+        self.docs.values()
+    }
+
+    /// Serialize the whole collection to a JSON array (persistence
+    /// format used by [`crate::DocumentDb`]).
+    pub fn to_json(&self) -> Result<String, StoreError> {
+        let all: Vec<&Document> = self.docs.values().collect();
+        Ok(serde_json::to_string(&all)?)
+    }
+
+    /// Rebuild a collection from its JSON array form.
+    pub fn from_json(name: impl Into<String>, doc_limit: usize, json: &str) -> Result<Self, StoreError> {
+        let docs: Vec<Document> = serde_json::from_str(json)?;
+        let mut c = Collection::with_limit(name, doc_limit);
+        for d in docs {
+            // Persisted documents were size-checked on insert; re-check
+            // anyway so a corrupted/hand-edited file cannot smuggle an
+            // oversized document in.
+            c.upsert(d)?;
+        }
+        Ok(c)
+    }
+
+    /// Document bodies matching a query, decoded into `T`.
+    pub fn find_decoded<T: for<'de> serde::Deserialize<'de>>(
+        &self,
+        query: &Query,
+    ) -> Result<Vec<T>, StoreError> {
+        self.find(query).into_iter().map(Document::decode).collect()
+    }
+
+    /// Raw access to all bodies (used by statistics over profile sets).
+    pub fn bodies(&self) -> impl Iterator<Item = &Value> {
+        self.docs.values().map(|d| &d.body)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    fn doc(id: &str, n: i64) -> Document {
+        Document {
+            id: id.into(),
+            body: json!({"n": n, "kind": "test"}),
+        }
+    }
+
+    #[test]
+    fn insert_get_remove() {
+        let mut c = Collection::new("profiles");
+        c.insert(doc("a", 1)).unwrap();
+        c.insert(doc("b", 2)).unwrap();
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get("a").unwrap().body["n"], 1);
+        assert!(c.get("zz").is_none());
+        let removed = c.remove("a").unwrap();
+        assert_eq!(removed.id, "a");
+        assert_eq!(c.len(), 1);
+        assert!(c.remove("a").is_none());
+    }
+
+    #[test]
+    fn duplicate_ids_rejected_but_upsert_replaces() {
+        let mut c = Collection::new("c");
+        c.insert(doc("a", 1)).unwrap();
+        assert!(matches!(
+            c.insert(doc("a", 2)),
+            Err(StoreError::DuplicateId(_))
+        ));
+        c.upsert(doc("a", 3)).unwrap();
+        assert_eq!(c.get("a").unwrap().body["n"], 3);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn size_limit_enforced_on_insert_and_upsert() {
+        let mut c = Collection::with_limit("c", 32);
+        let big = Document {
+            id: "big".into(),
+            body: json!({"payload": "x".repeat(100)}),
+        };
+        assert!(matches!(
+            c.insert(big.clone()),
+            Err(StoreError::DocumentTooLarge { .. })
+        ));
+        assert!(matches!(
+            c.upsert(big),
+            Err(StoreError::DocumentTooLarge { .. })
+        ));
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn find_and_count() {
+        let mut c = Collection::new("c");
+        for i in 0..10 {
+            c.insert(doc(&format!("d{i}"), i % 3)).unwrap();
+        }
+        let q = Query::all().field("n", 0);
+        assert_eq!(c.count(&q), 4); // 0,3,6,9
+        assert_eq!(c.find(&q).len(), 4);
+        assert!(c.find_one(&q).is_some());
+        assert_eq!(c.count(&Query::all()), 10);
+        assert_eq!(c.count(&Query::all().field("n", 99)), 0);
+        assert!(c.find_one(&Query::all().field("n", 99)).is_none());
+    }
+
+    #[test]
+    fn results_are_id_ordered() {
+        let mut c = Collection::new("c");
+        for id in ["c", "a", "b"] {
+            c.insert(doc(id, 0)).unwrap();
+        }
+        let ids: Vec<&str> = c.find(&Query::all()).iter().map(|d| d.id.as_str()).collect();
+        assert_eq!(ids, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_collection() {
+        let mut c = Collection::with_limit("c", 1024);
+        for i in 0..5 {
+            c.insert(doc(&format!("d{i}"), i)).unwrap();
+        }
+        let json = c.to_json().unwrap();
+        let back = Collection::from_json("c", 1024, &json).unwrap();
+        assert_eq!(back.len(), 5);
+        for i in 0..5 {
+            assert_eq!(back.get(&format!("d{i}")).unwrap().body["n"], i);
+        }
+    }
+
+    #[test]
+    fn from_json_rechecks_limits() {
+        let docs = vec![Document {
+            id: "big".into(),
+            body: json!({"payload": "x".repeat(100)}),
+        }];
+        let json = serde_json::to_string(&docs).unwrap();
+        assert!(Collection::from_json("c", 16, &json).is_err());
+    }
+
+    #[test]
+    fn find_decoded() {
+        #[derive(serde::Deserialize)]
+        struct T {
+            n: i64,
+        }
+        let mut c = Collection::new("c");
+        c.insert(doc("a", 7)).unwrap();
+        let ts: Vec<T> = c.find_decoded(&Query::all()).unwrap();
+        assert_eq!(ts.len(), 1);
+        assert_eq!(ts[0].n, 7);
+    }
+}

@@ -1,0 +1,296 @@
+//! The embedded document database: named collections plus disk
+//! persistence.
+//!
+//! This is the MongoDB substitute: thread-safe, durable (explicit
+//! `save`/`open` against a directory with one JSON file per
+//! collection), and enforcing the per-document size limit that gives
+//! rise to the paper's ~250 k-sample cap.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use parking_lot::RwLock;
+
+use crate::collection::Collection;
+use crate::document::{Document, DEFAULT_DOC_LIMIT};
+use crate::error::StoreError;
+use crate::query::Query;
+
+/// An embedded, thread-safe document database.
+pub struct DocumentDb {
+    doc_limit: usize,
+    collections: RwLock<Vec<Collection>>,
+}
+
+impl DocumentDb {
+    /// In-memory database with the default 16 MB document limit.
+    pub fn new() -> Self {
+        Self::with_limit(DEFAULT_DOC_LIMIT)
+    }
+
+    /// In-memory database with a custom per-document limit.
+    pub fn with_limit(doc_limit: usize) -> Self {
+        DocumentDb {
+            doc_limit,
+            collections: RwLock::new(Vec::new()),
+        }
+    }
+
+    /// Configured per-document limit.
+    pub fn doc_limit(&self) -> usize {
+        self.doc_limit
+    }
+
+    /// Names of all existing collections, sorted.
+    pub fn collection_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .collections
+            .read()
+            .iter()
+            .map(|c| c.name().to_string())
+            .collect();
+        names.sort();
+        names
+    }
+
+    /// Run a closure with read access to a collection. Returns `None`
+    /// when the collection does not exist.
+    pub fn with_collection<R>(&self, name: &str, f: impl FnOnce(&Collection) -> R) -> Option<R> {
+        let guard = self.collections.read();
+        guard.iter().find(|c| c.name() == name).map(f)
+    }
+
+    /// Run a closure with write access to a collection, creating it on
+    /// first use (MongoDB semantics).
+    pub fn with_collection_mut<R>(&self, name: &str, f: impl FnOnce(&mut Collection) -> R) -> R {
+        let mut guard = self.collections.write();
+        if let Some(c) = guard.iter_mut().find(|c| c.name() == name) {
+            return f(c);
+        }
+        guard.push(Collection::with_limit(name, self.doc_limit));
+        let c = guard.last_mut().expect("just pushed");
+        f(c)
+    }
+
+    /// Insert a document into a collection (created on demand).
+    pub fn insert(&self, collection: &str, doc: Document) -> Result<(), StoreError> {
+        self.with_collection_mut(collection, |c| c.insert(doc))
+    }
+
+    /// Upsert a document into a collection (created on demand).
+    pub fn upsert(&self, collection: &str, doc: Document) -> Result<(), StoreError> {
+        self.with_collection_mut(collection, |c| c.upsert(doc))
+    }
+
+    /// All matching documents of a collection (cloned out of the lock).
+    pub fn find(&self, collection: &str, query: &Query) -> Vec<Document> {
+        self.with_collection(collection, |c| {
+            c.find(query).into_iter().cloned().collect()
+        })
+        .unwrap_or_default()
+    }
+
+    /// First matching document.
+    pub fn find_one(&self, collection: &str, query: &Query) -> Option<Document> {
+        self.with_collection(collection, |c| c.find_one(query).cloned())
+            .flatten()
+    }
+
+    /// Count matches.
+    pub fn count(&self, collection: &str, query: &Query) -> usize {
+        self.with_collection(collection, |c| c.count(query))
+            .unwrap_or(0)
+    }
+
+    /// Remove a document by id. `Ok(true)` when something was removed.
+    pub fn remove(&self, collection: &str, id: &str) -> bool {
+        self.with_collection_mut(collection, |c| c.remove(id).is_some())
+    }
+
+    /// Drop a whole collection. `true` when it existed.
+    pub fn drop_collection(&self, name: &str) -> bool {
+        let mut guard = self.collections.write();
+        let before = guard.len();
+        guard.retain(|c| c.name() != name);
+        guard.len() != before
+    }
+
+    /// Persist all collections into a directory (one `<name>.json` per
+    /// collection). The directory is created if needed; collections
+    /// removed since the last save are *not* deleted from disk — call
+    /// sites that need that semantic should save into a fresh
+    /// directory.
+    pub fn save(&self, dir: impl AsRef<Path>) -> Result<(), StoreError> {
+        let dir = dir.as_ref();
+        fs::create_dir_all(dir)?;
+        for c in self.collections.read().iter() {
+            let path = collection_path(dir, c.name());
+            fs::write(path, c.to_json()?)?;
+        }
+        Ok(())
+    }
+
+    /// Load a database from a directory previously written by
+    /// [`DocumentDb::save`].
+    pub fn open(dir: impl AsRef<Path>, doc_limit: usize) -> Result<Self, StoreError> {
+        let dir = dir.as_ref();
+        let db = DocumentDb::with_limit(doc_limit);
+        if !dir.exists() {
+            return Ok(db);
+        }
+        let mut collections = Vec::new();
+        let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|e| e == "json"))
+            .collect();
+        entries.sort();
+        for path in entries {
+            let name = path
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .unwrap_or("unnamed")
+                .to_string();
+            let json = fs::read_to_string(&path)?;
+            collections.push(Collection::from_json(name, doc_limit, &json)?);
+        }
+        *db.collections.write() = collections;
+        Ok(db)
+    }
+}
+
+impl Default for DocumentDb {
+    fn default() -> Self {
+        DocumentDb::new()
+    }
+}
+
+fn collection_path(dir: &Path, name: &str) -> PathBuf {
+    // Sanitize the collection name for the filesystem.
+    let safe: String = name
+        .chars()
+        .map(|c| if c.is_alphanumeric() || c == '_' || c == '-' { c } else { '_' })
+        .collect();
+    dir.join(format!("{safe}.json"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    fn doc(id: &str, n: i64) -> Document {
+        Document {
+            id: id.into(),
+            body: json!({"n": n}),
+        }
+    }
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "synapse-store-test-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn collections_created_on_demand() {
+        let db = DocumentDb::new();
+        assert!(db.collection_names().is_empty());
+        db.insert("profiles", doc("a", 1)).unwrap();
+        assert_eq!(db.collection_names(), vec!["profiles".to_string()]);
+        assert_eq!(db.count("profiles", &Query::all()), 1);
+        assert_eq!(db.count("nonexistent", &Query::all()), 0);
+    }
+
+    #[test]
+    fn find_and_remove_through_db() {
+        let db = DocumentDb::new();
+        db.insert("c", doc("a", 1)).unwrap();
+        db.insert("c", doc("b", 2)).unwrap();
+        let found = db.find("c", &Query::all().field("n", 2));
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].id, "b");
+        assert!(db.find_one("c", &Query::all().field("n", 3)).is_none());
+        assert!(db.remove("c", "a"));
+        assert!(!db.remove("c", "a"));
+        assert_eq!(db.count("c", &Query::all()), 1);
+    }
+
+    #[test]
+    fn drop_collection() {
+        let db = DocumentDb::new();
+        db.insert("x", doc("a", 1)).unwrap();
+        assert!(db.drop_collection("x"));
+        assert!(!db.drop_collection("x"));
+        assert!(db.collection_names().is_empty());
+    }
+
+    #[test]
+    fn doc_limit_propagates_to_collections() {
+        let db = DocumentDb::with_limit(16);
+        let big = Document {
+            id: "b".into(),
+            body: json!({"p": "x".repeat(64)}),
+        };
+        assert!(matches!(
+            db.insert("c", big),
+            Err(StoreError::DocumentTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn save_open_roundtrip() {
+        let dir = tmpdir("roundtrip");
+        let db = DocumentDb::new();
+        db.insert("alpha", doc("a", 1)).unwrap();
+        db.insert("alpha", doc("b", 2)).unwrap();
+        db.insert("beta", doc("c", 3)).unwrap();
+        db.save(&dir).unwrap();
+
+        let back = DocumentDb::open(&dir, DEFAULT_DOC_LIMIT).unwrap();
+        assert_eq!(back.collection_names(), vec!["alpha", "beta"]);
+        assert_eq!(back.count("alpha", &Query::all()), 2);
+        assert_eq!(
+            back.find_one("beta", &Query::all()).unwrap().body["n"],
+            3
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn open_missing_dir_yields_empty_db() {
+        let db = DocumentDb::open("/nonexistent/synapse-db", DEFAULT_DOC_LIMIT).unwrap();
+        assert!(db.collection_names().is_empty());
+    }
+
+    #[test]
+    fn odd_collection_names_are_sanitized_on_disk() {
+        let dir = tmpdir("sanitize");
+        let db = DocumentDb::new();
+        db.insert("weird/name with spaces", doc("a", 1)).unwrap();
+        db.save(&dir).unwrap();
+        // File exists with sanitized name.
+        assert!(dir.join("weird_name_with_spaces.json").exists());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn concurrent_inserts_from_threads() {
+        let db = std::sync::Arc::new(DocumentDb::new());
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let db = db.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..25 {
+                    db.insert("c", doc(&format!("{t}-{i}"), i)).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(db.count("c", &Query::all()), 100);
+    }
+}

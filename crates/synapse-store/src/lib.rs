@@ -1,0 +1,34 @@
+#![warn(missing_docs)]
+
+//! Profile persistence for Synapse.
+//!
+//! The paper stores profiles either in a MongoDB database — indexed by
+//! the `(command, tags)` combination, subject to MongoDB's 16 MB
+//! document limit (§4.5, "DB limitations") — or on disk as files (no
+//! size limit). This crate provides both backends without requiring a
+//! server:
+//!
+//! * [`DocumentDb`] — an embedded, thread-safe JSON document store with
+//!   named collections, subset-match queries and a configurable
+//!   per-document size limit defaulting to 16 MB. It reproduces the
+//!   paper's ~250 k-sample cap (and the Fig. 4 footnote about the
+//!   largest configuration missing data samples).
+//! * [`FileStore`] — one profile per JSON file, unlimited samples.
+//! * [`ProfileStore`] — the backend-independent interface the profiler
+//!   and emulator use ("search the database for a matching profile").
+
+pub mod collection;
+pub mod db;
+pub mod document;
+pub mod error;
+pub mod filestore;
+pub mod profilestore;
+pub mod query;
+
+pub use collection::Collection;
+pub use db::DocumentDb;
+pub use document::{Document, DEFAULT_DOC_LIMIT};
+pub use error::StoreError;
+pub use filestore::FileStore;
+pub use profilestore::{DbProfileStore, ProfileStore, SaveReport};
+pub use query::Query;

@@ -1,0 +1,309 @@
+//! Backend-independent profile storage interface.
+//!
+//! `radical.synapse.profile()` stores results "on disk or in a MongoDB
+//! database" and `emulate()` "uses the command/tag combination ... to
+//! search the database for a matching profile" (§4). This module
+//! provides that interface over both backends, including the database
+//! backend's document-size truncation behaviour that the paper observes
+//! in Fig. 4 ("the largest configuration misses one data sample due to
+//! limitations in the database backend").
+
+use std::sync::Arc;
+
+use serde_json::json;
+use synapse_model::{Profile, ProfileKey, ProfileSet};
+
+use crate::db::DocumentDb;
+use crate::document::Document;
+use crate::error::StoreError;
+use crate::filestore::FileStore;
+use crate::query::Query;
+
+/// Outcome of storing one profile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SaveReport {
+    /// Samples actually persisted.
+    pub stored_samples: usize,
+    /// Trailing samples dropped to fit the backend's document limit
+    /// (always 0 for the file store).
+    pub dropped_samples: usize,
+}
+
+/// A storage backend for profiles.
+pub trait ProfileStore {
+    /// Persist a profile. Backends with size limits may truncate
+    /// trailing samples; the report says how many were kept/dropped.
+    fn save(&self, profile: &Profile) -> Result<SaveReport, StoreError>;
+
+    /// Load every profile matching the query key (equal command,
+    /// subset tags), in recording order.
+    fn load_matching(&self, query: &ProfileKey) -> Result<Vec<Profile>, StoreError>;
+
+    /// Load matches as a [`ProfileSet`]; errors when nothing matches.
+    fn load_set(&self, query: &ProfileKey) -> Result<ProfileSet, StoreError> {
+        let profiles = self.load_matching(query)?;
+        if profiles.is_empty() {
+            return Err(StoreError::NotFound(format!("profiles for {query}")));
+        }
+        let mut set = ProfileSet::new();
+        for p in profiles {
+            set.push(p)?;
+        }
+        Ok(set)
+    }
+
+    /// The single most representative matching profile (closest to the
+    /// mean runtime), used as the emulation input.
+    fn load_representative(&self, query: &ProfileKey) -> Result<Profile, StoreError> {
+        let set = self.load_set(query)?;
+        set.representative()
+            .cloned()
+            .ok_or_else(|| StoreError::NotFound(format!("profiles for {query}")))
+    }
+}
+
+impl ProfileStore for FileStore {
+    fn save(&self, profile: &Profile) -> Result<SaveReport, StoreError> {
+        FileStore::save(self, profile)?;
+        Ok(SaveReport {
+            stored_samples: profile.len(),
+            dropped_samples: 0,
+        })
+    }
+
+    fn load_matching(&self, query: &ProfileKey) -> Result<Vec<Profile>, StoreError> {
+        FileStore::load_matching(self, query)
+    }
+}
+
+/// Database-backed profile storage: one document per profile run in a
+/// `profiles` collection, indexed by the `(command, tags)` key.
+pub struct DbProfileStore {
+    db: Arc<DocumentDb>,
+    collection: String,
+}
+
+impl DbProfileStore {
+    /// Wrap a database, using the conventional `profiles` collection.
+    pub fn new(db: Arc<DocumentDb>) -> Self {
+        Self::with_collection(db, "profiles")
+    }
+
+    /// Wrap a database with a custom collection name.
+    pub fn with_collection(db: Arc<DocumentDb>, collection: impl Into<String>) -> Self {
+        DbProfileStore {
+            db,
+            collection: collection.into(),
+        }
+    }
+
+    /// The underlying database handle.
+    pub fn db(&self) -> &Arc<DocumentDb> {
+        &self.db
+    }
+
+    fn key_query(query: &ProfileKey) -> Query {
+        let tags: serde_json::Map<String, serde_json::Value> = query
+            .tags
+            .iter()
+            .map(|(k, v)| (k.to_string(), json!(v)))
+            .collect();
+        let mut q = Query::all().field("key.command", query.command.clone());
+        if !tags.is_empty() {
+            q = q.field("key.tags", serde_json::Value::Object(tags));
+        }
+        q
+    }
+}
+
+impl ProfileStore for DbProfileStore {
+    fn save(&self, profile: &Profile) -> Result<SaveReport, StoreError> {
+        let limit = self.db.doc_limit();
+        let (fitted, dropped) = fit_to_limit(profile, limit)?;
+        let seq = self.db.count(&self.collection, &Self::key_query(&profile.key));
+        let id = format!("{}@{:06}", profile.key.id(), seq + 1);
+        let doc = Document::new(id, &fitted)?;
+        self.db.insert(&self.collection, doc)?;
+        Ok(SaveReport {
+            stored_samples: fitted.len(),
+            dropped_samples: dropped,
+        })
+    }
+
+    fn load_matching(&self, query: &ProfileKey) -> Result<Vec<Profile>, StoreError> {
+        let docs = self.db.find(&self.collection, &Self::key_query(query));
+        docs.iter().map(Document::decode).collect()
+    }
+}
+
+/// Truncate trailing samples until the serialized profile fits the
+/// per-document limit. Returns the (possibly truncated) profile and
+/// the number of dropped samples.
+///
+/// This reproduces the MongoDB behaviour the paper reports: the sample
+/// *series* is capped, while totals silently lose the tail — which is
+/// why the paper's largest configuration "misses one data sample".
+fn fit_to_limit(profile: &Profile, limit: usize) -> Result<(Profile, usize), StoreError> {
+    let full = serde_json::to_string(profile)?;
+    if full.len() <= limit {
+        return Ok((profile.clone(), 0));
+    }
+    // Binary search the largest sample count that fits.
+    let mut lo = 0usize; // always fits (assuming the shell fits)
+    let mut hi = profile.len(); // known not to fit
+    let shell_fits = {
+        let mut p = profile.clone();
+        p.samples.clear();
+        serde_json::to_string(&p)?.len() <= limit
+    };
+    if !shell_fits {
+        return Err(StoreError::DocumentTooLarge {
+            size: full.len(),
+            limit,
+        });
+    }
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        let mut p = profile.clone();
+        p.samples.truncate(mid);
+        if serde_json::to_string(&p)?.len() <= limit {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    let mut fitted = profile.clone();
+    fitted.samples.truncate(lo);
+    Ok((fitted, profile.len() - lo))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use synapse_model::{Sample, SystemInfo, Tags};
+
+    fn profile(cmd: &str, tags: &str, nsamples: usize, runtime: f64) -> Profile {
+        let mut p = Profile::new(
+            ProfileKey::new(cmd, Tags::parse(tags)),
+            SystemInfo::default(),
+            1.0,
+        );
+        p.runtime = runtime;
+        for i in 0..nsamples {
+            let mut s = Sample::at(i as f64, 1.0);
+            s.compute.cycles = 1000 + i as u64;
+            p.push(s).unwrap();
+        }
+        p
+    }
+
+    #[test]
+    fn db_store_roundtrip() {
+        let store = DbProfileStore::new(Arc::new(DocumentDb::new()));
+        let p = profile("app", "steps=10", 5, 5.0);
+        let rep = store.save(&p).unwrap();
+        assert_eq!(rep.stored_samples, 5);
+        assert_eq!(rep.dropped_samples, 0);
+        let got = store.load_matching(&p.key).unwrap();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0], p);
+    }
+
+    #[test]
+    fn db_store_multiple_runs_and_representative() {
+        let store = DbProfileStore::new(Arc::new(DocumentDb::new()));
+        for rt in [1.0, 2.0, 9.0] {
+            store.save(&profile("app", "steps=10", 2, rt)).unwrap();
+        }
+        let key = ProfileKey::new("app", Tags::parse("steps=10"));
+        let set = store.load_set(&key).unwrap();
+        assert_eq!(set.len(), 3);
+        // mean = 4.0, closest runtime is 2.0
+        let rep = store.load_representative(&key).unwrap();
+        assert_eq!(rep.runtime, 2.0);
+    }
+
+    #[test]
+    fn db_store_subset_tag_query() {
+        let store = DbProfileStore::new(Arc::new(DocumentDb::new()));
+        store
+            .save(&profile("app", "steps=10,host=thinkie", 1, 1.0))
+            .unwrap();
+        store
+            .save(&profile("app", "steps=20,host=thinkie", 1, 1.0))
+            .unwrap();
+        let by_host = store
+            .load_matching(&ProfileKey::new("app", Tags::parse("host=thinkie")))
+            .unwrap();
+        assert_eq!(by_host.len(), 2);
+        let by_steps = store
+            .load_matching(&ProfileKey::new("app", Tags::parse("steps=20")))
+            .unwrap();
+        assert_eq!(by_steps.len(), 1);
+        let untagged_query = store
+            .load_matching(&ProfileKey::new("app", Tags::new()))
+            .unwrap();
+        assert_eq!(untagged_query.len(), 2);
+    }
+
+    #[test]
+    fn small_doc_limit_truncates_trailing_samples() {
+        // A limit that fits the shell plus a few samples only.
+        let db = Arc::new(DocumentDb::with_limit(2000));
+        let store = DbProfileStore::new(db);
+        let p = profile("app", "", 100, 100.0);
+        let rep = store.save(&p).unwrap();
+        assert!(rep.dropped_samples > 0, "expected truncation");
+        assert_eq!(rep.stored_samples + rep.dropped_samples, 100);
+        let got = store.load_matching(&p.key).unwrap();
+        assert_eq!(got[0].len(), rep.stored_samples);
+        // The kept prefix is exactly the first samples (the tail was
+        // dropped, like the paper's missing sample).
+        assert_eq!(got[0].samples[..], p.samples[..rep.stored_samples]);
+    }
+
+    #[test]
+    fn impossible_limit_is_an_error() {
+        let db = Arc::new(DocumentDb::with_limit(10));
+        let store = DbProfileStore::new(db);
+        let p = profile("app-with-a-reasonably-long-command-name", "", 1, 1.0);
+        assert!(matches!(
+            store.save(&p),
+            Err(StoreError::DocumentTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn load_set_missing_key_errors() {
+        let store = DbProfileStore::new(Arc::new(DocumentDb::new()));
+        let q = ProfileKey::new("ghost", Tags::new());
+        assert!(matches!(store.load_set(&q), Err(StoreError::NotFound(_))));
+    }
+
+    #[test]
+    fn file_store_implements_trait_without_truncation() {
+        let dir = std::env::temp_dir().join(format!("synapse-ps-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = FileStore::open(&dir).unwrap();
+        let p = profile("app", "k=v", 50, 50.0);
+        let rep = ProfileStore::save(&store, &p).unwrap();
+        assert_eq!(rep.dropped_samples, 0);
+        assert_eq!(rep.stored_samples, 50);
+        let got = ProfileStore::load_matching(&store, &p.key).unwrap();
+        assert_eq!(got.len(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fit_to_limit_is_monotone() {
+        let p = profile("a", "", 20, 20.0);
+        let full_len = serde_json::to_string(&p).unwrap().len();
+        let (all, d0) = fit_to_limit(&p, full_len).unwrap();
+        assert_eq!(d0, 0);
+        assert_eq!(all.len(), 20);
+        let (half, dh) = fit_to_limit(&p, full_len / 2).unwrap();
+        assert!(dh > 0);
+        assert!(half.len() < 20);
+        assert!(serde_json::to_string(&half).unwrap().len() <= full_len / 2);
+    }
+}

@@ -1,0 +1,155 @@
+//! Subset-match queries over JSON documents.
+//!
+//! The paper uses the `(command, tags)` combination as the search index
+//! of the profile database. We implement the minimal query semantics
+//! that requires: a query is a JSON object, and a document matches when
+//! every queried field is present with an equal value. Nested fields
+//! are addressed with dotted paths (`"key.command"`), and querying with
+//! an object value requires subset-match recursively — so a query for
+//! two tags matches a document carrying those two tags plus more.
+
+use serde_json::Value;
+
+/// A structural query against document bodies.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    criteria: Vec<(String, Value)>,
+}
+
+impl Query {
+    /// The empty query (matches everything).
+    pub fn all() -> Self {
+        Query {
+            criteria: Vec::new(),
+        }
+    }
+
+    /// Add an equality criterion on a dotted field path.
+    pub fn field(mut self, path: impl Into<String>, value: impl Into<Value>) -> Self {
+        self.criteria.push((path.into(), value.into()));
+        self
+    }
+
+    /// Number of criteria.
+    pub fn len(&self) -> usize {
+        self.criteria.len()
+    }
+
+    /// Whether this query has no criteria.
+    pub fn is_empty(&self) -> bool {
+        self.criteria.is_empty()
+    }
+
+    /// Evaluate the query against a document body.
+    pub fn matches(&self, body: &Value) -> bool {
+        self.criteria
+            .iter()
+            .all(|(path, expected)| match lookup(body, path) {
+                Some(actual) => subset_eq(expected, actual),
+                None => false,
+            })
+    }
+}
+
+impl Default for Query {
+    fn default() -> Self {
+        Query::all()
+    }
+}
+
+/// Resolve a dotted path inside a JSON value.
+fn lookup<'a>(body: &'a Value, path: &str) -> Option<&'a Value> {
+    let mut cur = body;
+    for seg in path.split('.') {
+        cur = cur.get(seg)?;
+    }
+    Some(cur)
+}
+
+/// `expected` matches `actual` if they are equal scalars/arrays, or if
+/// both are objects and every expected key matches recursively (subset
+/// semantics, like a MongoDB equality filter over embedded tags).
+fn subset_eq(expected: &Value, actual: &Value) -> bool {
+    match (expected, actual) {
+        (Value::Object(e), Value::Object(a)) => e
+            .iter()
+            .all(|(k, ev)| a.get(k).is_some_and(|av| subset_eq(ev, av))),
+        _ => expected == actual,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    fn doc() -> Value {
+        json!({
+            "key": {
+                "command": "gromacs mdrun",
+                "tags": {"steps": "100000", "host": "thinkie"}
+            },
+            "runtime": 12.5,
+            "n": 3
+        })
+    }
+
+    #[test]
+    fn empty_query_matches_everything() {
+        assert!(Query::all().matches(&doc()));
+        assert!(Query::all().matches(&json!(null)));
+        assert!(Query::default().is_empty());
+    }
+
+    #[test]
+    fn top_level_equality() {
+        assert!(Query::all().field("n", 3).matches(&doc()));
+        assert!(!Query::all().field("n", 4).matches(&doc()));
+        assert!(!Query::all().field("missing", 1).matches(&doc()));
+    }
+
+    #[test]
+    fn dotted_path_lookup() {
+        let q = Query::all().field("key.command", "gromacs mdrun");
+        assert!(q.matches(&doc()));
+        let q2 = Query::all().field("key.tags.steps", "100000");
+        assert!(q2.matches(&doc()));
+        let q3 = Query::all().field("key.tags.steps", "1");
+        assert!(!q3.matches(&doc()));
+    }
+
+    #[test]
+    fn object_values_use_subset_semantics() {
+        // Query one tag; the document has two -> still a match.
+        let q = Query::all().field("key.tags", json!({"steps": "100000"}));
+        assert!(q.matches(&doc()));
+        // Query a tag the document lacks -> no match.
+        let q2 = Query::all().field("key.tags", json!({"gpu": "1"}));
+        assert!(!q2.matches(&doc()));
+        // Nested subset on the whole key object.
+        let q3 = Query::all().field(
+            "key",
+            json!({"command": "gromacs mdrun", "tags": {"host": "thinkie"}}),
+        );
+        assert!(q3.matches(&doc()));
+    }
+
+    #[test]
+    fn conjunction_of_criteria() {
+        let q = Query::all()
+            .field("n", 3)
+            .field("key.command", "gromacs mdrun");
+        assert!(q.matches(&doc()));
+        let q2 = Query::all().field("n", 3).field("key.command", "other");
+        assert!(!q2.matches(&doc()));
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn scalar_vs_object_mismatch() {
+        let q = Query::all().field("runtime", json!({"x": 1}));
+        assert!(!q.matches(&doc()));
+        let q2 = Query::all().field("key", "not an object");
+        assert!(!q2.matches(&doc()));
+    }
+}

@@ -1,0 +1,386 @@
+//! A real mini molecular-dynamics application (the Gromacs stand-in).
+//!
+//! Lennard-Jones particles in a cubic box, velocity-Verlet
+//! integration, O(n²) force evaluation per step, and a trajectory
+//! frame appended to an output file every `frame_interval` steps. The
+//! externally observable behaviour matches how the paper uses Gromacs:
+//!
+//! * CPU cycles/FLOPs scale linearly with `steps`,
+//! * disk *output* scales with `steps` (one frame per interval),
+//! * disk *input* (the topology read at startup) and resident memory
+//!   are constant in `steps`.
+//!
+//! The `synapse-mdsim` binary wraps this for black-box profiling.
+
+use std::fs::File;
+use std::io::{BufWriter, Read, Write};
+use std::path::PathBuf;
+
+/// Configuration of one MD run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MdConfig {
+    /// Number of particles (memory footprint; FLOPs scale with n²).
+    pub particles: usize,
+    /// Number of integration steps (the paper's `tag_step` parameter).
+    pub steps: u64,
+    /// Steps between trajectory frames (disk output granularity).
+    pub frame_interval: u64,
+    /// Trajectory output path; `None` disables disk output.
+    pub output: Option<PathBuf>,
+    /// Optional topology file to read at startup (constant disk input).
+    pub input: Option<PathBuf>,
+    /// Integration time step.
+    pub dt: f64,
+}
+
+impl Default for MdConfig {
+    fn default() -> Self {
+        MdConfig {
+            particles: 64,
+            steps: 1000,
+            frame_interval: 100,
+            output: None,
+            input: None,
+            dt: 1e-3,
+        }
+    }
+}
+
+/// What one run did — used by tests and by the harness to know the
+/// ground truth the profiler should have observed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MdReport {
+    /// Steps executed.
+    pub steps: u64,
+    /// Frames written.
+    pub frames_written: u64,
+    /// Bytes written to the trajectory.
+    pub bytes_written: u64,
+    /// Bytes read from the topology file.
+    pub bytes_read: u64,
+    /// Final total energy (physics sanity check and optimization
+    /// barrier — the value depends on every force evaluation).
+    pub total_energy: f64,
+    /// Floating-point operations executed (counted analytically from
+    /// the loop structure).
+    pub flops: u64,
+}
+
+/// The simulation state.
+pub struct MdSim {
+    config: MdConfig,
+    pos: Vec<[f64; 3]>,
+    vel: Vec<[f64; 3]>,
+    force: Vec<[f64; 3]>,
+    box_len: f64,
+}
+
+/// FLOPs per pair interaction in `compute_forces` (counted from the
+/// arithmetic below: 3 sub, 3 mul + 2 add (r2), ~10 for the LJ term,
+/// 9 for accumulation).
+pub const FLOPS_PER_PAIR: u64 = 27;
+/// FLOPs per particle in the integrator (2×3 fused update steps).
+pub const FLOPS_PER_PARTICLE_STEP: u64 = 18;
+
+impl MdSim {
+    /// Initialize particles on a cubic lattice with deterministic
+    /// pseudo-velocities (runs are reproducible).
+    pub fn new(config: MdConfig) -> MdSim {
+        let n = config.particles.max(2);
+        let side = (n as f64).cbrt().ceil() as usize;
+        let box_len = side as f64 * 1.2;
+        let mut pos = Vec::with_capacity(n);
+        let mut vel = Vec::with_capacity(n);
+        for i in 0..n {
+            let x = (i % side) as f64 * 1.2;
+            let y = ((i / side) % side) as f64 * 1.2;
+            let z = (i / (side * side)) as f64 * 1.2;
+            pos.push([x, y, z]);
+            // Deterministic small velocities from a hash of the index.
+            let h = (i as u64).wrapping_mul(0x9e3779b97f4a7c15);
+            let v = |shift: u32| ((h >> shift) & 0xff) as f64 / 255.0 - 0.5;
+            vel.push([v(0) * 0.1, v(8) * 0.1, v(16) * 0.1]);
+        }
+        MdSim {
+            config,
+            force: vec![[0.0; 3]; n],
+            pos,
+            vel,
+            box_len,
+        }
+    }
+
+    fn compute_forces(&mut self) -> f64 {
+        let n = self.pos.len();
+        for f in &mut self.force {
+            *f = [0.0; 3];
+        }
+        let mut potential = 0.0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let mut d = [0.0; 3];
+                let mut r2 = 0.0;
+                for (k, dk) in d.iter_mut().enumerate() {
+                    let mut x = self.pos[i][k] - self.pos[j][k];
+                    // Minimum-image convention.
+                    if x > self.box_len * 0.5 {
+                        x -= self.box_len;
+                    } else if x < -self.box_len * 0.5 {
+                        x += self.box_len;
+                    }
+                    *dk = x;
+                    r2 += x * x;
+                }
+                let r2 = r2.max(0.64); // soft core to keep integration stable
+                let inv_r2 = 1.0 / r2;
+                let inv_r6 = inv_r2 * inv_r2 * inv_r2;
+                // Lennard-Jones: V = 4(r^-12 - r^-6), F = 24(2 r^-12 - r^-6)/r².
+                potential += 4.0 * (inv_r6 * inv_r6 - inv_r6);
+                let fmag = 24.0 * (2.0 * inv_r6 * inv_r6 - inv_r6) * inv_r2;
+                for (k, dk) in d.iter().enumerate() {
+                    self.force[i][k] += fmag * dk;
+                    self.force[j][k] -= fmag * dk;
+                }
+            }
+        }
+        potential
+    }
+
+    fn kinetic_energy(&self) -> f64 {
+        self.vel
+            .iter()
+            .map(|v| 0.5 * (v[0] * v[0] + v[1] * v[1] + v[2] * v[2]))
+            .sum()
+    }
+
+    fn step(&mut self) -> f64 {
+        let dt = self.config.dt;
+        let n = self.pos.len();
+        // Velocity Verlet: half-kick, drift, recompute, half-kick.
+        for i in 0..n {
+            for k in 0..3 {
+                self.vel[i][k] += 0.5 * dt * self.force[i][k];
+                self.pos[i][k] += dt * self.vel[i][k];
+                // Wrap into the box.
+                if self.pos[i][k] < 0.0 {
+                    self.pos[i][k] += self.box_len;
+                } else if self.pos[i][k] >= self.box_len {
+                    self.pos[i][k] -= self.box_len;
+                }
+            }
+        }
+        let potential = self.compute_forces();
+        for i in 0..n {
+            for k in 0..3 {
+                self.vel[i][k] += 0.5 * dt * self.force[i][k];
+            }
+        }
+        potential
+    }
+
+    /// Expected FLOP count for a configuration (analytic; used to
+    /// validate profiled totals).
+    pub fn expected_flops(config: &MdConfig) -> u64 {
+        let n = config.particles.max(2) as u64;
+        let pairs = n * (n - 1) / 2;
+        config.steps * (pairs * FLOPS_PER_PAIR + n * FLOPS_PER_PARTICLE_STEP)
+    }
+
+    /// Run the simulation to completion.
+    pub fn run(mut self) -> std::io::Result<MdReport> {
+        // Constant disk input: read the topology if configured.
+        let mut bytes_read = 0u64;
+        if let Some(path) = &self.config.input {
+            let mut buf = Vec::new();
+            bytes_read = File::open(path)?.read_to_end(&mut buf)? as u64;
+        }
+        let mut writer = match &self.config.output {
+            Some(path) => Some(BufWriter::new(File::create(path)?)),
+            None => None,
+        };
+
+        self.compute_forces();
+        let mut frames = 0u64;
+        let mut bytes_written = 0u64;
+        let mut potential = 0.0;
+        for s in 0..self.config.steps {
+            potential = self.step();
+            if self.config.frame_interval > 0
+                && (s + 1) % self.config.frame_interval == 0
+            {
+                if let Some(w) = writer.as_mut() {
+                    bytes_written += write_frame(w, s + 1, &self.pos)?;
+                    frames += 1;
+                }
+            }
+        }
+        if let Some(mut w) = writer {
+            w.flush()?;
+        }
+        let total_energy = potential + self.kinetic_energy();
+        Ok(MdReport {
+            steps: self.config.steps,
+            frames_written: frames,
+            bytes_written,
+            bytes_read,
+            total_energy,
+            flops: Self::expected_flops(&self.config),
+        })
+    }
+}
+
+fn write_frame<W: Write>(w: &mut W, step: u64, pos: &[[f64; 3]]) -> std::io::Result<u64> {
+    let mut bytes = 0u64;
+    let header = format!("FRAME {step} {}\n", pos.len());
+    w.write_all(header.as_bytes())?;
+    bytes += header.len() as u64;
+    for p in pos {
+        let line = format!("{:.6} {:.6} {:.6}\n", p[0], p[1], p[2]);
+        w.write_all(line.as_bytes())?;
+        bytes += line.len() as u64;
+    }
+    Ok(bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpfile(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("synapse-md-{tag}-{}.trj", std::process::id()))
+    }
+
+    #[test]
+    fn runs_deterministically() {
+        let cfg = MdConfig {
+            particles: 27,
+            steps: 50,
+            ..Default::default()
+        };
+        let a = MdSim::new(cfg.clone()).run().unwrap();
+        let b = MdSim::new(cfg).run().unwrap();
+        assert_eq!(a.total_energy.to_bits(), b.total_energy.to_bits());
+        assert_eq!(a.flops, b.flops);
+    }
+
+    #[test]
+    fn flops_scale_linearly_with_steps() {
+        let base = MdConfig {
+            particles: 27,
+            steps: 100,
+            ..Default::default()
+        };
+        let double = MdConfig {
+            steps: 200,
+            ..base.clone()
+        };
+        assert_eq!(
+            2 * MdSim::expected_flops(&base),
+            MdSim::expected_flops(&double)
+        );
+    }
+
+    #[test]
+    fn output_scales_with_steps_input_constant() {
+        let out1 = tmpfile("s1");
+        let out2 = tmpfile("s2");
+        let r1 = MdSim::new(MdConfig {
+            particles: 27,
+            steps: 100,
+            frame_interval: 10,
+            output: Some(out1.clone()),
+            ..Default::default()
+        })
+        .run()
+        .unwrap();
+        let r2 = MdSim::new(MdConfig {
+            particles: 27,
+            steps: 200,
+            frame_interval: 10,
+            output: Some(out2.clone()),
+            ..Default::default()
+        })
+        .run()
+        .unwrap();
+        assert_eq!(r1.frames_written, 10);
+        assert_eq!(r2.frames_written, 20);
+        assert!(r2.bytes_written > r1.bytes_written);
+        // Bytes on disk match the report.
+        assert_eq!(std::fs::metadata(&out1).unwrap().len(), r1.bytes_written);
+        std::fs::remove_file(out1).unwrap();
+        std::fs::remove_file(out2).unwrap();
+    }
+
+    #[test]
+    fn reads_constant_topology_input() {
+        let input = tmpfile("topo");
+        std::fs::write(&input, vec![7u8; 4096]).unwrap();
+        let r = MdSim::new(MdConfig {
+            particles: 8,
+            steps: 10,
+            input: Some(input.clone()),
+            ..Default::default()
+        })
+        .run()
+        .unwrap();
+        assert_eq!(r.bytes_read, 4096);
+        std::fs::remove_file(input).unwrap();
+    }
+
+    #[test]
+    fn energy_stays_finite() {
+        // The soft-core LJ keeps the integrator stable.
+        let r = MdSim::new(MdConfig {
+            particles: 64,
+            steps: 200,
+            ..Default::default()
+        })
+        .run()
+        .unwrap();
+        assert!(
+            r.total_energy.is_finite(),
+            "energy diverged: {}",
+            r.total_energy
+        );
+    }
+
+    #[test]
+    fn zero_frame_interval_disables_output() {
+        let out = tmpfile("nofrm");
+        let r = MdSim::new(MdConfig {
+            particles: 8,
+            steps: 20,
+            frame_interval: 0,
+            output: Some(out.clone()),
+            ..Default::default()
+        })
+        .run()
+        .unwrap();
+        assert_eq!(r.frames_written, 0);
+        assert_eq!(r.bytes_written, 0);
+        std::fs::remove_file(out).unwrap();
+    }
+
+    #[test]
+    fn missing_input_file_errors() {
+        let r = MdSim::new(MdConfig {
+            input: Some(PathBuf::from("/no/such/topology")),
+            ..Default::default()
+        })
+        .run();
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn tiny_particle_counts_clamp() {
+        // particles < 2 clamps to 2 so pair loops stay meaningful.
+        let r = MdSim::new(MdConfig {
+            particles: 1,
+            steps: 5,
+            ..Default::default()
+        })
+        .run()
+        .unwrap();
+        assert!(r.flops > 0);
+    }
+}

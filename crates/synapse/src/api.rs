@@ -1,0 +1,129 @@
+//! The paper's top-level API:
+//!
+//! ```python
+//! radical.synapse.profile(command, tags=None)
+//! radical.synapse.emulate(command, tags=None)
+//! ```
+//!
+//! `profile` runs and observes the command, storing the profile under
+//! the `(command, tags)` index; `emulate` looks a matching profile up
+//! and replays it through the emulation atoms.
+
+use synapse_model::Tags;
+use synapse_store::ProfileStore;
+
+use crate::config::ProfilerConfig;
+use crate::emulator::{EmulationPlan, EmulationReport, Emulator};
+use crate::error::SynapseError;
+use crate::profiler::{key_for, split_command, ProfileOutcome, Profiler};
+
+/// Profile a shell command and store the result.
+///
+/// The command is spawned with silenced stdio, watched at the
+/// configured sampling rate, and the resulting profile is saved under
+/// the `(command, tags)` key before being returned.
+pub fn profile(
+    command: &str,
+    tags: Option<Tags>,
+    store: &dyn ProfileStore,
+    config: &ProfilerConfig,
+) -> Result<ProfileOutcome, SynapseError> {
+    let (program, args) = split_command(command)?;
+    let key = key_for(command, tags);
+    let profiler = Profiler::new(config.clone());
+    let arg_refs: Vec<&str> = args.iter().map(String::as_str).collect();
+    let outcome = profiler.profile_command(&program, &arg_refs, key)?;
+    store.save(&outcome.profile)?;
+    Ok(outcome)
+}
+
+/// Emulate a previously profiled command.
+///
+/// Looks up the most representative stored profile for the
+/// `(command, tags)` key (mean-runtime representative across repeated
+/// profilings, §4's "basic statistics analysis") and replays it on the
+/// real backend with the given plan.
+pub fn emulate(
+    command: &str,
+    tags: Option<Tags>,
+    store: &dyn ProfileStore,
+    plan: &EmulationPlan,
+) -> Result<EmulationReport, SynapseError> {
+    let key = key_for(command, tags);
+    let profile = store
+        .load_representative(&key)
+        .map_err(|_| SynapseError::ProfileNotFound(key.to_string()))?;
+    Emulator::new(plan.clone()).emulate(&profile)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::emulator::KernelChoice;
+    use synapse_store::FileStore;
+
+    fn store(tag: &str) -> FileStore {
+        let dir = std::env::temp_dir().join(format!("synapse-api-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        FileStore::open(dir).unwrap()
+    }
+
+    #[test]
+    fn profile_then_emulate_roundtrip() {
+        let store = store("roundtrip");
+        let config = ProfilerConfig::default();
+        let outcome = profile("sleep 0.15", None, &store, &config).unwrap();
+        assert!(outcome.profile.runtime >= 0.14);
+
+        let plan = EmulationPlan {
+            kernel: KernelChoice::Spin,
+            ..Default::default()
+        };
+        let report = emulate("sleep 0.15", None, &store, &plan).unwrap();
+        assert!(report.samples >= 1);
+        // A sleep consumes almost nothing; the emulation replays that
+        // near-nothing quickly.
+        assert!(report.tx < outcome.profile.runtime + 2.0);
+        std::fs::remove_dir_all(store.root()).unwrap();
+    }
+
+    #[test]
+    fn emulate_without_profile_fails_cleanly() {
+        let store = store("missing");
+        let err = emulate("never profiled", None, &store, &EmulationPlan::default());
+        assert!(matches!(err, Err(SynapseError::ProfileNotFound(_))));
+        std::fs::remove_dir_all(store.root()).unwrap();
+    }
+
+    #[test]
+    fn tags_distinguish_profiles() {
+        let store = store("tags");
+        let config = ProfilerConfig::default();
+        profile("sleep 0.1", Some(Tags::parse("case=a")), &store, &config).unwrap();
+        // Emulating with a different tag must fail (no match).
+        let err = emulate(
+            "sleep 0.1",
+            Some(Tags::parse("case=b")),
+            &store,
+            &EmulationPlan::default(),
+        );
+        assert!(matches!(err, Err(SynapseError::ProfileNotFound(_))));
+        // The right tag matches.
+        let ok = emulate(
+            "sleep 0.1",
+            Some(Tags::parse("case=a")),
+            &store,
+            &EmulationPlan::default(),
+        );
+        assert!(ok.is_ok());
+        std::fs::remove_dir_all(store.root()).unwrap();
+    }
+
+    #[test]
+    fn empty_command_rejected() {
+        let store = store("empty");
+        let err = profile("", None, &store, &ProfilerConfig::default());
+        assert!(matches!(err, Err(SynapseError::Config(_))));
+        std::fs::remove_dir_all(store.root()).unwrap();
+    }
+}

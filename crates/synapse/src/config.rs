@@ -1,0 +1,120 @@
+//! Profiler configuration.
+
+use crate::error::SynapseError;
+
+/// The paper's sampling ceiling: "Synapse can at most gather one
+/// sample every 100 ms (i.e., 10 samples per second), which coincides
+/// with the sampling limit of perf stat" (§4.1).
+pub const MAX_SAMPLE_RATE_HZ: f64 = 10.0;
+
+/// Configuration of a profiling run.
+#[derive(Debug, Clone)]
+pub struct ProfilerConfig {
+    /// Sampling rate in Hz, uniform over all watchers. Clamped to the
+    /// 10 Hz ceiling; "there is no lower bound to the sampling rate".
+    /// Under the adaptive scheme this is the *steady* rate.
+    pub sample_rate_hz: f64,
+    /// Adaptive sampling (the paper's §6 proposal): sample at 10 Hz
+    /// for this many seconds to capture the application startup, then
+    /// drop to `sample_rate_hz`. `None` keeps the rate constant.
+    pub adaptive_window_secs: Option<f64>,
+    /// Whether to attach hardware counters (falls back to the
+    /// calibrated model automatically when the kernel denies perf).
+    pub use_hardware_counters: bool,
+    /// Whether to sample `/proc/<pid>/io` (needs same-user access).
+    pub watch_io: bool,
+    /// Whether to sample `/proc/<pid>/status` memory gauges.
+    pub watch_memory: bool,
+}
+
+impl Default for ProfilerConfig {
+    fn default() -> Self {
+        ProfilerConfig {
+            sample_rate_hz: 10.0,
+            adaptive_window_secs: None,
+            use_hardware_counters: true,
+            watch_io: true,
+            watch_memory: true,
+        }
+    }
+}
+
+impl ProfilerConfig {
+    /// A config with an explicit sampling rate.
+    pub fn with_rate(rate_hz: f64) -> Self {
+        ProfilerConfig {
+            sample_rate_hz: rate_hz,
+            ..Default::default()
+        }
+    }
+
+    /// A config with the paper's proposed adaptive scheme: 10 Hz for
+    /// `window_secs`, then `steady_hz`.
+    pub fn adaptive(window_secs: f64, steady_hz: f64) -> Self {
+        ProfilerConfig {
+            sample_rate_hz: steady_hz,
+            adaptive_window_secs: Some(window_secs),
+            ..Default::default()
+        }
+    }
+
+    /// Build the sample schedule this configuration describes.
+    pub fn schedule(&self) -> Result<crate::schedule::SampleSchedule, SynapseError> {
+        match self.adaptive_window_secs {
+            None => crate::schedule::SampleSchedule::constant(self.sample_rate_hz),
+            Some(window) => {
+                crate::schedule::SampleSchedule::adaptive(window, self.sample_rate_hz)
+            }
+        }
+    }
+
+    /// The effective (clamped, validated) sampling rate.
+    pub fn effective_rate(&self) -> Result<f64, SynapseError> {
+        if !self.sample_rate_hz.is_finite() || self.sample_rate_hz <= 0.0 {
+            return Err(SynapseError::Config(format!(
+                "sample rate {} must be positive",
+                self.sample_rate_hz
+            )));
+        }
+        Ok(self.sample_rate_hz.min(MAX_SAMPLE_RATE_HZ))
+    }
+
+    /// Sampling interval in seconds.
+    pub fn interval(&self) -> Result<std::time::Duration, SynapseError> {
+        Ok(std::time::Duration::from_secs_f64(
+            1.0 / self.effective_rate()?,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_rate_is_papers_maximum() {
+        let c = ProfilerConfig::default();
+        assert_eq!(c.effective_rate().unwrap(), 10.0);
+        assert_eq!(c.interval().unwrap(), std::time::Duration::from_millis(100));
+    }
+
+    #[test]
+    fn rates_above_ceiling_clamp() {
+        let c = ProfilerConfig::with_rate(100.0);
+        assert_eq!(c.effective_rate().unwrap(), MAX_SAMPLE_RATE_HZ);
+    }
+
+    #[test]
+    fn slow_rates_allowed_without_lower_bound() {
+        let c = ProfilerConfig::with_rate(0.01);
+        assert_eq!(c.effective_rate().unwrap(), 0.01);
+        assert_eq!(c.interval().unwrap(), std::time::Duration::from_secs(100));
+    }
+
+    #[test]
+    fn invalid_rates_rejected() {
+        assert!(ProfilerConfig::with_rate(0.0).effective_rate().is_err());
+        assert!(ProfilerConfig::with_rate(-1.0).effective_rate().is_err());
+        assert!(ProfilerConfig::with_rate(f64::NAN).effective_rate().is_err());
+    }
+}

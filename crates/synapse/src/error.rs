@@ -1,0 +1,101 @@
+//! Unified error type for the core crate.
+
+use std::fmt;
+
+/// Errors from profiling or emulation.
+#[derive(Debug)]
+pub enum SynapseError {
+    /// Process introspection failed.
+    Proc(synapse_proc::ProcError),
+    /// Hardware counter failure.
+    Perf(synapse_perf::PerfError),
+    /// Data-model validation failure.
+    Model(synapse_model::ModelError),
+    /// Profile storage failure.
+    Store(synapse_store::StoreError),
+    /// Filesystem failure during emulation.
+    Io(std::io::Error),
+    /// The requested profile was not found in the store.
+    ProfileNotFound(String),
+    /// A watcher thread panicked or misbehaved.
+    Watcher {
+        /// Which watcher.
+        name: &'static str,
+        /// What happened.
+        reason: String,
+    },
+    /// Invalid configuration.
+    Config(String),
+}
+
+impl fmt::Display for SynapseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SynapseError::Proc(e) => write!(f, "proc: {e}"),
+            SynapseError::Perf(e) => write!(f, "perf: {e}"),
+            SynapseError::Model(e) => write!(f, "model: {e}"),
+            SynapseError::Store(e) => write!(f, "store: {e}"),
+            SynapseError::Io(e) => write!(f, "io: {e}"),
+            SynapseError::ProfileNotFound(key) => write!(f, "no profile for {key}"),
+            SynapseError::Watcher { name, reason } => write!(f, "watcher {name}: {reason}"),
+            SynapseError::Config(what) => write!(f, "bad configuration: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SynapseError {}
+
+impl From<synapse_proc::ProcError> for SynapseError {
+    fn from(e: synapse_proc::ProcError) -> Self {
+        SynapseError::Proc(e)
+    }
+}
+
+impl From<synapse_perf::PerfError> for SynapseError {
+    fn from(e: synapse_perf::PerfError) -> Self {
+        SynapseError::Perf(e)
+    }
+}
+
+impl From<synapse_model::ModelError> for SynapseError {
+    fn from(e: synapse_model::ModelError) -> Self {
+        SynapseError::Model(e)
+    }
+}
+
+impl From<synapse_store::StoreError> for SynapseError {
+    fn from(e: synapse_store::StoreError) -> Self {
+        SynapseError::Store(e)
+    }
+}
+
+impl From<std::io::Error> for SynapseError {
+    fn from(e: std::io::Error) -> Self {
+        SynapseError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_variants() {
+        let e = SynapseError::ProfileNotFound("cmd#a=1".into());
+        assert!(e.to_string().contains("cmd#a=1"));
+        let w = SynapseError::Watcher {
+            name: "cpu",
+            reason: "lost pid".into(),
+        };
+        assert!(w.to_string().contains("cpu"));
+        assert!(SynapseError::Config("rate".into()).to_string().contains("rate"));
+    }
+
+    #[test]
+    fn conversions_from_layers() {
+        let e: SynapseError = synapse_model::ModelError::EmptyProfile.into();
+        assert!(matches!(e, SynapseError::Model(_)));
+        let e: SynapseError = std::io::Error::other("x").into();
+        assert!(matches!(e, SynapseError::Io(_)));
+    }
+}

@@ -1,0 +1,62 @@
+#![warn(missing_docs)]
+
+//! Synapse: SYNthetic Application Profiler and Emulator.
+//!
+//! This is the Rust reproduction of the system described in
+//! *"Synapse: Synthetic Application Profiler and Emulator"* (Merzky,
+//! Ha, Turilli, Jha). Synapse is a proxy-application toolkit built
+//! around two operations, mirroring the paper's Python API:
+//!
+//! ```no_run
+//! use synapse::api;
+//! use synapse::config::ProfilerConfig;
+//! use synapse::emulator::EmulationPlan;
+//! use synapse_store::FileStore;
+//!
+//! let store = FileStore::open("/tmp/synapse-profiles").unwrap();
+//! // radical.synapse.profile(command, tags=...)
+//! let outcome = api::profile(
+//!     "sleep 0.1",
+//!     None,
+//!     &store,
+//!     &ProfilerConfig::default(),
+//! ).unwrap();
+//! // radical.synapse.emulate(command, tags=...)
+//! let report = api::emulate("sleep 0.1", None, &store, &EmulationPlan::default()).unwrap();
+//! println!("application Tx = {:.3}s, emulated Tx = {:.3}s",
+//!          outcome.profile.runtime, report.tx);
+//! ```
+//!
+//! * **Profiling** (`profile`) spawns the application, hands its PID
+//!   to watcher plugins — one thread each, sampling CPU counters,
+//!   `/proc` memory and disk-I/O state at a configurable rate (max
+//!   10 Hz, like `perf stat`) — and stores the combined time series as
+//!   a [`synapse_model::Profile`] indexed by `(command, tags)`.
+//! * **Emulation** (`emulate`) looks the profile up and replays it:
+//!   each sample's resource deltas are fed concurrently to emulation
+//!   atoms (compute / memory / storage / network); a sample ends when
+//!   the last atom finishes, preserving sample order across resource
+//!   types but not timing (§4.4 of the paper).
+//!
+//! Emulation can run on the **real backend** (actually consume this
+//! host's resources) or on a **simulated machine model**
+//! ([`synapse_sim::MachineModel`]) with a virtual clock — that is how
+//! the cross-resource experiments (Stampede, Archer, Comet, Supermic,
+//! Titan) are reproduced without the original testbeds.
+
+pub mod api;
+pub mod config;
+pub mod emulator;
+pub mod error;
+pub mod profiler;
+pub mod schedule;
+pub mod stress;
+pub mod watcher;
+pub mod watchers;
+
+pub use api::{emulate, profile};
+pub use config::ProfilerConfig;
+pub use emulator::{EmulationPlan, EmulationReport, Emulator, KernelChoice};
+pub use error::SynapseError;
+pub use profiler::{ProfileOutcome, Profiler};
+pub use stress::StressLoad;

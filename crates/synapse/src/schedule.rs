@@ -1,0 +1,170 @@
+//! Sampling schedules: constant and adaptive rates.
+//!
+//! The paper's future work (§6, "Sampling Rate") proposes "an adaptive
+//! scheme, starting with a high sampling rate (10/sec), and after a
+//! few seconds, when we can expect to have captured the application
+//! startup, decrease the rate", noting that "Synapse's codebase does
+//! not assume a constant rate". This module implements both schemes;
+//! the watcher loop and series combination are schedule-driven, so
+//! samples may have varying `dt`.
+
+use crate::config::MAX_SAMPLE_RATE_HZ;
+use crate::error::SynapseError;
+
+/// When each sample happens and how long its interval is.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SampleSchedule {
+    /// Fixed rate: sample `i` covers `[i/hz, (i+1)/hz)`.
+    Constant {
+        /// Sampling rate in Hz.
+        hz: f64,
+    },
+    /// High initial rate for the startup window, lower rate after —
+    /// the paper's proposed adaptive scheme.
+    Adaptive {
+        /// Rate during the startup window, Hz (clamped to 10 Hz).
+        initial_hz: f64,
+        /// Length of the startup window in seconds.
+        window_secs: f64,
+        /// Rate after the window, Hz.
+        steady_hz: f64,
+    },
+}
+
+impl SampleSchedule {
+    /// A constant schedule at `hz` (validated and clamped like the
+    /// profiler config).
+    pub fn constant(hz: f64) -> Result<Self, SynapseError> {
+        if !hz.is_finite() || hz <= 0.0 {
+            return Err(SynapseError::Config(format!("rate {hz} must be positive")));
+        }
+        Ok(SampleSchedule::Constant {
+            hz: hz.min(MAX_SAMPLE_RATE_HZ),
+        })
+    }
+
+    /// The paper's proposed default adaptation: 10 Hz for the first
+    /// `window_secs`, then `steady_hz`.
+    pub fn adaptive(window_secs: f64, steady_hz: f64) -> Result<Self, SynapseError> {
+        if !window_secs.is_finite() || window_secs < 0.0 {
+            return Err(SynapseError::Config(format!(
+                "window {window_secs} must be >= 0"
+            )));
+        }
+        if !steady_hz.is_finite() || steady_hz <= 0.0 {
+            return Err(SynapseError::Config(format!(
+                "steady rate {steady_hz} must be positive"
+            )));
+        }
+        Ok(SampleSchedule::Adaptive {
+            initial_hz: MAX_SAMPLE_RATE_HZ,
+            window_secs,
+            steady_hz: steady_hz.min(MAX_SAMPLE_RATE_HZ),
+        })
+    }
+
+    /// Number of samples inside the startup window (adaptive only).
+    fn window_samples(&self) -> u64 {
+        match *self {
+            SampleSchedule::Constant { .. } => 0,
+            SampleSchedule::Adaptive {
+                initial_hz,
+                window_secs,
+                ..
+            } => (window_secs * initial_hz).ceil() as u64,
+        }
+    }
+
+    /// Start time of sample `index`, seconds since profiling start.
+    pub fn time_of(&self, index: u64) -> f64 {
+        match *self {
+            SampleSchedule::Constant { hz } => index as f64 / hz,
+            SampleSchedule::Adaptive {
+                initial_hz,
+                steady_hz,
+                ..
+            } => {
+                let n = self.window_samples();
+                if index <= n {
+                    index as f64 / initial_hz
+                } else {
+                    n as f64 / initial_hz + (index - n) as f64 / steady_hz
+                }
+            }
+        }
+    }
+
+    /// Interval length of sample `index` in seconds.
+    pub fn dt_of(&self, index: u64) -> f64 {
+        self.time_of(index + 1) - self.time_of(index)
+    }
+
+    /// The *steady* rate in Hz (what gets recorded as the profile's
+    /// nominal rate).
+    pub fn steady_hz(&self) -> f64 {
+        match *self {
+            SampleSchedule::Constant { hz } => hz,
+            SampleSchedule::Adaptive { steady_hz, .. } => steady_hz,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_schedule_is_uniform() {
+        let s = SampleSchedule::constant(4.0).unwrap();
+        for i in 0..10 {
+            assert!((s.time_of(i) - i as f64 * 0.25).abs() < 1e-12);
+            assert!((s.dt_of(i) - 0.25).abs() < 1e-12);
+        }
+        assert_eq!(s.steady_hz(), 4.0);
+    }
+
+    #[test]
+    fn constant_clamps_to_ceiling() {
+        let s = SampleSchedule::constant(50.0).unwrap();
+        assert_eq!(s.steady_hz(), MAX_SAMPLE_RATE_HZ);
+        assert!(SampleSchedule::constant(0.0).is_err());
+        assert!(SampleSchedule::constant(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn adaptive_switches_after_window() {
+        // 10 Hz for 2 s (20 samples), then 1 Hz.
+        let s = SampleSchedule::adaptive(2.0, 1.0).unwrap();
+        assert!((s.dt_of(0) - 0.1).abs() < 1e-12);
+        assert!((s.dt_of(19) - 0.1).abs() < 1e-12);
+        assert!((s.dt_of(20) - 1.0).abs() < 1e-12);
+        assert!((s.time_of(20) - 2.0).abs() < 1e-12);
+        assert!((s.time_of(22) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn adaptive_time_is_strictly_increasing() {
+        let s = SampleSchedule::adaptive(1.5, 0.5).unwrap();
+        let mut last = -1.0;
+        for i in 0..50 {
+            let t = s.time_of(i);
+            assert!(t > last);
+            last = t;
+            assert!(s.dt_of(i) > 0.0);
+        }
+    }
+
+    #[test]
+    fn adaptive_rejects_bad_parameters() {
+        assert!(SampleSchedule::adaptive(-1.0, 1.0).is_err());
+        assert!(SampleSchedule::adaptive(1.0, 0.0).is_err());
+        assert!(SampleSchedule::adaptive(f64::NAN, 1.0).is_err());
+    }
+
+    #[test]
+    fn zero_window_adaptive_degenerates_to_steady() {
+        let s = SampleSchedule::adaptive(0.0, 2.0).unwrap();
+        assert!((s.dt_of(0) - 0.5).abs() < 1e-12);
+        assert!((s.dt_of(5) - 0.5).abs() < 1e-12);
+    }
+}

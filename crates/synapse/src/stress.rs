@@ -1,0 +1,182 @@
+//! Artificial background load ("similar to the Linux utility
+//! `stress`", §4.3): Synapse can stress CPU, memory and disk while
+//! emulating, to reproduce application behaviour on busy systems.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use synapse_perf::calibration::spin_cycles;
+
+/// Configuration of the artificial load.
+#[derive(Debug, Clone, Default)]
+pub struct StressConfig {
+    /// Number of busy-spinning CPU worker threads.
+    pub cpu_workers: u32,
+    /// Bytes of memory to hold (touched) for the duration.
+    pub memory_bytes: u64,
+    /// Directory for a continuous write loop; `None` disables disk
+    /// stress.
+    pub io_dir: Option<PathBuf>,
+}
+
+/// A running artificial load; dropping (or calling
+/// [`StressLoad::stop`]) releases everything.
+pub struct StressLoad {
+    stop: Arc<AtomicBool>,
+    workers: Vec<JoinHandle<()>>,
+    _memory: Vec<u8>,
+}
+
+impl StressLoad {
+    /// Start the configured load.
+    pub fn start(config: StressConfig) -> std::io::Result<StressLoad> {
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut workers = Vec::new();
+        for i in 0..config.cpu_workers {
+            let flag = stop.clone();
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("synapse-stress-cpu-{i}"))
+                    .spawn(move || {
+                        while !flag.load(Ordering::Relaxed) {
+                            std::hint::black_box(spin_cycles(5_000_000));
+                        }
+                    })?,
+            );
+        }
+        if let Some(dir) = &config.io_dir {
+            std::fs::create_dir_all(dir)?;
+            let path = dir.join(format!("synapse-stress-{}.dat", std::process::id()));
+            let flag = stop.clone();
+            workers.push(
+                std::thread::Builder::new()
+                    .name("synapse-stress-io".into())
+                    .spawn(move || {
+                        let buf = vec![0xeeu8; 1 << 20];
+                        while !flag.load(Ordering::Relaxed) {
+                            let _ = std::fs::write(&path, &buf);
+                        }
+                        let _ = std::fs::remove_file(&path);
+                    })?,
+            );
+        }
+        let mut memory = vec![0u8; config.memory_bytes as usize];
+        for i in (0..memory.len()).step_by(4096) {
+            memory[i] = 1;
+        }
+        Ok(StressLoad {
+            stop,
+            workers,
+            _memory: memory,
+        })
+    }
+
+    /// Number of live stress workers.
+    pub fn worker_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Stop all workers and release held memory.
+    pub fn stop(mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for StressLoad {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::{Duration, Instant};
+
+    #[test]
+    fn cpu_stress_starts_and_stops() {
+        let load = StressLoad::start(StressConfig {
+            cpu_workers: 2,
+            ..Default::default()
+        })
+        .unwrap();
+        assert_eq!(load.worker_count(), 2);
+        std::thread::sleep(Duration::from_millis(50));
+        let t = Instant::now();
+        load.stop();
+        assert!(t.elapsed() < Duration::from_secs(2), "stop must be prompt");
+    }
+
+    #[test]
+    fn memory_stress_holds_bytes() {
+        let load = StressLoad::start(StressConfig {
+            memory_bytes: 4 << 20,
+            ..Default::default()
+        })
+        .unwrap();
+        assert_eq!(load._memory.len(), 4 << 20);
+        load.stop();
+    }
+
+    #[test]
+    fn io_stress_writes_and_cleans_up() {
+        let dir = std::env::temp_dir().join("synapse-stress-test");
+        let load = StressLoad::start(StressConfig {
+            io_dir: Some(dir.clone()),
+            ..Default::default()
+        })
+        .unwrap();
+        std::thread::sleep(Duration::from_millis(80));
+        load.stop();
+        // The stress file is removed on stop.
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .map(|d| d.filter_map(|e| e.ok()).collect())
+            .unwrap_or_default();
+        assert!(
+            leftovers.is_empty(),
+            "stress files cleaned: {leftovers:?}"
+        );
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn zero_config_is_a_noop_load() {
+        let load = StressLoad::start(StressConfig::default()).unwrap();
+        assert_eq!(load.worker_count(), 0);
+        load.stop();
+    }
+
+    #[test]
+    fn stress_slows_down_co_running_work() {
+        // The point of stress: co-running work takes longer. Use a
+        // worker count matching the host's cores to guarantee
+        // contention even on many-core machines.
+        let ncores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+        let work = || {
+            let t = Instant::now();
+            std::hint::black_box(spin_cycles(60_000_000));
+            t.elapsed().as_secs_f64()
+        };
+        let baseline = (0..3).map(|_| work()).fold(f64::INFINITY, f64::min);
+        let load = StressLoad::start(StressConfig {
+            cpu_workers: (ncores as u32) * 2,
+            ..Default::default()
+        })
+        .unwrap();
+        std::thread::sleep(Duration::from_millis(20));
+        let stressed = (0..3).map(|_| work()).fold(f64::INFINITY, f64::min);
+        load.stop();
+        assert!(
+            stressed > baseline * 1.2,
+            "stressed {stressed} vs baseline {baseline}"
+        );
+    }
+}

@@ -1,0 +1,325 @@
+//! The watcher plugin framework.
+//!
+//! Mirrors the paper's plugin structure (§4.1):
+//!
+//! ```python
+//! class WatcherClass(WatcherBase):
+//!     def pre_process (self, config): ...
+//!     def sample      (self): ...
+//!     def post_process(self): ...
+//!     def finalize    (self): ...
+//! ```
+//!
+//! Each watcher runs in its own thread, sampling at the configured
+//! rate until terminated; its per-interval observations form a partial
+//! sample series (only the fields that watcher owns are set). Series
+//! from different watchers are *not* synchronized — "the timestamps of
+//! the different watchers ... can drift relative to each other over
+//! time. We found this preferable to an increased profiling overhead
+//! due to synchronization" — and are combined index-wise during
+//! post-processing.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use synapse_model::Sample;
+
+use crate::error::SynapseError;
+use crate::schedule::SampleSchedule;
+
+/// One watcher's observation for one interval: a [`Sample`] with only
+/// the fields that watcher owns populated.
+pub type PartialSample = Sample;
+
+/// A watcher plugin observing one resource type of one process.
+pub trait Watcher: Send {
+    /// Plugin name (diagnostics, error attribution).
+    fn name(&self) -> &'static str;
+
+    /// Set up the profiling environment (attach counters, read
+    /// baselines). Called once on the watcher thread before sampling.
+    fn pre_process(&mut self) -> Result<(), SynapseError> {
+        Ok(())
+    }
+
+    /// Collect one observation covering `[t, t+dt)` seconds since
+    /// profiling start. Watchers difference cumulative counters
+    /// internally. A vanished process should produce a final
+    /// observation, not an error.
+    fn sample(&mut self, t: f64, dt: f64) -> Result<PartialSample, SynapseError>;
+
+    /// Tear down the profiling environment. Called once after the
+    /// sampling loop ends.
+    fn post_process(&mut self) -> Result<(), SynapseError> {
+        Ok(())
+    }
+
+    /// Post-process the collected series in place (e.g. the memory
+    /// watcher derives allocation deltas from RSS gauges here). This
+    /// is the paper's `finalize`, where plugins may refine raw data.
+    fn finalize(&mut self, series: &mut Vec<PartialSample>) -> Result<(), SynapseError> {
+        let _ = series;
+        Ok(())
+    }
+}
+
+/// Handle to a running watcher thread.
+pub struct WatcherHandle {
+    name: &'static str,
+    terminate: Arc<AtomicBool>,
+    ready: std::sync::mpsc::Receiver<()>,
+    thread: JoinHandle<Result<Vec<PartialSample>, SynapseError>>,
+}
+
+impl WatcherHandle {
+    /// Signal the sampling loop to stop after its next (final) sample.
+    pub fn terminate(&self) {
+        self.terminate.store(true, Ordering::SeqCst);
+    }
+
+    /// Block until the watcher finished `pre_process` (counters
+    /// attached, baselines read). The profiler waits for this before
+    /// letting the observed work proceed, so short bursts right after
+    /// startup are not missed.
+    pub fn wait_ready(&self) {
+        // A dropped sender (failed pre_process) also unblocks; the
+        // error then surfaces through join().
+        let _ = self.ready.recv_timeout(std::time::Duration::from_secs(10));
+    }
+
+    /// Join the thread and retrieve the watcher's series.
+    pub fn join(self) -> Result<Vec<PartialSample>, SynapseError> {
+        match self.thread.join() {
+            Ok(result) => result,
+            Err(_) => Err(SynapseError::Watcher {
+                name: self.name,
+                reason: "watcher thread panicked".into(),
+            }),
+        }
+    }
+}
+
+/// Spawn a watcher on its own thread, sampling per `schedule` until
+/// terminated. Implements the paper's run loop:
+///
+/// ```python
+/// self.pre_process(self._config)
+/// while not self._terminate.is_set():
+///     now = timestamp()
+///     self.sample(now)
+///     time.sleep(1.0 / self._sample_rate)
+/// self.post_process()
+/// ```
+///
+/// with one extension: after termination is signalled, a final sample
+/// is taken so the tail of the execution lands in a (full) closing
+/// period — "profiling will only terminate when full sample periods
+/// have passed" (§4.5).
+pub fn spawn_watcher(
+    mut watcher: Box<dyn Watcher>,
+    schedule: SampleSchedule,
+) -> Result<WatcherHandle, SynapseError> {
+    let name = watcher.name();
+    let terminate = Arc::new(AtomicBool::new(false));
+    let flag = terminate.clone();
+    let (ready_tx, ready) = std::sync::mpsc::channel();
+    let thread = std::thread::Builder::new()
+        .name(format!("synapse-watcher-{name}"))
+        .spawn(move || {
+            watcher.pre_process()?;
+            let _ = ready_tx.send(());
+            let start = Instant::now();
+            let mut series: Vec<PartialSample> = Vec::new();
+            let mut index: u64 = 0;
+            loop {
+                let stop = flag.load(Ordering::SeqCst);
+                let sample = watcher.sample(schedule.time_of(index), schedule.dt_of(index))?;
+                series.push(sample);
+                index += 1;
+                if stop {
+                    break;
+                }
+                // Sleep toward the next schedule point, bounded so
+                // termination at slow rates stays responsive.
+                let next = Duration::from_secs_f64(schedule.time_of(index));
+                loop {
+                    let elapsed = start.elapsed();
+                    if elapsed >= next || flag.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    std::thread::sleep((next - elapsed).min(Duration::from_millis(20)));
+                }
+            }
+            watcher.post_process()?;
+            watcher.finalize(&mut series)?;
+            Ok(series)
+        })
+        .map_err(|e| SynapseError::Watcher {
+            name,
+            reason: format!("spawn failed: {e}"),
+        })?;
+    Ok(WatcherHandle {
+        name,
+        terminate,
+        ready,
+        thread,
+    })
+}
+
+/// Combine the per-watcher series into one sample series, index-wise:
+/// sample `i` of the combined profile merges sample `i` of every
+/// watcher (the paper combines "the individual time series ... during
+/// postprocessing"). Series may have different lengths (unsynchronized
+/// threads); the combined length is the longest.
+pub fn combine_series(series: Vec<Vec<PartialSample>>, schedule: &SampleSchedule) -> Vec<Sample> {
+    let len = series.iter().map(Vec::len).max().unwrap_or(0);
+    let mut combined = Vec::with_capacity(len);
+    for i in 0..len {
+        let mut merged = Sample::at(schedule.time_of(i as u64), schedule.dt_of(i as u64));
+        for s in &series {
+            if let Some(part) = s.get(i) {
+                let mut aligned = *part;
+                // Use the canonical grid timing; watcher-local
+                // timestamps may drift.
+                aligned.t = merged.t;
+                aligned.dt = merged.dt;
+                merged = merged.absorb(&aligned);
+            }
+        }
+        combined.push(merged);
+    }
+    combined
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A watcher producing a fixed quantity per interval.
+    struct TickWatcher {
+        cycles_per_tick: u64,
+        pre_called: bool,
+        post_called: Arc<AtomicBool>,
+    }
+
+    impl Watcher for TickWatcher {
+        fn name(&self) -> &'static str {
+            "tick"
+        }
+        fn pre_process(&mut self) -> Result<(), SynapseError> {
+            self.pre_called = true;
+            Ok(())
+        }
+        fn sample(&mut self, t: f64, dt: f64) -> Result<PartialSample, SynapseError> {
+            assert!(self.pre_called, "pre_process must run before sampling");
+            let mut s = Sample::at(t, dt);
+            s.compute.cycles = self.cycles_per_tick;
+            Ok(s)
+        }
+        fn post_process(&mut self) -> Result<(), SynapseError> {
+            self.post_called.store(true, Ordering::SeqCst);
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn watcher_thread_samples_until_terminated() {
+        let post = Arc::new(AtomicBool::new(false));
+        let handle = spawn_watcher(
+            Box::new(TickWatcher {
+                cycles_per_tick: 10,
+                pre_called: false,
+                post_called: post.clone(),
+            }),
+            SampleSchedule::Constant { hz: 50.0 },
+        )
+        .unwrap();
+        std::thread::sleep(Duration::from_millis(110));
+        handle.terminate();
+        let series = handle.join().unwrap();
+        // ~5-6 samples plus the final one; generous bounds for CI.
+        assert!(series.len() >= 3, "got {}", series.len());
+        assert!(series.len() <= 10, "got {}", series.len());
+        assert!(post.load(Ordering::SeqCst), "post_process ran");
+        // Timestamps on the canonical grid.
+        for (i, s) in series.iter().enumerate() {
+            assert!((s.t - i as f64 * 0.02).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn termination_yields_final_sample_immediately() {
+        let handle = spawn_watcher(
+            Box::new(TickWatcher {
+                cycles_per_tick: 1,
+                pre_called: false,
+                post_called: Arc::new(AtomicBool::new(false)),
+            }),
+            SampleSchedule::Constant { hz: 1.0 / 3600.0 }, // absurdly slow
+        )
+        .unwrap();
+        std::thread::sleep(Duration::from_millis(30));
+        handle.terminate();
+        let t = Instant::now();
+        let series = handle.join().unwrap();
+        assert!(
+            t.elapsed() < Duration::from_secs(2),
+            "join must not wait a full period"
+        );
+        // One startup sample + one final sample.
+        assert_eq!(series.len(), 2);
+    }
+
+    struct FailingWatcher;
+    impl Watcher for FailingWatcher {
+        fn name(&self) -> &'static str {
+            "failing"
+        }
+        fn sample(&mut self, _t: f64, _dt: f64) -> Result<PartialSample, SynapseError> {
+            Err(SynapseError::Watcher {
+                name: "failing",
+                reason: "boom".into(),
+            })
+        }
+    }
+
+    #[test]
+    fn watcher_errors_propagate_through_join() {
+        let handle = spawn_watcher(Box::new(FailingWatcher), SampleSchedule::Constant { hz: 10.0 }).unwrap();
+        std::thread::sleep(Duration::from_millis(20));
+        handle.terminate();
+        assert!(handle.join().is_err());
+    }
+
+    #[test]
+    fn combine_merges_indexwise() {
+        let mut cpu = Vec::new();
+        let mut io = Vec::new();
+        for i in 0..3 {
+            let mut c = Sample::at(i as f64 * 0.1, 0.1);
+            c.compute.cycles = 100;
+            cpu.push(c);
+            let mut d = Sample::at(i as f64 * 0.1 + 0.003, 0.1); // drifted
+            d.storage.bytes_written = 50;
+            io.push(d);
+        }
+        io.pop(); // unequal lengths
+        let combined = combine_series(vec![cpu, io], &SampleSchedule::Constant { hz: 10.0 });
+        assert_eq!(combined.len(), 3);
+        assert_eq!(combined[0].compute.cycles, 100);
+        assert_eq!(combined[0].storage.bytes_written, 50);
+        assert_eq!(combined[2].compute.cycles, 100);
+        assert_eq!(combined[2].storage.bytes_written, 0); // missing tail
+        // Canonical grid, drift discarded.
+        assert!((combined[1].t - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn combine_empty_input() {
+        let sched = SampleSchedule::Constant { hz: 10.0 };
+        assert!(combine_series(Vec::new(), &sched).is_empty());
+        assert!(combine_series(vec![Vec::new(), Vec::new()], &sched).is_empty());
+    }
+}

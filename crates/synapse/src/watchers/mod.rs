@@ -1,0 +1,12 @@
+//! The concrete watcher plugins: CPU (hardware counters), memory
+//! (`/proc/<pid>/status`) and disk I/O (`/proc/<pid>/io`).
+//!
+//! Each corresponds to one Watcher box in Figure 1 of the paper.
+
+pub mod cpu;
+pub mod io;
+pub mod mem;
+
+pub use cpu::CpuWatcher;
+pub use io::IoWatcher;
+pub use mem::MemWatcher;

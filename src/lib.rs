@@ -1,0 +1,15 @@
+//! Umbrella crate for the Synapse reproduction workspace.
+//!
+//! Re-exports the public crates so examples and integration tests can
+//! use one dependency. Downstream users would normally depend on the
+//! individual crates (`synapse`, `synapse-sim`, ...) directly.
+
+pub use synapse;
+pub use synapse_atoms;
+pub use synapse_model;
+pub use synapse_perf;
+pub use synapse_pilot;
+pub use synapse_proc;
+pub use synapse_sim;
+pub use synapse_store;
+pub use synapse_workloads;

@@ -1,0 +1,198 @@
+//! End-to-end tests of the `synapse` command-line binary.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+/// Locate the built `synapse` binary next to the test executable
+/// (target/<profile>/synapse). Skips the test when it has not been
+/// built (e.g. `cargo test -p synapse-repro` alone).
+fn cli_binary() -> Option<PathBuf> {
+    let mut dir = std::env::current_exe().ok()?;
+    dir.pop(); // test binary name
+    if dir.ends_with("deps") {
+        dir.pop();
+    }
+    let candidate = dir.join("synapse");
+    candidate.exists().then_some(candidate)
+}
+
+fn run_cli(args: &[&str]) -> Option<(i32, String, String)> {
+    let bin = cli_binary()?;
+    let output = Command::new(bin).args(args).output().ok()?;
+    Some((
+        output.status.code().unwrap_or(-1),
+        String::from_utf8_lossy(&output.stdout).into_owned(),
+        String::from_utf8_lossy(&output.stderr).into_owned(),
+    ))
+}
+
+#[test]
+fn table1_subcommand_prints_registry() {
+    let Some((code, stdout, _)) = run_cli(&["table1"]) else {
+        eprintln!("synapse binary not built; skipping");
+        return;
+    };
+    assert_eq!(code, 0);
+    assert!(stdout.contains("FLOPs"));
+    assert!(stdout.contains("Network"));
+}
+
+#[test]
+fn machines_subcommand_lists_catalog() {
+    let Some((code, stdout, _)) = run_cli(&["machines"]) else {
+        eprintln!("synapse binary not built; skipping");
+        return;
+    };
+    assert_eq!(code, 0);
+    for name in ["thinkie", "stampede", "archer", "supermic", "comet", "titan"] {
+        assert!(stdout.contains(name), "missing {name} in:\n{stdout}");
+    }
+}
+
+#[test]
+fn profile_then_stats_then_emulate_through_the_binary() {
+    let store = std::env::temp_dir().join(format!("synapse-cli-it-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store);
+    let store_s = store.to_str().unwrap();
+
+    let Some((code, stdout, stderr)) = run_cli(&[
+        "profile",
+        "sleep 0.15",
+        "--tags",
+        "via=cli",
+        "--store",
+        store_s,
+    ]) else {
+        eprintln!("synapse binary not built; skipping");
+        return;
+    };
+    assert_eq!(code, 0, "profile failed: {stderr}");
+    assert!(stdout.contains("Tx="), "{stdout}");
+
+    let (code, stdout, stderr) =
+        run_cli(&["stats", "sleep 0.15", "--tags", "via=cli", "--store", store_s]).unwrap();
+    assert_eq!(code, 0, "stats failed: {stderr}");
+    assert!(stdout.contains("1 runs"), "{stdout}");
+
+    let (code, stdout, stderr) = run_cli(&[
+        "emulate",
+        "sleep 0.15",
+        "--tags",
+        "via=cli",
+        "--kernel",
+        "spin",
+        "--store",
+        store_s,
+    ])
+    .unwrap();
+    assert_eq!(code, 0, "emulate failed: {stderr}");
+    assert!(stdout.contains("emulated"), "{stdout}");
+
+    let (code, stdout, _) =
+        run_cli(&["inspect", "sleep 0.15", "--tags", "via=cli", "--store", store_s]).unwrap();
+    assert_eq!(code, 0);
+    assert!(stdout.contains("\"runtime\""));
+
+    let _ = std::fs::remove_dir_all(store);
+}
+
+#[test]
+fn bad_invocations_exit_nonzero_with_usage() {
+    let Some((code, _, stderr)) = run_cli(&["frobnicate"]) else {
+        eprintln!("synapse binary not built; skipping");
+        return;
+    };
+    assert_ne!(code, 0);
+    assert!(stderr.contains("USAGE"));
+    let (code, _, stderr) = run_cli(&["emulate", "never profiled"]).unwrap();
+    assert_ne!(code, 0);
+    assert!(stderr.contains("error"));
+}
+
+#[test]
+fn worker_subcommand_consumes_cycles() {
+    let Some((code, stdout, stderr)) =
+        run_cli(&["worker", "--kernel", "spin", "--cycles", "5000000"])
+    else {
+        eprintln!("synapse binary not built; skipping");
+        return;
+    };
+    assert_eq!(code, 0, "worker failed: {stderr}");
+    let consumed: u64 = stdout
+        .trim()
+        .strip_prefix("consumed=")
+        .expect("worker reports consumption")
+        .parse()
+        .unwrap();
+    assert!(consumed >= 5_000_000);
+}
+
+#[test]
+fn mpi_mode_emulation_spawns_worker_processes() {
+    // Drive the MPI-analogue path directly through the emulator with
+    // the CLI binary as the worker executable.
+    use synapse::emulator::{EmulationPlan, Emulator, KernelChoice};
+    use synapse_model::{Profile, ProfileKey, Sample, SystemInfo, Tags};
+    use synapse_sim::ParallelMode;
+
+    let Some(worker) = cli_binary() else {
+        eprintln!("synapse binary not built; skipping");
+        return;
+    };
+    let mut profile = Profile::new(
+        ProfileKey::new("mpi-test", Tags::new()),
+        SystemInfo::default(),
+        1.0,
+    );
+    profile.runtime = 1.0;
+    let mut s = Sample::at(0.0, 1.0);
+    s.compute.cycles = 40_000_000;
+    profile.push(s).unwrap();
+
+    let plan = EmulationPlan {
+        kernel: KernelChoice::Spin,
+        threads: 3,
+        mode: ParallelMode::Mpi,
+        worker_binary: Some(worker),
+        emulate_memory: false,
+        emulate_storage: false,
+        emulate_network: false,
+        ..Default::default()
+    };
+    let report = Emulator::new(plan).emulate(&profile).unwrap();
+    assert!(
+        report.consumed.cycles >= 40_000_000,
+        "workers covered the budget: {}",
+        report.consumed.cycles
+    );
+}
+
+#[test]
+fn mpi_mode_without_worker_degrades_to_threads() {
+    use synapse::emulator::{EmulationPlan, Emulator, KernelChoice};
+    use synapse_model::{Profile, ProfileKey, Sample, SystemInfo, Tags};
+    use synapse_sim::ParallelMode;
+
+    let mut profile = Profile::new(
+        ProfileKey::new("mpi-degrade", Tags::new()),
+        SystemInfo::default(),
+        1.0,
+    );
+    profile.runtime = 1.0;
+    let mut s = Sample::at(0.0, 1.0);
+    s.compute.cycles = 10_000_000;
+    profile.push(s).unwrap();
+
+    let plan = EmulationPlan {
+        kernel: KernelChoice::Spin,
+        threads: 2,
+        mode: ParallelMode::Mpi,
+        worker_binary: Some(std::path::PathBuf::from("/no/such/worker")),
+        emulate_memory: false,
+        emulate_storage: false,
+        emulate_network: false,
+        ..Default::default()
+    };
+    let report = Emulator::new(plan).emulate(&profile).unwrap();
+    assert!(report.consumed.cycles >= 10_000_000, "thread fallback covered the budget");
+}

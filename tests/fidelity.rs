@@ -1,0 +1,149 @@
+//! Fidelity tests on the real host: the paper's E.2 sanity check
+//! ("we profiled the emulated application and compared the reported
+//! system resource consumption results"), adaptive sampling, and
+//! plan-from-profile tuning.
+
+use synapse::config::ProfilerConfig;
+use synapse::emulator::{EmulationPlan, Emulator, KernelChoice};
+use synapse::Profiler;
+use synapse_model::{compare_profiles, io_granularity, ProfileKey, Tags};
+use synapse_workloads::{PhaseOp, PhaseScript};
+
+#[test]
+fn profiling_the_emulation_reproduces_the_profile() {
+    // 1. Profile a synthetic application with known demands.
+    let script = PhaseScript::new(vec![
+        PhaseOp::Compute { flops: 60_000_000 },
+        PhaseOp::DiskWrite {
+            bytes: 2 << 20,
+            block: 1 << 20,
+        },
+        PhaseOp::Compute { flops: 60_000_000 },
+    ]);
+    let profiler = Profiler::new(ProfilerConfig::with_rate(10.0));
+    let key = ProfileKey::new("fidelity-app", Tags::new());
+    let (app_outcome, _) = profiler
+        .profile_fn(key, || script.execute().unwrap())
+        .expect("profile the application");
+    let app_profile = &app_outcome.profile;
+    let app_cycles = app_profile.totals().cycles;
+    if app_cycles == 0 {
+        eprintln!("no cycles observed (very fast host?); skipping");
+        return;
+    }
+
+    // 2. Emulate it while profiling the emulation itself.
+    let plan = EmulationPlan {
+        kernel: KernelChoice::Spin,
+        emulate_network: false,
+        ..Default::default()
+    };
+    let emulator = Emulator::new(plan);
+    let key2 = ProfileKey::new("fidelity-emulation", Tags::new());
+    let (emu_outcome, emu_report) = profiler
+        .profile_fn(key2, || emulator.emulate(app_profile).unwrap())
+        .expect("profile the emulation");
+
+    // 3. Compare: the emulation consumed what the profile directed...
+    assert_eq!(emu_report.consumed.directed_cycles, app_cycles);
+    // ...and the *profiler watching the emulation* sees comparable
+    // consumption ("the values are in excellent agreement" — we allow
+    // a generous factor for the shared-host test environment).
+    let comparison = compare_profiles(app_profile, &emu_outcome.profile);
+    if let Some(cycle_err) = comparison.cycles {
+        assert!(
+            cycle_err < 100.0,
+            "re-profiled cycles within 2x of the original: {cycle_err:.1}%"
+        );
+    }
+}
+
+#[test]
+fn adaptive_sampling_produces_dense_startup_then_sparse_tail() {
+    // 10 Hz for the first 0.3 s, then 2 Hz.
+    let profiler = Profiler::new(ProfilerConfig::adaptive(0.3, 2.0));
+    let key = ProfileKey::new("adaptive", Tags::new());
+    let outcome = profiler
+        .profile_command("/bin/sleep", &["1.2"], key)
+        .expect("profile under adaptive schedule");
+    let profile = &outcome.profile;
+    assert!(profile.len() >= 4, "got {} samples", profile.len());
+    // Early samples are 0.1 s wide, late ones 0.5 s wide.
+    let first_dt = profile.samples.first().unwrap().dt;
+    let last_dt = profile.samples.last().unwrap().dt;
+    assert!((first_dt - 0.1).abs() < 1e-9, "startup dt {first_dt}");
+    assert!((last_dt - 0.5).abs() < 1e-9, "steady dt {last_dt}");
+    // Timestamps strictly increase and are consistent with dt.
+    for w in profile.samples.windows(2) {
+        assert!((w[0].t + w[0].dt - w[1].t).abs() < 1e-9);
+    }
+    // The recorded nominal rate is the steady one.
+    assert_eq!(profile.sample_rate_hz, 2.0);
+}
+
+#[test]
+fn plan_from_profile_adopts_profiled_granularity() {
+    // Profile a writer with a distinctive block size, then derive the
+    // plan: it should adopt the profiled granularity.
+    let script = PhaseScript::new(vec![PhaseOp::DiskWrite {
+        bytes: 1 << 20,
+        block: 64 << 10,
+    }]);
+    let profiler = Profiler::new(ProfilerConfig::with_rate(10.0));
+    let key = ProfileKey::new("granularity", Tags::new());
+    let (outcome, _) = profiler
+        .profile_fn(key, || script.execute().unwrap())
+        .unwrap();
+    let g = io_granularity(&outcome.profile);
+    let plan = EmulationPlan::from_profile(&outcome.profile);
+    match g.write_block {
+        Some(block) => {
+            assert_eq!(plan.io_write_block, block.clamp(512, 64 << 20));
+            // The profiled block size should be in the vicinity of
+            // what the script used (the process also writes a little
+            // elsewhere, so allow a broad band).
+            assert!(block >= 1 << 10, "block {block} suspiciously small");
+        }
+        None => {
+            // /proc io denied: plan falls back to the default.
+            assert_eq!(plan.io_write_block, 1 << 20);
+        }
+    }
+    assert!(plan.threads >= 1);
+}
+
+#[test]
+fn emulation_report_totals_match_profile_demands_exactly() {
+    // Accounting invariant on the real backend, with all atoms on.
+    let mut profile = synapse_model::Profile::new(
+        ProfileKey::new("accounting", Tags::new()),
+        synapse_model::SystemInfo::default(),
+        2.0,
+    );
+    profile.runtime = 1.5;
+    for i in 0..3u64 {
+        let mut s = synapse_model::Sample::at(i as f64 * 0.5, 0.5);
+        s.compute.cycles = 2_000_000 * (i + 1);
+        s.storage.bytes_written = 100_000 * (i + 1);
+        s.storage.bytes_read = 50_000;
+        s.memory.allocated = 300_000;
+        s.memory.freed = if i == 2 { 900_000 } else { 0 };
+        s.network.bytes_sent = 10_000;
+        s.network.bytes_recv = 5_000;
+        profile.push(s).unwrap();
+    }
+    let report = Emulator::new(EmulationPlan {
+        kernel: KernelChoice::Spin,
+        ..Default::default()
+    })
+    .emulate(&profile)
+    .unwrap();
+    let t = profile.totals();
+    assert_eq!(report.consumed.directed_cycles, t.cycles);
+    assert_eq!(report.consumed.bytes_written, t.bytes_written);
+    assert_eq!(report.consumed.bytes_read, t.bytes_read);
+    assert_eq!(report.consumed.mem_allocated, t.mem_allocated);
+    assert_eq!(report.consumed.mem_freed, t.mem_freed);
+    assert_eq!(report.consumed.net_sent, t.net_sent);
+    assert_eq!(report.consumed.net_recv, t.net_recv);
+}

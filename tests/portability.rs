@@ -1,0 +1,144 @@
+//! Cross-resource integration tests: the simulated "profile once,
+//! emulate anywhere" pipeline spanning synapse-workloads, synapse-sim,
+//! synapse and synapse-pilot.
+
+use synapse::emulator::{EmulationPlan, Emulator, KernelChoice};
+use synapse_pilot::{PilotAgent, ProxyTask, SchedulerPolicy};
+use synapse_sim::{machine_by_name, thinkie, KernelClass, Noise, MACHINE_NAMES};
+use synapse_workloads::AppModel;
+
+#[test]
+fn thinkie_profile_replays_on_every_catalog_machine() {
+    let app = AppModel::default();
+    let profile = app.simulate_profile(&thinkie(), 1_000_000, 1.0, &mut Noise::none());
+    let emulator = Emulator::new(EmulationPlan::default());
+    for name in MACHINE_NAMES {
+        let machine = machine_by_name(name).unwrap();
+        let report = emulator.simulate(&profile, &machine);
+        assert!(report.tx.is_finite() && report.tx > 0.0, "{name}");
+        assert_eq!(
+            report.consumed.directed_cycles,
+            profile.totals().cycles,
+            "{name}: every directed cycle accounted"
+        );
+        assert!(report.consumed.cycles >= report.consumed.directed_cycles);
+        assert_eq!(report.backend, format!("sim:{name}"));
+    }
+}
+
+#[test]
+fn portability_directions_match_the_paper() {
+    // Fig. 7's converged directions: faster-than-app on Stampede,
+    // slower-than-app on Archer; near-parity on the profiling host.
+    let app = AppModel::default();
+    let steps = 5_000_000;
+    let profile = app.simulate_profile(&thinkie(), steps, 1.0, &mut Noise::none());
+    let emulator = Emulator::new(EmulationPlan::default());
+
+    let check = |name: &str| {
+        let machine = machine_by_name(name).unwrap();
+        let app_tx = app.execute(&machine, steps, &mut Noise::none()).tx;
+        let emu_tx = emulator.simulate(&profile, &machine).tx;
+        (emu_tx - app_tx) / app_tx
+    };
+    assert!(check("thinkie").abs() < 0.05, "parity on the profiling host");
+    assert!(check("stampede") < -0.3, "emulation much faster on stampede");
+    assert!(check("archer") > 0.25, "emulation much slower on archer");
+}
+
+#[test]
+fn kernel_choice_changes_fidelity_not_volume() {
+    let app = AppModel::default();
+    let machine = machine_by_name("comet").unwrap();
+    let profile = app.simulate_profile(&machine, 50_000, 1.0, &mut Noise::none());
+    let directed = profile.totals().cycles;
+
+    let run = |kernel: KernelChoice| {
+        let plan = EmulationPlan {
+            kernel,
+            emulate_storage: false,
+            emulate_memory: false,
+            sim_startup_seconds: 0.0,
+            ..Default::default()
+        };
+        Emulator::new(plan).simulate(&profile, &machine)
+    };
+    let c = run(KernelChoice::C);
+    let asm = run(KernelChoice::Asm);
+    assert_eq!(c.consumed.directed_cycles, directed);
+    assert_eq!(asm.consumed.directed_cycles, directed);
+    // Both overshoot; C overshoots less (E.3's fidelity claim).
+    let over_c = c.consumed.cycles - directed;
+    let over_asm = asm.consumed.cycles - directed;
+    assert!(over_c < over_asm, "C {over_c} < ASM {over_asm}");
+    // IPC ordering carries into instruction counts.
+    assert!(c.consumed.instructions < asm.consumed.instructions);
+}
+
+#[test]
+fn malleability_tune_memory_beyond_the_application() {
+    // §2.1: "we can increase the amount of memory required by the same
+    // proxy application to a specific value, even if the science
+    // problem ... does not require that amount".
+    let app = AppModel::default();
+    let machine = thinkie();
+    let mut profile = app.simulate_profile(&machine, 100_000, 1.0, &mut Noise::none());
+    let original_alloc = profile.totals().mem_allocated;
+    // Tune: demand 10x the memory in the first sample.
+    profile.samples[0].memory.allocated += original_alloc * 9;
+    if let Some(last) = profile.samples.last_mut() {
+        last.memory.freed += original_alloc * 9;
+    }
+    let report = Emulator::new(EmulationPlan {
+        sim_startup_seconds: 0.0,
+        ..Default::default()
+    })
+    .simulate(&profile, &machine);
+    assert_eq!(report.consumed.mem_allocated, original_alloc * 10);
+    assert_eq!(report.consumed.mem_allocated, report.consumed.mem_freed);
+}
+
+#[test]
+fn pilot_workload_is_machine_sensitive() {
+    // The same proxy workload finishes sooner on the faster node —
+    // the cross-machine reasoning the pilot substrate enables.
+    let app = AppModel::default();
+    let mk_tasks = |machine: &synapse_sim::MachineModel| -> Vec<ProxyTask> {
+        (0..8)
+            .map(|i| {
+                let profile =
+                    app.simulate_profile(machine, 1_000_000, 1.0, &mut Noise::none());
+                ProxyTask::new(
+                    format!("t{i}"),
+                    2,
+                    profile,
+                    EmulationPlan {
+                        sim_startup_seconds: 0.2,
+                        ..Default::default()
+                    },
+                )
+            })
+            .collect()
+    };
+    let titan = machine_by_name("titan").unwrap();
+    let supermic = machine_by_name("supermic").unwrap();
+    let titan_report =
+        PilotAgent::new(titan.clone(), SchedulerPolicy::Backfill).execute(&mk_tasks(&titan));
+    let sm_report = PilotAgent::new(supermic.clone(), SchedulerPolicy::Backfill)
+        .execute(&mk_tasks(&supermic));
+    assert!(
+        sm_report.makespan < titan_report.makespan,
+        "supermic ({}) beats titan ({})",
+        sm_report.makespan,
+        titan_report.makespan
+    );
+}
+
+#[test]
+fn application_kernel_class_is_the_profiling_baseline() {
+    // Emulating with the Application "kernel" reproduces the app
+    // exactly (zero overhead) — the sanity anchor of the model.
+    let machine = thinkie();
+    let k = machine.kernel(KernelClass::Application);
+    assert_eq!(k.consumed_cycles(123_456_789), 123_456_789);
+}
