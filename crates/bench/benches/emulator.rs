@@ -33,7 +33,11 @@ fn sim_replay_loop(c: &mut Criterion) {
         let profile = profile_with(n);
         let emulator = Emulator::default();
         group.bench_function(BenchmarkId::new("samples", n), |b| {
-            b.iter(|| emulator.simulate(std::hint::black_box(&profile), &machine).tx)
+            b.iter(|| {
+                emulator
+                    .simulate(std::hint::black_box(&profile), &machine)
+                    .tx
+            })
         });
     }
     group.finish();

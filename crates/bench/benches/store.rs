@@ -66,7 +66,11 @@ fn profile_serialization(c: &mut Criterion) {
         });
         let json = p.to_json().unwrap();
         group.bench_function(BenchmarkId::new("deserialize", n), |b| {
-            b.iter(|| Profile::from_json(std::hint::black_box(&json)).unwrap().len())
+            b.iter(|| {
+                Profile::from_json(std::hint::black_box(&json))
+                    .unwrap()
+                    .len()
+            })
         });
     }
     group.finish();

@@ -29,8 +29,12 @@ fn sweep(target: &MachineModel) -> Vec<Row> {
     STEPS_E12
         .iter()
         .map(|&steps| {
-            let profile =
-                app.simulate_profile(&profiling_host, steps, 1.0, &mut Noise::new(7 ^ steps, 0.01));
+            let profile = app.simulate_profile(
+                &profiling_host,
+                steps,
+                1.0,
+                &mut Noise::new(7 ^ steps, 0.01),
+            );
             let app_tx = summarize(&repeated_runs(&app, target, steps, 5, 50), |r| r.tx).mean;
             let emu_tx = emulator.simulate(&profile, target).tx;
             Row {
@@ -78,8 +82,14 @@ pub fn run_fig05() -> String {
 pub fn run_fig07() -> String {
     let mut out = String::new();
     for (name, note) in [
-        ("stampede", "emulation consistently faster; difference converges to ~-40 %"),
-        ("archer", "emulation consistently slower; difference converges to ~+33 %"),
+        (
+            "stampede",
+            "emulation consistently faster; difference converges to ~-40 %",
+        ),
+        (
+            "archer",
+            "emulation consistently slower; difference converges to ~+33 %",
+        ),
     ] {
         let machine = machine_by_name(name).expect("catalog machine");
         let rows = sweep(&machine);
@@ -120,7 +130,11 @@ mod tests {
         );
         // Faster on every converged row.
         for r in &rows[3..] {
-            assert!(r.emu_tx < r.app_tx, "steps {}: consistent direction", r.steps);
+            assert!(
+                r.emu_tx < r.app_tx,
+                "steps {}: consistent direction",
+                r.steps
+            );
         }
     }
 
@@ -134,7 +148,11 @@ mod tests {
             last.diff()
         );
         for r in &rows[3..] {
-            assert!(r.emu_tx > r.app_tx, "steps {}: consistent direction", r.steps);
+            assert!(
+                r.emu_tx > r.app_tx,
+                "steps {}: consistent direction",
+                r.steps
+            );
         }
     }
 

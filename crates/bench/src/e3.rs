@@ -217,7 +217,10 @@ mod tests {
             )
         });
         assert!((c - 3.5).abs() < 2.0, "comet C err {c} (paper ~3.5)");
-        assert!((asm - 14.5).abs() < 4.0, "comet ASM err {asm} (paper ~14.5)");
+        assert!(
+            (asm - 14.5).abs() < 4.0,
+            "comet ASM err {asm} (paper ~14.5)"
+        );
 
         let sm_points = sweep(&supermic());
         let (c, asm) = converged_err(&sm_points, |p| {
@@ -227,7 +230,10 @@ mod tests {
             )
         });
         assert!((c - 4.0).abs() < 2.0, "supermic C err {c} (paper ~4.0)");
-        assert!((asm - 26.5).abs() < 5.0, "supermic ASM err {asm} (paper ~26.5)");
+        assert!(
+            (asm - 26.5).abs() < 5.0,
+            "supermic ASM err {asm} (paper ~26.5)"
+        );
     }
 
     #[test]

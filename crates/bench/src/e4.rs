@@ -62,11 +62,7 @@ pub fn run_fig12() -> String {
         let profile = app.simulate_profile(&machine, STEPS, 1.0, &mut Noise::none());
         out.push_str(&format!(
             "\n[{} — {} cores]\n{:>7} {:>16} {:>16}\n",
-            machine.name,
-            machine.cpu.ncores,
-            "cores",
-            "OpenMP Tx (s)",
-            "OpenMPI Tx (s)"
+            machine.name, machine.cpu.ncores, "cores", "OpenMP Tx (s)", "OpenMPI Tx (s)"
         ));
         for workers in core_counts(&machine) {
             let omp = emulated_tx(&machine, workers, ParallelMode::OpenMp, &profile, 120);
@@ -184,9 +180,7 @@ mod tests {
     #[test]
     fn supermic_faster_than_titan() {
         // E.4: "Supermic executes the tasks faster than Titan".
-        assert!(
-            tx(&supermic(), 1, ParallelMode::OpenMp) < tx(&titan(), 1, ParallelMode::OpenMp)
-        );
+        assert!(tx(&supermic(), 1, ParallelMode::OpenMp) < tx(&titan(), 1, ParallelMode::OpenMp));
     }
 
     #[test]
@@ -199,7 +193,13 @@ mod tests {
         let mut last_emu = f64::INFINITY;
         for workers in [1u32, 2, 4, 8, 16] {
             let a = app
-                .execute_parallel(&machine, STEPS, workers, ParallelMode::OpenMp, &mut Noise::none())
+                .execute_parallel(
+                    &machine,
+                    STEPS,
+                    workers,
+                    ParallelMode::OpenMp,
+                    &mut Noise::none(),
+                )
                 .tx;
             let e = tx(&machine, workers, ParallelMode::OpenMp);
             assert!(a <= last_app + 1e-9);

@@ -10,14 +10,7 @@
 use synapse_sim::{comet, supermic, titan, FsKind, IoOp};
 
 /// The swept block sizes (bytes), 4 KiB … 16 MiB.
-pub const BLOCKS: [u64; 6] = [
-    4 << 10,
-    64 << 10,
-    256 << 10,
-    1 << 20,
-    4 << 20,
-    16 << 20,
-];
+pub const BLOCKS: [u64; 6] = [4 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20, 16 << 20];
 
 /// Total bytes moved per configuration.
 pub const TOTAL_BYTES: u64 = 256 << 20;

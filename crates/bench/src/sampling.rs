@@ -127,7 +127,10 @@ pub fn run_fig02() -> String {
         "Fig 2 — Sampling effects: per-sample concurrent replay removes\n\
          serialization the application had; higher sampling rates reduce the effect.\n\n",
     );
-    out.push_str(&format!("application (serialized) Tx: {:.2} s\n\n", app_runtime()));
+    out.push_str(&format!(
+        "application (serialized) Tx: {:.2} s\n\n",
+        app_runtime()
+    ));
     out.push_str(&format!(
         "{:>10} {:>10} {:>14} {:>12}\n",
         "rate (Hz)", "samples", "emulated Tx", "vs app (%)"
@@ -149,7 +152,9 @@ pub fn run_fig02() -> String {
     let tx_unordered = emulate(&profile, &machine, false);
     out.push_str(&format!(
         "{:>10} {:>10} {:>14.2} {:>+12.1}   (ordering disabled — ablation)\n",
-        "-", 1, tx_unordered,
+        "-",
+        1,
+        tx_unordered,
         (tx_unordered - app_runtime()) / app_runtime() * 100.0
     ));
     out
@@ -224,10 +229,13 @@ mod tests {
         let ct = coarse.totals();
         // Binning must not change totals (within integer rounding of
         // per-bin casts: allow 0.1 %).
-        let close = |a: u64, b: u64| {
-            (a as f64 - b as f64).abs() / (a as f64).max(1.0) < 1e-3
-        };
-        assert!(close(ft.cycles, ct.cycles), "{} vs {}", ft.cycles, ct.cycles);
+        let close = |a: u64, b: u64| (a as f64 - b as f64).abs() / (a as f64).max(1.0) < 1e-3;
+        assert!(
+            close(ft.cycles, ct.cycles),
+            "{} vs {}",
+            ft.cycles,
+            ct.cycles
+        );
         assert!(close(ft.bytes_written, ct.bytes_written));
     }
 

@@ -58,7 +58,11 @@ pub trait ComputeKernel: Send + Sync {
     /// Consume a directed cycle budget by executing whole work units.
     fn execute_cycles(&self, directed: u64) -> KernelRun {
         let unit = self.unit_cycles().max(1);
-        let units = if directed == 0 { 0 } else { directed.div_ceil(unit) };
+        let units = if directed == 0 {
+            0
+        } else {
+            directed.div_ceil(unit)
+        };
         let start = Instant::now();
         std::hint::black_box(self.run_units(units));
         KernelRun {
@@ -81,7 +85,11 @@ pub trait ComputeKernel: Send + Sync {
             return self.execute_cycles(directed);
         }
         let unit = self.unit_cycles().max(1);
-        let units = if directed == 0 { 0 } else { directed.div_ceil(unit) };
+        let units = if directed == 0 {
+            0
+        } else {
+            directed.div_ceil(unit)
+        };
         let per = units / threads as u64;
         let extra = units % threads as u64;
         let start = Instant::now();
@@ -340,9 +348,16 @@ mod tests {
 
     #[test]
     fn matmul_kernels_calibrate_and_run() {
-        for k in [&InCacheAsmKernel::new() as &dyn ComputeKernel, &CMatmulKernel::new()] {
+        for k in [
+            &InCacheAsmKernel::new() as &dyn ComputeKernel,
+            &CMatmulKernel::new(),
+        ] {
             let unit = k.unit_cycles();
-            assert!(unit > 1000, "{}: unit {unit} too small to be real", k.name());
+            assert!(
+                unit > 1000,
+                "{}: unit {unit} too small to be real",
+                k.name()
+            );
             let run = k.execute_cycles(unit * 2);
             assert_eq!(run.units, 2);
             assert!(run.elapsed > Duration::ZERO);

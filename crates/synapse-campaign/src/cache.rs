@@ -1,0 +1,177 @@
+//! Memoization of scenario results, persisted through `synapse-store`.
+//!
+//! Every scenario point is keyed by a content fingerprint of its axis
+//! values plus the engine version; re-running a grown campaign only
+//! simulates points whose fingerprints are not in the cache. The cache
+//! is a [`DocumentDb`] collection, so persistence reuses the store
+//! layer's JSON-per-collection format (one `campaign_results.json`
+//! file under the cache directory).
+
+use std::path::{Path, PathBuf};
+
+use synapse_store::{Document, DocumentDb, Query, DEFAULT_DOC_LIMIT};
+
+use crate::error::CampaignError;
+use crate::grid::{fnv1a, ScenarioPoint};
+use crate::runner::PointResult;
+
+/// Bump when simulation semantics change: stale cached results from an
+/// older engine must not satisfy a newer campaign.
+pub const ENGINE_VERSION: u32 = 1;
+
+const COLLECTION: &str = "campaign_results";
+
+/// Content fingerprint of a scenario point (hex, stable across runs
+/// and platforms).
+pub fn fingerprint(point: &ScenarioPoint) -> String {
+    // The index is display-only; exclude it so reordering axes or
+    // growing the grid never changes a point's identity.
+    let mut canonical = point.clone();
+    canonical.index = 0;
+    let json = serde_json::to_string(&canonical).expect("point serializes");
+    format!("{:016x}", fnv1a(json.as_bytes(), ENGINE_VERSION as u64))
+}
+
+/// A fingerprint-keyed result store.
+pub struct ResultCache {
+    db: DocumentDb,
+    dir: Option<PathBuf>,
+}
+
+impl ResultCache {
+    /// An in-memory cache (lives for one process).
+    pub fn in_memory() -> Self {
+        ResultCache {
+            db: DocumentDb::new(),
+            dir: None,
+        }
+    }
+
+    /// Open (or create) a cache persisted under `dir`.
+    pub fn open(dir: impl AsRef<Path>) -> Result<Self, CampaignError> {
+        let dir = dir.as_ref().to_path_buf();
+        let db = DocumentDb::open(&dir, DEFAULT_DOC_LIMIT)?;
+        Ok(ResultCache { db, dir: Some(dir) })
+    }
+
+    /// Cached result for a fingerprint, if any.
+    pub fn get(&self, fingerprint: &str) -> Option<PointResult> {
+        self.db
+            .with_collection(COLLECTION, |c| {
+                c.get(fingerprint).and_then(|doc| doc.decode().ok())
+            })
+            .flatten()
+    }
+
+    /// Store a result under its fingerprint (idempotent).
+    pub fn put(&self, fingerprint: &str, result: &PointResult) -> Result<(), CampaignError> {
+        let doc = Document::new(fingerprint, result)?;
+        self.db.upsert(COLLECTION, doc)?;
+        Ok(())
+    }
+
+    /// Number of cached results.
+    pub fn len(&self) -> usize {
+        self.db.count(COLLECTION, &Query::all())
+    }
+
+    /// Whether the cache holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Write the cache back to its directory (no-op for in-memory
+    /// caches).
+    pub fn persist(&self) -> Result<(), CampaignError> {
+        if let Some(dir) = &self.dir {
+            self.db.save(dir)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::PointResult;
+    use crate::spec::CampaignSpec;
+
+    fn points() -> Vec<ScenarioPoint> {
+        let spec = CampaignSpec::from_toml(
+            r#"
+            name = "cache"
+            machines = ["thinkie", "comet"]
+            kernels = ["asm"]
+
+            [[workloads]]
+            app = "gromacs"
+            steps = [1000]
+            "#,
+        )
+        .unwrap();
+        crate::grid::expand(&spec)
+    }
+
+    fn result_for(point: &ScenarioPoint) -> PointResult {
+        PointResult {
+            point: point.clone(),
+            fingerprint: fingerprint(point),
+            tx: 1.5,
+            app_tx: 1.0,
+            samples: 3,
+            directed_cycles: 100,
+            consumed_cycles: 110,
+            instructions: 220,
+            bytes_written: 64,
+        }
+    }
+
+    #[test]
+    fn fingerprints_are_stable_and_index_independent() {
+        let ps = points();
+        let mut a = ps[0].clone();
+        assert_eq!(fingerprint(&a), fingerprint(&ps[0]));
+        a.index = 999;
+        assert_eq!(fingerprint(&a), fingerprint(&ps[0]), "index excluded");
+        assert_ne!(fingerprint(&ps[0]), fingerprint(&ps[1]));
+        let mut reseeded = ps[0].clone();
+        reseeded.seed ^= 1;
+        assert_ne!(fingerprint(&reseeded), fingerprint(&ps[0]), "seed included");
+    }
+
+    #[test]
+    fn put_get_roundtrip_in_memory() {
+        let cache = ResultCache::in_memory();
+        let ps = points();
+        let r = result_for(&ps[0]);
+        assert!(cache.get(&r.fingerprint).is_none());
+        cache.put(&r.fingerprint, &r).unwrap();
+        assert_eq!(cache.get(&r.fingerprint).unwrap(), r);
+        assert_eq!(cache.len(), 1);
+        // Idempotent.
+        cache.put(&r.fingerprint, &r).unwrap();
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn persist_and_reopen() {
+        let dir =
+            std::env::temp_dir().join(format!("synapse-campaign-cache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let cache = ResultCache::open(&dir).unwrap();
+            for p in &points() {
+                let r = result_for(p);
+                cache.put(&r.fingerprint, &r).unwrap();
+            }
+            cache.persist().unwrap();
+        }
+        let reopened = ResultCache::open(&dir).unwrap();
+        assert_eq!(reopened.len(), points().len());
+        for p in &points() {
+            let got = reopened.get(&fingerprint(p)).unwrap();
+            assert_eq!(got.point, *p);
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

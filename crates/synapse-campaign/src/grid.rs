@@ -1,0 +1,253 @@
+//! Cartesian expansion of campaign axes into concrete scenario points.
+
+use serde::{Deserialize, Serialize};
+use synapse::emulator::KernelChoice;
+use synapse_pilot::SchedulerPolicy;
+use synapse_sim::ParallelMode;
+use synapse_workloads::AppModel;
+
+use crate::spec::CampaignSpec;
+
+/// One concrete scenario: a fully-bound combination of axis values.
+///
+/// The point carries everything that determines its simulation outcome
+/// (including campaign-level knobs like the profiling machine and the
+/// noise level), so its content fingerprint is a sound memoization key.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioPoint {
+    /// Position in deterministic grid order.
+    pub index: usize,
+    /// Workload/application name.
+    pub workload: String,
+    /// Iteration count.
+    pub steps: u64,
+    /// Target machine (catalog name).
+    pub machine: String,
+    /// Compute kernel (`asm` | `c` | `spin`).
+    pub kernel: String,
+    /// Parallel mode (`openmp` | `mpi`).
+    pub mode: String,
+    /// Worker width.
+    pub threads: u32,
+    /// I/O block size in bytes.
+    pub io_block: u64,
+    /// Profiling sample rate in Hz.
+    pub sample_rate: f64,
+    /// Machine the synthetic profile is taken on.
+    pub profile_machine: String,
+    /// Measurement-noise coefficient of variation.
+    pub noise_cv: f64,
+    /// Per-point seed, derived deterministically from the campaign
+    /// seed and the point's axis values (not its index, so growing an
+    /// axis never reshuffles existing points' seeds).
+    pub seed: u64,
+}
+
+impl ScenarioPoint {
+    /// Human-readable one-line label.
+    pub fn label(&self) -> String {
+        format!(
+            "{}/{}steps on {} [{}･{}×{} io={} rate={}]",
+            self.workload,
+            self.steps,
+            self.machine,
+            self.kernel,
+            self.mode,
+            self.threads,
+            self.io_block,
+            self.sample_rate,
+        )
+    }
+}
+
+/// Resolve a workload name to its application model.
+pub fn app_by_name(name: &str) -> Option<AppModel> {
+    match name.to_ascii_lowercase().as_str() {
+        "gromacs" => Some(AppModel::gromacs()),
+        "amber" => Some(AppModel::amber()),
+        _ => None,
+    }
+}
+
+/// Resolve a kernel name to a [`KernelChoice`].
+pub fn kernel_by_name(name: &str) -> Option<KernelChoice> {
+    match name.to_ascii_lowercase().as_str() {
+        "asm" => Some(KernelChoice::Asm),
+        "c" => Some(KernelChoice::C),
+        "spin" => Some(KernelChoice::Spin),
+        _ => None,
+    }
+}
+
+/// Resolve a parallel-mode name.
+pub fn mode_by_name(name: &str) -> Option<ParallelMode> {
+    match name.to_ascii_lowercase().as_str() {
+        "openmp" | "omp" => Some(ParallelMode::OpenMp),
+        "mpi" | "openmpi" => Some(ParallelMode::Mpi),
+        _ => None,
+    }
+}
+
+/// Resolve a pilot scheduler policy name.
+pub fn policy_by_name(name: &str) -> Option<SchedulerPolicy> {
+    match name.to_ascii_lowercase().as_str() {
+        "fifo" => Some(SchedulerPolicy::Fifo),
+        "backfill" => Some(SchedulerPolicy::Backfill),
+        _ => None,
+    }
+}
+
+/// FNV-1a 64-bit, the workspace-wide stable hash for seeds and
+/// fingerprints (no `DefaultHasher` — its output may change between
+/// Rust releases, which would silently invalidate caches).
+pub fn fnv1a(bytes: &[u8], seed: u64) -> u64 {
+    let mut hash = 0xcbf29ce484222325u64 ^ seed;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x100000001b3);
+    }
+    hash
+}
+
+/// Expand a validated spec into its full scenario grid, in
+/// deterministic axis order (workloads ▸ steps ▸ machines ▸ kernels ▸
+/// modes ▸ threads ▸ io_blocks ▸ sample_rates).
+pub fn expand(spec: &CampaignSpec) -> Vec<ScenarioPoint> {
+    let mut points = Vec::with_capacity(spec.point_count());
+    for workload in &spec.workloads {
+        for &steps in &workload.steps {
+            for machine in &spec.machines {
+                for kernel in &spec.kernels {
+                    for mode in &spec.modes {
+                        for &threads in &spec.threads {
+                            for &io_block in &spec.io_blocks {
+                                for &sample_rate in &spec.sample_rates {
+                                    let axes = format!(
+                                        "{}|{steps}|{machine}|{kernel}|{mode}|{threads}|{io_block}|{sample_rate}|{}|{}",
+                                        workload.app, spec.profile_machine, spec.noise_cv,
+                                    );
+                                    points.push(ScenarioPoint {
+                                        index: points.len(),
+                                        workload: workload.app.clone(),
+                                        steps,
+                                        machine: machine.clone(),
+                                        kernel: kernel.clone(),
+                                        mode: mode.clone(),
+                                        threads,
+                                        io_block,
+                                        sample_rate,
+                                        profile_machine: spec.profile_machine.clone(),
+                                        noise_cv: spec.noise_cv,
+                                        seed: fnv1a(axes.as_bytes(), spec.seed),
+                                    });
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    points
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::CampaignSpec;
+
+    fn spec() -> CampaignSpec {
+        CampaignSpec::from_toml(
+            r#"
+            name = "grid"
+            seed = 3
+            machines = ["thinkie", "comet", "titan"]
+            kernels = ["asm", "c"]
+            modes = ["openmp", "mpi"]
+            threads = [1, 4]
+
+            [[workloads]]
+            app = "gromacs"
+            steps = [10000, 100000]
+            "#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn expansion_matches_point_count_and_indices() {
+        let s = spec();
+        let points = expand(&s);
+        assert_eq!(points.len(), s.point_count());
+        assert_eq!(points.len(), 2 * 3 * 2 * 2 * 2);
+        for (i, p) in points.iter().enumerate() {
+            assert_eq!(p.index, i);
+        }
+    }
+
+    #[test]
+    fn expansion_is_deterministic() {
+        let a = expand(&spec());
+        let b = expand(&spec());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn seeds_differ_per_point_but_are_stable_under_axis_growth() {
+        let s = spec();
+        let points = expand(&s);
+        let mut seeds: Vec<u64> = points.iter().map(|p| p.seed).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), points.len(), "all seeds distinct");
+
+        // Growing the machines axis keeps existing points' seeds.
+        let mut grown = s.clone();
+        grown.machines.push("stampede".into());
+        let grown_points = expand(&grown);
+        for p in &points {
+            let same = grown_points
+                .iter()
+                .find(|q| {
+                    q.machine == p.machine
+                        && q.steps == p.steps
+                        && q.kernel == p.kernel
+                        && q.mode == p.mode
+                        && q.threads == p.threads
+                })
+                .unwrap();
+            assert_eq!(same.seed, p.seed, "seed survives axis growth");
+        }
+    }
+
+    #[test]
+    fn campaign_seed_changes_all_point_seeds() {
+        let s = spec();
+        let mut reseeded = s.clone();
+        reseeded.seed = 4;
+        let a = expand(&s);
+        let b = expand(&reseeded);
+        assert!(a.iter().zip(&b).all(|(x, y)| x.seed != y.seed));
+    }
+
+    #[test]
+    fn name_resolvers() {
+        assert!(app_by_name("GROMACS").is_some());
+        assert!(app_by_name("amber").is_some());
+        assert!(app_by_name("namd").is_none());
+        assert!(kernel_by_name("ASM").is_some());
+        assert!(kernel_by_name("rust").is_none());
+        assert!(mode_by_name("mpi").is_some());
+        assert!(mode_by_name("serial").is_none());
+        assert!(policy_by_name("backfill").is_some());
+        assert!(policy_by_name("sjf").is_none());
+    }
+
+    #[test]
+    fn fnv_is_stable() {
+        // Pinned value: if this changes, persisted caches invalidate.
+        assert_eq!(fnv1a(b"synapse", 0), 0x617e928964c1b218);
+        assert_eq!(fnv1a(b"", 0), 0xcbf29ce484222325);
+        assert_ne!(fnv1a(b"a", 0), fnv1a(b"a", 1));
+    }
+}

@@ -1,0 +1,162 @@
+#![warn(missing_docs)]
+
+//! `synapse-campaign` — a parallel scenario-sweep engine over the
+//! Synapse simulator.
+//!
+//! The paper's promise is *cheap exploration*: profile an application
+//! once, then ask "how would it behave on machine M with kernel K,
+//! parallel mode P, I/O block B?" without owning machine M. One-shot
+//! questions go through [`synapse::Emulator::simulate`]; this crate
+//! scales that to **campaigns** — declarative sweeps over the
+//! cartesian product of those axes, run in parallel, memoized, and
+//! summarized:
+//!
+//! * [`spec`] — [`CampaignSpec`], deserializable from TOML (subset,
+//!   see [`toml`]) or JSON, declaring the axes;
+//! * [`grid`] — cartesian expansion into [`ScenarioPoint`]s with
+//!   deterministic per-point seeds;
+//! * [`runner`] — a worker pool driving the simulator in virtual time;
+//! * [`cache`] — fingerprint-keyed memoization persisted through
+//!   `synapse-store`, so re-running a grown campaign only simulates
+//!   new points;
+//! * [`aggregate`] — mean/p50/p95/p99 per axis slice plus
+//!   relative-error-vs-reference-machine views;
+//! * [`report`] — deterministic JSON/CSV reports (identical spec +
+//!   seed ⇒ byte-identical JSON).
+//!
+//! ```
+//! use synapse_campaign::{run_campaign, CampaignSpec, RunConfig};
+//!
+//! let spec = CampaignSpec::from_toml(r#"
+//!     name = "quick"
+//!     machines = ["thinkie", "comet"]
+//!     kernels = ["asm", "c"]
+//!
+//!     [[workloads]]
+//!     app = "gromacs"
+//!     steps = [10000]
+//! "#).unwrap();
+//! let outcome = run_campaign(&spec, &RunConfig::default(), None).unwrap();
+//! assert_eq!(outcome.report.points, 4);
+//! println!("{}", outcome.report.render_summary());
+//! ```
+
+pub mod aggregate;
+pub mod cache;
+pub mod error;
+pub mod grid;
+pub mod report;
+pub mod runner;
+pub mod spec;
+pub mod toml;
+
+use std::path::Path;
+
+pub use aggregate::{AxisSlice, Percentiles, ReferenceError};
+pub use cache::{fingerprint, ResultCache, ENGINE_VERSION};
+pub use error::CampaignError;
+pub use grid::{expand, ScenarioPoint};
+pub use report::{CampaignReport, PilotSummary, PointRow};
+pub use runner::{simulate_point, PointResult, RunConfig, RunStats};
+pub use spec::{CampaignSpec, PilotSpec, WorkloadSpec};
+
+/// A finished campaign: the deterministic report plus this run's
+/// execution counters.
+#[derive(Debug, Clone)]
+pub struct CampaignOutcome {
+    /// Deterministic aggregate report.
+    pub report: CampaignReport,
+    /// This run's counters (simulated vs. cached, wall time).
+    pub stats: RunStats,
+}
+
+/// Expand, execute and summarize a campaign.
+///
+/// With a `cache_dir`, results persist across invocations: a re-run
+/// (or a grown campaign) only simulates points whose fingerprints are
+/// missing, and the cache is written back afterwards.
+pub fn run_campaign(
+    spec: &CampaignSpec,
+    config: &RunConfig,
+    cache_dir: Option<&Path>,
+) -> Result<CampaignOutcome, CampaignError> {
+    let cache = match cache_dir {
+        Some(dir) => ResultCache::open(dir)?,
+        None => ResultCache::in_memory(),
+    };
+    let points = expand(spec);
+    let (results, stats) = runner::run_points(&points, &cache, config)?;
+    cache.persist()?;
+    let report = CampaignReport::assemble(spec, &results)?;
+    Ok(CampaignOutcome { report, stats })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> CampaignSpec {
+        CampaignSpec::from_toml(
+            r#"
+            name = "integration"
+            seed = 99
+            machines = ["thinkie", "supermic", "titan"]
+            kernels = ["asm", "c"]
+            modes = ["openmp", "mpi"]
+
+            [[workloads]]
+            app = "gromacs"
+            steps = [10000, 100000]
+
+            [[workloads]]
+            app = "amber"
+            steps = [50000]
+            "#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn end_to_end_run_produces_full_report() {
+        let s = spec();
+        let outcome = run_campaign(&s, &RunConfig::default(), None).unwrap();
+        assert_eq!(outcome.report.points, 3 * 3 * 2 * 2);
+        assert_eq!(outcome.stats.simulated, outcome.report.points);
+        assert_eq!(outcome.stats.cache_hits, 0);
+        assert!(outcome.stats.points_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn determinism_same_spec_same_seed_byte_identical_json() {
+        let s = spec();
+        let a = run_campaign(&s, &RunConfig { workers: 1 }, None).unwrap();
+        let b = run_campaign(&s, &RunConfig { workers: 8 }, None).unwrap();
+        assert_eq!(
+            a.report.to_json().unwrap(),
+            b.report.to_json().unwrap(),
+            "worker count must not leak into the report"
+        );
+        let mut reseeded = s.clone();
+        reseeded.seed = 100;
+        let c = run_campaign(&reseeded, &RunConfig::default(), None).unwrap();
+        assert_ne!(a.report.to_json().unwrap(), c.report.to_json().unwrap());
+    }
+
+    #[test]
+    fn persistent_cache_across_invocations() {
+        let dir = std::env::temp_dir().join(format!("synapse-campaign-e2e-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let s = spec();
+        let first = run_campaign(&s, &RunConfig::default(), Some(&dir)).unwrap();
+        assert_eq!(first.stats.simulated, s.point_count());
+        let second = run_campaign(&s, &RunConfig::default(), Some(&dir)).unwrap();
+        assert_eq!(second.stats.simulated, 0);
+        assert_eq!(second.stats.cache_hits, s.point_count());
+        assert_eq!(
+            first.report.to_json().unwrap(),
+            second.report.to_json().unwrap(),
+            "cached replay reproduces the report byte-for-byte"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

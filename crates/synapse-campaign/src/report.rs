@@ -1,0 +1,396 @@
+//! Campaign reports: deterministic JSON and CSV renderings.
+
+use serde::{Deserialize, Serialize};
+use synapse::emulator::EmulationPlan;
+use synapse_pilot::{PilotAgent, ProxyTask};
+use synapse_sim::Noise;
+
+use crate::aggregate::{axis_slices, reference_errors, AxisSlice, ReferenceError};
+use crate::cache::ENGINE_VERSION;
+use crate::error::CampaignError;
+use crate::grid::{app_by_name, kernel_by_name, mode_by_name, policy_by_name};
+use crate::runner::PointResult;
+use crate::spec::CampaignSpec;
+
+/// One compact per-point row (the CSV payload, also embedded in the
+/// JSON report).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PointRow {
+    /// Grid index.
+    pub index: usize,
+    /// Workload name.
+    pub workload: String,
+    /// Iteration count.
+    pub steps: u64,
+    /// Target machine.
+    pub machine: String,
+    /// Compute kernel.
+    pub kernel: String,
+    /// Parallel mode.
+    pub mode: String,
+    /// Worker width.
+    pub threads: u32,
+    /// I/O block size.
+    pub io_block: u64,
+    /// Sample rate in Hz.
+    pub sample_rate: f64,
+    /// Emulated runtime (virtual seconds).
+    pub tx: f64,
+    /// Application baseline runtime.
+    pub app_tx: f64,
+    /// Emulation error vs. the baseline, percent.
+    pub error_pct: f64,
+}
+
+/// Outcome of the optional pilot-scheduling stage on one machine.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PilotSummary {
+    /// The machine the pilot occupied.
+    pub machine: String,
+    /// Scheduler policy used.
+    pub policy: String,
+    /// Tasks scheduled (= scenario points on that machine).
+    pub tasks: usize,
+    /// Virtual makespan of the packed workload.
+    pub makespan: f64,
+    /// Core-seconds utilization of the pilot.
+    pub utilization: f64,
+}
+
+/// The full, deterministic campaign report.
+///
+/// Identical spec + seed ⇒ byte-identical [`CampaignReport::to_json`]
+/// output: every collection is sorted, floats format stably, and no
+/// wall-clock quantity is included (throughput lives in
+/// [`crate::runner::RunStats`], which is reported separately).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignReport {
+    /// Campaign name from the spec.
+    pub name: String,
+    /// Engine version that produced the results.
+    pub engine_version: u32,
+    /// Master seed.
+    pub seed: u64,
+    /// Total scenario points.
+    pub points: usize,
+    /// Reference machine for the relative-difference view.
+    pub reference_machine: String,
+    /// Per-axis-value summaries, sorted by (axis, value).
+    pub slices: Vec<AxisSlice>,
+    /// Per-machine runtime deviation vs. the reference machine.
+    pub reference_errors: Vec<ReferenceError>,
+    /// Pilot stage summaries (empty when the stage is disabled).
+    pub pilot: Vec<PilotSummary>,
+    /// Per-point rows in grid order.
+    pub results: Vec<PointRow>,
+}
+
+impl CampaignReport {
+    /// Assemble a report from a finished sweep.
+    pub fn assemble(
+        spec: &CampaignSpec,
+        results: &[PointResult],
+    ) -> Result<CampaignReport, CampaignError> {
+        let rows = results
+            .iter()
+            .map(|r| PointRow {
+                index: r.point.index,
+                workload: r.point.workload.clone(),
+                steps: r.point.steps,
+                machine: r.point.machine.clone(),
+                kernel: r.point.kernel.clone(),
+                mode: r.point.mode.clone(),
+                threads: r.point.threads,
+                io_block: r.point.io_block,
+                sample_rate: r.point.sample_rate,
+                tx: r.tx,
+                app_tx: r.app_tx,
+                error_pct: r.error_pct(),
+            })
+            .collect();
+        let pilot = match &spec.pilot {
+            Some(p) => pilot_stage(results, &p.policy)?,
+            None => Vec::new(),
+        };
+        Ok(CampaignReport {
+            name: spec.name.clone(),
+            engine_version: ENGINE_VERSION,
+            seed: spec.seed,
+            points: results.len(),
+            reference_machine: spec.reference_machine.clone(),
+            slices: axis_slices(results),
+            reference_errors: reference_errors(results, &spec.reference_machine),
+            pilot,
+            results: rows,
+        })
+    }
+
+    /// Deterministic JSON rendering (compact).
+    pub fn to_json(&self) -> Result<String, CampaignError> {
+        Ok(serde_json::to_string(self)?)
+    }
+
+    /// Deterministic pretty JSON rendering.
+    pub fn to_json_pretty(&self) -> Result<String, CampaignError> {
+        Ok(serde_json::to_string_pretty(self)?)
+    }
+
+    /// Parse a report back from JSON.
+    pub fn from_json(text: &str) -> Result<CampaignReport, CampaignError> {
+        Ok(serde_json::from_str(text)?)
+    }
+
+    /// Per-point CSV rendering (header + one row per point, grid
+    /// order).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "index,workload,steps,machine,kernel,mode,threads,io_block,sample_rate,tx,app_tx,error_pct\n",
+        );
+        for r in &self.results {
+            out.push_str(&format!(
+                "{},{},{},{},{},{},{},{},{},{},{},{}\n",
+                r.index,
+                r.workload,
+                r.steps,
+                r.machine,
+                r.kernel,
+                r.mode,
+                r.threads,
+                r.io_block,
+                r.sample_rate,
+                r.tx,
+                r.app_tx,
+                r.error_pct,
+            ));
+        }
+        out
+    }
+
+    /// A short human-readable summary (CLI output).
+    pub fn render_summary(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "campaign {:?}: {} points, reference machine {}\n",
+            self.name, self.points, self.reference_machine
+        ));
+        for s in self.slices.iter().filter(|s| s.axis == "machine") {
+            out.push_str(&format!(
+                "  machine {:<10} tx p50={:>10.3}s p95={:>10.3}s p99={:>10.3}s  |err| mean={:>6.1}%\n",
+                s.value, s.tx.p50, s.tx.p95, s.tx.p99, s.error_pct.mean.abs(),
+            ));
+        }
+        for e in &self.reference_errors {
+            out.push_str(&format!(
+                "  vs {}: {:<10} mean {:+.1}% (p95 {:+.1}%) over {} pairs\n",
+                self.reference_machine, e.machine, e.rel_diff_pct.mean, e.rel_diff_pct.p95, e.pairs,
+            ));
+        }
+        for p in &self.pilot {
+            out.push_str(&format!(
+                "  pilot {:<10} {} tasks, makespan {:.1}s, utilization {:.0}%\n",
+                p.machine,
+                p.tasks,
+                p.makespan,
+                p.utilization * 100.0,
+            ));
+        }
+        out
+    }
+}
+
+/// Build the proxy task for one scenario point (profile synthesis is
+/// the expensive part; [`pilot_stage`] fans it out over threads).
+fn proxy_task(r: &PointResult) -> Result<ProxyTask, CampaignError> {
+    let app = app_by_name(&r.point.workload)
+        .ok_or_else(|| CampaignError::UnknownWorkload(r.point.workload.clone()))?;
+    let profile_machine = synapse_sim::machine_by_name(&r.point.profile_machine)
+        .ok_or_else(|| CampaignError::UnknownMachine(r.point.profile_machine.clone()))?;
+    let mut noise = Noise::new(r.point.seed, r.point.noise_cv);
+    let profile = app.simulate_profile(
+        &profile_machine,
+        r.point.steps,
+        r.point.sample_rate,
+        &mut noise,
+    );
+    let plan = EmulationPlan {
+        kernel: kernel_by_name(&r.point.kernel)
+            .ok_or_else(|| CampaignError::UnknownKernel(r.point.kernel.clone()))?,
+        mode: mode_by_name(&r.point.mode)
+            .ok_or_else(|| CampaignError::UnknownMode(r.point.mode.clone()))?,
+        io_write_block: r.point.io_block,
+        io_read_block: r.point.io_block,
+        ..Default::default()
+    };
+    Ok(ProxyTask::new(
+        format!("point-{:06}", r.point.index),
+        r.point.threads,
+        profile,
+        plan,
+    ))
+}
+
+/// Pack each machine's scenario points onto a pilot agent as proxy
+/// tasks and report the schedule (use case 2.1 of the paper, at
+/// campaign scale).
+///
+/// Task synthesis re-creates each point's profile — as expensive as
+/// the sweep's own per-point work — so it runs across a worker pool;
+/// only the (cheap, per-machine) schedule simulation is serial.
+fn pilot_stage(results: &[PointResult], policy: &str) -> Result<Vec<PilotSummary>, CampaignError> {
+    let policy_enum = policy_by_name(policy)
+        .ok_or_else(|| CampaignError::Spec(format!("unknown pilot policy {policy:?}")))?;
+
+    // Synthesize every point's task in parallel, keeping result order.
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let slots: Vec<std::sync::Mutex<Option<Result<ProxyTask, CampaignError>>>> = results
+        .iter()
+        .map(|_| std::sync::Mutex::new(None))
+        .collect();
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(16)
+        .min(results.len().max(1));
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let idx = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if idx >= results.len() {
+                    return;
+                }
+                *slots[idx].lock().expect("slot lock") = Some(proxy_task(&results[idx]));
+            });
+        }
+    });
+    let mut tasks_by_machine: std::collections::BTreeMap<&str, Vec<ProxyTask>> =
+        std::collections::BTreeMap::new();
+    for (r, slot) in results.iter().zip(slots) {
+        let task = slot
+            .into_inner()
+            .expect("slot lock")
+            .expect("every slot filled")?;
+        tasks_by_machine
+            .entry(r.point.machine.as_str())
+            .or_default()
+            .push(task);
+    }
+
+    let mut summaries = Vec::new();
+    for (machine_name, tasks) in tasks_by_machine {
+        let machine = synapse_sim::machine_by_name(machine_name)
+            .ok_or_else(|| CampaignError::UnknownMachine(machine_name.to_string()))?;
+        let agent = PilotAgent::new(machine, policy_enum);
+        let schedule = agent.execute(&tasks);
+        summaries.push(PilotSummary {
+            machine: machine_name.to_string(),
+            policy: policy.to_string(),
+            tasks: schedule.tasks.len(),
+            makespan: schedule.makespan,
+            utilization: schedule.utilization(),
+        });
+    }
+    Ok(summaries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::ResultCache;
+    use crate::grid::expand;
+    use crate::runner::{run_points, RunConfig};
+
+    fn spec(pilot: bool) -> CampaignSpec {
+        let base = r#"
+        name = "report"
+        seed = 5
+        machines = ["thinkie", "comet", "titan"]
+        kernels = ["asm", "c"]
+
+        [[workloads]]
+        app = "gromacs"
+        steps = [10000, 100000]
+        "#;
+        let text = if pilot {
+            format!("{base}\n[pilot]\npolicy = \"backfill\"\n")
+        } else {
+            base.to_string()
+        };
+        CampaignSpec::from_toml(&text).unwrap()
+    }
+
+    fn report(pilot: bool) -> CampaignReport {
+        let s = spec(pilot);
+        let (results, _) = run_points(
+            &expand(&s),
+            &ResultCache::in_memory(),
+            &RunConfig::default(),
+        )
+        .unwrap();
+        CampaignReport::assemble(&s, &results).unwrap()
+    }
+
+    #[test]
+    fn report_shape_and_grid_order() {
+        let r = report(false);
+        assert_eq!(r.points, 12);
+        assert_eq!(r.results.len(), 12);
+        for (i, row) in r.results.iter().enumerate() {
+            assert_eq!(row.index, i);
+        }
+        assert!(r.pilot.is_empty());
+        assert_eq!(r.reference_machine, "thinkie");
+        assert_eq!(r.reference_errors.len(), 2);
+        assert!(!r.slices.is_empty());
+    }
+
+    #[test]
+    fn json_roundtrip_and_determinism() {
+        let a = report(false);
+        let b = report(false);
+        let ja = a.to_json().unwrap();
+        let jb = b.to_json().unwrap();
+        assert_eq!(ja, jb, "byte-identical for identical spec+seed");
+        let back = CampaignReport::from_json(&ja).unwrap();
+        assert_eq!(back, a);
+        // Pretty form parses back too.
+        let pretty = a.to_json_pretty().unwrap();
+        assert_eq!(CampaignReport::from_json(&pretty).unwrap(), a);
+    }
+
+    #[test]
+    fn csv_has_header_and_all_rows() {
+        let r = report(false);
+        let csv = r.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 13);
+        assert!(lines[0].starts_with("index,workload,steps,machine"));
+        assert!(lines[1].starts_with("0,gromacs,10000,"));
+        for line in &lines[1..] {
+            assert_eq!(line.split(',').count(), 12);
+        }
+    }
+
+    #[test]
+    fn pilot_stage_schedules_every_machine() {
+        let r = report(true);
+        assert_eq!(r.pilot.len(), 3);
+        for p in &r.pilot {
+            assert_eq!(p.policy, "backfill");
+            assert_eq!(p.tasks, 4, "4 points per machine");
+            assert!(p.makespan > 0.0);
+            assert!(p.utilization > 0.0 && p.utilization <= 1.0);
+        }
+        let machines: Vec<&str> = r.pilot.iter().map(|p| p.machine.as_str()).collect();
+        assert_eq!(machines, vec!["comet", "thinkie", "titan"], "sorted");
+    }
+
+    #[test]
+    fn summary_renders_key_lines() {
+        let r = report(true);
+        let s = r.render_summary();
+        assert!(s.contains("campaign \"report\""));
+        assert!(s.contains("machine comet"));
+        assert!(s.contains("vs thinkie"));
+        assert!(s.contains("pilot"));
+    }
+}

@@ -1,0 +1,396 @@
+//! The multi-threaded campaign executor.
+//!
+//! Scenario points are independent, so the runner fans them out over a
+//! pool of worker threads pulling indices from a shared atomic
+//! counter. Every simulation runs in *virtual* time (the machine
+//! models' clock), which is what makes thousand-point sweeps complete
+//! in seconds of wall time. Results land back in grid order, so the
+//! outcome is deterministic regardless of thread interleaving.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+use synapse::emulator::{EmulationPlan, Emulator};
+use synapse_sim::Noise;
+
+use crate::cache::{fingerprint, ResultCache};
+use crate::error::CampaignError;
+use crate::grid::{app_by_name, fnv1a, kernel_by_name, mode_by_name, ScenarioPoint};
+
+/// Outcome of simulating one scenario point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PointResult {
+    /// The scenario this result belongs to.
+    pub point: ScenarioPoint,
+    /// Content fingerprint the result is cached under.
+    pub fingerprint: String,
+    /// Emulated execution time Tx on the target machine (virtual
+    /// seconds).
+    pub tx: f64,
+    /// Modelled *application* execution time on the same machine — the
+    /// baseline the paper measures emulation fidelity against.
+    pub app_tx: f64,
+    /// Samples replayed.
+    pub samples: usize,
+    /// Cycles the profile directed.
+    pub directed_cycles: u64,
+    /// Cycles the kernel actually consumed (≥ directed).
+    pub consumed_cycles: u64,
+    /// Instructions retired (consumed × kernel IPC).
+    pub instructions: u64,
+    /// Bytes the storage atom wrote.
+    pub bytes_written: u64,
+}
+
+impl PointResult {
+    /// Relative emulation error vs. the application baseline, in
+    /// percent (positive ⇒ emulation slower).
+    pub fn error_pct(&self) -> f64 {
+        if self.app_tx <= 0.0 {
+            return 0.0;
+        }
+        (self.tx - self.app_tx) / self.app_tx * 100.0
+    }
+
+    /// Cycle overshoot fraction (kernel quantization + overhead).
+    pub fn overshoot_frac(&self) -> f64 {
+        if self.directed_cycles == 0 {
+            return 0.0;
+        }
+        self.consumed_cycles as f64 / self.directed_cycles as f64 - 1.0
+    }
+}
+
+/// How to execute a campaign.
+#[derive(Debug, Clone, Default)]
+pub struct RunConfig {
+    /// Worker threads (0 ⇒ one per available core, capped at 16).
+    pub workers: usize,
+}
+
+impl RunConfig {
+    fn effective_workers(&self, points: usize) -> usize {
+        let auto = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .min(16);
+        let configured = if self.workers == 0 {
+            auto
+        } else {
+            self.workers
+        };
+        configured.clamp(1, points.max(1))
+    }
+}
+
+/// Execution counters for one campaign run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunStats {
+    /// Total scenario points.
+    pub points: usize,
+    /// Points actually simulated this run.
+    pub simulated: usize,
+    /// Points served from the result cache.
+    pub cache_hits: usize,
+    /// Wall-clock duration of the sweep.
+    pub wall_secs: f64,
+}
+
+impl RunStats {
+    /// Sweep throughput (points per wall-clock second).
+    pub fn points_per_sec(&self) -> f64 {
+        if self.wall_secs <= 0.0 {
+            return 0.0;
+        }
+        self.points as f64 / self.wall_secs
+    }
+
+    /// Fraction of points served from cache.
+    pub fn hit_rate(&self) -> f64 {
+        if self.points == 0 {
+            return 0.0;
+        }
+        self.cache_hits as f64 / self.points as f64
+    }
+}
+
+/// Simulate one scenario point (no cache involved).
+///
+/// The pipeline per point mirrors the paper's workflow: synthesize the
+/// workload's profile on the profiling machine at the requested sample
+/// rate, then replay it through the emulator on the target machine
+/// with the requested kernel/parallelism/I/O plan. The application's
+/// own modelled runtime on the target machine is computed alongside as
+/// the fidelity baseline.
+pub fn simulate_point(point: &ScenarioPoint) -> Result<PointResult, CampaignError> {
+    let app = app_by_name(&point.workload)
+        .ok_or_else(|| CampaignError::UnknownWorkload(point.workload.clone()))?;
+    let profile_machine = synapse_sim::machine_by_name(&point.profile_machine)
+        .ok_or_else(|| CampaignError::UnknownMachine(point.profile_machine.clone()))?;
+    let machine = synapse_sim::machine_by_name(&point.machine)
+        .ok_or_else(|| CampaignError::UnknownMachine(point.machine.clone()))?;
+    let kernel = kernel_by_name(&point.kernel)
+        .ok_or_else(|| CampaignError::UnknownKernel(point.kernel.clone()))?;
+    let mode =
+        mode_by_name(&point.mode).ok_or_else(|| CampaignError::UnknownMode(point.mode.clone()))?;
+
+    let mut profile_noise = Noise::new(point.seed, point.noise_cv);
+    let profile = app.simulate_profile(
+        &profile_machine,
+        point.steps,
+        point.sample_rate,
+        &mut profile_noise,
+    );
+
+    let plan = EmulationPlan {
+        kernel,
+        threads: point.threads,
+        mode,
+        io_write_block: point.io_block,
+        io_read_block: point.io_block,
+        ..Default::default()
+    };
+    let report = Emulator::new(plan).simulate(&profile, &machine);
+
+    // Application baseline on the target machine, with its own noise
+    // stream (decorrelated from the profiling noise).
+    let mut app_noise = Noise::new(fnv1a(b"app-baseline", point.seed), point.noise_cv);
+    let app_run = if point.threads > 1 {
+        app.execute_parallel(&machine, point.steps, point.threads, mode, &mut app_noise)
+    } else {
+        app.execute(&machine, point.steps, &mut app_noise)
+    };
+
+    Ok(PointResult {
+        fingerprint: fingerprint(point),
+        point: point.clone(),
+        tx: report.tx,
+        app_tx: app_run.tx,
+        samples: report.samples,
+        directed_cycles: report.consumed.directed_cycles,
+        consumed_cycles: report.consumed.cycles,
+        instructions: report.consumed.instructions,
+        bytes_written: report.consumed.bytes_written,
+    })
+}
+
+/// Run all points through the worker pool, serving memoized results
+/// from `cache` and writing fresh ones back. Results return in grid
+/// order.
+pub fn run_points(
+    points: &[ScenarioPoint],
+    cache: &ResultCache,
+    config: &RunConfig,
+) -> Result<(Vec<PointResult>, RunStats), CampaignError> {
+    let started = Instant::now();
+    let next = AtomicUsize::new(0);
+    let simulated = AtomicUsize::new(0);
+    let cache_hits = AtomicUsize::new(0);
+    let results: Mutex<Vec<Option<PointResult>>> = Mutex::new(vec![None; points.len()]);
+    let first_error: Mutex<Option<CampaignError>> = Mutex::new(None);
+
+    let workers = config.effective_workers(points.len());
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let idx = next.fetch_add(1, Ordering::Relaxed);
+                if idx >= points.len() {
+                    return;
+                }
+                if first_error.lock().expect("error lock").is_some() {
+                    return;
+                }
+                let point = &points[idx];
+                let fp = fingerprint(point);
+                let outcome = match cache.get(&fp) {
+                    Some(mut hit) => {
+                        cache_hits.fetch_add(1, Ordering::Relaxed);
+                        // The fingerprint excludes the grid index, so a
+                        // hit may come from a differently-shaped grid
+                        // (a grown campaign): rebind it to this run's
+                        // position.
+                        hit.point.index = point.index;
+                        Ok(hit)
+                    }
+                    None => {
+                        simulated.fetch_add(1, Ordering::Relaxed);
+                        simulate_point(point).and_then(|r| {
+                            cache.put(&fp, &r)?;
+                            Ok(r)
+                        })
+                    }
+                };
+                match outcome {
+                    Ok(result) => {
+                        results.lock().expect("results lock")[idx] = Some(result);
+                    }
+                    Err(e) => {
+                        first_error.lock().expect("error lock").get_or_insert(e);
+                        return;
+                    }
+                }
+            });
+        }
+    });
+
+    if let Some(e) = first_error.into_inner().expect("error lock") {
+        return Err(e);
+    }
+    let mut collected = Vec::with_capacity(points.len());
+    for (i, slot) in results
+        .into_inner()
+        .expect("results lock")
+        .into_iter()
+        .enumerate()
+    {
+        // A missing slot can only mean a worker bailed out after the
+        // first error, which we returned above — but stay defensive.
+        collected
+            .push(slot.ok_or_else(|| CampaignError::Spec(format!("point {i} was not executed")))?);
+    }
+    let stats = RunStats {
+        points: points.len(),
+        simulated: simulated.into_inner(),
+        cache_hits: cache_hits.into_inner(),
+        wall_secs: started.elapsed().as_secs_f64(),
+    };
+    Ok((collected, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::expand;
+    use crate::spec::CampaignSpec;
+
+    fn small_spec() -> CampaignSpec {
+        CampaignSpec::from_toml(
+            r#"
+            name = "runner"
+            seed = 11
+            machines = ["thinkie", "comet", "titan"]
+            kernels = ["asm", "c"]
+
+            [[workloads]]
+            app = "gromacs"
+            steps = [10000, 50000]
+            "#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn simulate_point_produces_consistent_physics() {
+        let points = expand(&small_spec());
+        let r = simulate_point(&points[0]).unwrap();
+        assert!(r.tx > 1.0, "startup second accounted: {}", r.tx);
+        assert!(r.app_tx > 0.0);
+        assert!(r.samples > 0);
+        assert!(r.consumed_cycles >= r.directed_cycles);
+        assert!(r.instructions > 0);
+        assert!(r.overshoot_frac() >= 0.0);
+    }
+
+    #[test]
+    fn simulation_is_deterministic() {
+        let points = expand(&small_spec());
+        let a = simulate_point(&points[3]).unwrap();
+        let b = simulate_point(&points[3]).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parallel_run_matches_grid_order_and_counts() {
+        let points = expand(&small_spec());
+        let cache = ResultCache::in_memory();
+        let (results, stats) = run_points(&points, &cache, &RunConfig { workers: 4 }).unwrap();
+        assert_eq!(results.len(), points.len());
+        for (i, r) in results.iter().enumerate() {
+            assert_eq!(r.point.index, i, "grid order preserved");
+        }
+        assert_eq!(stats.points, points.len());
+        assert_eq!(stats.simulated, points.len());
+        assert_eq!(stats.cache_hits, 0);
+        assert!(stats.points_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn second_run_is_all_cache_hits_and_skips_simulation() {
+        let points = expand(&small_spec());
+        let cache = ResultCache::in_memory();
+        let config = RunConfig { workers: 3 };
+        let (first, s1) = run_points(&points, &cache, &config).unwrap();
+        assert_eq!(s1.simulated, points.len());
+        let (second, s2) = run_points(&points, &cache, &config).unwrap();
+        assert_eq!(s2.simulated, 0, "cache must satisfy every point");
+        assert_eq!(s2.cache_hits, points.len());
+        assert_eq!(s2.hit_rate(), 1.0);
+        assert_eq!(first, second, "cached results identical");
+    }
+
+    #[test]
+    fn grown_campaign_only_simulates_new_points() {
+        let spec = small_spec();
+        let cache = ResultCache::in_memory();
+        let config = RunConfig::default();
+        let (_, s1) = run_points(&expand(&spec), &cache, &config).unwrap();
+        assert_eq!(s1.simulated, spec.point_count());
+
+        let mut grown = spec.clone();
+        grown.machines.push("stampede".into());
+        let grown_points = expand(&grown);
+        let (results, s2) = run_points(&grown_points, &cache, &config).unwrap();
+        let new_points = grown.point_count() - spec.point_count();
+        assert_eq!(s2.simulated, new_points, "only the new machine simulates");
+        assert_eq!(s2.cache_hits, spec.point_count());
+        assert_eq!(results.len(), grown.point_count());
+        for (i, r) in results.iter().enumerate() {
+            assert_eq!(
+                r.point.index, i,
+                "cache hits must be rebound to the grown grid's indices"
+            );
+        }
+    }
+
+    #[test]
+    fn workers_dont_change_results() {
+        let points = expand(&small_spec());
+        let serial = run_points(
+            &points,
+            &ResultCache::in_memory(),
+            &RunConfig { workers: 1 },
+        )
+        .unwrap()
+        .0;
+        let parallel = run_points(
+            &points,
+            &ResultCache::in_memory(),
+            &RunConfig { workers: 8 },
+        )
+        .unwrap()
+        .0;
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn faster_reference_machines_emulate_faster() {
+        // Physics sanity through the whole campaign path: the same
+        // workload finishes sooner on Stampede than on the laptop.
+        let mut spec = small_spec();
+        spec.machines = vec!["thinkie".into(), "stampede".into()];
+        spec.kernels = vec!["asm".into()];
+        let points = expand(&spec);
+        let (results, _) =
+            run_points(&points, &ResultCache::in_memory(), &RunConfig::default()).unwrap();
+        let tx_of = |machine: &str, steps: u64| {
+            results
+                .iter()
+                .find(|r| r.point.machine == machine && r.point.steps == steps)
+                .unwrap()
+                .tx
+        };
+        assert!(tx_of("stampede", 50000) < tx_of("thinkie", 50000));
+    }
+}

@@ -1,0 +1,293 @@
+//! Declarative campaign specifications.
+//!
+//! A campaign declares *axes*; the engine sweeps their cartesian
+//! product. Axes mirror the malleability dimensions of the paper's
+//! evaluation: workloads × step counts (§5), machines (§5 "Experiment
+//! Platform"), kernels (E.3), parallel modes and widths (E.4), I/O
+//! block sizes (E.5) and profiling sample rates (E.1).
+
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::CampaignError;
+use crate::toml::toml_to_value;
+
+/// One workload axis entry: an application model plus step counts.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadSpec {
+    /// Application name: `gromacs` or `amber`
+    /// (see [`synapse_workloads::AppModel`]).
+    pub app: String,
+    /// Iteration counts to sweep.
+    pub steps: Vec<u64>,
+}
+
+/// Optional pilot-scheduling stage: after the sweep, each machine's
+/// scenario points are packed onto a pilot agent as proxy tasks.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PilotSpec {
+    /// Scheduler policy: `fifo` or `backfill`.
+    pub policy: String,
+}
+
+/// A declarative scenario sweep (deserializable from TOML or JSON).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignSpec {
+    /// Campaign name (reports carry it).
+    pub name: String,
+    /// Master seed; every scenario point derives its own seed from it.
+    #[serde(default)]
+    pub seed: u64,
+    /// Workloads to sweep.
+    pub workloads: Vec<WorkloadSpec>,
+    /// Machine models to sweep (catalog names).
+    pub machines: Vec<String>,
+    /// Compute kernels to sweep (`asm` | `c` | `spin`).
+    pub kernels: Vec<String>,
+    /// Parallel modes (`openmp` | `mpi`). Empty ⇒ `["openmp"]`.
+    #[serde(default)]
+    pub modes: Vec<String>,
+    /// Worker widths. Empty ⇒ `[1]`.
+    #[serde(default)]
+    pub threads: Vec<u32>,
+    /// I/O block sizes in bytes. Empty ⇒ `[1 MiB]`.
+    #[serde(default)]
+    pub io_blocks: Vec<u64>,
+    /// Profiling sample rates in Hz. Empty ⇒ `[10.0]`.
+    #[serde(default)]
+    pub sample_rates: Vec<f64>,
+    /// Machine the synthetic profiles are "taken" on (the paper
+    /// profiles on Thinkie). Empty ⇒ `thinkie`.
+    #[serde(default)]
+    pub profile_machine: String,
+    /// Machine used as the baseline for relative-error aggregation.
+    /// Empty ⇒ the first machine of the axis.
+    #[serde(default)]
+    pub reference_machine: String,
+    /// Coefficient of variation of the simulated measurement noise
+    /// (seeded, so still deterministic). Defaults to 0.
+    #[serde(default)]
+    pub noise_cv: f64,
+    /// Optional pilot-scheduling stage.
+    #[serde(default)]
+    pub pilot: Option<PilotSpec>,
+}
+
+impl CampaignSpec {
+    /// Parse a spec from JSON text.
+    pub fn from_json(text: &str) -> Result<Self, CampaignError> {
+        let spec: CampaignSpec = serde_json::from_str(text)?;
+        spec.validated()
+    }
+
+    /// Parse a spec from TOML text (the subset documented in
+    /// [`crate::toml`]).
+    pub fn from_toml(text: &str) -> Result<Self, CampaignError> {
+        let value = toml_to_value(text)?;
+        let spec: CampaignSpec = serde_json::from_value(value)?;
+        spec.validated()
+    }
+
+    /// Load a spec from a file, dispatching on the extension
+    /// (`.json` ⇒ JSON, anything else ⇒ TOML).
+    pub fn from_path(path: impl AsRef<Path>) -> Result<Self, CampaignError> {
+        let path = path.as_ref();
+        let text = std::fs::read_to_string(path)?;
+        if path.extension().is_some_and(|e| e == "json") {
+            Self::from_json(&text)
+        } else {
+            Self::from_toml(&text)
+        }
+    }
+
+    /// Apply defaults and validate axis values against the catalogs.
+    fn validated(mut self) -> Result<Self, CampaignError> {
+        if self.modes.is_empty() {
+            self.modes = vec!["openmp".into()];
+        }
+        if self.threads.is_empty() {
+            self.threads = vec![1];
+        }
+        if self.io_blocks.is_empty() {
+            self.io_blocks = vec![1 << 20];
+        }
+        if self.sample_rates.is_empty() {
+            self.sample_rates = vec![10.0];
+        }
+        if self.profile_machine.is_empty() {
+            self.profile_machine = "thinkie".into();
+        }
+        if self.reference_machine.is_empty() {
+            self.reference_machine = self
+                .machines
+                .first()
+                .cloned()
+                .ok_or(CampaignError::EmptyAxis("machines"))?;
+        }
+
+        if self.workloads.is_empty() {
+            return Err(CampaignError::EmptyAxis("workloads"));
+        }
+        if self.workloads.iter().any(|w| w.steps.is_empty()) {
+            return Err(CampaignError::EmptyAxis("workloads.steps"));
+        }
+        if self.kernels.is_empty() {
+            return Err(CampaignError::EmptyAxis("kernels"));
+        }
+        for w in &self.workloads {
+            crate::grid::app_by_name(&w.app)
+                .ok_or_else(|| CampaignError::UnknownWorkload(w.app.clone()))?;
+        }
+        for m in self
+            .machines
+            .iter()
+            .chain([&self.profile_machine, &self.reference_machine])
+        {
+            if synapse_sim::machine_by_name(m).is_none() {
+                return Err(CampaignError::UnknownMachine(m.clone()));
+            }
+        }
+        for k in &self.kernels {
+            crate::grid::kernel_by_name(k)
+                .ok_or_else(|| CampaignError::UnknownKernel(k.clone()))?;
+        }
+        for m in &self.modes {
+            crate::grid::mode_by_name(m).ok_or_else(|| CampaignError::UnknownMode(m.clone()))?;
+        }
+        if !self.machines.contains(&self.reference_machine) {
+            return Err(CampaignError::Spec(format!(
+                "reference machine {:?} is not on the machines axis",
+                self.reference_machine
+            )));
+        }
+        if let Some(pilot) = &self.pilot {
+            crate::grid::policy_by_name(&pilot.policy).ok_or_else(|| {
+                CampaignError::Spec(format!(
+                    "unknown pilot policy {:?} (fifo | backfill)",
+                    pilot.policy
+                ))
+            })?;
+        }
+        if !self.noise_cv.is_finite() || self.noise_cv < 0.0 {
+            return Err(CampaignError::Spec(format!(
+                "noise_cv must be finite and >= 0, got {}",
+                self.noise_cv
+            )));
+        }
+        Ok(self)
+    }
+
+    /// Number of scenario points the spec expands into.
+    pub fn point_count(&self) -> usize {
+        let steps: usize = self.workloads.iter().map(|w| w.steps.len()).sum();
+        steps
+            * self.machines.len()
+            * self.kernels.len()
+            * self.modes.len()
+            * self.threads.len()
+            * self.io_blocks.len()
+            * self.sample_rates.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn minimal_toml() -> &'static str {
+        r#"
+        name = "mini"
+        seed = 7
+        machines = ["thinkie", "comet"]
+        kernels = ["asm", "c"]
+
+        [[workloads]]
+        app = "gromacs"
+        steps = [10000, 50000]
+        "#
+    }
+
+    #[test]
+    fn toml_spec_parses_with_defaults() {
+        let spec = CampaignSpec::from_toml(minimal_toml()).unwrap();
+        assert_eq!(spec.name, "mini");
+        assert_eq!(spec.seed, 7);
+        assert_eq!(spec.modes, vec!["openmp".to_string()]);
+        assert_eq!(spec.threads, vec![1]);
+        assert_eq!(spec.io_blocks, vec![1 << 20]);
+        assert_eq!(spec.sample_rates, vec![10.0]);
+        assert_eq!(spec.profile_machine, "thinkie");
+        assert_eq!(spec.reference_machine, "thinkie");
+        assert_eq!(spec.point_count(), 2 * 2 * 2);
+        assert!(spec.pilot.is_none());
+    }
+
+    #[test]
+    fn json_spec_parses() {
+        let json =
+            serde_json::to_string(&CampaignSpec::from_toml(minimal_toml()).unwrap()).unwrap();
+        let spec = CampaignSpec::from_json(&json).unwrap();
+        assert_eq!(spec.point_count(), 8);
+    }
+
+    #[test]
+    fn unknown_axis_values_are_rejected() {
+        let bad_machine = minimal_toml().replace("comet", "frontier");
+        assert!(matches!(
+            CampaignSpec::from_toml(&bad_machine),
+            Err(CampaignError::UnknownMachine(_))
+        ));
+        let bad_kernel = minimal_toml().replace("\"c\"", "\"fortran\"");
+        assert!(matches!(
+            CampaignSpec::from_toml(&bad_kernel),
+            Err(CampaignError::UnknownKernel(_))
+        ));
+        let bad_app = minimal_toml().replace("gromacs", "namd");
+        assert!(matches!(
+            CampaignSpec::from_toml(&bad_app),
+            Err(CampaignError::UnknownWorkload(_))
+        ));
+    }
+
+    #[test]
+    fn reference_machine_must_be_on_axis() {
+        // Top-level keys must precede table sections in TOML.
+        let toml = format!("reference_machine = \"titan\"\n{}", minimal_toml());
+        assert!(matches!(
+            CampaignSpec::from_toml(&toml),
+            Err(CampaignError::Spec(_))
+        ));
+        let ok = format!("reference_machine = \"comet\"\n{}", minimal_toml());
+        assert_eq!(
+            CampaignSpec::from_toml(&ok).unwrap().reference_machine,
+            "comet"
+        );
+    }
+
+    #[test]
+    fn empty_axes_are_rejected() {
+        let toml = r#"
+        name = "empty"
+        machines = ["thinkie"]
+        kernels = []
+
+        [[workloads]]
+        app = "gromacs"
+        steps = [1000]
+        "#;
+        assert!(matches!(
+            CampaignSpec::from_toml(toml),
+            Err(CampaignError::EmptyAxis("kernels"))
+        ));
+    }
+
+    #[test]
+    fn pilot_stage_parses() {
+        let toml = format!("{}\n[pilot]\npolicy = \"backfill\"\n", minimal_toml());
+        let spec = CampaignSpec::from_toml(&toml).unwrap();
+        assert_eq!(spec.pilot.unwrap().policy, "backfill");
+        let bad = format!("{}\n[pilot]\npolicy = \"random\"\n", minimal_toml());
+        assert!(CampaignSpec::from_toml(&bad).is_err());
+    }
+}

@@ -12,9 +12,16 @@
 //!                  [--threads N] [--write-block BYTES] [--store DIR]
 //! synapse stats    "<command>" [--tags k=v,...] [--store DIR]
 //! synapse inspect  "<command>" [--tags k=v,...] [--store DIR]
+//! synapse campaign run  <spec.toml|json> [--cache DIR] [--workers N]
+//!                  [--json PATH] [--csv PATH]
+//! synapse campaign plan <spec.toml|json>
 //! synapse table1
 //! synapse machines
 //! ```
+//!
+//! The `campaign` subcommand is the scenario-sweep frontend: a
+//! declarative spec expands into the cartesian product of its axes and
+//! runs through [`synapse_campaign`] with memoized results.
 
 use std::path::PathBuf;
 
@@ -80,6 +87,24 @@ pub enum Invocation {
         /// Profile store directory.
         store: PathBuf,
     },
+    /// Run a scenario-sweep campaign from a declarative spec.
+    CampaignRun {
+        /// Path to the TOML/JSON campaign spec.
+        spec: PathBuf,
+        /// Result-cache directory (memoization across runs).
+        cache: PathBuf,
+        /// Worker threads (0 = auto).
+        workers: usize,
+        /// Optional JSON report output path.
+        json_out: Option<PathBuf>,
+        /// Optional CSV report output path.
+        csv_out: Option<PathBuf>,
+    },
+    /// Show what a campaign spec expands into without running it.
+    CampaignPlan {
+        /// Path to the TOML/JSON campaign spec.
+        spec: PathBuf,
+    },
     /// Print the Table 1 metric registry.
     Table1,
     /// List the built-in machine models.
@@ -93,11 +118,71 @@ pub fn default_store() -> PathBuf {
     std::env::temp_dir().join("synapse-profiles")
 }
 
+/// Default campaign result-cache location.
+pub fn default_campaign_cache() -> PathBuf {
+    std::env::temp_dir().join("synapse-campaign-cache")
+}
+
+/// Parse the `campaign <action> <spec>` argument form.
+fn parse_campaign_args(args: &[String]) -> Result<Invocation, String> {
+    let action = args
+        .first()
+        .ok_or("campaign requires an action (run | plan)")?;
+    let mut spec = None;
+    let mut cache = default_campaign_cache();
+    let mut workers = 0usize;
+    let mut json_out = None;
+    let mut csv_out = None;
+    let mut i = 1;
+    while i < args.len() {
+        let arg = &args[i];
+        let value = |i: &mut usize| -> Result<String, String> {
+            *i += 1;
+            args.get(*i)
+                .cloned()
+                .ok_or_else(|| format!("missing value after {arg}"))
+        };
+        match arg.as_str() {
+            "--cache" => cache = PathBuf::from(value(&mut i)?),
+            "--workers" => {
+                workers = value(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?
+            }
+            "--json" => json_out = Some(PathBuf::from(value(&mut i)?)),
+            "--csv" => csv_out = Some(PathBuf::from(value(&mut i)?)),
+            other if other.starts_with("--") => return Err(format!("unknown flag {other}")),
+            other => {
+                if spec.is_some() {
+                    return Err(format!("unexpected positional argument {other:?}"));
+                }
+                spec = Some(PathBuf::from(other));
+            }
+        }
+        i += 1;
+    }
+    let spec = spec.ok_or("campaign requires a spec file argument")?;
+    match action.as_str() {
+        "run" => Ok(Invocation::CampaignRun {
+            spec,
+            cache,
+            workers,
+            json_out,
+            csv_out,
+        }),
+        "plan" => Ok(Invocation::CampaignPlan { spec }),
+        other => Err(format!("unknown campaign action {other} (run | plan)")),
+    }
+}
+
 /// Parse CLI arguments (without the binary name).
 pub fn parse_args(args: &[String]) -> Result<Invocation, String> {
     let Some(sub) = args.first() else {
         return Ok(Invocation::Help);
     };
+    if sub == "campaign" {
+        return parse_campaign_args(&args[1..]);
+    }
     let mut command = None;
     let mut tags = Tags::new();
     let mut rate = 10.0;
@@ -119,11 +204,7 @@ pub fn parse_args(args: &[String]) -> Result<Invocation, String> {
         };
         match arg.as_str() {
             "--tags" => tags = Tags::parse(&value(&mut i)?),
-            "--rate" => {
-                rate = value(&mut i)?
-                    .parse()
-                    .map_err(|e| format!("--rate: {e}"))?
-            }
+            "--rate" => rate = value(&mut i)?.parse().map_err(|e| format!("--rate: {e}"))?,
             "--store" => store = PathBuf::from(value(&mut i)?),
             "--kernel" => kernel = value(&mut i)?,
             "--threads" => {
@@ -145,7 +226,9 @@ pub fn parse_args(args: &[String]) -> Result<Invocation, String> {
             other if other.starts_with("--") => return Err(format!("unknown flag {other}")),
             other => {
                 if command.is_some() {
-                    return Err(format!("unexpected positional argument {other:?} (quote the command)"));
+                    return Err(format!(
+                        "unexpected positional argument {other:?} (quote the command)"
+                    ));
                 }
                 command = Some(other.to_string());
             }
@@ -213,6 +296,9 @@ USAGE:
                    [--store DIR]
   synapse stats    \"<command>\" [--tags k=v,...] [--store DIR]
   synapse inspect  \"<command>\" [--tags k=v,...] [--store DIR]
+  synapse campaign run  <spec.toml|json> [--cache DIR] [--workers N]
+                   [--json PATH] [--csv PATH]
+  synapse campaign plan <spec.toml|json>
   synapse table1
   synapse machines
 ";
@@ -305,6 +391,67 @@ pub fn run(invocation: Invocation, out: &mut impl std::io::Write) -> Result<(), 
             )
             .map_err(|e| e.to_string())?;
         }
+        Invocation::CampaignPlan { spec } => {
+            let spec =
+                synapse_campaign::CampaignSpec::from_path(&spec).map_err(|e| e.to_string())?;
+            let points = synapse_campaign::expand(&spec);
+            writeln!(
+                out,
+                "campaign {:?}: {} points ({} workload-steps × {} machines × {} kernels × {} modes × {} widths × {} io blocks × {} rates)",
+                spec.name,
+                points.len(),
+                spec.workloads.iter().map(|w| w.steps.len()).sum::<usize>(),
+                spec.machines.len(),
+                spec.kernels.len(),
+                spec.modes.len(),
+                spec.threads.len(),
+                spec.io_blocks.len(),
+                spec.sample_rates.len(),
+            )
+            .map_err(|e| e.to_string())?;
+            for p in points.iter().take(10) {
+                writeln!(out, "  [{:>4}] {}", p.index, p.label()).map_err(|e| e.to_string())?;
+            }
+            if points.len() > 10 {
+                writeln!(out, "  ... {} more", points.len() - 10).map_err(|e| e.to_string())?;
+            }
+        }
+        Invocation::CampaignRun {
+            spec,
+            cache,
+            workers,
+            json_out,
+            csv_out,
+        } => {
+            let spec =
+                synapse_campaign::CampaignSpec::from_path(&spec).map_err(|e| e.to_string())?;
+            let config = synapse_campaign::RunConfig { workers };
+            let outcome = synapse_campaign::run_campaign(&spec, &config, Some(&cache))
+                .map_err(|e| e.to_string())?;
+            write!(out, "{}", outcome.report.render_summary()).map_err(|e| e.to_string())?;
+            let stats = outcome.stats;
+            writeln!(
+                out,
+                "  {} points in {:.3}s ({:.0} points/s): {} simulated, {} from cache ({:.0}% hit rate)",
+                stats.points,
+                stats.wall_secs,
+                stats.points_per_sec(),
+                stats.simulated,
+                stats.cache_hits,
+                stats.hit_rate() * 100.0,
+            )
+            .map_err(|e| e.to_string())?;
+            if let Some(path) = json_out {
+                let json = outcome.report.to_json_pretty().map_err(|e| e.to_string())?;
+                std::fs::write(&path, json).map_err(|e| e.to_string())?;
+                writeln!(out, "  report written to {}", path.display())
+                    .map_err(|e| e.to_string())?;
+            }
+            if let Some(path) = csv_out {
+                std::fs::write(&path, outcome.report.to_csv()).map_err(|e| e.to_string())?;
+                writeln!(out, "  csv written to {}", path.display()).map_err(|e| e.to_string())?;
+            }
+        }
         Invocation::Stats {
             command,
             tags,
@@ -355,14 +502,7 @@ mod tests {
     #[test]
     fn parses_profile_with_flags() {
         let inv = parse_args(&argv(&[
-            "profile",
-            "sleep 1",
-            "--tags",
-            "a=1,b=2",
-            "--rate",
-            "2.5",
-            "--store",
-            "/tmp/x",
+            "profile", "sleep 1", "--tags", "a=1,b=2", "--rate", "2.5", "--store", "/tmp/x",
         ]))
         .unwrap();
         match inv {
@@ -384,7 +524,14 @@ mod tests {
     #[test]
     fn parses_emulate_with_kernel_and_threads() {
         let inv = parse_args(&argv(&[
-            "emulate", "app", "--kernel", "c", "--threads", "8", "--write-block", "4096",
+            "emulate",
+            "app",
+            "--kernel",
+            "c",
+            "--threads",
+            "8",
+            "--write-block",
+            "4096",
         ]))
         .unwrap();
         match inv {
@@ -442,6 +589,110 @@ mod tests {
         let mut buf = Vec::new();
         run(Invocation::Help, &mut buf).unwrap();
         assert!(String::from_utf8(buf).unwrap().contains("USAGE"));
+    }
+
+    #[test]
+    fn parses_campaign_run_and_plan() {
+        let inv = parse_args(&argv(&[
+            "campaign",
+            "run",
+            "sweep.toml",
+            "--cache",
+            "/tmp/cc",
+            "--workers",
+            "4",
+            "--json",
+            "out.json",
+            "--csv",
+            "out.csv",
+        ]))
+        .unwrap();
+        match inv {
+            Invocation::CampaignRun {
+                spec,
+                cache,
+                workers,
+                json_out,
+                csv_out,
+            } => {
+                assert_eq!(spec, PathBuf::from("sweep.toml"));
+                assert_eq!(cache, PathBuf::from("/tmp/cc"));
+                assert_eq!(workers, 4);
+                assert_eq!(json_out, Some(PathBuf::from("out.json")));
+                assert_eq!(csv_out, Some(PathBuf::from("out.csv")));
+            }
+            other => panic!("wrong invocation: {other:?}"),
+        }
+        let plan = parse_args(&argv(&["campaign", "plan", "sweep.toml"])).unwrap();
+        assert_eq!(
+            plan,
+            Invocation::CampaignPlan {
+                spec: PathBuf::from("sweep.toml")
+            }
+        );
+        assert!(parse_args(&argv(&["campaign"])).is_err());
+        assert!(parse_args(&argv(&["campaign", "run"])).is_err());
+        assert!(parse_args(&argv(&["campaign", "frob", "x.toml"])).is_err());
+        assert!(parse_args(&argv(&["campaign", "run", "x.toml", "--bogus"])).is_err());
+    }
+
+    #[test]
+    fn campaign_plan_and_run_through_cli_layer() {
+        let dir = std::env::temp_dir().join(format!("synapse-cli-campaign-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let spec_path = dir.join("sweep.toml");
+        std::fs::write(
+            &spec_path,
+            r#"
+            name = "cli-sweep"
+            seed = 1
+            machines = ["thinkie", "comet"]
+            kernels = ["asm", "c"]
+
+            [[workloads]]
+            app = "gromacs"
+            steps = [10000]
+            "#,
+        )
+        .unwrap();
+
+        let mut buf = Vec::new();
+        run(
+            Invocation::CampaignPlan {
+                spec: spec_path.clone(),
+            },
+            &mut buf,
+        )
+        .unwrap();
+        let plan_text = String::from_utf8(buf).unwrap();
+        assert!(plan_text.contains("4 points"), "{plan_text}");
+
+        let cache = dir.join("cache");
+        let json_path = dir.join("report.json");
+        let invocation = || Invocation::CampaignRun {
+            spec: spec_path.clone(),
+            cache: cache.clone(),
+            workers: 2,
+            json_out: Some(json_path.clone()),
+            csv_out: Some(dir.join("report.csv")),
+        };
+        let mut buf1 = Vec::new();
+        run(invocation(), &mut buf1).unwrap();
+        let text1 = String::from_utf8(buf1).unwrap();
+        assert!(text1.contains("4 simulated, 0 from cache"), "{text1}");
+        assert!(json_path.exists());
+        assert!(dir.join("report.csv").exists());
+
+        // Second run is served from the persisted cache.
+        let mut buf2 = Vec::new();
+        run(invocation(), &mut buf2).unwrap();
+        let text2 = String::from_utf8(buf2).unwrap();
+        assert!(
+            text2.contains("0 simulated, 4 from cache (100% hit rate)"),
+            "{text2}"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -64,7 +64,9 @@ mod tests {
         assert!(e.to_string().contains("dt"));
         assert!(e.to_string().contains("negative"));
         assert!(ModelError::EmptyProfile.to_string().contains("no samples"));
-        assert!(ModelError::UnorderedSamples { index: 3 }.to_string().contains('3'));
+        assert!(ModelError::UnorderedSamples { index: 3 }
+            .to_string()
+            .contains('3'));
     }
 
     #[test]

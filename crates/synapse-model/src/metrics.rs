@@ -98,7 +98,12 @@ pub struct MetricUsage {
     pub emulated: Support,
 }
 
-const fn usage(total: Support, sampled: Support, derived: Support, emulated: Support) -> MetricUsage {
+const fn usage(
+    total: Support,
+    sampled: Support,
+    derived: Support,
+    emulated: Support,
+) -> MetricUsage {
     MetricUsage {
         total,
         sampled,
@@ -123,43 +128,175 @@ use Support::{No, Partial, Planned, Yes};
 /// The full Table 1 registry, in the paper's row order.
 pub const METRIC_REGISTRY: &[Metric] = &[
     // System
-    Metric { class: ResourceClass::System, name: "number of cores", usage: usage(Yes, No, No, No) },
-    Metric { class: ResourceClass::System, name: "max CPU frequency", usage: usage(Yes, No, No, No) },
-    Metric { class: ResourceClass::System, name: "total memory", usage: usage(Yes, No, No, No) },
-    Metric { class: ResourceClass::System, name: "runtime", usage: usage(Yes, Yes, No, No) },
-    Metric { class: ResourceClass::System, name: "system load (CPU)", usage: usage(Yes, No, No, Yes) },
-    Metric { class: ResourceClass::System, name: "system load (disk)", usage: usage(No, No, No, Yes) },
-    Metric { class: ResourceClass::System, name: "system load (memory)", usage: usage(No, No, No, Yes) },
+    Metric {
+        class: ResourceClass::System,
+        name: "number of cores",
+        usage: usage(Yes, No, No, No),
+    },
+    Metric {
+        class: ResourceClass::System,
+        name: "max CPU frequency",
+        usage: usage(Yes, No, No, No),
+    },
+    Metric {
+        class: ResourceClass::System,
+        name: "total memory",
+        usage: usage(Yes, No, No, No),
+    },
+    Metric {
+        class: ResourceClass::System,
+        name: "runtime",
+        usage: usage(Yes, Yes, No, No),
+    },
+    Metric {
+        class: ResourceClass::System,
+        name: "system load (CPU)",
+        usage: usage(Yes, No, No, Yes),
+    },
+    Metric {
+        class: ResourceClass::System,
+        name: "system load (disk)",
+        usage: usage(No, No, No, Yes),
+    },
+    Metric {
+        class: ResourceClass::System,
+        name: "system load (memory)",
+        usage: usage(No, No, No, Yes),
+    },
     // Compute
-    Metric { class: ResourceClass::Compute, name: "CPU instructions", usage: usage(Yes, Yes, No, Yes) },
-    Metric { class: ResourceClass::Compute, name: "cycles used", usage: usage(Yes, Yes, No, Yes) },
-    Metric { class: ResourceClass::Compute, name: "cycles stalled backend", usage: usage(Yes, Yes, No, No) },
-    Metric { class: ResourceClass::Compute, name: "cycles stalled frontend", usage: usage(Yes, Yes, No, No) },
-    Metric { class: ResourceClass::Compute, name: "efficiency", usage: usage(Yes, Yes, Yes, Partial) },
-    Metric { class: ResourceClass::Compute, name: "utilization", usage: usage(Yes, Yes, Yes, No) },
-    Metric { class: ResourceClass::Compute, name: "FLOPs", usage: usage(Yes, Yes, Yes, Yes) },
-    Metric { class: ResourceClass::Compute, name: "FLOP/s", usage: usage(Yes, Yes, Yes, No) },
-    Metric { class: ResourceClass::Compute, name: "number of threads", usage: usage(Yes, No, No, Partial) },
-    Metric { class: ResourceClass::Compute, name: "OpenMP", usage: usage(Partial, No, No, Yes) },
+    Metric {
+        class: ResourceClass::Compute,
+        name: "CPU instructions",
+        usage: usage(Yes, Yes, No, Yes),
+    },
+    Metric {
+        class: ResourceClass::Compute,
+        name: "cycles used",
+        usage: usage(Yes, Yes, No, Yes),
+    },
+    Metric {
+        class: ResourceClass::Compute,
+        name: "cycles stalled backend",
+        usage: usage(Yes, Yes, No, No),
+    },
+    Metric {
+        class: ResourceClass::Compute,
+        name: "cycles stalled frontend",
+        usage: usage(Yes, Yes, No, No),
+    },
+    Metric {
+        class: ResourceClass::Compute,
+        name: "efficiency",
+        usage: usage(Yes, Yes, Yes, Partial),
+    },
+    Metric {
+        class: ResourceClass::Compute,
+        name: "utilization",
+        usage: usage(Yes, Yes, Yes, No),
+    },
+    Metric {
+        class: ResourceClass::Compute,
+        name: "FLOPs",
+        usage: usage(Yes, Yes, Yes, Yes),
+    },
+    Metric {
+        class: ResourceClass::Compute,
+        name: "FLOP/s",
+        usage: usage(Yes, Yes, Yes, No),
+    },
+    Metric {
+        class: ResourceClass::Compute,
+        name: "number of threads",
+        usage: usage(Yes, No, No, Partial),
+    },
+    Metric {
+        class: ResourceClass::Compute,
+        name: "OpenMP",
+        usage: usage(Partial, No, No, Yes),
+    },
     // Storage
-    Metric { class: ResourceClass::Storage, name: "bytes read", usage: usage(Yes, Yes, No, Yes) },
-    Metric { class: ResourceClass::Storage, name: "bytes written", usage: usage(Yes, Yes, No, Yes) },
-    Metric { class: ResourceClass::Storage, name: "block size read", usage: usage(No, Partial, No, Yes) },
-    Metric { class: ResourceClass::Storage, name: "block size write", usage: usage(No, Partial, No, Yes) },
-    Metric { class: ResourceClass::Storage, name: "used file system", usage: usage(Yes, No, No, Yes) },
+    Metric {
+        class: ResourceClass::Storage,
+        name: "bytes read",
+        usage: usage(Yes, Yes, No, Yes),
+    },
+    Metric {
+        class: ResourceClass::Storage,
+        name: "bytes written",
+        usage: usage(Yes, Yes, No, Yes),
+    },
+    Metric {
+        class: ResourceClass::Storage,
+        name: "block size read",
+        usage: usage(No, Partial, No, Yes),
+    },
+    Metric {
+        class: ResourceClass::Storage,
+        name: "block size write",
+        usage: usage(No, Partial, No, Yes),
+    },
+    Metric {
+        class: ResourceClass::Storage,
+        name: "used file system",
+        usage: usage(Yes, No, No, Yes),
+    },
     // Memory
-    Metric { class: ResourceClass::Memory, name: "bytes peak", usage: usage(Yes, Yes, No, No) },
-    Metric { class: ResourceClass::Memory, name: "bytes resident size", usage: usage(Yes, Yes, No, No) },
-    Metric { class: ResourceClass::Memory, name: "bytes allocated", usage: usage(Yes, Yes, Yes, Yes) },
-    Metric { class: ResourceClass::Memory, name: "bytes freed", usage: usage(Yes, Yes, Yes, Yes) },
-    Metric { class: ResourceClass::Memory, name: "block size alloc", usage: usage(No, Planned, No, Planned) },
-    Metric { class: ResourceClass::Memory, name: "block size free", usage: usage(No, Planned, No, Planned) },
+    Metric {
+        class: ResourceClass::Memory,
+        name: "bytes peak",
+        usage: usage(Yes, Yes, No, No),
+    },
+    Metric {
+        class: ResourceClass::Memory,
+        name: "bytes resident size",
+        usage: usage(Yes, Yes, No, No),
+    },
+    Metric {
+        class: ResourceClass::Memory,
+        name: "bytes allocated",
+        usage: usage(Yes, Yes, Yes, Yes),
+    },
+    Metric {
+        class: ResourceClass::Memory,
+        name: "bytes freed",
+        usage: usage(Yes, Yes, Yes, Yes),
+    },
+    Metric {
+        class: ResourceClass::Memory,
+        name: "block size alloc",
+        usage: usage(No, Planned, No, Planned),
+    },
+    Metric {
+        class: ResourceClass::Memory,
+        name: "block size free",
+        usage: usage(No, Planned, No, Planned),
+    },
     // Network
-    Metric { class: ResourceClass::Network, name: "connection endpoint", usage: usage(Planned, Planned, No, Partial) },
-    Metric { class: ResourceClass::Network, name: "bytes read", usage: usage(Planned, Planned, No, Partial) },
-    Metric { class: ResourceClass::Network, name: "bytes written", usage: usage(Planned, Planned, No, Partial) },
-    Metric { class: ResourceClass::Network, name: "block size read", usage: usage(No, Planned, No, Planned) },
-    Metric { class: ResourceClass::Network, name: "block size write", usage: usage(No, Planned, No, Planned) },
+    Metric {
+        class: ResourceClass::Network,
+        name: "connection endpoint",
+        usage: usage(Planned, Planned, No, Partial),
+    },
+    Metric {
+        class: ResourceClass::Network,
+        name: "bytes read",
+        usage: usage(Planned, Planned, No, Partial),
+    },
+    Metric {
+        class: ResourceClass::Network,
+        name: "bytes written",
+        usage: usage(Planned, Planned, No, Partial),
+    },
+    Metric {
+        class: ResourceClass::Network,
+        name: "block size read",
+        usage: usage(No, Planned, No, Planned),
+    },
+    Metric {
+        class: ResourceClass::Network,
+        name: "block size write",
+        usage: usage(No, Planned, No, Planned),
+    },
 ];
 
 /// Iterate the registry rows belonging to one resource class.
@@ -169,7 +306,9 @@ pub fn metrics_for(class: ResourceClass) -> impl Iterator<Item = &'static Metric
 
 /// Look a metric up by class and name.
 pub fn find_metric(class: ResourceClass, name: &str) -> Option<&'static Metric> {
-    METRIC_REGISTRY.iter().find(|m| m.class == class && m.name == name)
+    METRIC_REGISTRY
+        .iter()
+        .find(|m| m.class == class && m.name == name)
 }
 
 /// Render the registry in the paper's Table 1 layout.
@@ -229,7 +368,11 @@ mod tests {
         let mut seen = Vec::new();
         for m in METRIC_REGISTRY {
             if seen.last() != Some(&m.class) {
-                assert!(!seen.contains(&m.class), "class {:?} appears in two blocks", m.class);
+                assert!(
+                    !seen.contains(&m.class),
+                    "class {:?} appears in two blocks",
+                    m.class
+                );
                 seen.push(m.class);
             }
         }

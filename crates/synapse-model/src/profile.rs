@@ -332,14 +332,12 @@ impl ProfileSet {
     /// one rather than averaging sample-by-sample.
     pub fn representative(&self) -> Option<&Profile> {
         let mean = self.runtime_summary().ok()?.mean;
-        self.profiles
-            .iter()
-            .min_by(|a, b| {
-                (a.runtime - mean)
-                    .abs()
-                    .partial_cmp(&(b.runtime - mean).abs())
-                    .unwrap()
-            })
+        self.profiles.iter().min_by(|a, b| {
+            (a.runtime - mean)
+                .abs()
+                .partial_cmp(&(b.runtime - mean).abs())
+                .unwrap()
+        })
     }
 }
 

@@ -42,7 +42,12 @@ impl Tags {
         K: Into<String>,
         V: Into<String>,
     {
-        Tags(pairs.into_iter().map(|(k, v)| (k.into(), v.into())).collect())
+        Tags(
+            pairs
+                .into_iter()
+                .map(|(k, v)| (k.into(), v.into()))
+                .collect(),
+        )
     }
 
     /// Parse a comma-separated `k=v,k2=v2` string (the CLI format).

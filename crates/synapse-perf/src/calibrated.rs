@@ -77,7 +77,10 @@ fn cpu_seconds_of(pid: i32) -> Result<f64, PerfError> {
         .ok_or_else(|| PerfError::BadRead("stat without comm".into()))?;
     let rest: Vec<&str> = content[close + 1..].split_whitespace().collect();
     if rest.len() < 13 {
-        return Err(PerfError::BadRead(format!("stat too short: {} fields", rest.len())));
+        return Err(PerfError::BadRead(format!(
+            "stat too short: {} fields",
+            rest.len()
+        )));
     }
     let utime: u64 = rest[11]
         .parse()
@@ -216,7 +219,10 @@ mod tests {
             before.cycles,
             after.cycles
         );
-        assert!(after.instructions >= after.cycles, "ipc >= 1 in default model");
+        assert!(
+            after.instructions >= after.cycles,
+            "ipc >= 1 in default model"
+        );
     }
 
     #[test]

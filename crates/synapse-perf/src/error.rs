@@ -50,7 +50,9 @@ mod tests {
         }
         .to_string()
         .contains("read"));
-        assert!(PerfError::BadRead("short".into()).to_string().contains("short"));
+        assert!(PerfError::BadRead("short".into())
+            .to_string()
+            .contains("short"));
         assert!(PerfError::ProcessGone(5).to_string().contains('5'));
     }
 }

@@ -27,10 +27,10 @@ impl HardwareEvent {
     pub fn perf_config(self) -> u64 {
         match self {
             // Values from include/uapi/linux/perf_event.h.
-            HardwareEvent::Cycles => 0,          // PERF_COUNT_HW_CPU_CYCLES
-            HardwareEvent::Instructions => 1,    // PERF_COUNT_HW_INSTRUCTIONS
+            HardwareEvent::Cycles => 0,       // PERF_COUNT_HW_CPU_CYCLES
+            HardwareEvent::Instructions => 1, // PERF_COUNT_HW_INSTRUCTIONS
             HardwareEvent::StalledFrontend => 7, // PERF_COUNT_HW_STALLED_CYCLES_FRONTEND
-            HardwareEvent::StalledBackend => 8,  // PERF_COUNT_HW_STALLED_CYCLES_BACKEND
+            HardwareEvent::StalledBackend => 8, // PERF_COUNT_HW_STALLED_CYCLES_BACKEND
         }
     }
 
@@ -65,7 +65,9 @@ impl CounterSnapshot {
         CounterSnapshot {
             cycles: self.cycles.saturating_sub(earlier.cycles),
             instructions: self.instructions.saturating_sub(earlier.instructions),
-            stalled_frontend: self.stalled_frontend.saturating_sub(earlier.stalled_frontend),
+            stalled_frontend: self
+                .stalled_frontend
+                .saturating_sub(earlier.stalled_frontend),
             stalled_backend: self.stalled_backend.saturating_sub(earlier.stalled_backend),
         }
     }

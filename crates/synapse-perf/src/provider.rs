@@ -73,6 +73,10 @@ mod tid_tests {
         }
         std::hint::black_box(acc);
         let snap = s.snapshot().expect("snapshot");
-        assert!(snap.cycles > 0, "provider {} must count this thread's burn", provider.name());
+        assert!(
+            snap.cycles > 0,
+            "provider {} must count this thread's burn",
+            provider.name()
+        );
     }
 }

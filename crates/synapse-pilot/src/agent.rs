@@ -1,8 +1,8 @@
 //! The pilot agent: core slots plus a scheduler, running in virtual
 //! time.
 
-use std::collections::BinaryHeap;
 use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 use synapse_sim::MachineModel;
 

@@ -63,8 +63,18 @@ mod tests {
     fn utilization_of_perfect_packing() {
         let report = ScheduleReport {
             tasks: vec![
-                TaskRecord { id: "a".into(), cores: 2, start: 0.0, end: 10.0 },
-                TaskRecord { id: "b".into(), cores: 2, start: 0.0, end: 10.0 },
+                TaskRecord {
+                    id: "a".into(),
+                    cores: 2,
+                    start: 0.0,
+                    end: 10.0,
+                },
+                TaskRecord {
+                    id: "b".into(),
+                    cores: 2,
+                    start: 0.0,
+                    end: 10.0,
+                },
             ],
             total_cores: 4,
             makespan: 10.0,
@@ -76,7 +86,12 @@ mod tests {
     #[test]
     fn utilization_of_half_idle_pilot() {
         let report = ScheduleReport {
-            tasks: vec![TaskRecord { id: "a".into(), cores: 1, start: 0.0, end: 10.0 }],
+            tasks: vec![TaskRecord {
+                id: "a".into(),
+                cores: 1,
+                start: 0.0,
+                end: 10.0,
+            }],
             total_cores: 2,
             makespan: 10.0,
         };

@@ -64,11 +64,7 @@ impl Skeleton {
     }
 
     /// Declare that `after` depends on (runs after) `before`.
-    pub fn add_dependency(
-        &mut self,
-        before: &str,
-        after: &str,
-    ) -> Result<(), SkeletonError> {
+    pub fn add_dependency(&mut self, before: &str, after: &str) -> Result<(), SkeletonError> {
         for id in [before, after] {
             if !self.tasks.iter().any(|t| t.id == id) {
                 return Err(SkeletonError::UnknownTask(id.to_string()));
@@ -134,9 +130,7 @@ impl Skeleton {
             let mut eligible: Vec<(usize, &ProxyTask)> = pending
                 .iter()
                 .enumerate()
-                .filter(|(_, t)| {
-                    self.deps[&t.id].iter().all(|d| done.contains(d))
-                })
+                .filter(|(_, t)| self.deps[&t.id].iter().all(|d| done.contains(d)))
                 .map(|(i, t)| (i, *t))
                 .collect();
             eligible.sort_by_key(|(_, t)| t.cores);
@@ -276,7 +270,8 @@ mod tests {
     fn independent_tasks_run_concurrently() {
         let mut sk = Skeleton::new();
         for i in 0..4 {
-            sk.add_task(task(&format!("t{i}"), 4, 5_000_000_000)).unwrap();
+            sk.add_task(task(&format!("t{i}"), 4, 5_000_000_000))
+                .unwrap();
         }
         let report = sk.execute(&titan()).unwrap();
         assert!(report.tasks.iter().all(|t| t.start == 0.0));
@@ -305,9 +300,13 @@ mod tests {
     #[test]
     fn pipeline_builder_is_stage_ordered() {
         let stages = vec![
-            (0..3).map(|i| task(&format!("sim{i}"), 4, 8_000_000_000)).collect(),
+            (0..3)
+                .map(|i| task(&format!("sim{i}"), 4, 8_000_000_000))
+                .collect(),
             vec![task("analysis", 8, 2_000_000_000)],
-            (0..3).map(|i| task(&format!("sim2-{i}"), 4, 8_000_000_000)).collect(),
+            (0..3)
+                .map(|i| task(&format!("sim2-{i}"), 4, 8_000_000_000))
+                .collect(),
         ];
         let sk = Skeleton::pipeline(stages).unwrap();
         assert_eq!(sk.len(), 7);

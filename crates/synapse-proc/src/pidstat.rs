@@ -77,10 +77,13 @@ pub fn parse_pid_stat(content: &str) -> Result<PidStat, ProcError> {
             reason: "mismatched comm parentheses".into(),
         });
     }
-    let pid: i32 = content[..open].trim().parse().map_err(|e| ProcError::Parse {
-        what: "pid/stat",
-        reason: format!("pid field: {e}"),
-    })?;
+    let pid: i32 = content[..open]
+        .trim()
+        .parse()
+        .map_err(|e| ProcError::Parse {
+            what: "pid/stat",
+            reason: format!("pid field: {e}"),
+        })?;
     // Fields after the comm, 1-indexed from field 3 (state).
     let rest: Vec<&str> = content[close + 1..].split_whitespace().collect();
     // state is rest[0] (field 3); utime field 14 -> rest[11]; stime 15 ->

@@ -127,7 +127,10 @@ mod tests {
     #[test]
     fn wait4_reaps_child_with_usage() {
         use std::process::Command;
-        let child = Command::new("/bin/sh").args(["-c", "exit 7"]).spawn().unwrap();
+        let child = Command::new("/bin/sh")
+            .args(["-c", "exit 7"])
+            .spawn()
+            .unwrap();
         let pid = child.id() as i32;
         // Do NOT call child.wait(): wait4 must reap it.
         let (code, ru) = wait4(pid).unwrap();

@@ -74,11 +74,26 @@ pub fn thinkie() -> MachineModel {
         mem_bandwidth: 8e9,
         net_bandwidth: 1e9,
         kernels: kernels(
-            KernelProfile { ipc: 2.00, efficiency: 0.70, overhead_frac: 0.0, unit_cycles: 1 },
-            KernelProfile { ipc: 2.40, efficiency: 0.70, overhead_frac: 0.04, unit_cycles: 5_000_000 },
+            KernelProfile {
+                ipc: 2.00,
+                efficiency: 0.70,
+                overhead_frac: 0.0,
+                unit_cycles: 1,
+            },
+            KernelProfile {
+                ipc: 2.40,
+                efficiency: 0.70,
+                overhead_frac: 0.04,
+                unit_cycles: 5_000_000,
+            },
             // The ASM kernel was written/calibrated on this host: the
             // emulation agrees with the application (Fig. 5).
-            KernelProfile { ipc: 3.00, efficiency: 0.755, overhead_frac: 0.08, unit_cycles: 2_000_000 },
+            KernelProfile {
+                ipc: 3.00,
+                efficiency: 0.755,
+                overhead_frac: 0.08,
+                unit_cycles: 2_000_000,
+            },
         ),
         filesystems: vec![FsModel {
             kind: FsKind::Local,
@@ -88,8 +103,16 @@ pub fn thinkie() -> MachineModel {
             write_bandwidth: 200e6,
         }],
         default_fs: FsKind::Local,
-        openmp: ParallelModel { startup_fixed: 0.05, startup_per_worker: 0.01, contention: 1.0 },
-        mpi: ParallelModel { startup_fixed: 0.3, startup_per_worker: 0.05, contention: 0.8 },
+        openmp: ParallelModel {
+            startup_fixed: 0.05,
+            startup_per_worker: 0.01,
+            contention: 1.0,
+        },
+        mpi: ParallelModel {
+            startup_fixed: 0.3,
+            startup_per_worker: 0.05,
+            contention: 0.8,
+        },
         app_cycle_factor: 1.0,
     }
 }
@@ -112,9 +135,24 @@ pub fn stampede() -> MachineModel {
         mem_bandwidth: 25e9,
         net_bandwidth: 1e9,
         kernels: kernels(
-            KernelProfile { ipc: 2.10, efficiency: 0.54, overhead_frac: 0.0, unit_cycles: 1 },
-            KernelProfile { ipc: 2.60, efficiency: 0.70, overhead_frac: 0.04, unit_cycles: 5_000_000 },
-            KernelProfile { ipc: 3.10, efficiency: 0.95, overhead_frac: 0.12, unit_cycles: 2_000_000 },
+            KernelProfile {
+                ipc: 2.10,
+                efficiency: 0.54,
+                overhead_frac: 0.0,
+                unit_cycles: 1,
+            },
+            KernelProfile {
+                ipc: 2.60,
+                efficiency: 0.70,
+                overhead_frac: 0.04,
+                unit_cycles: 5_000_000,
+            },
+            KernelProfile {
+                ipc: 3.10,
+                efficiency: 0.95,
+                overhead_frac: 0.12,
+                unit_cycles: 2_000_000,
+            },
         ),
         filesystems: vec![FsModel {
             kind: FsKind::Local,
@@ -124,8 +162,16 @@ pub fn stampede() -> MachineModel {
             write_bandwidth: 110e6,
         }],
         default_fs: FsKind::Local,
-        openmp: ParallelModel { startup_fixed: 0.05, startup_per_worker: 0.01, contention: 1.0 },
-        mpi: ParallelModel { startup_fixed: 0.3, startup_per_worker: 0.05, contention: 0.8 },
+        openmp: ParallelModel {
+            startup_fixed: 0.05,
+            startup_per_worker: 0.01,
+            contention: 1.0,
+        },
+        mpi: ParallelModel {
+            startup_fixed: 0.3,
+            startup_per_worker: 0.05,
+            contention: 0.8,
+        },
         app_cycle_factor: 1.05,
     }
 }
@@ -146,9 +192,24 @@ pub fn archer() -> MachineModel {
         mem_bandwidth: 30e9,
         net_bandwidth: 1e9,
         kernels: kernels(
-            KernelProfile { ipc: 2.20, efficiency: 0.72, overhead_frac: 0.0, unit_cycles: 1 },
-            KernelProfile { ipc: 2.55, efficiency: 0.66, overhead_frac: 0.04, unit_cycles: 5_000_000 },
-            KernelProfile { ipc: 3.00, efficiency: 0.60, overhead_frac: 0.12, unit_cycles: 2_000_000 },
+            KernelProfile {
+                ipc: 2.20,
+                efficiency: 0.72,
+                overhead_frac: 0.0,
+                unit_cycles: 1,
+            },
+            KernelProfile {
+                ipc: 2.55,
+                efficiency: 0.66,
+                overhead_frac: 0.04,
+                unit_cycles: 5_000_000,
+            },
+            KernelProfile {
+                ipc: 3.00,
+                efficiency: 0.60,
+                overhead_frac: 0.12,
+                unit_cycles: 2_000_000,
+            },
         ),
         filesystems: vec![FsModel {
             kind: FsKind::Local,
@@ -158,8 +219,16 @@ pub fn archer() -> MachineModel {
             write_bandwidth: 100e6,
         }],
         default_fs: FsKind::Local,
-        openmp: ParallelModel { startup_fixed: 0.05, startup_per_worker: 0.01, contention: 1.0 },
-        mpi: ParallelModel { startup_fixed: 0.3, startup_per_worker: 0.05, contention: 0.8 },
+        openmp: ParallelModel {
+            startup_fixed: 0.05,
+            startup_per_worker: 0.01,
+            contention: 1.0,
+        },
+        mpi: ParallelModel {
+            startup_fixed: 0.3,
+            startup_per_worker: 0.05,
+            contention: 0.8,
+        },
         app_cycle_factor: 1.01,
     }
 }
@@ -181,9 +250,24 @@ pub fn supermic() -> MachineModel {
         mem_bandwidth: 40e9,
         net_bandwidth: 1e9,
         kernels: kernels(
-            KernelProfile { ipc: 2.04, efficiency: 0.70, overhead_frac: 0.0, unit_cycles: 1 },
-            KernelProfile { ipc: 2.53, efficiency: 0.70, overhead_frac: 0.040, unit_cycles: 5_000_000 },
-            KernelProfile { ipc: 2.86, efficiency: 0.70, overhead_frac: 0.265, unit_cycles: 2_000_000 },
+            KernelProfile {
+                ipc: 2.04,
+                efficiency: 0.70,
+                overhead_frac: 0.0,
+                unit_cycles: 1,
+            },
+            KernelProfile {
+                ipc: 2.53,
+                efficiency: 0.70,
+                overhead_frac: 0.040,
+                unit_cycles: 5_000_000,
+            },
+            KernelProfile {
+                ipc: 2.86,
+                efficiency: 0.70,
+                overhead_frac: 0.265,
+                unit_cycles: 2_000_000,
+            },
         ),
         filesystems: vec![
             lustre(),
@@ -196,8 +280,16 @@ pub fn supermic() -> MachineModel {
             },
         ],
         default_fs: FsKind::Lustre,
-        openmp: ParallelModel { startup_fixed: 0.05, startup_per_worker: 0.01, contention: 2.2 },
-        mpi: ParallelModel { startup_fixed: 0.3, startup_per_worker: 0.04, contention: 0.7 },
+        openmp: ParallelModel {
+            startup_fixed: 0.05,
+            startup_per_worker: 0.01,
+            contention: 2.2,
+        },
+        mpi: ParallelModel {
+            startup_fixed: 0.3,
+            startup_per_worker: 0.04,
+            contention: 0.7,
+        },
         app_cycle_factor: 1.0,
     }
 }
@@ -217,9 +309,24 @@ pub fn comet() -> MachineModel {
         mem_bandwidth: 40e9,
         net_bandwidth: 1e9,
         kernels: kernels(
-            KernelProfile { ipc: 2.17, efficiency: 0.70, overhead_frac: 0.0, unit_cycles: 1 },
-            KernelProfile { ipc: 2.80, efficiency: 0.70, overhead_frac: 0.035, unit_cycles: 5_000_000 },
-            KernelProfile { ipc: 3.30, efficiency: 0.70, overhead_frac: 0.145, unit_cycles: 2_000_000 },
+            KernelProfile {
+                ipc: 2.17,
+                efficiency: 0.70,
+                overhead_frac: 0.0,
+                unit_cycles: 1,
+            },
+            KernelProfile {
+                ipc: 2.80,
+                efficiency: 0.70,
+                overhead_frac: 0.035,
+                unit_cycles: 5_000_000,
+            },
+            KernelProfile {
+                ipc: 3.30,
+                efficiency: 0.70,
+                overhead_frac: 0.145,
+                unit_cycles: 2_000_000,
+            },
         ),
         filesystems: vec![FsModel {
             kind: FsKind::Nfs,
@@ -229,8 +336,16 @@ pub fn comet() -> MachineModel {
             write_bandwidth: 30e6,
         }],
         default_fs: FsKind::Nfs,
-        openmp: ParallelModel { startup_fixed: 0.05, startup_per_worker: 0.01, contention: 1.2 },
-        mpi: ParallelModel { startup_fixed: 0.3, startup_per_worker: 0.04, contention: 0.8 },
+        openmp: ParallelModel {
+            startup_fixed: 0.05,
+            startup_per_worker: 0.01,
+            contention: 1.2,
+        },
+        mpi: ParallelModel {
+            startup_fixed: 0.3,
+            startup_per_worker: 0.04,
+            contention: 0.8,
+        },
         app_cycle_factor: 1.0,
     }
 }
@@ -252,9 +367,24 @@ pub fn titan() -> MachineModel {
         mem_bandwidth: 20e9,
         net_bandwidth: 1e9,
         kernels: kernels(
-            KernelProfile { ipc: 1.80, efficiency: 0.65, overhead_frac: 0.0, unit_cycles: 1 },
-            KernelProfile { ipc: 2.20, efficiency: 0.66, overhead_frac: 0.05, unit_cycles: 5_000_000 },
-            KernelProfile { ipc: 2.60, efficiency: 0.70, overhead_frac: 0.15, unit_cycles: 2_000_000 },
+            KernelProfile {
+                ipc: 1.80,
+                efficiency: 0.65,
+                overhead_frac: 0.0,
+                unit_cycles: 1,
+            },
+            KernelProfile {
+                ipc: 2.20,
+                efficiency: 0.66,
+                overhead_frac: 0.05,
+                unit_cycles: 5_000_000,
+            },
+            KernelProfile {
+                ipc: 2.60,
+                efficiency: 0.70,
+                overhead_frac: 0.15,
+                unit_cycles: 2_000_000,
+            },
         ),
         filesystems: vec![
             lustre(),
@@ -267,8 +397,16 @@ pub fn titan() -> MachineModel {
             },
         ],
         default_fs: FsKind::Lustre,
-        openmp: ParallelModel { startup_fixed: 0.05, startup_per_worker: 0.005, contention: 0.5 },
-        mpi: ParallelModel { startup_fixed: 0.5, startup_per_worker: 0.08, contention: 0.45 },
+        openmp: ParallelModel {
+            startup_fixed: 0.05,
+            startup_per_worker: 0.005,
+            contention: 0.5,
+        },
+        mpi: ParallelModel {
+            startup_fixed: 0.5,
+            startup_per_worker: 0.08,
+            contention: 0.45,
+        },
         app_cycle_factor: 1.0,
     }
 }
@@ -285,8 +423,8 @@ mod tests {
     fn tx_ratio(m: &MachineModel, kernel: KernelClass) -> f64 {
         let cycles: u64 = 50_000_000_000; // long run -> converged
         let app = m.kernel(Application);
-        let app_time = (cycles as f64 * m.app_cycle_factor)
-            / (m.cpu.effective_freq_hz * app.efficiency);
+        let app_time =
+            (cycles as f64 * m.app_cycle_factor) / (m.cpu.effective_freq_hz * app.efficiency);
         let emu_time = m.emulation_compute_time(cycles, kernel);
         emu_time / app_time
     }
@@ -380,7 +518,10 @@ mod tests {
         let block = 1 << 20;
         let t_l = titan().io_time(bytes, block, IoOp::Write, FsKind::Lustre);
         let s_l = supermic().io_time(bytes, block, IoOp::Write, FsKind::Lustre);
-        assert!((t_l / s_l - 1.0).abs() < 0.01, "lustre similar: {t_l} vs {s_l}");
+        assert!(
+            (t_l / s_l - 1.0).abs() < 0.01,
+            "lustre similar: {t_l} vs {s_l}"
+        );
         let t_local = titan().io_time(bytes, block, IoOp::Write, FsKind::Local);
         let s_local = supermic().io_time(bytes, block, IoOp::Write, FsKind::Local);
         assert!(

@@ -96,7 +96,10 @@ impl Collection {
 
     /// Number of documents matching the query.
     pub fn count(&self, query: &Query) -> usize {
-        self.docs.values().filter(|d| query.matches(&d.body)).count()
+        self.docs
+            .values()
+            .filter(|d| query.matches(&d.body))
+            .count()
     }
 
     /// Iterate all documents in id order.
@@ -112,7 +115,11 @@ impl Collection {
     }
 
     /// Rebuild a collection from its JSON array form.
-    pub fn from_json(name: impl Into<String>, doc_limit: usize, json: &str) -> Result<Self, StoreError> {
+    pub fn from_json(
+        name: impl Into<String>,
+        doc_limit: usize,
+        json: &str,
+    ) -> Result<Self, StoreError> {
         let docs: Vec<Document> = serde_json::from_str(json)?;
         let mut c = Collection::with_limit(name, doc_limit);
         for d in docs {
@@ -216,7 +223,11 @@ mod tests {
         for id in ["c", "a", "b"] {
             c.insert(doc(id, 0)).unwrap();
         }
-        let ids: Vec<&str> = c.find(&Query::all()).iter().map(|d| d.id.as_str()).collect();
+        let ids: Vec<&str> = c
+            .find(&Query::all())
+            .iter()
+            .map(|d| d.id.as_str())
+            .collect();
         assert_eq!(ids, vec!["a", "b", "c"]);
     }
 

@@ -84,10 +84,8 @@ impl DocumentDb {
 
     /// All matching documents of a collection (cloned out of the lock).
     pub fn find(&self, collection: &str, query: &Query) -> Vec<Document> {
-        self.with_collection(collection, |c| {
-            c.find(query).into_iter().cloned().collect()
-        })
-        .unwrap_or_default()
+        self.with_collection(collection, |c| c.find(query).into_iter().cloned().collect())
+            .unwrap_or_default()
     }
 
     /// First matching document.
@@ -168,7 +166,13 @@ fn collection_path(dir: &Path, name: &str) -> PathBuf {
     // Sanitize the collection name for the filesystem.
     let safe: String = name
         .chars()
-        .map(|c| if c.is_alphanumeric() || c == '_' || c == '-' { c } else { '_' })
+        .map(|c| {
+            if c.is_alphanumeric() || c == '_' || c == '-' {
+                c
+            } else {
+                '_'
+            }
+        })
         .collect();
     dir.join(format!("{safe}.json"))
 }
@@ -186,10 +190,8 @@ mod tests {
     }
 
     fn tmpdir(tag: &str) -> PathBuf {
-        let d = std::env::temp_dir().join(format!(
-            "synapse-store-test-{tag}-{}",
-            std::process::id()
-        ));
+        let d =
+            std::env::temp_dir().join(format!("synapse-store-test-{tag}-{}", std::process::id()));
         let _ = fs::remove_dir_all(&d);
         d
     }
@@ -252,10 +254,7 @@ mod tests {
         let back = DocumentDb::open(&dir, DEFAULT_DOC_LIMIT).unwrap();
         assert_eq!(back.collection_names(), vec!["alpha", "beta"]);
         assert_eq!(back.count("alpha", &Query::all()), 2);
-        assert_eq!(
-            back.find_one("beta", &Query::all()).unwrap().body["n"],
-            3
-        );
+        assert_eq!(back.find_one("beta", &Query::all()).unwrap().body["n"], 3);
         fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -31,7 +31,9 @@ impl Document {
     /// document limit, mirroring BSON document size).
     pub fn size(&self) -> usize {
         // `to_string` on a Value cannot fail.
-        serde_json::to_string(&self.body).map(|s| s.len()).unwrap_or(0)
+        serde_json::to_string(&self.body)
+            .map(|s| s.len())
+            .unwrap_or(0)
     }
 
     /// Check the body against a size limit.

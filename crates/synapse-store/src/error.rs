@@ -82,7 +82,9 @@ mod tests {
         assert!(e.to_string().contains("20"));
         assert!(e.to_string().contains("10"));
         assert!(StoreError::NotFound("x".into()).to_string().contains('x'));
-        assert!(StoreError::DuplicateId("d".into()).to_string().contains('d'));
+        assert!(StoreError::DuplicateId("d".into())
+            .to_string()
+            .contains('d'));
     }
 
     #[test]

@@ -120,7 +120,9 @@ impl ProfileStore for DbProfileStore {
     fn save(&self, profile: &Profile) -> Result<SaveReport, StoreError> {
         let limit = self.db.doc_limit();
         let (fitted, dropped) = fit_to_limit(profile, limit)?;
-        let seq = self.db.count(&self.collection, &Self::key_query(&profile.key));
+        let seq = self
+            .db
+            .count(&self.collection, &Self::key_query(&profile.key));
         let id = format!("{}@{:06}", profile.key.id(), seq + 1);
         let doc = Document::new(id, &fitted)?;
         self.db.insert(&self.collection, doc)?;

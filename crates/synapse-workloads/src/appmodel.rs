@@ -93,10 +93,7 @@ impl AppModel {
 
     /// The canonical profile key for a run of this application.
     pub fn key(&self, steps: u64) -> ProfileKey {
-        ProfileKey::new(
-            "gromacs mdrun",
-            Tags::new().with("steps", steps),
-        )
+        ProfileKey::new("gromacs mdrun", Tags::new().with("steps", steps))
     }
 
     /// Noise-free cycle count of a run on the profiling reference
@@ -123,8 +120,7 @@ impl AppModel {
     /// the modelled quantities like run-to-run system jitter would.
     pub fn execute(&self, machine: &MachineModel, steps: u64, noise: &mut Noise) -> SimRun {
         let app = machine.kernel(KernelClass::Application);
-        let cycles =
-            noise.apply_u64((self.cycles(steps) as f64 * machine.app_cycle_factor) as u64);
+        let cycles = noise.apply_u64((self.cycles(steps) as f64 * machine.app_cycle_factor) as u64);
         let compute_time = machine.compute_time(cycles, KernelClass::Application);
         let bytes_written = self.bytes_out(steps);
         let io_time = machine.io_time(bytes_written, 1 << 20, IoOp::Write, machine.default_fs)
@@ -217,8 +213,8 @@ impl AppModel {
                 c.min(cycles_left)
             };
             cycles_left -= cycles;
-            let stalled = (cycles as f64 * (1.0 - app.efficiency) / app.efficiency.max(1e-6))
-                as u64;
+            let stalled =
+                (cycles as f64 * (1.0 - app.efficiency) / app.efficiency.max(1e-6)) as u64;
             let mut storage = StorageSample::default();
             if i == 0 {
                 storage.bytes_read = run.bytes_read;
@@ -400,7 +396,9 @@ mod tests {
         let app = AppModel::default();
         let m = comet();
         let mut noise = Noise::new(11, 0.02);
-        let runs: Vec<f64> = (0..30).map(|_| app.execute(&m, 100_000, &mut noise).tx).collect();
+        let runs: Vec<f64> = (0..30)
+            .map(|_| app.execute(&m, 100_000, &mut noise).tx)
+            .collect();
         let s = synapse_model::Summary::of(&runs).unwrap();
         let clean = app.execute(&m, 100_000, &mut Noise::none()).tx;
         assert!((s.mean - clean).abs() / clean < 0.02);

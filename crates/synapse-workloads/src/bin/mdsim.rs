@@ -25,9 +25,7 @@ fn main() -> ExitCode {
         };
         match arg.as_str() {
             "--steps" => config.steps = value("--steps").parse().expect("--steps"),
-            "--particles" => {
-                config.particles = value("--particles").parse().expect("--particles")
-            }
+            "--particles" => config.particles = value("--particles").parse().expect("--particles"),
             "--frame-interval" => {
                 config.frame_interval = value("--frame-interval").parse().expect("--frame-interval")
             }

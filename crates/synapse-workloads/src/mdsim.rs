@@ -205,9 +205,7 @@ impl MdSim {
         let mut potential = 0.0;
         for s in 0..self.config.steps {
             potential = self.step();
-            if self.config.frame_interval > 0
-                && (s + 1) % self.config.frame_interval == 0
-            {
+            if self.config.frame_interval > 0 && (s + 1) % self.config.frame_interval == 0 {
                 if let Some(w) = writer.as_mut() {
                     bytes_written += write_frame(w, s + 1, &self.pos)?;
                     frames += 1;

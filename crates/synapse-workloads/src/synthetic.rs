@@ -114,13 +114,22 @@ impl PhaseScript {
         let d = 4 * 1024 * 1024 * scale; // bytes per disk phase
         PhaseScript::new(vec![
             PhaseOp::Compute { flops: c },
-            PhaseOp::DiskWrite { bytes: d, block: 1 << 20 },
+            PhaseOp::DiskWrite {
+                bytes: d,
+                block: 1 << 20,
+            },
             PhaseOp::Compute { flops: c / 2 },
             PhaseOp::Concurrent(vec![
                 PhaseOp::Compute { flops: c },
-                PhaseOp::DiskWrite { bytes: d / 2, block: 1 << 20 },
+                PhaseOp::DiskWrite {
+                    bytes: d / 2,
+                    block: 1 << 20,
+                },
             ]),
-            PhaseOp::DiskRead { bytes: d, block: 1 << 20 },
+            PhaseOp::DiskRead {
+                bytes: d,
+                block: 1 << 20,
+            },
             PhaseOp::Compute { flops: c / 2 },
         ])
     }

@@ -62,9 +62,7 @@ impl ProfilerConfig {
     pub fn schedule(&self) -> Result<crate::schedule::SampleSchedule, SynapseError> {
         match self.adaptive_window_secs {
             None => crate::schedule::SampleSchedule::constant(self.sample_rate_hz),
-            Some(window) => {
-                crate::schedule::SampleSchedule::adaptive(window, self.sample_rate_hz)
-            }
+            Some(window) => crate::schedule::SampleSchedule::adaptive(window, self.sample_rate_hz),
         }
     }
 
@@ -115,6 +113,8 @@ mod tests {
     fn invalid_rates_rejected() {
         assert!(ProfilerConfig::with_rate(0.0).effective_rate().is_err());
         assert!(ProfilerConfig::with_rate(-1.0).effective_rate().is_err());
-        assert!(ProfilerConfig::with_rate(f64::NAN).effective_rate().is_err());
+        assert!(ProfilerConfig::with_rate(f64::NAN)
+            .effective_rate()
+            .is_err());
     }
 }

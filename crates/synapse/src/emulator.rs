@@ -310,9 +310,10 @@ impl Emulator {
                         memory.consume(alloc, free);
                     })
                 });
-                let network_handle = network.as_mut().filter(|_| sent + recv > 0).map(|net| {
-                    scope.spawn(move || net.consume(sent, recv).map(|_| ()))
-                });
+                let network_handle = network
+                    .as_mut()
+                    .filter(|_| sent + recv > 0)
+                    .map(|net| scope.spawn(move || net.consume(sent, recv).map(|_| ())));
 
                 if let Some(h) = compute_handle {
                     compute_cycles = h.join().expect("compute atom panicked");
@@ -539,7 +540,11 @@ mod tests {
             let mut s = Sample::at(i as f64, 1.0);
             s.compute.cycles = cycles_per_sample;
             s.memory.allocated = 1 << 20;
-            s.memory.freed = if i + 1 == nsamples { (nsamples as u64) << 20 } else { 0 };
+            s.memory.freed = if i + 1 == nsamples {
+                (nsamples as u64) << 20
+            } else {
+                0
+            };
             s.storage.bytes_written = 256 << 10;
             s.storage.bytes_read = 64 << 10;
             p.push(s).unwrap();

@@ -88,7 +88,9 @@ mod tests {
             reason: "lost pid".into(),
         };
         assert!(w.to_string().contains("cpu"));
-        assert!(SynapseError::Config("rate".into()).to_string().contains("rate"));
+        assert!(SynapseError::Config("rate".into())
+            .to_string()
+            .contains("rate"));
     }
 
     #[test]

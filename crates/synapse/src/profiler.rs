@@ -183,7 +183,10 @@ impl Profiler {
             schedule,
         )?);
         if self.config.watch_memory {
-            handles.push(spawn_watcher(Box::new(MemWatcher::new(proc_pid)), schedule)?);
+            handles.push(spawn_watcher(
+                Box::new(MemWatcher::new(proc_pid)),
+                schedule,
+            )?);
         }
         if self.config.watch_io {
             handles.push(spawn_watcher(Box::new(IoWatcher::new(proc_pid)), schedule)?);
@@ -232,7 +235,9 @@ mod tests {
     fn profiles_a_short_sleep() {
         let p = Profiler::new(fast_config());
         let key = key_for("sleep 0.25", None);
-        let outcome = p.profile_command("/bin/sleep", &["0.25"], key.clone()).unwrap();
+        let outcome = p
+            .profile_command("/bin/sleep", &["0.25"], key.clone())
+            .unwrap();
         assert_eq!(outcome.timed.exit_code, 0);
         let profile = &outcome.profile;
         assert_eq!(profile.key, key);

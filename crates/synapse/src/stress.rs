@@ -140,10 +140,7 @@ mod tests {
         let leftovers: Vec<_> = std::fs::read_dir(&dir)
             .map(|d| d.filter_map(|e| e.ok()).collect())
             .unwrap_or_default();
-        assert!(
-            leftovers.is_empty(),
-            "stress files cleaned: {leftovers:?}"
-        );
+        assert!(leftovers.is_empty(), "stress files cleaned: {leftovers:?}");
         let _ = std::fs::remove_dir_all(dir);
     }
 
@@ -159,7 +156,9 @@ mod tests {
         // The point of stress: co-running work takes longer. Use a
         // worker count matching the host's cores to guarantee
         // contention even on many-core machines.
-        let ncores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+        let ncores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
         let work = || {
             let t = Instant::now();
             std::hint::black_box(spin_cycles(60_000_000));

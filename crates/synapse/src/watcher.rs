@@ -287,7 +287,11 @@ mod tests {
 
     #[test]
     fn watcher_errors_propagate_through_join() {
-        let handle = spawn_watcher(Box::new(FailingWatcher), SampleSchedule::Constant { hz: 10.0 }).unwrap();
+        let handle = spawn_watcher(
+            Box::new(FailingWatcher),
+            SampleSchedule::Constant { hz: 10.0 },
+        )
+        .unwrap();
         std::thread::sleep(Duration::from_millis(20));
         handle.terminate();
         assert!(handle.join().is_err());
@@ -312,7 +316,7 @@ mod tests {
         assert_eq!(combined[0].storage.bytes_written, 50);
         assert_eq!(combined[2].compute.cycles, 100);
         assert_eq!(combined[2].storage.bytes_written, 0); // missing tail
-        // Canonical grid, drift discarded.
+                                                          // Canonical grid, drift discarded.
         assert!((combined[1].t - 0.1).abs() < 1e-12);
     }
 

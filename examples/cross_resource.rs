@@ -35,7 +35,9 @@ fn main() {
 
     // Emulate anywhere.
     let emulator = Emulator::new(EmulationPlan::default());
-    for name in ["thinkie", "stampede", "archer", "comet", "supermic", "titan"] {
+    for name in [
+        "thinkie", "stampede", "archer", "comet", "supermic", "titan",
+    ] {
         let machine = machine_by_name(name).expect("catalog machine");
         // What the *application* would do on that machine (ground truth).
         let app_run = app.execute(&machine, steps, &mut Noise::none());

@@ -50,8 +50,8 @@ fn main() {
     let real_bytes: u64 = 8 << 20;
     for &block in &blocks {
         let dir = std::env::temp_dir().join("synapse-io-tuning");
-        let mut atom = StorageAtom::with_config(&dir, block, block, 64 << 20)
-            .expect("storage atom");
+        let mut atom =
+            StorageAtom::with_config(&dir, block, block, 64 << 20).expect("storage atom");
         let report = atom.write(real_bytes).expect("write sweep");
         let secs = report.elapsed.as_secs_f64().max(1e-9);
         println!(

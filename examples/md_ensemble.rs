@@ -22,7 +22,10 @@ fn main() {
     let agent = PilotAgent::new(machine.clone(), SchedulerPolicy::Backfill);
     let mut noise = Noise::new(7, 0.02);
 
-    println!("ensemble on {} ({} cores)", machine.name, machine.cpu.ncores);
+    println!(
+        "ensemble on {} ({} cores)",
+        machine.name, machine.cpu.ncores
+    );
     println!();
 
     let mut total_makespan = 0.0;

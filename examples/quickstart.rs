@@ -78,8 +78,8 @@ fn main() {
     println!("  consumed cyc  : {}", report.consumed.cycles);
     println!("  bytes written : {}", report.consumed.bytes_written);
 
-    let diff = synapse_model::stats::diff_pct(report.tx, outcome.profile.runtime)
-        .unwrap_or(f64::NAN);
+    let diff =
+        synapse_model::stats::diff_pct(report.tx, outcome.profile.runtime).unwrap_or(f64::NAN);
     println!("== comparison ==");
     println!("  emulation Tx differs from application Tx by {diff:+.1} %");
 

@@ -6,6 +6,7 @@
 
 pub use synapse;
 pub use synapse_atoms;
+pub use synapse_campaign;
 pub use synapse_model;
 pub use synapse_perf;
 pub use synapse_pilot;

@@ -44,7 +44,9 @@ fn machines_subcommand_lists_catalog() {
         return;
     };
     assert_eq!(code, 0);
-    for name in ["thinkie", "stampede", "archer", "supermic", "comet", "titan"] {
+    for name in [
+        "thinkie", "stampede", "archer", "supermic", "comet", "titan",
+    ] {
         assert!(stdout.contains(name), "missing {name} in:\n{stdout}");
     }
 }
@@ -69,8 +71,15 @@ fn profile_then_stats_then_emulate_through_the_binary() {
     assert_eq!(code, 0, "profile failed: {stderr}");
     assert!(stdout.contains("Tx="), "{stdout}");
 
-    let (code, stdout, stderr) =
-        run_cli(&["stats", "sleep 0.15", "--tags", "via=cli", "--store", store_s]).unwrap();
+    let (code, stdout, stderr) = run_cli(&[
+        "stats",
+        "sleep 0.15",
+        "--tags",
+        "via=cli",
+        "--store",
+        store_s,
+    ])
+    .unwrap();
     assert_eq!(code, 0, "stats failed: {stderr}");
     assert!(stdout.contains("1 runs"), "{stdout}");
 
@@ -88,8 +97,15 @@ fn profile_then_stats_then_emulate_through_the_binary() {
     assert_eq!(code, 0, "emulate failed: {stderr}");
     assert!(stdout.contains("emulated"), "{stdout}");
 
-    let (code, stdout, _) =
-        run_cli(&["inspect", "sleep 0.15", "--tags", "via=cli", "--store", store_s]).unwrap();
+    let (code, stdout, _) = run_cli(&[
+        "inspect",
+        "sleep 0.15",
+        "--tags",
+        "via=cli",
+        "--store",
+        store_s,
+    ])
+    .unwrap();
     assert_eq!(code, 0);
     assert!(stdout.contains("\"runtime\""));
 
@@ -194,5 +210,46 @@ fn mpi_mode_without_worker_degrades_to_threads() {
         ..Default::default()
     };
     let report = Emulator::new(plan).emulate(&profile).unwrap();
-    assert!(report.consumed.cycles >= 10_000_000, "thread fallback covered the budget");
+    assert!(
+        report.consumed.cycles >= 10_000_000,
+        "thread fallback covered the budget"
+    );
+}
+
+#[test]
+fn campaign_run_sweeps_and_memoizes_through_the_binary() {
+    // The acceptance sweep: examples/campaign.toml expands to ≥100
+    // points across ≥3 machines × ≥2 kernels; a second run must serve
+    // ≥90 % of points from the result cache.
+    let spec = concat!(env!("CARGO_MANIFEST_DIR"), "/examples/campaign.toml");
+    let cache =
+        std::env::temp_dir().join(format!("synapse-cli-campaign-it-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&cache);
+    let cache_s = cache.to_str().unwrap();
+
+    let Some((code, stdout, stderr)) = run_cli(&["campaign", "plan", spec]) else {
+        eprintln!("synapse binary not built; skipping");
+        return;
+    };
+    assert_eq!(code, 0, "campaign plan failed: {stderr}");
+    assert!(stdout.contains("192 points"), "{stdout}");
+
+    let (code, stdout, stderr) = run_cli(&["campaign", "run", spec, "--cache", cache_s]).unwrap();
+    assert_eq!(code, 0, "campaign run failed: {stderr}");
+    assert!(stdout.contains("192 points"), "{stdout}");
+    assert!(stdout.contains("192 simulated, 0 from cache"), "{stdout}");
+    assert!(stdout.contains("p50="), "aggregates rendered: {stdout}");
+    assert!(
+        stdout.contains("vs thinkie"),
+        "reference errors rendered: {stdout}"
+    );
+
+    let (code, stdout, stderr) = run_cli(&["campaign", "run", spec, "--cache", cache_s]).unwrap();
+    assert_eq!(code, 0, "cached campaign run failed: {stderr}");
+    assert!(
+        stdout.contains("0 simulated, 192 from cache (100% hit rate)"),
+        "{stdout}"
+    );
+
+    let _ = std::fs::remove_dir_all(&cache);
 }

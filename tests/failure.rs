@@ -17,7 +17,10 @@ fn crashing_application_still_produces_a_profile() {
     let outcome = profiler
         .profile_command(
             "/bin/sh",
-            &["-c", "i=0; while [ $i -lt 50000 ]; do i=$((i+1)); done; exit 42"],
+            &[
+                "-c",
+                "i=0; while [ $i -lt 50000 ]; do i=$((i+1)); done; exit 42",
+            ],
             key,
         )
         .expect("profiling a crashing app is not an error");

@@ -183,8 +183,7 @@ fn order_preservation_affects_real_replay_structure() {
     assert_eq!(merged.samples, 1);
     assert!(ordered.samples >= 3);
     assert_eq!(
-        ordered.consumed.directed_cycles,
-        merged.consumed.directed_cycles,
+        ordered.consumed.directed_cycles, merged.consumed.directed_cycles,
         "ablation changes structure, not volume"
     );
 }

@@ -41,8 +41,14 @@ fn portability_directions_match_the_paper() {
         let emu_tx = emulator.simulate(&profile, &machine).tx;
         (emu_tx - app_tx) / app_tx
     };
-    assert!(check("thinkie").abs() < 0.05, "parity on the profiling host");
-    assert!(check("stampede") < -0.3, "emulation much faster on stampede");
+    assert!(
+        check("thinkie").abs() < 0.05,
+        "parity on the profiling host"
+    );
+    assert!(
+        check("stampede") < -0.3,
+        "emulation much faster on stampede"
+    );
     assert!(check("archer") > 0.25, "emulation much slower on archer");
 }
 
@@ -106,8 +112,7 @@ fn pilot_workload_is_machine_sensitive() {
     let mk_tasks = |machine: &synapse_sim::MachineModel| -> Vec<ProxyTask> {
         (0..8)
             .map(|i| {
-                let profile =
-                    app.simulate_profile(machine, 1_000_000, 1.0, &mut Noise::none());
+                let profile = app.simulate_profile(machine, 1_000_000, 1.0, &mut Noise::none());
                 ProxyTask::new(
                     format!("t{i}"),
                     2,
@@ -124,8 +129,8 @@ fn pilot_workload_is_machine_sensitive() {
     let supermic = machine_by_name("supermic").unwrap();
     let titan_report =
         PilotAgent::new(titan.clone(), SchedulerPolicy::Backfill).execute(&mk_tasks(&titan));
-    let sm_report = PilotAgent::new(supermic.clone(), SchedulerPolicy::Backfill)
-        .execute(&mk_tasks(&supermic));
+    let sm_report =
+        PilotAgent::new(supermic.clone(), SchedulerPolicy::Backfill).execute(&mk_tasks(&supermic));
     assert!(
         sm_report.makespan < titan_report.makespan,
         "supermic ({}) beats titan ({})",

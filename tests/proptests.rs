@@ -2,8 +2,8 @@
 
 use proptest::prelude::*;
 use synapse_model::{
-    stats, ComputeSample, MemorySample, NetworkSample, Profile, ProfileKey, Sample,
-    StorageSample, Summary, SystemInfo, Tags,
+    stats, ComputeSample, MemorySample, NetworkSample, Profile, ProfileKey, Sample, StorageSample,
+    Summary, SystemInfo, Tags,
 };
 use synapse_sim::{FsKind, FsModel, IoOp, KernelProfile, VirtualClock};
 use synapse_store::{Collection, DbProfileStore, Document, DocumentDb, ProfileStore, Query};

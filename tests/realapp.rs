@@ -119,6 +119,9 @@ fn mdsim_profile_feeds_emulation_roundtrip() {
     .emulate(&profile)
     .expect("emulate the real profile");
     assert_eq!(report.consumed.directed_cycles, profile.totals().cycles);
-    assert_eq!(report.consumed.bytes_written, profile.totals().bytes_written);
+    assert_eq!(
+        report.consumed.bytes_written,
+        profile.totals().bytes_written
+    );
     assert!(report.tx > 0.0);
 }

@@ -1,0 +1,195 @@
+//! Minimal vendored substitute for `criterion`.
+//!
+//! The real statistical harness is unavailable offline; this stub
+//! keeps the bench targets compiling and runnable. Each
+//! `bench_function` executes its routine a small fixed number of
+//! iterations and prints the mean wall-clock time — enough to spot
+//! order-of-magnitude regressions by eye, with none of criterion's
+//! statistics.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Iterations per benchmark routine (kept tiny so `cargo bench`
+/// completes in seconds).
+const ITERS: u32 = 3;
+
+/// Opaque-to-the-optimizer pass-through, as `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Measurement driver handed to benchmark closures.
+pub struct Bencher {
+    iters_run: u64,
+    total: Duration,
+}
+
+impl Bencher {
+    /// Time a routine (`ITERS` iterations, mean reported).
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        for _ in 0..ITERS {
+            let start = Instant::now();
+            black_box(routine());
+            self.total += start.elapsed();
+            self.iters_run += 1;
+        }
+    }
+}
+
+/// Benchmark identifier: `name/parameter`.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id combining a function name and a parameter value.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{name}/{parameter}"))
+    }
+
+    /// An id from a parameter value only.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(format!("{parameter}"))
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Throughput annotation (accepted, not analysed).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Top-level benchmark manager.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Run a single benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(None, &BenchmarkId::from(name), f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A group of related benchmarks. Configuration setters are accepted
+/// for API compatibility and ignored.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Ignored (stub).
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Ignored (stub).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Ignored (stub).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Ignored (stub).
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(Some(&self.name), &id.into(), f);
+        self
+    }
+
+    /// Close the group (no-op in the stub).
+    pub fn finish(self) {}
+}
+
+fn run_one<F>(group: Option<&str>, id: &BenchmarkId, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut bencher = Bencher {
+        iters_run: 0,
+        total: Duration::ZERO,
+    };
+    f(&mut bencher);
+    let label = match group {
+        Some(g) => format!("{g}/{id}"),
+        None => id.to_string(),
+    };
+    if bencher.iters_run > 0 {
+        let mean = bencher.total / bencher.iters_run as u32;
+        println!(
+            "bench {label:<50} {mean:>12.3?}/iter  (stub harness, {} iters)",
+            bencher.iters_run
+        );
+    } else {
+        println!("bench {label:<50} (no iterations)");
+    }
+}
+
+/// Collect benchmark functions into a runnable group function, like
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate `main` running the given groups, like
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo test`/`cargo bench` pass harness flags; the stub
+            // runs the same way regardless.
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,184 @@
+//! Minimal vendored substitute for the `libc` crate (Linux only).
+//!
+//! Declares exactly the types, constants and functions this workspace
+//! uses. Layouts and constant values follow the Linux x86_64/aarch64
+//! ABI (the two architectures this reproduction targets).
+
+#![allow(non_camel_case_types)]
+#![allow(non_snake_case)]
+#![allow(non_upper_case_globals)]
+#![allow(missing_docs)]
+
+pub type c_char = i8;
+pub type c_int = i32;
+pub type c_uint = u32;
+pub type c_long = i64;
+pub type c_ulong = u64;
+pub type c_void = std::ffi::c_void;
+pub type pid_t = i32;
+pub type id_t = u32;
+pub type uid_t = u32;
+pub type size_t = usize;
+pub type ssize_t = isize;
+pub type time_t = i64;
+pub type suseconds_t = i64;
+
+// errno values (asm-generic, shared by x86_64 and aarch64).
+pub const EPERM: c_int = 1;
+pub const ENOENT: c_int = 2;
+pub const ESRCH: c_int = 3;
+pub const EACCES: c_int = 13;
+
+// Signals.
+pub const SIGKILL: c_int = 9;
+
+// getrusage(2) targets.
+pub const RUSAGE_SELF: c_int = 0;
+pub const RUSAGE_CHILDREN: c_int = -1;
+
+// waitid(2) id types and options.
+pub const P_PID: c_int = 1;
+pub const WNOWAIT: c_int = 0x01000000;
+pub const WEXITED: c_int = 0x00000004;
+
+// sysconf(3) names.
+pub const _SC_PAGESIZE: c_int = 30;
+pub const _SC_CLK_TCK: c_int = 2;
+
+// Syscall numbers.
+#[cfg(target_arch = "x86_64")]
+pub const SYS_gettid: c_long = 186;
+#[cfg(target_arch = "x86_64")]
+pub const SYS_perf_event_open: c_long = 298;
+#[cfg(target_arch = "aarch64")]
+pub const SYS_gettid: c_long = 178;
+#[cfg(target_arch = "aarch64")]
+pub const SYS_perf_event_open: c_long = 241;
+
+/// Wait-status decoding, as the C `WIFEXITED` macro.
+pub fn WIFEXITED(status: c_int) -> bool {
+    (status & 0x7f) == 0
+}
+
+/// Wait-status decoding, as the C `WEXITSTATUS` macro.
+pub fn WEXITSTATUS(status: c_int) -> c_int {
+    (status >> 8) & 0xff
+}
+
+/// Wait-status decoding, as the C `WIFSIGNALED` macro.
+pub fn WIFSIGNALED(status: c_int) -> bool {
+    ((status & 0x7f) + 1) >> 1 > 0
+}
+
+/// Wait-status decoding, as the C `WTERMSIG` macro.
+pub fn WTERMSIG(status: c_int) -> c_int {
+    status & 0x7f
+}
+
+#[repr(C)]
+#[derive(Debug, Clone, Copy)]
+pub struct timeval {
+    pub tv_sec: time_t,
+    pub tv_usec: suseconds_t,
+}
+
+#[repr(C)]
+#[derive(Debug, Clone, Copy)]
+pub struct rusage {
+    pub ru_utime: timeval,
+    pub ru_stime: timeval,
+    pub ru_maxrss: c_long,
+    pub ru_ixrss: c_long,
+    pub ru_idrss: c_long,
+    pub ru_isrss: c_long,
+    pub ru_minflt: c_long,
+    pub ru_majflt: c_long,
+    pub ru_nswap: c_long,
+    pub ru_inblock: c_long,
+    pub ru_oublock: c_long,
+    pub ru_msgsnd: c_long,
+    pub ru_msgrcv: c_long,
+    pub ru_nsignals: c_long,
+    pub ru_nvcsw: c_long,
+    pub ru_nivcsw: c_long,
+}
+
+/// Opaque-to-this-workspace `siginfo_t`: callers only zero-initialize
+/// it and pass it to `waitid`; the glibc struct is 128 bytes with
+/// `c_int` alignment on both target architectures.
+#[repr(C)]
+#[derive(Clone, Copy)]
+pub struct siginfo_t {
+    pub si_signo: c_int,
+    pub si_errno: c_int,
+    pub si_code: c_int,
+    _pad: [c_int; 29],
+}
+
+impl std::fmt::Debug for siginfo_t {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("siginfo_t")
+            .field("si_signo", &self.si_signo)
+            .field("si_code", &self.si_code)
+            .finish_non_exhaustive()
+    }
+}
+
+extern "C" {
+    pub fn close(fd: c_int) -> c_int;
+    pub fn gethostname(name: *mut c_char, len: size_t) -> c_int;
+    pub fn getrusage(who: c_int, usage: *mut rusage) -> c_int;
+    pub fn ioctl(fd: c_int, request: c_ulong, ...) -> c_int;
+    pub fn read(fd: c_int, buf: *mut c_void, count: size_t) -> ssize_t;
+    pub fn syscall(num: c_long, ...) -> c_long;
+    pub fn sysconf(name: c_int) -> c_long;
+    pub fn wait4(pid: pid_t, status: *mut c_int, options: c_int, rusage: *mut rusage) -> pid_t;
+    pub fn waitid(idtype: c_int, id: id_t, infop: *mut siginfo_t, options: c_int) -> c_int;
+    pub fn kill(pid: pid_t, sig: c_int) -> c_int;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rusage_layout_matches_glibc_size() {
+        assert_eq!(std::mem::size_of::<timeval>(), 16);
+        assert_eq!(std::mem::size_of::<rusage>(), 144);
+        assert_eq!(std::mem::size_of::<siginfo_t>(), 128);
+    }
+
+    #[test]
+    fn sysconf_answers() {
+        let page = unsafe { sysconf(_SC_PAGESIZE) };
+        assert!(page == 4096 || page == 16384 || page == 65536, "{page}");
+        let hz = unsafe { sysconf(_SC_CLK_TCK) };
+        assert!(hz > 0);
+    }
+
+    #[test]
+    fn getrusage_self_works() {
+        let mut ru: rusage = unsafe { std::mem::zeroed() };
+        let rc = unsafe { getrusage(RUSAGE_SELF, &mut ru) };
+        assert_eq!(rc, 0);
+        assert!(ru.ru_maxrss > 0);
+    }
+
+    #[test]
+    fn wait_status_macros() {
+        // Normal exit with code 7 → status 0x0700.
+        assert!(WIFEXITED(0x0700));
+        assert_eq!(WEXITSTATUS(0x0700), 7);
+        assert!(!WIFSIGNALED(0x0700));
+        // Killed by SIGKILL → status 9.
+        assert!(!WIFEXITED(9));
+        assert!(WIFSIGNALED(9));
+        assert_eq!(WTERMSIG(9), SIGKILL);
+    }
+
+    #[test]
+    fn gettid_syscall() {
+        let tid = unsafe { syscall(SYS_gettid) };
+        assert!(tid > 0);
+    }
+}

@@ -1,0 +1,433 @@
+//! Minimal vendored substitute for `proptest`.
+//!
+//! Runs each property over [`CASES`] pseudo-random cases with a
+//! deterministic per-test seed (derived from the test's name, so runs
+//! are reproducible). No shrinking: a failing case panics with the
+//! assertion message directly. The strategy combinators cover what
+//! this repository uses — numeric ranges, `any`, tuples, `prop_map`,
+//! `collection::vec`, and character-class regex string patterns like
+//! `"[a-z0-9]{1,8}"`.
+
+/// Number of generated cases per property.
+pub const CASES: usize = 64;
+
+pub mod test_runner {
+    //! Deterministic RNG for property generation.
+
+    use rand::rngs::StdRng;
+    use rand::{Rng, RngCore, SeedableRng};
+
+    /// The generator handed to strategies.
+    #[derive(Debug, Clone)]
+    pub struct TestRng(StdRng);
+
+    impl TestRng {
+        /// A deterministic generator for a named test.
+        pub fn for_test(test_name: &str) -> Self {
+            // FNV-1a over the name: stable across runs and platforms.
+            let mut hash: u64 = 0xcbf29ce484222325;
+            for b in test_name.bytes() {
+                hash ^= b as u64;
+                hash = hash.wrapping_mul(0x100000001b3);
+            }
+            TestRng(StdRng::seed_from_u64(hash))
+        }
+
+        /// Uniform sample in `[low, high)`.
+        pub fn range_f64(&mut self, low: f64, high: f64) -> f64 {
+            self.0.gen_range(low..high)
+        }
+
+        /// Uniform sample in `[low, high)`.
+        pub fn range_u64(&mut self, low: u64, high: u64) -> u64 {
+            self.0.gen_range(low..high)
+        }
+
+        /// Uniform sample in `[low, high)`.
+        pub fn range_i64(&mut self, low: i64, high: i64) -> i64 {
+            self.0.gen_range(low..high)
+        }
+
+        /// Next raw word.
+        pub fn word(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+    }
+}
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use super::test_runner::TestRng;
+
+    /// A recipe producing values of an output type.
+    pub trait Strategy {
+        /// The generated value type.
+        type Value;
+
+        /// Generate one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform generated values with a function.
+        fn prop_map<U, F>(self, f: F) -> MapStrategy<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            MapStrategy { inner: self, f }
+        }
+    }
+
+    /// The result of [`Strategy::prop_map`].
+    pub struct MapStrategy<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, F, U> Strategy for MapStrategy<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U;
+
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            rng.range_f64(self.start, self.end)
+        }
+    }
+
+    macro_rules! range_strategy_uint {
+        ($($ty:ty),*) => {$(
+            impl Strategy for std::ops::Range<$ty> {
+                type Value = $ty;
+
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    rng.range_u64(self.start as u64, self.end as u64) as $ty
+                }
+            }
+        )*};
+    }
+
+    range_strategy_uint!(u8, u16, u32, u64, usize);
+
+    macro_rules! range_strategy_int {
+        ($($ty:ty),*) => {$(
+            impl Strategy for std::ops::Range<$ty> {
+                type Value = $ty;
+
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    rng.range_i64(self.start as i64, self.end as i64) as $ty
+                }
+            }
+        )*};
+    }
+
+    range_strategy_int!(i8, i16, i32, i64, isize);
+
+    /// Full-domain strategy returned by [`crate::prelude::any`].
+    pub struct Any<T>(pub(crate) std::marker::PhantomData<T>);
+
+    macro_rules! any_int {
+        ($($ty:ty),*) => {$(
+            impl Strategy for Any<$ty> {
+                type Value = $ty;
+
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    rng.word() as $ty
+                }
+            }
+        )*};
+    }
+
+    any_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Any<bool> {
+        type Value = bool;
+
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.word() & 1 == 1
+        }
+    }
+
+    impl Strategy for Any<f64> {
+        type Value = f64;
+
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            // Finite, broad-magnitude floats.
+            let mantissa = rng.range_f64(-1.0, 1.0);
+            let exp = rng.range_i64(-100, 100) as i32;
+            mantissa * 2f64.powi(exp)
+        }
+    }
+
+    /// A fixed value, like `proptest::strategy::Just`.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($name:ident : $idx:tt),+)),+) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )+};
+    }
+
+    tuple_strategy!(
+        (A: 0, B: 1),
+        (A: 0, B: 1, C: 2),
+        (A: 0, B: 1, C: 2, D: 3),
+        (A: 0, B: 1, C: 2, D: 3, E: 4),
+        (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5),
+        (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6),
+        (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7)
+    );
+
+    /// `&str` patterns act as regex-subset string strategies:
+    /// sequences of `[class]{m,n}` / `[class]` / literal characters,
+    /// where a class holds literal characters and `a-z` style ranges.
+    impl Strategy for &str {
+        type Value = String;
+
+        fn generate(&self, rng: &mut TestRng) -> String {
+            generate_pattern(self, rng)
+        }
+    }
+
+    impl Strategy for String {
+        type Value = String;
+
+        fn generate(&self, rng: &mut TestRng) -> String {
+            generate_pattern(self, rng)
+        }
+    }
+
+    fn generate_pattern(pattern: &str, rng: &mut TestRng) -> String {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut out = String::new();
+        let mut i = 0;
+        while i < chars.len() {
+            // Parse one atom: a character class or a literal.
+            let class: Vec<char> = if chars[i] == '[' {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .map(|p| i + p)
+                    .unwrap_or_else(|| panic!("unclosed [ in pattern {pattern:?}"));
+                let mut set = Vec::new();
+                let mut j = i + 1;
+                while j < close {
+                    if j + 2 < close && chars[j + 1] == '-' {
+                        let (lo, hi) = (chars[j] as u32, chars[j + 2] as u32);
+                        for c in lo..=hi {
+                            if let Some(c) = char::from_u32(c) {
+                                set.push(c);
+                            }
+                        }
+                        j += 3;
+                    } else {
+                        set.push(chars[j]);
+                        j += 1;
+                    }
+                }
+                i = close + 1;
+                set
+            } else {
+                let c = chars[i];
+                i += 1;
+                vec![c]
+            };
+            assert!(!class.is_empty(), "empty character class in {pattern:?}");
+            // Optional {n} / {m,n} repetition.
+            let (min, max) = if i < chars.len() && chars[i] == '{' {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .map(|p| i + p)
+                    .unwrap_or_else(|| panic!("unclosed {{ in pattern {pattern:?}"));
+                let spec: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match spec.split_once(',') {
+                    Some((m, n)) => (
+                        m.trim().parse().expect("repetition min"),
+                        n.trim().parse().expect("repetition max"),
+                    ),
+                    None => {
+                        let n: usize = spec.trim().parse().expect("repetition count");
+                        (n, n)
+                    }
+                }
+            } else {
+                (1, 1)
+            };
+            let count = if min == max {
+                min
+            } else {
+                rng.range_u64(min as u64, max as u64 + 1) as usize
+            };
+            for _ in 0..count {
+                let pick = rng.range_u64(0, class.len() as u64) as usize;
+                out.push(class[pick]);
+            }
+        }
+        out
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+
+    /// Strategy for `Vec<S::Value>` with length drawn from a range.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: std::ops::Range<usize>,
+    }
+
+    /// A vector strategy: `len` elements of `element`, with `len`
+    /// uniform in the given half-open range.
+    pub fn vec<S: Strategy>(element: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = if self.len.start + 1 >= self.len.end {
+                self.len.start
+            } else {
+                rng.range_u64(self.len.start as u64, self.len.end as u64) as usize
+            };
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    //! One-stop imports, mirroring `proptest::prelude`.
+
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// Full-domain strategy for a primitive type, as `proptest::arbitrary::any`.
+    pub fn any<T>() -> crate::strategy::Any<T> {
+        crate::strategy::Any(std::marker::PhantomData)
+    }
+}
+
+/// Define property tests: each runs [`CASES`] generated cases.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut __proptest_rng =
+                    $crate::test_runner::TestRng::for_test(concat!(module_path!(), "::", stringify!($name)));
+                for __proptest_case in 0..$crate::CASES {
+                    $(
+                        let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __proptest_rng);
+                    )*
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Property assertion (plain `assert!` — no shrinking in the stub).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Property equality assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Property inequality assertion.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn pattern_strategy_matches_class_and_counts() {
+        let mut rng = TestRng::for_test("pattern");
+        for _ in 0..200 {
+            let s = Strategy::generate(&"[a-z]{1,8}", &mut rng);
+            assert!((1..=8).contains(&s.len()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+            let t = Strategy::generate(&"[a-z0-9]{0,4}", &mut rng);
+            assert!(t.len() <= 4);
+            assert!(t
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_test_name() {
+        let mut a = TestRng::for_test("x");
+        let mut b = TestRng::for_test("x");
+        let mut c = TestRng::for_test("y");
+        let va: Vec<u64> = (0..4).map(|_| a.word()).collect();
+        let vb: Vec<u64> = (0..4).map(|_| b.word()).collect();
+        let vc: Vec<u64> = (0..4).map(|_| c.word()).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    proptest! {
+        #[test]
+        fn macro_generates_cases(x in 0u64..100, f in 0.0..1.0f64, s in "[a-c]{2}") {
+            prop_assert!(x < 100);
+            prop_assert!((0.0..1.0).contains(&f));
+            prop_assert_eq!(s.len(), 2);
+        }
+
+        #[test]
+        fn tuples_and_vec_and_map(v in crate::collection::vec((0u32..5, "[a-z]{1,3}"), 0..6)) {
+            prop_assert!(v.len() < 6);
+            for (n, s) in v {
+                prop_assert!(n < 5);
+                prop_assert!(!s.is_empty());
+            }
+        }
+
+        #[test]
+        fn prop_map_applies(doubled in (0u64..50).prop_map(|n| n * 2)) {
+            prop_assert!(doubled % 2 == 0);
+            prop_assert!(doubled < 100);
+        }
+    }
+}

@@ -1,0 +1,219 @@
+//! Minimal vendored substitute for the `rand` crate.
+//!
+//! Provides the deterministic seeded RNG surface this repository uses:
+//! `rngs::StdRng`, `SeedableRng::seed_from_u64` and
+//! `Rng::gen_range(low..high)` for the primitive numeric types. The
+//! generator is xoshiro256** seeded through SplitMix64 — statistically
+//! solid for simulation noise, *not* cryptographic, and intentionally
+//! independent of real rand's stream (callers only rely on
+//! reproducibility, not on specific sequences).
+
+/// Core RNG interface: a source of uniform 64-bit words.
+pub trait RngCore {
+    /// Next uniform 64-bit word.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next uniform 32-bit word.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Seedable construction, as in real rand.
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed (deterministic).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Sampling helpers layered over [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform sample from `[range.start, range.end)`.
+    ///
+    /// Panics when the range is empty, like real rand.
+    fn gen_range<T: SampleUniform>(&mut self, range: std::ops::Range<T>) -> T
+    where
+        Self: Sized,
+    {
+        assert!(range.start < range.end, "gen_range called with empty range");
+        T::sample(self, range.start, range.end)
+    }
+
+    /// A uniform value of the target type (full range for integers,
+    /// `[0, 1)` for floats).
+    fn gen<T: SampleUniform>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_any(self)
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Types that can be sampled uniformly from a half-open range.
+pub trait SampleUniform: PartialOrd + Copy {
+    /// Uniform sample in `[low, high)`.
+    fn sample<R: RngCore>(rng: &mut R, low: Self, high: Self) -> Self;
+    /// Uniform sample over the type's natural full domain.
+    fn sample_any<R: RngCore>(rng: &mut R) -> Self;
+}
+
+impl SampleUniform for f64 {
+    fn sample<R: RngCore>(rng: &mut R, low: Self, high: Self) -> Self {
+        let unit = Self::sample_any(rng);
+        // `low + unit * width` can round up to `high` for extreme
+        // widths; clamp to keep the half-open contract.
+        let v = low + unit * (high - low);
+        if v >= high {
+            low.max(high - (high - low) * f64::EPSILON)
+        } else {
+            v
+        }
+    }
+
+    fn sample_any<R: RngCore>(rng: &mut R) -> Self {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample<R: RngCore>(rng: &mut R, low: Self, high: Self) -> Self {
+        f64::sample(rng, low as f64, high as f64) as f32
+    }
+
+    fn sample_any<R: RngCore>(rng: &mut R) -> Self {
+        f64::sample_any(rng) as f32
+    }
+}
+
+macro_rules! sample_uniform_int {
+    ($($ty:ty => $wide:ty),*) => {$(
+        impl SampleUniform for $ty {
+            fn sample<R: RngCore>(rng: &mut R, low: Self, high: Self) -> Self {
+                let span = (high as $wide).wrapping_sub(low as $wide) as u64;
+                // Multiply-shift rejection-free mapping (Lemire); the
+                // modulo bias is < 2^-64 * span, negligible here.
+                let word = rng.next_u64();
+                let offset = ((word as u128 * span as u128) >> 64) as u64;
+                ((low as $wide).wrapping_add(offset as $wide)) as $ty
+            }
+
+            fn sample_any<R: RngCore>(rng: &mut R) -> Self {
+                rng.next_u64() as $ty
+            }
+        }
+    )*};
+}
+
+sample_uniform_int!(
+    u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+    i8 => i64, i16 => i64, i32 => i64, i64 => i64, isize => i64
+);
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The standard seeded generator: xoshiro256** with SplitMix64
+    /// seeding.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            StdRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+pub use rngs::StdRng as DefaultRng;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rngs::StdRng;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let va: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn float_range_bounds_hold() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(-0.25..0.25f64);
+            assert!((-0.25..0.25).contains(&v), "{v}");
+        }
+    }
+
+    #[test]
+    fn float_range_mean_is_centered() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| rng.gen_range(0.0..1.0f64)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "{mean}");
+    }
+
+    #[test]
+    fn int_ranges_cover_and_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut seen = [false; 5];
+        for _ in 0..1000 {
+            let v = rng.gen_range(0usize..5);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        for _ in 0..1000 {
+            let v = rng.gen_range(-3i64..3);
+            assert!((-3..3).contains(&v));
+        }
+    }
+}

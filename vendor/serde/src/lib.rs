@@ -1,0 +1,662 @@
+//! Minimal vendored substitute for the `serde` crate.
+//!
+//! The build environment has no network access, so this workspace
+//! vendors the small serde surface the code base actually uses. The
+//! design is value-model based (like `miniserde`): [`Serialize`]
+//! converts a value into a JSON-shaped [`Value`] tree and
+//! [`Deserialize`] reads one back. The derive macros in the companion
+//! `serde_derive` crate generate those impls for structs with named
+//! fields, newtype structs and unit-variant enums, which covers every
+//! derived type in this repository. `serde_json` (also vendored)
+//! provides the textual JSON layer on top.
+
+use std::collections::{BTreeMap, HashMap};
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The JSON-shaped data model shared by `serde` and `serde_json`.
+///
+/// Numbers keep their integer/float identity like `serde_json::Value`
+/// does: integers compare equal across signedness when mathematically
+/// equal, floats never compare equal to integers.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Signed integer.
+    I64(i64),
+    /// Unsigned integer above `i64::MAX`.
+    U64(u64),
+    /// Floating-point number.
+    F64(f64),
+    /// JSON string.
+    Str(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object (sorted keys, deterministic serialization).
+    Object(BTreeMap<String, Value>),
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Value) -> bool {
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => true,
+            (Bool(a), Bool(b)) => a == b,
+            (Str(a), Str(b)) => a == b,
+            (Array(a), Array(b)) => a == b,
+            (Object(a), Object(b)) => a == b,
+            (I64(a), I64(b)) => a == b,
+            (U64(a), U64(b)) => a == b,
+            (F64(a), F64(b)) => a == b,
+            (I64(a), U64(b)) | (U64(b), I64(a)) => u64::try_from(*a) == Ok(*b),
+            _ => false,
+        }
+    }
+}
+
+impl Value {
+    /// Member lookup on objects (`None` for other variants).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// Element lookup on arrays (`None` for other variants).
+    pub fn get_index(&self, idx: usize) -> Option<&Value> {
+        match self {
+            Value::Array(a) => a.get(idx),
+            _ => None,
+        }
+    }
+
+    /// The value as an `i64`, when integral and in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::I64(n) => Some(*n),
+            Value::U64(n) => i64::try_from(*n).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64`, when integral and non-negative.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::I64(n) => u64::try_from(*n).ok(),
+            Value::U64(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Any numeric value as an `f64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::I64(n) => Some(*n as f64),
+            Value::U64(n) => Some(*n as f64),
+            Value::F64(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// String content, when a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Boolean content, when a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Array content, when an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Object content, when an object.
+    pub fn as_object(&self) -> Option<&BTreeMap<String, Value>> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Whether this is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Variant name for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "boolean",
+            Value::I64(_) | Value::U64(_) => "integer",
+            Value::F64(_) => "number",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+
+    /// Object content or a type error (used by derived impls).
+    pub fn object_or_err(&self, ty: &str) -> Result<&BTreeMap<String, Value>, Error> {
+        self.as_object()
+            .ok_or_else(|| Error::new(format!("expected object for {ty}, found {}", self.kind())))
+    }
+}
+
+static NULL: Value = Value::Null;
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, idx: usize) -> &Value {
+        self.get_index(idx).unwrap_or(&NULL)
+    }
+}
+
+macro_rules! value_eq_prim {
+    ($ty:ty, $conv:expr) => {
+        impl PartialEq<$ty> for Value {
+            fn eq(&self, other: &$ty) -> bool {
+                self == &$conv(other.clone())
+            }
+        }
+        impl PartialEq<Value> for $ty {
+            fn eq(&self, other: &Value) -> bool {
+                other == self
+            }
+        }
+    };
+}
+
+value_eq_prim!(i64, Value::I64);
+value_eq_prim!(f64, Value::F64);
+value_eq_prim!(bool, Value::Bool);
+value_eq_prim!(String, Value::Str);
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+impl PartialEq<Value> for &str {
+    fn eq(&self, other: &Value) -> bool {
+        other == self
+    }
+}
+
+macro_rules! value_from_int {
+    ($($ty:ty),*) => {$(
+        impl From<$ty> for Value {
+            fn from(v: $ty) -> Value {
+                Value::I64(v as i64)
+            }
+        }
+    )*};
+}
+
+value_from_int!(i8, i16, i32, i64, isize, u8, u16, u32);
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Value {
+        match i64::try_from(v) {
+            Ok(n) => Value::I64(n),
+            Err(_) => Value::U64(v),
+        }
+    }
+}
+
+impl From<usize> for Value {
+    fn from(v: usize) -> Value {
+        Value::from(v as u64)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Value::F64(v)
+    }
+}
+
+impl From<f32> for Value {
+    fn from(v: f32) -> Value {
+        Value::F64(v as f64)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::Str(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::Str(v)
+    }
+}
+
+impl From<Vec<Value>> for Value {
+    fn from(v: Vec<Value>) -> Value {
+        Value::Array(v)
+    }
+}
+
+impl From<BTreeMap<String, Value>> for Value {
+    fn from(v: BTreeMap<String, Value>) -> Value {
+        Value::Object(v)
+    }
+}
+
+/// Shared (de)serialization error: a plain message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    /// An error with the given message.
+    pub fn new(msg: impl Into<String>) -> Self {
+        Error(msg.into())
+    }
+
+    /// Standard "missing field" error used by derived impls.
+    pub fn missing_field(ty: &str, field: &str) -> Self {
+        Error(format!("missing field `{field}` for {ty}"))
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serialize into the shared [`Value`] data model.
+pub trait Serialize {
+    /// Convert `self` into a [`Value`] tree.
+    fn serialize_value(&self) -> Value;
+}
+
+/// Deserialize from the shared [`Value`] data model.
+///
+/// The lifetime parameter exists only for signature compatibility with
+/// real serde bounds like `for<'de> Deserialize<'de>`; this vendored
+/// substitute always produces owned data.
+pub trait Deserialize<'de>: Sized {
+    /// Read `Self` out of a [`Value`] tree.
+    fn deserialize(value: &Value) -> Result<Self, Error>;
+}
+
+macro_rules! serde_int {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn serialize_value(&self) -> Value {
+                Value::from(*self)
+            }
+        }
+        impl<'de> Deserialize<'de> for $ty {
+            fn deserialize(value: &Value) -> Result<Self, Error> {
+                let n = value
+                    .as_i64()
+                    .map(i128::from)
+                    .or_else(|| value.as_u64().map(i128::from))
+                    .ok_or_else(|| {
+                        Error::new(format!("expected integer, found {}", value.kind()))
+                    })?;
+                <$ty>::try_from(n)
+                    .map_err(|_| Error::new(format!("integer {n} out of range for {}", stringify!($ty))))
+            }
+        }
+    )*};
+}
+
+serde_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+macro_rules! serde_float {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn serialize_value(&self) -> Value {
+                Value::F64(*self as f64)
+            }
+        }
+        impl<'de> Deserialize<'de> for $ty {
+            fn deserialize(value: &Value) -> Result<Self, Error> {
+                // `null` reads back as NaN: JSON has no NaN/Infinity
+                // literal, so non-finite floats serialize to null.
+                if value.is_null() {
+                    return Ok(<$ty>::NAN);
+                }
+                value
+                    .as_f64()
+                    .map(|f| f as $ty)
+                    .ok_or_else(|| Error::new(format!("expected number, found {}", value.kind())))
+            }
+        }
+    )*};
+}
+
+serde_float!(f32, f64);
+
+impl Serialize for bool {
+    fn serialize_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        value
+            .as_bool()
+            .ok_or_else(|| Error::new(format!("expected boolean, found {}", value.kind())))
+    }
+}
+
+impl Serialize for String {
+    fn serialize_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        value
+            .as_str()
+            .map(str::to_string)
+            .ok_or_else(|| Error::new(format!("expected string, found {}", value.kind())))
+    }
+}
+
+impl Serialize for str {
+    fn serialize_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<'de> Deserialize<'de> for &'static str {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        // Only needed so `#[derive(Deserialize)]` compiles on registry
+        // types with `&'static str` fields; deserializing one leaks the
+        // string (acceptable for this offline substitute).
+        String::deserialize(value).map(|s| &*Box::leak(s.into_boxed_str()))
+    }
+}
+
+impl Serialize for char {
+    fn serialize_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<'de> Deserialize<'de> for char {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        let s = value
+            .as_str()
+            .ok_or_else(|| Error::new(format!("expected string, found {}", value.kind())))?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(Error::new("expected single-character string")),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_value(&self) -> Value {
+        (**self).serialize_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_value(&self) -> Value {
+        match self {
+            Some(v) => v.serialize_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        if value.is_null() {
+            Ok(None)
+        } else {
+            T::deserialize(value).map(Some)
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Array(items) => items.iter().map(T::deserialize).collect(),
+            other => Err(Error::new(format!(
+                "expected array, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn serialize_value(&self) -> Value {
+        (**self).serialize_value()
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        T::deserialize(value).map(Box::new)
+    }
+}
+
+/// Serialize a map key: maps in the JSON data model need string keys,
+/// so the key's serialized form must be a string (as it is for `String`
+/// keys and unit-variant enums, exactly like real `serde_json`).
+fn key_to_string(key: &impl Serialize) -> Value {
+    key.serialize_value()
+}
+
+impl<K: Serialize + Ord, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize_value(&self) -> Value {
+        let mut out = BTreeMap::new();
+        for (k, v) in self {
+            match key_to_string(k) {
+                Value::Str(s) => out.insert(s, v.serialize_value()),
+                other => panic!("map key must serialize to a string, got {}", other.kind()),
+            };
+        }
+        Value::Object(out)
+    }
+}
+
+impl<'de, K: Deserialize<'de> + Ord, V: Deserialize<'de>> Deserialize<'de> for BTreeMap<K, V> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        let obj = value.object_or_err("map")?;
+        let mut out = BTreeMap::new();
+        for (k, v) in obj {
+            let key = K::deserialize(&Value::Str(k.clone()))?;
+            out.insert(key, V::deserialize(v)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<K: Serialize + Eq + std::hash::Hash, V: Serialize> Serialize for HashMap<K, V> {
+    fn serialize_value(&self) -> Value {
+        let mut out = BTreeMap::new();
+        for (k, v) in self {
+            match key_to_string(k) {
+                Value::Str(s) => out.insert(s, v.serialize_value()),
+                other => panic!("map key must serialize to a string, got {}", other.kind()),
+            };
+        }
+        Value::Object(out)
+    }
+}
+
+impl<'de, K, V> Deserialize<'de> for HashMap<K, V>
+where
+    K: Deserialize<'de> + Eq + std::hash::Hash,
+    V: Deserialize<'de>,
+{
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        let obj = value.object_or_err("map")?;
+        let mut out = HashMap::with_capacity(obj.len());
+        for (k, v) in obj {
+            let key = K::deserialize(&Value::Str(k.clone()))?;
+            out.insert(key, V::deserialize(v)?);
+        }
+        Ok(out)
+    }
+}
+
+impl Serialize for Value {
+    fn serialize_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl<'de> Deserialize<'de> for Value {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}
+
+impl Serialize for () {
+    fn serialize_value(&self) -> Value {
+        Value::Null
+    }
+}
+
+impl<'de> Deserialize<'de> for () {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        if value.is_null() {
+            Ok(())
+        } else {
+            Err(Error::new(format!("expected null, found {}", value.kind())))
+        }
+    }
+}
+
+macro_rules! serde_tuple {
+    ($(($($name:ident : $idx:tt),+)),+) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.serialize_value()),+])
+            }
+        }
+        impl<'de, $($name: Deserialize<'de>),+> Deserialize<'de> for ($($name,)+) {
+            fn deserialize(value: &Value) -> Result<Self, Error> {
+                const LEN: usize = [$($idx),+].len();
+                match value {
+                    Value::Array(items) if items.len() == LEN => {
+                        Ok(($($name::deserialize(&items[$idx])?,)+))
+                    }
+                    Value::Array(items) => Err(Error::new(format!(
+                        "expected array of {LEN}, found {}",
+                        items.len()
+                    ))),
+                    other => Err(Error::new(format!("expected array, found {}", other.kind()))),
+                }
+            }
+        }
+    )+};
+}
+
+serde_tuple!(
+    (A: 0),
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3)
+);
+
+/// Compatibility alias: real serde exposes `de::DeserializeOwned`.
+pub mod de {
+    /// Owned deserialization marker, as in real serde.
+    pub trait DeserializeOwned: for<'de> super::Deserialize<'de> {}
+    impl<T: for<'de> super::Deserialize<'de>> DeserializeOwned for T {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_equality_across_int_widths() {
+        assert_eq!(Value::I64(7), Value::U64(7));
+        assert_ne!(Value::I64(7), Value::F64(7.0));
+        assert_ne!(Value::I64(-1), Value::U64(u64::MAX));
+    }
+
+    #[test]
+    fn index_missing_yields_null() {
+        let v = Value::Object(BTreeMap::new());
+        assert!(v["nope"].is_null());
+        assert!(Value::Null["x"].is_null());
+    }
+
+    #[test]
+    fn option_roundtrip() {
+        let some = Some(3.5f64).serialize_value();
+        assert_eq!(Option::<f64>::deserialize(&some).unwrap(), Some(3.5));
+        assert_eq!(Option::<f64>::deserialize(&Value::Null).unwrap(), None);
+    }
+
+    #[test]
+    fn map_with_string_keys_roundtrips() {
+        let mut m = BTreeMap::new();
+        m.insert("a".to_string(), 1u64);
+        let v = m.serialize_value();
+        let back: BTreeMap<String, u64> = Deserialize::deserialize(&v).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn integer_range_checks() {
+        let big = Value::U64(u64::MAX);
+        assert!(i64::deserialize(&big).is_err());
+        assert_eq!(u64::deserialize(&big).unwrap(), u64::MAX);
+        assert!(u32::deserialize(&Value::I64(-1)).is_err());
+    }
+}

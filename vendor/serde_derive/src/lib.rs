@@ -1,0 +1,376 @@
+//! Derive macros for the vendored `serde` facade.
+//!
+//! Implemented without `syn`/`quote` (offline build): the input token
+//! stream is walked directly and the generated impls are assembled as
+//! source text. Supported shapes — the only ones this repository
+//! derives on:
+//!
+//! * structs with named fields (honouring `#[serde(default)]`, and
+//!   treating missing `Option<...>` fields as `None`),
+//! * tuple structs (newtypes serialize transparently, wider tuples as
+//!   arrays),
+//! * enums whose variants are all unit variants (serialized as the
+//!   variant-name string, like real serde's external tagging).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One parsed field of a named struct.
+struct Field {
+    name: String,
+    /// `#[serde(default)]` present, or the field type is `Option<..>`.
+    default_on_missing: bool,
+}
+
+enum Shape {
+    Named(Vec<Field>),
+    Tuple(usize),
+    Unit,
+    Enum(Vec<String>),
+}
+
+struct Input {
+    name: String,
+    shape: Shape,
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Collect the attributes preceding an item/field, reporting whether a
+/// `#[serde(default)]` marker was among them. Returns the index of the
+/// first non-attribute token.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> (usize, bool) {
+    let mut has_default = false;
+    while i + 1 < tokens.len() {
+        let TokenTree::Punct(p) = &tokens[i] else {
+            break;
+        };
+        if p.as_char() != '#' {
+            break;
+        }
+        let TokenTree::Group(g) = &tokens[i + 1] else {
+            break;
+        };
+        if g.delimiter() != Delimiter::Bracket {
+            break;
+        }
+        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+        if let Some(TokenTree::Ident(id)) = inner.first() {
+            if id.to_string() == "serde" {
+                if let Some(TokenTree::Group(args)) = inner.get(1) {
+                    if args.stream().to_string().contains("default") {
+                        has_default = true;
+                    }
+                }
+            }
+        }
+        i += 2;
+    }
+    (i, has_default)
+}
+
+/// Skip a visibility modifier (`pub`, `pub(crate)`, ...).
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+/// Split a token slice on top-level commas, tracking `<...>` depth so
+/// commas inside generic arguments do not split.
+fn split_top_level_commas(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::new();
+    let mut angle_depth = 0i32;
+    for t in tokens {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    out.push(std::mem::take(&mut cur));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        cur.push(t.clone());
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let (next, has_default) = skip_attrs(&tokens, i);
+        i = skip_vis(&tokens, next);
+        let Some(TokenTree::Ident(name)) = tokens.get(i) else {
+            return Err(format!(
+                "expected field name, got {:?}",
+                tokens.get(i).map(|t| t.to_string())
+            ));
+        };
+        let name = name.to_string();
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => {
+                return Err(format!(
+                    "expected `:` after field `{name}`, got {:?}",
+                    other.map(|t| t.to_string())
+                ))
+            }
+        }
+        // Scan the type, depth-tracking `<...>` so a comma inside
+        // generic arguments does not end the field.
+        let mut angle_depth = 0i32;
+        let mut is_option = false;
+        if let Some(TokenTree::Ident(first)) = tokens.get(i) {
+            if first.to_string() == "Option" {
+                is_option = true;
+            }
+        }
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(Field {
+            name,
+            default_on_missing: has_default || is_option,
+        });
+    }
+    Ok(fields)
+}
+
+fn parse_enum_variants(stream: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let (next, _) = skip_attrs(&tokens, i);
+        i = next;
+        let Some(TokenTree::Ident(name)) = tokens.get(i) else {
+            return Err("expected enum variant name".into());
+        };
+        variants.push(name.to_string());
+        i += 1;
+        match tokens.get(i) {
+            None => break,
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            Some(TokenTree::Group(_)) => {
+                return Err(
+                    "only unit enum variants are supported by the vendored serde derive".into(),
+                )
+            }
+            Some(other) => return Err(format!("unexpected token `{other}` in enum body")),
+        }
+    }
+    Ok(variants)
+}
+
+fn parse_input(input: TokenStream) -> Result<Input, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let (i, _) = skip_attrs(&tokens, 0);
+    let mut i = skip_vis(&tokens, i);
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => {
+            return Err(format!(
+                "expected `struct` or `enum`, got {:?}",
+                other.map(|t| t.to_string())
+            ))
+        }
+    };
+    i += 1;
+    let Some(TokenTree::Ident(name)) = tokens.get(i) else {
+        return Err("expected type name".into());
+    };
+    let name = name.to_string();
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            return Err("generic types are not supported by the vendored serde derive".into());
+        }
+    }
+    match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Input {
+                name,
+                shape: Shape::Named(parse_named_fields(g.stream())?),
+            }),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity =
+                    split_top_level_commas(&g.stream().into_iter().collect::<Vec<_>>()).len();
+                Ok(Input {
+                    name,
+                    shape: Shape::Tuple(arity),
+                })
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Input {
+                name,
+                shape: Shape::Unit,
+            }),
+            other => Err(format!(
+                "unsupported struct body: {:?}",
+                other.map(|t| t.to_string())
+            )),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Input {
+                name,
+                shape: Shape::Enum(parse_enum_variants(g.stream())?),
+            }),
+            other => Err(format!(
+                "unsupported enum body: {:?}",
+                other.map(|t| t.to_string())
+            )),
+        },
+        other => Err(format!("cannot derive for `{other}` items")),
+    }
+}
+
+/// Derive `serde::Serialize` (vendored value-model flavour).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = match parse_input(input) {
+        Ok(p) => p,
+        Err(e) => return compile_error(&e),
+    };
+    let name = &parsed.name;
+    let body = match &parsed.shape {
+        Shape::Named(fields) => {
+            let mut s = String::from("let mut map = ::std::collections::BTreeMap::new();\n");
+            for f in fields {
+                s.push_str(&format!(
+                    "map.insert({n:?}.to_string(), ::serde::Serialize::serialize_value(&self.{n}));\n",
+                    n = f.name
+                ));
+            }
+            s.push_str("::serde::Value::Object(map)");
+            s
+        }
+        Shape::Tuple(1) => "::serde::Serialize::serialize_value(&self.0)".to_string(),
+        Shape::Tuple(arity) => {
+            let items: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Serialize::serialize_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Shape::Unit => "::serde::Value::Null".to_string(),
+        Shape::Enum(variants) => {
+            let mut s = String::from("match self {\n");
+            for v in variants {
+                s.push_str(&format!(
+                    "{name}::{v} => ::serde::Value::Str({v:?}.to_string()),\n"
+                ));
+            }
+            s.push('}');
+            s
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn serialize_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}"
+    )
+    .parse()
+    .unwrap()
+}
+
+/// Derive `serde::Deserialize` (vendored value-model flavour).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = match parse_input(input) {
+        Ok(p) => p,
+        Err(e) => return compile_error(&e),
+    };
+    let name = &parsed.name;
+    let body = match &parsed.shape {
+        Shape::Named(fields) => {
+            let mut s = format!("let obj = value.object_or_err({name:?})?;\n");
+            s.push_str(&format!("::std::result::Result::Ok({name} {{\n"));
+            for f in fields {
+                let missing = if f.default_on_missing {
+                    "::std::default::Default::default()".to_string()
+                } else {
+                    format!(
+                        "return ::std::result::Result::Err(::serde::Error::missing_field({name:?}, {n:?}))",
+                        n = f.name
+                    )
+                };
+                s.push_str(&format!(
+                    "{n}: match obj.get({n:?}) {{\n\
+                     ::std::option::Option::Some(fv) => <_ as ::serde::Deserialize>::deserialize(fv)?,\n\
+                     ::std::option::Option::None => {missing},\n\
+                     }},\n",
+                    n = f.name
+                ));
+            }
+            s.push_str("})");
+            s
+        }
+        Shape::Tuple(1) => format!(
+            "::std::result::Result::Ok({name}(<_ as ::serde::Deserialize>::deserialize(value)?))"
+        ),
+        Shape::Tuple(arity) => {
+            let mut s = format!(
+                "let items = match value {{\n\
+                 ::serde::Value::Array(items) if items.len() == {arity} => items,\n\
+                 other => return ::std::result::Result::Err(::serde::Error::new(\
+                 format!(\"expected array of {arity} for {name}, found {{}}\", other.kind()))),\n\
+                 }};\n"
+            );
+            let items: Vec<String> = (0..*arity)
+                .map(|i| format!("<_ as ::serde::Deserialize>::deserialize(&items[{i}])?"))
+                .collect();
+            s.push_str(&format!(
+                "::std::result::Result::Ok({name}({}))",
+                items.join(", ")
+            ));
+            s
+        }
+        Shape::Unit => format!("::std::result::Result::Ok({name})"),
+        Shape::Enum(variants) => {
+            let mut s = String::from("match value.as_str() {\n");
+            for v in variants {
+                s.push_str(&format!(
+                    "::std::option::Option::Some({v:?}) => ::std::result::Result::Ok({name}::{v}),\n"
+                ));
+            }
+            s.push_str(&format!(
+                "::std::option::Option::Some(other) => ::std::result::Result::Err(\
+                 ::serde::Error::new(format!(\"unknown {name} variant {{other:?}}\"))),\n\
+                 ::std::option::Option::None => ::std::result::Result::Err(\
+                 ::serde::Error::new(format!(\"expected string for {name}, found {{}}\", value.kind()))),\n}}"
+            ));
+            s
+        }
+    };
+    format!(
+        "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+         fn deserialize(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n}}"
+    )
+    .parse()
+    .unwrap()
+}
