@@ -1,0 +1,31 @@
+//! Campaign throughput benchmark: points/sec for expansion, cache
+//! lookup, simulation and aggregation. Writes `BENCH_campaign.json`
+//! (override with `--out PATH`) and prints the document to stdout.
+
+fn main() {
+    let mut out = String::from("BENCH_campaign.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => {
+                out = args.next().unwrap_or_else(|| {
+                    eprintln!("error: missing value after --out");
+                    std::process::exit(2);
+                })
+            }
+            other => {
+                eprintln!(
+                    "error: unknown argument {other} (usage: campaign_throughput [--out PATH])"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    let json = bench::campaign_bench::run();
+    std::fs::write(&out, &json).unwrap_or_else(|e| {
+        eprintln!("error: cannot write {out}: {e}");
+        std::process::exit(1);
+    });
+    println!("{json}");
+    eprintln!("bench document written to {out}");
+}

@@ -1,0 +1,215 @@
+//! Campaign throughput benchmark (ROADMAP "Campaign throughput
+//! benchmark" item).
+//!
+//! Measures `synapse-campaign` points/sec for the four pipeline stages
+//! separately, so later PRs can grow the sweep engine against a
+//! number:
+//!
+//! * **expansion** — cartesian spec → `ScenarioPoint` grid;
+//! * **cache_lookup** — a fully-warm sweep (every point a cache hit);
+//! * **simulation** — cold sweep through the virtual-time simulator;
+//! * **aggregation** — results → `CampaignReport` (axis slices,
+//!   percentiles, reference errors).
+//!
+//! Each stage repeats until a minimum wall-clock budget is consumed,
+//! so a single fast iteration cannot produce a garbage rate. `run()`
+//! renders the rates as the JSON document CI uploads as
+//! `BENCH_campaign.json`.
+
+use std::time::Instant;
+
+use synapse_campaign::{expand, runner, CampaignReport, CampaignSpec, ResultCache, RunConfig};
+
+/// Minimum wall-clock seconds each stage is measured over.
+const MIN_STAGE_SECS: f64 = 0.25;
+
+/// Throughput of one pipeline stage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageRate {
+    /// Stage name (`expansion` | `cache_lookup` | `simulation` |
+    /// `aggregation`).
+    pub stage: &'static str,
+    /// Points processed across all timed iterations.
+    pub points: usize,
+    /// Wall-clock seconds consumed.
+    pub secs: f64,
+}
+
+impl StageRate {
+    /// Stage throughput in points per second.
+    pub fn points_per_sec(&self) -> f64 {
+        if self.secs <= 0.0 {
+            return 0.0;
+        }
+        self.points as f64 / self.secs
+    }
+}
+
+/// Repeat `stage_once` (which returns points processed) until the
+/// minimum measurement budget is spent.
+fn measure(stage: &'static str, mut stage_once: impl FnMut() -> usize) -> StageRate {
+    let started = Instant::now();
+    let mut points = 0;
+    loop {
+        points += stage_once();
+        if started.elapsed().as_secs_f64() >= MIN_STAGE_SECS {
+            break;
+        }
+    }
+    StageRate {
+        stage,
+        points,
+        secs: started.elapsed().as_secs_f64(),
+    }
+}
+
+/// A wide spec exercising every axis: ~10k points per expansion.
+fn expansion_spec() -> CampaignSpec {
+    let steps: Vec<String> = (1..=24).map(|i| (i * 5_000).to_string()).collect();
+    let steps = steps.join(", ");
+    CampaignSpec::from_toml(&format!(
+        r#"
+        name = "bench-expansion"
+        seed = 2016
+        machines = ["thinkie", "stampede", "archer", "supermic", "comet", "titan"]
+        kernels = ["asm", "c", "spin"]
+        modes = ["openmp", "mpi"]
+        threads = [1, 4, 8]
+        io_blocks = [65536, 1048576]
+
+        [[workloads]]
+        app = "gromacs"
+        steps = [{steps}]
+
+        [[workloads]]
+        app = "amber"
+        steps = [{steps}]
+        "#
+    ))
+    .expect("expansion bench spec parses")
+}
+
+/// A small-but-real spec the simulation stages run end to end.
+fn simulation_spec() -> CampaignSpec {
+    CampaignSpec::from_toml(
+        r#"
+        name = "bench-simulation"
+        seed = 2016
+        machines = ["thinkie", "stampede", "comet", "titan"]
+        kernels = ["asm", "c"]
+        modes = ["openmp", "mpi"]
+        threads = [1, 8]
+
+        [[workloads]]
+        app = "gromacs"
+        steps = [10000, 100000]
+
+        [[workloads]]
+        app = "amber"
+        steps = [100000]
+        "#,
+    )
+    .expect("simulation bench spec parses")
+}
+
+/// Run all four stages and return their rates, in pipeline order.
+pub fn stage_rates() -> Vec<StageRate> {
+    let expansion = {
+        let spec = expansion_spec();
+        measure("expansion", || expand(&spec).len())
+    };
+
+    let sim_spec = simulation_spec();
+    let sim_points = expand(&sim_spec);
+    let config = RunConfig::default();
+
+    let simulation = measure("simulation", || {
+        // A fresh cache every iteration keeps this stage cold.
+        let cache = ResultCache::in_memory();
+        let (_, stats) = runner::run_points(&sim_points, &cache, &config).expect("bench sweep");
+        assert_eq!(stats.simulated, sim_points.len());
+        stats.points
+    });
+
+    let warm = ResultCache::in_memory();
+    let (results, _) = runner::run_points(&sim_points, &warm, &config).expect("warm-up sweep");
+    let cache_lookup = measure("cache_lookup", || {
+        let (_, stats) = runner::run_points(&sim_points, &warm, &config).expect("warm sweep");
+        assert_eq!(stats.cache_hits, sim_points.len());
+        stats.points
+    });
+
+    let aggregation = measure("aggregation", || {
+        let report = CampaignReport::assemble(&sim_spec, &results).expect("bench report");
+        report.points
+    });
+
+    vec![expansion, cache_lookup, simulation, aggregation]
+}
+
+/// Render the benchmark as the `BENCH_campaign.json` document.
+pub fn run() -> String {
+    let stages: Vec<serde_json::Value> = stage_rates()
+        .iter()
+        .map(|r| {
+            serde_json::json!({
+                "stage": r.stage,
+                "points": r.points,
+                "secs": r.secs,
+                "points_per_sec": r.points_per_sec(),
+            })
+        })
+        .collect();
+    let doc = serde_json::json!({
+        "bench": "campaign_throughput",
+        "unit": "points_per_sec",
+        "stages": stages,
+    });
+    serde_json::to_string_pretty(&doc).expect("bench document serializes")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_rate_math() {
+        let r = StageRate {
+            stage: "expansion",
+            points: 500,
+            secs: 0.25,
+        };
+        assert_eq!(r.points_per_sec(), 2000.0);
+        let zero = StageRate {
+            stage: "expansion",
+            points: 0,
+            secs: 0.0,
+        };
+        assert_eq!(zero.points_per_sec(), 0.0);
+    }
+
+    #[test]
+    fn expansion_spec_is_wide() {
+        assert!(expansion_spec().point_count() >= 10_000);
+    }
+
+    #[test]
+    fn bench_document_has_all_four_nonzero_stages() {
+        let doc: serde_json::Value = serde_json::from_str(&run()).unwrap();
+        let stages = doc["stages"].as_array().unwrap();
+        let names: Vec<&str> = stages
+            .iter()
+            .map(|s| s["stage"].as_str().unwrap())
+            .collect();
+        assert_eq!(
+            names,
+            vec!["expansion", "cache_lookup", "simulation", "aggregation"]
+        );
+        for s in stages {
+            assert!(
+                s["points_per_sec"].as_f64().unwrap() > 0.0,
+                "stage {s:?} must report a nonzero rate"
+            );
+        }
+    }
+}

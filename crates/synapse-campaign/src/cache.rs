@@ -3,13 +3,23 @@
 //! Every scenario point is keyed by a content fingerprint of its axis
 //! values plus the engine version; re-running a grown campaign only
 //! simulates points whose fingerprints are not in the cache. The cache
-//! is a [`DocumentDb`] collection, so persistence reuses the store
-//! layer's JSON-per-collection format (one `campaign_results.json`
-//! file under the cache directory).
+//! is a [`ShardedDb`]: results spread over 256 shard files by
+//! fingerprint prefix, saves rewrite only the shards touched since the
+//! last save, and a manifest records the layout — so a million-point
+//! campaign pays for the points it adds, not for the points it has.
+//!
+//! Caches written by older engines as one monolithic
+//! `campaign_results.json` migrate to the sharded layout transparently
+//! on first open (the legacy file is kept as `*.migrated`). Results
+//! keyed by an older engine's fingerprint scheme are dropped during
+//! migration — the current engine can never produce their keys, so
+//! they could never be cache hits again.
 
+use std::fs;
 use std::path::{Path, PathBuf};
 
-use synapse_store::{Document, DocumentDb, Query, DEFAULT_DOC_LIMIT};
+use synapse_store::sharded::MANIFEST_FILE;
+use synapse_store::{Collection, Document, ShardedDb, DEFAULT_DOC_LIMIT};
 
 use crate::error::CampaignError;
 use crate::grid::{fnv1a, ScenarioPoint};
@@ -17,9 +27,15 @@ use crate::runner::PointResult;
 
 /// Bump when simulation semantics change: stale cached results from an
 /// older engine must not satisfy a newer campaign.
-pub const ENGINE_VERSION: u32 = 1;
+pub const ENGINE_VERSION: u32 = 2;
 
-const COLLECTION: &str = "campaign_results";
+/// File name of the pre-sharded, single-file cache layout.
+const LEGACY_FILE: &str = "campaign_results.json";
+
+/// Engine tag recorded in the sharded store's manifest.
+pub fn engine_tag() -> String {
+    format!("synapse-campaign/engine-v{ENGINE_VERSION}")
+}
 
 /// Content fingerprint of a scenario point (hex, stable across runs
 /// and platforms).
@@ -29,65 +45,132 @@ pub fn fingerprint(point: &ScenarioPoint) -> String {
     let mut canonical = point.clone();
     canonical.index = 0;
     let json = serde_json::to_string(&canonical).expect("point serializes");
-    format!("{:016x}", fnv1a(json.as_bytes(), ENGINE_VERSION as u64))
+    // The engine version is folded in twice: as the FNV seed *and* as
+    // hashed bytes. Seeding alone only XORs the version into the
+    // initial state, which a crafted (or unlucky) byte stream could
+    // cancel back out — hashing the version bytes makes a version bump
+    // irreversibly part of the digest.
+    let mut bytes = json.into_bytes();
+    bytes.extend_from_slice(b"|engine=");
+    bytes.extend_from_slice(ENGINE_VERSION.to_string().as_bytes());
+    format!("{:016x}", fnv1a(&bytes, ENGINE_VERSION as u64))
 }
 
 /// A fingerprint-keyed result store.
 pub struct ResultCache {
-    db: DocumentDb,
-    dir: Option<PathBuf>,
+    db: ShardedDb,
 }
 
 impl ResultCache {
     /// An in-memory cache (lives for one process).
     pub fn in_memory() -> Self {
         ResultCache {
-            db: DocumentDb::new(),
-            dir: None,
+            db: ShardedDb::in_memory(),
         }
     }
 
-    /// Open (or create) a cache persisted under `dir`.
+    /// Open (or create) a cache persisted under `dir`, loading shard
+    /// files on one thread.
     pub fn open(dir: impl AsRef<Path>) -> Result<Self, CampaignError> {
-        let dir = dir.as_ref().to_path_buf();
-        let db = DocumentDb::open(&dir, DEFAULT_DOC_LIMIT)?;
-        Ok(ResultCache { db, dir: Some(dir) })
+        Self::open_with_workers(dir, 1)
+    }
+
+    /// Open (or create) a cache persisted under `dir`, loading shard
+    /// files across `workers` threads (0 ⇒ one per core, capped at 16)
+    /// so cache warm-up scales with the machine instead of a single
+    /// reader. A legacy single-file cache found under `dir` is
+    /// migrated to the sharded layout first (one-shot).
+    pub fn open_with_workers(dir: impl AsRef<Path>, workers: usize) -> Result<Self, CampaignError> {
+        let dir = dir.as_ref();
+        // A migration already holds the fully-populated store; reuse
+        // it instead of re-reading the shard files it just wrote.
+        if let Some(db) = migrate_legacy_layout(dir)? {
+            return Ok(ResultCache { db });
+        }
+        let db = ShardedDb::open_with_workers(dir, DEFAULT_DOC_LIMIT, engine_tag(), workers)?;
+        Ok(ResultCache { db })
     }
 
     /// Cached result for a fingerprint, if any.
     pub fn get(&self, fingerprint: &str) -> Option<PointResult> {
-        self.db
-            .with_collection(COLLECTION, |c| {
-                c.get(fingerprint).and_then(|doc| doc.decode().ok())
-            })
-            .flatten()
+        self.db.get(fingerprint).and_then(|doc| doc.decode().ok())
     }
 
     /// Store a result under its fingerprint (idempotent).
     pub fn put(&self, fingerprint: &str, result: &PointResult) -> Result<(), CampaignError> {
         let doc = Document::new(fingerprint, result)?;
-        self.db.upsert(COLLECTION, doc)?;
+        self.db.upsert(doc)?;
         Ok(())
     }
 
     /// Number of cached results.
     pub fn len(&self) -> usize {
-        self.db.count(COLLECTION, &Query::all())
+        self.db.len()
     }
 
     /// Whether the cache holds nothing.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.db.is_empty()
     }
 
-    /// Write the cache back to its directory (no-op for in-memory
-    /// caches).
-    pub fn persist(&self) -> Result<(), CampaignError> {
-        if let Some(dir) = &self.dir {
-            self.db.save(dir)?;
-        }
-        Ok(())
+    /// Write mutated shards back to the cache directory (no-op for
+    /// in-memory caches and for saves with nothing new).
+    pub fn persist(&self) -> Result<synapse_store::SaveStats, CampaignError> {
+        Ok(self.db.save()?)
     }
+
+    /// Merge small shard files and drop tombstoned ones.
+    pub fn compact(&self) -> Result<synapse_store::CompactStats, CampaignError> {
+        Ok(self.db.compact()?)
+    }
+
+    /// Shape of the underlying sharded store.
+    pub fn stats(&self) -> synapse_store::ShardStats {
+        self.db.stats()
+    }
+
+    /// Shards mutated since the last persist (diagnostics/tests).
+    pub fn dirty_shards(&self) -> Vec<u8> {
+        self.db.dirty_shards()
+    }
+}
+
+/// One-shot migration: a directory holding a legacy single-file cache
+/// (and no sharded manifest) is rewritten into the sharded layout, and
+/// the legacy file renamed to `campaign_results.json.migrated` so the
+/// migration can never re-run against a stale copy. Returns the
+/// populated store, or `None` when no migration was needed.
+///
+/// Only results whose key the *current* engine would compute are
+/// carried over: a result fingerprinted by an older engine version can
+/// never be looked up again (that is the point of [`ENGINE_VERSION`]),
+/// so copying it forward would just be dead weight loaded on every
+/// open. The parked legacy file keeps the dropped data recoverable.
+fn migrate_legacy_layout(dir: &Path) -> Result<Option<ShardedDb>, CampaignError> {
+    let legacy = dir.join(LEGACY_FILE);
+    if !legacy.exists() || dir.join(MANIFEST_FILE).exists() {
+        return Ok(None);
+    }
+    let json = fs::read_to_string(&legacy)?;
+    let collection = Collection::from_json("campaign_results", DEFAULT_DOC_LIMIT, &json)?;
+    let db = ShardedDb::open(dir, DEFAULT_DOC_LIMIT, engine_tag())?;
+    for doc in collection.iter() {
+        let current_key = doc
+            .decode::<PointResult>()
+            .map(|r| fingerprint(&r.point) == doc.id)
+            .unwrap_or(false);
+        if current_key {
+            db.upsert(doc.clone())?;
+        }
+    }
+    db.save()?;
+    fs::rename(&legacy, legacy_backup_path(dir))?;
+    Ok(Some(db))
+}
+
+/// Where the legacy file is parked after a successful migration.
+pub fn legacy_backup_path(dir: &Path) -> PathBuf {
+    dir.join(format!("{LEGACY_FILE}.migrated"))
 }
 
 #[cfg(test)]
@@ -126,6 +209,15 @@ mod tests {
         }
     }
 
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "synapse-campaign-cache-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
     #[test]
     fn fingerprints_are_stable_and_index_independent() {
         let ps = points();
@@ -137,6 +229,23 @@ mod tests {
         let mut reseeded = ps[0].clone();
         reseeded.seed ^= 1;
         assert_ne!(fingerprint(&reseeded), fingerprint(&ps[0]), "seed included");
+    }
+
+    #[test]
+    fn fingerprint_hashes_engine_version_as_bytes_not_just_seed() {
+        // Regression: seeding FNV with the version only XORs it into
+        // the initial state; the digest must also *hash* the version
+        // bytes so a version bump can never collide back.
+        let ps = points();
+        let mut canonical = ps[0].clone();
+        canonical.index = 0;
+        let json = serde_json::to_string(&canonical).unwrap();
+        let seed_only = format!("{:016x}", fnv1a(json.as_bytes(), ENGINE_VERSION as u64));
+        assert_ne!(
+            fingerprint(&ps[0]),
+            seed_only,
+            "engine version must be part of the hashed bytes"
+        );
     }
 
     #[test]
@@ -155,9 +264,7 @@ mod tests {
 
     #[test]
     fn persist_and_reopen() {
-        let dir =
-            std::env::temp_dir().join(format!("synapse-campaign-cache-{}", std::process::id()));
-        let _ = std::fs::remove_dir_all(&dir);
+        let dir = tmpdir("reopen");
         {
             let cache = ResultCache::open(&dir).unwrap();
             for p in &points() {
@@ -172,6 +279,122 @@ mod tests {
             let got = reopened.get(&fingerprint(p)).unwrap();
             assert_eq!(got.point, *p);
         }
+        assert!(dir.join(MANIFEST_FILE).exists(), "sharded layout on disk");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn incremental_persist_rewrites_only_new_shards() {
+        let dir = tmpdir("incremental");
+        let cache = ResultCache::open(&dir).unwrap();
+        let ps = points();
+        for p in &ps {
+            let r = result_for(p);
+            cache.put(&r.fingerprint, &r).unwrap();
+        }
+        cache.persist().unwrap();
+        // Nothing new ⇒ nothing written.
+        let idle = cache.persist().unwrap();
+        assert_eq!(idle.data_files_written, 0);
+        assert!(!idle.manifest_written);
+        // One new point ⇒ at most one data file (+ manifest).
+        let mut extra = ps[0].clone();
+        extra.seed ^= 0xdead;
+        let r = result_for(&extra);
+        cache.put(&r.fingerprint, &r).unwrap();
+        let incr = cache.persist().unwrap();
+        assert_eq!(incr.data_files_written, 1, "{incr:?}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn legacy_single_file_cache_migrates_transparently() {
+        let dir = tmpdir("migrate");
+        std::fs::create_dir_all(&dir).unwrap();
+        // Write a legacy layout: one campaign_results.json collection.
+        let ps = points();
+        let mut collection = Collection::new("campaign_results");
+        for p in &ps {
+            let r = result_for(p);
+            collection
+                .upsert(Document::new(&r.fingerprint, &r).unwrap())
+                .unwrap();
+        }
+        std::fs::write(
+            dir.join("campaign_results.json"),
+            collection.to_json().unwrap(),
+        )
+        .unwrap();
+
+        let cache = ResultCache::open(&dir).unwrap();
+        assert_eq!(cache.len(), ps.len(), "every legacy result migrated");
+        for p in &ps {
+            assert_eq!(cache.get(&fingerprint(p)).unwrap().point, *p);
+        }
+        assert!(!dir.join("campaign_results.json").exists());
+        assert!(legacy_backup_path(&dir).exists(), "legacy file parked");
+        assert!(dir.join(MANIFEST_FILE).exists());
+
+        // A second open must not re-run the migration.
+        let again = ResultCache::open_with_workers(&dir, 4).unwrap();
+        assert_eq!(again.len(), ps.len());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn migration_drops_results_keyed_by_an_older_engine() {
+        let dir = tmpdir("migrate-stale");
+        std::fs::create_dir_all(&dir).unwrap();
+        let ps = points();
+        let live = result_for(&ps[0]);
+        // A result fingerprinted the old way (seed-only fold): its key
+        // can never be computed by the current engine again.
+        let stale = {
+            let mut r = result_for(&ps[1]);
+            let mut canonical = r.point.clone();
+            canonical.index = 0;
+            let json = serde_json::to_string(&canonical).unwrap();
+            r.fingerprint = format!("{:016x}", fnv1a(json.as_bytes(), 1));
+            r
+        };
+        let mut collection = Collection::new("campaign_results");
+        for r in [&live, &stale] {
+            collection
+                .upsert(Document::new(&r.fingerprint, r).unwrap())
+                .unwrap();
+        }
+        std::fs::write(
+            dir.join("campaign_results.json"),
+            collection.to_json().unwrap(),
+        )
+        .unwrap();
+
+        let cache = ResultCache::open(&dir).unwrap();
+        assert_eq!(cache.len(), 1, "stale-engine result dropped");
+        assert!(cache.get(&live.fingerprint).is_some());
+        assert!(cache.get(&stale.fingerprint).is_none());
+        assert!(legacy_backup_path(&dir).exists(), "dropped data parked");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn compact_and_stats_through_cache() {
+        let dir = tmpdir("compact");
+        let cache = ResultCache::open(&dir).unwrap();
+        let ps = points();
+        for p in &ps {
+            let r = result_for(p);
+            cache.put(&r.fingerprint, &r).unwrap();
+        }
+        cache.persist().unwrap();
+        let before = cache.stats();
+        assert_eq!(before.docs, ps.len());
+        assert!(before.data_files >= 1);
+        let pass = cache.compact().unwrap();
+        assert_eq!(pass.docs, ps.len());
+        assert!(pass.files_after <= pass.files_before.max(1));
+        let reopened = ResultCache::open(&dir).unwrap();
+        assert_eq!(reopened.len(), ps.len());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -17,8 +17,9 @@
 //!   deterministic per-point seeds;
 //! * [`runner`] — a worker pool driving the simulator in virtual time;
 //! * [`cache`] — fingerprint-keyed memoization persisted through
-//!   `synapse-store`, so re-running a grown campaign only simulates
-//!   new points;
+//!   `synapse-store`'s sharded store (256 shard files by fingerprint
+//!   prefix, dirty-shard-only saves), so re-running a grown campaign
+//!   only simulates new points and only rewrites the shards it adds;
 //! * [`aggregate`] — mean/p50/p95/p99 per axis slice plus
 //!   relative-error-vs-reference-machine views;
 //! * [`report`] — deterministic JSON/CSV reports (identical spec +
@@ -81,7 +82,9 @@ pub fn run_campaign(
     cache_dir: Option<&Path>,
 ) -> Result<CampaignOutcome, CampaignError> {
     let cache = match cache_dir {
-        Some(dir) => ResultCache::open(dir)?,
+        // Warm the cache with the same worker budget the sweep gets:
+        // shard files load in parallel, so warm-up scales with cores.
+        Some(dir) => ResultCache::open_with_workers(dir, config.workers)?,
         None => ResultCache::in_memory(),
     };
     let points = expand(spec);

@@ -1,0 +1,150 @@
+//! Property tests for the legacy→sharded cache migration and the
+//! fingerprint function.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use proptest::prelude::*;
+use synapse_campaign::cache::legacy_backup_path;
+use synapse_campaign::{fingerprint, PointResult, ResultCache, ScenarioPoint};
+use synapse_store::sharded::MANIFEST_FILE;
+use synapse_store::{Collection, Document};
+
+fn case_dir(tag: &str) -> PathBuf {
+    static CASE: AtomicUsize = AtomicUsize::new(0);
+    let n = CASE.fetch_add(1, Ordering::Relaxed);
+    let d = std::env::temp_dir().join(format!(
+        "synapse-migration-props-{tag}-{}-{n}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+/// An arbitrary scenario point. Axis values need not resolve against
+/// the catalogs — fingerprints and caching are content-addressed.
+fn arb_point() -> impl Strategy<Value = ScenarioPoint> {
+    (
+        "[a-z]{1,8}",
+        1u64..1_000_000,
+        "[a-z]{1,8}",
+        (1u32..64, 1u64..1_000_000_000),
+        any::<u64>(),
+    )
+        .prop_map(
+            |(workload, steps, machine, (threads, io_block), seed)| ScenarioPoint {
+                index: 0,
+                workload,
+                steps,
+                machine,
+                kernel: "asm".into(),
+                mode: "openmp".into(),
+                threads,
+                io_block,
+                sample_rate: 10.0,
+                profile_machine: "thinkie".into(),
+                noise_cv: 0.05,
+                seed,
+            },
+        )
+}
+
+/// A result whose floats are dyadic rationals, so JSON round-trips are
+/// bit-exact regardless of the serializer's float formatting.
+fn arb_result() -> impl Strategy<Value = PointResult> {
+    (arb_point(), any::<u32>(), any::<u32>(), 1usize..10_000).prop_map(|(point, a, b, samples)| {
+        PointResult {
+            fingerprint: fingerprint(&point),
+            point,
+            tx: a as f64 / 16.0,
+            app_tx: b as f64 / 16.0 + 0.5,
+            samples,
+            directed_cycles: a as u64 * 3,
+            consumed_cycles: a as u64 * 3 + b as u64,
+            instructions: b as u64 * 2,
+            bytes_written: a as u64,
+        }
+    })
+}
+
+proptest! {
+    #[test]
+    fn fingerprints_are_hex_and_index_blind(point in arb_point(), index in 0usize..10_000) {
+        let fp = fingerprint(&point);
+        prop_assert_eq!(fp.len(), 16);
+        prop_assert!(fp.chars().all(|c| c.is_ascii_hexdigit() && !c.is_ascii_uppercase()));
+        let mut moved = point.clone();
+        moved.index = index;
+        prop_assert_eq!(fingerprint(&moved), fp);
+    }
+
+    #[test]
+    fn legacy_caches_migrate_roundtrip(results in proptest::collection::vec(arb_result(), 1..24)) {
+        let dir = case_dir("roundtrip");
+        std::fs::create_dir_all(&dir).unwrap();
+
+        // Write the pre-sharding layout: one monolithic collection
+        // file, exactly as the old DocumentDb-backed cache saved it.
+        let mut collection = Collection::new("campaign_results");
+        for r in &results {
+            collection
+                .upsert(Document::new(&r.fingerprint, r).unwrap())
+                .unwrap();
+        }
+        std::fs::write(
+            dir.join("campaign_results.json"),
+            collection.to_json().unwrap(),
+        )
+        .unwrap();
+
+        // Opening migrates: every result readable, layout sharded,
+        // legacy file parked.
+        let cache = ResultCache::open(&dir).unwrap();
+        prop_assert_eq!(cache.len(), collection.len());
+        for r in &results {
+            let got = cache.get(&r.fingerprint).unwrap();
+            prop_assert_eq!(&got, r);
+        }
+        prop_assert!(dir.join(MANIFEST_FILE).exists());
+        prop_assert!(!dir.join("campaign_results.json").exists());
+        prop_assert!(legacy_backup_path(&dir).exists());
+
+        // Reopening (with parallel warm-up) does not re-migrate or
+        // lose anything.
+        let again = ResultCache::open_with_workers(&dir, 4).unwrap();
+        prop_assert_eq!(again.len(), collection.len());
+        for r in &results {
+            prop_assert_eq!(&again.get(&r.fingerprint).unwrap(), r);
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn migrated_caches_keep_accepting_incremental_saves(
+        results in proptest::collection::vec(arb_result(), 2..16),
+    ) {
+        let dir = case_dir("incremental");
+        std::fs::create_dir_all(&dir).unwrap();
+        let (last, old) = results.split_last().unwrap();
+        let mut collection = Collection::new("campaign_results");
+        for r in old {
+            collection
+                .upsert(Document::new(&r.fingerprint, r).unwrap())
+                .unwrap();
+        }
+        std::fs::write(
+            dir.join("campaign_results.json"),
+            collection.to_json().unwrap(),
+        )
+        .unwrap();
+
+        let cache = ResultCache::open(&dir).unwrap();
+        cache.put(&last.fingerprint, last).unwrap();
+        let stats = cache.persist().unwrap();
+        prop_assert!(stats.data_files_written <= 1, "one new point, one shard file");
+        let back = ResultCache::open(&dir).unwrap();
+        prop_assert_eq!(back.len(), cache.len());
+        prop_assert_eq!(&back.get(&last.fingerprint).unwrap(), last);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -13,8 +13,9 @@
 //! synapse stats    "<command>" [--tags k=v,...] [--store DIR]
 //! synapse inspect  "<command>" [--tags k=v,...] [--store DIR]
 //! synapse campaign run  <spec.toml|json> [--cache DIR] [--workers N]
-//!                  [--json PATH] [--csv PATH]
+//!                  [--json PATH] [--csv PATH] [--summary-json PATH]
 //! synapse campaign plan <spec.toml|json>
+//! synapse campaign cache stats|compact [--cache DIR]
 //! synapse table1
 //! synapse machines
 //! ```
@@ -99,11 +100,24 @@ pub enum Invocation {
         json_out: Option<PathBuf>,
         /// Optional CSV report output path.
         csv_out: Option<PathBuf>,
+        /// Optional machine-readable run-summary output path (cache
+        /// hit rate, throughput) for scripts and CI.
+        summary_json: Option<PathBuf>,
     },
     /// Show what a campaign spec expands into without running it.
     CampaignPlan {
         /// Path to the TOML/JSON campaign spec.
         spec: PathBuf,
+    },
+    /// Print shape and size of a campaign result cache.
+    CampaignCacheStats {
+        /// Result-cache directory.
+        cache: PathBuf,
+    },
+    /// Merge small shard files of a campaign result cache.
+    CampaignCacheCompact {
+        /// Result-cache directory.
+        cache: PathBuf,
     },
     /// Print the Table 1 metric registry.
     Table1,
@@ -127,12 +141,16 @@ pub fn default_campaign_cache() -> PathBuf {
 fn parse_campaign_args(args: &[String]) -> Result<Invocation, String> {
     let action = args
         .first()
-        .ok_or("campaign requires an action (run | plan)")?;
+        .ok_or("campaign requires an action (run | plan | cache)")?;
+    if action == "cache" {
+        return parse_campaign_cache_args(&args[1..]);
+    }
     let mut spec = None;
     let mut cache = default_campaign_cache();
     let mut workers = 0usize;
     let mut json_out = None;
     let mut csv_out = None;
+    let mut summary_json = None;
     let mut i = 1;
     while i < args.len() {
         let arg = &args[i];
@@ -151,6 +169,7 @@ fn parse_campaign_args(args: &[String]) -> Result<Invocation, String> {
             }
             "--json" => json_out = Some(PathBuf::from(value(&mut i)?)),
             "--csv" => csv_out = Some(PathBuf::from(value(&mut i)?)),
+            "--summary-json" => summary_json = Some(PathBuf::from(value(&mut i)?)),
             other if other.starts_with("--") => return Err(format!("unknown flag {other}")),
             other => {
                 if spec.is_some() {
@@ -169,9 +188,42 @@ fn parse_campaign_args(args: &[String]) -> Result<Invocation, String> {
             workers,
             json_out,
             csv_out,
+            summary_json,
         }),
         "plan" => Ok(Invocation::CampaignPlan { spec }),
-        other => Err(format!("unknown campaign action {other} (run | plan)")),
+        other => Err(format!(
+            "unknown campaign action {other} (run | plan | cache)"
+        )),
+    }
+}
+
+/// Parse the `campaign cache <action>` argument form.
+fn parse_campaign_cache_args(args: &[String]) -> Result<Invocation, String> {
+    let action = args
+        .first()
+        .ok_or("campaign cache requires an action (stats | compact)")?;
+    let mut cache = default_campaign_cache();
+    let mut i = 1;
+    while i < args.len() {
+        let arg = &args[i];
+        match arg.as_str() {
+            "--cache" => {
+                i += 1;
+                cache = PathBuf::from(
+                    args.get(i)
+                        .ok_or_else(|| format!("missing value after {arg}"))?,
+                );
+            }
+            other => return Err(format!("unexpected campaign cache argument {other:?}")),
+        }
+        i += 1;
+    }
+    match action.as_str() {
+        "stats" => Ok(Invocation::CampaignCacheStats { cache }),
+        "compact" => Ok(Invocation::CampaignCacheCompact { cache }),
+        other => Err(format!(
+            "unknown campaign cache action {other} (stats | compact)"
+        )),
     }
 }
 
@@ -297,8 +349,9 @@ USAGE:
   synapse stats    \"<command>\" [--tags k=v,...] [--store DIR]
   synapse inspect  \"<command>\" [--tags k=v,...] [--store DIR]
   synapse campaign run  <spec.toml|json> [--cache DIR] [--workers N]
-                   [--json PATH] [--csv PATH]
+                   [--json PATH] [--csv PATH] [--summary-json PATH]
   synapse campaign plan <spec.toml|json>
+  synapse campaign cache stats|compact [--cache DIR]
   synapse table1
   synapse machines
 ";
@@ -416,12 +469,50 @@ pub fn run(invocation: Invocation, out: &mut impl std::io::Write) -> Result<(), 
                 writeln!(out, "  ... {} more", points.len() - 10).map_err(|e| e.to_string())?;
             }
         }
+        Invocation::CampaignCacheStats { cache } => {
+            let result_cache = synapse_campaign::ResultCache::open_with_workers(&cache, 0)
+                .map_err(|e| e.to_string())?;
+            let stats = result_cache.stats();
+            writeln!(
+                out,
+                "cache {}: {} results, {} shard files ({}/{} shards occupied, {} dirty), {} bytes on disk, engine {:?}",
+                cache.display(),
+                stats.docs,
+                stats.data_files,
+                stats.occupied_shards,
+                synapse_store::SHARD_COUNT,
+                stats.dirty_shards,
+                stats.bytes_on_disk,
+                stats.engine,
+            )
+            .map_err(|e| e.to_string())?;
+        }
+        Invocation::CampaignCacheCompact { cache } => {
+            let result_cache = synapse_campaign::ResultCache::open_with_workers(&cache, 0)
+                .map_err(|e| e.to_string())?;
+            let pass = result_cache.compact().map_err(|e| e.to_string())?;
+            writeln!(
+                out,
+                "compacted {}: {} -> {} shard files ({} results){}",
+                cache.display(),
+                pass.files_before,
+                pass.files_after,
+                pass.docs,
+                if pass.changed {
+                    ""
+                } else {
+                    " — already compact"
+                },
+            )
+            .map_err(|e| e.to_string())?;
+        }
         Invocation::CampaignRun {
             spec,
             cache,
             workers,
             json_out,
             csv_out,
+            summary_json,
         } => {
             let spec =
                 synapse_campaign::CampaignSpec::from_path(&spec).map_err(|e| e.to_string())?;
@@ -450,6 +541,21 @@ pub fn run(invocation: Invocation, out: &mut impl std::io::Write) -> Result<(), 
             if let Some(path) = csv_out {
                 std::fs::write(&path, outcome.report.to_csv()).map_err(|e| e.to_string())?;
                 writeln!(out, "  csv written to {}", path.display()).map_err(|e| e.to_string())?;
+            }
+            if let Some(path) = summary_json {
+                let summary = serde_json::json!({
+                    "name": outcome.report.name,
+                    "points": stats.points,
+                    "simulated": stats.simulated,
+                    "cache_hits": stats.cache_hits,
+                    "cache_hit_rate": stats.hit_rate(),
+                    "wall_secs": stats.wall_secs,
+                    "points_per_sec": stats.points_per_sec(),
+                });
+                let json = serde_json::to_string_pretty(&summary).map_err(|e| e.to_string())?;
+                std::fs::write(&path, json).map_err(|e| e.to_string())?;
+                writeln!(out, "  summary written to {}", path.display())
+                    .map_err(|e| e.to_string())?;
             }
         }
         Invocation::Stats {
@@ -614,12 +720,14 @@ mod tests {
                 workers,
                 json_out,
                 csv_out,
+                summary_json,
             } => {
                 assert_eq!(spec, PathBuf::from("sweep.toml"));
                 assert_eq!(cache, PathBuf::from("/tmp/cc"));
                 assert_eq!(workers, 4);
                 assert_eq!(json_out, Some(PathBuf::from("out.json")));
                 assert_eq!(csv_out, Some(PathBuf::from("out.csv")));
+                assert_eq!(summary_json, None);
             }
             other => panic!("wrong invocation: {other:?}"),
         }
@@ -634,6 +742,47 @@ mod tests {
         assert!(parse_args(&argv(&["campaign", "run"])).is_err());
         assert!(parse_args(&argv(&["campaign", "frob", "x.toml"])).is_err());
         assert!(parse_args(&argv(&["campaign", "run", "x.toml", "--bogus"])).is_err());
+    }
+
+    #[test]
+    fn parses_campaign_run_summary_json_flag() {
+        let inv = parse_args(&argv(&[
+            "campaign",
+            "run",
+            "sweep.toml",
+            "--summary-json",
+            "summary.json",
+        ]))
+        .unwrap();
+        match inv {
+            Invocation::CampaignRun { summary_json, .. } => {
+                assert_eq!(summary_json, Some(PathBuf::from("summary.json")));
+            }
+            other => panic!("wrong invocation: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_campaign_cache_actions() {
+        assert_eq!(
+            parse_args(&argv(&["campaign", "cache", "stats", "--cache", "/tmp/c"])).unwrap(),
+            Invocation::CampaignCacheStats {
+                cache: PathBuf::from("/tmp/c")
+            }
+        );
+        assert_eq!(
+            parse_args(&argv(&[
+                "campaign", "cache", "compact", "--cache", "/tmp/c"
+            ]))
+            .unwrap(),
+            Invocation::CampaignCacheCompact {
+                cache: PathBuf::from("/tmp/c")
+            }
+        );
+        assert!(parse_args(&argv(&["campaign", "cache"])).is_err());
+        assert!(parse_args(&argv(&["campaign", "cache", "frob"])).is_err());
+        assert!(parse_args(&argv(&["campaign", "cache", "stats", "extra"])).is_err());
+        assert!(parse_args(&argv(&["campaign", "cache", "stats", "--cache"])).is_err());
     }
 
     #[test]
@@ -670,12 +819,14 @@ mod tests {
 
         let cache = dir.join("cache");
         let json_path = dir.join("report.json");
+        let summary_path = dir.join("summary.json");
         let invocation = || Invocation::CampaignRun {
             spec: spec_path.clone(),
             cache: cache.clone(),
             workers: 2,
             json_out: Some(json_path.clone()),
             csv_out: Some(dir.join("report.csv")),
+            summary_json: Some(summary_path.clone()),
         };
         let mut buf1 = Vec::new();
         run(invocation(), &mut buf1).unwrap();
@@ -684,13 +835,38 @@ mod tests {
         assert!(json_path.exists());
         assert!(dir.join("report.csv").exists());
 
-        // Second run is served from the persisted cache.
+        // Second run is served from the persisted cache, and the
+        // machine-readable summary says so exactly (what CI asserts).
         let mut buf2 = Vec::new();
         run(invocation(), &mut buf2).unwrap();
         let text2 = String::from_utf8(buf2).unwrap();
         assert!(
             text2.contains("0 simulated, 4 from cache (100% hit rate)"),
             "{text2}"
+        );
+        let summary: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(&summary_path).unwrap()).unwrap();
+        assert_eq!(summary["cache_hit_rate"].as_f64(), Some(1.0));
+        assert_eq!(summary["simulated"].as_u64(), Some(0));
+        assert_eq!(summary["cache_hits"].as_u64(), Some(4));
+        assert!(summary["points_per_sec"].as_f64().unwrap() > 0.0);
+
+        // The cache subcommands see the sharded store the runs built.
+        let mut buf3 = Vec::new();
+        run(
+            Invocation::CampaignCacheStats {
+                cache: cache.clone(),
+            },
+            &mut buf3,
+        )
+        .unwrap();
+        let stats_text = String::from_utf8(buf3).unwrap();
+        assert!(stats_text.contains("4 results"), "{stats_text}");
+        let mut buf4 = Vec::new();
+        run(Invocation::CampaignCacheCompact { cache }, &mut buf4).unwrap();
+        assert!(
+            String::from_utf8(buf4).unwrap().contains("compacted"),
+            "compact output"
         );
         std::fs::remove_dir_all(&dir).unwrap();
     }

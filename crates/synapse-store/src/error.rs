@@ -21,6 +21,9 @@ pub enum StoreError {
     Io(std::io::Error),
     /// JSON (de)serialization failure.
     Serde(serde_json::Error),
+    /// A persisted store is internally inconsistent (bad manifest,
+    /// misrouted document, unsupported layout version).
+    Corrupt(String),
     /// The data model rejected a profile (validation).
     Model(synapse_model::ModelError),
 }
@@ -35,6 +38,7 @@ impl fmt::Display for StoreError {
             StoreError::DuplicateId(id) => write!(f, "duplicate document id: {id}"),
             StoreError::Io(e) => write!(f, "io error: {e}"),
             StoreError::Serde(e) => write!(f, "serialization error: {e}"),
+            StoreError::Corrupt(what) => write!(f, "corrupt store: {what}"),
             StoreError::Model(e) => write!(f, "model error: {e}"),
         }
     }

@@ -16,6 +16,10 @@
 //! * [`FileStore`] — one profile per JSON file, unlimited samples.
 //! * [`ProfileStore`] — the backend-independent interface the profiler
 //!   and emulator use ("search the database for a matching profile").
+//! * [`ShardedDb`] — a sharded, compacting store for very large
+//!   keyspaces (campaign result caches): 256 shard files by key
+//!   prefix, dirty-shard-only saves, a manifest recording the layout,
+//!   and a compaction pass merging small shards.
 
 pub mod collection;
 pub mod db;
@@ -24,6 +28,7 @@ pub mod error;
 pub mod filestore;
 pub mod profilestore;
 pub mod query;
+pub mod sharded;
 
 pub use collection::Collection;
 pub use db::DocumentDb;
@@ -32,3 +37,4 @@ pub use error::StoreError;
 pub use filestore::FileStore;
 pub use profilestore::{DbProfileStore, ProfileStore, SaveReport};
 pub use query::Query;
+pub use sharded::{shard_of, CompactStats, SaveStats, ShardStats, ShardedDb, SHARD_COUNT};
