@@ -9,7 +9,11 @@
 //! * **cache_lookup** — a fully-warm sweep (every point a cache hit);
 //! * **simulation** — cold sweep through the virtual-time simulator;
 //! * **aggregation** — results → `CampaignReport` (axis slices,
-//!   percentiles, reference errors).
+//!   percentiles, reference errors);
+//! * **serve_throughput** — the same warm sweep submitted to an
+//!   in-process `synapse serve` over real sockets and consumed from
+//!   its NDJSON event stream, so the HTTP + queue + streaming overhead
+//!   is tracked against the direct `cache_lookup` rate from day one.
 //!
 //! Each stage repeats until a minimum wall-clock budget is consumed,
 //! so a single fast iteration cannot produce a garbage rate. `run()`
@@ -27,7 +31,7 @@ const MIN_STAGE_SECS: f64 = 0.25;
 #[derive(Debug, Clone, PartialEq)]
 pub struct StageRate {
     /// Stage name (`expansion` | `cache_lookup` | `simulation` |
-    /// `aggregation`).
+    /// `aggregation` | `serve_throughput`).
     pub stage: &'static str,
     /// Points processed across all timed iterations.
     pub points: usize,
@@ -144,7 +148,49 @@ pub fn stage_rates() -> Vec<StageRate> {
         report.points
     });
 
-    vec![expansion, cache_lookup, simulation, aggregation]
+    let serve_throughput = measure_serve(&sim_spec);
+
+    vec![
+        expansion,
+        cache_lookup,
+        simulation,
+        aggregation,
+        serve_throughput,
+    ]
+}
+
+/// Submitted-points/sec through the full HTTP + queue + stream path:
+/// an in-process server with a pre-warmed cache, the bench spec
+/// submitted repeatedly and every event stream drained to completion.
+/// Comparing against `cache_lookup` isolates the server overhead.
+fn measure_serve(spec: &CampaignSpec) -> StageRate {
+    let server = synapse_server::Server::bind(synapse_server::ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        ..Default::default()
+    })
+    .expect("bind bench server");
+    let addr = server.local_addr().expect("bench server addr").to_string();
+    let handle = server.handle().expect("bench server handle");
+    let join = std::thread::spawn(move || server.run().expect("bench server run"));
+    let client = synapse_server::Client::new(addr);
+    let spec_json = serde_json::to_string(spec).expect("bench spec serializes");
+
+    let submit_and_drain = || {
+        let reply = client.submit(&spec_json).expect("bench submit");
+        let id = reply["id"].as_str().expect("job id").to_string();
+        let summary = client.watch(&id, |_| true).expect("bench watch");
+        assert_eq!(summary["event"].as_str(), Some("completed"));
+        summary["points"].as_u64().expect("points") as usize
+    };
+    // Warm-up submission: populates the shared cache (untimed), so the
+    // measured iterations compare against the warm `cache_lookup`
+    // stage.
+    submit_and_drain();
+    let rate = measure("serve_throughput", submit_and_drain);
+
+    handle.shutdown();
+    join.join().expect("bench server thread");
+    rate
 }
 
 /// Render the benchmark as the `BENCH_campaign.json` document.
@@ -194,7 +240,7 @@ mod tests {
     }
 
     #[test]
-    fn bench_document_has_all_four_nonzero_stages() {
+    fn bench_document_has_all_five_nonzero_stages() {
         let doc: serde_json::Value = serde_json::from_str(&run()).unwrap();
         let stages = doc["stages"].as_array().unwrap();
         let names: Vec<&str> = stages
@@ -203,7 +249,13 @@ mod tests {
             .collect();
         assert_eq!(
             names,
-            vec!["expansion", "cache_lookup", "simulation", "aggregation"]
+            vec![
+                "expansion",
+                "cache_lookup",
+                "simulation",
+                "aggregation",
+                "serve_throughput"
+            ]
         );
         for s in stages {
             assert!(

@@ -62,7 +62,7 @@ impl Percentiles {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct AxisSlice {
     /// Axis name (`machine`, `kernel`, `workload`, `mode`, `threads`,
-    /// `io_block`, `sample_rate`, `steps`).
+    /// `io_block`, `sample_rate`, `steps`, `fs`, `atoms`).
     pub axis: String,
     /// The shared axis value, rendered as text.
     pub value: String,
@@ -77,7 +77,9 @@ type AxisKeyFn = fn(&PointResult) -> String;
 /// Slice results along every axis: one [`AxisSlice`] per axis value,
 /// sorted by `(axis, value)` for deterministic reports.
 pub fn axis_slices(results: &[PointResult]) -> Vec<AxisSlice> {
-    let axes: [(&str, AxisKeyFn); 8] = [
+    let axes: [(&str, AxisKeyFn); 10] = [
+        ("atoms", |r| r.point.atoms.clone()),
+        ("fs", |r| r.point.fs.clone()),
         ("io_block", |r| r.point.io_block.to_string()),
         ("kernel", |r| r.point.kernel.clone()),
         ("machine", |r| r.point.machine.clone()),
@@ -128,7 +130,7 @@ pub fn reference_errors(results: &[PointResult], reference: &str) -> Vec<Referen
     // Key a point by every axis except the machine.
     let key_of = |r: &PointResult| {
         format!(
-            "{}|{}|{}|{}|{}|{}|{}",
+            "{}|{}|{}|{}|{}|{}|{}|{}|{}",
             r.point.workload,
             r.point.steps,
             r.point.kernel,
@@ -136,6 +138,8 @@ pub fn reference_errors(results: &[PointResult], reference: &str) -> Vec<Referen
             r.point.threads,
             r.point.io_block,
             r.point.sample_rate,
+            r.point.fs,
+            r.point.atoms,
         )
     };
     let mut ref_tx: BTreeMap<String, f64> = BTreeMap::new();

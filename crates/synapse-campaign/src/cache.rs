@@ -27,7 +27,10 @@ use crate::runner::PointResult;
 
 /// Bump when simulation semantics change: stale cached results from an
 /// older engine must not satisfy a newer campaign.
-pub const ENGINE_VERSION: u32 = 2;
+///
+/// v3: [`ScenarioPoint`] gained the `fs` and `atoms` axes, changing
+/// every point's canonical JSON (and therefore every fingerprint).
+pub const ENGINE_VERSION: u32 = 3;
 
 /// File name of the pre-sharded, single-file cache layout.
 const LEGACY_FILE: &str = "campaign_results.json";

@@ -16,8 +16,19 @@ pub enum CampaignError {
     UnknownMode(String),
     /// The spec references an unknown workload/application.
     UnknownWorkload(String),
+    /// The spec references an unknown target filesystem.
+    UnknownFilesystem(String),
+    /// The spec references an unknown atom-ablation set.
+    UnknownAtomSet(String),
     /// An axis expanded to nothing (empty grid).
     EmptyAxis(&'static str),
+    /// The run was cancelled cooperatively before draining the grid.
+    Cancelled {
+        /// Points that completed before cancellation took effect.
+        done: usize,
+        /// Total points in the grid.
+        total: usize,
+    },
     /// Result-cache persistence failed.
     Store(synapse_store::StoreError),
     /// Reading the spec file failed.
@@ -40,7 +51,22 @@ impl fmt::Display for CampaignError {
             CampaignError::UnknownWorkload(w) => {
                 write!(f, "unknown workload {w:?} (gromacs | amber)")
             }
+            CampaignError::UnknownFilesystem(fs) => {
+                write!(
+                    f,
+                    "unknown filesystem {fs:?} (default | local | lustre | nfs)"
+                )
+            }
+            CampaignError::UnknownAtomSet(a) => {
+                write!(
+                    f,
+                    "unknown atom set {a:?} (all, no-<atom>, or a '+'-joined subset of compute/memory/storage/network)"
+                )
+            }
             CampaignError::EmptyAxis(axis) => write!(f, "campaign axis {axis:?} is empty"),
+            CampaignError::Cancelled { done, total } => {
+                write!(f, "campaign cancelled after {done}/{total} points")
+            }
             CampaignError::Store(e) => write!(f, "result cache: {e}"),
             CampaignError::Io(e) => write!(f, "spec file: {e}"),
         }

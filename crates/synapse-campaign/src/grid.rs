@@ -3,7 +3,7 @@
 use serde::{Deserialize, Serialize};
 use synapse::emulator::KernelChoice;
 use synapse_pilot::SchedulerPolicy;
-use synapse_sim::ParallelMode;
+use synapse_sim::{FsKind, ParallelMode};
 use synapse_workloads::AppModel;
 
 use crate::spec::CampaignSpec;
@@ -33,6 +33,11 @@ pub struct ScenarioPoint {
     pub io_block: u64,
     /// Profiling sample rate in Hz.
     pub sample_rate: f64,
+    /// Target filesystem (`default` ⇒ the machine's own default).
+    pub fs: String,
+    /// Atom-enable ablation set (`all`, `compute+storage`, `no-network`,
+    /// ... — see [`atoms_by_name`]).
+    pub atoms: String,
     /// Machine the synthetic profile is taken on.
     pub profile_machine: String,
     /// Measurement-noise coefficient of variation.
@@ -47,7 +52,7 @@ impl ScenarioPoint {
     /// Human-readable one-line label.
     pub fn label(&self) -> String {
         format!(
-            "{}/{}steps on {} [{}･{}×{} io={} rate={}]",
+            "{}/{}steps on {} [{}･{}×{} io={} rate={} fs={} atoms={}]",
             self.workload,
             self.steps,
             self.machine,
@@ -56,6 +61,8 @@ impl ScenarioPoint {
             self.threads,
             self.io_block,
             self.sample_rate,
+            self.fs,
+            self.atoms,
         )
     }
 }
@@ -88,6 +95,102 @@ pub fn mode_by_name(name: &str) -> Option<ParallelMode> {
     }
 }
 
+/// Resolve a target-filesystem axis value. `default` (or an empty
+/// string) means "the machine's own default filesystem" and resolves
+/// to `None`; anything else must be a modelled [`FsKind`].
+pub fn fs_by_name(name: &str) -> Option<Option<FsKind>> {
+    match name.to_ascii_lowercase().as_str() {
+        "default" | "" => Some(None),
+        other => FsKind::parse(other).map(Some),
+    }
+}
+
+/// Which emulation atoms a scenario point enables (the ablation
+/// dimension already plumbed through
+/// [`synapse::emulator::EmulationPlan`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AtomSet {
+    /// Run the compute atom.
+    pub compute: bool,
+    /// Run the memory atom.
+    pub memory: bool,
+    /// Run the storage atom.
+    pub storage: bool,
+    /// Run the network atom.
+    pub network: bool,
+}
+
+impl AtomSet {
+    /// Every atom enabled (the non-ablated default).
+    pub fn all() -> AtomSet {
+        AtomSet {
+            compute: true,
+            memory: true,
+            storage: true,
+            network: true,
+        }
+    }
+
+    /// The canonical spelling of this set — the one stored in
+    /// [`ScenarioPoint::atoms`], so that every equivalent input
+    /// spelling (`ALL`, `storage+compute`, ...) produces the same
+    /// fingerprint and per-point seed.
+    pub fn canonical(self) -> String {
+        let on = [
+            (self.compute, "compute"),
+            (self.memory, "memory"),
+            (self.storage, "storage"),
+            (self.network, "network"),
+        ];
+        let enabled: Vec<&str> = on.iter().filter(|(e, _)| *e).map(|(_, n)| *n).collect();
+        match enabled.len() {
+            4 => "all".into(),
+            3 => {
+                let off = on.iter().find(|(e, _)| !e).expect("one disabled").1;
+                format!("no-{off}")
+            }
+            _ => enabled.join("+"),
+        }
+    }
+}
+
+/// Resolve an atom-ablation name: `all`, a `+`-joined subset of
+/// `compute`/`memory`/`storage`/`network` (e.g. `compute+storage`), or
+/// `no-<atom>` for all-but-one.
+pub fn atoms_by_name(name: &str) -> Option<AtomSet> {
+    let name = name.to_ascii_lowercase();
+    if name == "all" {
+        return Some(AtomSet::all());
+    }
+    if let Some(dropped) = name.strip_prefix("no-") {
+        let mut set = AtomSet::all();
+        match dropped {
+            "compute" => set.compute = false,
+            "memory" => set.memory = false,
+            "storage" => set.storage = false,
+            "network" => set.network = false,
+            _ => return None,
+        }
+        return Some(set);
+    }
+    let mut set = AtomSet {
+        compute: false,
+        memory: false,
+        storage: false,
+        network: false,
+    };
+    for part in name.split('+') {
+        match part.trim() {
+            "compute" => set.compute = true,
+            "memory" => set.memory = true,
+            "storage" => set.storage = true,
+            "network" => set.network = true,
+            _ => return None,
+        }
+    }
+    Some(set)
+}
+
 /// Resolve a pilot scheduler policy name.
 pub fn policy_by_name(name: &str) -> Option<SchedulerPolicy> {
     match name.to_ascii_lowercase().as_str() {
@@ -111,7 +214,7 @@ pub fn fnv1a(bytes: &[u8], seed: u64) -> u64 {
 
 /// Expand a validated spec into its full scenario grid, in
 /// deterministic axis order (workloads ▸ steps ▸ machines ▸ kernels ▸
-/// modes ▸ threads ▸ io_blocks ▸ sample_rates).
+/// modes ▸ threads ▸ io_blocks ▸ sample_rates ▸ filesystems ▸ atoms).
 pub fn expand(spec: &CampaignSpec) -> Vec<ScenarioPoint> {
     let mut points = Vec::with_capacity(spec.point_count());
     for workload in &spec.workloads {
@@ -122,24 +225,30 @@ pub fn expand(spec: &CampaignSpec) -> Vec<ScenarioPoint> {
                         for &threads in &spec.threads {
                             for &io_block in &spec.io_blocks {
                                 for &sample_rate in &spec.sample_rates {
-                                    let axes = format!(
-                                        "{}|{steps}|{machine}|{kernel}|{mode}|{threads}|{io_block}|{sample_rate}|{}|{}",
-                                        workload.app, spec.profile_machine, spec.noise_cv,
-                                    );
-                                    points.push(ScenarioPoint {
-                                        index: points.len(),
-                                        workload: workload.app.clone(),
-                                        steps,
-                                        machine: machine.clone(),
-                                        kernel: kernel.clone(),
-                                        mode: mode.clone(),
-                                        threads,
-                                        io_block,
-                                        sample_rate,
-                                        profile_machine: spec.profile_machine.clone(),
-                                        noise_cv: spec.noise_cv,
-                                        seed: fnv1a(axes.as_bytes(), spec.seed),
-                                    });
+                                    for fs in &spec.filesystems {
+                                        for atoms in &spec.atoms {
+                                            let axes = format!(
+                                                "{}|{steps}|{machine}|{kernel}|{mode}|{threads}|{io_block}|{sample_rate}|{fs}|{atoms}|{}|{}",
+                                                workload.app, spec.profile_machine, spec.noise_cv,
+                                            );
+                                            points.push(ScenarioPoint {
+                                                index: points.len(),
+                                                workload: workload.app.clone(),
+                                                steps,
+                                                machine: machine.clone(),
+                                                kernel: kernel.clone(),
+                                                mode: mode.clone(),
+                                                threads,
+                                                io_block,
+                                                sample_rate,
+                                                fs: fs.clone(),
+                                                atoms: atoms.clone(),
+                                                profile_machine: spec.profile_machine.clone(),
+                                                noise_cv: spec.noise_cv,
+                                                seed: fnv1a(axes.as_bytes(), spec.seed),
+                                            });
+                                        }
+                                    }
                                 }
                             }
                         }
@@ -241,6 +350,67 @@ mod tests {
         assert!(mode_by_name("serial").is_none());
         assert!(policy_by_name("backfill").is_some());
         assert!(policy_by_name("sjf").is_none());
+    }
+
+    #[test]
+    fn fs_and_atom_resolvers() {
+        assert_eq!(fs_by_name("default"), Some(None));
+        assert_eq!(fs_by_name(""), Some(None));
+        assert_eq!(fs_by_name("lustre"), Some(Some(FsKind::Lustre)));
+        assert_eq!(fs_by_name("LOCAL"), Some(Some(FsKind::Local)));
+        assert_eq!(fs_by_name("gpfs"), None);
+
+        assert_eq!(atoms_by_name("all"), Some(AtomSet::all()));
+        let no_storage = atoms_by_name("no-storage").unwrap();
+        assert!(no_storage.compute && no_storage.memory && no_storage.network);
+        assert!(!no_storage.storage);
+        let cs = atoms_by_name("compute+storage").unwrap();
+        assert!(cs.compute && cs.storage);
+        assert!(!cs.memory && !cs.network);
+        assert_eq!(atoms_by_name("compute"), atoms_by_name("COMPUTE"));
+        assert!(atoms_by_name("no-everything").is_none());
+        assert!(atoms_by_name("compute+gpu").is_none());
+
+        // Canonical spellings round-trip; variants collapse onto them.
+        for name in ["all", "no-storage", "compute+storage", "memory"] {
+            assert_eq!(atoms_by_name(name).unwrap().canonical(), name);
+        }
+        assert_eq!(
+            atoms_by_name("storage+compute").unwrap().canonical(),
+            "compute+storage"
+        );
+        assert_eq!(
+            atoms_by_name("compute+memory+network").unwrap().canonical(),
+            "no-storage"
+        );
+    }
+
+    #[test]
+    fn fs_and_atom_axes_expand_and_differentiate_seeds() {
+        let toml = format!(
+            "filesystems = [\"default\", \"nfs\"]\natoms = [\"all\", \"compute\"]\n{}",
+            r#"
+            name = "fs-atoms"
+            seed = 3
+            machines = ["thinkie"]
+            kernels = ["asm"]
+
+            [[workloads]]
+            app = "gromacs"
+            steps = [10000]
+            "#
+        );
+        let spec = CampaignSpec::from_toml(&toml).unwrap();
+        let points = expand(&spec);
+        assert_eq!(points.len(), 4);
+        let labels: Vec<String> = points.iter().map(|p| p.label()).collect();
+        assert!(labels[0].contains("fs=default"), "{}", labels[0]);
+        assert!(labels[3].contains("fs=nfs"), "{}", labels[3]);
+        assert!(labels[1].contains("atoms=compute"), "{}", labels[1]);
+        let mut seeds: Vec<u64> = points.iter().map(|p| p.seed).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), 4, "fs/atoms feed the per-point seed");
     }
 
     #[test]

@@ -44,6 +44,7 @@
 
 pub mod aggregate;
 pub mod cache;
+pub mod engine;
 pub mod error;
 pub mod grid;
 pub mod report;
@@ -55,8 +56,9 @@ use std::path::Path;
 
 pub use aggregate::{AxisSlice, Percentiles, ReferenceError};
 pub use cache::{fingerprint, ResultCache, ENGINE_VERSION};
+pub use engine::{CampaignEngine, CancelToken, PointEvent};
 pub use error::CampaignError;
-pub use grid::{expand, ScenarioPoint};
+pub use grid::{atoms_by_name, expand, fs_by_name, AtomSet, ScenarioPoint};
 pub use report::{CampaignReport, PilotSummary, PointRow};
 pub use runner::{simulate_point, PointResult, RunConfig, RunStats};
 pub use spec::{CampaignSpec, PilotSpec, WorkloadSpec};
@@ -87,9 +89,27 @@ pub fn run_campaign(
         Some(dir) => ResultCache::open_with_workers(dir, config.workers)?,
         None => ResultCache::in_memory(),
     };
+    run_campaign_on(spec, config, &cache, &|_| {}, &CancelToken::new())
+}
+
+/// [`run_campaign`] against a caller-owned cache handle, observing
+/// every [`PointEvent`] and honoring a [`CancelToken`].
+///
+/// This is the form long-running frontends use: one process-wide
+/// [`ResultCache`] shared across concurrent campaigns, with per-point
+/// progress streamed out as it happens. Mutated shards are persisted
+/// before returning (also on cancellation, so landed points survive).
+pub fn run_campaign_on(
+    spec: &CampaignSpec,
+    config: &RunConfig,
+    cache: &ResultCache,
+    observer: &(dyn Fn(PointEvent) + Sync),
+    cancel: &CancelToken,
+) -> Result<CampaignOutcome, CampaignError> {
     let points = expand(spec);
-    let (results, stats) = runner::run_points(&points, &cache, config)?;
+    let swept = CampaignEngine::new(&points, cache, config).run(observer, cancel);
     cache.persist()?;
+    let (results, stats) = swept?;
     let report = CampaignReport::assemble(spec, &results)?;
     Ok(CampaignOutcome { report, stats })
 }

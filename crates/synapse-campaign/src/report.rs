@@ -1,14 +1,13 @@
 //! Campaign reports: deterministic JSON and CSV renderings.
 
 use serde::{Deserialize, Serialize};
-use synapse::emulator::EmulationPlan;
 use synapse_pilot::{PilotAgent, ProxyTask};
 use synapse_sim::Noise;
 
 use crate::aggregate::{axis_slices, reference_errors, AxisSlice, ReferenceError};
 use crate::cache::ENGINE_VERSION;
 use crate::error::CampaignError;
-use crate::grid::{app_by_name, kernel_by_name, mode_by_name, policy_by_name};
+use crate::grid::{app_by_name, policy_by_name};
 use crate::runner::PointResult;
 use crate::spec::CampaignSpec;
 
@@ -34,6 +33,10 @@ pub struct PointRow {
     pub io_block: u64,
     /// Sample rate in Hz.
     pub sample_rate: f64,
+    /// Target filesystem axis value.
+    pub fs: String,
+    /// Atom-ablation axis value.
+    pub atoms: String,
     /// Emulated runtime (virtual seconds).
     pub tx: f64,
     /// Application baseline runtime.
@@ -103,6 +106,8 @@ impl CampaignReport {
                 threads: r.point.threads,
                 io_block: r.point.io_block,
                 sample_rate: r.point.sample_rate,
+                fs: r.point.fs.clone(),
+                atoms: r.point.atoms.clone(),
                 tx: r.tx,
                 app_tx: r.app_tx,
                 error_pct: r.error_pct(),
@@ -144,11 +149,11 @@ impl CampaignReport {
     /// order).
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
-            "index,workload,steps,machine,kernel,mode,threads,io_block,sample_rate,tx,app_tx,error_pct\n",
+            "index,workload,steps,machine,kernel,mode,threads,io_block,sample_rate,fs,atoms,tx,app_tx,error_pct\n",
         );
         for r in &self.results {
             out.push_str(&format!(
-                "{},{},{},{},{},{},{},{},{},{},{},{}\n",
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
                 r.index,
                 r.workload,
                 r.steps,
@@ -158,6 +163,8 @@ impl CampaignReport {
                 r.threads,
                 r.io_block,
                 r.sample_rate,
+                r.fs,
+                r.atoms,
                 r.tx,
                 r.app_tx,
                 r.error_pct,
@@ -212,15 +219,9 @@ fn proxy_task(r: &PointResult) -> Result<ProxyTask, CampaignError> {
         r.point.sample_rate,
         &mut noise,
     );
-    let plan = EmulationPlan {
-        kernel: kernel_by_name(&r.point.kernel)
-            .ok_or_else(|| CampaignError::UnknownKernel(r.point.kernel.clone()))?,
-        mode: mode_by_name(&r.point.mode)
-            .ok_or_else(|| CampaignError::UnknownMode(r.point.mode.clone()))?,
-        io_write_block: r.point.io_block,
-        io_read_block: r.point.io_block,
-        ..Default::default()
-    };
+    // Same axis→plan mapping as the sweep itself (ProxyTask overrides
+    // `plan.threads` with its core request when pricing).
+    let plan = crate::runner::emulation_plan(&r.point)?;
     Ok(ProxyTask::new(
         format!("point-{:06}", r.point.index),
         r.point.threads,
@@ -364,9 +365,10 @@ mod tests {
         let lines: Vec<&str> = csv.lines().collect();
         assert_eq!(lines.len(), 13);
         assert!(lines[0].starts_with("index,workload,steps,machine"));
+        assert!(lines[0].contains(",fs,atoms,"));
         assert!(lines[1].starts_with("0,gromacs,10000,"));
         for line in &lines[1..] {
-            assert_eq!(line.split(',').count(), 12);
+            assert_eq!(line.split(',').count(), 14);
         }
     }
 

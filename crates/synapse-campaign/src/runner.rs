@@ -1,15 +1,14 @@
-//! The multi-threaded campaign executor.
+//! Per-point simulation and the one-shot campaign executor.
 //!
-//! Scenario points are independent, so the runner fans them out over a
-//! pool of worker threads pulling indices from a shared atomic
-//! counter. Every simulation runs in *virtual* time (the machine
-//! models' clock), which is what makes thousand-point sweeps complete
-//! in seconds of wall time. Results land back in grid order, so the
-//! outcome is deterministic regardless of thread interleaving.
-
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
-use std::time::Instant;
+//! Scenario points are independent, so sweeps fan them out over a pool
+//! of worker threads pulling indices from a shared atomic counter —
+//! that pool lives in [`crate::engine::CampaignEngine`]; this module
+//! holds the per-point physics ([`simulate_point`]) and the
+//! fire-and-forget wrapper ([`run_points`]). Every simulation runs in
+//! *virtual* time (the machine models' clock), which is what makes
+//! thousand-point sweeps complete in seconds of wall time. Results
+//! land back in grid order, so the outcome is deterministic regardless
+//! of thread interleaving.
 
 use serde::{Deserialize, Serialize};
 use synapse::emulator::{EmulationPlan, Emulator};
@@ -17,7 +16,9 @@ use synapse_sim::Noise;
 
 use crate::cache::{fingerprint, ResultCache};
 use crate::error::CampaignError;
-use crate::grid::{app_by_name, fnv1a, kernel_by_name, mode_by_name, ScenarioPoint};
+use crate::grid::{
+    app_by_name, atoms_by_name, fnv1a, fs_by_name, kernel_by_name, mode_by_name, ScenarioPoint,
+};
 
 /// Outcome of simulating one scenario point.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -71,7 +72,7 @@ pub struct RunConfig {
 }
 
 impl RunConfig {
-    fn effective_workers(&self, points: usize) -> usize {
+    pub(crate) fn effective_workers(&self, points: usize) -> usize {
         let auto = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(4)
@@ -116,6 +117,33 @@ impl RunStats {
     }
 }
 
+/// Resolve a point's axis values into the emulation plan it
+/// prescribes — one place for the axis→`EmulationPlan` mapping, shared
+/// by the sweep path and the pilot stage's proxy tasks.
+pub fn emulation_plan(point: &ScenarioPoint) -> Result<EmulationPlan, CampaignError> {
+    let kernel = kernel_by_name(&point.kernel)
+        .ok_or_else(|| CampaignError::UnknownKernel(point.kernel.clone()))?;
+    let mode =
+        mode_by_name(&point.mode).ok_or_else(|| CampaignError::UnknownMode(point.mode.clone()))?;
+    let target_fs =
+        fs_by_name(&point.fs).ok_or_else(|| CampaignError::UnknownFilesystem(point.fs.clone()))?;
+    let atoms = atoms_by_name(&point.atoms)
+        .ok_or_else(|| CampaignError::UnknownAtomSet(point.atoms.clone()))?;
+    Ok(EmulationPlan {
+        kernel,
+        threads: point.threads,
+        mode,
+        io_write_block: point.io_block,
+        io_read_block: point.io_block,
+        target_fs,
+        emulate_compute: atoms.compute,
+        emulate_memory: atoms.memory,
+        emulate_storage: atoms.storage,
+        emulate_network: atoms.network,
+        ..Default::default()
+    })
+}
+
 /// Simulate one scenario point (no cache involved).
 ///
 /// The pipeline per point mirrors the paper's workflow: synthesize the
@@ -131,10 +159,8 @@ pub fn simulate_point(point: &ScenarioPoint) -> Result<PointResult, CampaignErro
         .ok_or_else(|| CampaignError::UnknownMachine(point.profile_machine.clone()))?;
     let machine = synapse_sim::machine_by_name(&point.machine)
         .ok_or_else(|| CampaignError::UnknownMachine(point.machine.clone()))?;
-    let kernel = kernel_by_name(&point.kernel)
-        .ok_or_else(|| CampaignError::UnknownKernel(point.kernel.clone()))?;
-    let mode =
-        mode_by_name(&point.mode).ok_or_else(|| CampaignError::UnknownMode(point.mode.clone()))?;
+    let plan = emulation_plan(point)?;
+    let mode = plan.mode;
 
     let mut profile_noise = Noise::new(point.seed, point.noise_cv);
     let profile = app.simulate_profile(
@@ -144,14 +170,6 @@ pub fn simulate_point(point: &ScenarioPoint) -> Result<PointResult, CampaignErro
         &mut profile_noise,
     );
 
-    let plan = EmulationPlan {
-        kernel,
-        threads: point.threads,
-        mode,
-        io_write_block: point.io_block,
-        io_read_block: point.io_block,
-        ..Default::default()
-    };
     let report = Emulator::new(plan).simulate(&profile, &machine);
 
     // Application baseline on the target machine, with its own noise
@@ -179,84 +197,19 @@ pub fn simulate_point(point: &ScenarioPoint) -> Result<PointResult, CampaignErro
 /// Run all points through the worker pool, serving memoized results
 /// from `cache` and writing fresh ones back. Results return in grid
 /// order.
+///
+/// This is the fire-and-forget form of [`CampaignEngine`]: no
+/// observer, no cancellation. Frontends that stream progress or stop
+/// sweeps mid-grid (`synapse serve`) drive the engine directly.
+///
+/// [`CampaignEngine`]: crate::engine::CampaignEngine
 pub fn run_points(
     points: &[ScenarioPoint],
     cache: &ResultCache,
     config: &RunConfig,
 ) -> Result<(Vec<PointResult>, RunStats), CampaignError> {
-    let started = Instant::now();
-    let next = AtomicUsize::new(0);
-    let simulated = AtomicUsize::new(0);
-    let cache_hits = AtomicUsize::new(0);
-    let results: Mutex<Vec<Option<PointResult>>> = Mutex::new(vec![None; points.len()]);
-    let first_error: Mutex<Option<CampaignError>> = Mutex::new(None);
-
-    let workers = config.effective_workers(points.len());
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let idx = next.fetch_add(1, Ordering::Relaxed);
-                if idx >= points.len() {
-                    return;
-                }
-                if first_error.lock().expect("error lock").is_some() {
-                    return;
-                }
-                let point = &points[idx];
-                let fp = fingerprint(point);
-                let outcome = match cache.get(&fp) {
-                    Some(mut hit) => {
-                        cache_hits.fetch_add(1, Ordering::Relaxed);
-                        // The fingerprint excludes the grid index, so a
-                        // hit may come from a differently-shaped grid
-                        // (a grown campaign): rebind it to this run's
-                        // position.
-                        hit.point.index = point.index;
-                        Ok(hit)
-                    }
-                    None => {
-                        simulated.fetch_add(1, Ordering::Relaxed);
-                        simulate_point(point).and_then(|r| {
-                            cache.put(&fp, &r)?;
-                            Ok(r)
-                        })
-                    }
-                };
-                match outcome {
-                    Ok(result) => {
-                        results.lock().expect("results lock")[idx] = Some(result);
-                    }
-                    Err(e) => {
-                        first_error.lock().expect("error lock").get_or_insert(e);
-                        return;
-                    }
-                }
-            });
-        }
-    });
-
-    if let Some(e) = first_error.into_inner().expect("error lock") {
-        return Err(e);
-    }
-    let mut collected = Vec::with_capacity(points.len());
-    for (i, slot) in results
-        .into_inner()
-        .expect("results lock")
-        .into_iter()
-        .enumerate()
-    {
-        // A missing slot can only mean a worker bailed out after the
-        // first error, which we returned above — but stay defensive.
-        collected
-            .push(slot.ok_or_else(|| CampaignError::Spec(format!("point {i} was not executed")))?);
-    }
-    let stats = RunStats {
-        points: points.len(),
-        simulated: simulated.into_inner(),
-        cache_hits: cache_hits.into_inner(),
-        wall_secs: started.elapsed().as_secs_f64(),
-    };
-    Ok((collected, stats))
+    crate::engine::CampaignEngine::new(points, cache, config)
+        .run(&|_| {}, &crate::engine::CancelToken::new())
 }
 
 #[cfg(test)]
@@ -372,6 +325,44 @@ mod tests {
         .unwrap()
         .0;
         assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn fs_and_atom_axes_change_the_simulation() {
+        let points = expand(&small_spec());
+        let base = &points[0];
+
+        // Compute-only ablation drops storage/memory/network time.
+        let mut compute_only = base.clone();
+        compute_only.atoms = "compute".into();
+        let full = simulate_point(base).unwrap();
+        let ablated = simulate_point(&compute_only).unwrap();
+        assert!(ablated.tx <= full.tx, "{} > {}", ablated.tx, full.tx);
+        assert_eq!(ablated.bytes_written, 0, "storage atom disabled");
+        assert!(full.bytes_written > 0);
+
+        // A no-compute ablation consumes no cycles.
+        let mut no_compute = base.clone();
+        no_compute.atoms = "no-compute".into();
+        let nc = simulate_point(&no_compute).unwrap();
+        assert_eq!(nc.consumed_cycles, 0);
+
+        // Retargeting the filesystem changes the I/O pricing (Titan
+        // models both Lustre — its default — and node-local disk).
+        // Storage-only ablation makes the I/O time the sample time, so
+        // the repricing is visible in tx even when compute would
+        // otherwise dominate the per-sample max.
+        let mut titan = points
+            .iter()
+            .find(|p| p.machine == "titan")
+            .expect("titan on the axis")
+            .clone();
+        titan.atoms = "storage".into();
+        let on_lustre = simulate_point(&titan).unwrap();
+        let mut local = titan.clone();
+        local.fs = "local".into();
+        let on_local = simulate_point(&local).unwrap();
+        assert_ne!(on_local.tx, on_lustre.tx, "fs retarget reprices I/O");
     }
 
     #[test]

@@ -57,6 +57,17 @@ pub struct CampaignSpec {
     /// Profiling sample rates in Hz. Empty ⇒ `[10.0]`.
     #[serde(default)]
     pub sample_rates: Vec<f64>,
+    /// Target filesystems (`default` | `local` | `lustre` | `nfs`).
+    /// `default` resolves to each machine's own default filesystem.
+    /// Empty ⇒ `["default"]`.
+    #[serde(default)]
+    pub filesystems: Vec<String>,
+    /// Atom-enable ablations: which emulation atoms run per point.
+    /// `all`, a `+`-joined subset of `compute`/`memory`/`storage`/
+    /// `network` (e.g. `compute+storage`), or `no-<atom>` for all but
+    /// one. Empty ⇒ `["all"]`.
+    #[serde(default)]
+    pub atoms: Vec<String>,
     /// Machine the synthetic profiles are "taken" on (the paper
     /// profiles on Thinkie). Empty ⇒ `thinkie`.
     #[serde(default)]
@@ -115,6 +126,12 @@ impl CampaignSpec {
         if self.sample_rates.is_empty() {
             self.sample_rates = vec![10.0];
         }
+        if self.filesystems.is_empty() {
+            self.filesystems = vec!["default".into()];
+        }
+        if self.atoms.is_empty() {
+            self.atoms = vec!["all".into()];
+        }
         if self.profile_machine.is_empty() {
             self.profile_machine = "thinkie".into();
         }
@@ -155,6 +172,24 @@ impl CampaignSpec {
         for m in &self.modes {
             crate::grid::mode_by_name(m).ok_or_else(|| CampaignError::UnknownMode(m.clone()))?;
         }
+        // Validate *and canonicalize* the fs/atoms axes: the stored
+        // strings feed fingerprints and per-point seeds, so equivalent
+        // spellings ("Lustre", "storage+compute") must collapse to one
+        // canonical form or identical scenarios would miss the cache
+        // and draw different noise.
+        for f in &mut self.filesystems {
+            let resolved = crate::grid::fs_by_name(f)
+                .ok_or_else(|| CampaignError::UnknownFilesystem(f.clone()))?;
+            *f = match resolved {
+                None => "default".into(),
+                Some(kind) => kind.name().into(),
+            };
+        }
+        for a in &mut self.atoms {
+            let resolved = crate::grid::atoms_by_name(a)
+                .ok_or_else(|| CampaignError::UnknownAtomSet(a.clone()))?;
+            *a = resolved.canonical();
+        }
         if !self.machines.contains(&self.reference_machine) {
             return Err(CampaignError::Spec(format!(
                 "reference machine {:?} is not on the machines axis",
@@ -188,6 +223,8 @@ impl CampaignSpec {
             * self.threads.len()
             * self.io_blocks.len()
             * self.sample_rates.len()
+            * self.filesystems.len()
+            * self.atoms.len()
     }
 }
 
@@ -217,6 +254,8 @@ mod tests {
         assert_eq!(spec.threads, vec![1]);
         assert_eq!(spec.io_blocks, vec![1 << 20]);
         assert_eq!(spec.sample_rates, vec![10.0]);
+        assert_eq!(spec.filesystems, vec!["default".to_string()]);
+        assert_eq!(spec.atoms, vec!["all".to_string()]);
         assert_eq!(spec.profile_machine, "thinkie");
         assert_eq!(spec.reference_machine, "thinkie");
         assert_eq!(spec.point_count(), 2 * 2 * 2);
@@ -279,6 +318,55 @@ mod tests {
         assert!(matches!(
             CampaignSpec::from_toml(toml),
             Err(CampaignError::EmptyAxis("kernels"))
+        ));
+    }
+
+    #[test]
+    fn filesystem_and_atom_axes_parse_and_multiply() {
+        let toml = format!(
+            "filesystems = [\"default\", \"lustre\"]\natoms = [\"all\", \"no-storage\"]\n{}",
+            minimal_toml()
+        );
+        let spec = CampaignSpec::from_toml(&toml).unwrap();
+        assert_eq!(
+            spec.filesystems,
+            vec!["default".to_string(), "lustre".into()]
+        );
+        assert_eq!(spec.atoms, vec!["all".to_string(), "no-storage".into()]);
+        assert_eq!(spec.point_count(), 2 * 2 * 2 * 2 * 2);
+    }
+
+    #[test]
+    fn filesystem_and_atom_spellings_canonicalize() {
+        // Equivalent spellings must collapse to one canonical form —
+        // the stored strings feed fingerprints and per-point seeds.
+        let toml = format!(
+            "filesystems = [\"Lustre\", \"/tmp\"]\natoms = [\"ALL\", \"storage+compute\", \"No-Storage\"]\n{}",
+            minimal_toml()
+        );
+        let spec = CampaignSpec::from_toml(&toml).unwrap();
+        assert_eq!(spec.filesystems, vec!["lustre".to_string(), "local".into()]);
+        assert_eq!(
+            spec.atoms,
+            vec![
+                "all".to_string(),
+                "compute+storage".into(),
+                "no-storage".into()
+            ]
+        );
+    }
+
+    #[test]
+    fn unknown_filesystem_and_atom_set_are_rejected() {
+        let bad_fs = format!("filesystems = [\"gpfs\"]\n{}", minimal_toml());
+        assert!(matches!(
+            CampaignSpec::from_toml(&bad_fs),
+            Err(CampaignError::UnknownFilesystem(_))
+        ));
+        let bad_atoms = format!("atoms = [\"no-everything\"]\n{}", minimal_toml());
+        assert!(matches!(
+            CampaignSpec::from_toml(&bad_atoms),
+            Err(CampaignError::UnknownAtomSet(_))
         ));
     }
 

@@ -42,6 +42,8 @@ fn arb_point() -> impl Strategy<Value = ScenarioPoint> {
                 threads,
                 io_block,
                 sample_rate: 10.0,
+                fs: "default".into(),
+                atoms: "all".into(),
                 profile_machine: "thinkie".into(),
                 noise_cv: 0.05,
                 seed,

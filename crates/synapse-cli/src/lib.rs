@@ -16,13 +16,21 @@
 //!                  [--json PATH] [--csv PATH] [--summary-json PATH]
 //! synapse campaign plan <spec.toml|json>
 //! synapse campaign cache stats|compact [--cache DIR]
+//! synapse serve    [--addr HOST:PORT] [--cache DIR] [--queue-workers N] [--workers N]
+//! synapse campaign submit <spec.toml|json> [--server HOST:PORT] [--watch]
+//! synapse campaign watch  <job-id> [--server HOST:PORT]
+//! synapse campaign status [job-id] [--server HOST:PORT]
+//! synapse campaign cancel <job-id> [--server HOST:PORT]
 //! synapse table1
 //! synapse machines
 //! ```
 //!
 //! The `campaign` subcommand is the scenario-sweep frontend: a
 //! declarative spec expands into the cartesian product of its axes and
-//! runs through [`synapse_campaign`] with memoized results.
+//! runs through [`synapse_campaign`] with memoized results. `serve`
+//! turns the same engine into a long-running daemon
+//! ([`synapse_server`]); the `submit`/`watch`/`status`/`cancel`
+//! actions are its HTTP client.
 
 use std::path::PathBuf;
 
@@ -109,6 +117,47 @@ pub enum Invocation {
         /// Path to the TOML/JSON campaign spec.
         spec: PathBuf,
     },
+    /// Run the long-lived campaign server (`synapse serve`).
+    Serve {
+        /// Bind address (`host:port`).
+        addr: String,
+        /// Result-cache directory shared by every job.
+        cache: PathBuf,
+        /// Concurrent jobs (queue workers).
+        queue_workers: usize,
+        /// Worker threads per job's sweep (0 = auto).
+        workers: usize,
+    },
+    /// Submit a spec to a running server, optionally streaming events.
+    CampaignSubmit {
+        /// Path to the TOML/JSON campaign spec.
+        spec: PathBuf,
+        /// Server address (`host:port`).
+        server: String,
+        /// Follow the job's NDJSON event stream until it ends.
+        watch: bool,
+    },
+    /// Stream a submitted job's NDJSON events until it ends.
+    CampaignWatch {
+        /// Job id (`j1`, ...).
+        id: String,
+        /// Server address.
+        server: String,
+    },
+    /// Print a job's status document (or all jobs without an id).
+    CampaignStatus {
+        /// Job id; `None` lists every job.
+        id: Option<String>,
+        /// Server address.
+        server: String,
+    },
+    /// Request cooperative cancellation of a submitted job.
+    CampaignCancel {
+        /// Job id.
+        id: String,
+        /// Server address.
+        server: String,
+    },
     /// Print shape and size of a campaign result cache.
     CampaignCacheStats {
         /// Result-cache directory.
@@ -137,13 +186,113 @@ pub fn default_campaign_cache() -> PathBuf {
     std::env::temp_dir().join("synapse-campaign-cache")
 }
 
+/// Default `synapse serve` address client subcommands talk to.
+pub const DEFAULT_SERVER_ADDR: &str = "127.0.0.1:8787";
+
+/// Parse the `serve` argument form.
+fn parse_serve_args(args: &[String]) -> Result<Invocation, String> {
+    let mut addr = DEFAULT_SERVER_ADDR.to_string();
+    let mut cache = default_campaign_cache();
+    let mut queue_workers = 2usize;
+    let mut workers = 0usize;
+    let mut i = 0;
+    while i < args.len() {
+        let arg = &args[i];
+        let value = |i: &mut usize| -> Result<String, String> {
+            *i += 1;
+            args.get(*i)
+                .cloned()
+                .ok_or_else(|| format!("missing value after {arg}"))
+        };
+        match arg.as_str() {
+            "--addr" => addr = value(&mut i)?,
+            "--cache" => cache = PathBuf::from(value(&mut i)?),
+            "--queue-workers" => {
+                queue_workers = value(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--queue-workers: {e}"))?
+            }
+            "--workers" => {
+                workers = value(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?
+            }
+            other => return Err(format!("unknown serve argument {other:?}")),
+        }
+        i += 1;
+    }
+    if queue_workers == 0 {
+        return Err("--queue-workers must be at least 1".into());
+    }
+    Ok(Invocation::Serve {
+        addr,
+        cache,
+        queue_workers,
+        workers,
+    })
+}
+
+/// Parse the `campaign submit|watch|status|cancel` client forms.
+fn parse_campaign_client_args(action: &str, args: &[String]) -> Result<Invocation, String> {
+    let mut server = DEFAULT_SERVER_ADDR.to_string();
+    let mut watch = false;
+    let mut positional = None;
+    let mut i = 0;
+    while i < args.len() {
+        let arg = &args[i];
+        match arg.as_str() {
+            "--server" => {
+                i += 1;
+                server = args
+                    .get(i)
+                    .cloned()
+                    .ok_or_else(|| format!("missing value after {arg}"))?;
+            }
+            "--watch" if action == "submit" => watch = true,
+            other if other.starts_with("--") => {
+                return Err(format!("unknown campaign {action} flag {other}"))
+            }
+            other => {
+                if positional.is_some() {
+                    return Err(format!("unexpected positional argument {other:?}"));
+                }
+                positional = Some(other.to_string());
+            }
+        }
+        i += 1;
+    }
+    match action {
+        "submit" => Ok(Invocation::CampaignSubmit {
+            spec: PathBuf::from(positional.ok_or("campaign submit requires a spec file")?),
+            server,
+            watch,
+        }),
+        "watch" => Ok(Invocation::CampaignWatch {
+            id: positional.ok_or("campaign watch requires a job id")?,
+            server,
+        }),
+        "status" => Ok(Invocation::CampaignStatus {
+            id: positional,
+            server,
+        }),
+        "cancel" => Ok(Invocation::CampaignCancel {
+            id: positional.ok_or("campaign cancel requires a job id")?,
+            server,
+        }),
+        other => Err(format!("unknown campaign client action {other}")),
+    }
+}
+
 /// Parse the `campaign <action> <spec>` argument form.
 fn parse_campaign_args(args: &[String]) -> Result<Invocation, String> {
-    let action = args
-        .first()
-        .ok_or("campaign requires an action (run | plan | cache)")?;
+    let action = args.first().ok_or(
+        "campaign requires an action (run | plan | submit | watch | status | cancel | cache)",
+    )?;
     if action == "cache" {
         return parse_campaign_cache_args(&args[1..]);
+    }
+    if ["submit", "watch", "status", "cancel"].contains(&action.as_str()) {
+        return parse_campaign_client_args(action, &args[1..]);
     }
     let mut spec = None;
     let mut cache = default_campaign_cache();
@@ -192,7 +341,7 @@ fn parse_campaign_args(args: &[String]) -> Result<Invocation, String> {
         }),
         "plan" => Ok(Invocation::CampaignPlan { spec }),
         other => Err(format!(
-            "unknown campaign action {other} (run | plan | cache)"
+            "unknown campaign action {other} (run | plan | submit | watch | status | cancel | cache)"
         )),
     }
 }
@@ -234,6 +383,9 @@ pub fn parse_args(args: &[String]) -> Result<Invocation, String> {
     };
     if sub == "campaign" {
         return parse_campaign_args(&args[1..]);
+    }
+    if sub == "serve" {
+        return parse_serve_args(&args[1..]);
     }
     let mut command = None;
     let mut tags = Tags::new();
@@ -352,9 +504,57 @@ USAGE:
                    [--json PATH] [--csv PATH] [--summary-json PATH]
   synapse campaign plan <spec.toml|json>
   synapse campaign cache stats|compact [--cache DIR]
+  synapse serve    [--addr HOST:PORT] [--cache DIR] [--queue-workers N]
+                   [--workers N]
+  synapse campaign submit <spec.toml|json> [--server HOST:PORT] [--watch]
+  synapse campaign watch  <job-id> [--server HOST:PORT]
+  synapse campaign status [job-id] [--server HOST:PORT]
+  synapse campaign cancel <job-id> [--server HOST:PORT]
   synapse table1
   synapse machines
+
+The serve/submit/watch/status/cancel commands form the client/server
+mode: `serve` keeps one process (and one warm result cache) alive;
+`submit --watch` streams per-point NDJSON events as the sweep runs.
 ";
+
+/// Stream a job's NDJSON events to `out` until it reaches a terminal
+/// state, erroring (nonzero exit) when the job failed.
+fn stream_job_events(
+    client: &synapse_server::Client,
+    id: &str,
+    out: &mut impl std::io::Write,
+) -> Result<(), String> {
+    let mut write_err: Option<std::io::Error> = None;
+    let last = client
+        .watch(id, |line| {
+            // Flush per line: watchers are typically piped into
+            // `jq`/logs and want events as they land. A dead pipe
+            // (`... | head`) aborts the watch instead of silently
+            // draining the rest of the sweep.
+            if let Err(e) = writeln!(out, "{line}").and_then(|()| out.flush()) {
+                write_err = Some(e);
+            }
+            write_err.is_none()
+        })
+        .map_err(|e| e.to_string())?;
+    if let Some(e) = write_err {
+        // Truncating a watch stream (`... | head`) is routine, not an
+        // error; other write failures still exit nonzero.
+        return if e.kind() == std::io::ErrorKind::BrokenPipe {
+            Ok(())
+        } else {
+            Err(e.to_string())
+        };
+    }
+    match last["event"].as_str() {
+        Some("failed") => Err(last["error"]
+            .as_str()
+            .map(|m| format!("campaign {id} failed: {m}"))
+            .unwrap_or_else(|| format!("campaign {id} failed"))),
+        _ => Ok(()),
+    }
+}
 
 /// Execute an invocation, writing human-readable output to `out`.
 pub fn run(invocation: Invocation, out: &mut impl std::io::Write) -> Result<(), String> {
@@ -444,13 +644,86 @@ pub fn run(invocation: Invocation, out: &mut impl std::io::Write) -> Result<(), 
             )
             .map_err(|e| e.to_string())?;
         }
+        Invocation::Serve {
+            addr,
+            cache,
+            queue_workers,
+            workers,
+        } => {
+            let config = synapse_server::ServerConfig {
+                addr,
+                cache_dir: Some(cache.clone()),
+                queue_workers,
+                job_workers: workers,
+            };
+            let server = synapse_server::Server::bind(config).map_err(|e| e.to_string())?;
+            let bound = server.local_addr().map_err(|e| e.to_string())?;
+            writeln!(
+                out,
+                "synapse serve listening on {bound} (cache {}, {queue_workers} queue workers)",
+                cache.display(),
+            )
+            .map_err(|e| e.to_string())?;
+            out.flush().map_err(|e| e.to_string())?;
+            server.run().map_err(|e| e.to_string())?;
+            writeln!(out, "synapse serve shut down").map_err(|e| e.to_string())?;
+        }
+        Invocation::CampaignSubmit {
+            spec,
+            server,
+            watch,
+        } => {
+            let text = std::fs::read_to_string(&spec).map_err(|e| e.to_string())?;
+            let client = synapse_server::Client::new(server);
+            let reply = client.submit(&text).map_err(|e| e.to_string())?;
+            writeln!(
+                out,
+                "{}",
+                serde_json::to_string(&reply).map_err(|e| e.to_string())?
+            )
+            .map_err(|e| e.to_string())?;
+            if watch {
+                let id = reply["id"]
+                    .as_str()
+                    .ok_or("submit reply carries no job id")?
+                    .to_string();
+                stream_job_events(&client, &id, out)?;
+            }
+        }
+        Invocation::CampaignWatch { id, server } => {
+            let client = synapse_server::Client::new(server);
+            stream_job_events(&client, &id, out)?;
+        }
+        Invocation::CampaignStatus { id, server } => {
+            let client = synapse_server::Client::new(server);
+            let doc = match id {
+                Some(id) => client.status(&id).map_err(|e| e.to_string())?,
+                None => client.list().map_err(|e| e.to_string())?,
+            };
+            writeln!(
+                out,
+                "{}",
+                serde_json::to_string(&doc).map_err(|e| e.to_string())?
+            )
+            .map_err(|e| e.to_string())?;
+        }
+        Invocation::CampaignCancel { id, server } => {
+            let client = synapse_server::Client::new(server);
+            let doc = client.cancel(&id).map_err(|e| e.to_string())?;
+            writeln!(
+                out,
+                "{}",
+                serde_json::to_string(&doc).map_err(|e| e.to_string())?
+            )
+            .map_err(|e| e.to_string())?;
+        }
         Invocation::CampaignPlan { spec } => {
             let spec =
                 synapse_campaign::CampaignSpec::from_path(&spec).map_err(|e| e.to_string())?;
             let points = synapse_campaign::expand(&spec);
             writeln!(
                 out,
-                "campaign {:?}: {} points ({} workload-steps × {} machines × {} kernels × {} modes × {} widths × {} io blocks × {} rates)",
+                "campaign {:?}: {} points ({} workload-steps × {} machines × {} kernels × {} modes × {} widths × {} io blocks × {} rates × {} filesystems × {} atom sets)",
                 spec.name,
                 points.len(),
                 spec.workloads.iter().map(|w| w.steps.len()).sum::<usize>(),
@@ -460,6 +733,8 @@ pub fn run(invocation: Invocation, out: &mut impl std::io::Write) -> Result<(), 
                 spec.threads.len(),
                 spec.io_blocks.len(),
                 spec.sample_rates.len(),
+                spec.filesystems.len(),
+                spec.atoms.len(),
             )
             .map_err(|e| e.to_string())?;
             for p in points.iter().take(10) {
@@ -868,6 +1143,187 @@ mod tests {
             String::from_utf8(buf4).unwrap().contains("compacted"),
             "compact output"
         );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn parses_serve_and_campaign_client_commands() {
+        assert_eq!(
+            parse_args(&argv(&["serve"])).unwrap(),
+            Invocation::Serve {
+                addr: DEFAULT_SERVER_ADDR.into(),
+                cache: default_campaign_cache(),
+                queue_workers: 2,
+                workers: 0,
+            }
+        );
+        assert_eq!(
+            parse_args(&argv(&[
+                "serve",
+                "--addr",
+                "127.0.0.1:9999",
+                "--cache",
+                "/tmp/srv",
+                "--queue-workers",
+                "4",
+                "--workers",
+                "2",
+            ]))
+            .unwrap(),
+            Invocation::Serve {
+                addr: "127.0.0.1:9999".into(),
+                cache: PathBuf::from("/tmp/srv"),
+                queue_workers: 4,
+                workers: 2,
+            }
+        );
+        assert!(parse_args(&argv(&["serve", "--queue-workers", "0"])).is_err());
+        assert!(parse_args(&argv(&["serve", "--bogus"])).is_err());
+
+        assert_eq!(
+            parse_args(&argv(&["campaign", "submit", "s.toml", "--watch"])).unwrap(),
+            Invocation::CampaignSubmit {
+                spec: PathBuf::from("s.toml"),
+                server: DEFAULT_SERVER_ADDR.into(),
+                watch: true,
+            }
+        );
+        assert_eq!(
+            parse_args(&argv(&[
+                "campaign",
+                "watch",
+                "j3",
+                "--server",
+                "127.0.0.1:17",
+            ]))
+            .unwrap(),
+            Invocation::CampaignWatch {
+                id: "j3".into(),
+                server: "127.0.0.1:17".into(),
+            }
+        );
+        assert_eq!(
+            parse_args(&argv(&["campaign", "status"])).unwrap(),
+            Invocation::CampaignStatus {
+                id: None,
+                server: DEFAULT_SERVER_ADDR.into(),
+            }
+        );
+        assert_eq!(
+            parse_args(&argv(&["campaign", "cancel", "j1"])).unwrap(),
+            Invocation::CampaignCancel {
+                id: "j1".into(),
+                server: DEFAULT_SERVER_ADDR.into(),
+            }
+        );
+        assert!(parse_args(&argv(&["campaign", "submit"])).is_err());
+        assert!(parse_args(&argv(&["campaign", "cancel"])).is_err());
+        // --watch is a submit-only flag.
+        assert!(parse_args(&argv(&["campaign", "watch", "j1", "--watch"])).is_err());
+    }
+
+    #[test]
+    fn submit_watch_status_cancel_through_cli_layer() {
+        // Boot a real server, then drive it exclusively through CLI
+        // invocations, as the CI smoke step does.
+        let dir = std::env::temp_dir().join(format!("synapse-cli-serve-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let spec_path = dir.join("sweep.toml");
+        std::fs::write(
+            &spec_path,
+            r#"
+            name = "cli-serve"
+            seed = 13
+            machines = ["thinkie", "comet"]
+            kernels = ["asm", "c"]
+
+            [[workloads]]
+            app = "gromacs"
+            steps = [10000]
+            "#,
+        )
+        .unwrap();
+
+        let server = synapse_server::Server::bind(synapse_server::ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            cache_dir: Some(dir.join("cache")),
+            ..Default::default()
+        })
+        .unwrap();
+        let addr = server.local_addr().unwrap().to_string();
+        let handle = server.handle().unwrap();
+        let join = std::thread::spawn(move || server.run().unwrap());
+
+        // submit --watch: one submit reply line + the NDJSON stream.
+        let mut buf = Vec::new();
+        run(
+            Invocation::CampaignSubmit {
+                spec: spec_path.clone(),
+                server: addr.clone(),
+                watch: true,
+            },
+            &mut buf,
+        )
+        .unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        let first: serde_json::Value = serde_json::from_str(lines[0]).unwrap();
+        assert_eq!(first["points"].as_u64(), Some(4));
+        let id = first["id"].as_str().unwrap().to_string();
+        let last: serde_json::Value = serde_json::from_str(lines.last().unwrap()).unwrap();
+        assert_eq!(last["event"].as_str(), Some("completed"));
+        let point_lines = lines
+            .iter()
+            .filter(|l| l.contains("\"event\":\"point\""))
+            .count();
+        assert_eq!(point_lines, 4, "{text}");
+
+        // status of that job.
+        let mut buf = Vec::new();
+        run(
+            Invocation::CampaignStatus {
+                id: Some(id.clone()),
+                server: addr.clone(),
+            },
+            &mut buf,
+        )
+        .unwrap();
+        let status: serde_json::Value =
+            serde_json::from_str(String::from_utf8(buf).unwrap().trim()).unwrap();
+        assert_eq!(status["status"].as_str(), Some("completed"));
+        assert_eq!(status["done"].as_u64(), Some(4));
+
+        // watch replays a finished job's stream.
+        let mut buf = Vec::new();
+        run(
+            Invocation::CampaignWatch {
+                id: id.clone(),
+                server: addr.clone(),
+            },
+            &mut buf,
+        )
+        .unwrap();
+        assert!(String::from_utf8(buf)
+            .unwrap()
+            .contains("\"event\":\"completed\""));
+
+        // cancel on a finished job is a no-op status echo.
+        let mut buf = Vec::new();
+        run(
+            Invocation::CampaignCancel {
+                id,
+                server: addr.clone(),
+            },
+            &mut buf,
+        )
+        .unwrap();
+        let echoed: serde_json::Value =
+            serde_json::from_str(String::from_utf8(buf).unwrap().trim()).unwrap();
+        assert_eq!(echoed["status"].as_str(), Some("completed"));
+
+        handle.shutdown();
+        join.join().unwrap();
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

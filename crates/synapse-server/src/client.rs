@@ -1,0 +1,295 @@
+//! A small blocking client for the `synapse serve` protocol — the
+//! other half of the hand-rolled HTTP layer, used by the `synapse
+//! campaign submit|watch|status|cancel` CLI subcommands, the e2e tests
+//! and the serve-throughput benchmark.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use serde_json::Value;
+
+use crate::ServerError;
+
+/// Connection timeout for every request.
+const CONNECT_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Socket read/write timeout: bounds how long any request (or a
+/// stalled event stream) can hang on a dead peer. The server pulses a
+/// heartbeat every ~10 s on quiet streams, so a healthy watch never
+/// starves this.
+const SOCKET_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// A client bound to one server address.
+#[derive(Debug, Clone)]
+pub struct Client {
+    addr: String,
+}
+
+/// A parsed response: status code plus body text (chunked bodies are
+/// de-framed transparently).
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Body as text.
+    pub body: String,
+}
+
+impl Response {
+    /// Parse the body as JSON.
+    pub fn json(&self) -> Result<Value, ServerError> {
+        serde_json::from_str(&self.body)
+            .map_err(|e| ServerError::Protocol(format!("non-JSON body: {e}")))
+    }
+
+    /// Error out unless the status is 2xx.
+    fn ok(self) -> Result<Response, ServerError> {
+        if (200..300).contains(&self.status) {
+            Ok(self)
+        } else {
+            let detail = self
+                .json()
+                .ok()
+                .and_then(|v| v["error"].as_str().map(str::to_string))
+                .unwrap_or_else(|| self.body.trim().to_string());
+            Err(ServerError::Status(self.status, detail))
+        }
+    }
+}
+
+impl Client {
+    /// A client for `addr` (`host:port`).
+    pub fn new(addr: impl Into<String>) -> Client {
+        Client { addr: addr.into() }
+    }
+
+    fn connect(&self) -> Result<TcpStream, ServerError> {
+        // Resolve like TcpStream::connect does, so `localhost:8787`
+        // and real hostnames work, not just literal IP:port.
+        use std::net::ToSocketAddrs;
+        let addrs: Vec<_> = self
+            .addr
+            .to_socket_addrs()
+            .map_err(|e| ServerError::Protocol(format!("bad server address {:?}: {e}", self.addr)))?
+            .collect();
+        let mut last_err = None;
+        for addr in &addrs {
+            match TcpStream::connect_timeout(addr, CONNECT_TIMEOUT) {
+                Ok(stream) => {
+                    stream.set_read_timeout(Some(SOCKET_TIMEOUT))?;
+                    stream.set_write_timeout(Some(SOCKET_TIMEOUT))?;
+                    return Ok(stream);
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(match last_err {
+            Some(e) => ServerError::Io(e),
+            None => ServerError::Protocol(format!(
+                "server address {:?} resolved to nothing",
+                self.addr
+            )),
+        })
+    }
+
+    fn send(
+        &self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> Result<BufReader<TcpStream>, ServerError> {
+        let mut stream = self.connect()?;
+        let body = body.unwrap_or("");
+        write!(
+            stream,
+            "{method} {path} HTTP/1.1\r\nHost: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            self.addr,
+            body.len(),
+        )?;
+        stream.flush()?;
+        Ok(BufReader::new(stream))
+    }
+
+    /// Read the status line + headers; returns (status, chunked).
+    fn read_head(reader: &mut BufReader<TcpStream>) -> Result<(u16, bool), ServerError> {
+        let mut status_line = String::new();
+        reader.read_line(&mut status_line)?;
+        let status: u16 = status_line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| ServerError::Protocol(format!("bad status line {status_line:?}")))?;
+        let mut chunked = false;
+        loop {
+            let mut line = String::new();
+            reader.read_line(&mut line)?;
+            let line = line.trim_end();
+            if line.is_empty() {
+                break;
+            }
+            if line.to_ascii_lowercase().starts_with("transfer-encoding:")
+                && line.to_ascii_lowercase().contains("chunked")
+            {
+                chunked = true;
+            }
+        }
+        Ok((status, chunked))
+    }
+
+    /// One full request/response round trip.
+    fn request(
+        &self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> Result<Response, ServerError> {
+        let mut reader = self.send(method, path, body)?;
+        let (status, chunked) = Self::read_head(&mut reader)?;
+        let mut body = String::new();
+        if chunked {
+            let mut on_line = |line: &str| {
+                body.push_str(line);
+                body.push('\n');
+                true
+            };
+            Self::drain_chunked(&mut reader, &mut on_line)?;
+        } else {
+            reader.read_to_string(&mut body)?;
+        }
+        Ok(Response { status, body })
+    }
+
+    /// De-frame a chunked body, invoking `on_line` per complete line.
+    /// `on_line` returning `false` aborts the drain (the connection is
+    /// simply dropped — chunked streams need no clean goodbye).
+    fn drain_chunked(
+        reader: &mut BufReader<TcpStream>,
+        on_line: &mut dyn FnMut(&str) -> bool,
+    ) -> Result<(), ServerError> {
+        let mut pending = String::new();
+        loop {
+            let mut size_line = String::new();
+            if reader.read_line(&mut size_line)? == 0 {
+                break; // abrupt close: surface what arrived
+            }
+            let size = usize::from_str_radix(size_line.trim(), 16)
+                .map_err(|_| ServerError::Protocol(format!("bad chunk size {size_line:?}")))?;
+            if size == 0 {
+                let _ = reader.read_line(&mut String::new()); // trailing CRLF
+                break;
+            }
+            let mut chunk = vec![0u8; size];
+            reader.read_exact(&mut chunk)?;
+            let mut crlf = [0u8; 2];
+            reader.read_exact(&mut crlf)?;
+            pending.push_str(
+                std::str::from_utf8(&chunk)
+                    .map_err(|_| ServerError::Protocol("non-UTF-8 chunk".into()))?,
+            );
+            while let Some(nl) = pending.find('\n') {
+                let line: String = pending.drain(..=nl).collect();
+                let line = line.trim_end();
+                if !line.is_empty() && !on_line(line) {
+                    return Ok(());
+                }
+            }
+        }
+        let rest = pending.trim_end();
+        if !rest.is_empty() {
+            on_line(rest);
+        }
+        Ok(())
+    }
+
+    /// `GET /healthz`.
+    pub fn healthz(&self) -> Result<Value, ServerError> {
+        self.request("GET", "/healthz", None)?.ok()?.json()
+    }
+
+    /// `GET /store/stats` — shape of the shared result cache.
+    pub fn store_stats(&self) -> Result<Value, ServerError> {
+        self.request("GET", "/store/stats", None)?.ok()?.json()
+    }
+
+    /// `POST /campaigns` with a TOML or JSON spec body. Returns the
+    /// submit reply (`{"id": "j1", "points": N, ...}`).
+    pub fn submit(&self, spec_text: &str) -> Result<Value, ServerError> {
+        self.request("POST", "/campaigns", Some(spec_text))?
+            .ok()?
+            .json()
+    }
+
+    /// `GET /campaigns` — status of every job.
+    pub fn list(&self) -> Result<Value, ServerError> {
+        self.request("GET", "/campaigns", None)?.ok()?.json()
+    }
+
+    /// `GET /campaigns/<id>` — one job's status document.
+    pub fn status(&self, id: &str) -> Result<Value, ServerError> {
+        self.request("GET", &format!("/campaigns/{id}"), None)?
+            .ok()?
+            .json()
+    }
+
+    /// `GET /campaigns/<id>/report` — the deterministic report of a
+    /// completed job.
+    pub fn report(&self, id: &str) -> Result<Value, ServerError> {
+        self.request("GET", &format!("/campaigns/{id}/report"), None)?
+            .ok()?
+            .json()
+    }
+
+    /// `DELETE /campaigns/<id>` — request cooperative cancellation.
+    pub fn cancel(&self, id: &str) -> Result<Value, ServerError> {
+        self.request("DELETE", &format!("/campaigns/{id}"), None)?
+            .ok()?
+            .json()
+    }
+
+    /// `POST /shutdown` — ask the server to exit.
+    pub fn shutdown(&self) -> Result<Value, ServerError> {
+        self.request("POST", "/shutdown", None)?.ok()?.json()
+    }
+
+    /// `GET /campaigns/<id>/events`: stream the job's NDJSON events,
+    /// invoking `on_event` per line as it arrives, until the job
+    /// reaches a terminal state — or until `on_event` returns `false`,
+    /// which hangs up immediately (a watcher whose output died must
+    /// not stay attached for the rest of a large sweep). Returns the
+    /// last event received.
+    pub fn watch(
+        &self,
+        id: &str,
+        mut on_event: impl FnMut(&str) -> bool,
+    ) -> Result<Value, ServerError> {
+        let mut reader = self.send("GET", &format!("/campaigns/{id}/events"), None)?;
+        let (status, chunked) = Self::read_head(&mut reader)?;
+        if status != 200 {
+            let mut body = String::new();
+            reader.read_to_string(&mut body)?;
+            let detail = serde_json::from_str::<Value>(&body)
+                .ok()
+                .and_then(|v| v["error"].as_str().map(str::to_string))
+                .unwrap_or(body);
+            return Err(ServerError::Status(status, detail));
+        }
+        if !chunked {
+            return Err(ServerError::Protocol("event stream is not chunked".into()));
+        }
+        let mut last = None;
+        let mut on_line = |line: &str| {
+            // Heartbeats are transport keepalive, not job events: they
+            // satisfy the socket read timeout but never reach callers.
+            if line == "{\"event\":\"heartbeat\"}" {
+                return true;
+            }
+            if let Ok(value) = serde_json::from_str::<Value>(line) {
+                last = Some(value);
+            }
+            on_event(line)
+        };
+        Self::drain_chunked(&mut reader, &mut on_line)?;
+        last.ok_or_else(|| ServerError::Protocol("event stream ended without events".into()))
+    }
+}

@@ -1,0 +1,459 @@
+//! A minimal HTTP/1.1 layer, hand-rolled the way the vendored crates
+//! hand-roll serde: the workspace is offline, so instead of pulling a
+//! framework the server implements exactly the protocol surface its
+//! endpoints need — request parsing with hard size caps, plain
+//! `Content-Length` responses, and `Transfer-Encoding: chunked` for
+//! the NDJSON event streams.
+//!
+//! Deliberate non-goals: keep-alive (every response closes the
+//! connection), request pipelining, compression, TLS.
+
+use std::io::{BufRead, Write};
+
+/// Cap on the request line + headers (bytes) before `431` is returned.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// Cap on a request body (bytes) before `413` is returned. Campaign
+/// specs are small; a megabyte of TOML is already a pathological spec.
+pub const MAX_BODY_BYTES: usize = 1024 * 1024;
+
+/// Methods the router understands at all (anything else is a parse
+/// error — `501` — before routing even sees it).
+const KNOWN_METHODS: [&str; 7] = ["GET", "POST", "DELETE", "PUT", "HEAD", "OPTIONS", "PATCH"];
+
+/// A parsed request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Upper-cased method token.
+    pub method: String,
+    /// Request target as sent (path + optional query).
+    pub target: String,
+    /// Lower-cased header names with trimmed values, in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// Raw body (`Content-Length` bytes).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of a (lower-case) header name, if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The target's path component (query stripped — no endpoint takes
+    /// query parameters yet, so that's all the router needs).
+    pub fn path(&self) -> &str {
+        self.target.split('?').next().unwrap_or(&self.target)
+    }
+}
+
+/// Why a request could not be parsed. Each variant maps onto the
+/// status code the connection handler answers with.
+#[derive(Debug)]
+pub enum HttpError {
+    /// Malformed request line, header or length field → `400`.
+    BadRequest(String),
+    /// Head grew past [`MAX_HEAD_BYTES`] → `431`.
+    HeadTooLarge,
+    /// Body longer than [`MAX_BODY_BYTES`] → `413`.
+    BodyTooLarge,
+    /// Method token is not HTTP at all → `501`.
+    UnknownMethod(String),
+    /// The peer closed before a full request arrived.
+    Closed,
+    /// Transport error.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::BadRequest(msg) => write!(f, "bad request: {msg}"),
+            HttpError::HeadTooLarge => {
+                write!(f, "request head exceeds {MAX_HEAD_BYTES} bytes")
+            }
+            HttpError::BodyTooLarge => write!(f, "request body exceeds {MAX_BODY_BYTES} bytes"),
+            HttpError::UnknownMethod(m) => write!(f, "unknown method {m:?}"),
+            HttpError::Closed => write!(f, "connection closed mid-request"),
+            HttpError::Io(e) => write!(f, "i/o: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+impl From<std::io::Error> for HttpError {
+    fn from(e: std::io::Error) -> Self {
+        HttpError::Io(e)
+    }
+}
+
+impl HttpError {
+    /// The status line this error is answered with.
+    pub fn status(&self) -> (u16, &'static str) {
+        match self {
+            HttpError::BadRequest(_) => (400, "Bad Request"),
+            HttpError::HeadTooLarge => (431, "Request Header Fields Too Large"),
+            HttpError::BodyTooLarge => (413, "Payload Too Large"),
+            HttpError::UnknownMethod(_) => (501, "Not Implemented"),
+            HttpError::Closed | HttpError::Io(_) => (400, "Bad Request"),
+        }
+    }
+}
+
+/// Read one line terminated by `\n` (tolerating a trailing `\r`),
+/// counting consumed bytes against the shared head budget. Handles
+/// partial reads by construction: `BufRead::read_until` keeps pulling
+/// from the transport until the delimiter arrives.
+fn read_line(reader: &mut impl BufRead, budget: &mut usize) -> Result<String, HttpError> {
+    let mut raw = Vec::new();
+    loop {
+        // fill_buf + consume instead of read_until: the budget is
+        // enforced *as bytes arrive*, so a single endless line cannot
+        // balloon memory before the cap trips.
+        let buf = reader.fill_buf()?;
+        if buf.is_empty() {
+            return Err(HttpError::Closed);
+        }
+        let newline = buf.iter().position(|&b| b == b'\n');
+        let take = newline.map_or(buf.len(), |i| i + 1);
+        if take > *budget {
+            return Err(HttpError::HeadTooLarge);
+        }
+        *budget -= take;
+        raw.extend_from_slice(&buf[..take]);
+        reader.consume(take);
+        if newline.is_some() {
+            break;
+        }
+    }
+    raw.pop(); // the '\n'
+    if raw.last() == Some(&b'\r') {
+        raw.pop();
+    }
+    String::from_utf8(raw).map_err(|_| HttpError::BadRequest("non-UTF-8 header line".into()))
+}
+
+/// Parse one request from the reader (blocking until complete or
+/// erroneous).
+pub fn read_request(reader: &mut impl BufRead) -> Result<Request, HttpError> {
+    let mut budget = MAX_HEAD_BYTES;
+    let request_line = read_line(reader, &mut budget)?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| HttpError::BadRequest("empty request line".into()))?
+        .to_ascii_uppercase();
+    let target = parts
+        .next()
+        .ok_or_else(|| HttpError::BadRequest("request line has no target".into()))?
+        .to_string();
+    let version = parts
+        .next()
+        .ok_or_else(|| HttpError::BadRequest("request line has no version".into()))?;
+    if parts.next().is_some() {
+        return Err(HttpError::BadRequest(
+            "request line has extra fields".into(),
+        ));
+    }
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::BadRequest(format!(
+            "unsupported version {version:?}"
+        )));
+    }
+    if !KNOWN_METHODS.contains(&method.as_str()) {
+        return Err(HttpError::UnknownMethod(method));
+    }
+    if !target.starts_with('/') {
+        return Err(HttpError::BadRequest(format!(
+            "target {target:?} is not an absolute path"
+        )));
+    }
+
+    let mut headers = Vec::new();
+    loop {
+        let line = read_line(reader, &mut budget)?;
+        if line.is_empty() {
+            break;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| HttpError::BadRequest(format!("header without colon: {line:?}")))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let content_length = headers
+        .iter()
+        .find(|(n, _)| n == "content-length")
+        .map(|(_, v)| {
+            v.parse::<usize>()
+                .map_err(|_| HttpError::BadRequest(format!("bad content-length {v:?}")))
+        })
+        .transpose()?
+        .unwrap_or(0);
+    if content_length > MAX_BODY_BYTES {
+        return Err(HttpError::BodyTooLarge);
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            HttpError::Closed
+        } else {
+            HttpError::Io(e)
+        }
+    })?;
+
+    Ok(Request {
+        method,
+        target,
+        headers,
+        body,
+    })
+}
+
+/// Write a complete response with a `Content-Length` body and close
+/// semantics.
+pub fn write_response(
+    stream: &mut impl Write,
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    body: &[u8],
+) -> std::io::Result<()> {
+    write!(
+        stream,
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    )?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+/// Write a JSON response.
+pub fn write_json(
+    stream: &mut impl Write,
+    status: u16,
+    reason: &str,
+    value: &serde_json::Value,
+) -> std::io::Result<()> {
+    let body = serde_json::to_string(value).unwrap_or_else(|_| "{}".into());
+    write_response(stream, status, reason, "application/json", body.as_bytes())
+}
+
+/// A `Transfer-Encoding: chunked` body writer. Every [`chunk`] flushes
+/// so stream consumers see events as they land, not when a buffer
+/// fills.
+///
+/// [`chunk`]: ChunkedWriter::chunk
+pub struct ChunkedWriter<W: Write> {
+    stream: W,
+}
+
+impl<W: Write> ChunkedWriter<W> {
+    /// Send the streaming response head and return the body writer.
+    pub fn start(mut stream: W, content_type: &str) -> std::io::Result<ChunkedWriter<W>> {
+        write!(
+            stream,
+            "HTTP/1.1 200 OK\r\nContent-Type: {content_type}\r\nTransfer-Encoding: chunked\r\nConnection: close\r\n\r\n"
+        )?;
+        stream.flush()?;
+        Ok(ChunkedWriter { stream })
+    }
+
+    /// Write one chunk (empty input is skipped — a zero-length chunk
+    /// would terminate the stream).
+    pub fn chunk(&mut self, data: &[u8]) -> std::io::Result<()> {
+        if data.is_empty() {
+            return Ok(());
+        }
+        write!(self.stream, "{:x}\r\n", data.len())?;
+        self.stream.write_all(data)?;
+        self.stream.write_all(b"\r\n")?;
+        self.stream.flush()
+    }
+
+    /// Terminate the stream (the zero-length chunk).
+    pub fn finish(mut self) -> std::io::Result<()> {
+        self.stream.write_all(b"0\r\n\r\n")?;
+        self.stream.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{BufReader, Read};
+
+    /// A reader that hands out its data a few bytes at a time, the way
+    /// a TCP stream delivers a request split across segments.
+    struct Trickle {
+        data: Vec<u8>,
+        pos: usize,
+        step: usize,
+    }
+
+    impl Read for Trickle {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            let end = (self.pos + self.step).min(self.data.len());
+            let n = (end - self.pos).min(buf.len());
+            buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+            self.pos += n;
+            Ok(n)
+        }
+    }
+
+    fn parse(text: &str) -> Result<Request, HttpError> {
+        read_request(&mut BufReader::new(text.as_bytes()))
+    }
+
+    #[test]
+    fn parses_get_with_headers_and_query() {
+        let req = parse(
+            "GET /campaigns/j1/events?workers=4 HTTP/1.1\r\nHost: localhost\r\nAccept: */*\r\n\r\n",
+        )
+        .unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path(), "/campaigns/j1/events", "query stripped");
+        assert_eq!(req.header("host"), Some("localhost"));
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let body = "name = \"x\"";
+        let text = format!(
+            "POST /campaigns HTTP/1.1\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        let req = parse(&text).unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.body, body.as_bytes());
+    }
+
+    #[test]
+    fn handles_partial_reads_across_every_boundary() {
+        // The same request must parse no matter how the transport
+        // fragments it — byte-at-a-time included.
+        let body = "{\"name\":\"frag\"}";
+        let text = format!(
+            "POST /campaigns HTTP/1.1\r\nHost: h\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        for step in [1, 2, 3, 7, 16] {
+            let mut reader = BufReader::with_capacity(
+                4, // tiny buffer so refills also fragment
+                Trickle {
+                    data: text.clone().into_bytes(),
+                    pos: 0,
+                    step,
+                },
+            );
+            let req = read_request(&mut reader).unwrap_or_else(|e| panic!("step {step}: {e}"));
+            assert_eq!(req.method, "POST");
+            assert_eq!(req.body, body.as_bytes(), "step {step}");
+        }
+    }
+
+    #[test]
+    fn rejects_oversized_heads() {
+        let huge = format!(
+            "GET / HTTP/1.1\r\nX-Padding: {}\r\n\r\n",
+            "a".repeat(MAX_HEAD_BYTES)
+        );
+        assert!(matches!(parse(&huge), Err(HttpError::HeadTooLarge)));
+        // One oversized *line* trips the cap too (no unbounded
+        // read_until growth).
+        let long_line = format!("GET /{} HTTP/1.1\r\n\r\n", "x".repeat(MAX_HEAD_BYTES));
+        assert!(matches!(parse(&long_line), Err(HttpError::HeadTooLarge)));
+    }
+
+    #[test]
+    fn rejects_oversized_bodies_before_reading_them() {
+        let text = format!(
+            "POST /campaigns HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        assert!(matches!(parse(&text), Err(HttpError::BodyTooLarge)));
+    }
+
+    #[test]
+    fn rejects_bad_methods_and_malformed_request_lines() {
+        assert!(matches!(
+            parse("BREW /coffee HTTP/1.1\r\n\r\n"),
+            Err(HttpError::UnknownMethod(m)) if m == "BREW"
+        ));
+        assert!(matches!(
+            parse("GET /\r\n\r\n"),
+            Err(HttpError::BadRequest(_))
+        ));
+        assert!(matches!(
+            parse("GET / SPDY/3\r\n\r\n"),
+            Err(HttpError::BadRequest(_))
+        ));
+        assert!(matches!(
+            parse("GET relative HTTP/1.1\r\n\r\n"),
+            Err(HttpError::BadRequest(_))
+        ));
+        assert!(matches!(
+            parse("GET / HTTP/1.1 extra\r\n\r\n"),
+            Err(HttpError::BadRequest(_))
+        ));
+        assert!(matches!(
+            parse("GET / HTTP/1.1\r\nno-colon-here\r\n\r\n"),
+            Err(HttpError::BadRequest(_))
+        ));
+        assert!(matches!(
+            parse("POST / HTTP/1.1\r\nContent-Length: many\r\n\r\n"),
+            Err(HttpError::BadRequest(_))
+        ));
+    }
+
+    #[test]
+    fn truncated_requests_report_closed() {
+        assert!(matches!(parse(""), Err(HttpError::Closed)));
+        assert!(matches!(
+            parse("GET / HTTP/1.1\r\nHost: h"),
+            Err(HttpError::Closed)
+        ));
+        assert!(matches!(
+            parse("POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort"),
+            Err(HttpError::Closed)
+        ));
+    }
+
+    #[test]
+    fn error_statuses_map_sensibly() {
+        assert_eq!(HttpError::HeadTooLarge.status().0, 431);
+        assert_eq!(HttpError::BodyTooLarge.status().0, 413);
+        assert_eq!(HttpError::UnknownMethod("BREW".into()).status().0, 501);
+        assert_eq!(HttpError::BadRequest("x".into()).status().0, 400);
+    }
+
+    #[test]
+    fn chunked_writer_frames_and_terminates() {
+        let mut buf = Vec::new();
+        let mut w = ChunkedWriter::start(&mut buf, "application/x-ndjson").unwrap();
+        w.chunk(b"{\"a\":1}\n").unwrap();
+        w.chunk(b"").unwrap(); // skipped, must not terminate
+        w.chunk(b"{\"b\":2}\n").unwrap();
+        w.finish().unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Transfer-Encoding: chunked"));
+        assert!(text.contains("8\r\n{\"a\":1}\n\r\n"));
+        assert!(text.ends_with("0\r\n\r\n"));
+    }
+
+    #[test]
+    fn plain_response_has_content_length() {
+        let mut buf = Vec::new();
+        write_response(&mut buf, 404, "Not Found", "text/plain", b"nope").unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("HTTP/1.1 404 Not Found\r\n"));
+        assert!(text.contains("Content-Length: 4\r\n"));
+        assert!(text.ends_with("\r\n\r\nnope"));
+    }
+}

@@ -1,0 +1,282 @@
+//! One submitted campaign: state machine, progress counters and the
+//! buffered NDJSON event log its streams replay.
+//!
+//! Events are serialized once (by the worker that produced them) into
+//! a grow-only `Vec<String>`; any number of concurrent stream readers
+//! replay the buffer from the top and then block on a condvar for
+//! more. That makes `GET /campaigns/<id>/events` joinable at any time
+//! — a client attaching mid-sweep first drains history, then follows
+//! live — and means a slow client never stalls the sweep (the buffer
+//! grows; the workers never wait on a socket).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+use synapse_campaign::{CampaignReport, CampaignSpec, CancelToken, RunStats};
+
+/// Lifecycle of a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Accepted, waiting for a queue worker.
+    Queued,
+    /// A queue worker is sweeping the grid.
+    Running,
+    /// Every point landed; report available.
+    Completed,
+    /// Cancelled before the grid drained.
+    Cancelled,
+    /// The sweep errored.
+    Failed,
+}
+
+impl JobState {
+    /// Status string used across the HTTP API.
+    pub fn name(self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Completed => "completed",
+            JobState::Cancelled => "cancelled",
+            JobState::Failed => "failed",
+        }
+    }
+
+    /// Whether the job will never produce further events.
+    pub fn is_terminal(self) -> bool {
+        matches!(
+            self,
+            JobState::Completed | JobState::Cancelled | JobState::Failed
+        )
+    }
+}
+
+/// Mutable progress snapshot (behind the job's lock).
+#[derive(Debug, Clone)]
+pub struct Progress {
+    /// Current lifecycle state.
+    pub state: JobState,
+    /// Points landed so far.
+    pub done: usize,
+    /// Of those, served from the shared result cache.
+    pub cache_hits: usize,
+    /// Running sum of |error_pct| over landed points (for snapshots).
+    pub abs_err_sum: f64,
+    /// Final run stats (set on completion).
+    pub stats: Option<RunStats>,
+    /// Failure message (set on error).
+    pub error: Option<String>,
+}
+
+/// One submitted campaign.
+pub struct Job {
+    /// Job id (monotonic per server process).
+    pub id: u64,
+    /// The validated spec as submitted.
+    pub spec: CampaignSpec,
+    /// Grid size.
+    pub total: usize,
+    /// Worker threads the sweep runs with.
+    pub workers: usize,
+    /// Cooperative cancellation flag (`DELETE /campaigns/<id>`).
+    pub cancel: CancelToken,
+    progress: Mutex<Progress>,
+    /// Deterministic report of a completed job.
+    report: Mutex<Option<CampaignReport>>,
+    /// Serialized NDJSON lines, in emission order.
+    events: Mutex<Vec<String>>,
+    events_ready: Condvar,
+    /// Cheap terminal check for streamers (avoids taking the progress
+    /// lock per poll).
+    done_events: AtomicUsize,
+}
+
+/// Sentinel for "no more events will ever arrive".
+const EVENTS_CLOSED: usize = usize::MAX;
+
+impl Job {
+    /// A freshly-accepted job in the queued state.
+    pub fn new(id: u64, spec: CampaignSpec, total: usize, workers: usize) -> Job {
+        Job {
+            id,
+            spec,
+            total,
+            workers,
+            cancel: CancelToken::new(),
+            progress: Mutex::new(Progress {
+                state: JobState::Queued,
+                done: 0,
+                cache_hits: 0,
+                abs_err_sum: 0.0,
+                stats: None,
+                error: None,
+            }),
+            report: Mutex::new(None),
+            events: Mutex::new(Vec::new()),
+            events_ready: Condvar::new(),
+            done_events: AtomicUsize::new(0),
+        }
+    }
+
+    /// The id in its API form (`j<id>`).
+    pub fn public_id(&self) -> String {
+        format!("j{}", self.id)
+    }
+
+    /// Run a closure over the locked progress (read or mutate).
+    pub fn with_progress<T>(&self, f: impl FnOnce(&mut Progress) -> T) -> T {
+        f(&mut self.progress.lock().expect("progress lock"))
+    }
+
+    /// Current lifecycle state.
+    pub fn state(&self) -> JobState {
+        self.with_progress(|p| p.state)
+    }
+
+    /// Store the completed job's deterministic report.
+    pub fn set_report(&self, report: CampaignReport) {
+        *self.report.lock().expect("report lock") = Some(report);
+    }
+
+    /// The completed job's report, if any.
+    pub fn report_json(&self) -> Option<String> {
+        self.report
+            .lock()
+            .expect("report lock")
+            .as_ref()
+            .and_then(|r| r.to_json().ok())
+    }
+
+    /// Append one NDJSON event line and wake streamers.
+    pub fn push_event(&self, line: String) {
+        let mut events = self.events.lock().expect("events lock");
+        events.push(line);
+        self.events_ready.notify_all();
+    }
+
+    /// Mark the event stream closed (terminal state reached) and wake
+    /// streamers so they can drain and hang up.
+    pub fn close_events(&self) {
+        let _events = self.events.lock().expect("events lock");
+        self.done_events.store(EVENTS_CLOSED, Ordering::Release);
+        self.events_ready.notify_all();
+    }
+
+    /// Whether the stream is closed (no further events will arrive).
+    pub fn events_closed(&self) -> bool {
+        self.done_events.load(Ordering::Acquire) == EVENTS_CLOSED
+    }
+
+    /// Settle a still-queued job as cancelled: flip the token, move
+    /// `Queued → Cancelled`, emit the terminal event and close the
+    /// stream. Returns whether this call did the settling (false when
+    /// the job already ran, is running, or was settled before — the
+    /// running path emits its own terminal event). One helper so the
+    /// three callers (DELETE, submit-during-shutdown, the shutdown
+    /// sweep) can never diverge on the settle protocol.
+    pub fn settle_if_queued(&self) -> bool {
+        self.cancel.cancel();
+        let settled = self.with_progress(|p| {
+            if p.state == JobState::Queued {
+                p.state = JobState::Cancelled;
+                true
+            } else {
+                false
+            }
+        });
+        if settled {
+            let event = serde_json::json!({
+                "event": "cancelled",
+                "id": self.public_id(),
+                "done": 0,
+                "total": self.total,
+            });
+            self.push_event(serde_json::to_string(&event).expect("event serializes"));
+            self.close_events();
+        }
+        settled
+    }
+
+    /// Copy out the events at positions `[from..]`, blocking up to
+    /// `wait` when the buffer has nothing new and the stream is still
+    /// open. Returns the copied lines and whether the stream is
+    /// closed (after draining these lines, the reader may hang up once
+    /// a subsequent call returns empty+closed).
+    pub fn events_since(&self, from: usize, wait: Duration) -> (Vec<String>, bool) {
+        let mut events = self.events.lock().expect("events lock");
+        if events.len() <= from && !self.events_closed() {
+            let (guard, _timeout) = self
+                .events_ready
+                .wait_timeout(events, wait)
+                .expect("events lock");
+            events = guard;
+        }
+        let fresh = events.get(from..).unwrap_or(&[]).to_vec();
+        (fresh, self.events_closed())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> CampaignSpec {
+        CampaignSpec::from_toml(
+            r#"
+            name = "job"
+            machines = ["thinkie"]
+            kernels = ["asm"]
+
+            [[workloads]]
+            app = "gromacs"
+            steps = [1000]
+            "#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn state_names_and_terminality() {
+        assert_eq!(JobState::Queued.name(), "queued");
+        assert!(!JobState::Queued.is_terminal());
+        assert!(!JobState::Running.is_terminal());
+        assert!(JobState::Completed.is_terminal());
+        assert!(JobState::Cancelled.is_terminal());
+        assert!(JobState::Failed.is_terminal());
+    }
+
+    #[test]
+    fn events_replay_then_follow_then_close() {
+        let job = Job::new(7, spec(), 1, 1);
+        assert_eq!(job.public_id(), "j7");
+        job.push_event("{\"event\":\"a\"}".into());
+        job.push_event("{\"event\":\"b\"}".into());
+        // Replay from the top.
+        let (lines, closed) = job.events_since(0, Duration::from_millis(1));
+        assert_eq!(lines.len(), 2);
+        assert!(!closed);
+        // Nothing new: times out empty.
+        let (lines, closed) = job.events_since(2, Duration::from_millis(1));
+        assert!(lines.is_empty());
+        assert!(!closed);
+        // Close: reader drains and sees the closed flag.
+        job.close_events();
+        let (lines, closed) = job.events_since(2, Duration::from_millis(1));
+        assert!(lines.is_empty());
+        assert!(closed);
+    }
+
+    #[test]
+    fn waiting_reader_wakes_on_push() {
+        let job = std::sync::Arc::new(Job::new(1, spec(), 1, 1));
+        let reader = {
+            let job = job.clone();
+            std::thread::spawn(move || job.events_since(0, Duration::from_secs(5)))
+        };
+        // Give the reader a moment to block, then publish.
+        std::thread::sleep(Duration::from_millis(20));
+        job.push_event("{\"event\":\"live\"}".into());
+        let (lines, _) = reader.join().unwrap();
+        assert_eq!(lines, vec!["{\"event\":\"live\"}".to_string()]);
+    }
+}

@@ -1,0 +1,117 @@
+#![warn(missing_docs)]
+
+//! `synapse-server` — the long-running `synapse serve` daemon.
+//!
+//! The paper positions Synapse as a profiler/emulator *driven by*
+//! workload-management systems that need on-demand runtime estimates;
+//! a one-shot CLI makes every such question pay full process startup
+//! and cache warm-up. This crate keeps the process alive: campaigns
+//! are submitted over HTTP, sweep through a shared job queue, memoize
+//! into one process-wide [`synapse_campaign::ResultCache`], and stream
+//! per-point results the moment they land.
+//!
+//! The workspace is offline/vendored, so the HTTP/1.1 layer is
+//! hand-rolled ([`http`]) the same way the vendored crates hand-roll
+//! serde — `std::net::TcpListener`, a thread per connection, no tokio.
+//!
+//! # Endpoints
+//!
+//! | Method + path               | Meaning                                       |
+//! |-----------------------------|-----------------------------------------------|
+//! | `POST /campaigns`           | submit a TOML/JSON spec → `{"id": "j1", ...}` |
+//! | `GET /campaigns`            | status of every job                           |
+//! | `GET /campaigns/j1`         | one job's status/summary                      |
+//! | `GET /campaigns/j1/events`  | chunked NDJSON stream of per-point results    |
+//! | `GET /campaigns/j1/report`  | deterministic report of a completed job       |
+//! | `DELETE /campaigns/j1`      | cooperative cancellation                      |
+//! | `GET /healthz`              | liveness + queue depth                        |
+//! | `GET /store/stats`          | shape of the shared result cache              |
+//! | `POST /shutdown`            | graceful exit                                 |
+//!
+//! # Event stream
+//!
+//! `GET /campaigns/<id>/events` replays the job's history and then
+//! follows live: `started`, one `point` per landed scenario point (in
+//! completion order, each carrying its grid `index`), a `snapshot`
+//! aggregate every [`SNAPSHOT_EVERY`] points, and exactly one terminal
+//! event — `completed`, `cancelled` or `failed`.
+//!
+//! ```no_run
+//! use synapse_server::{Client, Server, ServerConfig};
+//!
+//! let server = Server::bind(ServerConfig {
+//!     addr: "127.0.0.1:0".into(),
+//!     ..Default::default()
+//! })?;
+//! let handle = server.handle()?;
+//! let addr = server.local_addr()?;
+//! std::thread::spawn(move || server.run());
+//!
+//! let client = Client::new(addr.to_string());
+//! let reply = client.submit("name = \"quick\"\n…")?;
+//! let id = reply["id"].as_str().unwrap();
+//! let summary = client.watch(id, |line| {
+//!     println!("{line}");
+//!     true // keep streaming; false hangs up early
+//! })?;
+//! assert_eq!(summary["event"].as_str(), Some("completed"));
+//! handle.shutdown();
+//! # Ok::<(), synapse_server::ServerError>(())
+//! ```
+
+pub mod client;
+pub mod http;
+pub mod job;
+pub mod server;
+
+pub use client::{Client, Response};
+pub use job::{Job, JobState};
+pub use server::{Server, ServerConfig, ServerHandle, SNAPSHOT_EVERY};
+
+use synapse_campaign::CampaignError;
+
+/// Anything that can go wrong running or talking to the server.
+#[derive(Debug)]
+pub enum ServerError {
+    /// Socket-level failure.
+    Io(std::io::Error),
+    /// The campaign layer failed (opening the cache, persisting).
+    Campaign(CampaignError),
+    /// The peer spoke something that isn't the expected protocol.
+    Protocol(String),
+    /// A non-2xx response with the server's error detail.
+    Status(u16, String),
+}
+
+impl std::fmt::Display for ServerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServerError::Io(e) => write!(f, "i/o: {e}"),
+            ServerError::Campaign(e) => write!(f, "campaign: {e}"),
+            ServerError::Protocol(msg) => write!(f, "protocol: {msg}"),
+            ServerError::Status(code, detail) => write!(f, "server returned {code}: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServerError::Io(e) => Some(e),
+            ServerError::Campaign(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ServerError {
+    fn from(e: std::io::Error) -> Self {
+        ServerError::Io(e)
+    }
+}
+
+impl From<CampaignError> for ServerError {
+    fn from(e: CampaignError) -> Self {
+        ServerError::Campaign(e)
+    }
+}

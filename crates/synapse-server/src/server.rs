@@ -1,0 +1,709 @@
+//! The `synapse serve` daemon: TCP accept loop, request routing, the
+//! job queue worker pool and the process-wide result cache.
+//!
+//! Concurrency model: a thread per connection at the front (requests
+//! are short-lived except event streams, which tie up their thread for
+//! the life of the watched job), and a fixed pool of queue workers at
+//! the back, each draining one job at a time through
+//! [`synapse_campaign::run_campaign_on`]. All jobs share one
+//! [`ResultCache`] handle — the sharded store is lock-protected per
+//! shard group, so concurrent sweeps memoize into (and hit from) the
+//! same cache, which is the point of keeping the process alive.
+
+use std::collections::VecDeque;
+use std::io::BufReader;
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use serde_json::json;
+use synapse_campaign::{
+    run_campaign_on, CampaignError, CampaignSpec, PointEvent, ResultCache, RunConfig,
+};
+
+use crate::http::{self, ChunkedWriter, HttpError, Request};
+use crate::job::{Job, JobState};
+use crate::ServerError;
+
+/// How often a long-lived sweep emits an aggregate `snapshot` event
+/// into its stream, in landed points.
+pub const SNAPSHOT_EVERY: usize = 32;
+
+/// Terminal jobs retained in the table (live jobs never count): the
+/// daemon serves status/report/replay for this many finished
+/// campaigns, then forgets the oldest — a long-lived process must not
+/// accumulate event buffers without bound.
+pub const MAX_RETAINED_TERMINAL_JOBS: usize = 64;
+
+/// Read/write timeouts on accepted connections. Requests are parsed
+/// well inside this; for event streams it bounds how long a stalled
+/// (non-reading) watcher can pin its connection thread, so shutdown's
+/// scope join cannot hang on a dead peer.
+const SOCKET_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// How long an event stream may stay silent before a `heartbeat`
+/// event is pulsed, keeping client read-timeouts satisfiable while a
+/// job sits queued behind a long sweep.
+const HEARTBEAT_EVERY: Duration = Duration::from_secs(10);
+
+/// Serialize one event document to its NDJSON line.
+fn ndjson(value: &serde_json::Value) -> String {
+    serde_json::to_string(value).expect("event serializes")
+}
+
+/// How the daemon is set up.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address, e.g. `127.0.0.1:8787` (port 0 for ephemeral).
+    pub addr: String,
+    /// Result-cache directory (`None` ⇒ in-memory for this process).
+    pub cache_dir: Option<PathBuf>,
+    /// Queue workers = jobs sweeping concurrently.
+    pub queue_workers: usize,
+    /// Worker threads *per job's* sweep (0 ⇒ auto).
+    pub job_workers: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:8787".into(),
+            cache_dir: None,
+            queue_workers: 2,
+            job_workers: 0,
+        }
+    }
+}
+
+/// Shared server state: the job table, the submission queue and the
+/// process-wide cache handle.
+pub(crate) struct ServerState {
+    pub(crate) cache: ResultCache,
+    jobs: Mutex<Vec<Arc<Job>>>,
+    queue: Mutex<VecDeque<Arc<Job>>>,
+    queue_ready: Condvar,
+    next_id: AtomicU64,
+    shutdown: AtomicBool,
+    job_workers: usize,
+    started: Instant,
+}
+
+impl ServerState {
+    fn job(&self, public_id: &str) -> Option<Arc<Job>> {
+        let id: u64 = public_id.strip_prefix('j')?.parse().ok()?;
+        self.jobs
+            .lock()
+            .expect("jobs lock")
+            .iter()
+            .find(|j| j.id == id)
+            .cloned()
+    }
+
+    fn submit(&self, spec: CampaignSpec) -> Arc<Job> {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let total = spec.point_count();
+        let job = Arc::new(Job::new(id, spec, total, self.job_workers));
+        {
+            let mut jobs = self.jobs.lock().expect("jobs lock");
+            jobs.push(job.clone());
+            // Bounded retention: the daemon must not grow without limit
+            // across weeks of submissions. Oldest *terminal* jobs fall
+            // off first (attached streamers keep theirs alive through
+            // the Arc until they hang up); live jobs are never evicted.
+            let mut terminal = jobs.iter().filter(|j| j.state().is_terminal()).count();
+            jobs.retain(|j| {
+                if terminal > MAX_RETAINED_TERMINAL_JOBS && j.state().is_terminal() {
+                    terminal -= 1;
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+        self.queue
+            .lock()
+            .expect("queue lock")
+            .push_back(job.clone());
+        self.queue_ready.notify_one();
+        // A shutdown can land between the handler's early check and
+        // the insertions above — after the shutdown sweep settled the
+        // job table. Nobody would ever settle this job, leaving its
+        // event stream open forever; settle it here.
+        if self.shutting_down() {
+            job.settle_if_queued();
+        }
+        job
+    }
+
+    /// Block until a job is queued or shutdown is requested.
+    fn next_job(&self) -> Option<Arc<Job>> {
+        let mut queue = self.queue.lock().expect("queue lock");
+        loop {
+            if self.shutdown.load(Ordering::Acquire) {
+                return None;
+            }
+            if let Some(job) = queue.pop_front() {
+                return Some(job);
+            }
+            queue = self
+                .queue_ready
+                .wait_timeout(queue, Duration::from_millis(200))
+                .expect("queue lock")
+                .0;
+        }
+    }
+
+    fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::Release);
+        // Stop in-flight sweeps; settle jobs no queue worker will ever
+        // reach, so their event streams terminate instead of leaving
+        // streamers (and the connection-thread join) blocked forever.
+        for job in self.jobs.lock().expect("jobs lock").iter() {
+            job.settle_if_queued();
+        }
+        self.queue_ready.notify_all();
+    }
+
+    fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::Acquire)
+    }
+
+    /// Current status document of one job.
+    fn status_json(&self, job: &Job) -> serde_json::Value {
+        job.with_progress(|p| {
+            let hit_rate = if p.done > 0 {
+                p.cache_hits as f64 / p.done as f64
+            } else {
+                0.0
+            };
+            let mut doc = json!({
+                "id": job.public_id(),
+                "name": job.spec.name,
+                "status": p.state.name(),
+                "total": job.total,
+                "done": p.done,
+                "cache_hits": p.cache_hits,
+                "cache_hit_rate": hit_rate,
+            });
+            if let serde_json::Value::Object(obj) = &mut doc {
+                if let Some(stats) = &p.stats {
+                    obj.insert("simulated".into(), json!(stats.simulated));
+                    obj.insert("wall_secs".into(), json!(stats.wall_secs));
+                    obj.insert("points_per_sec".into(), json!(stats.points_per_sec()));
+                }
+                if let Some(error) = &p.error {
+                    obj.insert("error".into(), json!(error));
+                }
+            }
+            doc
+        })
+    }
+}
+
+/// A bound, not-yet-running server.
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<ServerState>,
+    config: ServerConfig,
+}
+
+/// Remote control for a running [`Server`] (tests, embedders).
+#[derive(Clone)]
+pub struct ServerHandle {
+    state: Arc<ServerState>,
+    addr: std::net::SocketAddr,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// Ask the accept loop, queue workers and in-flight sweeps to
+    /// stop. Returns once the request is registered (the `run()` call
+    /// unblocks shortly after).
+    pub fn shutdown(&self) {
+        self.state.request_shutdown();
+        // Poke the accept loop out of `accept()`.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
+    }
+}
+
+impl Server {
+    /// Bind the listener and open (or create) the shared result cache.
+    pub fn bind(config: ServerConfig) -> Result<Server, ServerError> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let cache = match &config.cache_dir {
+            Some(dir) => ResultCache::open_with_workers(dir, 0)?,
+            None => ResultCache::in_memory(),
+        };
+        let state = Arc::new(ServerState {
+            cache,
+            jobs: Mutex::new(Vec::new()),
+            queue: Mutex::new(VecDeque::new()),
+            queue_ready: Condvar::new(),
+            next_id: AtomicU64::new(1),
+            shutdown: AtomicBool::new(false),
+            job_workers: config.job_workers,
+            started: Instant::now(),
+        });
+        Ok(Server {
+            listener,
+            state,
+            config,
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> Result<std::net::SocketAddr, ServerError> {
+        Ok(self.listener.local_addr()?)
+    }
+
+    /// A remote-control handle (usable from other threads).
+    pub fn handle(&self) -> Result<ServerHandle, ServerError> {
+        Ok(ServerHandle {
+            state: self.state.clone(),
+            addr: self.listener.local_addr()?,
+        })
+    }
+
+    /// Serve until [`ServerHandle::shutdown`] (or `POST /shutdown`).
+    ///
+    /// Blocks the calling thread: the accept loop runs here, queue
+    /// workers and connection handlers on scoped threads behind it.
+    pub fn run(self) -> Result<(), ServerError> {
+        let Server {
+            listener,
+            state,
+            config,
+        } = self;
+        std::thread::scope(|scope| {
+            for worker in 0..config.queue_workers.max(1) {
+                let state = &state;
+                std::thread::Builder::new()
+                    .name(format!("synapse-queue-{worker}"))
+                    .spawn_scoped(scope, move || queue_worker(state))
+                    .expect("spawn queue worker");
+            }
+            for conn in listener.incoming() {
+                if state.shutting_down() {
+                    break;
+                }
+                let Ok(stream) = conn else { continue };
+                let state = &state;
+                if std::thread::Builder::new()
+                    .name("synapse-conn".into())
+                    .spawn_scoped(scope, move || handle_connection(stream, state))
+                    .is_err()
+                {
+                    // Out of threads: shed the connection instead of
+                    // dying.
+                    continue;
+                }
+            }
+            // Scope join: waits for queue workers (which exit on the
+            // shutdown flag) and any outstanding connections (whose
+            // streams end once their jobs cancel).
+        });
+        state.cache.persist()?;
+        Ok(())
+    }
+}
+
+/// One queue worker: take jobs until shutdown.
+fn queue_worker(state: &ServerState) {
+    while let Some(job) = state.next_job() {
+        run_job(state, &job);
+    }
+}
+
+/// Sweep one job, publishing NDJSON events as points land.
+fn run_job(state: &ServerState, job: &Arc<Job>) {
+    if job.cancel.is_cancelled() {
+        // Cancelled while still queued. DELETE (or shutdown) may have
+        // settled it already — emit the terminal event only once.
+        let already_settled = job.with_progress(|p| {
+            if p.state.is_terminal() {
+                true
+            } else {
+                p.state = JobState::Cancelled;
+                false
+            }
+        });
+        if !already_settled {
+            job.push_event(
+                ndjson(&json!({"event": "cancelled", "id": job.public_id(), "done": 0, "total": job.total})),
+            );
+            job.close_events();
+        }
+        return;
+    }
+    // A DELETE may settle the job between the check above and here;
+    // transition to Running only from a non-terminal state, so a
+    // settled job is never revived (and never re-streams `started`
+    // into its closed event buffer).
+    let proceed = job.with_progress(|p| {
+        if p.state.is_terminal() {
+            false
+        } else {
+            p.state = JobState::Running;
+            true
+        }
+    });
+    if !proceed {
+        return;
+    }
+    let config = RunConfig {
+        workers: job.workers,
+    };
+    let observer = |event: PointEvent| match event {
+        PointEvent::Started { total } => {
+            job.push_event(ndjson(&json!({
+                "event": "started",
+                "id": job.public_id(),
+                "name": job.spec.name,
+                "total": total,
+            })));
+        }
+        PointEvent::PointDone {
+            result,
+            cached,
+            done,
+            total,
+        } => {
+            let abs_err_sum = job.with_progress(|p| {
+                p.done = done;
+                p.cache_hits += usize::from(cached);
+                p.abs_err_sum += result.error_pct().abs();
+                p.abs_err_sum
+            });
+            job.push_event(ndjson(&json!({
+                "event": "point",
+                "index": result.point.index,
+                "label": result.point.label(),
+                "fingerprint": result.fingerprint,
+                "tx": result.tx,
+                "app_tx": result.app_tx,
+                "error_pct": result.error_pct(),
+                "cached": cached,
+                "done": done,
+                "total": total,
+            })));
+            if done % SNAPSHOT_EVERY == 0 && done < total {
+                let (cache_hits, simulated) =
+                    job.with_progress(|p| (p.cache_hits, p.done - p.cache_hits));
+                job.push_event(ndjson(&json!({
+                    "event": "snapshot",
+                    "done": done,
+                    "total": total,
+                    "cache_hits": cache_hits,
+                    "simulated": simulated,
+                    "mean_abs_error_pct": abs_err_sum / done as f64,
+                })));
+            }
+        }
+        // Terminal events are published below, where the report and
+        // final state are in hand.
+        PointEvent::Finished { .. } | PointEvent::Cancelled { .. } => {}
+    };
+
+    let outcome = run_campaign_on(&job.spec, &config, &state.cache, &observer, &job.cancel);
+    match outcome {
+        Ok(outcome) => {
+            let stats = outcome.stats;
+            job.set_report(outcome.report);
+            job.with_progress(|p| {
+                p.state = JobState::Completed;
+                p.stats = Some(stats);
+            });
+            job.push_event(ndjson(&json!({
+                "event": "completed",
+                "id": job.public_id(),
+                "name": job.spec.name,
+                "points": stats.points,
+                "simulated": stats.simulated,
+                "cache_hits": stats.cache_hits,
+                "cache_hit_rate": stats.hit_rate(),
+                "wall_secs": stats.wall_secs,
+                "points_per_sec": stats.points_per_sec(),
+            })));
+        }
+        Err(CampaignError::Cancelled { done, total }) => {
+            job.with_progress(|p| p.state = JobState::Cancelled);
+            // A DELETE racing the queue pop may have settled the job
+            // (and closed its stream) already; don't emit twice.
+            if !job.events_closed() {
+                job.push_event(ndjson(&json!({
+                    "event": "cancelled",
+                    "id": job.public_id(),
+                    "done": done,
+                    "total": total,
+                })));
+            }
+        }
+        Err(e) => {
+            let message = e.to_string();
+            job.with_progress(|p| {
+                p.state = JobState::Failed;
+                p.error = Some(message.clone());
+            });
+            job.push_event(ndjson(
+                &json!({"event": "failed", "id": job.public_id(), "error": message}),
+            ));
+        }
+    }
+    job.close_events();
+}
+
+/// Serve one connection: parse a request, route it, close.
+fn handle_connection(stream: TcpStream, state: &ServerState) {
+    let peer_closed_is_fine = (|| -> std::io::Result<()> {
+        // Bound both directions: a client that connects and never
+        // sends, or a watcher that stops reading its stream, must not
+        // pin this thread forever (shutdown joins every connection
+        // thread).
+        stream.set_read_timeout(Some(SOCKET_TIMEOUT))?;
+        stream.set_write_timeout(Some(SOCKET_TIMEOUT))?;
+        let mut reader = BufReader::new(stream.try_clone()?);
+        let mut writer = stream;
+        match http::read_request(&mut reader) {
+            Ok(request) => route(&request, &mut writer, state),
+            Err(HttpError::Closed) => Ok(()), // health probes, port scans
+            Err(e) => {
+                let (status, reason) = e.status();
+                http::write_json(
+                    &mut writer,
+                    status,
+                    reason,
+                    &json!({"error": e.to_string()}),
+                )
+            }
+        }
+    })();
+    // A client hanging up mid-stream is routine, not a server error.
+    let _ = peer_closed_is_fine;
+}
+
+/// Dispatch one parsed request.
+fn route(request: &Request, out: &mut TcpStream, state: &ServerState) -> std::io::Result<()> {
+    let path = request.path().trim_end_matches('/').to_string();
+    let segments: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
+    match (request.method.as_str(), segments.as_slice()) {
+        ("GET", ["healthz"]) => {
+            let (jobs, queued, running) = {
+                let jobs = state.jobs.lock().expect("jobs lock");
+                let queued = jobs
+                    .iter()
+                    .filter(|j| j.state() == JobState::Queued)
+                    .count();
+                let running = jobs
+                    .iter()
+                    .filter(|j| j.state() == JobState::Running)
+                    .count();
+                (jobs.len(), queued, running)
+            };
+            http::write_json(
+                out,
+                200,
+                "OK",
+                &json!({
+                    "status": "ok",
+                    "uptime_secs": state.started.elapsed().as_secs_f64(),
+                    "jobs": jobs,
+                    "queued": queued,
+                    "running": running,
+                }),
+            )
+        }
+        ("GET", ["store", "stats"]) => {
+            let stats = state.cache.stats();
+            http::write_json(
+                out,
+                200,
+                "OK",
+                &json!({
+                    "results": stats.docs,
+                    "data_files": stats.data_files,
+                    "occupied_shards": stats.occupied_shards,
+                    "shard_count": synapse_store::SHARD_COUNT,
+                    "dirty_shards": stats.dirty_shards,
+                    "bytes_on_disk": stats.bytes_on_disk,
+                    "engine": stats.engine,
+                }),
+            )
+        }
+        ("POST", ["campaigns"]) => submit_campaign(request, out, state),
+        ("GET", ["campaigns"]) => {
+            let listing: Vec<serde_json::Value> = state
+                .jobs
+                .lock()
+                .expect("jobs lock")
+                .iter()
+                .map(|j| state.status_json(j))
+                .collect();
+            http::write_json(out, 200, "OK", &json!({"campaigns": listing}))
+        }
+        ("GET", ["campaigns", id]) => match state.job(id) {
+            Some(job) => http::write_json(out, 200, "OK", &state.status_json(&job)),
+            None => not_found(out, id),
+        },
+        ("GET", ["campaigns", id, "report"]) => match state.job(id) {
+            Some(job) => match job.report_json() {
+                Some(body) => {
+                    http::write_response(out, 200, "OK", "application/json", body.as_bytes())
+                }
+                None => http::write_json(
+                    out,
+                    409,
+                    "Conflict",
+                    &json!({
+                        "error": format!("campaign {id} is {}, report not available",
+                                          job.state().name()),
+                    }),
+                ),
+            },
+            None => not_found(out, id),
+        },
+        ("GET", ["campaigns", id, "events"]) => match state.job(id) {
+            Some(job) => stream_events(&job, out),
+            None => not_found(out, id),
+        },
+        ("DELETE", ["campaigns", id]) => match state.job(id) {
+            Some(job) => {
+                // A queued job never reaches a worker's cancelled
+                // check promptly; settle it here so DELETE is
+                // immediate for work that never started. (The queue
+                // worker re-checks and skips settled jobs; a running
+                // job just gets its token cancelled.)
+                job.settle_if_queued();
+                http::write_json(out, 200, "OK", &state.status_json(&job))
+            }
+            None => not_found(out, id),
+        },
+        ("POST", ["shutdown"]) => {
+            let reply = http::write_json(out, 200, "OK", &json!({"status": "shutting down"}));
+            state.request_shutdown();
+            // Unblock our own accept loop.
+            if let Ok(addr) = out.local_addr() {
+                let _ = TcpStream::connect_timeout(&addr, Duration::from_secs(1));
+            }
+            reply
+        }
+        (_, ["healthz" | "shutdown"]) | (_, ["store", "stats"]) | (_, ["campaigns", ..]) => {
+            http::write_json(
+                out,
+                405,
+                "Method Not Allowed",
+                &json!({"error": format!("{} not allowed on {}", request.method, path)}),
+            )
+        }
+        _ => http::write_json(
+            out,
+            404,
+            "Not Found",
+            &json!({"error": format!("no such endpoint {path:?}")}),
+        ),
+    }
+}
+
+fn not_found(out: &mut TcpStream, id: &str) -> std::io::Result<()> {
+    http::write_json(
+        out,
+        404,
+        "Not Found",
+        &json!({"error": format!("no such campaign {id:?}")}),
+    )
+}
+
+/// `POST /campaigns`: parse a TOML or JSON spec, enqueue a job.
+fn submit_campaign(
+    request: &Request,
+    out: &mut TcpStream,
+    state: &ServerState,
+) -> std::io::Result<()> {
+    if state.shutting_down() {
+        return http::write_json(
+            out,
+            503,
+            "Service Unavailable",
+            &json!({"error": "server is shutting down"}),
+        );
+    }
+    let Ok(text) = std::str::from_utf8(&request.body) else {
+        return http::write_json(
+            out,
+            400,
+            "Bad Request",
+            &json!({"error": "spec body is not UTF-8"}),
+        );
+    };
+    // Dispatch on declared content type, falling back to sniffing:
+    // JSON specs start with '{'.
+    let content_type = request.header("content-type").unwrap_or("");
+    let parsed = if content_type.contains("json") || text.trim_start().starts_with('{') {
+        CampaignSpec::from_json(text)
+    } else {
+        CampaignSpec::from_toml(text)
+    };
+    match parsed {
+        Ok(spec) => {
+            let job = state.submit(spec);
+            http::write_json(
+                out,
+                202,
+                "Accepted",
+                &json!({
+                    "id": job.public_id(),
+                    "name": job.spec.name,
+                    "status": job.state().name(),
+                    "points": job.total,
+                }),
+            )
+        }
+        Err(e) => http::write_json(
+            out,
+            400,
+            "Bad Request",
+            &json!({"error": format!("invalid campaign spec: {e}")}),
+        ),
+    }
+}
+
+/// `GET /campaigns/<id>/events`: replay the buffered NDJSON lines,
+/// then follow live until the job reaches a terminal state.
+fn stream_events(job: &Arc<Job>, out: &mut TcpStream) -> std::io::Result<()> {
+    let mut writer = ChunkedWriter::start(&mut *out, "application/x-ndjson")?;
+    let mut cursor = 0usize;
+    let mut last_write = Instant::now();
+    loop {
+        let (lines, closed) = job.events_since(cursor, Duration::from_millis(200));
+        cursor += lines.len();
+        for line in &lines {
+            let mut framed = Vec::with_capacity(line.len() + 1);
+            framed.extend_from_slice(line.as_bytes());
+            framed.push(b'\n');
+            // A send failure means the watcher hung up; stop quietly.
+            writer.chunk(&framed)?;
+        }
+        if !lines.is_empty() {
+            last_write = Instant::now();
+        }
+        if closed && lines.is_empty() {
+            break;
+        }
+        // A legitimately quiet stream (job queued behind a long sweep)
+        // still pulses, so clients can bound their read timeouts and
+        // detect a dead server; the client filters these out.
+        if last_write.elapsed() >= HEARTBEAT_EVERY {
+            writer.chunk(b"{\"event\":\"heartbeat\"}\n")?;
+            last_write = Instant::now();
+        }
+        // On shutdown the job is cancelled and settled elsewhere; the
+        // next drain pass picks up its terminal event and `closed`
+        // ends the loop — no special case needed here.
+    }
+    writer.finish()
+}

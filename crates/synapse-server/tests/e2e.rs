@@ -1,0 +1,406 @@
+//! End-to-end tests: a real server on an ephemeral port, driven
+//! through the real client over real sockets.
+
+use std::path::PathBuf;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use serde_json::Value;
+use synapse_server::{Client, Server, ServerConfig, ServerHandle};
+
+/// Boot a server with the given config (addr forced ephemeral),
+/// returning a client bound to it and the shutdown handle.
+fn boot(mut config: ServerConfig) -> (Client, ServerHandle, std::thread::JoinHandle<()>) {
+    config.addr = "127.0.0.1:0".into();
+    let server = Server::bind(config).expect("bind ephemeral");
+    let handle = server.handle().expect("handle");
+    let addr = server.local_addr().expect("addr");
+    let join = std::thread::spawn(move || server.run().expect("server run"));
+    (Client::new(addr.to_string()), handle, join)
+}
+
+fn example_spec() -> String {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../examples/campaign.toml");
+    std::fs::read_to_string(path).expect("examples/campaign.toml readable")
+}
+
+/// A small sweep for the fast tests.
+fn small_spec() -> &'static str {
+    r#"
+    name = "e2e-small"
+    seed = 41
+    machines = ["thinkie", "comet"]
+    kernels = ["asm", "c"]
+
+    [[workloads]]
+    app = "gromacs"
+    steps = [10000, 50000]
+    "#
+}
+
+/// Wait until the job reaches a terminal status, returning it.
+fn await_terminal(client: &Client, id: &str) -> Value {
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let status = client.status(id).expect("status");
+        let state = status["status"]
+            .as_str()
+            .expect("status string")
+            .to_string();
+        if ["completed", "cancelled", "failed"].contains(&state.as_str()) {
+            return status;
+        }
+        assert!(Instant::now() < deadline, "job {id} stuck in {state}");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+#[test]
+fn healthz_and_store_stats_respond() {
+    let (client, handle, join) = boot(ServerConfig::default());
+    let health = client.healthz().unwrap();
+    assert_eq!(health["status"].as_str(), Some("ok"));
+    assert_eq!(health["jobs"].as_u64(), Some(0));
+    let stats = client.store_stats().unwrap();
+    assert_eq!(stats["results"].as_u64(), Some(0));
+    // In-memory stores carry no manifest engine tag; the field is
+    // present either way.
+    assert!(stats["engine"].as_str().is_some());
+    handle.shutdown();
+    join.join().unwrap();
+}
+
+#[test]
+fn example_campaign_streams_every_point_and_summary_is_byte_stable() {
+    let (client, handle, join) = boot(ServerConfig::default());
+
+    let reply = client.submit(&example_spec()).unwrap();
+    let id = reply["id"].as_str().unwrap().to_string();
+    let total = reply["points"].as_u64().unwrap() as usize;
+    assert_eq!(total, 192, "examples/campaign.toml grid size");
+
+    // Consume the stream: exactly one `point` event per grid point,
+    // lifecycle events around them, every grid index exactly once.
+    let lines = Mutex::new(Vec::<Value>::new());
+    let summary = client
+        .watch(&id, |line| {
+            lines
+                .lock()
+                .unwrap()
+                .push(serde_json::from_str::<Value>(line).expect("event is JSON"));
+            true
+        })
+        .unwrap();
+    assert_eq!(summary["event"].as_str(), Some("completed"));
+    assert_eq!(summary["points"].as_u64(), Some(192));
+    assert_eq!(summary["simulated"].as_u64(), Some(192));
+
+    let lines = lines.into_inner().unwrap();
+    let points: Vec<&Value> = lines
+        .iter()
+        .filter(|l| l["event"].as_str() == Some("point"))
+        .collect();
+    assert_eq!(points.len(), total, "one point event per grid point");
+    let mut indices: Vec<u64> = points
+        .iter()
+        .map(|p| p["index"].as_u64().unwrap())
+        .collect();
+    indices.sort_unstable();
+    assert_eq!(indices, (0..total as u64).collect::<Vec<_>>());
+    assert!(
+        lines
+            .iter()
+            .any(|l| l["event"].as_str() == Some("snapshot")),
+        "192-point sweep crosses the snapshot cadence"
+    );
+    // `done` in arrival order is 1..=N: events streamed as they
+    // landed, not replayed from a completed job.
+    let dones: Vec<u64> = points.iter().map(|p| p["done"].as_u64().unwrap()).collect();
+    assert_eq!(dones, (1..=total as u64).collect::<Vec<_>>());
+
+    // Byte-stable report for a fixed seed: an identical submission on
+    // a *fresh* server (fresh cache, different completion order)
+    // serializes to the identical report.
+    let report_a = client.report(&id).unwrap();
+    let text_a = serde_json::to_string(&report_a).unwrap();
+    let (client_b, handle_b, join_b) = boot(ServerConfig::default());
+    let reply_b = client_b.submit(&example_spec()).unwrap();
+    let id_b = reply_b["id"].as_str().unwrap().to_string();
+    client_b.watch(&id_b, |_| true).unwrap();
+    let text_b = serde_json::to_string(&client_b.report(&id_b).unwrap()).unwrap();
+    assert_eq!(text_a, text_b, "deterministic report across servers");
+    handle_b.shutdown();
+    join_b.join().unwrap();
+
+    handle.shutdown();
+    join.join().unwrap();
+}
+
+#[test]
+fn resubmitting_an_identical_spec_is_all_cache_hits() {
+    let (client, handle, join) = boot(ServerConfig::default());
+    let first = client.submit(small_spec()).unwrap();
+    let id1 = first["id"].as_str().unwrap().to_string();
+    let summary1 = client.watch(&id1, |_| true).unwrap();
+    assert_eq!(summary1["cache_hit_rate"].as_f64(), Some(0.0));
+
+    let second = client.submit(small_spec()).unwrap();
+    let id2 = second["id"].as_str().unwrap().to_string();
+    assert_ne!(id1, id2, "every submission is its own job");
+    let summary2 = client.watch(&id2, |_| true).unwrap();
+    assert_eq!(
+        summary2["cache_hit_rate"].as_f64(),
+        Some(1.0),
+        "identical spec served entirely from the shared cache: {summary2:?}"
+    );
+    assert_eq!(summary2["simulated"].as_u64(), Some(0));
+
+    // The status document agrees.
+    let status = await_terminal(&client, &id2);
+    assert_eq!(status["cache_hit_rate"].as_f64(), Some(1.0));
+    // And the process-wide store holds exactly one copy of the grid.
+    let stats = client.store_stats().unwrap();
+    assert_eq!(stats["results"].as_u64(), Some(8));
+    handle.shutdown();
+    join.join().unwrap();
+}
+
+#[test]
+fn concurrent_jobs_share_one_cache_handle() {
+    // Two identical submissions racing on a 2-worker queue: together
+    // they must simulate at most the grid once per point — every
+    // overlap is a hit on the shared in-process cache. (Both jobs
+    // running concurrently is the configuration under test; the
+    // assertion below holds regardless of interleaving.)
+    let (client, handle, join) = boot(ServerConfig {
+        queue_workers: 2,
+        job_workers: 2,
+        ..Default::default()
+    });
+    let a = client.submit(small_spec()).unwrap();
+    let b = client.submit(small_spec()).unwrap();
+    let id_a = a["id"].as_str().unwrap().to_string();
+    let id_b = b["id"].as_str().unwrap().to_string();
+    let sa = await_terminal(&client, &id_a);
+    let sb = await_terminal(&client, &id_b);
+    assert_eq!(sa["status"].as_str(), Some("completed"));
+    assert_eq!(sb["status"].as_str(), Some("completed"));
+    let done_a = sa["done"].as_u64().unwrap();
+    let done_b = sb["done"].as_u64().unwrap();
+    assert_eq!(done_a + done_b, 16, "both jobs drained their grids");
+    // The cache ends up with one entry per distinct point.
+    let stats = client.store_stats().unwrap();
+    assert_eq!(stats["results"].as_u64(), Some(8));
+    handle.shutdown();
+    join.join().unwrap();
+}
+
+#[test]
+fn cancellation_stops_a_running_job_mid_grid() {
+    // A wide grid on a single slow worker, cancelled as soon as the
+    // first points land.
+    let wide = r#"
+    name = "e2e-cancel"
+    seed = 5
+    machines = ["thinkie", "stampede", "archer", "supermic", "comet", "titan"]
+    kernels = ["asm", "c", "spin"]
+    modes = ["openmp", "mpi"]
+    threads = [1, 2, 4, 8]
+
+    [[workloads]]
+    app = "gromacs"
+    steps = [10000, 50000, 100000, 200000]
+
+    [[workloads]]
+    app = "amber"
+    steps = [10000, 50000, 100000, 200000]
+    "#;
+    let (client, handle, join) = boot(ServerConfig {
+        queue_workers: 1,
+        job_workers: 1,
+        ..Default::default()
+    });
+    let reply = client.submit(wide).unwrap();
+    let id = reply["id"].as_str().unwrap().to_string();
+    let total = reply["points"].as_u64().unwrap();
+    assert_eq!(total, 6 * 3 * 2 * 4 * 8);
+
+    // Wait for the sweep to actually start landing points…
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let status = client.status(&id).unwrap();
+        if status["done"].as_u64().unwrap() >= 1 {
+            break;
+        }
+        assert!(Instant::now() < deadline, "no point ever landed");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    // …then cancel and confirm the job settles well short of the grid.
+    let on_delete = client.cancel(&id).unwrap();
+    assert!(["running", "cancelled"].contains(&on_delete["status"].as_str().unwrap()));
+    let status = await_terminal(&client, &id);
+    assert_eq!(status["status"].as_str(), Some("cancelled"));
+    let done = status["done"].as_u64().unwrap();
+    assert!(done < total, "cancelled mid-grid: {done}/{total}");
+    // The stream of a cancelled job terminates with a cancelled event.
+    let last = client.watch(&id, |_| true).unwrap();
+    assert_eq!(last["event"].as_str(), Some("cancelled"));
+    assert_eq!(last["done"].as_u64(), Some(done));
+    // The report never materialized.
+    let err = client.report(&id).unwrap_err();
+    assert!(err.to_string().contains("409"), "{err}");
+    handle.shutdown();
+    join.join().unwrap();
+}
+
+#[test]
+fn cancelling_a_queued_job_settles_immediately() {
+    // One queue worker busy with a long job; a second job queued
+    // behind it is DELETEd before it ever runs.
+    let (client, handle, join) = boot(ServerConfig {
+        queue_workers: 1,
+        job_workers: 1,
+        ..Default::default()
+    });
+    let busy = client.submit(&example_spec()).unwrap();
+    let queued = client.submit(small_spec()).unwrap();
+    let queued_id = queued["id"].as_str().unwrap().to_string();
+    let settled = client.cancel(&queued_id).unwrap();
+    assert_eq!(settled["status"].as_str(), Some("cancelled"));
+    assert_eq!(settled["done"].as_u64(), Some(0));
+    let last = client.watch(&queued_id, |_| true).unwrap();
+    assert_eq!(last["event"].as_str(), Some("cancelled"));
+    // The busy job is unaffected.
+    let busy_id = busy["id"].as_str().unwrap().to_string();
+    let status = await_terminal(&client, &busy_id);
+    assert_eq!(status["status"].as_str(), Some("completed"));
+    handle.shutdown();
+    join.join().unwrap();
+}
+
+#[test]
+fn watch_callback_can_hang_up_early() {
+    let (client, handle, join) = boot(ServerConfig::default());
+    let id = client.submit(&example_spec()).unwrap()["id"]
+        .as_str()
+        .unwrap()
+        .to_string();
+    // Stop after the first `point` event: watch must return promptly
+    // with that event instead of draining the remaining grid.
+    let mut seen = 0;
+    let last = client
+        .watch(&id, |line| {
+            if line.contains("\"event\":\"point\"") {
+                seen += 1;
+                return false;
+            }
+            true
+        })
+        .unwrap();
+    assert_eq!(seen, 1, "exactly one point consumed");
+    assert_eq!(last["event"].as_str(), Some("point"));
+    // The job itself is unaffected and runs to completion.
+    let status = await_terminal(&client, &id);
+    assert_eq!(status["status"].as_str(), Some("completed"));
+    handle.shutdown();
+    join.join().unwrap();
+}
+
+#[test]
+fn malformed_submissions_get_4xx_not_jobs() {
+    let (client, handle, join) = boot(ServerConfig::default());
+    for (label, body) in [
+        ("bad TOML", "name = \"x\"\nmachines = [unterminated"),
+        ("bad JSON", "{\"name\": \"x\", \"machines\":"),
+        ("unknown machine", "name = \"x\"\nmachines = [\"frontier\"]\nkernels = [\"asm\"]\n\n[[workloads]]\napp = \"gromacs\"\nsteps = [1000]\n"),
+        ("unknown fs", "name = \"x\"\nfilesystems = [\"gpfs\"]\nmachines = [\"thinkie\"]\nkernels = [\"asm\"]\n\n[[workloads]]\napp = \"gromacs\"\nsteps = [1000]\n"),
+        ("empty axis", "name = \"x\"\nmachines = [\"thinkie\"]\nkernels = []\n\n[[workloads]]\napp = \"gromacs\"\nsteps = [1000]\n"),
+    ] {
+        let err = client.submit(body).unwrap_err();
+        assert!(
+            err.to_string().contains("400"),
+            "{label}: expected 400, got {err}"
+        );
+    }
+    // Nothing leaked into the job table.
+    let health = client.healthz().unwrap();
+    assert_eq!(health["jobs"].as_u64(), Some(0));
+
+    // Unknown endpoints and wrong methods are 404/405, not hangs.
+    let missing = client.status("j999").unwrap_err();
+    assert!(missing.to_string().contains("404"), "{missing}");
+    handle.shutdown();
+    join.join().unwrap();
+}
+
+#[test]
+fn fs_and_atom_axes_are_submittable_over_the_wire() {
+    let spec = r#"
+    name = "e2e-axes"
+    seed = 9
+    machines = ["titan"]
+    kernels = ["asm"]
+    filesystems = ["default", "local"]
+    atoms = ["all", "no-storage"]
+
+    [[workloads]]
+    app = "gromacs"
+    steps = [10000]
+    "#;
+    let (client, handle, join) = boot(ServerConfig::default());
+    let reply = client.submit(spec).unwrap();
+    assert_eq!(reply["points"].as_u64(), Some(4), "2 fs × 2 atom sets");
+    let id = reply["id"].as_str().unwrap().to_string();
+    let summary = client.watch(&id, |_| true).unwrap();
+    assert_eq!(summary["event"].as_str(), Some("completed"));
+    let report = client.report(&id).unwrap();
+    let rows = report["results"].as_array().unwrap();
+    assert_eq!(rows.len(), 4);
+    let atoms: Vec<&str> = rows.iter().map(|r| r["atoms"].as_str().unwrap()).collect();
+    assert!(atoms.contains(&"no-storage"));
+    handle.shutdown();
+    join.join().unwrap();
+}
+
+#[test]
+fn persistent_cache_dir_survives_server_restarts() {
+    let dir = std::env::temp_dir().join(format!("synapse-server-e2e-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let config = || ServerConfig {
+        cache_dir: Some(dir.clone()),
+        ..Default::default()
+    };
+    let (client, handle, join) = boot(config());
+    let id = client.submit(small_spec()).unwrap()["id"]
+        .as_str()
+        .unwrap()
+        .to_string();
+    let summary = client.watch(&id, |_| true).unwrap();
+    assert_eq!(summary["simulated"].as_u64(), Some(8));
+    handle.shutdown();
+    join.join().unwrap();
+
+    // A new process-analogue (fresh server, same dir) serves the same
+    // spec without simulating anything.
+    let (client2, handle2, join2) = boot(config());
+    let id2 = client2.submit(small_spec()).unwrap()["id"]
+        .as_str()
+        .unwrap()
+        .to_string();
+    let summary2 = client2.watch(&id2, |_| true).unwrap();
+    assert_eq!(summary2["cache_hit_rate"].as_f64(), Some(1.0));
+    assert_eq!(summary2["simulated"].as_u64(), Some(0));
+    handle2.shutdown();
+    join2.join().unwrap();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn shutdown_endpoint_stops_the_server() {
+    let (client, _handle, join) = boot(ServerConfig::default());
+    client.shutdown().unwrap();
+    // run() returns; subsequent requests fail to connect or are
+    // refused.
+    join.join().unwrap();
+    assert!(client.healthz().is_err());
+}

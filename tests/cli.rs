@@ -217,6 +217,120 @@ fn mpi_mode_without_worker_degrades_to_threads() {
 }
 
 #[test]
+fn campaign_plan_covers_the_ablation_example() {
+    let spec = concat!(env!("CARGO_MANIFEST_DIR"), "/examples/ablation.toml");
+    let Some((code, stdout, stderr)) = run_cli(&["campaign", "plan", spec]) else {
+        eprintln!("synapse binary not built; skipping");
+        return;
+    };
+    assert_eq!(code, 0, "campaign plan failed: {stderr}");
+    assert!(stdout.contains("36 points"), "{stdout}");
+    assert!(stdout.contains("3 filesystems"), "{stdout}");
+    assert!(stdout.contains("3 atom sets"), "{stdout}");
+    assert!(
+        stdout.contains("fs=local") || stdout.contains("fs=default"),
+        "{stdout}"
+    );
+}
+
+#[test]
+fn serve_submit_watch_cancel_shutdown_through_the_binary() {
+    // The full client/server loop against the real `synapse serve`
+    // process: submit --watch streams NDJSON, an identical
+    // resubmission is all cache hits, and POST /shutdown ends the
+    // process cleanly (exit 0, no leak).
+    let Some(bin) = cli_binary() else {
+        eprintln!("synapse binary not built; skipping");
+        return;
+    };
+    let dir = std::env::temp_dir().join(format!("synapse-it-serve-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let spec_path = dir.join("sweep.toml");
+    std::fs::write(
+        &spec_path,
+        r#"
+        name = "it-serve"
+        seed = 3
+        machines = ["thinkie", "comet"]
+        kernels = ["asm", "c"]
+        atoms = ["all", "no-storage"]
+
+        [[workloads]]
+        app = "gromacs"
+        steps = [10000]
+        "#,
+    )
+    .unwrap();
+
+    let mut child = Command::new(&bin)
+        .args([
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--cache",
+            dir.join("cache").to_str().unwrap(),
+        ])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn synapse serve");
+    // The first stdout line announces the bound (ephemeral) address.
+    // Keep the reader (and with it the pipe) alive until the process
+    // exits — the server writes a farewell line on shutdown.
+    use std::io::{BufRead, BufReader};
+    let mut serve_stdout = BufReader::new(child.stdout.take().expect("child stdout"));
+    let addr = {
+        let mut line = String::new();
+        serve_stdout.read_line(&mut line).unwrap();
+        assert!(line.contains("listening on"), "{line}");
+        line.split_whitespace()
+            .find(|w| w.contains(':'))
+            .expect("address in banner")
+            .to_string()
+    };
+
+    let submit = |expect_hit_rate: f64| {
+        let (code, stdout, stderr) = run_cli(&[
+            "campaign",
+            "submit",
+            spec_path.to_str().unwrap(),
+            "--server",
+            &addr,
+            "--watch",
+        ])
+        .unwrap();
+        assert_eq!(code, 0, "submit --watch failed: {stderr}");
+        let last = stdout.lines().last().unwrap();
+        let summary: serde_json::Value = serde_json::from_str(last).unwrap();
+        assert_eq!(summary["event"].as_str(), Some("completed"), "{stdout}");
+        assert_eq!(summary["points"].as_u64(), Some(8));
+        assert_eq!(summary["cache_hit_rate"].as_f64(), Some(expect_hit_rate));
+        let streamed_points = stdout
+            .lines()
+            .filter(|l| l.contains("\"event\":\"point\""))
+            .count();
+        assert_eq!(streamed_points, 8, "{stdout}");
+    };
+    submit(0.0);
+    submit(1.0);
+
+    // Cancel against a finished job echoes its terminal status.
+    let (code, stdout, _) = run_cli(&["campaign", "status", "--server", &addr]).unwrap();
+    assert_eq!(code, 0);
+    let listing: serde_json::Value = serde_json::from_str(stdout.trim()).unwrap();
+    assert_eq!(listing["campaigns"].as_array().unwrap().len(), 2);
+
+    // Graceful shutdown: the serve process exits 0.
+    synapse_server::Client::new(addr).shutdown().unwrap();
+    let status = child.wait().expect("serve exits");
+    assert!(status.success(), "serve exited with {status}");
+    let mut farewell = String::new();
+    serve_stdout.read_line(&mut farewell).unwrap();
+    assert!(farewell.contains("shut down"), "{farewell}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
 fn campaign_run_sweeps_and_memoizes_through_the_binary() {
     // The acceptance sweep: examples/campaign.toml expands to ≥100
     // points across ≥3 machines × ≥2 kernels; a second run must serve
