@@ -1,6 +1,7 @@
-//! Campaign throughput benchmark: points/sec for expansion, cache
-//! lookup, simulation and aggregation. Writes `BENCH_campaign.json`
-//! (override with `--out PATH`) and prints the document to stdout.
+//! Campaign throughput benchmark: points/sec for the pipeline stages
+//! (expansion, cache lookup, simulation, aggregation, serve, cluster).
+//! Writes `BENCH_campaign.json` (override with `--out PATH`) and
+//! prints the document to stdout.
 
 fn main() {
     let mut out = String::from("BENCH_campaign.json");

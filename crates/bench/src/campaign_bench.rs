@@ -13,7 +13,11 @@
 //! * **serve_throughput** — the same warm sweep submitted to an
 //!   in-process `synapse serve` over real sockets and consumed from
 //!   its NDJSON event stream, so the HTTP + queue + streaming overhead
-//!   is tracked against the direct `cache_lookup` rate from day one.
+//!   is tracked against the direct `cache_lookup` rate from day one;
+//! * **cluster_throughput** — the same warm sweep submitted
+//!   `?cluster=1` to a coordinator fanning leases out over two local
+//!   worker servers, so the lease/merge overhead of distributed
+//!   execution is tracked against `serve_throughput`.
 //!
 //! Each stage repeats until a minimum wall-clock budget is consumed,
 //! so a single fast iteration cannot produce a garbage rate. `run()`
@@ -149,6 +153,7 @@ pub fn stage_rates() -> Vec<StageRate> {
     });
 
     let serve_throughput = measure_serve(&sim_spec);
+    let cluster_throughput = measure_cluster(&sim_spec);
 
     vec![
         expansion,
@@ -156,6 +161,7 @@ pub fn stage_rates() -> Vec<StageRate> {
         simulation,
         aggregation,
         serve_throughput,
+        cluster_throughput,
     ]
 }
 
@@ -190,6 +196,77 @@ fn measure_serve(spec: &CampaignSpec) -> StageRate {
 
     handle.shutdown();
     join.join().expect("bench server thread");
+    rate
+}
+
+/// Submitted-points/sec through the distributed path: a coordinator
+/// plus two local worker servers, the bench spec submitted
+/// `?cluster=1`, leases fanned out over real sockets and the merged
+/// stream drained to completion. Workers pre-warm on the full spec so
+/// the measured iterations isolate lease/merge overhead (compare
+/// against `serve_throughput`, whose single process skips the
+/// fan-out).
+fn measure_cluster(spec: &synapse_campaign::CampaignSpec) -> StageRate {
+    let spec_json = serde_json::to_string(spec).expect("bench spec serializes");
+    let mut workers = Vec::new();
+    let mut worker_addrs = Vec::new();
+    for _ in 0..2 {
+        let server = synapse_server::Server::bind(synapse_server::ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            ..Default::default()
+        })
+        .expect("bind bench worker");
+        let addr = server.local_addr().expect("bench worker addr").to_string();
+        let handle = server.handle().expect("bench worker handle");
+        let join = std::thread::spawn(move || server.run().expect("bench worker run"));
+        // Pre-warm: every lease is a cache hit no matter which worker
+        // claims it.
+        let client = synapse_server::Client::new(addr.clone());
+        let reply = client.submit(&spec_json).expect("bench warm submit");
+        let id = reply["id"].as_str().expect("job id").to_string();
+        client.watch(&id, |_| true).expect("bench warm watch");
+        worker_addrs.push(addr);
+        workers.push((handle, join));
+    }
+
+    let coordinator = std::sync::Arc::new(synapse_cluster::Coordinator::new(
+        synapse_cluster::ClusterConfig::default(),
+    ));
+    for addr in &worker_addrs {
+        coordinator.registry().register(addr);
+    }
+    let server = synapse_server::Server::bind(synapse_server::ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        ..Default::default()
+    })
+    .expect("bind bench coordinator")
+    .with_cluster(coordinator);
+    let addr = server
+        .local_addr()
+        .expect("bench coordinator addr")
+        .to_string();
+    let handle = server.handle().expect("bench coordinator handle");
+    let join = std::thread::spawn(move || server.run().expect("bench coordinator run"));
+    let client = synapse_server::Client::new(addr);
+
+    let submit_and_drain = || {
+        let reply = client
+            .submit_distributed(&spec_json)
+            .expect("bench cluster submit");
+        let id = reply["id"].as_str().expect("job id").to_string();
+        let summary = client.watch(&id, |_| true).expect("bench cluster watch");
+        assert_eq!(summary["event"].as_str(), Some("completed"));
+        summary["points"].as_u64().expect("points") as usize
+    };
+    submit_and_drain(); // untimed warm-up of the distributed path
+    let rate = measure("cluster_throughput", submit_and_drain);
+
+    handle.shutdown();
+    join.join().expect("bench coordinator thread");
+    for (handle, join) in workers {
+        handle.shutdown();
+        join.join().expect("bench worker thread");
+    }
     rate
 }
 
@@ -240,7 +317,7 @@ mod tests {
     }
 
     #[test]
-    fn bench_document_has_all_five_nonzero_stages() {
+    fn bench_document_has_all_six_nonzero_stages() {
         let doc: serde_json::Value = serde_json::from_str(&run()).unwrap();
         let stages = doc["stages"].as_array().unwrap();
         let names: Vec<&str> = stages
@@ -254,7 +331,8 @@ mod tests {
                 "cache_lookup",
                 "simulation",
                 "aggregation",
-                "serve_throughput"
+                "serve_throughput",
+                "cluster_throughput"
             ]
         );
         for s in stages {

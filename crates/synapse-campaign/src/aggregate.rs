@@ -77,13 +77,14 @@ type AxisKeyFn = fn(&PointResult) -> String;
 /// Slice results along every axis: one [`AxisSlice`] per axis value,
 /// sorted by `(axis, value)` for deterministic reports.
 pub fn axis_slices(results: &[PointResult]) -> Vec<AxisSlice> {
-    let axes: [(&str, AxisKeyFn); 10] = [
+    let axes: [(&str, AxisKeyFn); 11] = [
         ("atoms", |r| r.point.atoms.clone()),
         ("fs", |r| r.point.fs.clone()),
         ("io_block", |r| r.point.io_block.to_string()),
         ("kernel", |r| r.point.kernel.clone()),
         ("machine", |r| r.point.machine.clone()),
         ("mode", |r| r.point.mode.clone()),
+        ("sample_order", |r| r.point.sample_order.clone()),
         ("sample_rate", |r| format!("{}", r.point.sample_rate)),
         ("steps", |r| r.point.steps.to_string()),
         ("threads", |r| r.point.threads.to_string()),
@@ -130,7 +131,7 @@ pub fn reference_errors(results: &[PointResult], reference: &str) -> Vec<Referen
     // Key a point by every axis except the machine.
     let key_of = |r: &PointResult| {
         format!(
-            "{}|{}|{}|{}|{}|{}|{}|{}|{}",
+            "{}|{}|{}|{}|{}|{}|{}|{}|{}|{}",
             r.point.workload,
             r.point.steps,
             r.point.kernel,
@@ -140,6 +141,7 @@ pub fn reference_errors(results: &[PointResult], reference: &str) -> Vec<Referen
             r.point.sample_rate,
             r.point.fs,
             r.point.atoms,
+            r.point.sample_order,
         )
     };
     let mut ref_tx: BTreeMap<String, f64> = BTreeMap::new();

@@ -30,7 +30,11 @@ use crate::runner::PointResult;
 ///
 /// v3: [`ScenarioPoint`] gained the `fs` and `atoms` axes, changing
 /// every point's canonical JSON (and therefore every fingerprint).
-pub const ENGINE_VERSION: u32 = 3;
+///
+/// v4: the `sample_order` ablation (Fig. 2) became a grid axis — a new
+/// `ScenarioPoint` field and a new term in the per-point seed
+/// derivation, so every fingerprint changed again.
+pub const ENGINE_VERSION: u32 = 4;
 
 /// File name of the pre-sharded, single-file cache layout.
 const LEGACY_FILE: &str = "campaign_results.json";

@@ -20,8 +20,12 @@ pub enum CampaignError {
     UnknownFilesystem(String),
     /// The spec references an unknown atom-ablation set.
     UnknownAtomSet(String),
+    /// The spec references an unknown sample-order mode.
+    UnknownSampleOrder(String),
     /// An axis expanded to nothing (empty grid).
     EmptyAxis(&'static str),
+    /// Distributed (cluster) execution failed.
+    Cluster(String),
     /// The run was cancelled cooperatively before draining the grid.
     Cancelled {
         /// Points that completed before cancellation took effect.
@@ -63,7 +67,11 @@ impl fmt::Display for CampaignError {
                     "unknown atom set {a:?} (all, no-<atom>, or a '+'-joined subset of compute/memory/storage/network)"
                 )
             }
+            CampaignError::UnknownSampleOrder(o) => {
+                write!(f, "unknown sample order {o:?} (preserve | shuffle)")
+            }
             CampaignError::EmptyAxis(axis) => write!(f, "campaign axis {axis:?} is empty"),
+            CampaignError::Cluster(msg) => write!(f, "cluster execution: {msg}"),
             CampaignError::Cancelled { done, total } => {
                 write!(f, "campaign cancelled after {done}/{total} points")
             }

@@ -38,6 +38,9 @@ pub struct ScenarioPoint {
     /// Atom-enable ablation set (`all`, `compute+storage`, `no-network`,
     /// ... — see [`atoms_by_name`]).
     pub atoms: String,
+    /// Sample-ordering mode (`preserve` | `shuffle` — the Fig. 2
+    /// ordering ablation, see [`sample_order_by_name`]).
+    pub sample_order: String,
     /// Machine the synthetic profile is taken on.
     pub profile_machine: String,
     /// Measurement-noise coefficient of variation.
@@ -52,7 +55,7 @@ impl ScenarioPoint {
     /// Human-readable one-line label.
     pub fn label(&self) -> String {
         format!(
-            "{}/{}steps on {} [{}･{}×{} io={} rate={} fs={} atoms={}]",
+            "{}/{}steps on {} [{}･{}×{} io={} rate={} fs={} atoms={} order={}]",
             self.workload,
             self.steps,
             self.machine,
@@ -63,6 +66,7 @@ impl ScenarioPoint {
             self.sample_rate,
             self.fs,
             self.atoms,
+            self.sample_order,
         )
     }
 }
@@ -191,6 +195,24 @@ pub fn atoms_by_name(name: &str) -> Option<AtomSet> {
     Some(set)
 }
 
+/// Resolve a sample-order axis value to its canonical spelling:
+/// `preserve` replays the profile's samples in profiled order;
+/// `shuffle` ablates ordering by merging the whole profile into one
+/// all-concurrent sample (the paper's Fig. 2 sample-ordering
+/// ablation, `EmulationPlan::preserve_sample_order = false`).
+pub fn sample_order_by_name(name: &str) -> Option<&'static str> {
+    match name.to_ascii_lowercase().as_str() {
+        "preserve" | "ordered" | "" => Some("preserve"),
+        "shuffle" | "merge" | "unordered" => Some("shuffle"),
+        _ => None,
+    }
+}
+
+/// Whether a canonical sample-order value preserves profiled order.
+pub fn sample_order_preserves(canonical: &str) -> bool {
+    canonical != "shuffle"
+}
+
 /// Resolve a pilot scheduler policy name.
 pub fn policy_by_name(name: &str) -> Option<SchedulerPolicy> {
     match name.to_ascii_lowercase().as_str() {
@@ -214,10 +236,23 @@ pub fn fnv1a(bytes: &[u8], seed: u64) -> u64 {
 
 /// Expand a validated spec into its full scenario grid, in
 /// deterministic axis order (workloads ▸ steps ▸ machines ▸ kernels ▸
-/// modes ▸ threads ▸ io_blocks ▸ sample_rates ▸ filesystems ▸ atoms).
+/// modes ▸ threads ▸ io_blocks ▸ sample_rates ▸ filesystems ▸ atoms ▸
+/// sample_order).
 pub fn expand(spec: &CampaignSpec) -> Vec<ScenarioPoint> {
-    let mut points = Vec::with_capacity(spec.point_count());
-    for workload in &spec.workloads {
+    expand_range(spec, 0, usize::MAX)
+}
+
+/// Expand only grid indices `start..end` of the spec's scenario grid
+/// (the unit a cluster lease executes): identical order and content to
+/// the corresponding slice of [`expand`] — points keep their *global*
+/// `index` — but only the requested range is materialized and the
+/// walk stops at `end`, so serving a lease costs the lease, not the
+/// grid.
+pub fn expand_range(spec: &CampaignSpec, start: usize, end: usize) -> Vec<ScenarioPoint> {
+    let total = spec.point_count();
+    let mut points = Vec::with_capacity(end.min(total).saturating_sub(start.min(total)));
+    let mut index = 0usize;
+    'grid: for workload in &spec.workloads {
         for &steps in &workload.steps {
             for machine in &spec.machines {
                 for kernel in &spec.kernels {
@@ -227,26 +262,37 @@ pub fn expand(spec: &CampaignSpec) -> Vec<ScenarioPoint> {
                                 for &sample_rate in &spec.sample_rates {
                                     for fs in &spec.filesystems {
                                         for atoms in &spec.atoms {
-                                            let axes = format!(
-                                                "{}|{steps}|{machine}|{kernel}|{mode}|{threads}|{io_block}|{sample_rate}|{fs}|{atoms}|{}|{}",
-                                                workload.app, spec.profile_machine, spec.noise_cv,
-                                            );
-                                            points.push(ScenarioPoint {
-                                                index: points.len(),
-                                                workload: workload.app.clone(),
-                                                steps,
-                                                machine: machine.clone(),
-                                                kernel: kernel.clone(),
-                                                mode: mode.clone(),
-                                                threads,
-                                                io_block,
-                                                sample_rate,
-                                                fs: fs.clone(),
-                                                atoms: atoms.clone(),
-                                                profile_machine: spec.profile_machine.clone(),
-                                                noise_cv: spec.noise_cv,
-                                                seed: fnv1a(axes.as_bytes(), spec.seed),
-                                            });
+                                            for order in &spec.sample_order {
+                                                if index >= end {
+                                                    break 'grid;
+                                                }
+                                                if index >= start {
+                                                    let axes = format!(
+                                                        "{}|{steps}|{machine}|{kernel}|{mode}|{threads}|{io_block}|{sample_rate}|{fs}|{atoms}|{order}|{}|{}",
+                                                        workload.app, spec.profile_machine, spec.noise_cv,
+                                                    );
+                                                    points.push(ScenarioPoint {
+                                                        index,
+                                                        workload: workload.app.clone(),
+                                                        steps,
+                                                        machine: machine.clone(),
+                                                        kernel: kernel.clone(),
+                                                        mode: mode.clone(),
+                                                        threads,
+                                                        io_block,
+                                                        sample_rate,
+                                                        fs: fs.clone(),
+                                                        atoms: atoms.clone(),
+                                                        sample_order: order.clone(),
+                                                        profile_machine: spec
+                                                            .profile_machine
+                                                            .clone(),
+                                                        noise_cv: spec.noise_cv,
+                                                        seed: fnv1a(axes.as_bytes(), spec.seed),
+                                                    });
+                                                }
+                                                index += 1;
+                                            }
                                         }
                                     }
                                 }
@@ -299,6 +345,25 @@ mod tests {
         let a = expand(&spec());
         let b = expand(&spec());
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn range_expansion_matches_the_full_grid_slice() {
+        let s = spec();
+        let full = expand(&s);
+        for (start, end) in [
+            (0, full.len()),
+            (3, 17),
+            (0, 1),
+            (full.len() - 1, full.len()),
+        ] {
+            let ranged = expand_range(&s, start, end);
+            assert_eq!(ranged, full[start..end], "{start}..{end}");
+        }
+        // Global indices survive slicing; out-of-range is empty.
+        assert_eq!(expand_range(&s, 5, 8)[0].index, 5);
+        assert!(expand_range(&s, full.len(), full.len() + 4).is_empty());
+        assert!(expand_range(&s, 9, 9).is_empty());
     }
 
     #[test]

@@ -23,7 +23,10 @@
 //! * [`aggregate`] — mean/p50/p95/p99 per axis slice plus
 //!   relative-error-vs-reference-machine views;
 //! * [`report`] — deterministic JSON/CSV reports (identical spec +
-//!   seed ⇒ byte-identical JSON).
+//!   seed ⇒ byte-identical JSON);
+//! * [`partition`] — deterministic grid partitioning and the lease
+//!   table backing distributed fan-out across cooperating serve
+//!   processes (`synapse-cluster`).
 //!
 //! ```
 //! use synapse_campaign::{run_campaign, CampaignSpec, RunConfig};
@@ -47,6 +50,7 @@ pub mod cache;
 pub mod engine;
 pub mod error;
 pub mod grid;
+pub mod partition;
 pub mod report;
 pub mod runner;
 pub mod spec;
@@ -58,7 +62,10 @@ pub use aggregate::{AxisSlice, Percentiles, ReferenceError};
 pub use cache::{fingerprint, ResultCache, ENGINE_VERSION};
 pub use engine::{CampaignEngine, CancelToken, PointEvent};
 pub use error::CampaignError;
-pub use grid::{atoms_by_name, expand, fs_by_name, AtomSet, ScenarioPoint};
+pub use grid::{
+    atoms_by_name, expand, expand_range, fs_by_name, sample_order_by_name, AtomSet, ScenarioPoint,
+};
+pub use partition::{partition, Lease, LeaseState, LeaseTable};
 pub use report::{CampaignReport, PilotSummary, PointRow};
 pub use runner::{simulate_point, PointResult, RunConfig, RunStats};
 pub use spec::{CampaignSpec, PilotSpec, WorkloadSpec};

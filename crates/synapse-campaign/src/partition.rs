@@ -1,0 +1,267 @@
+//! Deterministic grid partitioning and the lease protocol backing
+//! distributed campaign fan-out.
+//!
+//! A campaign grid is embarrassingly parallel: any contiguous run of
+//! grid indices can sweep on any worker, and the merged result is
+//! independent of who ran what (results are deterministic functions of
+//! the scenario point). [`partition`] splits `0..total` into
+//! near-equal contiguous ranges — **disjoint**, **covering**, and a
+//! pure function of `(total, parts)`, so every coordinator computes
+//! the identical partition for a given worker count.
+//!
+//! [`LeaseTable`] turns those ranges into a work-stealing protocol:
+//! a lease is *available* until a worker claims it, *assigned* while
+//! that worker sweeps it, and *completed* when every point of the
+//! range has landed. A worker dying mid-lease releases the lease back
+//! to available (with an attempt count, so a poisoned lease cannot
+//! retry forever) and any surviving worker picks it up — the
+//! coordinator's replay-tolerant merge makes re-running a
+//! half-finished lease harmless.
+
+/// One contiguous range of grid indices offered for execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Lease {
+    /// Position in the partition (also the lease's identity).
+    pub id: usize,
+    /// First grid index of the range (inclusive).
+    pub start: usize,
+    /// One past the last grid index of the range (exclusive).
+    pub end: usize,
+}
+
+impl Lease {
+    /// Number of grid points the lease covers.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the lease covers nothing (never produced by
+    /// [`partition`]).
+    pub fn is_empty(&self) -> bool {
+        self.start >= self.end
+    }
+}
+
+/// Split `0..total` into `parts` contiguous, disjoint, covering ranges
+/// whose sizes differ by at most one (the first `total % parts` ranges
+/// take the extra point). `parts` is clamped to `1..=total`, so no
+/// lease is ever empty; `total == 0` partitions into nothing.
+pub fn partition(total: usize, parts: usize) -> Vec<Lease> {
+    if total == 0 {
+        return Vec::new();
+    }
+    let parts = parts.clamp(1, total);
+    let base = total / parts;
+    let extra = total % parts;
+    let mut leases = Vec::with_capacity(parts);
+    let mut start = 0;
+    for id in 0..parts {
+        let len = base + usize::from(id < extra);
+        leases.push(Lease {
+            id,
+            start,
+            end: start + len,
+        });
+        start += len;
+    }
+    leases
+}
+
+/// Lifecycle of one lease inside a [`LeaseTable`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LeaseState {
+    /// Unclaimed: any worker may take it.
+    Available,
+    /// A worker is sweeping it (the string is the worker's identity).
+    Assigned(String),
+    /// Every point of the range landed.
+    Completed,
+}
+
+/// The coordinator's bookkeeping of which worker owns which slice of
+/// the grid. Pure state machine — all I/O (dispatching leases over
+/// HTTP, watching event streams) lives in `synapse-cluster`.
+#[derive(Debug)]
+pub struct LeaseTable {
+    leases: Vec<Lease>,
+    states: Vec<LeaseState>,
+    attempts: Vec<usize>,
+}
+
+impl LeaseTable {
+    /// A table over the [`partition`] of `total` points into `parts`
+    /// leases, all available.
+    pub fn new(total: usize, parts: usize) -> LeaseTable {
+        let leases = partition(total, parts);
+        let states = vec![LeaseState::Available; leases.len()];
+        let attempts = vec![0; leases.len()];
+        LeaseTable {
+            leases,
+            states,
+            attempts,
+        }
+    }
+
+    /// Number of leases in the table.
+    pub fn len(&self) -> usize {
+        self.leases.len()
+    }
+
+    /// Whether the table holds no leases (empty grid).
+    pub fn is_empty(&self) -> bool {
+        self.leases.is_empty()
+    }
+
+    /// Claim the first available lease for `worker`, if any.
+    pub fn claim(&mut self, worker: &str) -> Option<Lease> {
+        let idx = self
+            .states
+            .iter()
+            .position(|s| *s == LeaseState::Available)?;
+        self.states[idx] = LeaseState::Assigned(worker.to_string());
+        self.attempts[idx] += 1;
+        Some(self.leases[idx])
+    }
+
+    /// Mark an assigned lease complete.
+    pub fn complete(&mut self, id: usize) {
+        self.states[id] = LeaseState::Completed;
+    }
+
+    /// Release an assigned lease back to available (worker failure);
+    /// its attempt count stands, so repeated failures are visible.
+    pub fn release(&mut self, id: usize) {
+        if self.states[id] != LeaseState::Completed {
+            self.states[id] = LeaseState::Available;
+        }
+    }
+
+    /// How many times a lease has been claimed so far.
+    pub fn attempts(&self, id: usize) -> usize {
+        self.attempts[id]
+    }
+
+    /// Whether every lease is completed.
+    pub fn is_complete(&self) -> bool {
+        self.states.iter().all(|s| *s == LeaseState::Completed)
+    }
+
+    /// `(available, assigned, completed)` lease counts.
+    pub fn counts(&self) -> (usize, usize, usize) {
+        let mut counts = (0, 0, 0);
+        for s in &self.states {
+            match s {
+                LeaseState::Available => counts.0 += 1,
+                LeaseState::Assigned(_) => counts.1 += 1,
+                LeaseState::Completed => counts.2 += 1,
+            }
+        }
+        counts
+    }
+
+    /// Every lease not yet completed, released back to available first
+    /// (used by the coordinator's local fallback after all remote
+    /// drivers have exited — their assignments are orphaned by then).
+    pub fn drain_incomplete(&mut self) -> Vec<Lease> {
+        let mut incomplete = Vec::new();
+        for idx in 0..self.leases.len() {
+            if self.states[idx] != LeaseState::Completed {
+                self.states[idx] = LeaseState::Available;
+                incomplete.push(self.leases[idx]);
+            }
+        }
+        incomplete
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_is_disjoint_covering_and_near_equal() {
+        for (total, parts) in [(10, 3), (192, 8), (7, 7), (1, 4), (55_296, 16)] {
+            let leases = partition(total, parts);
+            assert_eq!(leases.len(), parts.min(total));
+            // Contiguous coverage with no gaps or overlaps.
+            assert_eq!(leases[0].start, 0);
+            assert_eq!(leases[leases.len() - 1].end, total);
+            for pair in leases.windows(2) {
+                assert_eq!(pair[0].end, pair[1].start, "{total}/{parts}");
+            }
+            // Near-equal: sizes differ by at most one.
+            let sizes: Vec<usize> = leases.iter().map(Lease::len).collect();
+            let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+            assert!(max - min <= 1, "{sizes:?}");
+            assert!(leases.iter().all(|l| !l.is_empty()));
+        }
+    }
+
+    #[test]
+    fn partition_is_deterministic_and_handles_edges() {
+        assert_eq!(partition(100, 4), partition(100, 4));
+        assert!(partition(0, 4).is_empty());
+        // parts clamped into 1..=total.
+        assert_eq!(partition(3, 100).len(), 3);
+        assert_eq!(partition(5, 0).len(), 1);
+        assert_eq!(
+            partition(5, 0)[0],
+            Lease {
+                id: 0,
+                start: 0,
+                end: 5
+            }
+        );
+    }
+
+    #[test]
+    fn lease_table_claim_complete_release_cycle() {
+        let mut table = LeaseTable::new(10, 3);
+        assert_eq!(table.len(), 3);
+        assert!(!table.is_complete());
+        assert_eq!(table.counts(), (3, 0, 0));
+
+        let a = table.claim("w1").unwrap();
+        let b = table.claim("w2").unwrap();
+        assert_ne!(a.id, b.id);
+        assert_eq!(table.counts(), (1, 2, 0));
+        assert_eq!(table.attempts(a.id), 1);
+
+        // w1 finishes its lease; w2 dies and releases.
+        table.complete(a.id);
+        table.release(b.id);
+        assert_eq!(table.counts(), (2, 0, 1));
+
+        // The released lease is claimable again, attempt count grows.
+        let again = table.claim("w1").unwrap();
+        assert_eq!(again.id, b.id);
+        assert_eq!(table.attempts(b.id), 2);
+        table.complete(again.id);
+        if let Some(last) = table.claim("w1") {
+            table.complete(last.id);
+        }
+        assert!(table.is_complete());
+        assert!(table.claim("w1").is_none(), "nothing left to claim");
+    }
+
+    #[test]
+    fn releasing_a_completed_lease_keeps_it_completed() {
+        let mut table = LeaseTable::new(4, 2);
+        let l = table.claim("w").unwrap();
+        table.complete(l.id);
+        table.release(l.id);
+        assert_eq!(table.counts().2, 1, "complete is final");
+    }
+
+    #[test]
+    fn drain_incomplete_returns_orphaned_work() {
+        let mut table = LeaseTable::new(12, 4);
+        let a = table.claim("w1").unwrap();
+        table.complete(a.id);
+        let _b = table.claim("w2").unwrap(); // orphaned assignment
+        let rest = table.drain_incomplete();
+        assert_eq!(rest.len(), 3, "everything but the completed lease");
+        let covered: usize = rest.iter().map(Lease::len).sum();
+        assert_eq!(covered + a.len(), 12);
+    }
+}

@@ -37,6 +37,8 @@ pub struct PointRow {
     pub fs: String,
     /// Atom-ablation axis value.
     pub atoms: String,
+    /// Sample-ordering axis value (`preserve` | `shuffle`).
+    pub sample_order: String,
     /// Emulated runtime (virtual seconds).
     pub tx: f64,
     /// Application baseline runtime.
@@ -108,6 +110,7 @@ impl CampaignReport {
                 sample_rate: r.point.sample_rate,
                 fs: r.point.fs.clone(),
                 atoms: r.point.atoms.clone(),
+                sample_order: r.point.sample_order.clone(),
                 tx: r.tx,
                 app_tx: r.app_tx,
                 error_pct: r.error_pct(),
@@ -149,11 +152,11 @@ impl CampaignReport {
     /// order).
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
-            "index,workload,steps,machine,kernel,mode,threads,io_block,sample_rate,fs,atoms,tx,app_tx,error_pct\n",
+            "index,workload,steps,machine,kernel,mode,threads,io_block,sample_rate,fs,atoms,sample_order,tx,app_tx,error_pct\n",
         );
         for r in &self.results {
             out.push_str(&format!(
-                "{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
                 r.index,
                 r.workload,
                 r.steps,
@@ -165,6 +168,7 @@ impl CampaignReport {
                 r.sample_rate,
                 r.fs,
                 r.atoms,
+                r.sample_order,
                 r.tx,
                 r.app_tx,
                 r.error_pct,
@@ -365,10 +369,10 @@ mod tests {
         let lines: Vec<&str> = csv.lines().collect();
         assert_eq!(lines.len(), 13);
         assert!(lines[0].starts_with("index,workload,steps,machine"));
-        assert!(lines[0].contains(",fs,atoms,"));
+        assert!(lines[0].contains(",fs,atoms,sample_order,"));
         assert!(lines[1].starts_with("0,gromacs,10000,"));
         for line in &lines[1..] {
-            assert_eq!(line.split(',').count(), 14);
+            assert_eq!(line.split(',').count(), 15);
         }
     }
 

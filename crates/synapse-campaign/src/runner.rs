@@ -17,7 +17,8 @@ use synapse_sim::Noise;
 use crate::cache::{fingerprint, ResultCache};
 use crate::error::CampaignError;
 use crate::grid::{
-    app_by_name, atoms_by_name, fnv1a, fs_by_name, kernel_by_name, mode_by_name, ScenarioPoint,
+    app_by_name, atoms_by_name, fnv1a, fs_by_name, kernel_by_name, mode_by_name,
+    sample_order_by_name, sample_order_preserves, ScenarioPoint,
 };
 
 /// Outcome of simulating one scenario point.
@@ -129,6 +130,8 @@ pub fn emulation_plan(point: &ScenarioPoint) -> Result<EmulationPlan, CampaignEr
         fs_by_name(&point.fs).ok_or_else(|| CampaignError::UnknownFilesystem(point.fs.clone()))?;
     let atoms = atoms_by_name(&point.atoms)
         .ok_or_else(|| CampaignError::UnknownAtomSet(point.atoms.clone()))?;
+    let order = sample_order_by_name(&point.sample_order)
+        .ok_or_else(|| CampaignError::UnknownSampleOrder(point.sample_order.clone()))?;
     Ok(EmulationPlan {
         kernel,
         threads: point.threads,
@@ -140,6 +143,7 @@ pub fn emulation_plan(point: &ScenarioPoint) -> Result<EmulationPlan, CampaignEr
         emulate_memory: atoms.memory,
         emulate_storage: atoms.storage,
         emulate_network: atoms.network,
+        preserve_sample_order: sample_order_preserves(order),
         ..Default::default()
     })
 }
@@ -363,6 +367,28 @@ mod tests {
         local.fs = "local".into();
         let on_local = simulate_point(&local).unwrap();
         assert_ne!(on_local.tx, on_lustre.tx, "fs retarget reprices I/O");
+    }
+
+    #[test]
+    fn sample_order_axis_changes_the_replay() {
+        // The shuffle ablation merges the profile into one
+        // all-concurrent sample: same resource totals, different
+        // concurrency structure, so Tx moves (Fig. 2's point).
+        let points = expand(&small_spec());
+        let base = &points[0];
+        let preserved = simulate_point(base).unwrap();
+        let mut shuffled_point = base.clone();
+        shuffled_point.sample_order = "shuffle".into();
+        let shuffled = simulate_point(&shuffled_point).unwrap();
+        assert_eq!(
+            preserved.directed_cycles, shuffled.directed_cycles,
+            "ablation reorders, it does not change the directed work"
+        );
+        assert_ne!(
+            preserved.tx, shuffled.tx,
+            "merged replay prices concurrency differently"
+        );
+        assert_eq!(shuffled.samples, 1, "whole profile merged into one sample");
     }
 
     #[test]

@@ -68,6 +68,12 @@ pub struct CampaignSpec {
     /// one. Empty ⇒ `["all"]`.
     #[serde(default)]
     pub atoms: Vec<String>,
+    /// Sample-ordering modes (`preserve` | `shuffle`): the paper's
+    /// Fig. 2 sample-ordering ablation as a grid axis. `shuffle`
+    /// merges the whole profile into one all-concurrent sample before
+    /// replay. Empty ⇒ `["preserve"]`.
+    #[serde(default)]
+    pub sample_order: Vec<String>,
     /// Machine the synthetic profiles are "taken" on (the paper
     /// profiles on Thinkie). Empty ⇒ `thinkie`.
     #[serde(default)]
@@ -113,7 +119,10 @@ impl CampaignSpec {
     }
 
     /// Apply defaults and validate axis values against the catalogs.
-    fn validated(mut self) -> Result<Self, CampaignError> {
+    /// Idempotent: validating an already-canonical spec changes
+    /// nothing, so specs can safely re-validate after a network hop
+    /// (the cluster lease path does).
+    pub fn validated(mut self) -> Result<Self, CampaignError> {
         if self.modes.is_empty() {
             self.modes = vec!["openmp".into()];
         }
@@ -131,6 +140,9 @@ impl CampaignSpec {
         }
         if self.atoms.is_empty() {
             self.atoms = vec!["all".into()];
+        }
+        if self.sample_order.is_empty() {
+            self.sample_order = vec!["preserve".into()];
         }
         if self.profile_machine.is_empty() {
             self.profile_machine = "thinkie".into();
@@ -190,6 +202,11 @@ impl CampaignSpec {
                 .ok_or_else(|| CampaignError::UnknownAtomSet(a.clone()))?;
             *a = resolved.canonical();
         }
+        for o in &mut self.sample_order {
+            let resolved = crate::grid::sample_order_by_name(o)
+                .ok_or_else(|| CampaignError::UnknownSampleOrder(o.clone()))?;
+            *o = resolved.into();
+        }
         if !self.machines.contains(&self.reference_machine) {
             return Err(CampaignError::Spec(format!(
                 "reference machine {:?} is not on the machines axis",
@@ -225,6 +242,7 @@ impl CampaignSpec {
             * self.sample_rates.len()
             * self.filesystems.len()
             * self.atoms.len()
+            * self.sample_order.len()
     }
 }
 
@@ -256,6 +274,7 @@ mod tests {
         assert_eq!(spec.sample_rates, vec![10.0]);
         assert_eq!(spec.filesystems, vec!["default".to_string()]);
         assert_eq!(spec.atoms, vec!["all".to_string()]);
+        assert_eq!(spec.sample_order, vec!["preserve".to_string()]);
         assert_eq!(spec.profile_machine, "thinkie");
         assert_eq!(spec.reference_machine, "thinkie");
         assert_eq!(spec.point_count(), 2 * 2 * 2);
@@ -367,6 +386,31 @@ mod tests {
         assert!(matches!(
             CampaignSpec::from_toml(&bad_atoms),
             Err(CampaignError::UnknownAtomSet(_))
+        ));
+    }
+
+    #[test]
+    fn sample_order_axis_parses_canonicalizes_and_multiplies() {
+        let toml = format!(
+            "sample_order = [\"Preserve\", \"SHUFFLE\"]\n{}",
+            minimal_toml()
+        );
+        let spec = CampaignSpec::from_toml(&toml).unwrap();
+        assert_eq!(
+            spec.sample_order,
+            vec!["preserve".to_string(), "shuffle".into()]
+        );
+        assert_eq!(spec.point_count(), 2 * 2 * 2 * 2);
+        // Alternate spellings collapse onto the canonical pair.
+        let merged = format!("sample_order = [\"merge\"]\n{}", minimal_toml());
+        assert_eq!(
+            CampaignSpec::from_toml(&merged).unwrap().sample_order,
+            vec!["shuffle".to_string()]
+        );
+        let bad = format!("sample_order = [\"random\"]\n{}", minimal_toml());
+        assert!(matches!(
+            CampaignSpec::from_toml(&bad),
+            Err(CampaignError::UnknownSampleOrder(_))
         ));
     }
 

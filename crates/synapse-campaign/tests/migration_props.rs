@@ -44,6 +44,7 @@ fn arb_point() -> impl Strategy<Value = ScenarioPoint> {
                 sample_rate: 10.0,
                 fs: "default".into(),
                 atoms: "all".into(),
+                sample_order: "preserve".into(),
                 profile_machine: "thinkie".into(),
                 noise_cv: 0.05,
                 seed,

@@ -1,0 +1,76 @@
+//! Property tests for the grid partitioner and lease table: cluster
+//! correctness rests on partitions being disjoint, covering, and
+//! deterministic for a given worker count.
+
+use proptest::prelude::*;
+use synapse_campaign::partition::{partition, Lease, LeaseTable};
+
+proptest! {
+    #[test]
+    fn partitions_are_disjoint_and_cover_the_grid(
+        total in 0usize..100_000,
+        parts in 0usize..64,
+    ) {
+        let leases = partition(total, parts);
+        // Coverage without gaps or overlaps: consecutive ranges abut,
+        // the first starts at 0, the last ends at total.
+        let mut covered = 0usize;
+        for (i, lease) in leases.iter().enumerate() {
+            prop_assert_eq!(lease.id, i);
+            prop_assert_eq!(lease.start, covered);
+            prop_assert!(lease.start < lease.end);
+            covered = lease.end;
+        }
+        prop_assert_eq!(covered, total);
+        let sum: usize = leases.iter().map(Lease::len).sum();
+        prop_assert_eq!(sum, total);
+    }
+
+    #[test]
+    fn partitions_are_deterministic_and_near_equal(
+        total in 1usize..100_000,
+        parts in 1usize..64,
+    ) {
+        let a = partition(total, parts);
+        let b = partition(total, parts);
+        prop_assert_eq!(&a, &b, "same worker count ⇒ identical partition");
+        prop_assert_eq!(a.len(), parts.min(total));
+        let sizes: Vec<usize> = a.iter().map(Lease::len).collect();
+        let min = *sizes.iter().min().unwrap();
+        let max = *sizes.iter().max().unwrap();
+        prop_assert!(max - min <= 1, "sizes {:?}", sizes);
+    }
+
+    #[test]
+    fn lease_table_claims_every_point_exactly_once(
+        total in 1usize..10_000,
+        parts in 1usize..32,
+        failures in proptest::collection::vec(any::<bool>(), 0..32),
+    ) {
+        // Workers claim leases; some claims "fail" (worker death) and
+        // release. Whatever the interleaving, the set of completed
+        // leases at the end covers every grid index exactly once.
+        let mut table = LeaseTable::new(total, parts);
+        let mut failure = failures.into_iter().cycle();
+        let mut completed: Vec<Lease> = Vec::new();
+        let mut guard = 0usize;
+        while !table.is_complete() {
+            guard += 1;
+            prop_assert!(guard < 100_000, "lease protocol must terminate");
+            let Some(lease) = table.claim("w") else { continue };
+            if failure.next().unwrap_or(false) && table.attempts(lease.id) < 5 {
+                table.release(lease.id);
+            } else {
+                table.complete(lease.id);
+                completed.push(lease);
+            }
+        }
+        completed.sort_by_key(|l| l.start);
+        let mut covered = 0usize;
+        for lease in &completed {
+            prop_assert_eq!(lease.start, covered, "no gap, no overlap");
+            covered = lease.end;
+        }
+        prop_assert_eq!(covered, total);
+    }
+}

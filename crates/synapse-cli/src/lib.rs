@@ -17,7 +17,11 @@
 //! synapse campaign plan <spec.toml|json>
 //! synapse campaign cache stats|compact [--cache DIR]
 //! synapse serve    [--addr HOST:PORT] [--cache DIR] [--queue-workers N] [--workers N]
-//! synapse campaign submit <spec.toml|json> [--server HOST:PORT] [--watch]
+//!                  [--max-connections N]
+//! synapse cluster start [--addr HOST:PORT] [--cache DIR] [--worker ADDR]...
+//! synapse cluster add-worker <ADDR> [--server HOST:PORT]
+//! synapse cluster status [--server HOST:PORT]
+//! synapse campaign submit <spec.toml|json> [--server HOST:PORT] [--watch] [--cluster]
 //! synapse campaign watch  <job-id> [--server HOST:PORT]
 //! synapse campaign status [job-id] [--server HOST:PORT]
 //! synapse campaign cancel <job-id> [--server HOST:PORT]
@@ -127,6 +131,36 @@ pub enum Invocation {
         queue_workers: usize,
         /// Worker threads per job's sweep (0 = auto).
         workers: usize,
+        /// Concurrent-connection cap (0 = unlimited).
+        max_connections: usize,
+    },
+    /// Run a cluster coordinator: a serve process that fans
+    /// `--cluster` submissions out over registered workers.
+    ClusterStart {
+        /// Bind address (`host:port`).
+        addr: String,
+        /// Result-cache directory (also used by locally-run leases).
+        cache: PathBuf,
+        /// Concurrent jobs (queue workers).
+        queue_workers: usize,
+        /// Worker threads per locally-run lease sweep (0 = auto).
+        workers: usize,
+        /// Concurrent-connection cap (0 = unlimited).
+        max_connections: usize,
+        /// Worker serve addresses registered at startup.
+        worker_addrs: Vec<String>,
+    },
+    /// Register a worker with a running coordinator.
+    ClusterAddWorker {
+        /// The worker's serve address (`host:port`).
+        worker: String,
+        /// Coordinator address.
+        server: String,
+    },
+    /// Print a coordinator's worker-registry status document.
+    ClusterStatus {
+        /// Coordinator address.
+        server: String,
     },
     /// Submit a spec to a running server, optionally streaming events.
     CampaignSubmit {
@@ -136,6 +170,8 @@ pub enum Invocation {
         server: String,
         /// Follow the job's NDJSON event stream until it ends.
         watch: bool,
+        /// Fan out across the coordinator's registered workers.
+        cluster: bool,
     },
     /// Stream a submitted job's NDJSON events until it ends.
     CampaignWatch {
@@ -189,12 +225,15 @@ pub fn default_campaign_cache() -> PathBuf {
 /// Default `synapse serve` address client subcommands talk to.
 pub const DEFAULT_SERVER_ADDR: &str = "127.0.0.1:8787";
 
-/// Parse the `serve` argument form.
-fn parse_serve_args(args: &[String]) -> Result<Invocation, String> {
+/// Parse the shared `serve`/`cluster start` flag set; `cluster`
+/// additionally accepts repeatable `--worker ADDR` registrations.
+fn parse_serve_like_args(args: &[String], cluster: bool) -> Result<Invocation, String> {
     let mut addr = DEFAULT_SERVER_ADDR.to_string();
     let mut cache = default_campaign_cache();
     let mut queue_workers = 2usize;
     let mut workers = 0usize;
+    let mut max_connections = synapse_server::DEFAULT_MAX_CONNECTIONS;
+    let mut worker_addrs: Vec<String> = Vec::new();
     let mut i = 0;
     while i < args.len() {
         let arg = &args[i];
@@ -217,25 +256,102 @@ fn parse_serve_args(args: &[String]) -> Result<Invocation, String> {
                     .parse()
                     .map_err(|e| format!("--workers: {e}"))?
             }
-            other => return Err(format!("unknown serve argument {other:?}")),
+            "--max-connections" => {
+                max_connections = value(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--max-connections: {e}"))?
+            }
+            "--worker" if cluster => worker_addrs.push(value(&mut i)?),
+            other => {
+                return Err(format!(
+                    "unknown {} argument {other:?}",
+                    if cluster { "cluster start" } else { "serve" }
+                ))
+            }
         }
         i += 1;
     }
     if queue_workers == 0 {
         return Err("--queue-workers must be at least 1".into());
     }
-    Ok(Invocation::Serve {
-        addr,
-        cache,
-        queue_workers,
-        workers,
+    Ok(if cluster {
+        Invocation::ClusterStart {
+            addr,
+            cache,
+            queue_workers,
+            workers,
+            max_connections,
+            worker_addrs,
+        }
+    } else {
+        Invocation::Serve {
+            addr,
+            cache,
+            queue_workers,
+            workers,
+            max_connections,
+        }
     })
+}
+
+/// Parse the `cluster <action>` argument forms.
+fn parse_cluster_args(args: &[String]) -> Result<Invocation, String> {
+    let action = args
+        .first()
+        .ok_or("cluster requires an action (start | add-worker | status)")?;
+    let rest = &args[1..];
+    match action.as_str() {
+        "start" => parse_serve_like_args(rest, true),
+        "add-worker" | "status" => {
+            let mut server = DEFAULT_SERVER_ADDR.to_string();
+            let mut positional = None;
+            let mut i = 0;
+            while i < rest.len() {
+                let arg = &rest[i];
+                match arg.as_str() {
+                    "--server" => {
+                        i += 1;
+                        server = rest
+                            .get(i)
+                            .cloned()
+                            .ok_or_else(|| format!("missing value after {arg}"))?;
+                    }
+                    other if other.starts_with("--") => {
+                        return Err(format!("unknown cluster {action} flag {other}"))
+                    }
+                    other => {
+                        if positional.is_some() {
+                            return Err(format!("unexpected positional argument {other:?}"));
+                        }
+                        positional = Some(other.to_string());
+                    }
+                }
+                i += 1;
+            }
+            match action.as_str() {
+                "add-worker" => Ok(Invocation::ClusterAddWorker {
+                    worker: positional.ok_or("cluster add-worker requires a worker address")?,
+                    server,
+                }),
+                _ => {
+                    if positional.is_some() {
+                        return Err("cluster status takes no positional argument".into());
+                    }
+                    Ok(Invocation::ClusterStatus { server })
+                }
+            }
+        }
+        other => Err(format!(
+            "unknown cluster action {other} (start | add-worker | status)"
+        )),
+    }
 }
 
 /// Parse the `campaign submit|watch|status|cancel` client forms.
 fn parse_campaign_client_args(action: &str, args: &[String]) -> Result<Invocation, String> {
     let mut server = DEFAULT_SERVER_ADDR.to_string();
     let mut watch = false;
+    let mut cluster = false;
     let mut positional = None;
     let mut i = 0;
     while i < args.len() {
@@ -249,6 +365,7 @@ fn parse_campaign_client_args(action: &str, args: &[String]) -> Result<Invocatio
                     .ok_or_else(|| format!("missing value after {arg}"))?;
             }
             "--watch" if action == "submit" => watch = true,
+            "--cluster" if action == "submit" => cluster = true,
             other if other.starts_with("--") => {
                 return Err(format!("unknown campaign {action} flag {other}"))
             }
@@ -266,6 +383,7 @@ fn parse_campaign_client_args(action: &str, args: &[String]) -> Result<Invocatio
             spec: PathBuf::from(positional.ok_or("campaign submit requires a spec file")?),
             server,
             watch,
+            cluster,
         }),
         "watch" => Ok(Invocation::CampaignWatch {
             id: positional.ok_or("campaign watch requires a job id")?,
@@ -385,7 +503,10 @@ pub fn parse_args(args: &[String]) -> Result<Invocation, String> {
         return parse_campaign_args(&args[1..]);
     }
     if sub == "serve" {
-        return parse_serve_args(&args[1..]);
+        return parse_serve_like_args(&args[1..], false);
+    }
+    if sub == "cluster" {
+        return parse_cluster_args(&args[1..]);
     }
     let mut command = None;
     let mut tags = Tags::new();
@@ -505,8 +626,13 @@ USAGE:
   synapse campaign plan <spec.toml|json>
   synapse campaign cache stats|compact [--cache DIR]
   synapse serve    [--addr HOST:PORT] [--cache DIR] [--queue-workers N]
-                   [--workers N]
+                   [--workers N] [--max-connections N]
+  synapse cluster start [--addr HOST:PORT] [--cache DIR] [--worker ADDR]...
+                   [--queue-workers N] [--workers N] [--max-connections N]
+  synapse cluster add-worker <ADDR> [--server HOST:PORT]
+  synapse cluster status [--server HOST:PORT]
   synapse campaign submit <spec.toml|json> [--server HOST:PORT] [--watch]
+                   [--cluster]
   synapse campaign watch  <job-id> [--server HOST:PORT]
   synapse campaign status [job-id] [--server HOST:PORT]
   synapse campaign cancel <job-id> [--server HOST:PORT]
@@ -516,6 +642,10 @@ USAGE:
 The serve/submit/watch/status/cancel commands form the client/server
 mode: `serve` keeps one process (and one warm result cache) alive;
 `submit --watch` streams per-point NDJSON events as the sweep runs.
+`cluster start` runs a coordinator; plain `serve` processes are its
+workers (registered with `--worker`/`add-worker`), and
+`campaign submit --cluster` fans one campaign out across all of them,
+merging the streams into one ordered feed and one byte-stable report.
 ";
 
 /// Stream a job's NDJSON events to `out` until it reaches a terminal
@@ -649,12 +779,15 @@ pub fn run(invocation: Invocation, out: &mut impl std::io::Write) -> Result<(), 
             cache,
             queue_workers,
             workers,
+            max_connections,
         } => {
             let config = synapse_server::ServerConfig {
                 addr,
                 cache_dir: Some(cache.clone()),
                 queue_workers,
                 job_workers: workers,
+                max_connections,
+                ..Default::default()
             };
             let server = synapse_server::Server::bind(config).map_err(|e| e.to_string())?;
             let bound = server.local_addr().map_err(|e| e.to_string())?;
@@ -668,14 +801,78 @@ pub fn run(invocation: Invocation, out: &mut impl std::io::Write) -> Result<(), 
             server.run().map_err(|e| e.to_string())?;
             writeln!(out, "synapse serve shut down").map_err(|e| e.to_string())?;
         }
+        Invocation::ClusterStart {
+            addr,
+            cache,
+            queue_workers,
+            workers,
+            max_connections,
+            worker_addrs,
+        } => {
+            let config = synapse_server::ServerConfig {
+                addr,
+                cache_dir: Some(cache.clone()),
+                queue_workers,
+                job_workers: workers,
+                max_connections,
+                ..Default::default()
+            };
+            let coordinator = std::sync::Arc::new(synapse_cluster::Coordinator::new(
+                synapse_cluster::ClusterConfig::default(),
+            ));
+            for worker in &worker_addrs {
+                coordinator.registry().register(worker);
+            }
+            let server = synapse_server::Server::bind(config)
+                .map_err(|e| e.to_string())?
+                .with_cluster(coordinator);
+            let bound = server.local_addr().map_err(|e| e.to_string())?;
+            writeln!(
+                out,
+                "synapse cluster coordinator listening on {bound} (cache {}, {} workers registered)",
+                cache.display(),
+                worker_addrs.len(),
+            )
+            .map_err(|e| e.to_string())?;
+            out.flush().map_err(|e| e.to_string())?;
+            server.run().map_err(|e| e.to_string())?;
+            writeln!(out, "synapse cluster coordinator shut down").map_err(|e| e.to_string())?;
+        }
+        Invocation::ClusterAddWorker { worker, server } => {
+            let client = synapse_server::Client::new(server);
+            let doc = client.register_worker(&worker).map_err(|e| e.to_string())?;
+            writeln!(
+                out,
+                "{}",
+                serde_json::to_string(&doc).map_err(|e| e.to_string())?
+            )
+            .map_err(|e| e.to_string())?;
+        }
+        Invocation::ClusterStatus { server } => {
+            let client = synapse_server::Client::new(server);
+            let doc = client.cluster_status().map_err(|e| e.to_string())?;
+            writeln!(
+                out,
+                "{}",
+                serde_json::to_string(&doc).map_err(|e| e.to_string())?
+            )
+            .map_err(|e| e.to_string())?;
+        }
         Invocation::CampaignSubmit {
             spec,
             server,
             watch,
+            cluster,
         } => {
             let text = std::fs::read_to_string(&spec).map_err(|e| e.to_string())?;
             let client = synapse_server::Client::new(server);
-            let reply = client.submit(&text).map_err(|e| e.to_string())?;
+            let reply = if cluster {
+                client
+                    .submit_distributed(&text)
+                    .map_err(|e| e.to_string())?
+            } else {
+                client.submit(&text).map_err(|e| e.to_string())?
+            };
             writeln!(
                 out,
                 "{}",
@@ -723,7 +920,7 @@ pub fn run(invocation: Invocation, out: &mut impl std::io::Write) -> Result<(), 
             let points = synapse_campaign::expand(&spec);
             writeln!(
                 out,
-                "campaign {:?}: {} points ({} workload-steps × {} machines × {} kernels × {} modes × {} widths × {} io blocks × {} rates × {} filesystems × {} atom sets)",
+                "campaign {:?}: {} points ({} workload-steps × {} machines × {} kernels × {} modes × {} widths × {} io blocks × {} rates × {} filesystems × {} atom sets × {} sample orders)",
                 spec.name,
                 points.len(),
                 spec.workloads.iter().map(|w| w.steps.len()).sum::<usize>(),
@@ -735,6 +932,7 @@ pub fn run(invocation: Invocation, out: &mut impl std::io::Write) -> Result<(), 
                 spec.sample_rates.len(),
                 spec.filesystems.len(),
                 spec.atoms.len(),
+                spec.sample_order.len(),
             )
             .map_err(|e| e.to_string())?;
             for p in points.iter().take(10) {
@@ -1155,6 +1353,7 @@ mod tests {
                 cache: default_campaign_cache(),
                 queue_workers: 2,
                 workers: 0,
+                max_connections: synapse_server::DEFAULT_MAX_CONNECTIONS,
             }
         );
         assert_eq!(
@@ -1168,6 +1367,8 @@ mod tests {
                 "4",
                 "--workers",
                 "2",
+                "--max-connections",
+                "64",
             ]))
             .unwrap(),
             Invocation::Serve {
@@ -1175,6 +1376,7 @@ mod tests {
                 cache: PathBuf::from("/tmp/srv"),
                 queue_workers: 4,
                 workers: 2,
+                max_connections: 64,
             }
         );
         assert!(parse_args(&argv(&["serve", "--queue-workers", "0"])).is_err());
@@ -1186,6 +1388,7 @@ mod tests {
                 spec: PathBuf::from("s.toml"),
                 server: DEFAULT_SERVER_ADDR.into(),
                 watch: true,
+                cluster: false,
             }
         );
         assert_eq!(
@@ -1220,6 +1423,176 @@ mod tests {
         assert!(parse_args(&argv(&["campaign", "cancel"])).is_err());
         // --watch is a submit-only flag.
         assert!(parse_args(&argv(&["campaign", "watch", "j1", "--watch"])).is_err());
+    }
+
+    #[test]
+    fn parses_cluster_commands() {
+        assert_eq!(
+            parse_args(&argv(&[
+                "cluster",
+                "start",
+                "--worker",
+                "127.0.0.1:9001",
+                "--worker",
+                "127.0.0.1:9002",
+                "--max-connections",
+                "128",
+            ]))
+            .unwrap(),
+            Invocation::ClusterStart {
+                addr: DEFAULT_SERVER_ADDR.into(),
+                cache: default_campaign_cache(),
+                queue_workers: 2,
+                workers: 0,
+                max_connections: 128,
+                worker_addrs: vec!["127.0.0.1:9001".into(), "127.0.0.1:9002".into()],
+            }
+        );
+        assert_eq!(
+            parse_args(&argv(&[
+                "cluster",
+                "add-worker",
+                "127.0.0.1:9001",
+                "--server",
+                "127.0.0.1:8000",
+            ]))
+            .unwrap(),
+            Invocation::ClusterAddWorker {
+                worker: "127.0.0.1:9001".into(),
+                server: "127.0.0.1:8000".into(),
+            }
+        );
+        assert_eq!(
+            parse_args(&argv(&["cluster", "status"])).unwrap(),
+            Invocation::ClusterStatus {
+                server: DEFAULT_SERVER_ADDR.into(),
+            }
+        );
+        assert_eq!(
+            parse_args(&argv(&[
+                "campaign",
+                "submit",
+                "s.toml",
+                "--cluster",
+                "--watch"
+            ]))
+            .unwrap(),
+            Invocation::CampaignSubmit {
+                spec: PathBuf::from("s.toml"),
+                server: DEFAULT_SERVER_ADDR.into(),
+                watch: true,
+                cluster: true,
+            }
+        );
+        assert!(parse_args(&argv(&["cluster"])).is_err());
+        assert!(parse_args(&argv(&["cluster", "frob"])).is_err());
+        assert!(parse_args(&argv(&["cluster", "add-worker"])).is_err());
+        assert!(parse_args(&argv(&["cluster", "status", "extra"])).is_err());
+        // --worker is a cluster-start-only flag.
+        assert!(parse_args(&argv(&["serve", "--worker", "x"])).is_err());
+        // --cluster is a submit-only flag.
+        assert!(parse_args(&argv(&["campaign", "watch", "j1", "--cluster"])).is_err());
+    }
+
+    #[test]
+    fn cluster_client_commands_through_cli_layer() {
+        // One in-process worker + one in-process coordinator, driven
+        // purely through CLI invocations (what the CI cluster smoke
+        // does with real processes).
+        let dir = std::env::temp_dir().join(format!("synapse-cli-cluster-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let spec_path = dir.join("sweep.toml");
+        std::fs::write(
+            &spec_path,
+            r#"
+            name = "cli-cluster"
+            seed = 17
+            machines = ["thinkie", "comet"]
+            kernels = ["asm", "c"]
+
+            [[workloads]]
+            app = "gromacs"
+            steps = [10000, 50000]
+            "#,
+        )
+        .unwrap();
+
+        let worker = synapse_server::Server::bind(synapse_server::ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            ..Default::default()
+        })
+        .unwrap();
+        let worker_addr = worker.local_addr().unwrap().to_string();
+        let worker_handle = worker.handle().unwrap();
+        let worker_join = std::thread::spawn(move || worker.run().unwrap());
+
+        let coordinator = std::sync::Arc::new(synapse_cluster::Coordinator::new(
+            synapse_cluster::ClusterConfig::default(),
+        ));
+        let coord = synapse_server::Server::bind(synapse_server::ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            ..Default::default()
+        })
+        .unwrap()
+        .with_cluster(coordinator);
+        let coord_addr = coord.local_addr().unwrap().to_string();
+        let coord_handle = coord.handle().unwrap();
+        let coord_join = std::thread::spawn(move || coord.run().unwrap());
+
+        // add-worker registers over HTTP.
+        let mut buf = Vec::new();
+        run(
+            Invocation::ClusterAddWorker {
+                worker: worker_addr.clone(),
+                server: coord_addr.clone(),
+            },
+            &mut buf,
+        )
+        .unwrap();
+        let doc: serde_json::Value =
+            serde_json::from_str(String::from_utf8(buf).unwrap().trim()).unwrap();
+        assert_eq!(doc["alive"].as_bool(), Some(true));
+
+        // status shows one live worker.
+        let mut buf = Vec::new();
+        run(
+            Invocation::ClusterStatus {
+                server: coord_addr.clone(),
+            },
+            &mut buf,
+        )
+        .unwrap();
+        let status: serde_json::Value =
+            serde_json::from_str(String::from_utf8(buf).unwrap().trim()).unwrap();
+        assert_eq!(status["live"].as_u64(), Some(1));
+
+        // submit --cluster --watch: distributed, streamed, completed.
+        let mut buf = Vec::new();
+        run(
+            Invocation::CampaignSubmit {
+                spec: spec_path,
+                server: coord_addr,
+                watch: true,
+                cluster: true,
+            },
+            &mut buf,
+        )
+        .unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        let first: serde_json::Value = serde_json::from_str(lines[0]).unwrap();
+        assert_eq!(first["distributed"].as_bool(), Some(true));
+        assert_eq!(first["points"].as_u64(), Some(8));
+        let last: serde_json::Value = serde_json::from_str(lines.last().unwrap()).unwrap();
+        assert_eq!(last["event"].as_str(), Some("completed"));
+        assert_eq!(last["points"].as_u64(), Some(8));
+
+        coord_handle.shutdown();
+        coord_join.join().unwrap();
+        worker_handle.shutdown();
+        worker_join.join().unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
@@ -1262,6 +1635,7 @@ mod tests {
                 spec: spec_path.clone(),
                 server: addr.clone(),
                 watch: true,
+                cluster: false,
             },
             &mut buf,
         )

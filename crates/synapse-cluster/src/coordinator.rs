@@ -1,0 +1,324 @@
+//! The coordinator: lease dispatch, worker drivers, failure-driven
+//! reassignment, and the local fallback that guarantees completion.
+//!
+//! One driver thread per live worker claims leases from the shared
+//! [`LeaseTable`] and runs them to completion on its worker (`POST
+//! /leases`, then watch the event stream, feeding every point into the
+//! merge [`Collector`]). The claim loop is work-stealing: fast workers
+//! naturally take more leases, a dying worker's released lease is
+//! picked up by whoever claims next, and when *every* remote worker is
+//! gone the coordinator sweeps the remaining leases through its own
+//! engine — a cluster degrades to a single process, never to a hung
+//! job.
+
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use synapse_campaign::{
+    expand_range, CampaignEngine, CampaignError, CampaignOutcome, CampaignReport, CampaignSpec,
+    CancelToken, Lease, LeaseTable, PointEvent, ResultCache, RunConfig, RunStats,
+};
+use synapse_server::{Client, ClusterBackend};
+
+use crate::merge::Collector;
+use crate::protocol::{self, WorkerEvent};
+use crate::registry::WorkerRegistry;
+
+/// Coordinator tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Leases per live worker: >1 gives reassignment granularity and
+    /// lets fast workers steal work from slow ones.
+    pub leases_per_worker: usize,
+    /// A lease claimed this many times without completing poisons the
+    /// job (prevents a spec that crashes every worker from spinning
+    /// forever).
+    pub max_lease_attempts: usize,
+    /// Worker threads for locally-executed leases (0 ⇒ auto).
+    pub local_workers: usize,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            leases_per_worker: 4,
+            max_lease_attempts: 6,
+            local_workers: 0,
+        }
+    }
+}
+
+/// The distributed-execution backend a coordinator-mode server plugs
+/// into [`synapse_server::Server::with_cluster`].
+pub struct Coordinator {
+    config: ClusterConfig,
+    registry: WorkerRegistry,
+}
+
+/// How one lease run on one worker ended.
+enum LeaseRun {
+    /// Every point of the lease arrived; lease is done.
+    Completed,
+    /// The campaign's cancel token fired mid-lease; stop driving.
+    Stopped,
+    /// Transport broke or the worker reported failure; retry
+    /// elsewhere.
+    Failed(String),
+}
+
+impl Coordinator {
+    /// A coordinator with an empty worker registry.
+    pub fn new(config: ClusterConfig) -> Coordinator {
+        Coordinator {
+            config,
+            registry: WorkerRegistry::new(),
+        }
+    }
+
+    /// The worker registry (registration happens through the server's
+    /// `/cluster/workers` endpoint or directly here).
+    pub fn registry(&self) -> &WorkerRegistry {
+        &self.registry
+    }
+
+    /// Drive one lease on one worker, feeding points into the
+    /// collector as they stream in.
+    fn run_lease(
+        &self,
+        client: &Client,
+        spec: &CampaignSpec,
+        lease: &Lease,
+        collector: &Collector,
+        observer: &(dyn Fn(PointEvent) + Sync),
+        cancel: &CancelToken,
+    ) -> LeaseRun {
+        let body = protocol::lease_request_json(spec, lease);
+        let reply = match client.submit_lease(&body) {
+            Ok(reply) => reply,
+            Err(e) => return LeaseRun::Failed(format!("lease submit: {e}")),
+        };
+        let Some(id) = reply["id"].as_str().map(str::to_string) else {
+            return LeaseRun::Failed("lease submit reply carries no job id".into());
+        };
+        let mut worker_error: Option<String> = None;
+        // Keepalive delivery matters: a lease queued behind a busy
+        // worker emits only heartbeats, and the cancel check below
+        // must still run on each one.
+        let watched = client.watch_with_keepalive(&id, |line| {
+            if cancel.is_cancelled() {
+                return false; // hang up; the job is cancelled below
+            }
+            match protocol::parse_event(line) {
+                Some(WorkerEvent::Point { result, cached }) => {
+                    collector.record(Arc::new(*result), cached, observer);
+                }
+                Some(WorkerEvent::Failed { error }) => worker_error = Some(error),
+                Some(WorkerEvent::Truncated { dropped }) => {
+                    // Should be impossible (lease rings are unbounded)
+                    // but dropped lines were results: abort and re-run
+                    // the lease rather than silently losing points.
+                    worker_error = Some(format!("lease stream truncated ({dropped} lines lost)"));
+                    return false;
+                }
+                _ => {}
+            }
+            true
+        });
+        if cancel.is_cancelled() {
+            // Points already collected stay collected; stop the
+            // worker-side sweep cooperatively.
+            let _ = client.cancel(&id);
+            return LeaseRun::Stopped;
+        }
+        if let Some(error) = worker_error {
+            return LeaseRun::Failed(error);
+        }
+        match watched {
+            Ok(summary) if summary["event"].as_str() == Some("completed") => LeaseRun::Completed,
+            Ok(summary) => LeaseRun::Failed(format!(
+                "lease stream ended with {:?}",
+                summary["event"].as_str().unwrap_or("nothing")
+            )),
+            Err(e) => LeaseRun::Failed(format!("lease stream: {e}")),
+        }
+    }
+
+    /// One worker's driver loop: claim, run, complete/release, until
+    /// the table drains, the campaign cancels, a lease poisons the
+    /// job, or this worker dies.
+    #[allow(clippy::too_many_arguments)]
+    fn drive_worker(
+        &self,
+        worker_id: &str,
+        addr: &str,
+        spec: &CampaignSpec,
+        table: &Mutex<LeaseTable>,
+        collector: &Collector,
+        fatal: &Mutex<Option<String>>,
+        observer: &(dyn Fn(PointEvent) + Sync),
+        cancel: &CancelToken,
+    ) {
+        let client = Client::new(addr.to_string());
+        loop {
+            if cancel.is_cancelled() || fatal.lock().expect("fatal lock").is_some() {
+                return;
+            }
+            let claimed = {
+                let mut table = table.lock().expect("lease table lock");
+                if table.is_complete() {
+                    return;
+                }
+                table.claim(worker_id)
+            };
+            let Some(lease) = claimed else {
+                // Leases are assigned to other live drivers; they will
+                // complete or release them. Poll cheaply meanwhile.
+                std::thread::sleep(Duration::from_millis(25));
+                continue;
+            };
+            match self.run_lease(&client, spec, &lease, collector, observer, cancel) {
+                LeaseRun::Completed => {
+                    table.lock().expect("lease table lock").complete(lease.id);
+                    self.registry.credit_lease(worker_id);
+                }
+                LeaseRun::Stopped => {
+                    table.lock().expect("lease table lock").release(lease.id);
+                    return;
+                }
+                LeaseRun::Failed(reason) => {
+                    let attempts = {
+                        let mut table = table.lock().expect("lease table lock");
+                        table.release(lease.id);
+                        table.attempts(lease.id)
+                    };
+                    self.registry.record_failure(worker_id);
+                    if attempts >= self.config.max_lease_attempts {
+                        *fatal.lock().expect("fatal lock") = Some(format!(
+                            "lease {} ({}..{}) failed {attempts} times, last: {reason}",
+                            lease.id, lease.start, lease.end
+                        ));
+                        return;
+                    }
+                    // Worker death vs. transient failure: probe. A dead
+                    // worker retires this driver; its released lease
+                    // reassigns to the survivors (or the local
+                    // fallback).
+                    if client.healthz().is_err() {
+                        self.registry.mark_dead(worker_id);
+                        return;
+                    }
+                    // Alive but failing (momentarily at its connection
+                    // cap, draining for shutdown): back off so a
+                    // transient blip cannot burn every attempt in
+                    // milliseconds and poison the job.
+                    std::thread::sleep(Duration::from_millis(200 * attempts.min(5) as u64));
+                }
+            }
+        }
+    }
+}
+
+impl ClusterBackend for Coordinator {
+    fn run_distributed(
+        &self,
+        spec: &CampaignSpec,
+        cache: &ResultCache,
+        observer: &(dyn Fn(PointEvent) + Sync),
+        cancel: &CancelToken,
+    ) -> Result<CampaignOutcome, CampaignError> {
+        let started = Instant::now();
+        let total = spec.point_count();
+        observer(PointEvent::Started { total });
+
+        let workers = self.registry.live();
+        let lease_count = workers.len().max(1) * self.config.leases_per_worker;
+        let table = Mutex::new(LeaseTable::new(total, lease_count));
+        let collector = Collector::new(total);
+        let fatal: Mutex<Option<String>> = Mutex::new(None);
+
+        if !workers.is_empty() {
+            std::thread::scope(|scope| {
+                for (worker_id, addr) in &workers {
+                    let (table, collector, fatal) = (&table, &collector, &fatal);
+                    scope.spawn(move || {
+                        self.drive_worker(
+                            worker_id, addr, spec, table, collector, fatal, observer, cancel,
+                        )
+                    });
+                }
+            });
+        }
+        if let Some(reason) = fatal.into_inner().expect("fatal lock") {
+            return Err(CampaignError::Cluster(reason));
+        }
+
+        // Whatever no remote worker completed (none registered, all
+        // died, or stragglers released on cancel) sweeps locally —
+        // the coordinator is always its own last worker.
+        let leftover = table.lock().expect("lease table lock").drain_incomplete();
+        if !leftover.is_empty() && !cancel.is_cancelled() {
+            let config = RunConfig {
+                workers: self.config.local_workers,
+            };
+            let shim = |event: PointEvent| {
+                if let PointEvent::PointDone { result, cached, .. } = event {
+                    collector.record(result, cached, observer);
+                }
+            };
+            for lease in leftover {
+                if cancel.is_cancelled() {
+                    break;
+                }
+                // Materialize only this lease's slice — finishing one
+                // straggler lease of a huge grid must cost the lease,
+                // not the grid.
+                let slice = expand_range(spec, lease.start, lease.end);
+                match CampaignEngine::new(&slice, cache, &config).run(&shim, cancel) {
+                    Ok(_) | Err(CampaignError::Cancelled { .. }) => {}
+                    Err(e) => return Err(e),
+                }
+            }
+            cache.persist()?;
+        }
+
+        let (done, cache_hits, simulated) = collector.counts();
+        if cancel.is_cancelled() && done < total {
+            observer(PointEvent::Cancelled { done, total });
+            return Err(CampaignError::Cancelled { done, total });
+        }
+        if done < total {
+            return Err(CampaignError::Cluster(format!(
+                "grid incomplete after fan-out: {done}/{total} points"
+            )));
+        }
+        let results = collector.into_results()?;
+        let stats = RunStats {
+            points: total,
+            simulated,
+            cache_hits,
+            wall_secs: started.elapsed().as_secs_f64(),
+        };
+        observer(PointEvent::Finished { stats });
+        let report = CampaignReport::assemble(spec, &results)?;
+        Ok(CampaignOutcome { report, stats })
+    }
+
+    fn register_worker(&self, addr: &str) -> serde_json::Value {
+        self.registry.register(addr)
+    }
+
+    fn deregister_worker(&self, id: &str) -> Option<serde_json::Value> {
+        self.registry.deregister(id)
+    }
+
+    fn heartbeat(&self, id: &str) -> Option<serde_json::Value> {
+        self.registry.heartbeat(id)
+    }
+
+    fn status(&self) -> serde_json::Value {
+        // The status probe doubles as the pull-side heartbeat: every
+        // `synapse cluster status` refreshes liveness for real.
+        self.registry
+            .status_json(|addr| Client::new(addr.to_string()).healthz().is_ok())
+    }
+}

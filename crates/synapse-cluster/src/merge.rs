@@ -1,0 +1,185 @@
+//! Ordered merge of per-lease point streams into one campaign result.
+//!
+//! Leases complete out of order and may *replay* (a failed lease
+//! re-runs on another worker after some of its points already
+//! arrived), so the collector is keyed by global grid index: first
+//! arrival wins, duplicates are dropped, and the merged observer event
+//! fires under the same lock that advances the `done` counter — the
+//! stream contract (`done` strictly monotone `1..=N`) holds no matter
+//! how many worker streams interleave. At the end the slots read out
+//! in grid order, which is what makes the assembled report
+//! byte-identical to a single-process sweep.
+
+use std::sync::Arc;
+use std::sync::Mutex;
+
+use synapse_campaign::{CampaignError, PointEvent, PointResult};
+
+struct Inner {
+    slots: Vec<Option<Arc<PointResult>>>,
+    done: usize,
+    cache_hits: usize,
+    simulated: usize,
+}
+
+/// Replay-tolerant, order-restoring point collector.
+pub struct Collector {
+    inner: Mutex<Inner>,
+    total: usize,
+}
+
+impl Collector {
+    /// A collector for a `total`-point grid.
+    pub fn new(total: usize) -> Collector {
+        Collector {
+            inner: Mutex::new(Inner {
+                slots: vec![None; total],
+                done: 0,
+                cache_hits: 0,
+                simulated: 0,
+            }),
+            total,
+        }
+    }
+
+    /// Record one landed point by its global grid index, emitting the
+    /// merged [`PointEvent::PointDone`] (with the global `done`
+    /// counter) through `observer`. Duplicates — replayed leases — and
+    /// out-of-range indices are ignored; returns whether the point was
+    /// fresh.
+    pub fn record(
+        &self,
+        result: Arc<PointResult>,
+        cached: bool,
+        observer: &(dyn Fn(PointEvent) + Sync),
+    ) -> bool {
+        let index = result.point.index;
+        if index >= self.total {
+            return false;
+        }
+        let mut inner = self.inner.lock().expect("collector lock");
+        if inner.slots[index].is_some() {
+            return false;
+        }
+        inner.slots[index] = Some(result.clone());
+        inner.done += 1;
+        if cached {
+            inner.cache_hits += 1;
+        } else {
+            inner.simulated += 1;
+        }
+        let done = inner.done;
+        // Emit under the lock so `done` is monotone in event order —
+        // the same discipline CampaignEngine uses.
+        observer(PointEvent::PointDone {
+            result,
+            cached,
+            done,
+            total: self.total,
+        });
+        true
+    }
+
+    /// Points collected so far.
+    pub fn done(&self) -> usize {
+        self.inner.lock().expect("collector lock").done
+    }
+
+    /// `(done, cache_hits, simulated)` counters.
+    pub fn counts(&self) -> (usize, usize, usize) {
+        let inner = self.inner.lock().expect("collector lock");
+        (inner.done, inner.cache_hits, inner.simulated)
+    }
+
+    /// Read out every result in grid order. Errors if any slot never
+    /// filled (the caller checks completion first; this is the
+    /// defensive backstop).
+    pub fn into_results(self) -> Result<Vec<PointResult>, CampaignError> {
+        let inner = self.inner.into_inner().expect("collector lock");
+        let mut results = Vec::with_capacity(inner.slots.len());
+        for (index, slot) in inner.slots.into_iter().enumerate() {
+            let shared = slot.ok_or_else(|| {
+                CampaignError::Cluster(format!("grid index {index} was never executed"))
+            })?;
+            results.push(Arc::try_unwrap(shared).unwrap_or_else(|held| (*held).clone()));
+        }
+        Ok(results)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex as StdMutex;
+    use synapse_campaign::{expand, simulate_point, CampaignSpec};
+
+    fn results() -> Vec<PointResult> {
+        let spec = CampaignSpec::from_toml(
+            r#"
+            name = "merge"
+            seed = 9
+            machines = ["thinkie"]
+            kernels = ["asm", "c"]
+
+            [[workloads]]
+            app = "gromacs"
+            steps = [1000, 2000]
+            "#,
+        )
+        .unwrap();
+        expand(&spec)
+            .iter()
+            .map(|p| simulate_point(p).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn out_of_order_arrival_merges_back_into_grid_order() {
+        let rs = results();
+        let collector = Collector::new(rs.len());
+        let events: StdMutex<Vec<usize>> = StdMutex::new(Vec::new());
+        let observer = |e: PointEvent| {
+            if let PointEvent::PointDone { done, total, .. } = e {
+                assert_eq!(total, 4);
+                events.lock().unwrap().push(done);
+            }
+        };
+        // Arrive 3, 0, 2, 1.
+        for idx in [3, 0, 2, 1] {
+            assert!(collector.record(Arc::new(rs[idx].clone()), idx % 2 == 0, &observer));
+        }
+        assert_eq!(*events.lock().unwrap(), vec![1, 2, 3, 4], "monotone done");
+        assert_eq!(collector.counts(), (4, 2, 2));
+        let merged = collector.into_results().unwrap();
+        assert_eq!(merged, rs, "grid order restored");
+    }
+
+    #[test]
+    fn replayed_and_bogus_points_are_dropped() {
+        let rs = results();
+        let collector = Collector::new(rs.len());
+        let observer = |_: PointEvent| {};
+        assert!(collector.record(Arc::new(rs[1].clone()), false, &observer));
+        // A replayed lease re-delivers the same point.
+        assert!(!collector.record(Arc::new(rs[1].clone()), true, &observer));
+        assert_eq!(
+            collector.counts(),
+            (1, 0, 1),
+            "duplicate not double-counted"
+        );
+        // An index past the grid cannot corrupt the slots.
+        let mut alien = rs[0].clone();
+        alien.point.index = 99;
+        assert!(!collector.record(Arc::new(alien), false, &observer));
+        assert_eq!(collector.done(), 1);
+    }
+
+    #[test]
+    fn incomplete_grids_refuse_to_read_out() {
+        let rs = results();
+        let collector = Collector::new(rs.len());
+        collector.record(Arc::new(rs[0].clone()), false, &|_| {});
+        let err = collector.into_results().unwrap_err();
+        assert!(matches!(err, CampaignError::Cluster(_)), "{err}");
+    }
+}

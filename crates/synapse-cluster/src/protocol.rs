@@ -1,0 +1,182 @@
+//! Wire forms of the coordinator↔worker protocol.
+//!
+//! Workers are plain `synapse serve` processes: a lease travels as the
+//! JSON [`LeaseRequest`](synapse_server::LeaseRequest) body of `POST
+//! /leases`, and results come back over the worker's ordinary NDJSON
+//! event stream — the only lease-specific extension is that each
+//! `point` event carries the full serialized
+//! [`PointResult`](synapse_campaign::PointResult) under `"result"`, so
+//! the coordinator can reassemble a byte-stable report without a
+//! second fetch.
+
+use serde_json::Value;
+use synapse_campaign::{CampaignSpec, Lease, PointResult};
+use synapse_server::LeaseRequest;
+
+/// Serialize the `POST /leases` body for one lease of a spec.
+pub fn lease_request_json(spec: &CampaignSpec, lease: &Lease) -> String {
+    let request = LeaseRequest {
+        spec: spec.clone(),
+        start: lease.start,
+        end: lease.end,
+    };
+    serde_json::to_string(&request).expect("lease request serializes")
+}
+
+/// One parsed line of a worker's lease event stream, reduced to what
+/// the coordinator acts on.
+#[derive(Debug)]
+pub enum WorkerEvent {
+    /// The lease sweep started on the worker.
+    Started,
+    /// One point landed, with its full result (global grid index
+    /// inside) and whether the worker served it from cache.
+    Point {
+        /// The reconstructed per-point result (boxed: this variant
+        /// would otherwise dwarf the lifecycle ones).
+        result: Box<PointResult>,
+        /// Whether the worker's cache satisfied the point.
+        cached: bool,
+    },
+    /// Every point of the lease landed.
+    Completed,
+    /// The lease stopped early (worker-side cancellation — e.g. the
+    /// worker is shutting down).
+    Cancelled,
+    /// The worker's sweep errored.
+    Failed {
+        /// The worker's error message.
+        error: String,
+    },
+    /// The worker's event ring dropped lines before this stream read
+    /// them. Lease rings are unbounded so this cannot happen on a
+    /// stock worker, but a coordinator must treat it as lease failure
+    /// — the dropped lines were results.
+    Truncated {
+        /// How many lines were dropped.
+        dropped: u64,
+    },
+    /// Snapshots, heartbeats — nothing to merge.
+    Other,
+}
+
+/// Parse one NDJSON line of a lease stream. `None` for non-JSON lines
+/// (a malformed stream is treated as a transport failure by the
+/// caller when the terminal event never arrives).
+pub fn parse_event(line: &str) -> Option<WorkerEvent> {
+    let value: Value = serde_json::from_str(line).ok()?;
+    let event = match value["event"].as_str()? {
+        "started" => WorkerEvent::Started,
+        "point" => {
+            let result: PointResult = serde_json::from_value(value["result"].clone()).ok()?;
+            WorkerEvent::Point {
+                result: Box::new(result),
+                cached: value["cached"].as_bool().unwrap_or(false),
+            }
+        }
+        "completed" => WorkerEvent::Completed,
+        "cancelled" => WorkerEvent::Cancelled,
+        "failed" => WorkerEvent::Failed {
+            error: value["error"]
+                .as_str()
+                .unwrap_or("worker reported failure")
+                .to_string(),
+        },
+        "truncated" => WorkerEvent::Truncated {
+            dropped: value["dropped"].as_u64().unwrap_or(0),
+        },
+        _ => WorkerEvent::Other,
+    };
+    Some(event)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use synapse_campaign::expand;
+
+    fn spec() -> CampaignSpec {
+        CampaignSpec::from_toml(
+            r#"
+            name = "protocol"
+            seed = 1
+            machines = ["thinkie"]
+            kernels = ["asm", "c"]
+
+            [[workloads]]
+            app = "gromacs"
+            steps = [1000, 2000]
+            "#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn lease_request_roundtrips() {
+        let s = spec();
+        let lease = Lease {
+            id: 1,
+            start: 1,
+            end: 3,
+        };
+        let json = lease_request_json(&s, &lease);
+        let back: LeaseRequest = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.spec, s);
+        assert_eq!((back.start, back.end), (1, 3));
+    }
+
+    #[test]
+    fn point_events_reconstruct_results_exactly() {
+        let s = spec();
+        let point = &expand(&s)[2];
+        let result = synapse_campaign::simulate_point(point).unwrap();
+        let line = serde_json::to_string(&serde_json::json!({
+            "event": "point",
+            "index": point.index,
+            "cached": true,
+            "result": serde_json::to_value(&result).unwrap(),
+        }))
+        .unwrap();
+        match parse_event(&line) {
+            Some(WorkerEvent::Point {
+                result: back,
+                cached,
+            }) => {
+                assert!(cached);
+                assert_eq!(*back, result, "exact roundtrip, floats included");
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lifecycle_and_noise_lines_classify() {
+        assert!(matches!(
+            parse_event("{\"event\":\"started\",\"total\":4}"),
+            Some(WorkerEvent::Started)
+        ));
+        assert!(matches!(
+            parse_event("{\"event\":\"completed\"}"),
+            Some(WorkerEvent::Completed)
+        ));
+        assert!(matches!(
+            parse_event("{\"event\":\"cancelled\",\"done\":1}"),
+            Some(WorkerEvent::Cancelled)
+        ));
+        match parse_event("{\"event\":\"failed\",\"error\":\"boom\"}") {
+            Some(WorkerEvent::Failed { error }) => assert_eq!(error, "boom"),
+            other => panic!("wrong parse: {other:?}"),
+        }
+        assert!(matches!(
+            parse_event("{\"event\":\"snapshot\",\"done\":32}"),
+            Some(WorkerEvent::Other)
+        ));
+        assert!(matches!(
+            parse_event("{\"event\":\"truncated\",\"dropped\":5}"),
+            Some(WorkerEvent::Truncated { dropped: 5 })
+        ));
+        assert!(parse_event("not json").is_none());
+        // A point event with a mangled result payload is unusable.
+        assert!(parse_event("{\"event\":\"point\",\"result\":{\"nope\":1}}").is_none());
+    }
+}

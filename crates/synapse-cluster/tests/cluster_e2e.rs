@@ -1,0 +1,385 @@
+//! End-to-end cluster tests: real coordinator + worker servers on
+//! ephemeral ports, leases over real sockets, worker death mid-sweep.
+
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use serde_json::Value;
+use synapse_cluster::{ClusterConfig, Coordinator};
+use synapse_server::{Client, Server, ServerConfig, ServerHandle};
+
+/// Boot a plain worker server; returns its address, client, handle.
+fn boot_worker(
+    config: ServerConfig,
+) -> (String, Client, ServerHandle, std::thread::JoinHandle<()>) {
+    let mut config = config;
+    config.addr = "127.0.0.1:0".into();
+    let server = Server::bind(config).expect("bind worker");
+    let handle = server.handle().expect("worker handle");
+    let addr = server.local_addr().expect("worker addr").to_string();
+    let join = std::thread::spawn(move || server.run().expect("worker run"));
+    (addr.clone(), Client::new(addr), handle, join)
+}
+
+/// Boot a coordinator with the given workers pre-registered.
+fn boot_coordinator(
+    worker_addrs: &[&str],
+    config: ServerConfig,
+) -> (Client, ServerHandle, std::thread::JoinHandle<()>) {
+    let coordinator = Arc::new(Coordinator::new(ClusterConfig::default()));
+    for addr in worker_addrs {
+        coordinator.registry().register(addr);
+    }
+    let mut config = config;
+    config.addr = "127.0.0.1:0".into();
+    let server = Server::bind(config)
+        .expect("bind coordinator")
+        .with_cluster(coordinator);
+    let handle = server.handle().expect("coordinator handle");
+    let addr = server.local_addr().expect("coordinator addr").to_string();
+    let join = std::thread::spawn(move || server.run().expect("coordinator run"));
+    (Client::new(addr), handle, join)
+}
+
+/// 16 points: partitions across 8 leases on a 2-worker cluster.
+fn medium_spec() -> &'static str {
+    r#"
+    name = "cluster-medium"
+    seed = 27
+    machines = ["thinkie", "comet"]
+    kernels = ["asm", "c"]
+    modes = ["openmp", "mpi"]
+
+    [[workloads]]
+    app = "gromacs"
+    steps = [10000, 50000]
+    "#
+}
+
+/// A wide grid that takes a while on single-threaded workers — long
+/// enough to kill a worker mid-sweep.
+fn wide_spec() -> &'static str {
+    r#"
+    name = "cluster-wide"
+    seed = 31
+    machines = ["thinkie", "stampede", "archer", "supermic", "comet", "titan"]
+    kernels = ["asm", "c", "spin"]
+    modes = ["openmp", "mpi"]
+    threads = [1, 4]
+
+    [[workloads]]
+    app = "gromacs"
+    steps = [10000, 50000, 100000]
+
+    [[workloads]]
+    app = "amber"
+    steps = [10000, 50000, 100000]
+    "#
+}
+
+fn await_terminal(client: &Client, id: &str) -> Value {
+    let deadline = Instant::now() + Duration::from_secs(300);
+    loop {
+        let status = client.status(id).expect("status");
+        let state = status["status"]
+            .as_str()
+            .expect("status string")
+            .to_string();
+        if ["completed", "cancelled", "failed"].contains(&state.as_str()) {
+            return status;
+        }
+        assert!(Instant::now() < deadline, "job {id} stuck in {state}");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// Submit a spec plainly (no cluster) and return its compact report
+/// text — the single-process baseline for byte-stability checks.
+fn single_process_report(spec: &str) -> String {
+    let (_, client, handle, join) = boot_worker(ServerConfig::default());
+    let id = client.submit(spec).unwrap()["id"]
+        .as_str()
+        .unwrap()
+        .to_string();
+    let summary = client.watch(&id, |_| true).unwrap();
+    assert_eq!(summary["event"].as_str(), Some("completed"));
+    let report = client.report(&id).unwrap();
+    handle.shutdown();
+    join.join().unwrap();
+    serde_json::to_string(&report).unwrap()
+}
+
+#[test]
+fn distributed_run_merges_streams_and_reports_byte_stably() {
+    let (addr1, _c1, h1, j1) = boot_worker(ServerConfig::default());
+    let (addr2, _c2, h2, j2) = boot_worker(ServerConfig::default());
+    let (client, handle, join) = boot_coordinator(&[&addr1, &addr2], ServerConfig::default());
+
+    let reply = client.submit_distributed(medium_spec()).unwrap();
+    assert_eq!(reply["distributed"].as_bool(), Some(true));
+    assert_eq!(reply["points"].as_u64(), Some(16));
+    let id = reply["id"].as_str().unwrap().to_string();
+
+    // The merged stream has the same contract as a local sweep: one
+    // point event per grid index, `done` monotone 1..=N, one terminal.
+    let lines = Mutex::new(Vec::<Value>::new());
+    let summary = client
+        .watch(&id, |line| {
+            lines
+                .lock()
+                .unwrap()
+                .push(serde_json::from_str(line).unwrap());
+            true
+        })
+        .unwrap();
+    assert_eq!(summary["event"].as_str(), Some("completed"));
+    assert_eq!(summary["points"].as_u64(), Some(16));
+    let lines = lines.into_inner().unwrap();
+    let points: Vec<&Value> = lines
+        .iter()
+        .filter(|l| l["event"].as_str() == Some("point"))
+        .collect();
+    assert_eq!(points.len(), 16);
+    let dones: Vec<u64> = points.iter().map(|p| p["done"].as_u64().unwrap()).collect();
+    assert_eq!(dones, (1..=16).collect::<Vec<u64>>(), "globally monotone");
+    let mut indices: Vec<u64> = points
+        .iter()
+        .map(|p| p["index"].as_u64().unwrap())
+        .collect();
+    indices.sort_unstable();
+    assert_eq!(indices, (0..16).collect::<Vec<u64>>(), "each index once");
+
+    // Byte-stable merge: the distributed report equals the
+    // single-process baseline exactly.
+    let merged = serde_json::to_string(&client.report(&id).unwrap()).unwrap();
+    assert_eq!(merged, single_process_report(medium_spec()));
+
+    // Both workers carried leases.
+    let status = client.cluster_status().unwrap();
+    assert_eq!(status["live"].as_u64(), Some(2));
+    let carried: u64 = status["workers"]
+        .as_array()
+        .unwrap()
+        .iter()
+        .map(|w| w["leases_completed"].as_u64().unwrap())
+        .sum();
+    assert_eq!(carried, 8, "all 8 leases ran remotely: {status:?}");
+
+    handle.shutdown();
+    join.join().unwrap();
+    h1.shutdown();
+    j1.join().unwrap();
+    h2.shutdown();
+    j2.join().unwrap();
+}
+
+#[test]
+fn worker_death_mid_sweep_reassigns_leases_and_completes() {
+    // Single-threaded workers make the wide grid slow enough to kill
+    // one mid-sweep.
+    let worker_config = || ServerConfig {
+        job_workers: 1,
+        ..Default::default()
+    };
+    let (addr1, _c1, h1, j1) = boot_worker(worker_config());
+    let (addr2, _c2, h2, j2) = boot_worker(worker_config());
+    let (client, handle, join) = boot_coordinator(&[&addr1, &addr2], ServerConfig::default());
+
+    let reply = client.submit_distributed(wide_spec()).unwrap();
+    let total = reply["points"].as_u64().unwrap();
+    assert_eq!(total, 6 * 3 * 2 * 2 * 6);
+    let id = reply["id"].as_str().unwrap().to_string();
+
+    // Wait until the sweep is visibly running, then kill worker 2.
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let status = client.status(&id).unwrap();
+        if status["done"].as_u64().unwrap() >= 8 {
+            break;
+        }
+        assert!(Instant::now() < deadline, "distributed sweep never started");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    h2.shutdown();
+    j2.join().unwrap();
+
+    // The grid still completes: worker 2's leases reassign to worker 1
+    // (or the coordinator's local fallback).
+    let status = await_terminal(&client, &id);
+    assert_eq!(status["status"].as_str(), Some("completed"), "{status:?}");
+    assert_eq!(status["done"].as_u64(), Some(total));
+
+    // The merged report is still byte-identical to a single-process
+    // run — lease replay and reassignment leave no trace.
+    let merged = serde_json::to_string(&client.report(&id).unwrap()).unwrap();
+    assert_eq!(merged, single_process_report(wide_spec()));
+
+    // The registry knows worker 2 is gone.
+    let cluster = client.cluster_status().unwrap();
+    assert_eq!(cluster["live"].as_u64(), Some(1), "{cluster:?}");
+
+    handle.shutdown();
+    join.join().unwrap();
+    h1.shutdown();
+    j1.join().unwrap();
+}
+
+#[test]
+fn coordinator_without_workers_falls_back_to_local_execution() {
+    let (client, handle, join) = boot_coordinator(&[], ServerConfig::default());
+    let reply = client.submit_distributed(medium_spec()).unwrap();
+    let id = reply["id"].as_str().unwrap().to_string();
+    let summary = client.watch(&id, |_| true).unwrap();
+    assert_eq!(summary["event"].as_str(), Some("completed"));
+    assert_eq!(summary["points"].as_u64(), Some(16));
+    let merged = serde_json::to_string(&client.report(&id).unwrap()).unwrap();
+    assert_eq!(merged, single_process_report(medium_spec()));
+    handle.shutdown();
+    join.join().unwrap();
+}
+
+#[test]
+fn distributed_jobs_cancel_cooperatively() {
+    let worker_config = || ServerConfig {
+        job_workers: 1,
+        ..Default::default()
+    };
+    let (addr1, _c1, h1, j1) = boot_worker(worker_config());
+    let (client, handle, join) = boot_coordinator(&[&addr1], ServerConfig::default());
+
+    let reply = client.submit_distributed(wide_spec()).unwrap();
+    let total = reply["points"].as_u64().unwrap();
+    let id = reply["id"].as_str().unwrap().to_string();
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        if client.status(&id).unwrap()["done"].as_u64().unwrap() >= 1 {
+            break;
+        }
+        assert!(Instant::now() < deadline, "no point ever landed");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    client.cancel(&id).unwrap();
+    let status = await_terminal(&client, &id);
+    assert_eq!(status["status"].as_str(), Some("cancelled"));
+    assert!(status["done"].as_u64().unwrap() < total);
+    // The worker's own lease jobs settle too (nothing keeps sweeping).
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let jobs = Client::new(addr1.clone()).list().unwrap();
+        let busy = jobs["campaigns"]
+            .as_array()
+            .unwrap()
+            .iter()
+            .any(|j| matches!(j["status"].as_str(), Some("queued") | Some("running")));
+        if !busy {
+            break;
+        }
+        assert!(Instant::now() < deadline, "worker still sweeping: {jobs:?}");
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    handle.shutdown();
+    join.join().unwrap();
+    h1.shutdown();
+    j1.join().unwrap();
+}
+
+#[test]
+fn workers_sharing_one_cache_dir_assemble_the_full_grid() {
+    // Two workers persist into ONE lock-aware sharded directory; after
+    // a distributed sweep the union holds every point, which a third
+    // process then serves entirely from cache.
+    let dir = std::env::temp_dir().join(format!("synapse-cluster-shared-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let shared = || ServerConfig {
+        cache_dir: Some(dir.clone()),
+        ..Default::default()
+    };
+    let (addr1, c1, h1, j1) = boot_worker(shared());
+    let (addr2, _c2, h2, j2) = boot_worker(shared());
+    let (client, handle, join) = boot_coordinator(&[&addr1, &addr2], ServerConfig::default());
+
+    let id = client.submit_distributed(medium_spec()).unwrap()["id"]
+        .as_str()
+        .unwrap()
+        .to_string();
+    let summary = client.watch(&id, |_| true).unwrap();
+    assert_eq!(summary["event"].as_str(), Some("completed"));
+    assert_eq!(summary["cache_hit_rate"].as_f64(), Some(0.0), "cold run");
+
+    // Lock-aware persistence is observable through the worker's store
+    // stats.
+    let stats = c1.store_stats().unwrap();
+    assert!(
+        stats["lock_acquisitions"].as_u64().unwrap() >= 1,
+        "{stats:?}"
+    );
+
+    h1.shutdown();
+    j1.join().unwrap();
+    h2.shutdown();
+    j2.join().unwrap();
+    handle.shutdown();
+    join.join().unwrap();
+
+    // A fresh process over the same directory sees the whole grid.
+    let (_, c3, h3, j3) = boot_worker(shared());
+    let id = c3.submit(medium_spec()).unwrap()["id"]
+        .as_str()
+        .unwrap()
+        .to_string();
+    let summary = c3.watch(&id, |_| true).unwrap();
+    assert_eq!(
+        summary["cache_hit_rate"].as_f64(),
+        Some(1.0),
+        "no worker's results were lost to the shared directory: {summary:?}"
+    );
+    h3.shutdown();
+    j3.join().unwrap();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn registry_endpoints_roundtrip_over_http() {
+    let (worker_addr, _wc, wh, wj) = boot_worker(ServerConfig::default());
+    let (client, handle, join) = boot_coordinator(&[], ServerConfig::default());
+
+    // Register → status sees a live worker (probed for real).
+    let doc = client.register_worker(&worker_addr).unwrap();
+    let id = doc["id"].as_str().unwrap().to_string();
+    assert_eq!(doc["alive"].as_bool(), Some(true));
+    let status = client.cluster_status().unwrap();
+    assert_eq!(status["registered"].as_u64(), Some(1));
+    assert_eq!(status["live"].as_u64(), Some(1));
+
+    // Heartbeat works; unknown ids 404.
+    assert!(client.heartbeat_worker(&id).is_ok());
+    let err = client.heartbeat_worker("w999").unwrap_err();
+    assert!(err.to_string().contains("404"), "{err}");
+
+    // Re-registering the same address is idempotent.
+    let again = client.register_worker(&worker_addr).unwrap();
+    assert_eq!(again["id"].as_str(), Some(id.as_str()));
+    assert_eq!(
+        client.cluster_status().unwrap()["registered"].as_u64(),
+        Some(1)
+    );
+
+    // Kill the worker: the next status probe reports it dead.
+    wh.shutdown();
+    wj.join().unwrap();
+    let status = client.cluster_status().unwrap();
+    assert_eq!(status["live"].as_u64(), Some(0), "{status:?}");
+
+    // Deregister removes it.
+    client.deregister_worker(&id).unwrap();
+    assert_eq!(
+        client.cluster_status().unwrap()["registered"].as_u64(),
+        Some(0)
+    );
+    let err = client.deregister_worker(&id).unwrap_err();
+    assert!(err.to_string().contains("404"), "{err}");
+
+    handle.shutdown();
+    join.join().unwrap();
+}

@@ -220,6 +220,51 @@ impl Client {
             .json()
     }
 
+    /// `POST /campaigns?cluster=1` — submit for distributed fan-out
+    /// across the coordinator's registered workers.
+    pub fn submit_distributed(&self, spec_text: &str) -> Result<Value, ServerError> {
+        self.request("POST", "/campaigns?cluster=1", Some(spec_text))?
+            .ok()?
+            .json()
+    }
+
+    /// `POST /leases` — offer this worker a lease (JSON
+    /// [`crate::LeaseRequest`] body: full spec + grid index range).
+    pub fn submit_lease(&self, lease_json: &str) -> Result<Value, ServerError> {
+        self.request("POST", "/leases", Some(lease_json))?
+            .ok()?
+            .json()
+    }
+
+    /// `POST /cluster/workers` — register (or revive) a worker with a
+    /// coordinator.
+    pub fn register_worker(&self, worker_addr: &str) -> Result<Value, ServerError> {
+        let body = serde_json::to_string(&serde_json::json!({"addr": worker_addr}))
+            .expect("registration body serializes");
+        self.request("POST", "/cluster/workers", Some(&body))?
+            .ok()?
+            .json()
+    }
+
+    /// `DELETE /cluster/workers/<id>` — remove a worker.
+    pub fn deregister_worker(&self, id: &str) -> Result<Value, ServerError> {
+        self.request("DELETE", &format!("/cluster/workers/{id}"), None)?
+            .ok()?
+            .json()
+    }
+
+    /// `POST /cluster/workers/<id>/heartbeat` — record liveness.
+    pub fn heartbeat_worker(&self, id: &str) -> Result<Value, ServerError> {
+        self.request("POST", &format!("/cluster/workers/{id}/heartbeat"), None)?
+            .ok()?
+            .json()
+    }
+
+    /// `GET /cluster/status` — the coordinator's registry document.
+    pub fn cluster_status(&self) -> Result<Value, ServerError> {
+        self.request("GET", "/cluster/status", None)?.ok()?.json()
+    }
+
     /// `GET /campaigns` — status of every job.
     pub fn list(&self) -> Result<Value, ServerError> {
         self.request("GET", "/campaigns", None)?.ok()?.json()
@@ -257,10 +302,34 @@ impl Client {
     /// reaches a terminal state — or until `on_event` returns `false`,
     /// which hangs up immediately (a watcher whose output died must
     /// not stay attached for the rest of a large sweep). Returns the
-    /// last event received.
+    /// last event received. Heartbeat keepalives never reach
+    /// `on_event`.
     pub fn watch(
         &self,
         id: &str,
+        on_event: impl FnMut(&str) -> bool,
+    ) -> Result<Value, ServerError> {
+        self.watch_opts(id, false, on_event)
+    }
+
+    /// [`watch`](Client::watch), but heartbeat keepalives are *also*
+    /// delivered to `on_event` (they never become the returned last
+    /// event). A caller that must react promptly even on a quiet
+    /// stream — the cluster coordinator checking its cancel token —
+    /// needs the callback to fire at least every heartbeat interval,
+    /// not only when the job produces real events.
+    pub fn watch_with_keepalive(
+        &self,
+        id: &str,
+        on_event: impl FnMut(&str) -> bool,
+    ) -> Result<Value, ServerError> {
+        self.watch_opts(id, true, on_event)
+    }
+
+    fn watch_opts(
+        &self,
+        id: &str,
+        keepalive_to_callback: bool,
         mut on_event: impl FnMut(&str) -> bool,
     ) -> Result<Value, ServerError> {
         let mut reader = self.send("GET", &format!("/campaigns/{id}/events"), None)?;
@@ -280,9 +349,14 @@ impl Client {
         let mut last = None;
         let mut on_line = |line: &str| {
             // Heartbeats are transport keepalive, not job events: they
-            // satisfy the socket read timeout but never reach callers.
+            // never become the stream's outcome, and by default they
+            // never reach callers either.
             if line == "{\"event\":\"heartbeat\"}" {
-                return true;
+                return if keepalive_to_callback {
+                    on_event(line)
+                } else {
+                    true
+                };
             }
             if let Ok(value) = serde_json::from_str::<Value>(line) {
                 last = Some(value);

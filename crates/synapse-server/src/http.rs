@@ -43,10 +43,27 @@ impl Request {
             .map(|(_, v)| v.as_str())
     }
 
-    /// The target's path component (query stripped — no endpoint takes
-    /// query parameters yet, so that's all the router needs).
+    /// The target's path component (query stripped).
     pub fn path(&self) -> &str {
         self.target.split('?').next().unwrap_or(&self.target)
+    }
+
+    /// The target's raw query string, if any (without the `?`).
+    pub fn query(&self) -> Option<&str> {
+        self.target.split_once('?').map(|(_, q)| q)
+    }
+
+    /// Whether a boolean query parameter is set: present bare
+    /// (`?cluster`) or with a truthy value (`?cluster=1`). `=0` and
+    /// `=false` read as unset.
+    pub fn query_flag(&self, name: &str) -> bool {
+        let Some(query) = self.query() else {
+            return false;
+        };
+        query.split('&').any(|pair| {
+            let (key, value) = pair.split_once('=').unwrap_or((pair, ""));
+            key == name && !matches!(value, "0" | "false")
+        })
     }
 }
 
@@ -317,8 +334,27 @@ mod tests {
         .unwrap();
         assert_eq!(req.method, "GET");
         assert_eq!(req.path(), "/campaigns/j1/events", "query stripped");
+        assert_eq!(req.query(), Some("workers=4"));
         assert_eq!(req.header("host"), Some("localhost"));
         assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn query_flags_parse_bare_and_valued_forms() {
+        let req = |target: &str| Request {
+            method: "GET".into(),
+            target: target.into(),
+            headers: Vec::new(),
+            body: Vec::new(),
+        };
+        assert!(req("/campaigns?cluster").query_flag("cluster"));
+        assert!(req("/campaigns?cluster=1").query_flag("cluster"));
+        assert!(req("/campaigns?a=b&cluster=true").query_flag("cluster"));
+        assert!(!req("/campaigns?cluster=0").query_flag("cluster"));
+        assert!(!req("/campaigns?cluster=false").query_flag("cluster"));
+        assert!(!req("/campaigns").query_flag("cluster"));
+        assert!(!req("/campaigns?clustered").query_flag("cluster"));
+        assert_eq!(req("/campaigns").query(), None);
     }
 
     #[test]

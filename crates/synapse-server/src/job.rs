@@ -2,18 +2,67 @@
 //! buffered NDJSON event log its streams replay.
 //!
 //! Events are serialized once (by the worker that produced them) into
-//! a grow-only `Vec<String>`; any number of concurrent stream readers
-//! replay the buffer from the top and then block on a condvar for
-//! more. That makes `GET /campaigns/<id>/events` joinable at any time
-//! — a client attaching mid-sweep first drains history, then follows
-//! live — and means a slow client never stalls the sweep (the buffer
-//! grows; the workers never wait on a socket).
+//! a bounded ring; any number of concurrent stream readers replay the
+//! retained buffer from the top and then block on a condvar for more.
+//! That makes `GET /campaigns/<id>/events` joinable at any time — a
+//! client attaching mid-sweep first drains history, then follows live
+//! — and means a slow client never stalls the sweep (the workers never
+//! wait on a socket). The ring holds at most the configured event cap:
+//! a 55k-point grid cannot grow an unbounded replay buffer; readers
+//! that fall behind (or attach late) receive a synthesized `truncated`
+//! event counting the dropped lines, then the retained tail.
 
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex};
 use std::time::Duration;
 
+use serde::{Deserialize, Serialize};
 use synapse_campaign::{CampaignReport, CampaignSpec, CancelToken, RunStats};
+
+/// Wire form of `POST /leases`: sweep grid indices `start..end` of the
+/// expanded `spec` on this worker, streaming full per-point results.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LeaseRequest {
+    /// The full (already-validated, canonical) campaign spec; the
+    /// worker re-validates after the network hop.
+    pub spec: CampaignSpec,
+    /// First grid index of the lease (inclusive).
+    pub start: usize,
+    /// One past the last grid index (exclusive).
+    pub end: usize,
+}
+
+/// How a submitted job executes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobKind {
+    /// A full-grid sweep in this process (the classic `POST
+    /// /campaigns` path): report assembled at the end.
+    Sweep,
+    /// A lease: sweep only grid indices `start..end` on behalf of a
+    /// cluster coordinator. Point events carry the full serialized
+    /// [`synapse_campaign::PointResult`] so the coordinator can merge
+    /// a byte-stable report; no local report is assembled.
+    Lease {
+        /// First grid index (inclusive).
+        start: usize,
+        /// One past the last grid index (exclusive).
+        end: usize,
+    },
+    /// A distributed campaign: this process coordinates, fanning
+    /// leases out to registered workers and merging their streams.
+    Distributed,
+}
+
+/// Bounded NDJSON event ring with an absolute-position cursor space.
+struct EventLog {
+    /// Retained lines; `lines[0]` is absolute position `base`.
+    lines: VecDeque<String>,
+    /// Absolute position of the first retained line (= total dropped).
+    base: usize,
+    /// Retention cap.
+    cap: usize,
+}
 
 /// Lifecycle of a job.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -74,17 +123,19 @@ pub struct Job {
     pub id: u64,
     /// The validated spec as submitted.
     pub spec: CampaignSpec,
-    /// Grid size.
+    /// Grid size (for leases: the lease's own point count).
     pub total: usize,
     /// Worker threads the sweep runs with.
     pub workers: usize,
+    /// How this job executes.
+    pub kind: JobKind,
     /// Cooperative cancellation flag (`DELETE /campaigns/<id>`).
     pub cancel: CancelToken,
     progress: Mutex<Progress>,
     /// Deterministic report of a completed job.
     report: Mutex<Option<CampaignReport>>,
-    /// Serialized NDJSON lines, in emission order.
-    events: Mutex<Vec<String>>,
+    /// Bounded ring of serialized NDJSON lines, in emission order.
+    events: Mutex<EventLog>,
     events_ready: Condvar,
     /// Cheap terminal check for streamers (avoids taking the progress
     /// lock per poll).
@@ -95,13 +146,22 @@ pub struct Job {
 const EVENTS_CLOSED: usize = usize::MAX;
 
 impl Job {
-    /// A freshly-accepted job in the queued state.
-    pub fn new(id: u64, spec: CampaignSpec, total: usize, workers: usize) -> Job {
+    /// A freshly-accepted job in the queued state, retaining at most
+    /// `event_cap` NDJSON lines for replay (0 ⇒ unbounded).
+    pub fn new(
+        id: u64,
+        spec: CampaignSpec,
+        total: usize,
+        workers: usize,
+        kind: JobKind,
+        event_cap: usize,
+    ) -> Job {
         Job {
             id,
             spec,
             total,
             workers,
+            kind,
             cancel: CancelToken::new(),
             progress: Mutex::new(Progress {
                 state: JobState::Queued,
@@ -112,7 +172,15 @@ impl Job {
                 error: None,
             }),
             report: Mutex::new(None),
-            events: Mutex::new(Vec::new()),
+            events: Mutex::new(EventLog {
+                lines: VecDeque::new(),
+                base: 0,
+                cap: if event_cap == 0 {
+                    usize::MAX
+                } else {
+                    event_cap
+                },
+            }),
             events_ready: Condvar::new(),
             done_events: AtomicUsize::new(0),
         }
@@ -147,10 +215,16 @@ impl Job {
             .and_then(|r| r.to_json().ok())
     }
 
-    /// Append one NDJSON event line and wake streamers.
+    /// Append one NDJSON event line and wake streamers. When the ring
+    /// is at capacity the oldest line falls off (its absolute position
+    /// survives in `base`, so late readers learn how much they missed).
     pub fn push_event(&self, line: String) {
         let mut events = self.events.lock().expect("events lock");
-        events.push(line);
+        if events.lines.len() >= events.cap {
+            events.lines.pop_front();
+            events.base += 1;
+        }
+        events.lines.push_back(line);
         self.events_ready.notify_all();
     }
 
@@ -197,22 +271,38 @@ impl Job {
         settled
     }
 
-    /// Copy out the events at positions `[from..]`, blocking up to
-    /// `wait` when the buffer has nothing new and the stream is still
-    /// open. Returns the copied lines and whether the stream is
-    /// closed (after draining these lines, the reader may hang up once
-    /// a subsequent call returns empty+closed).
-    pub fn events_since(&self, from: usize, wait: Duration) -> (Vec<String>, bool) {
+    /// Copy out the events at absolute positions `[from..]`, blocking
+    /// up to `wait` when the ring has nothing new and the stream is
+    /// still open. Returns the next cursor, the copied lines and
+    /// whether the stream is closed (after draining, the reader may
+    /// hang up once a subsequent call returns empty+closed).
+    ///
+    /// A reader whose cursor fell behind the ring's retention (late
+    /// attach to a huge sweep, or a stalled consumer) first receives a
+    /// synthesized `truncated` event counting the dropped lines, then
+    /// the retained tail — the stream stays well-formed NDJSON.
+    pub fn events_since(&self, from: usize, wait: Duration) -> (usize, Vec<String>, bool) {
         let mut events = self.events.lock().expect("events lock");
-        if events.len() <= from && !self.events_closed() {
+        if events.base + events.lines.len() <= from && !self.events_closed() {
             let (guard, _timeout) = self
                 .events_ready
                 .wait_timeout(events, wait)
                 .expect("events lock");
             events = guard;
         }
-        let fresh = events.get(from..).unwrap_or(&[]).to_vec();
-        (fresh, self.events_closed())
+        let mut fresh = Vec::new();
+        let mut from = from;
+        if from < events.base {
+            fresh.push(format!(
+                "{{\"event\":\"truncated\",\"dropped\":{}}}",
+                events.base - from
+            ));
+            from = events.base;
+        }
+        let offset = from - events.base;
+        fresh.extend(events.lines.iter().skip(offset).cloned());
+        let next = events.base + events.lines.len();
+        (next.max(from), fresh, self.events_closed())
     }
 }
 
@@ -247,28 +337,30 @@ mod tests {
 
     #[test]
     fn events_replay_then_follow_then_close() {
-        let job = Job::new(7, spec(), 1, 1);
+        let job = Job::new(7, spec(), 1, 1, JobKind::Sweep, 0);
         assert_eq!(job.public_id(), "j7");
         job.push_event("{\"event\":\"a\"}".into());
         job.push_event("{\"event\":\"b\"}".into());
         // Replay from the top.
-        let (lines, closed) = job.events_since(0, Duration::from_millis(1));
+        let (next, lines, closed) = job.events_since(0, Duration::from_millis(1));
         assert_eq!(lines.len(), 2);
+        assert_eq!(next, 2);
         assert!(!closed);
         // Nothing new: times out empty.
-        let (lines, closed) = job.events_since(2, Duration::from_millis(1));
+        let (next, lines, closed) = job.events_since(2, Duration::from_millis(1));
         assert!(lines.is_empty());
+        assert_eq!(next, 2);
         assert!(!closed);
         // Close: reader drains and sees the closed flag.
         job.close_events();
-        let (lines, closed) = job.events_since(2, Duration::from_millis(1));
+        let (_, lines, closed) = job.events_since(2, Duration::from_millis(1));
         assert!(lines.is_empty());
         assert!(closed);
     }
 
     #[test]
     fn waiting_reader_wakes_on_push() {
-        let job = std::sync::Arc::new(Job::new(1, spec(), 1, 1));
+        let job = std::sync::Arc::new(Job::new(1, spec(), 1, 1, JobKind::Sweep, 0));
         let reader = {
             let job = job.clone();
             std::thread::spawn(move || job.events_since(0, Duration::from_secs(5)))
@@ -276,7 +368,40 @@ mod tests {
         // Give the reader a moment to block, then publish.
         std::thread::sleep(Duration::from_millis(20));
         job.push_event("{\"event\":\"live\"}".into());
-        let (lines, _) = reader.join().unwrap();
+        let (_, lines, _) = reader.join().unwrap();
         assert_eq!(lines, vec!["{\"event\":\"live\"}".to_string()]);
+    }
+
+    #[test]
+    fn bounded_ring_drops_oldest_and_synthesizes_truncation() {
+        let job = Job::new(2, spec(), 1, 1, JobKind::Sweep, 3);
+        for i in 0..8 {
+            job.push_event(format!("{{\"n\":{i}}}"));
+        }
+        // Only the 3 newest lines are retained; a reader starting from
+        // 0 learns exactly how many it missed.
+        let (next, lines, _) = job.events_since(0, Duration::from_millis(1));
+        assert_eq!(
+            lines[0], "{\"event\":\"truncated\",\"dropped\":5}",
+            "{lines:?}"
+        );
+        assert_eq!(&lines[1..], &["{\"n\":5}", "{\"n\":6}", "{\"n\":7}"]);
+        assert_eq!(next, 8);
+        // A caught-up reader sees no marker.
+        let (_, lines, _) = job.events_since(6, Duration::from_millis(1));
+        assert_eq!(lines, vec!["{\"n\":6}".to_string(), "{\"n\":7}".into()]);
+        // A reader mid-ring gets only the partial drop count.
+        let (_, lines, _) = job.events_since(4, Duration::from_millis(1));
+        assert_eq!(lines[0], "{\"event\":\"truncated\",\"dropped\":1}");
+        assert_eq!(lines.len(), 4);
+    }
+
+    #[test]
+    fn job_kinds_carry_lease_ranges() {
+        let lease = JobKind::Lease { start: 4, end: 9 };
+        assert_eq!(lease, JobKind::Lease { start: 4, end: 9 });
+        assert_ne!(lease, JobKind::Sweep);
+        let job = Job::new(3, spec(), 5, 1, lease, 0);
+        assert_eq!(job.kind, lease);
     }
 }

@@ -24,9 +24,12 @@
 //! | `GET /campaigns/j1/events`  | chunked NDJSON stream of per-point results    |
 //! | `GET /campaigns/j1/report`  | deterministic report of a completed job       |
 //! | `DELETE /campaigns/j1`      | cooperative cancellation                      |
-//! | `GET /healthz`              | liveness + queue depth                        |
-//! | `GET /store/stats`          | shape of the shared result cache              |
+//! | `GET /healthz`              | liveness + queue depth + connection load      |
+//! | `GET /store/stats`          | shape + lock contention of the shared cache   |
 //! | `POST /shutdown`            | graceful exit                                 |
+//! | `POST /leases`              | sweep a grid slice for a cluster coordinator  |
+//! | `POST /cluster/workers`     | register a worker (coordinator mode)          |
+//! | `GET /cluster/status`       | worker registry + health (coordinator mode)   |
 //!
 //! # Event stream
 //!
@@ -65,10 +68,52 @@ pub mod job;
 pub mod server;
 
 pub use client::{Client, Response};
-pub use job::{Job, JobState};
-pub use server::{Server, ServerConfig, ServerHandle, SNAPSHOT_EVERY};
+pub use job::{Job, JobKind, JobState, LeaseRequest};
+pub use server::{
+    Server, ServerConfig, ServerHandle, DEFAULT_EVENT_BUFFER, DEFAULT_MAX_CONNECTIONS,
+    SNAPSHOT_EVERY,
+};
 
-use synapse_campaign::CampaignError;
+use synapse_campaign::{
+    CampaignError, CampaignOutcome, CampaignSpec, CancelToken, PointEvent, ResultCache,
+};
+
+/// Distributed-execution backend a coordinator-mode server plugs in
+/// (implemented by `synapse-cluster`; the server stays ignorant of how
+/// leases travel).
+///
+/// A server with a backend attached ([`Server::with_cluster`]) exposes
+/// the `/cluster/*` worker-registry endpoints and accepts `POST
+/// /campaigns?cluster=1` submissions, which execute through
+/// [`ClusterBackend::run_distributed`] instead of the local sweep
+/// engine — same observer contract as
+/// [`synapse_campaign::run_campaign_on`], so both paths stream the
+/// identical NDJSON event shapes.
+pub trait ClusterBackend: Send + Sync {
+    /// Execute `spec` across the registered workers, emitting merged
+    /// [`PointEvent`]s (with a globally monotone `done` counter) and
+    /// honoring `cancel`. `cache` is the coordinator's own result
+    /// cache, used when leases fall back to local execution.
+    fn run_distributed(
+        &self,
+        spec: &CampaignSpec,
+        cache: &ResultCache,
+        observer: &(dyn Fn(PointEvent) + Sync),
+        cancel: &CancelToken,
+    ) -> Result<CampaignOutcome, CampaignError>;
+
+    /// Register (or revive) a worker by address; returns its document.
+    fn register_worker(&self, addr: &str) -> serde_json::Value;
+
+    /// Remove a worker from the registry; `None` for unknown ids.
+    fn deregister_worker(&self, id: &str) -> Option<serde_json::Value>;
+
+    /// Record a liveness heartbeat; `None` for unknown ids.
+    fn heartbeat(&self, id: &str) -> Option<serde_json::Value>;
+
+    /// Registry + lease status document (probes worker health).
+    fn status(&self) -> serde_json::Value;
+}
 
 /// Anything that can go wrong running or talking to the server.
 #[derive(Debug)]

@@ -14,18 +14,19 @@ use std::collections::VecDeque;
 use std::io::BufReader;
 use std::net::{TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use serde_json::json;
 use synapse_campaign::{
-    run_campaign_on, CampaignError, CampaignSpec, PointEvent, ResultCache, RunConfig,
+    expand_range, run_campaign_on, CampaignEngine, CampaignError, CampaignSpec, PointEvent,
+    ResultCache, RunConfig,
 };
 
 use crate::http::{self, ChunkedWriter, HttpError, Request};
-use crate::job::{Job, JobState};
-use crate::ServerError;
+use crate::job::{Job, JobKind, JobState, LeaseRequest};
+use crate::{ClusterBackend, ServerError};
 
 /// How often a long-lived sweep emits an aggregate `snapshot` event
 /// into its stream, in landed points.
@@ -36,6 +37,13 @@ pub const SNAPSHOT_EVERY: usize = 32;
 /// campaigns, then forgets the oldest — a long-lived process must not
 /// accumulate event buffers without bound.
 pub const MAX_RETAINED_TERMINAL_JOBS: usize = 64;
+
+/// Terminal *lease* jobs retained. Lease rings are unbounded (their
+/// point events are the results a coordinator merges) and nobody
+/// replays a drained lease, so they evict far sooner than campaigns —
+/// a worker serving thousands of big leases must not retain 64 full
+/// result sets.
+pub const MAX_RETAINED_TERMINAL_LEASES: usize = 2;
 
 /// Read/write timeouts on accepted connections. Requests are parsed
 /// well inside this; for event streams it bounds how long a stalled
@@ -53,6 +61,12 @@ fn ndjson(value: &serde_json::Value) -> String {
     serde_json::to_string(value).expect("event serializes")
 }
 
+/// Default cap on concurrently-served connections.
+pub const DEFAULT_MAX_CONNECTIONS: usize = 256;
+
+/// Default per-job event-ring retention (NDJSON lines).
+pub const DEFAULT_EVENT_BUFFER: usize = 8192;
+
 /// How the daemon is set up.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
@@ -64,6 +78,12 @@ pub struct ServerConfig {
     pub queue_workers: usize,
     /// Worker threads *per job's* sweep (0 ⇒ auto).
     pub job_workers: usize,
+    /// Concurrent-connection cap: requests past it are shed with `503`
+    /// instead of spawning unbounded threads (0 ⇒ unlimited).
+    pub max_connections: usize,
+    /// Event lines retained per job for replay; older lines truncate
+    /// with a `truncated` marker (0 ⇒ unbounded — test use only).
+    pub event_buffer: usize,
 }
 
 impl Default for ServerConfig {
@@ -73,6 +93,8 @@ impl Default for ServerConfig {
             cache_dir: None,
             queue_workers: 2,
             job_workers: 0,
+            max_connections: DEFAULT_MAX_CONNECTIONS,
+            event_buffer: DEFAULT_EVENT_BUFFER,
         }
     }
 }
@@ -87,6 +109,12 @@ pub(crate) struct ServerState {
     next_id: AtomicU64,
     shutdown: AtomicBool,
     job_workers: usize,
+    event_buffer: usize,
+    max_connections: usize,
+    active_connections: AtomicUsize,
+    /// Distributed-execution backend (coordinator mode); `None` for a
+    /// plain worker/standalone server.
+    cluster: Option<Arc<dyn ClusterBackend>>,
     started: Instant,
 }
 
@@ -101,10 +129,19 @@ impl ServerState {
             .cloned()
     }
 
-    fn submit(&self, spec: CampaignSpec) -> Arc<Job> {
+    fn submit(&self, spec: CampaignSpec, total: usize, kind: JobKind) -> Arc<Job> {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        let total = spec.point_count();
-        let job = Arc::new(Job::new(id, spec, total, self.job_workers));
+        // Lease rings are never truncated: their point events *are*
+        // the results the coordinator merges, so dropping any would
+        // lose grid points for good. The buffer is bounded by the
+        // lease's own size (the coordinator controls that), and the
+        // job is evicted with the terminal-job retention like any
+        // other.
+        let event_cap = match kind {
+            JobKind::Lease { .. } => 0,
+            _ => self.event_buffer,
+        };
+        let job = Arc::new(Job::new(id, spec, total, self.job_workers, kind, event_cap));
         {
             let mut jobs = self.jobs.lock().expect("jobs lock");
             jobs.push(job.clone());
@@ -112,6 +149,24 @@ impl ServerState {
             // across weeks of submissions. Oldest *terminal* jobs fall
             // off first (attached streamers keep theirs alive through
             // the Arc until they hang up); live jobs are never evicted.
+            // Finished leases go first and fastest — their rings hold
+            // full per-point results.
+            let is_lease = |j: &Arc<Job>| matches!(j.kind, JobKind::Lease { .. });
+            let mut terminal_leases = jobs
+                .iter()
+                .filter(|j| is_lease(j) && j.state().is_terminal())
+                .count();
+            jobs.retain(|j| {
+                if terminal_leases > MAX_RETAINED_TERMINAL_LEASES
+                    && is_lease(j)
+                    && j.state().is_terminal()
+                {
+                    terminal_leases -= 1;
+                    false
+                } else {
+                    true
+                }
+            });
             let mut terminal = jobs.iter().filter(|j| j.state().is_terminal()).count();
             jobs.retain(|j| {
                 if terminal > MAX_RETAINED_TERMINAL_JOBS && j.state().is_terminal() {
@@ -248,6 +303,10 @@ impl Server {
             next_id: AtomicU64::new(1),
             shutdown: AtomicBool::new(false),
             job_workers: config.job_workers,
+            event_buffer: config.event_buffer,
+            max_connections: config.max_connections,
+            active_connections: AtomicUsize::new(0),
+            cluster: None,
             started: Instant::now(),
         });
         Ok(Server {
@@ -255,6 +314,18 @@ impl Server {
             state,
             config,
         })
+    }
+
+    /// Attach a distributed-execution backend, turning this server
+    /// into a cluster coordinator: `/cluster/*` endpoints come alive
+    /// and `POST /campaigns?cluster=1` fans out through the backend.
+    pub fn with_cluster(mut self, backend: Arc<dyn ClusterBackend>) -> Server {
+        // The state Arc has not been shared yet (no handle, no run), so
+        // the mutation is safe — enforce that by consuming self.
+        Arc::get_mut(&mut self.state)
+            .expect("with_cluster before handles exist")
+            .cluster = Some(backend);
+        self
     }
 
     /// The bound address (resolves port 0).
@@ -294,13 +365,33 @@ impl Server {
                 }
                 let Ok(stream) = conn else { continue };
                 let state = &state;
-                if std::thread::Builder::new()
-                    .name("synapse-conn".into())
-                    .spawn_scoped(scope, move || handle_connection(stream, state))
-                    .is_err()
-                {
+                // Connection cap: shed with a 503 instead of growing
+                // one thread per watcher without bound. Shedding still
+                // reads the request first — answering before the
+                // request is consumed makes the close RST the socket
+                // and the client may never see the status — so a shed
+                // occupies a short-lived *counted* thread; past twice
+                // the cap the connection is dropped cold.
+                let active = state.active_connections.fetch_add(1, Ordering::AcqRel) + 1;
+                let over = state.max_connections > 0 && active > state.max_connections;
+                if over && active > state.max_connections.saturating_mul(2) {
+                    state.active_connections.fetch_sub(1, Ordering::AcqRel);
+                    continue;
+                }
+                let spawned = std::thread::Builder::new()
+                    .name(if over { "synapse-shed" } else { "synapse-conn" }.into())
+                    .spawn_scoped(scope, move || {
+                        if over {
+                            shed_connection(stream, state.max_connections);
+                        } else {
+                            handle_connection(stream, state);
+                        }
+                        state.active_connections.fetch_sub(1, Ordering::AcqRel);
+                    });
+                if spawned.is_err() {
                     // Out of threads: shed the connection instead of
                     // dying.
+                    state.active_connections.fetch_sub(1, Ordering::AcqRel);
                     continue;
                 }
             }
@@ -356,10 +447,19 @@ fn run_job(state: &ServerState, job: &Arc<Job>) {
     if !proceed {
         return;
     }
-    let config = RunConfig {
-        workers: job.workers,
-    };
-    let observer = |event: PointEvent| match event {
+    match job.kind {
+        JobKind::Sweep => run_sweep_job(state, job),
+        JobKind::Lease { start, end } => run_lease_job(state, job, start, end),
+        JobKind::Distributed => run_distributed_job(state, job),
+    }
+    job.close_events();
+}
+
+/// The progress observer shared by local sweeps and distributed runs:
+/// per-point NDJSON events with running counters and periodic
+/// aggregate snapshots.
+fn point_observer(job: &Arc<Job>) -> impl Fn(PointEvent) + Sync + '_ {
+    move |event: PointEvent| match event {
         PointEvent::Started { total } => {
             job.push_event(ndjson(&json!({
                 "event": "started",
@@ -408,9 +508,15 @@ fn run_job(state: &ServerState, job: &Arc<Job>) {
         // Terminal events are published below, where the report and
         // final state are in hand.
         PointEvent::Finished { .. } | PointEvent::Cancelled { .. } => {}
-    };
+    }
+}
 
-    let outcome = run_campaign_on(&job.spec, &config, &state.cache, &observer, &job.cancel);
+/// Publish a finished (or failed) outcome: final state, report, and
+/// exactly one terminal event.
+fn publish_outcome(
+    job: &Arc<Job>,
+    outcome: Result<synapse_campaign::CampaignOutcome, CampaignError>,
+) {
     match outcome {
         Ok(outcome) => {
             let stats = outcome.stats;
@@ -455,7 +561,130 @@ fn run_job(state: &ServerState, job: &Arc<Job>) {
             ));
         }
     }
-    job.close_events();
+}
+
+/// Sweep one full-grid job in this process.
+fn run_sweep_job(state: &ServerState, job: &Arc<Job>) {
+    let config = RunConfig {
+        workers: job.workers,
+    };
+    let observer = point_observer(job);
+    let outcome = run_campaign_on(&job.spec, &config, &state.cache, &observer, &job.cancel);
+    publish_outcome(job, outcome);
+}
+
+/// Fan one distributed job out through the cluster backend.
+fn run_distributed_job(state: &ServerState, job: &Arc<Job>) {
+    let Some(backend) = &state.cluster else {
+        // Guarded at submit time; a job can only get here if the
+        // backend vanished, which cannot happen — but fail loudly
+        // rather than panic a queue worker.
+        publish_outcome(
+            job,
+            Err(CampaignError::Cluster(
+                "this server has no cluster backend".into(),
+            )),
+        );
+        return;
+    };
+    let observer = point_observer(job);
+    let outcome = backend.run_distributed(&job.spec, &state.cache, &observer, &job.cancel);
+    publish_outcome(job, outcome);
+}
+
+/// Sweep one lease (a contiguous slice of the grid) on behalf of a
+/// coordinator: point events carry the full serialized result, and the
+/// terminal event reports lease-relative counters. No report is
+/// assembled — merging is the coordinator's job.
+fn run_lease_job(state: &ServerState, job: &Arc<Job>, start: usize, end: usize) {
+    // Materialize only the leased slice (points keep their global
+    // indices) — a worker serving 8 leases of a huge grid must not
+    // expand the whole grid 8 times.
+    let points = expand_range(&job.spec, start, end);
+    let slice = points.as_slice();
+    let config = RunConfig {
+        workers: job.workers,
+    };
+    let observer = |event: PointEvent| match event {
+        PointEvent::Started { total } => {
+            job.push_event(ndjson(&json!({
+                "event": "started",
+                "id": job.public_id(),
+                "name": job.spec.name,
+                "lease": {"start": start, "end": end},
+                "total": total,
+            })));
+        }
+        PointEvent::PointDone {
+            result,
+            cached,
+            done,
+            total,
+        } => {
+            job.with_progress(|p| {
+                p.done = done;
+                p.cache_hits += usize::from(cached);
+            });
+            job.push_event(ndjson(&json!({
+                "event": "point",
+                "index": result.point.index,
+                "cached": cached,
+                "done": done,
+                "total": total,
+                // The coordinator reconstructs PointResult from this
+                // field; f64s round-trip exactly through the JSON
+                // layer, so merged reports stay byte-stable.
+                "result": serde_json::to_value(&*result).expect("result serializes"),
+            })));
+        }
+        PointEvent::Finished { .. } | PointEvent::Cancelled { .. } => {}
+    };
+    let engine = CampaignEngine::new(slice, &state.cache, &config);
+    let outcome = engine.run(&observer, &job.cancel);
+    // Landed points must survive the process for the shared cache dir.
+    if let Err(e) = state.cache.persist() {
+        publish_outcome(job, Err(e));
+        return;
+    }
+    match outcome {
+        Ok((_, stats)) => {
+            job.with_progress(|p| {
+                p.state = JobState::Completed;
+                p.stats = Some(stats);
+            });
+            job.push_event(ndjson(&json!({
+                "event": "completed",
+                "id": job.public_id(),
+                "name": job.spec.name,
+                "lease": {"start": start, "end": end},
+                "points": stats.points,
+                "simulated": stats.simulated,
+                "cache_hits": stats.cache_hits,
+                "cache_hit_rate": stats.hit_rate(),
+                "wall_secs": stats.wall_secs,
+            })));
+        }
+        Err(e) => publish_outcome(job, Err(e)),
+    }
+}
+
+/// Refuse one over-limit connection: consume its request (bounded by
+/// the parser's size caps and a short timeout), answer `503`, close.
+fn shed_connection(stream: TcpStream, limit: usize) {
+    let best_effort = (|| -> std::io::Result<()> {
+        stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+        stream.set_write_timeout(Some(Duration::from_secs(5)))?;
+        let mut reader = BufReader::new(stream.try_clone()?);
+        let mut writer = stream;
+        let _ = http::read_request(&mut reader);
+        http::write_json(
+            &mut writer,
+            503,
+            "Service Unavailable",
+            &json!({"error": format!("connection limit {limit} reached, retry later")}),
+        )
+    })();
+    let _ = best_effort;
 }
 
 /// Serve one connection: parse a request, route it, close.
@@ -515,6 +744,9 @@ fn route(request: &Request, out: &mut TcpStream, state: &ServerState) -> std::io
                     "jobs": jobs,
                     "queued": queued,
                     "running": running,
+                    "active_connections": state.active_connections.load(Ordering::Relaxed),
+                    "max_connections": state.max_connections,
+                    "coordinator": state.cluster.is_some(),
                 }),
             )
         }
@@ -532,10 +764,19 @@ fn route(request: &Request, out: &mut TcpStream, state: &ServerState) -> std::io
                     "dirty_shards": stats.dirty_shards,
                     "bytes_on_disk": stats.bytes_on_disk,
                     "engine": stats.engine,
+                    // Cross-process cache-sharing observability: how
+                    // often this process's saves collided with another
+                    // process on the shared directory, and how many of
+                    // their results were merged back in.
+                    "lock_acquisitions": stats.lock_acquisitions,
+                    "lock_contention": stats.lock_contention,
+                    "reconciled_docs": stats.reconciled_docs,
                 }),
             )
         }
         ("POST", ["campaigns"]) => submit_campaign(request, out, state),
+        ("POST", ["leases"]) => submit_lease(request, out, state),
+        (_, ["cluster", rest @ ..]) => cluster_route(request, rest, out, state),
         ("GET", ["campaigns"]) => {
             let listing: Vec<serde_json::Value> = state
                 .jobs
@@ -592,14 +833,14 @@ fn route(request: &Request, out: &mut TcpStream, state: &ServerState) -> std::io
             }
             reply
         }
-        (_, ["healthz" | "shutdown"]) | (_, ["store", "stats"]) | (_, ["campaigns", ..]) => {
-            http::write_json(
-                out,
-                405,
-                "Method Not Allowed",
-                &json!({"error": format!("{} not allowed on {}", request.method, path)}),
-            )
-        }
+        (_, ["healthz" | "shutdown" | "leases"])
+        | (_, ["store", "stats"])
+        | (_, ["campaigns", ..]) => http::write_json(
+            out,
+            405,
+            "Method Not Allowed",
+            &json!({"error": format!("{} not allowed on {}", request.method, path)}),
+        ),
         _ => http::write_json(
             out,
             404,
@@ -618,7 +859,9 @@ fn not_found(out: &mut TcpStream, id: &str) -> std::io::Result<()> {
     )
 }
 
-/// `POST /campaigns`: parse a TOML or JSON spec, enqueue a job.
+/// `POST /campaigns[?cluster=1]`: parse a TOML or JSON spec, enqueue a
+/// job — locally swept, or distributed across the cluster when the
+/// flag is set (coordinator servers only).
 fn submit_campaign(
     request: &Request,
     out: &mut TcpStream,
@@ -630,6 +873,15 @@ fn submit_campaign(
             503,
             "Service Unavailable",
             &json!({"error": "server is shutting down"}),
+        );
+    }
+    let distributed = request.query_flag("cluster");
+    if distributed && state.cluster.is_none() {
+        return http::write_json(
+            out,
+            400,
+            "Bad Request",
+            &json!({"error": "this server is not a cluster coordinator (start it with `synapse cluster start`)"}),
         );
     }
     let Ok(text) = std::str::from_utf8(&request.body) else {
@@ -650,7 +902,13 @@ fn submit_campaign(
     };
     match parsed {
         Ok(spec) => {
-            let job = state.submit(spec);
+            let kind = if distributed {
+                JobKind::Distributed
+            } else {
+                JobKind::Sweep
+            };
+            let total = spec.point_count();
+            let job = state.submit(spec, total, kind);
             http::write_json(
                 out,
                 202,
@@ -660,6 +918,7 @@ fn submit_campaign(
                     "name": job.spec.name,
                     "status": job.state().name(),
                     "points": job.total,
+                    "distributed": distributed,
                 }),
             )
         }
@@ -672,6 +931,160 @@ fn submit_campaign(
     }
 }
 
+/// `POST /leases`: accept a lease (full spec + grid index range) from
+/// a cluster coordinator and enqueue it like any other job. Events
+/// stream through the usual `GET /campaigns/<id>/events`.
+fn submit_lease(
+    request: &Request,
+    out: &mut TcpStream,
+    state: &ServerState,
+) -> std::io::Result<()> {
+    if state.shutting_down() {
+        return http::write_json(
+            out,
+            503,
+            "Service Unavailable",
+            &json!({"error": "server is shutting down"}),
+        );
+    }
+    let Ok(text) = std::str::from_utf8(&request.body) else {
+        return http::write_json(
+            out,
+            400,
+            "Bad Request",
+            &json!({"error": "lease body is not UTF-8"}),
+        );
+    };
+    let lease: LeaseRequest = match serde_json::from_str(text) {
+        Ok(lease) => lease,
+        Err(e) => {
+            return http::write_json(
+                out,
+                400,
+                "Bad Request",
+                &json!({"error": format!("invalid lease request: {e}")}),
+            )
+        }
+    };
+    // Re-validate after the hop; the range must fit the grid.
+    let spec = match lease.spec.validated() {
+        Ok(spec) => spec,
+        Err(e) => {
+            return http::write_json(
+                out,
+                400,
+                "Bad Request",
+                &json!({"error": format!("invalid campaign spec: {e}")}),
+            )
+        }
+    };
+    let total = spec.point_count();
+    if lease.start >= lease.end || lease.end > total {
+        return http::write_json(
+            out,
+            400,
+            "Bad Request",
+            &json!({
+                "error": format!(
+                    "lease range {}..{} does not fit the {total}-point grid",
+                    lease.start, lease.end
+                ),
+            }),
+        );
+    }
+    let job = state.submit(
+        spec,
+        lease.end - lease.start,
+        JobKind::Lease {
+            start: lease.start,
+            end: lease.end,
+        },
+    );
+    http::write_json(
+        out,
+        202,
+        "Accepted",
+        &json!({
+            "id": job.public_id(),
+            "name": job.spec.name,
+            "status": job.state().name(),
+            "points": job.total,
+            "lease": {"start": lease.start, "end": lease.end},
+            "grid_points": total,
+        }),
+    )
+}
+
+/// `/cluster/*`: the coordinator's worker registry. 404s (with a
+/// pointer) on servers without a cluster backend.
+fn cluster_route(
+    request: &Request,
+    rest: &[&str],
+    out: &mut TcpStream,
+    state: &ServerState,
+) -> std::io::Result<()> {
+    let Some(backend) = &state.cluster else {
+        return http::write_json(
+            out,
+            404,
+            "Not Found",
+            &json!({"error": "this server is not a cluster coordinator (start it with `synapse cluster start`)"}),
+        );
+    };
+    match (request.method.as_str(), rest) {
+        ("GET", ["status"]) => http::write_json(out, 200, "OK", &backend.status()),
+        ("POST", ["workers"]) => {
+            // Accept `{"addr": "host:port"}` or a bare address body.
+            let text = std::str::from_utf8(&request.body).unwrap_or("").trim();
+            let addr = serde_json::from_str::<serde_json::Value>(text)
+                .ok()
+                .and_then(|v| v["addr"].as_str().map(str::to_string))
+                .or_else(|| (!text.is_empty() && !text.starts_with('{')).then(|| text.to_string()));
+            match addr {
+                Some(addr) => {
+                    http::write_json(out, 201, "Created", &backend.register_worker(&addr))
+                }
+                None => http::write_json(
+                    out,
+                    400,
+                    "Bad Request",
+                    &json!({"error": "worker registration needs {\"addr\": \"host:port\"}"}),
+                ),
+            }
+        }
+        ("DELETE", ["workers", id]) => match backend.deregister_worker(id) {
+            Some(doc) => http::write_json(out, 200, "OK", &doc),
+            None => http::write_json(
+                out,
+                404,
+                "Not Found",
+                &json!({"error": format!("no such worker {id:?}")}),
+            ),
+        },
+        ("POST", ["workers", id, "heartbeat"]) => match backend.heartbeat(id) {
+            Some(doc) => http::write_json(out, 200, "OK", &doc),
+            None => http::write_json(
+                out,
+                404,
+                "Not Found",
+                &json!({"error": format!("no such worker {id:?}")}),
+            ),
+        },
+        (_, ["status"]) | (_, ["workers", ..]) => http::write_json(
+            out,
+            405,
+            "Method Not Allowed",
+            &json!({"error": format!("{} not allowed on /cluster/{}", request.method, rest.join("/"))}),
+        ),
+        _ => http::write_json(
+            out,
+            404,
+            "Not Found",
+            &json!({"error": format!("no such cluster endpoint {:?}", rest.join("/"))}),
+        ),
+    }
+}
+
 /// `GET /campaigns/<id>/events`: replay the buffered NDJSON lines,
 /// then follow live until the job reaches a terminal state.
 fn stream_events(job: &Arc<Job>, out: &mut TcpStream) -> std::io::Result<()> {
@@ -679,8 +1092,8 @@ fn stream_events(job: &Arc<Job>, out: &mut TcpStream) -> std::io::Result<()> {
     let mut cursor = 0usize;
     let mut last_write = Instant::now();
     loop {
-        let (lines, closed) = job.events_since(cursor, Duration::from_millis(200));
-        cursor += lines.len();
+        let (next, lines, closed) = job.events_since(cursor, Duration::from_millis(200));
+        cursor = next;
         for line in &lines {
             let mut framed = Vec::with_capacity(line.len() + 1);
             framed.extend_from_slice(line.as_bytes());

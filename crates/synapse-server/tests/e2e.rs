@@ -396,6 +396,167 @@ fn persistent_cache_dir_survives_server_restarts() {
 }
 
 #[test]
+fn lease_endpoint_sweeps_a_slice_with_full_results() {
+    let (client, handle, join) = boot(ServerConfig::default());
+    let spec = synapse_campaign::CampaignSpec::from_toml(small_spec()).unwrap();
+    let total = spec.point_count();
+    assert_eq!(total, 8);
+    let lease = synapse_server::LeaseRequest {
+        spec: spec.clone(),
+        start: 2,
+        end: 6,
+    };
+    let reply = client
+        .submit_lease(&serde_json::to_string(&lease).unwrap())
+        .unwrap();
+    assert_eq!(reply["points"].as_u64(), Some(4), "{reply:?}");
+    assert_eq!(reply["lease"]["start"].as_u64(), Some(2));
+    assert_eq!(reply["grid_points"].as_u64(), Some(8));
+    let id = reply["id"].as_str().unwrap().to_string();
+
+    let lines = Mutex::new(Vec::<Value>::new());
+    let summary = client
+        .watch(&id, |line| {
+            lines
+                .lock()
+                .unwrap()
+                .push(serde_json::from_str(line).unwrap());
+            true
+        })
+        .unwrap();
+    assert_eq!(summary["event"].as_str(), Some("completed"));
+    assert_eq!(summary["points"].as_u64(), Some(4));
+    let lines = lines.into_inner().unwrap();
+    let points: Vec<&Value> = lines
+        .iter()
+        .filter(|l| l["event"].as_str() == Some("point"))
+        .collect();
+    assert_eq!(points.len(), 4);
+    // Point events carry GLOBAL grid indices and the full result
+    // payload the coordinator merges from.
+    let mut indices: Vec<u64> = points
+        .iter()
+        .map(|p| p["index"].as_u64().unwrap())
+        .collect();
+    indices.sort_unstable();
+    assert_eq!(indices, vec![2, 3, 4, 5]);
+    for p in &points {
+        let result = &p["result"];
+        assert_eq!(result["point"]["index"], p["index"]);
+        assert!(result["tx"].as_f64().unwrap() > 0.0);
+        assert!(result["consumed_cycles"].as_u64().is_some());
+    }
+    // A lease job has no report (merging is the coordinator's job).
+    let err = client.report(&id).unwrap_err();
+    assert!(err.to_string().contains("409"), "{err}");
+
+    // Out-of-range and inverted leases are rejected outright.
+    for (start, end) in [(6, 2), (0, 9), (8, 8)] {
+        let bad = synapse_server::LeaseRequest {
+            spec: spec.clone(),
+            start,
+            end,
+        };
+        let err = client
+            .submit_lease(&serde_json::to_string(&bad).unwrap())
+            .unwrap_err();
+        assert!(err.to_string().contains("400"), "{start}..{end}: {err}");
+    }
+    handle.shutdown();
+    join.join().unwrap();
+}
+
+#[test]
+fn connection_cap_sheds_excess_clients_with_503() {
+    let (client, handle, join) = boot(ServerConfig {
+        max_connections: 1,
+        ..Default::default()
+    });
+    let addr = {
+        // The client resolved the address already; rebuild it from the
+        // handle for the raw socket.
+        handle.addr()
+    };
+    // Occupy the single slot with an idle connection.
+    let hog = std::net::TcpStream::connect(addr).unwrap();
+    // Wait until the accept loop has picked it up, then every further
+    // request bounces with 503.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        match client.healthz() {
+            Err(e) if e.to_string().contains("503") => break,
+            _ => assert!(Instant::now() < deadline, "cap never engaged"),
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    // Releasing the slot restores service.
+    drop(hog);
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        if client.healthz().is_ok() {
+            break;
+        }
+        assert!(Instant::now() < deadline, "server never recovered");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    handle.shutdown();
+    join.join().unwrap();
+}
+
+#[test]
+fn event_ring_truncates_replay_for_late_watchers() {
+    // A tiny ring: the 192-point example overflows it long before the
+    // sweep ends, so a late watcher replays a truncation marker plus
+    // the retained tail instead of the whole history.
+    let (client, handle, join) = boot(ServerConfig {
+        event_buffer: 16,
+        ..Default::default()
+    });
+    let reply = client.submit(&example_spec()).unwrap();
+    let id = reply["id"].as_str().unwrap().to_string();
+    await_terminal(&client, &id);
+
+    let lines = Mutex::new(Vec::<Value>::new());
+    let summary = client
+        .watch(&id, |line| {
+            lines
+                .lock()
+                .unwrap()
+                .push(serde_json::from_str(line).unwrap());
+            true
+        })
+        .unwrap();
+    assert_eq!(summary["event"].as_str(), Some("completed"));
+    let lines = lines.into_inner().unwrap();
+    assert_eq!(lines.len(), 17, "marker + 16 retained lines");
+    assert_eq!(lines[0]["event"].as_str(), Some("truncated"));
+    assert!(
+        lines[0]["dropped"].as_u64().unwrap() > 150,
+        "most of the 192-point history was dropped: {:?}",
+        lines[0]
+    );
+    // The terminal event always survives truncation (it is the newest
+    // line), so status/summary semantics are unharmed.
+    assert_eq!(lines.last().unwrap()["event"].as_str(), Some("completed"));
+    handle.shutdown();
+    join.join().unwrap();
+}
+
+#[test]
+fn cluster_endpoints_404_without_a_backend() {
+    let (client, handle, join) = boot(ServerConfig::default());
+    let err = client.cluster_status().unwrap_err();
+    assert!(err.to_string().contains("404"), "{err}");
+    let err = client.submit_distributed(small_spec()).unwrap_err();
+    assert!(
+        err.to_string().contains("400") && err.to_string().contains("coordinator"),
+        "{err}"
+    );
+    handle.shutdown();
+    join.join().unwrap();
+}
+
+#[test]
 fn shutdown_endpoint_stops_the_server() {
     let (client, _handle, join) = boot(ServerConfig::default());
     client.shutdown().unwrap();

@@ -19,13 +19,17 @@
 //! * [`ShardedDb`] — a sharded, compacting store for very large
 //!   keyspaces (campaign result caches): 256 shard files by key
 //!   prefix, dirty-shard-only saves, a manifest recording the layout,
-//!   and a compaction pass merging small shards.
+//!   and a compaction pass merging small shards. On-disk stores are
+//!   multi-process safe: opens/saves/compactions run under an advisory
+//!   [`FileLock`] and dirty saves merge back documents concurrent
+//!   processes added, so cluster workers can share one cache directory.
 
 pub mod collection;
 pub mod db;
 pub mod document;
 pub mod error;
 pub mod filestore;
+pub mod lock;
 pub mod profilestore;
 pub mod query;
 pub mod sharded;
@@ -35,6 +39,9 @@ pub use db::DocumentDb;
 pub use document::{Document, DEFAULT_DOC_LIMIT};
 pub use error::StoreError;
 pub use filestore::FileStore;
+pub use lock::FileLock;
 pub use profilestore::{DbProfileStore, ProfileStore, SaveReport};
 pub use query::Query;
-pub use sharded::{shard_of, CompactStats, SaveStats, ShardStats, ShardedDb, SHARD_COUNT};
+pub use sharded::{
+    shard_of, CompactStats, SaveStats, ShardStats, ShardedDb, LOCK_FILE, SHARD_COUNT,
+};

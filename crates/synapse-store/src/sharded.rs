@@ -26,7 +26,7 @@
 use std::collections::BTreeMap;
 use std::fs;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use parking_lot::RwLock;
@@ -34,6 +34,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::document::{Document, DEFAULT_DOC_LIMIT};
 use crate::error::StoreError;
+use crate::lock::FileLock;
 
 /// Number of shards a keyspace is split into (one byte of prefix).
 pub const SHARD_COUNT: usize = 256;
@@ -44,6 +45,10 @@ pub const MANIFEST_FILE: &str = "manifest.json";
 
 /// Subdirectory holding the shard data files.
 pub const SHARD_DIR: &str = "shards";
+
+/// Advisory lock file guarding cross-process mutation of the store
+/// directory (see [`crate::lock`]).
+pub const LOCK_FILE: &str = "store.lock";
 
 /// On-disk layout version; bump on incompatible manifest changes.
 pub const FORMAT_VERSION: u32 = 1;
@@ -123,6 +128,15 @@ pub struct ShardStats {
     pub bytes_on_disk: u64,
     /// Engine tag recorded in the manifest.
     pub engine: String,
+    /// Directory-lock acquisitions by this handle (opens, saves,
+    /// compactions). 0 for in-memory stores.
+    pub lock_acquisitions: u64,
+    /// Of those, acquisitions that had to wait on another process — the
+    /// shard-sharing contention signal for clustered cache directories.
+    pub lock_contention: u64,
+    /// Documents merged *in* from disk during lock-aware saves: results
+    /// other processes wrote to shards this handle was rewriting.
+    pub reconciled_docs: u64,
 }
 
 /// Manifest recording which data file holds which shards.
@@ -172,6 +186,10 @@ struct State {
     shards: Vec<BTreeMap<String, Document>>,
     /// Shards mutated since the last successful save.
     dirty: Vec<bool>,
+    /// Keys removed since the last save: the lock-aware reconcile must
+    /// not resurrect them from disk (deletion-vs-foreign-insert is
+    /// undecidable from file contents alone).
+    removed: std::collections::BTreeSet<String>,
     /// Current on-disk layout (empty until the first save).
     groups: Vec<Group>,
     /// Whether the on-disk manifest reflects `groups` and doc counts.
@@ -183,6 +201,7 @@ impl State {
         State {
             shards: (0..SHARD_COUNT).map(|_| BTreeMap::new()).collect(),
             dirty: vec![false; SHARD_COUNT],
+            removed: std::collections::BTreeSet::new(),
             groups: Vec::new(),
             manifest_synced: false,
         }
@@ -194,11 +213,76 @@ impl State {
 }
 
 /// A sharded, compacting document store over one logical keyspace.
+///
+/// On-disk stores are multi-process safe: every open/save/compact runs
+/// under an exclusive advisory lock on `<dir>/store.lock`, and dirty
+/// saves are *lock-aware* — before rewriting a data file, documents
+/// another process added to it are merged back in, so concurrent
+/// writers sharing one directory never lose each other's results.
 pub struct ShardedDb {
     dir: Option<PathBuf>,
     doc_limit: usize,
     engine: String,
     state: RwLock<State>,
+    /// Directory-lock acquisitions (opens + saves + compactions).
+    lock_acquisitions: AtomicU64,
+    /// Of those, ones that had to wait on another process.
+    lock_contention: AtomicU64,
+    /// Foreign documents merged in from disk during lock-aware saves.
+    reconciled_docs: AtomicU64,
+}
+
+/// Parsed on-disk manifest: the layout groups plus each data file's
+/// recorded document count.
+type DiskManifest = (Vec<Group>, BTreeMap<String, u64>);
+
+/// Read and validate the on-disk manifest, if one exists: the groups
+/// plus each data file's recorded document count (kept so a save that
+/// adopts another process's layout can write back honest counts for
+/// files it never loaded).
+fn read_disk_manifest(dir: &Path) -> Result<Option<DiskManifest>, StoreError> {
+    let manifest_path = dir.join(MANIFEST_FILE);
+    if !manifest_path.exists() {
+        return Ok(None);
+    }
+    let manifest: Manifest = serde_json::from_str(&fs::read_to_string(&manifest_path)?)?;
+    if manifest.format != FORMAT_VERSION {
+        return Err(StoreError::Corrupt(format!(
+            "manifest format {} (this engine reads {})",
+            manifest.format, FORMAT_VERSION
+        )));
+    }
+    if manifest.shard_count as usize != SHARD_COUNT {
+        return Err(StoreError::Corrupt(format!(
+            "manifest declares {} shards (expected {})",
+            manifest.shard_count, SHARD_COUNT
+        )));
+    }
+    let mut groups = Vec::with_capacity(manifest.groups.len());
+    let mut doc_counts = BTreeMap::new();
+    let mut claimed = vec![false; SHARD_COUNT];
+    for entry in &manifest.groups {
+        let mut shards = Vec::with_capacity(entry.shards.len());
+        for &s in &entry.shards {
+            let idx = s as usize;
+            if idx >= SHARD_COUNT {
+                return Err(StoreError::Corrupt(format!("shard id {s} out of range")));
+            }
+            if claimed[idx] {
+                return Err(StoreError::Corrupt(format!(
+                    "shard {s:02x} claimed by more than one data file"
+                )));
+            }
+            claimed[idx] = true;
+            shards.push(s as u8);
+        }
+        doc_counts.insert(entry.file.clone(), entry.docs);
+        groups.push(Group {
+            file: entry.file.clone(),
+            shards,
+        });
+    }
+    Ok(Some((groups, doc_counts)))
 }
 
 impl ShardedDb {
@@ -214,7 +298,20 @@ impl ShardedDb {
             doc_limit,
             engine: String::new(),
             state: RwLock::new(State::empty()),
+            lock_acquisitions: AtomicU64::new(0),
+            lock_contention: AtomicU64::new(0),
+            reconciled_docs: AtomicU64::new(0),
         }
+    }
+
+    /// Take the store directory's advisory lock, recording contention.
+    fn lock_dir(&self, dir: &Path) -> Result<FileLock, StoreError> {
+        let (lock, contended) = FileLock::exclusive(&dir.join(LOCK_FILE))?;
+        self.lock_acquisitions.fetch_add(1, Ordering::Relaxed);
+        if contended {
+            self.lock_contention.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(lock)
     }
 
     /// Open (or create) a sharded store under `dir`, loading shard
@@ -240,51 +337,25 @@ impl ShardedDb {
     ) -> Result<Self, StoreError> {
         let dir = dir.as_ref().to_path_buf();
         let engine = engine.into();
-        let manifest_path = dir.join(MANIFEST_FILE);
-        if !manifest_path.exists() {
-            return Ok(ShardedDb {
-                dir: Some(dir),
-                doc_limit,
-                engine,
-                state: RwLock::new(State::empty()),
-            });
+        let db = ShardedDb {
+            dir: Some(dir.clone()),
+            doc_limit,
+            engine,
+            state: RwLock::new(State::empty()),
+            lock_acquisitions: AtomicU64::new(0),
+            lock_contention: AtomicU64::new(0),
+            reconciled_docs: AtomicU64::new(0),
+        };
+        if !dir.join(MANIFEST_FILE).exists() {
+            // Nothing on disk yet: an empty store needs no lock (the
+            // directory may not even exist until the first save).
+            return Ok(db);
         }
-        let manifest: Manifest = serde_json::from_str(&fs::read_to_string(&manifest_path)?)?;
-        if manifest.format != FORMAT_VERSION {
-            return Err(StoreError::Corrupt(format!(
-                "manifest format {} (this engine reads {})",
-                manifest.format, FORMAT_VERSION
-            )));
-        }
-        if manifest.shard_count as usize != SHARD_COUNT {
-            return Err(StoreError::Corrupt(format!(
-                "manifest declares {} shards (expected {})",
-                manifest.shard_count, SHARD_COUNT
-            )));
-        }
-        let mut groups = Vec::with_capacity(manifest.groups.len());
-        let mut claimed = vec![false; SHARD_COUNT];
-        for entry in &manifest.groups {
-            let mut shards = Vec::with_capacity(entry.shards.len());
-            for &s in &entry.shards {
-                let idx = s as usize;
-                if idx >= SHARD_COUNT {
-                    return Err(StoreError::Corrupt(format!("shard id {s} out of range")));
-                }
-                if claimed[idx] {
-                    return Err(StoreError::Corrupt(format!(
-                        "shard {s:02x} claimed by more than one data file"
-                    )));
-                }
-                claimed[idx] = true;
-                shards.push(s as u8);
-            }
-            groups.push(Group {
-                file: entry.file.clone(),
-                shards,
-            });
-        }
-
+        // Load under the directory lock so a concurrent save/compaction
+        // cannot remove data files between the manifest read and the
+        // file reads.
+        let lock = db.lock_dir(&dir)?;
+        let (groups, _doc_counts) = read_disk_manifest(&dir)?.unwrap_or_default();
         let docs_per_group = Self::load_groups(&dir, &groups, workers)?;
         let mut state = State::empty();
         for (group, docs) in groups.iter().zip(docs_per_group) {
@@ -302,12 +373,9 @@ impl ShardedDb {
         }
         state.groups = groups;
         state.manifest_synced = true;
-        Ok(ShardedDb {
-            dir: Some(dir),
-            doc_limit,
-            engine,
-            state: RwLock::new(state),
-        })
+        drop(lock);
+        *db.state.write() = state;
+        Ok(db)
     }
 
     /// Read all group files, fanning out over worker threads.
@@ -388,6 +456,7 @@ impl ShardedDb {
         doc.check_limit(self.doc_limit)?;
         let shard = shard_of(&doc.id) as usize;
         let mut state = self.state.write();
+        state.removed.remove(&doc.id);
         state.shards[shard].insert(doc.id.clone(), doc);
         state.dirty[shard] = true;
         Ok(())
@@ -401,6 +470,7 @@ impl ShardedDb {
         let removed = state.shards[shard].remove(key);
         if removed.is_some() {
             state.dirty[shard] = true;
+            state.removed.insert(key.to_string());
         }
         removed
     }
@@ -450,6 +520,23 @@ impl ShardedDb {
     /// Write mutated shards back to disk. Only data files holding a
     /// dirty shard are rewritten; a save with nothing dirty writes
     /// nothing (once the manifest exists). No-op for in-memory stores.
+    ///
+    /// The save is **lock-aware**: it runs under the directory's
+    /// advisory lock, adopts the freshest on-disk layout, and merges
+    /// back any documents a concurrent process added to the files it is
+    /// about to rewrite — so several processes sharing one cache
+    /// directory never lose each other's results (on a key collision
+    /// this handle's document wins).
+    ///
+    /// Known asymmetry: the merge is insert-only. A document a *peer*
+    /// process removed while this handle still holds it in memory is
+    /// written back by this handle's next save of that shard —
+    /// deletion-vs-foreign-insert is undecidable from file contents,
+    /// and the tombstone set only covers this handle's own removals.
+    /// For the campaign result cache (insert-only, deterministic
+    /// values) resurrection is harmless; a workload that deletes
+    /// concurrently across processes would need per-document
+    /// versioning this store does not implement.
     pub fn save(&self) -> Result<SaveStats, StoreError> {
         let mut state = self.state.write();
         let Some(dir) = &self.dir else {
@@ -462,13 +549,60 @@ impl ShardedDb {
         }
         let shard_root = dir.join(SHARD_DIR);
         fs::create_dir_all(&shard_root)?;
+        let _lock = self.lock_dir(dir)?;
 
         let State {
             shards,
             dirty,
+            removed,
             groups,
             manifest_synced,
         } = &mut *state;
+
+        // Another process may have saved or compacted since this handle
+        // last synced: its manifest is the layout ground truth now. Its
+        // per-file doc counts are kept for the files this save leaves
+        // untouched (this handle may never have loaded them, so its
+        // in-memory counts would understate them).
+        let mut disk_doc_counts = BTreeMap::new();
+        if let Some((disk_groups, counts)) = read_disk_manifest(dir)? {
+            *groups = disk_groups;
+            disk_doc_counts = counts;
+        }
+        // Merge foreign documents out of every data file this save will
+        // rewrite. Missing keys are other processes' fresh results;
+        // keys we also hold stay ours (results are deterministic, so
+        // the bodies agree anyway).
+        let mut reconciled = 0u64;
+        for group in groups.iter() {
+            if !group.shards.iter().any(|&s| dirty[s as usize]) {
+                continue;
+            }
+            let path = shard_root.join(&group.file);
+            if !path.exists() {
+                continue;
+            }
+            let docs: Vec<Document> = serde_json::from_str(&fs::read_to_string(&path)?)?;
+            for doc in docs {
+                doc.check_limit(self.doc_limit)?;
+                let shard = shard_of(&doc.id);
+                if !group.shards.contains(&shard) {
+                    return Err(StoreError::Corrupt(format!(
+                        "document {:?} routes to shard {shard:02x}, outside its data file {:?}",
+                        doc.id, group.file
+                    )));
+                }
+                let bucket = &mut shards[shard as usize];
+                if !bucket.contains_key(&doc.id) && !removed.contains(&doc.id) {
+                    bucket.insert(doc.id.clone(), doc);
+                    reconciled += 1;
+                }
+            }
+        }
+        if reconciled > 0 {
+            self.reconciled_docs
+                .fetch_add(reconciled, Ordering::Relaxed);
+        }
 
         // Plan the post-save layout without touching `groups`, so an
         // I/O error part-way through leaves the in-memory layout and
@@ -522,14 +656,30 @@ impl ShardedDb {
             shard_count: SHARD_COUNT as u32,
             groups: kept
                 .iter()
-                .map(|g| GroupEntry {
-                    file: g.file.clone(),
-                    shards: g.shards.iter().map(|&s| s as u32).collect(),
-                    docs: g
-                        .shards
-                        .iter()
-                        .map(|&s| shards[s as usize].len() as u64)
-                        .sum(),
+                .map(|g| {
+                    let rewritten = g.shards.iter().any(|&s| dirty[s as usize]);
+                    let docs = if rewritten {
+                        // This save just wrote the file from memory.
+                        g.shards
+                            .iter()
+                            .map(|&s| shards[s as usize].len() as u64)
+                            .sum()
+                    } else {
+                        // Untouched file: trust the count of whoever
+                        // wrote it (this handle may never have loaded
+                        // it).
+                        disk_doc_counts.get(&g.file).copied().unwrap_or_else(|| {
+                            g.shards
+                                .iter()
+                                .map(|&s| shards[s as usize].len() as u64)
+                                .sum()
+                        })
+                    };
+                    GroupEntry {
+                        file: g.file.clone(),
+                        shards: g.shards.iter().map(|&s| s as u32).collect(),
+                        docs,
+                    }
                 })
                 .collect(),
         };
@@ -539,6 +689,7 @@ impl ShardedDb {
         *groups = kept;
         *manifest_synced = true;
         dirty.iter_mut().for_each(|d| *d = false);
+        removed.clear();
         Ok(stats)
     }
 
@@ -563,6 +714,37 @@ impl ShardedDb {
                 changed: false,
             });
         };
+        fs::create_dir_all(dir)?;
+        let _lock = self.lock_dir(dir)?;
+
+        // Compaction rewrites the whole layout from memory, so first
+        // fold in *everything* another process may have written: adopt
+        // the on-disk layout and merge every document we don't hold.
+        if let Some((disk_groups, _doc_counts)) = read_disk_manifest(dir)? {
+            let shard_root = dir.join(SHARD_DIR);
+            let mut reconciled = 0u64;
+            for group in &disk_groups {
+                let path = shard_root.join(&group.file);
+                if !path.exists() {
+                    continue;
+                }
+                let docs: Vec<Document> = serde_json::from_str(&fs::read_to_string(&path)?)?;
+                for doc in docs {
+                    doc.check_limit(self.doc_limit)?;
+                    let key_removed = state.removed.contains(&doc.id);
+                    let bucket = &mut state.shards[shard_of(&doc.id) as usize];
+                    if !bucket.contains_key(&doc.id) && !key_removed {
+                        bucket.insert(doc.id.clone(), doc);
+                        reconciled += 1;
+                    }
+                }
+            }
+            if reconciled > 0 {
+                self.reconciled_docs
+                    .fetch_add(reconciled, Ordering::Relaxed);
+            }
+            state.groups = disk_groups;
+        }
 
         // The ideal grouping is a pure function of shard occupancy, so
         // re-running compaction reproduces it exactly (idempotence).
@@ -639,6 +821,7 @@ impl ShardedDb {
         state.groups = new_groups;
         state.manifest_synced = true;
         state.dirty.iter_mut().for_each(|d| *d = false);
+        state.removed.clear();
         sweep_stale_files(&shard_root, &state.groups)?;
         Ok(CompactStats {
             files_before,
@@ -669,6 +852,9 @@ impl ShardedDb {
             dirty_shards: state.dirty.iter().filter(|&&d| d).count(),
             bytes_on_disk,
             engine: self.engine.clone(),
+            lock_acquisitions: self.lock_acquisitions.load(Ordering::Relaxed),
+            lock_contention: self.lock_contention.load(Ordering::Relaxed),
+            reconciled_docs: self.reconciled_docs.load(Ordering::Relaxed),
         }
     }
 }
@@ -986,6 +1172,46 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(db.len(), 400);
+    }
+
+    #[test]
+    fn concurrent_handles_sharing_a_dir_never_lose_each_others_saves() {
+        // Two handles on one directory stand in for two serve
+        // processes sharing a cluster cache dir. Both mutate the SAME
+        // shard before either saves — the last-writer-wins hazard the
+        // lock-aware save exists to close.
+        let dir = tmpdir("shared");
+        let a = ShardedDb::open(&dir, DEFAULT_DOC_LIMIT, "e").unwrap();
+        let b = ShardedDb::open(&dir, DEFAULT_DOC_LIMIT, "e").unwrap();
+        a.upsert(doc(&hexkey(0x42, 1), 1)).unwrap();
+        b.upsert(doc(&hexkey(0x42, 2), 2)).unwrap();
+        a.save().unwrap();
+        // b's save rewrites 42.json, but first merges a's document back
+        // out of it.
+        b.save().unwrap();
+        assert_eq!(b.len(), 2, "b reconciled a's doc during its save");
+        assert_eq!(b.stats().reconciled_docs, 1);
+        assert!(b.stats().lock_acquisitions >= 1);
+        let back = ShardedDb::open(&dir, DEFAULT_DOC_LIMIT, "e").unwrap();
+        assert_eq!(back.len(), 2, "both processes' documents on disk");
+        assert!(back.get(&hexkey(0x42, 1)).is_some());
+        assert!(back.get(&hexkey(0x42, 2)).is_some());
+
+        // a saves a disjoint shard: it must adopt b's manifest (which
+        // now owns 42.json) instead of clobbering it with its stale
+        // layout.
+        a.upsert(doc(&hexkey(0x10, 3), 3)).unwrap();
+        a.save().unwrap();
+        let back = ShardedDb::open(&dir, DEFAULT_DOC_LIMIT, "e").unwrap();
+        assert_eq!(back.len(), 3);
+
+        // Compaction from a stale handle folds in everything first.
+        b.compact_with_target(2).unwrap();
+        assert_eq!(b.len(), 3, "compact reconciled the whole store");
+        let back = ShardedDb::open(&dir, DEFAULT_DOC_LIMIT, "e").unwrap();
+        assert_eq!(back.len(), 3);
+        assert!(back.get(&hexkey(0x10, 3)).is_some());
+        fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -224,11 +224,16 @@ fn campaign_plan_covers_the_ablation_example() {
         return;
     };
     assert_eq!(code, 0, "campaign plan failed: {stderr}");
-    assert!(stdout.contains("36 points"), "{stdout}");
+    assert!(stdout.contains("72 points"), "{stdout}");
     assert!(stdout.contains("3 filesystems"), "{stdout}");
     assert!(stdout.contains("3 atom sets"), "{stdout}");
+    assert!(stdout.contains("2 sample orders"), "{stdout}");
     assert!(
         stdout.contains("fs=local") || stdout.contains("fs=default"),
+        "{stdout}"
+    );
+    assert!(
+        stdout.contains("order=preserve") || stdout.contains("order=shuffle"),
         "{stdout}"
     );
 }

@@ -32,6 +32,12 @@ pub const EACCES: c_int = 13;
 // Signals.
 pub const SIGKILL: c_int = 9;
 
+// flock(2) operations.
+pub const LOCK_SH: c_int = 1;
+pub const LOCK_EX: c_int = 2;
+pub const LOCK_NB: c_int = 4;
+pub const LOCK_UN: c_int = 8;
+
 // getrusage(2) targets.
 pub const RUSAGE_SELF: c_int = 0;
 pub const RUSAGE_CHILDREN: c_int = -1;
@@ -126,6 +132,7 @@ impl std::fmt::Debug for siginfo_t {
 
 extern "C" {
     pub fn close(fd: c_int) -> c_int;
+    pub fn flock(fd: c_int, operation: c_int) -> c_int;
     pub fn gethostname(name: *mut c_char, len: size_t) -> c_int;
     pub fn getrusage(who: c_int, usage: *mut rusage) -> c_int;
     pub fn ioctl(fd: c_int, request: c_ulong, ...) -> c_int;
