@@ -17,7 +17,14 @@
 //! * **cluster_throughput** — the same warm sweep submitted
 //!   `?cluster=1` to a coordinator fanning leases out over two local
 //!   worker servers, so the lease/merge overhead of distributed
-//!   execution is tracked against `serve_throughput`.
+//!   execution is tracked against `serve_throughput`;
+//! * **serve_concurrency** — the warm serve path again, but with 256
+//!   watcher connections holding open event streams on a live sweep:
+//!   the reactor front must keep its throughput while juggling
+//!   hundreds of idle watchers on one thread;
+//! * **connection_churn** — complete request round trips (connect,
+//!   parse, handle, respond, close) per second under that same
+//!   watcher load.
 //!
 //! Each stage repeats until a minimum wall-clock budget is consumed,
 //! so a single fast iteration cannot produce a garbage rate. `run()`
@@ -154,15 +161,28 @@ pub fn stage_rates() -> Vec<StageRate> {
 
     let serve_throughput = measure_serve(&sim_spec);
     let cluster_throughput = measure_cluster(&sim_spec);
+    let concurrency = measure_serve_concurrency(&sim_spec);
 
-    vec![
+    let mut stages = vec![
         expansion,
         cache_lookup,
         simulation,
         aggregation,
         serve_throughput,
         cluster_throughput,
-    ]
+    ];
+    stages.extend(concurrency);
+    stages
+}
+
+/// One warm submission drained through its event stream (single
+/// `?watch=1` round trip); returns the completed point count.
+fn submit_and_drain(client: &synapse_server::Client, spec_json: &str) -> usize {
+    let (_ack, summary) = client
+        .submit_watch(spec_json, |_| true)
+        .expect("bench submit+watch");
+    assert_eq!(summary["event"].as_str(), Some("completed"));
+    summary["points"].as_u64().expect("points") as usize
 }
 
 /// Submitted-points/sec through the full HTTP + queue + stream path:
@@ -172,6 +192,7 @@ pub fn stage_rates() -> Vec<StageRate> {
 fn measure_serve(spec: &CampaignSpec) -> StageRate {
     let server = synapse_server::Server::bind(synapse_server::ServerConfig {
         addr: "127.0.0.1:0".into(),
+        handler_threads: 1,
         ..Default::default()
     })
     .expect("bind bench server");
@@ -181,22 +202,98 @@ fn measure_serve(spec: &CampaignSpec) -> StageRate {
     let client = synapse_server::Client::new(addr);
     let spec_json = serde_json::to_string(spec).expect("bench spec serializes");
 
-    let submit_and_drain = || {
-        let reply = client.submit(&spec_json).expect("bench submit");
-        let id = reply["id"].as_str().expect("job id").to_string();
-        let summary = client.watch(&id, |_| true).expect("bench watch");
-        assert_eq!(summary["event"].as_str(), Some("completed"));
-        summary["points"].as_u64().expect("points") as usize
-    };
     // Warm-up submission: populates the shared cache (untimed), so the
     // measured iterations compare against the warm `cache_lookup`
     // stage.
-    submit_and_drain();
-    let rate = measure("serve_throughput", submit_and_drain);
+    submit_and_drain(&client, &spec_json);
+    let rate = measure("serve_throughput", || submit_and_drain(&client, &spec_json));
 
     handle.shutdown();
     join.join().expect("bench server thread");
     rate
+}
+
+/// The reactor-front scale stages: warm submitted-points/sec while 256
+/// watcher connections hold open event streams on a live sweep
+/// (`serve_concurrency`), plus one-shot request round trips per second
+/// through the same front (`connection_churn`). Before the epoll
+/// reactor each watcher pinned a thread; now they pin file
+/// descriptors, and this stage keeps that property honest.
+fn measure_serve_concurrency(spec: &CampaignSpec) -> Vec<StageRate> {
+    use std::io::Write as _;
+
+    const WATCHERS: usize = 256;
+    let server = synapse_server::Server::bind(synapse_server::ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        queue_workers: 2,
+        job_workers: 1,
+        max_connections: WATCHERS + 64,
+        ..Default::default()
+    })
+    .expect("bind concurrency server");
+    let addr = server.local_addr().expect("server addr");
+    let handle = server.handle().expect("server handle");
+    let join = std::thread::spawn(move || server.run().expect("concurrency server run"));
+    let client = synapse_server::Client::new(addr.to_string());
+    let spec_json = serde_json::to_string(spec).expect("bench spec serializes");
+    submit_and_drain(&client, &spec_json); // warm the cache (untimed)
+
+    // A slow cold sweep occupies one queue worker for the duration:
+    // big-step points land at a trickle, so the watchers attached to
+    // its stream sit essentially idle while still being real, open,
+    // reactor-owned connections.
+    let hog_spec = CampaignSpec::from_toml(
+        r#"
+        name = "bench-hog"
+        seed = 99
+        machines = ["thinkie", "stampede", "archer", "supermic", "comet", "titan"]
+        kernels = ["asm", "c", "spin"]
+        modes = ["openmp", "mpi"]
+
+        [[workloads]]
+        app = "gromacs"
+        steps = [1000000, 2000000]
+
+        [[workloads]]
+        app = "amber"
+        steps = [1000000, 2000000]
+        "#,
+    )
+    .expect("hog spec parses");
+    let hog_json = serde_json::to_string(&hog_spec).expect("hog serializes");
+    let hog = client.submit(&hog_json).expect("hog submit")["id"]
+        .as_str()
+        .expect("hog id")
+        .to_string();
+
+    let mut watchers = Vec::with_capacity(WATCHERS);
+    for _ in 0..WATCHERS {
+        let mut stream = std::net::TcpStream::connect(addr).expect("watcher connect");
+        write!(
+            stream,
+            "GET /campaigns/{hog}/events HTTP/1.1\r\nHost: bench\r\n\r\n"
+        )
+        .expect("watcher request");
+        watchers.push(stream);
+    }
+
+    // Warm submissions through the loaded front (the other queue
+    // worker is free; the reactor is juggling 256 open streams).
+    let rate = measure("serve_concurrency", || {
+        submit_and_drain(&client, &spec_json)
+    });
+    // Connection churn: complete accept→parse→handle→respond→close
+    // round trips per second under the same load.
+    let churn = measure("connection_churn", || {
+        client.healthz().expect("bench healthz");
+        1
+    });
+
+    let _ = client.cancel(&hog);
+    drop(watchers);
+    handle.shutdown();
+    join.join().expect("concurrency server thread");
+    vec![rate, churn]
 }
 
 /// Submitted-points/sec through the distributed path: a coordinator
@@ -317,7 +414,7 @@ mod tests {
     }
 
     #[test]
-    fn bench_document_has_all_six_nonzero_stages() {
+    fn bench_document_has_all_eight_nonzero_stages() {
         let doc: serde_json::Value = serde_json::from_str(&run()).unwrap();
         let stages = doc["stages"].as_array().unwrap();
         let names: Vec<&str> = stages
@@ -332,7 +429,9 @@ mod tests {
                 "simulation",
                 "aggregation",
                 "serve_throughput",
-                "cluster_throughput"
+                "cluster_throughput",
+                "serve_concurrency",
+                "connection_churn",
             ]
         );
         for s in stages {

@@ -141,61 +141,69 @@ impl<'a> CampaignEngine<'a> {
             total: points.len(),
         });
         let workers = self.config.effective_workers(points.len());
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    if cancel.is_cancelled() {
-                        return;
-                    }
-                    let idx = next.fetch_add(1, Ordering::Relaxed);
-                    if idx >= points.len() {
-                        return;
-                    }
-                    if first_error.lock().expect("error lock").is_some() {
-                        return;
-                    }
-                    let point = &points[idx];
-                    let fp = fingerprint(point);
-                    let (outcome, cached) = match self.cache.get(&fp) {
-                        Some(mut hit) => {
-                            cache_hits.fetch_add(1, Ordering::Relaxed);
-                            // The fingerprint excludes the grid index,
-                            // so a hit may come from a differently-
-                            // shaped grid (a grown campaign): rebind it
-                            // to this run's position.
-                            hit.point.index = point.index;
-                            (Ok(hit), true)
-                        }
-                        None => {
-                            simulated.fetch_add(1, Ordering::Relaxed);
-                            let fresh = simulate_point(point).and_then(|r| {
-                                self.cache.put(&fp, &r)?;
-                                Ok(r)
-                            });
-                            (fresh, false)
-                        }
-                    };
-                    match outcome {
-                        Ok(result) => {
-                            let shared = Arc::new(result);
-                            results.lock().expect("results lock")[idx] = Some(shared.clone());
-                            let mut done_guard = done.lock().expect("done lock");
-                            *done_guard += 1;
-                            observer(PointEvent::PointDone {
-                                result: shared,
-                                cached,
-                                done: *done_guard,
-                                total: points.len(),
-                            });
-                        }
-                        Err(e) => {
-                            first_error.lock().expect("error lock").get_or_insert(e);
-                            return;
-                        }
-                    }
-                });
+        let sweep = || loop {
+            if cancel.is_cancelled() {
+                return;
             }
-        });
+            let idx = next.fetch_add(1, Ordering::Relaxed);
+            if idx >= points.len() {
+                return;
+            }
+            if first_error.lock().expect("error lock").is_some() {
+                return;
+            }
+            let point = &points[idx];
+            let fp = fingerprint(point);
+            let (outcome, cached) = match self.cache.get(&fp) {
+                Some(mut hit) => {
+                    cache_hits.fetch_add(1, Ordering::Relaxed);
+                    // The fingerprint excludes the grid index,
+                    // so a hit may come from a differently-
+                    // shaped grid (a grown campaign): rebind it
+                    // to this run's position.
+                    hit.point.index = point.index;
+                    (Ok(hit), true)
+                }
+                None => {
+                    simulated.fetch_add(1, Ordering::Relaxed);
+                    let fresh = simulate_point(point).and_then(|r| {
+                        self.cache.put(&fp, &r)?;
+                        Ok(r)
+                    });
+                    (fresh, false)
+                }
+            };
+            match outcome {
+                Ok(result) => {
+                    let shared = Arc::new(result);
+                    results.lock().expect("results lock")[idx] = Some(shared.clone());
+                    let mut done_guard = done.lock().expect("done lock");
+                    *done_guard += 1;
+                    observer(PointEvent::PointDone {
+                        result: shared,
+                        cached,
+                        done: *done_guard,
+                        total: points.len(),
+                    });
+                }
+                Err(e) => {
+                    first_error.lock().expect("error lock").get_or_insert(e);
+                    return;
+                }
+            }
+        };
+        // A single-worker sweep runs inline: spawning (and joining) a
+        // scoped thread per job is measurable overhead on the server's
+        // warm path, where every queued job pays it.
+        if workers == 1 {
+            sweep();
+        } else {
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(sweep);
+                }
+            });
+        }
 
         if let Some(e) = first_error.into_inner().expect("error lock") {
             return Err(e);

@@ -17,7 +17,7 @@
 //! synapse campaign plan <spec.toml|json>
 //! synapse campaign cache stats|compact [--cache DIR]
 //! synapse serve    [--addr HOST:PORT] [--cache DIR] [--queue-workers N] [--workers N]
-//!                  [--max-connections N]
+//!                  [--max-connections N] [--reactor-threads N]
 //! synapse cluster start [--addr HOST:PORT] [--cache DIR] [--worker ADDR]...
 //! synapse cluster add-worker <ADDR> [--server HOST:PORT]
 //! synapse cluster status [--server HOST:PORT]
@@ -133,6 +133,8 @@ pub enum Invocation {
         workers: usize,
         /// Concurrent-connection cap (0 = unlimited).
         max_connections: usize,
+        /// Handler-pool threads behind the epoll reactor (0 = default).
+        reactor_threads: usize,
     },
     /// Run a cluster coordinator: a serve process that fans
     /// `--cluster` submissions out over registered workers.
@@ -147,6 +149,8 @@ pub enum Invocation {
         workers: usize,
         /// Concurrent-connection cap (0 = unlimited).
         max_connections: usize,
+        /// Handler-pool threads behind the epoll reactor (0 = default).
+        reactor_threads: usize,
         /// Worker serve addresses registered at startup.
         worker_addrs: Vec<String>,
     },
@@ -233,6 +237,7 @@ fn parse_serve_like_args(args: &[String], cluster: bool) -> Result<Invocation, S
     let mut queue_workers = 2usize;
     let mut workers = 0usize;
     let mut max_connections = synapse_server::DEFAULT_MAX_CONNECTIONS;
+    let mut reactor_threads = 0usize;
     let mut worker_addrs: Vec<String> = Vec::new();
     let mut i = 0;
     while i < args.len() {
@@ -261,6 +266,11 @@ fn parse_serve_like_args(args: &[String], cluster: bool) -> Result<Invocation, S
                     .parse()
                     .map_err(|e| format!("--max-connections: {e}"))?
             }
+            "--reactor-threads" => {
+                reactor_threads = value(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--reactor-threads: {e}"))?
+            }
             "--worker" if cluster => worker_addrs.push(value(&mut i)?),
             other => {
                 return Err(format!(
@@ -281,6 +291,7 @@ fn parse_serve_like_args(args: &[String], cluster: bool) -> Result<Invocation, S
             queue_workers,
             workers,
             max_connections,
+            reactor_threads,
             worker_addrs,
         }
     } else {
@@ -290,6 +301,7 @@ fn parse_serve_like_args(args: &[String], cluster: bool) -> Result<Invocation, S
             queue_workers,
             workers,
             max_connections,
+            reactor_threads,
         }
     })
 }
@@ -626,9 +638,10 @@ USAGE:
   synapse campaign plan <spec.toml|json>
   synapse campaign cache stats|compact [--cache DIR]
   synapse serve    [--addr HOST:PORT] [--cache DIR] [--queue-workers N]
-                   [--workers N] [--max-connections N]
+                   [--workers N] [--max-connections N] [--reactor-threads N]
   synapse cluster start [--addr HOST:PORT] [--cache DIR] [--worker ADDR]...
                    [--queue-workers N] [--workers N] [--max-connections N]
+                   [--reactor-threads N]
   synapse cluster add-worker <ADDR> [--server HOST:PORT]
   synapse cluster status [--server HOST:PORT]
   synapse campaign submit <spec.toml|json> [--server HOST:PORT] [--watch]
@@ -780,6 +793,7 @@ pub fn run(invocation: Invocation, out: &mut impl std::io::Write) -> Result<(), 
             queue_workers,
             workers,
             max_connections,
+            reactor_threads,
         } => {
             let config = synapse_server::ServerConfig {
                 addr,
@@ -787,6 +801,7 @@ pub fn run(invocation: Invocation, out: &mut impl std::io::Write) -> Result<(), 
                 queue_workers,
                 job_workers: workers,
                 max_connections,
+                handler_threads: reactor_threads,
                 ..Default::default()
             };
             let server = synapse_server::Server::bind(config).map_err(|e| e.to_string())?;
@@ -807,6 +822,7 @@ pub fn run(invocation: Invocation, out: &mut impl std::io::Write) -> Result<(), 
             queue_workers,
             workers,
             max_connections,
+            reactor_threads,
             worker_addrs,
         } => {
             let config = synapse_server::ServerConfig {
@@ -815,6 +831,7 @@ pub fn run(invocation: Invocation, out: &mut impl std::io::Write) -> Result<(), 
                 queue_workers,
                 job_workers: workers,
                 max_connections,
+                handler_threads: reactor_threads,
                 ..Default::default()
             };
             let coordinator = std::sync::Arc::new(synapse_cluster::Coordinator::new(
@@ -866,25 +883,53 @@ pub fn run(invocation: Invocation, out: &mut impl std::io::Write) -> Result<(), 
         } => {
             let text = std::fs::read_to_string(&spec).map_err(|e| e.to_string())?;
             let client = synapse_server::Client::new(server);
-            let reply = if cluster {
-                client
-                    .submit_distributed(&text)
-                    .map_err(|e| e.to_string())?
-            } else {
-                client.submit(&text).map_err(|e| e.to_string())?
-            };
-            writeln!(
-                out,
-                "{}",
-                serde_json::to_string(&reply).map_err(|e| e.to_string())?
-            )
-            .map_err(|e| e.to_string())?;
             if watch {
-                let id = reply["id"]
-                    .as_str()
-                    .ok_or("submit reply carries no job id")?
-                    .to_string();
-                stream_job_events(&client, &id, out)?;
+                // Submit and stream on ONE connection (`?watch=1`):
+                // the ack is the stream's first line, events follow.
+                let mut write_err: Option<std::io::Error> = None;
+                let deliver = |line: &str| {
+                    if let Err(e) = writeln!(out, "{line}").and_then(|()| out.flush()) {
+                        write_err = Some(e);
+                    }
+                    write_err.is_none()
+                };
+                let watched = if cluster {
+                    client.submit_watch_distributed(&text, deliver)
+                } else {
+                    client.submit_watch(&text, deliver)
+                };
+                // Check the pipe BEFORE the protocol outcome: a dead
+                // stdout (`... | head`) aborts the stream client-side,
+                // which surfaces as a protocol error from submit_watch
+                // — but truncating a watch is routine, not an error.
+                if let Some(e) = write_err {
+                    return if e.kind() == std::io::ErrorKind::BrokenPipe {
+                        Ok(())
+                    } else {
+                        Err(e.to_string())
+                    };
+                }
+                let (_ack, summary) = watched.map_err(|e| e.to_string())?;
+                if summary["event"].as_str() == Some("failed") {
+                    return Err(summary["error"]
+                        .as_str()
+                        .map(|m| format!("campaign failed: {m}"))
+                        .unwrap_or_else(|| "campaign failed".into()));
+                }
+            } else {
+                let reply = if cluster {
+                    client
+                        .submit_distributed(&text)
+                        .map_err(|e| e.to_string())?
+                } else {
+                    client.submit(&text).map_err(|e| e.to_string())?
+                };
+                writeln!(
+                    out,
+                    "{}",
+                    serde_json::to_string(&reply).map_err(|e| e.to_string())?
+                )
+                .map_err(|e| e.to_string())?;
             }
         }
         Invocation::CampaignWatch { id, server } => {
@@ -1354,6 +1399,7 @@ mod tests {
                 queue_workers: 2,
                 workers: 0,
                 max_connections: synapse_server::DEFAULT_MAX_CONNECTIONS,
+                reactor_threads: 0,
             }
         );
         assert_eq!(
@@ -1369,6 +1415,8 @@ mod tests {
                 "2",
                 "--max-connections",
                 "64",
+                "--reactor-threads",
+                "8",
             ]))
             .unwrap(),
             Invocation::Serve {
@@ -1377,10 +1425,12 @@ mod tests {
                 queue_workers: 4,
                 workers: 2,
                 max_connections: 64,
+                reactor_threads: 8,
             }
         );
         assert!(parse_args(&argv(&["serve", "--queue-workers", "0"])).is_err());
         assert!(parse_args(&argv(&["serve", "--bogus"])).is_err());
+        assert!(parse_args(&argv(&["serve", "--reactor-threads", "lots"])).is_err());
 
         assert_eq!(
             parse_args(&argv(&["campaign", "submit", "s.toml", "--watch"])).unwrap(),
@@ -1445,6 +1495,7 @@ mod tests {
                 queue_workers: 2,
                 workers: 0,
                 max_connections: 128,
+                reactor_threads: 0,
                 worker_addrs: vec!["127.0.0.1:9001".into(), "127.0.0.1:9002".into()],
             }
         );

@@ -36,6 +36,12 @@ pub struct ClusterConfig {
     pub max_lease_attempts: usize,
     /// Worker threads for locally-executed leases (0 ⇒ auto).
     pub local_workers: usize,
+    /// Silence threshold on a worker's lease stream before the worker
+    /// is presumed dead and the lease reassigned. Workers heartbeat
+    /// every [`synapse_server::HEARTBEAT_EVERY`], so the default (two
+    /// missed heartbeats) detects a frozen or partitioned worker in
+    /// ~20 s instead of hanging on a flat socket timeout.
+    pub stream_silence: Duration,
 }
 
 impl Default for ClusterConfig {
@@ -44,6 +50,7 @@ impl Default for ClusterConfig {
             leases_per_worker: 4,
             max_lease_attempts: 6,
             local_workers: 0,
+            stream_silence: synapse_server::STREAM_SILENCE_TIMEOUT,
         }
     }
 }
@@ -158,7 +165,13 @@ impl Coordinator {
         observer: &(dyn Fn(PointEvent) + Sync),
         cancel: &CancelToken,
     ) {
-        let client = Client::new(addr.to_string());
+        // Both timeouts bounded by the silence threshold (probe cap
+        // 5 s): a frozen worker whose kernel still accepts connections
+        // must fail the post-disconnect liveness probe promptly, or
+        // the local-fallback sweep waits a whole socket timeout.
+        let client = Client::new(addr.to_string())
+            .with_stream_silence(self.config.stream_silence)
+            .with_socket_timeout(self.config.stream_silence.min(Duration::from_secs(5)));
         loop {
             if cancel.is_cancelled() || fatal.lock().expect("fatal lock").is_some() {
                 return;

@@ -340,6 +340,127 @@ fn workers_sharing_one_cache_dir_assemble_the_full_grid() {
 }
 
 #[test]
+fn frozen_worker_stream_fails_fast_and_reassigns() {
+    use std::io::{BufReader, Write};
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    // A fake worker that accepts a lease, establishes its event
+    // stream, then freezes — no events, no heartbeats, socket held
+    // open. From the coordinator's side this is a hung or partitioned
+    // worker, the case a flat 60 s socket timeout used to sit on.
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    let frozen = Arc::new(AtomicBool::new(false));
+    let fake = {
+        let frozen = frozen.clone();
+        std::thread::spawn(move || {
+            let mut held_open = Vec::new();
+            for conn in listener.incoming() {
+                let Ok(stream) = conn else { break };
+                let mut reader = BufReader::new(stream.try_clone().unwrap());
+                let Ok(request) = synapse_server::http::read_request(&mut reader) else {
+                    continue;
+                };
+                let mut out = stream;
+                match (request.method.as_str(), request.path()) {
+                    // Healthy until the freeze: registration and the
+                    // first post-failure probe must see it alive or
+                    // dead respectively.
+                    ("GET", "/healthz") => {
+                        if frozen.load(Ordering::SeqCst) {
+                            break; // stop answering entirely: worker is gone
+                        }
+                        let _ = synapse_server::http::write_json(
+                            &mut out,
+                            200,
+                            "OK",
+                            &serde_json::json!({"status": "ok"}),
+                        );
+                    }
+                    ("POST", "/leases") => {
+                        let _ = synapse_server::http::write_json(
+                            &mut out,
+                            202,
+                            "Accepted",
+                            &serde_json::json!({"id": "j1", "status": "queued"}),
+                        );
+                    }
+                    (_, path) if path.ends_with("/events") => {
+                        // Stream head + one started event, then
+                        // silence with the socket held open.
+                        let _ = out.write_all(
+                            b"HTTP/1.1 200 OK\r\nContent-Type: application/x-ndjson\r\n\
+                              Transfer-Encoding: chunked\r\nConnection: close\r\n\r\n\
+                              14\r\n{\"event\":\"started\"}\n\r\n",
+                        );
+                        frozen.store(true, Ordering::SeqCst);
+                        held_open.push(out);
+                    }
+                    _ => {
+                        let _ = synapse_server::http::write_json(
+                            &mut out,
+                            200,
+                            "OK",
+                            &serde_json::json!({}),
+                        );
+                    }
+                }
+            }
+        })
+    };
+
+    // A coordinator with an aggressive silence threshold (the default
+    // is 2× the 10 s heartbeat interval; tests cannot wait that long).
+    let coordinator = Arc::new(Coordinator::new(ClusterConfig {
+        stream_silence: Duration::from_millis(400),
+        ..Default::default()
+    }));
+    coordinator.registry().register(&addr);
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        ..Default::default()
+    };
+    let server = Server::bind(config)
+        .expect("bind coordinator")
+        .with_cluster(coordinator);
+    let handle = server.handle().expect("handle");
+    let coord_addr = server.local_addr().expect("addr").to_string();
+    let join = std::thread::spawn(move || server.run().expect("run"));
+    let client = Client::new(coord_addr);
+
+    // The distributed job must complete despite the frozen worker: the
+    // stalled stream surfaces as a retriable disconnect well inside
+    // the old 60 s socket timeout, the worker probe fails, and the
+    // lease reassigns to the coordinator's local fallback.
+    let started = Instant::now();
+    let reply = client.submit_distributed(medium_spec()).unwrap();
+    let id = reply["id"].as_str().unwrap().to_string();
+    let status = await_terminal(&client, &id);
+    assert_eq!(status["status"].as_str(), Some("completed"), "{status:?}");
+    assert_eq!(status["done"].as_u64(), Some(16));
+    assert!(
+        started.elapsed() < Duration::from_secs(30),
+        "freeze detected promptly, not after a flat socket timeout: {:?}",
+        started.elapsed()
+    );
+
+    // The merged report is still byte-identical to a single-process
+    // run — the aborted lease left no trace.
+    let merged = serde_json::to_string(&client.report(&id).unwrap()).unwrap();
+    assert_eq!(merged, single_process_report(medium_spec()));
+
+    // The registry observed the death.
+    let cluster = client.cluster_status().unwrap();
+    assert_eq!(cluster["live"].as_u64(), Some(0), "{cluster:?}");
+
+    handle.shutdown();
+    join.join().unwrap();
+    // The fake's accept loop ends when its listener errors (process
+    // teardown) or the frozen healthz probe breaks it out.
+    drop(fake);
+}
+
+#[test]
 fn registry_endpoints_roundtrip_over_http() {
     let (worker_addr, _wc, wh, wj) = boot_worker(ServerConfig::default());
     let (client, handle, join) = boot_coordinator(&[], ServerConfig::default());

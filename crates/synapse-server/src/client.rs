@@ -14,16 +14,29 @@ use crate::ServerError;
 /// Connection timeout for every request.
 const CONNECT_TIMEOUT: Duration = Duration::from_secs(5);
 
-/// Socket read/write timeout: bounds how long any request (or a
-/// stalled event stream) can hang on a dead peer. The server pulses a
-/// heartbeat every ~10 s on quiet streams, so a healthy watch never
-/// starves this.
+/// Socket read/write timeout for plain request/response round trips.
 const SOCKET_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// Default silence threshold on an *established* event stream before
+/// the server is presumed dead: the server pulses a heartbeat every
+/// [`crate::HEARTBEAT_EVERY`] (10 s) even on a quiet stream, so more
+/// than two missed heartbeats (plus a second of slack) means the
+/// worker died or the network partitioned — not that the job is slow.
+/// Far tighter than the old flat 60 s socket timeout, which let
+/// `campaign watch` and coordinator lease watches hang almost a
+/// minute on a dead worker.
+pub const STREAM_SILENCE_TIMEOUT: Duration =
+    Duration::from_secs(2 * crate::server::HEARTBEAT_EVERY.as_secs() + 1);
 
 /// A client bound to one server address.
 #[derive(Debug, Clone)]
 pub struct Client {
     addr: String,
+    /// Read timeout on established event streams (dead-server
+    /// detection); [`STREAM_SILENCE_TIMEOUT`] unless overridden.
+    stream_silence: Duration,
+    /// Read/write timeout on plain request/response round trips.
+    socket_timeout: Duration,
 }
 
 /// A parsed response: status code plus body text (chunked bodies are
@@ -61,7 +74,29 @@ impl Response {
 impl Client {
     /// A client for `addr` (`host:port`).
     pub fn new(addr: impl Into<String>) -> Client {
-        Client { addr: addr.into() }
+        Client {
+            addr: addr.into(),
+            stream_silence: STREAM_SILENCE_TIMEOUT,
+            socket_timeout: SOCKET_TIMEOUT,
+        }
+    }
+
+    /// Override the plain request/response socket timeout. A cluster
+    /// coordinator probing a possibly-frozen worker must not wait the
+    /// generous default on a connection the peer's kernel accepted
+    /// but the stopped process will never answer.
+    pub fn with_socket_timeout(mut self, timeout: Duration) -> Client {
+        self.socket_timeout = timeout;
+        self
+    }
+
+    /// Override the event-stream silence threshold (dead-server
+    /// detection). Must exceed the server's heartbeat interval or
+    /// healthy quiet streams read as dead; tests use tiny values
+    /// against deliberately-mute servers.
+    pub fn with_stream_silence(mut self, threshold: Duration) -> Client {
+        self.stream_silence = threshold;
+        self
     }
 
     fn connect(&self) -> Result<TcpStream, ServerError> {
@@ -77,8 +112,9 @@ impl Client {
         for addr in &addrs {
             match TcpStream::connect_timeout(addr, CONNECT_TIMEOUT) {
                 Ok(stream) => {
-                    stream.set_read_timeout(Some(SOCKET_TIMEOUT))?;
-                    stream.set_write_timeout(Some(SOCKET_TIMEOUT))?;
+                    stream.set_read_timeout(Some(self.socket_timeout))?;
+                    stream.set_write_timeout(Some(self.socket_timeout))?;
+                    let _ = stream.set_nodelay(true);
                     return Ok(stream);
                 }
                 Err(e) => last_err = Some(e),
@@ -220,6 +256,64 @@ impl Client {
             .json()
     }
 
+    /// `POST /campaigns?watch=1`: submit AND stream on one connection.
+    /// The server's first NDJSON line is the submit ack (returned
+    /// alongside the terminal event); the job's event stream follows,
+    /// delivered to `on_event` exactly like [`watch`](Client::watch).
+    /// One round trip instead of two — the path `campaign submit
+    /// --watch` and the serve benchmarks ride.
+    pub fn submit_watch(
+        &self,
+        spec_text: &str,
+        on_event: impl FnMut(&str) -> bool,
+    ) -> Result<(Value, Value), ServerError> {
+        self.submit_watch_on("/campaigns?watch=1", spec_text, on_event)
+    }
+
+    /// [`submit_watch`](Client::submit_watch) with cluster fan-out
+    /// (`POST /campaigns?cluster=1&watch=1`) — the single-connection
+    /// form of [`submit_distributed`](Client::submit_distributed).
+    pub fn submit_watch_distributed(
+        &self,
+        spec_text: &str,
+        on_event: impl FnMut(&str) -> bool,
+    ) -> Result<(Value, Value), ServerError> {
+        self.submit_watch_on("/campaigns?cluster=1&watch=1", spec_text, on_event)
+    }
+
+    fn submit_watch_on(
+        &self,
+        path: &str,
+        spec_text: &str,
+        on_event: impl FnMut(&str) -> bool,
+    ) -> Result<(Value, Value), ServerError> {
+        let mut reader = self.send("POST", path, Some(spec_text))?;
+        let (status, chunked) = Self::read_head(&mut reader)?;
+        if status != 200 {
+            let mut body = String::new();
+            reader.read_to_string(&mut body)?;
+            let detail = serde_json::from_str::<Value>(&body)
+                .ok()
+                .and_then(|v| v["error"].as_str().map(str::to_string))
+                .unwrap_or(body);
+            return Err(ServerError::Status(status, detail));
+        }
+        if !chunked {
+            return Err(ServerError::Protocol("event stream is not chunked".into()));
+        }
+        let mut ack: Option<Value> = None;
+        let summary = self.drain_event_stream(
+            &mut reader,
+            "submit stream",
+            false,
+            Some(&mut ack),
+            on_event,
+        )?;
+        let ack =
+            ack.ok_or_else(|| ServerError::Protocol("stream carried no submit ack".into()))?;
+        Ok((ack, summary))
+    }
+
     /// `POST /campaigns?cluster=1` — submit for distributed fan-out
     /// across the coordinator's registered workers.
     pub fn submit_distributed(&self, spec_text: &str) -> Result<Value, ServerError> {
@@ -297,6 +391,89 @@ impl Client {
         self.request("POST", "/shutdown", None)?.ok()?.json()
     }
 
+    /// Drain an established chunked NDJSON event stream — THE single
+    /// implementation of the stream-consumption rules, shared by
+    /// `watch` and `submit_watch`: heartbeat filtering (optionally
+    /// forwarded as keepalives), last-line tracking (parsed once at
+    /// the end — per-line parsing was the biggest client-side cost on
+    /// warm sweeps), and mapping read-timeout silence to the
+    /// retriable dead-server disconnect. When `ack` is given, the
+    /// stream's first line is parsed into it (the `?watch=1` submit
+    /// ack) and still forwarded to `on_event`, but never becomes the
+    /// terminal event.
+    fn drain_event_stream(
+        &self,
+        reader: &mut BufReader<TcpStream>,
+        what: &str,
+        keepalive_to_callback: bool,
+        mut ack: Option<&mut Option<Value>>,
+        mut on_event: impl FnMut(&str) -> bool,
+    ) -> Result<Value, ServerError> {
+        // The stream is established: from here on, silence longer
+        // than the heartbeat cadence allows means the server died —
+        // switch from the generous request timeout to the dead-server
+        // threshold so watchers (and the cluster coordinator's
+        // reassignment path) notice promptly.
+        reader
+            .get_ref()
+            .set_read_timeout(Some(self.stream_silence))?;
+        let mut last: Option<String> = None;
+        let mut on_line = |line: &str| {
+            if let Some(slot) = &mut ack {
+                if slot.is_none() {
+                    match serde_json::from_str(line) {
+                        Ok(value) => **slot = Some(value),
+                        Err(_) => return false,
+                    }
+                    return on_event(line);
+                }
+            }
+            // Heartbeats are transport keepalive, not job events:
+            // they never become the stream's outcome, and by default
+            // they never reach callers either.
+            if line == "{\"event\":\"heartbeat\"}" {
+                return if keepalive_to_callback {
+                    on_event(line)
+                } else {
+                    true
+                };
+            }
+            match &mut last {
+                Some(slot) => {
+                    slot.clear();
+                    slot.push_str(line);
+                }
+                None => last = Some(line.to_string()),
+            }
+            on_event(line)
+        };
+        match Self::drain_chunked(reader, &mut on_line) {
+            Ok(()) => {}
+            // A read timeout here is not a transport hiccup: the
+            // server heartbeats every HEARTBEAT_EVERY, so this much
+            // silence means it is dead or unreachable. Surface it as
+            // the retriable disconnect it is.
+            Err(ServerError::Io(e))
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                return Err(ServerError::Disconnected(format!(
+                    "{what} silent for {:.0?} (> 2× the {:.0?} heartbeat \
+                     interval): server presumed dead",
+                    self.stream_silence,
+                    crate::server::HEARTBEAT_EVERY,
+                )));
+            }
+            Err(e) => return Err(e),
+        }
+        let last =
+            last.ok_or_else(|| ServerError::Protocol("event stream ended without events".into()))?;
+        serde_json::from_str(&last)
+            .map_err(|e| ServerError::Protocol(format!("non-JSON terminal event: {e}")))
+    }
+
     /// `GET /campaigns/<id>/events`: stream the job's NDJSON events,
     /// invoking `on_event` per line as it arrives, until the job
     /// reaches a terminal state — or until `on_event` returns `false`,
@@ -346,24 +523,12 @@ impl Client {
         if !chunked {
             return Err(ServerError::Protocol("event stream is not chunked".into()));
         }
-        let mut last = None;
-        let mut on_line = |line: &str| {
-            // Heartbeats are transport keepalive, not job events: they
-            // never become the stream's outcome, and by default they
-            // never reach callers either.
-            if line == "{\"event\":\"heartbeat\"}" {
-                return if keepalive_to_callback {
-                    on_event(line)
-                } else {
-                    true
-                };
-            }
-            if let Ok(value) = serde_json::from_str::<Value>(line) {
-                last = Some(value);
-            }
-            on_event(line)
-        };
-        Self::drain_chunked(&mut reader, &mut on_line)?;
-        last.ok_or_else(|| ServerError::Protocol("event stream ended without events".into()))
+        self.drain_event_stream(
+            &mut reader,
+            &format!("event stream for {id}"),
+            keepalive_to_callback,
+            None,
+            &mut on_event,
+        )
     }
 }

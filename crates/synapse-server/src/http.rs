@@ -121,44 +121,15 @@ impl HttpError {
     }
 }
 
-/// Read one line terminated by `\n` (tolerating a trailing `\r`),
-/// counting consumed bytes against the shared head budget. Handles
-/// partial reads by construction: `BufRead::read_until` keeps pulling
-/// from the transport until the delimiter arrives.
-fn read_line(reader: &mut impl BufRead, budget: &mut usize) -> Result<String, HttpError> {
-    let mut raw = Vec::new();
-    loop {
-        // fill_buf + consume instead of read_until: the budget is
-        // enforced *as bytes arrive*, so a single endless line cannot
-        // balloon memory before the cap trips.
-        let buf = reader.fill_buf()?;
-        if buf.is_empty() {
-            return Err(HttpError::Closed);
-        }
-        let newline = buf.iter().position(|&b| b == b'\n');
-        let take = newline.map_or(buf.len(), |i| i + 1);
-        if take > *budget {
-            return Err(HttpError::HeadTooLarge);
-        }
-        *budget -= take;
-        raw.extend_from_slice(&buf[..take]);
-        reader.consume(take);
-        if newline.is_some() {
-            break;
-        }
-    }
-    raw.pop(); // the '\n'
-    if raw.last() == Some(&b'\r') {
-        raw.pop();
-    }
-    String::from_utf8(raw).map_err(|_| HttpError::BadRequest("non-UTF-8 header line".into()))
-}
+/// Method, target and headers of a parsed request head.
+type ParsedHead = (String, String, Vec<(String, String)>);
 
-/// Parse one request from the reader (blocking until complete or
-/// erroneous).
-pub fn read_request(reader: &mut impl BufRead) -> Result<Request, HttpError> {
-    let mut budget = MAX_HEAD_BYTES;
-    let request_line = read_line(reader, &mut budget)?;
+/// Parse one completed head (request line + headers, no blank line).
+fn parse_head(text: &str) -> Result<ParsedHead, HttpError> {
+    let mut lines = text.split('\n').map(|l| l.strip_suffix('\r').unwrap_or(l));
+    let request_line = lines
+        .next()
+        .ok_or_else(|| HttpError::BadRequest("empty head".into()))?;
     let mut parts = request_line.split_whitespace();
     let method = parts
         .next()
@@ -189,47 +160,213 @@ pub fn read_request(reader: &mut impl BufRead) -> Result<Request, HttpError> {
             "target {target:?} is not an absolute path"
         )));
     }
-
     let mut headers = Vec::new();
-    loop {
-        let line = read_line(reader, &mut budget)?;
+    for line in lines {
         if line.is_empty() {
-            break;
+            continue; // trailing fragment of the blank terminator
         }
         let (name, value) = line
             .split_once(':')
             .ok_or_else(|| HttpError::BadRequest(format!("header without colon: {line:?}")))?;
         headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
     }
-
-    let content_length = headers
-        .iter()
-        .find(|(n, _)| n == "content-length")
-        .map(|(_, v)| {
-            v.parse::<usize>()
-                .map_err(|_| HttpError::BadRequest(format!("bad content-length {v:?}")))
-        })
-        .transpose()?
-        .unwrap_or(0);
-    if content_length > MAX_BODY_BYTES {
-        return Err(HttpError::BodyTooLarge);
-    }
-    let mut body = vec![0u8; content_length];
-    reader.read_exact(&mut body).map_err(|e| {
-        if e.kind() == std::io::ErrorKind::UnexpectedEof {
-            HttpError::Closed
-        } else {
-            HttpError::Io(e)
-        }
-    })?;
-
-    Ok(Request {
-        method,
-        target,
-        headers,
-        body,
-    })
+    Ok((method, target, headers))
 }
+
+/// What the incremental parser is waiting for next.
+enum ParseState {
+    /// Accumulating head bytes until the blank line.
+    Head,
+    /// Head parsed; accumulating `Content-Length` body bytes.
+    Body {
+        method: String,
+        target: String,
+        headers: Vec<(String, String)>,
+        need: usize,
+    },
+    /// A full request was handed out; further bytes are ignored
+    /// (every response closes the connection — no pipelining).
+    Done,
+}
+
+/// An incremental (feed-bytes) request parser: the reactor pushes
+/// whatever a nonblocking read returned and gets `Some(Request)` back
+/// once the request is complete — no thread ever blocks on a partial
+/// read. Size caps are enforced *as bytes arrive*, so a slow-loris
+/// head or an endless body cannot balloon memory before tripping.
+#[derive(Default)]
+pub struct RequestParser {
+    buf: Vec<u8>,
+    /// How far the head scan progressed (`buf` is only rescanned from
+    /// here, so byte-at-a-time feeding stays linear).
+    scanned: usize,
+    state: Option<ParseState>,
+}
+
+impl RequestParser {
+    /// A parser waiting for the first byte.
+    pub fn new() -> RequestParser {
+        RequestParser {
+            buf: Vec::new(),
+            scanned: 0,
+            state: Some(ParseState::Head),
+        }
+    }
+
+    /// Feed the next bytes off the wire. Returns `Ok(Some(request))`
+    /// exactly once, when the request completes; errors are terminal.
+    pub fn feed(&mut self, bytes: &[u8]) -> Result<Option<Request>, HttpError> {
+        self.buf.extend_from_slice(bytes);
+        loop {
+            match self.state.take().expect("parser state") {
+                ParseState::Head => {
+                    // Find the blank line: a '\n' followed (modulo one
+                    // '\r') by another '\n'.
+                    let mut head_end = None;
+                    let from = self.scanned.saturating_sub(2);
+                    for i in from..self.buf.len() {
+                        if self.buf[i] != b'\n' {
+                            continue;
+                        }
+                        let line_start = match self.buf[..i].iter().rposition(|&b| b == b'\n') {
+                            Some(prev) => prev + 1,
+                            None => 0,
+                        };
+                        let line = &self.buf[line_start..i];
+                        if i > 0 && (line.is_empty() || line == b"\r") {
+                            head_end = Some(i + 1);
+                            break;
+                        }
+                    }
+                    let Some(head_end) = head_end else {
+                        if self.buf.len() > MAX_HEAD_BYTES {
+                            return Err(HttpError::HeadTooLarge);
+                        }
+                        self.scanned = self.buf.len();
+                        self.state = Some(ParseState::Head);
+                        return Ok(None);
+                    };
+                    if head_end > MAX_HEAD_BYTES {
+                        return Err(HttpError::HeadTooLarge);
+                    }
+                    let head = std::str::from_utf8(&self.buf[..head_end])
+                        .map_err(|_| HttpError::BadRequest("non-UTF-8 header line".into()))?;
+                    let (method, target, headers) = parse_head(head.trim_end_matches('\n'))?;
+                    let need = headers
+                        .iter()
+                        .find(|(n, _)| n == "content-length")
+                        .map(|(_, v)| {
+                            v.parse::<usize>().map_err(|_| {
+                                HttpError::BadRequest(format!("bad content-length {v:?}"))
+                            })
+                        })
+                        .transpose()?
+                        .unwrap_or(0);
+                    if need > MAX_BODY_BYTES {
+                        return Err(HttpError::BodyTooLarge);
+                    }
+                    self.buf.drain(..head_end);
+                    self.scanned = 0;
+                    self.state = Some(ParseState::Body {
+                        method,
+                        target,
+                        headers,
+                        need,
+                    });
+                }
+                ParseState::Body {
+                    method,
+                    target,
+                    headers,
+                    need,
+                } => {
+                    if self.buf.len() < need {
+                        self.state = Some(ParseState::Body {
+                            method,
+                            target,
+                            headers,
+                            need,
+                        });
+                        return Ok(None);
+                    }
+                    let body = self.buf.drain(..need).collect();
+                    self.state = Some(ParseState::Done);
+                    return Ok(Some(Request {
+                        method,
+                        target,
+                        headers,
+                        body,
+                    }));
+                }
+                ParseState::Done => {
+                    self.state = Some(ParseState::Done);
+                    return Ok(None);
+                }
+            }
+        }
+    }
+}
+
+/// Parse one request from the reader (blocking until complete or
+/// erroneous) — the [`RequestParser`] driven off a blocking transport.
+pub fn read_request(reader: &mut impl BufRead) -> Result<Request, HttpError> {
+    let mut parser = RequestParser::new();
+    loop {
+        let buf = reader.fill_buf()?;
+        if buf.is_empty() {
+            return Err(HttpError::Closed);
+        }
+        let n = buf.len();
+        let parsed = parser.feed(buf);
+        reader.consume(n);
+        if let Some(request) = parsed? {
+            return Ok(request);
+        }
+    }
+}
+
+/// A complete response (head + `Content-Length` body + close
+/// semantics) as wire bytes, ready for a nonblocking writer.
+pub fn response_bytes(status: u16, reason: &str, content_type: &str, body: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(body.len() + 128);
+    out.extend_from_slice(
+        format!(
+            "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            body.len()
+        )
+        .as_bytes(),
+    );
+    out.extend_from_slice(body);
+    out
+}
+
+/// A complete JSON response as wire bytes.
+pub fn json_bytes(status: u16, reason: &str, value: &serde_json::Value) -> Vec<u8> {
+    let body = serde_json::to_string(value).unwrap_or_else(|_| "{}".into());
+    response_bytes(status, reason, "application/json", body.as_bytes())
+}
+
+/// The head of a `Transfer-Encoding: chunked` streaming response.
+pub fn stream_head_bytes(content_type: &str) -> Vec<u8> {
+    format!(
+        "HTTP/1.1 200 OK\r\nContent-Type: {content_type}\r\nTransfer-Encoding: chunked\r\nConnection: close\r\n\r\n"
+    )
+    .into_bytes()
+}
+
+/// Append one chunked-encoding frame to an output buffer (empty data
+/// is skipped — a zero-length chunk would terminate the stream).
+pub fn append_chunk(out: &mut Vec<u8>, data: &[u8]) {
+    if data.is_empty() {
+        return;
+    }
+    out.extend_from_slice(format!("{:x}\r\n", data.len()).as_bytes());
+    out.extend_from_slice(data);
+    out.extend_from_slice(b"\r\n");
+}
+
+/// The zero-length chunk that terminates a chunked stream.
+pub const CHUNK_TERMINATOR: &[u8] = b"0\r\n\r\n";
 
 /// Write a complete response with a `Content-Length` body and close
 /// semantics.
@@ -240,12 +377,7 @@ pub fn write_response(
     content_type: &str,
     body: &[u8],
 ) -> std::io::Result<()> {
-    write!(
-        stream,
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
-        body.len()
-    )?;
-    stream.write_all(body)?;
+    stream.write_all(&response_bytes(status, reason, content_type, body))?;
     stream.flush()
 }
 
@@ -258,45 +390,6 @@ pub fn write_json(
 ) -> std::io::Result<()> {
     let body = serde_json::to_string(value).unwrap_or_else(|_| "{}".into());
     write_response(stream, status, reason, "application/json", body.as_bytes())
-}
-
-/// A `Transfer-Encoding: chunked` body writer. Every [`chunk`] flushes
-/// so stream consumers see events as they land, not when a buffer
-/// fills.
-///
-/// [`chunk`]: ChunkedWriter::chunk
-pub struct ChunkedWriter<W: Write> {
-    stream: W,
-}
-
-impl<W: Write> ChunkedWriter<W> {
-    /// Send the streaming response head and return the body writer.
-    pub fn start(mut stream: W, content_type: &str) -> std::io::Result<ChunkedWriter<W>> {
-        write!(
-            stream,
-            "HTTP/1.1 200 OK\r\nContent-Type: {content_type}\r\nTransfer-Encoding: chunked\r\nConnection: close\r\n\r\n"
-        )?;
-        stream.flush()?;
-        Ok(ChunkedWriter { stream })
-    }
-
-    /// Write one chunk (empty input is skipped — a zero-length chunk
-    /// would terminate the stream).
-    pub fn chunk(&mut self, data: &[u8]) -> std::io::Result<()> {
-        if data.is_empty() {
-            return Ok(());
-        }
-        write!(self.stream, "{:x}\r\n", data.len())?;
-        self.stream.write_all(data)?;
-        self.stream.write_all(b"\r\n")?;
-        self.stream.flush()
-    }
-
-    /// Terminate the stream (the zero-length chunk).
-    pub fn finish(mut self) -> std::io::Result<()> {
-        self.stream.write_all(b"0\r\n\r\n")?;
-        self.stream.flush()
-    }
 }
 
 #[cfg(test)]
@@ -469,18 +562,83 @@ mod tests {
     }
 
     #[test]
-    fn chunked_writer_frames_and_terminates() {
-        let mut buf = Vec::new();
-        let mut w = ChunkedWriter::start(&mut buf, "application/x-ndjson").unwrap();
-        w.chunk(b"{\"a\":1}\n").unwrap();
-        w.chunk(b"").unwrap(); // skipped, must not terminate
-        w.chunk(b"{\"b\":2}\n").unwrap();
-        w.finish().unwrap();
-        let text = String::from_utf8(buf).unwrap();
-        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+    fn incremental_parser_completes_byte_at_a_time() {
+        let body = "{\"name\":\"drip\"}";
+        let text = format!(
+            "POST /campaigns HTTP/1.1\r\nHost: h\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        let mut parser = RequestParser::new();
+        let bytes = text.as_bytes();
+        let mut request = None;
+        for (i, b) in bytes.iter().enumerate() {
+            match parser.feed(std::slice::from_ref(b)) {
+                Ok(Some(r)) => {
+                    assert_eq!(i, bytes.len() - 1, "completes exactly on the last byte");
+                    request = Some(r);
+                }
+                Ok(None) => assert!(i < bytes.len() - 1),
+                Err(e) => panic!("byte {i}: {e}"),
+            }
+        }
+        let request = request.expect("request completed");
+        assert_eq!(request.method, "POST");
+        assert_eq!(request.body, body.as_bytes());
+        // Bytes after a complete request are ignored (no pipelining).
+        assert_eq!(parser.feed(b"GET / HTTP/1.1\r\n\r\n").unwrap(), None);
+    }
+
+    #[test]
+    fn incremental_parser_handles_terminator_straddling_feeds() {
+        // The \r\n\r\n boundary split across every possible feed seam.
+        let text = "GET /healthz HTTP/1.1\r\nHost: h\r\n\r\n";
+        for split in 1..text.len() {
+            let mut parser = RequestParser::new();
+            assert_eq!(
+                parser.feed(&text.as_bytes()[..split]).unwrap(),
+                None,
+                "split {split}: incomplete prefix"
+            );
+            let request = parser
+                .feed(&text.as_bytes()[split..])
+                .unwrap()
+                .unwrap_or_else(|| panic!("split {split}: request must complete"));
+            assert_eq!(request.path(), "/healthz");
+        }
+    }
+
+    #[test]
+    fn incremental_parser_caps_heads_as_bytes_arrive() {
+        // A never-ending head trips the cap mid-feed, long before any
+        // blank line shows up.
+        let mut parser = RequestParser::new();
+        let chunk = vec![b'a'; 4096];
+        let mut result = Ok(None);
+        for _ in 0..8 {
+            result = parser.feed(&chunk);
+            if result.is_err() {
+                break;
+            }
+        }
+        assert!(matches!(result, Err(HttpError::HeadTooLarge)));
+    }
+
+    #[test]
+    fn response_byte_helpers_mirror_the_writers() {
+        let mut written = Vec::new();
+        write_response(&mut written, 200, "OK", "text/plain", b"hi").unwrap();
+        assert_eq!(written, response_bytes(200, "OK", "text/plain", b"hi"));
+
+        let head = stream_head_bytes("application/x-ndjson");
+        let text = String::from_utf8(head).unwrap();
         assert!(text.contains("Transfer-Encoding: chunked"));
-        assert!(text.contains("8\r\n{\"a\":1}\n\r\n"));
-        assert!(text.ends_with("0\r\n\r\n"));
+        assert!(text.ends_with("\r\n\r\n"));
+
+        let mut out = Vec::new();
+        append_chunk(&mut out, b"{\"a\":1}\n");
+        append_chunk(&mut out, b""); // skipped: must not terminate
+        out.extend_from_slice(CHUNK_TERMINATOR);
+        assert_eq!(out, b"8\r\n{\"a\":1}\n\r\n0\r\n\r\n");
     }
 
     #[test]

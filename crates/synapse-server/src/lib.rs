@@ -12,13 +12,17 @@
 //!
 //! The workspace is offline/vendored, so the HTTP/1.1 layer is
 //! hand-rolled ([`http`]) the same way the vendored crates hand-roll
-//! serde — `std::net::TcpListener`, a thread per connection, no tokio.
+//! serde — no tokio, no mio: a single epoll reactor thread (vendored
+//! `epoll`/`eventfd` bindings) owns every connection, with a small
+//! handler pool for CPU-bound routing. Thousands of idle event-stream
+//! watchers cost file descriptors, not threads.
 //!
 //! # Endpoints
 //!
 //! | Method + path               | Meaning                                       |
 //! |-----------------------------|-----------------------------------------------|
 //! | `POST /campaigns`           | submit a TOML/JSON spec → `{"id": "j1", ...}` |
+//! | `POST /campaigns?watch=1`   | submit + stream on one connection             |
 //! | `GET /campaigns`            | status of every job                           |
 //! | `GET /campaigns/j1`         | one job's status/summary                      |
 //! | `GET /campaigns/j1/events`  | chunked NDJSON stream of per-point results    |
@@ -65,13 +69,14 @@
 pub mod client;
 pub mod http;
 pub mod job;
+mod reactor;
 pub mod server;
 
-pub use client::{Client, Response};
+pub use client::{Client, Response, STREAM_SILENCE_TIMEOUT};
 pub use job::{Job, JobKind, JobState, LeaseRequest};
 pub use server::{
-    Server, ServerConfig, ServerHandle, DEFAULT_EVENT_BUFFER, DEFAULT_MAX_CONNECTIONS,
-    SNAPSHOT_EVERY,
+    Server, ServerConfig, ServerHandle, DEFAULT_EVENT_BUFFER, DEFAULT_HANDLER_THREADS,
+    DEFAULT_MAX_CONNECTIONS, DEFAULT_STREAM_HIGH_WATER, HEARTBEAT_EVERY, SNAPSHOT_EVERY,
 };
 
 use synapse_campaign::{
@@ -126,6 +131,19 @@ pub enum ServerError {
     Protocol(String),
     /// A non-2xx response with the server's error detail.
     Status(u16, String),
+    /// An established event stream went silent past the dead-server
+    /// threshold (no events, no heartbeats): the server is presumed
+    /// dead or partitioned. Retriable — watchers should reconnect or
+    /// reassign the work.
+    Disconnected(String),
+}
+
+impl ServerError {
+    /// Whether retrying against another (or the same, later) server is
+    /// the right reaction — today, exactly the dead-stream case.
+    pub fn is_disconnect(&self) -> bool {
+        matches!(self, ServerError::Disconnected(_))
+    }
 }
 
 impl std::fmt::Display for ServerError {
@@ -135,6 +153,7 @@ impl std::fmt::Display for ServerError {
             ServerError::Campaign(e) => write!(f, "campaign: {e}"),
             ServerError::Protocol(msg) => write!(f, "protocol: {msg}"),
             ServerError::Status(code, detail) => write!(f, "server returned {code}: {detail}"),
+            ServerError::Disconnected(msg) => write!(f, "stream disconnected: {msg}"),
         }
     }
 }

@@ -1,21 +1,39 @@
-//! The `synapse serve` daemon: TCP accept loop, request routing, the
-//! job queue worker pool and the process-wide result cache.
+//! The `synapse serve` daemon: epoll reactor front, request routing,
+//! the job queue worker pool and the process-wide result cache.
 //!
-//! Concurrency model: a thread per connection at the front (requests
-//! are short-lived except event streams, which tie up their thread for
-//! the life of the watched job), and a fixed pool of queue workers at
-//! the back, each draining one job at a time through
-//! [`synapse_campaign::run_campaign_on`]. All jobs share one
-//! [`ResultCache`] handle — the sharded store is lock-protected per
-//! shard group, so concurrent sweeps memoize into (and hit from) the
-//! same cache, which is the point of keeping the process alive.
+//! Concurrency model: ONE reactor thread owns every connection —
+//! nonblocking accept, incremental request parsing, response flushing
+//! and event-stream pumping are all readiness-driven (`epoll` via the
+//! vendored libc stub), so a thousand idle watchers cost file
+//! descriptors, not threads. CPU-bound request handling (spec parsing,
+//! report assembly, cluster probes) is dispatched to a small handler
+//! pool so the reactor never blocks; a fixed pool of queue workers at
+//! the back drains jobs through [`synapse_campaign::run_campaign_on`].
+//! Job events reach the reactor through an eventfd wakeup (the hook
+//! wired into every [`Job`]), which coalesces bursts into single
+//! wakes. All jobs share one [`ResultCache`] handle — the sharded
+//! store is lock-protected per shard group, so concurrent sweeps
+//! memoize into (and hit from) the same cache, which is the point of
+//! keeping the process alive.
+//!
+//! Per-connection lifecycle (one state machine, no thread):
+//!
+//! ```text
+//! accept ──▶ Reading ──(request parsed)──▶ Handling ──▶ Writing ──▶ close
+//!   │           │  (shed: over capacity)      │  (events route)
+//!   │           └──────────▶ 503 ─▶ Writing   └─▶ Streaming ──▶ close
+//!   └─ over 2× capacity: dropped cold              │  ▲
+//!                                 backpressure ◀───┘  │ job events / heartbeat
+//!                                 (pump pauses at the high-water mark)
+//! ```
 
-use std::collections::VecDeque;
-use std::io::BufReader;
+use std::collections::{HashMap, VecDeque};
+use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
+use std::os::unix::io::AsRawFd;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 use serde_json::json;
@@ -24,8 +42,9 @@ use synapse_campaign::{
     ResultCache, RunConfig,
 };
 
-use crate::http::{self, ChunkedWriter, HttpError, Request};
-use crate::job::{Job, JobKind, JobState, LeaseRequest};
+use crate::http::{self, HttpError, Request, RequestParser};
+use crate::job::{EventHook, Job, JobKind, JobState, LeaseRequest};
+use crate::reactor::{self, Poller, Waker};
 use crate::{ClusterBackend, ServerError};
 
 /// How often a long-lived sweep emits an aggregate `snapshot` event
@@ -45,16 +64,11 @@ pub const MAX_RETAINED_TERMINAL_JOBS: usize = 64;
 /// result sets.
 pub const MAX_RETAINED_TERMINAL_LEASES: usize = 2;
 
-/// Read/write timeouts on accepted connections. Requests are parsed
-/// well inside this; for event streams it bounds how long a stalled
-/// (non-reading) watcher can pin its connection thread, so shutdown's
-/// scope join cannot hang on a dead peer.
-const SOCKET_TIMEOUT: Duration = Duration::from_secs(30);
-
 /// How long an event stream may stay silent before a `heartbeat`
 /// event is pulsed, keeping client read-timeouts satisfiable while a
-/// job sits queued behind a long sweep.
-const HEARTBEAT_EVERY: Duration = Duration::from_secs(10);
+/// job sits queued behind a long sweep. Public so clients can derive
+/// their dead-server threshold from the same number.
+pub const HEARTBEAT_EVERY: Duration = Duration::from_secs(10);
 
 /// Serialize one event document to its NDJSON line.
 fn ndjson(value: &serde_json::Value) -> String {
@@ -66,6 +80,34 @@ pub const DEFAULT_MAX_CONNECTIONS: usize = 256;
 
 /// Default per-job event-ring retention (NDJSON lines).
 pub const DEFAULT_EVENT_BUFFER: usize = 8192;
+
+/// Default handler-pool size (CPU-bound request handling off the
+/// reactor thread).
+pub const DEFAULT_HANDLER_THREADS: usize = 4;
+
+/// Budget for a connection to deliver its complete request, counted
+/// from accept. A slow-loris peer feeding one header byte at a time
+/// gets exactly this long in total — not a fresh timeout per byte.
+pub const DEFAULT_REQUEST_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Default per-connection output high-water mark: the stream pump
+/// stops pulling ring events for a watcher whose unsent buffer grew
+/// past this, and the job ring's own truncation covers whatever the
+/// stalled watcher misses meanwhile.
+pub const DEFAULT_STREAM_HIGH_WATER: usize = 256 * 1024;
+
+/// Default for [`ServerConfig::write_stall_timeout`]: a connection
+/// with unsent bytes and no write progress for this long is presumed
+/// dead and reclaimed.
+pub const DEFAULT_WRITE_STALL_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Upper bound on one `epoll_wait`, so timer scans (request deadlines,
+/// heartbeats, stall reclaim) run even on a quiet socket set.
+const REACTOR_TICK_MS: i32 = 250;
+
+/// After shutdown is requested, how long in-flight responses and
+/// terminal stream events get to flush before connections are cut.
+const SHUTDOWN_GRACE: Duration = Duration::from_secs(5);
 
 /// How the daemon is set up.
 #[derive(Debug, Clone)]
@@ -79,11 +121,23 @@ pub struct ServerConfig {
     /// Worker threads *per job's* sweep (0 ⇒ auto).
     pub job_workers: usize,
     /// Concurrent-connection cap: requests past it are shed with `503`
-    /// instead of spawning unbounded threads (0 ⇒ unlimited).
+    /// instead of accepting unbounded connections (0 ⇒ unlimited).
     pub max_connections: usize,
     /// Event lines retained per job for replay; older lines truncate
     /// with a `truncated` marker (0 ⇒ unbounded — test use only).
     pub event_buffer: usize,
+    /// Handler-pool threads for CPU-bound request handling (0 ⇒
+    /// [`DEFAULT_HANDLER_THREADS`]). The reactor itself is one thread
+    /// regardless of how many connections are open.
+    pub handler_threads: usize,
+    /// Total budget for a connection to deliver its request
+    /// (slow-loris cutoff).
+    pub request_timeout: Duration,
+    /// Per-connection output high-water mark (stream backpressure).
+    pub stream_high_water: usize,
+    /// Reclaim a connection whose unsent output made no progress for
+    /// this long (the peer stopped reading and never came back).
+    pub write_stall_timeout: Duration,
 }
 
 impl Default for ServerConfig {
@@ -95,6 +149,10 @@ impl Default for ServerConfig {
             job_workers: 0,
             max_connections: DEFAULT_MAX_CONNECTIONS,
             event_buffer: DEFAULT_EVENT_BUFFER,
+            handler_threads: 0,
+            request_timeout: DEFAULT_REQUEST_TIMEOUT,
+            stream_high_water: DEFAULT_STREAM_HIGH_WATER,
+            write_stall_timeout: DEFAULT_WRITE_STALL_TIMEOUT,
         }
     }
 }
@@ -112,6 +170,9 @@ pub(crate) struct ServerState {
     event_buffer: usize,
     max_connections: usize,
     active_connections: AtomicUsize,
+    /// The reactor's wakeup handle, set once `run()` starts; jobs
+    /// created after that carry it as their event hook.
+    reactor_waker: OnceLock<Arc<Waker>>,
     /// Distributed-execution backend (coordinator mode); `None` for a
     /// plain worker/standalone server.
     cluster: Option<Arc<dyn ClusterBackend>>,
@@ -141,7 +202,19 @@ impl ServerState {
             JobKind::Lease { .. } => 0,
             _ => self.event_buffer,
         };
-        let job = Arc::new(Job::new(id, spec, total, self.job_workers, kind, event_cap));
+        let hook = self.reactor_waker.get().map(|waker| {
+            let waker = waker.clone();
+            Arc::new(move || waker.wake()) as Arc<EventHook>
+        });
+        let job = Arc::new(Job::with_hook(
+            id,
+            spec,
+            total,
+            self.job_workers,
+            kind,
+            event_cap,
+            hook,
+        ));
         {
             let mut jobs = self.jobs.lock().expect("jobs lock");
             jobs.push(job.clone());
@@ -214,11 +287,14 @@ impl ServerState {
         self.shutdown.store(true, Ordering::Release);
         // Stop in-flight sweeps; settle jobs no queue worker will ever
         // reach, so their event streams terminate instead of leaving
-        // streamers (and the connection-thread join) blocked forever.
+        // streamers blocked forever.
         for job in self.jobs.lock().expect("jobs lock").iter() {
             job.settle_if_queued();
         }
         self.queue_ready.notify_all();
+        if let Some(waker) = self.reactor_waker.get() {
+            waker.wake();
+        }
     }
 
     fn shutting_down(&self) -> bool {
@@ -257,6 +333,24 @@ impl ServerState {
     }
 }
 
+/// This process's live thread count (Linux `/proc`), surfaced through
+/// `/healthz` so operators — and the CI smoke — can verify the front
+/// holds watchers without spawning a thread per connection.
+fn process_threads() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|status| {
+            status
+                .lines()
+                .find(|l| l.starts_with("Threads:"))?
+                .split_whitespace()
+                .nth(1)?
+                .parse()
+                .ok()
+        })
+        .unwrap_or(0)
+}
+
 /// A bound, not-yet-running server.
 pub struct Server {
     listener: TcpListener,
@@ -277,12 +371,14 @@ impl ServerHandle {
         self.addr
     }
 
-    /// Ask the accept loop, queue workers and in-flight sweeps to
-    /// stop. Returns once the request is registered (the `run()` call
+    /// Ask the reactor, queue workers and in-flight sweeps to stop.
+    /// Returns once the request is registered (the `run()` call
     /// unblocks shortly after).
     pub fn shutdown(&self) {
+        // request_shutdown wakes the reactor through its eventfd; the
+        // connect poke covers a server whose run() has not started
+        // serving yet.
         self.state.request_shutdown();
-        // Poke the accept loop out of `accept()`.
         let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
     }
 }
@@ -306,6 +402,7 @@ impl Server {
             event_buffer: config.event_buffer,
             max_connections: config.max_connections,
             active_connections: AtomicUsize::new(0),
+            reactor_waker: OnceLock::new(),
             cluster: None,
             started: Instant::now(),
         });
@@ -343,15 +440,23 @@ impl Server {
 
     /// Serve until [`ServerHandle::shutdown`] (or `POST /shutdown`).
     ///
-    /// Blocks the calling thread: the accept loop runs here, queue
-    /// workers and connection handlers on scoped threads behind it.
+    /// Blocks the calling thread: the reactor runs here, queue workers
+    /// and the handler pool on scoped threads behind it.
     pub fn run(self) -> Result<(), ServerError> {
         let Server {
             listener,
             state,
             config,
         } = self;
-        std::thread::scope(|scope| {
+        let waker = Arc::new(Waker::new()?);
+        let _ = state.reactor_waker.set(waker.clone());
+        listener.set_nonblocking(true)?;
+        let dispatch = Dispatch {
+            tasks: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+            completions: Mutex::new(Vec::new()),
+        };
+        let served: std::io::Result<()> = std::thread::scope(|scope| {
             for worker in 0..config.queue_workers.max(1) {
                 let state = &state;
                 std::thread::Builder::new()
@@ -359,46 +464,41 @@ impl Server {
                     .spawn_scoped(scope, move || queue_worker(state))
                     .expect("spawn queue worker");
             }
-            for conn in listener.incoming() {
-                if state.shutting_down() {
-                    break;
-                }
-                let Ok(stream) = conn else { continue };
-                let state = &state;
-                // Connection cap: shed with a 503 instead of growing
-                // one thread per watcher without bound. Shedding still
-                // reads the request first — answering before the
-                // request is consumed makes the close RST the socket
-                // and the client may never see the status — so a shed
-                // occupies a short-lived *counted* thread; past twice
-                // the cap the connection is dropped cold.
-                let active = state.active_connections.fetch_add(1, Ordering::AcqRel) + 1;
-                let over = state.max_connections > 0 && active > state.max_connections;
-                if over && active > state.max_connections.saturating_mul(2) {
-                    state.active_connections.fetch_sub(1, Ordering::AcqRel);
-                    continue;
-                }
-                let spawned = std::thread::Builder::new()
-                    .name(if over { "synapse-shed" } else { "synapse-conn" }.into())
-                    .spawn_scoped(scope, move || {
-                        if over {
-                            shed_connection(stream, state.max_connections);
-                        } else {
-                            handle_connection(stream, state);
-                        }
-                        state.active_connections.fetch_sub(1, Ordering::AcqRel);
-                    });
-                if spawned.is_err() {
-                    // Out of threads: shed the connection instead of
-                    // dying.
-                    state.active_connections.fetch_sub(1, Ordering::AcqRel);
-                    continue;
-                }
+            let handlers = match config.handler_threads {
+                0 => DEFAULT_HANDLER_THREADS,
+                n => n,
+            };
+            for handler in 0..handlers {
+                let (state, dispatch, waker) = (&state, &dispatch, &*waker);
+                std::thread::Builder::new()
+                    .name(format!("synapse-handler-{handler}"))
+                    .spawn_scoped(scope, move || handler_worker(state, dispatch, waker))
+                    .expect("spawn handler");
             }
-            // Scope join: waits for queue workers (which exit on the
-            // shutdown flag) and any outstanding connections (whose
-            // streams end once their jobs cancel).
+            let served = (|| {
+                let mut reactor = Reactor {
+                    state: &state,
+                    listener: &listener,
+                    poller: Poller::new()?,
+                    waker: waker.clone(),
+                    dispatch: &dispatch,
+                    conns: HashMap::new(),
+                    next_token: FIRST_CONN_TOKEN,
+                    request_timeout: config.request_timeout,
+                    high_water: config.stream_high_water.max(4 * 1024),
+                    write_stall: config.write_stall_timeout,
+                    scratch: Vec::with_capacity(64 * 1024),
+                };
+                reactor.serve()
+            })();
+            // The reactor exiting — clean shutdown or fatal error —
+            // must take the helper threads with it, or the scope join
+            // hangs forever.
+            state.request_shutdown();
+            dispatch.ready.notify_all();
+            served
         });
+        served?;
         state.cache.persist()?;
         Ok(())
     }
@@ -455,6 +555,45 @@ fn run_job(state: &ServerState, job: &Arc<Job>) {
     job.close_events();
 }
 
+/// Serialize the hot per-point event by hand: at ~100k points/s the
+/// `json!` Value tree (a dozen allocations per event, built on the
+/// sweep thread) was the single biggest observer cost. Keys are in
+/// the same sorted order the tree serializer emits, strings go
+/// through the vendored serde_json escaper, and floats mirror its
+/// formatting rules exactly, so the wire shape is indistinguishable.
+fn point_event_line(
+    result: &synapse_campaign::PointResult,
+    cached: bool,
+    done: usize,
+    total: usize,
+) -> String {
+    use std::fmt::Write as _;
+    fn push_f64(out: &mut String, value: f64) {
+        if !value.is_finite() {
+            out.push_str("null");
+        } else if value == value.trunc() && value.abs() < 1e16 {
+            let _ = write!(out, "{value:.1}");
+        } else {
+            let _ = write!(out, "{value}");
+        }
+    }
+    let mut line = String::with_capacity(416);
+    line.push_str("{\"app_tx\":");
+    push_f64(&mut line, result.app_tx);
+    line.push_str(",\"cached\":");
+    line.push_str(if cached { "true" } else { "false" });
+    let _ = write!(line, ",\"done\":{done},\"error_pct\":");
+    push_f64(&mut line, result.error_pct());
+    line.push_str(",\"event\":\"point\",\"fingerprint\":");
+    line.push_str(&serde_json::to_string(&result.fingerprint).expect("fingerprint serializes"));
+    let _ = write!(line, ",\"index\":{},\"label\":", result.point.index);
+    line.push_str(&serde_json::to_string(&result.point.label()).expect("label serializes"));
+    let _ = write!(line, ",\"total\":{total},\"tx\":");
+    push_f64(&mut line, result.tx);
+    line.push('}');
+    line
+}
+
 /// The progress observer shared by local sweeps and distributed runs:
 /// per-point NDJSON events with running counters and periodic
 /// aggregate snapshots.
@@ -480,18 +619,7 @@ fn point_observer(job: &Arc<Job>) -> impl Fn(PointEvent) + Sync + '_ {
                 p.abs_err_sum += result.error_pct().abs();
                 p.abs_err_sum
             });
-            job.push_event(ndjson(&json!({
-                "event": "point",
-                "index": result.point.index,
-                "label": result.point.label(),
-                "fingerprint": result.fingerprint,
-                "tx": result.tx,
-                "app_tx": result.app_tx,
-                "error_pct": result.error_pct(),
-                "cached": cached,
-                "done": done,
-                "total": total,
-            })));
+            job.push_event(point_event_line(&result, cached, done, total));
             if done % SNAPSHOT_EVERY == 0 && done < total {
                 let (cache_hits, simulated) =
                     job.with_progress(|p| (p.cache_hits, p.done - p.cache_hits));
@@ -668,56 +796,31 @@ fn run_lease_job(state: &ServerState, job: &Arc<Job>, start: usize, end: usize) 
     }
 }
 
-/// Refuse one over-limit connection: consume its request (bounded by
-/// the parser's size caps and a short timeout), answer `503`, close.
-fn shed_connection(stream: TcpStream, limit: usize) {
-    let best_effort = (|| -> std::io::Result<()> {
-        stream.set_read_timeout(Some(Duration::from_secs(5)))?;
-        stream.set_write_timeout(Some(Duration::from_secs(5)))?;
-        let mut reader = BufReader::new(stream.try_clone()?);
-        let mut writer = stream;
-        let _ = http::read_request(&mut reader);
-        http::write_json(
-            &mut writer,
-            503,
-            "Service Unavailable",
-            &json!({"error": format!("connection limit {limit} reached, retry later")}),
-        )
-    })();
-    let _ = best_effort;
+// ---------------------------------------------------------------------------
+// Request routing (runs on the handler pool; returns bytes or a
+// stream handle for the reactor to drive — never touches a socket).
+// ---------------------------------------------------------------------------
+
+/// What a routed request turns into.
+pub(crate) enum Reply {
+    /// A complete response: write, close.
+    Full(Vec<u8>),
+    /// Switch the connection to a live NDJSON event stream, after an
+    /// optional preamble line (the `?watch=1` submit ack).
+    Stream {
+        job: Arc<Job>,
+        preamble: Option<String>,
+    },
+    /// Write the response, then initiate server shutdown.
+    Shutdown(Vec<u8>),
 }
 
-/// Serve one connection: parse a request, route it, close.
-fn handle_connection(stream: TcpStream, state: &ServerState) {
-    let peer_closed_is_fine = (|| -> std::io::Result<()> {
-        // Bound both directions: a client that connects and never
-        // sends, or a watcher that stops reading its stream, must not
-        // pin this thread forever (shutdown joins every connection
-        // thread).
-        stream.set_read_timeout(Some(SOCKET_TIMEOUT))?;
-        stream.set_write_timeout(Some(SOCKET_TIMEOUT))?;
-        let mut reader = BufReader::new(stream.try_clone()?);
-        let mut writer = stream;
-        match http::read_request(&mut reader) {
-            Ok(request) => route(&request, &mut writer, state),
-            Err(HttpError::Closed) => Ok(()), // health probes, port scans
-            Err(e) => {
-                let (status, reason) = e.status();
-                http::write_json(
-                    &mut writer,
-                    status,
-                    reason,
-                    &json!({"error": e.to_string()}),
-                )
-            }
-        }
-    })();
-    // A client hanging up mid-stream is routine, not a server error.
-    let _ = peer_closed_is_fine;
+fn json_reply(status: u16, reason: &str, value: &serde_json::Value) -> Reply {
+    Reply::Full(http::json_bytes(status, reason, value))
 }
 
 /// Dispatch one parsed request.
-fn route(request: &Request, out: &mut TcpStream, state: &ServerState) -> std::io::Result<()> {
+fn route(request: &Request, state: &ServerState) -> Reply {
     let path = request.path().trim_end_matches('/').to_string();
     let segments: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
     match (request.method.as_str(), segments.as_slice()) {
@@ -734,8 +837,7 @@ fn route(request: &Request, out: &mut TcpStream, state: &ServerState) -> std::io
                     .count();
                 (jobs.len(), queued, running)
             };
-            http::write_json(
-                out,
+            json_reply(
                 200,
                 "OK",
                 &json!({
@@ -744,16 +846,16 @@ fn route(request: &Request, out: &mut TcpStream, state: &ServerState) -> std::io
                     "jobs": jobs,
                     "queued": queued,
                     "running": running,
-                    "active_connections": state.active_connections.load(Ordering::Relaxed),
+                    "active_connections": state.active_connections.load(Ordering::Acquire),
                     "max_connections": state.max_connections,
+                    "threads": process_threads(),
                     "coordinator": state.cluster.is_some(),
                 }),
             )
         }
         ("GET", ["store", "stats"]) => {
             let stats = state.cache.stats();
-            http::write_json(
-                out,
+            json_reply(
                 200,
                 "OK",
                 &json!({
@@ -771,12 +873,13 @@ fn route(request: &Request, out: &mut TcpStream, state: &ServerState) -> std::io
                     "lock_acquisitions": stats.lock_acquisitions,
                     "lock_contention": stats.lock_contention,
                     "reconciled_docs": stats.reconciled_docs,
+                    "active_connections": state.active_connections.load(Ordering::Acquire),
                 }),
             )
         }
-        ("POST", ["campaigns"]) => submit_campaign(request, out, state),
-        ("POST", ["leases"]) => submit_lease(request, out, state),
-        (_, ["cluster", rest @ ..]) => cluster_route(request, rest, out, state),
+        ("POST", ["campaigns"]) => submit_campaign(request, state),
+        ("POST", ["leases"]) => submit_lease(request, state),
+        (_, ["cluster", rest @ ..]) => cluster_route(request, rest, state),
         ("GET", ["campaigns"]) => {
             let listing: Vec<serde_json::Value> = state
                 .jobs
@@ -785,19 +888,21 @@ fn route(request: &Request, out: &mut TcpStream, state: &ServerState) -> std::io
                 .iter()
                 .map(|j| state.status_json(j))
                 .collect();
-            http::write_json(out, 200, "OK", &json!({"campaigns": listing}))
+            json_reply(200, "OK", &json!({"campaigns": listing}))
         }
         ("GET", ["campaigns", id]) => match state.job(id) {
-            Some(job) => http::write_json(out, 200, "OK", &state.status_json(&job)),
-            None => not_found(out, id),
+            Some(job) => json_reply(200, "OK", &state.status_json(&job)),
+            None => not_found(id),
         },
         ("GET", ["campaigns", id, "report"]) => match state.job(id) {
             Some(job) => match job.report_json() {
-                Some(body) => {
-                    http::write_response(out, 200, "OK", "application/json", body.as_bytes())
-                }
-                None => http::write_json(
-                    out,
+                Some(body) => Reply::Full(http::response_bytes(
+                    200,
+                    "OK",
+                    "application/json",
+                    body.as_bytes(),
+                )),
+                None => json_reply(
                     409,
                     "Conflict",
                     &json!({
@@ -806,11 +911,14 @@ fn route(request: &Request, out: &mut TcpStream, state: &ServerState) -> std::io
                     }),
                 ),
             },
-            None => not_found(out, id),
+            None => not_found(id),
         },
         ("GET", ["campaigns", id, "events"]) => match state.job(id) {
-            Some(job) => stream_events(&job, out),
-            None => not_found(out, id),
+            Some(job) => Reply::Stream {
+                job,
+                preamble: None,
+            },
+            None => not_found(id),
         },
         ("DELETE", ["campaigns", id]) => match state.job(id) {
             Some(job) => {
@@ -820,29 +928,23 @@ fn route(request: &Request, out: &mut TcpStream, state: &ServerState) -> std::io
                 // worker re-checks and skips settled jobs; a running
                 // job just gets its token cancelled.)
                 job.settle_if_queued();
-                http::write_json(out, 200, "OK", &state.status_json(&job))
+                json_reply(200, "OK", &state.status_json(&job))
             }
-            None => not_found(out, id),
+            None => not_found(id),
         },
-        ("POST", ["shutdown"]) => {
-            let reply = http::write_json(out, 200, "OK", &json!({"status": "shutting down"}));
-            state.request_shutdown();
-            // Unblock our own accept loop.
-            if let Ok(addr) = out.local_addr() {
-                let _ = TcpStream::connect_timeout(&addr, Duration::from_secs(1));
-            }
-            reply
-        }
+        ("POST", ["shutdown"]) => Reply::Shutdown(http::json_bytes(
+            200,
+            "OK",
+            &json!({"status": "shutting down"}),
+        )),
         (_, ["healthz" | "shutdown" | "leases"])
         | (_, ["store", "stats"])
-        | (_, ["campaigns", ..]) => http::write_json(
-            out,
+        | (_, ["campaigns", ..]) => json_reply(
             405,
             "Method Not Allowed",
             &json!({"error": format!("{} not allowed on {}", request.method, path)}),
         ),
-        _ => http::write_json(
-            out,
+        _ => json_reply(
             404,
             "Not Found",
             &json!({"error": format!("no such endpoint {path:?}")}),
@@ -850,9 +952,8 @@ fn route(request: &Request, out: &mut TcpStream, state: &ServerState) -> std::io
     }
 }
 
-fn not_found(out: &mut TcpStream, id: &str) -> std::io::Result<()> {
-    http::write_json(
-        out,
+fn not_found(id: &str) -> Reply {
+    json_reply(
         404,
         "Not Found",
         &json!({"error": format!("no such campaign {id:?}")}),
@@ -862,14 +963,9 @@ fn not_found(out: &mut TcpStream, id: &str) -> std::io::Result<()> {
 /// `POST /campaigns[?cluster=1]`: parse a TOML or JSON spec, enqueue a
 /// job — locally swept, or distributed across the cluster when the
 /// flag is set (coordinator servers only).
-fn submit_campaign(
-    request: &Request,
-    out: &mut TcpStream,
-    state: &ServerState,
-) -> std::io::Result<()> {
+fn submit_campaign(request: &Request, state: &ServerState) -> Reply {
     if state.shutting_down() {
-        return http::write_json(
-            out,
+        return json_reply(
             503,
             "Service Unavailable",
             &json!({"error": "server is shutting down"}),
@@ -877,16 +973,14 @@ fn submit_campaign(
     }
     let distributed = request.query_flag("cluster");
     if distributed && state.cluster.is_none() {
-        return http::write_json(
-            out,
+        return json_reply(
             400,
             "Bad Request",
             &json!({"error": "this server is not a cluster coordinator (start it with `synapse cluster start`)"}),
         );
     }
     let Ok(text) = std::str::from_utf8(&request.body) else {
-        return http::write_json(
-            out,
+        return json_reply(
             400,
             "Bad Request",
             &json!({"error": "spec body is not UTF-8"}),
@@ -909,21 +1003,27 @@ fn submit_campaign(
             };
             let total = spec.point_count();
             let job = state.submit(spec, total, kind);
-            http::write_json(
-                out,
-                202,
-                "Accepted",
-                &json!({
-                    "id": job.public_id(),
-                    "name": job.spec.name,
-                    "status": job.state().name(),
-                    "points": job.total,
-                    "distributed": distributed,
-                }),
-            )
+            let ack = json!({
+                "id": job.public_id(),
+                "name": job.spec.name,
+                "status": job.state().name(),
+                "points": job.total,
+                "distributed": distributed,
+            });
+            // `?watch=1` folds submit + watch into ONE round trip: the
+            // ack becomes the stream's first NDJSON line and the
+            // job's events follow on the same connection — half the
+            // connection churn for the most common client flow.
+            if request.query_flag("watch") {
+                Reply::Stream {
+                    job,
+                    preamble: Some(ndjson(&ack)),
+                }
+            } else {
+                json_reply(202, "Accepted", &ack)
+            }
         }
-        Err(e) => http::write_json(
-            out,
+        Err(e) => json_reply(
             400,
             "Bad Request",
             &json!({"error": format!("invalid campaign spec: {e}")}),
@@ -934,22 +1034,16 @@ fn submit_campaign(
 /// `POST /leases`: accept a lease (full spec + grid index range) from
 /// a cluster coordinator and enqueue it like any other job. Events
 /// stream through the usual `GET /campaigns/<id>/events`.
-fn submit_lease(
-    request: &Request,
-    out: &mut TcpStream,
-    state: &ServerState,
-) -> std::io::Result<()> {
+fn submit_lease(request: &Request, state: &ServerState) -> Reply {
     if state.shutting_down() {
-        return http::write_json(
-            out,
+        return json_reply(
             503,
             "Service Unavailable",
             &json!({"error": "server is shutting down"}),
         );
     }
     let Ok(text) = std::str::from_utf8(&request.body) else {
-        return http::write_json(
-            out,
+        return json_reply(
             400,
             "Bad Request",
             &json!({"error": "lease body is not UTF-8"}),
@@ -958,8 +1052,7 @@ fn submit_lease(
     let lease: LeaseRequest = match serde_json::from_str(text) {
         Ok(lease) => lease,
         Err(e) => {
-            return http::write_json(
-                out,
+            return json_reply(
                 400,
                 "Bad Request",
                 &json!({"error": format!("invalid lease request: {e}")}),
@@ -970,8 +1063,7 @@ fn submit_lease(
     let spec = match lease.spec.validated() {
         Ok(spec) => spec,
         Err(e) => {
-            return http::write_json(
-                out,
+            return json_reply(
                 400,
                 "Bad Request",
                 &json!({"error": format!("invalid campaign spec: {e}")}),
@@ -980,8 +1072,7 @@ fn submit_lease(
     };
     let total = spec.point_count();
     if lease.start >= lease.end || lease.end > total {
-        return http::write_json(
-            out,
+        return json_reply(
             400,
             "Bad Request",
             &json!({
@@ -1000,8 +1091,7 @@ fn submit_lease(
             end: lease.end,
         },
     );
-    http::write_json(
-        out,
+    json_reply(
         202,
         "Accepted",
         &json!({
@@ -1017,22 +1107,16 @@ fn submit_lease(
 
 /// `/cluster/*`: the coordinator's worker registry. 404s (with a
 /// pointer) on servers without a cluster backend.
-fn cluster_route(
-    request: &Request,
-    rest: &[&str],
-    out: &mut TcpStream,
-    state: &ServerState,
-) -> std::io::Result<()> {
+fn cluster_route(request: &Request, rest: &[&str], state: &ServerState) -> Reply {
     let Some(backend) = &state.cluster else {
-        return http::write_json(
-            out,
+        return json_reply(
             404,
             "Not Found",
             &json!({"error": "this server is not a cluster coordinator (start it with `synapse cluster start`)"}),
         );
     };
     match (request.method.as_str(), rest) {
-        ("GET", ["status"]) => http::write_json(out, 200, "OK", &backend.status()),
+        ("GET", ["status"]) => json_reply(200, "OK", &backend.status()),
         ("POST", ["workers"]) => {
             // Accept `{"addr": "host:port"}` or a bare address body.
             let text = std::str::from_utf8(&request.body).unwrap_or("").trim();
@@ -1041,11 +1125,8 @@ fn cluster_route(
                 .and_then(|v| v["addr"].as_str().map(str::to_string))
                 .or_else(|| (!text.is_empty() && !text.starts_with('{')).then(|| text.to_string()));
             match addr {
-                Some(addr) => {
-                    http::write_json(out, 201, "Created", &backend.register_worker(&addr))
-                }
-                None => http::write_json(
-                    out,
+                Some(addr) => json_reply(201, "Created", &backend.register_worker(&addr)),
+                None => json_reply(
                     400,
                     "Bad Request",
                     &json!({"error": "worker registration needs {\"addr\": \"host:port\"}"}),
@@ -1053,31 +1134,27 @@ fn cluster_route(
             }
         }
         ("DELETE", ["workers", id]) => match backend.deregister_worker(id) {
-            Some(doc) => http::write_json(out, 200, "OK", &doc),
-            None => http::write_json(
-                out,
+            Some(doc) => json_reply(200, "OK", &doc),
+            None => json_reply(
                 404,
                 "Not Found",
                 &json!({"error": format!("no such worker {id:?}")}),
             ),
         },
         ("POST", ["workers", id, "heartbeat"]) => match backend.heartbeat(id) {
-            Some(doc) => http::write_json(out, 200, "OK", &doc),
-            None => http::write_json(
-                out,
+            Some(doc) => json_reply(200, "OK", &doc),
+            None => json_reply(
                 404,
                 "Not Found",
                 &json!({"error": format!("no such worker {id:?}")}),
             ),
         },
-        (_, ["status"]) | (_, ["workers", ..]) => http::write_json(
-            out,
+        (_, ["status"]) | (_, ["workers", ..]) => json_reply(
             405,
             "Method Not Allowed",
             &json!({"error": format!("{} not allowed on /cluster/{}", request.method, rest.join("/"))}),
         ),
-        _ => http::write_json(
-            out,
+        _ => json_reply(
             404,
             "Not Found",
             &json!({"error": format!("no such cluster endpoint {:?}", rest.join("/"))}),
@@ -1085,38 +1162,680 @@ fn cluster_route(
     }
 }
 
-/// `GET /campaigns/<id>/events`: replay the buffered NDJSON lines,
-/// then follow live until the job reaches a terminal state.
-fn stream_events(job: &Arc<Job>, out: &mut TcpStream) -> std::io::Result<()> {
-    let mut writer = ChunkedWriter::start(&mut *out, "application/x-ndjson")?;
-    let mut cursor = 0usize;
-    let mut last_write = Instant::now();
+// ---------------------------------------------------------------------------
+// The reactor: nonblocking accept + per-connection state machines.
+// ---------------------------------------------------------------------------
+
+const TOKEN_WAKER: u64 = 0;
+const TOKEN_LISTENER: u64 = 1;
+const FIRST_CONN_TOKEN: u64 = 2;
+
+/// The handler-pool mailboxes: parsed requests in, replies out.
+struct Dispatch {
+    tasks: Mutex<VecDeque<(u64, Request)>>,
+    ready: Condvar,
+    completions: Mutex<Vec<(u64, Reply)>>,
+}
+
+/// One handler-pool thread: route requests until shutdown (draining
+/// whatever is still queued first, so accepted requests always get
+/// their response).
+fn handler_worker(state: &ServerState, dispatch: &Dispatch, waker: &Waker) {
     loop {
-        let (next, lines, closed) = job.events_since(cursor, Duration::from_millis(200));
-        cursor = next;
-        for line in &lines {
-            let mut framed = Vec::with_capacity(line.len() + 1);
-            framed.extend_from_slice(line.as_bytes());
-            framed.push(b'\n');
-            // A send failure means the watcher hung up; stop quietly.
-            writer.chunk(&framed)?;
-        }
-        if !lines.is_empty() {
-            last_write = Instant::now();
-        }
-        if closed && lines.is_empty() {
-            break;
-        }
-        // A legitimately quiet stream (job queued behind a long sweep)
-        // still pulses, so clients can bound their read timeouts and
-        // detect a dead server; the client filters these out.
-        if last_write.elapsed() >= HEARTBEAT_EVERY {
-            writer.chunk(b"{\"event\":\"heartbeat\"}\n")?;
-            last_write = Instant::now();
-        }
-        // On shutdown the job is cancelled and settled elsewhere; the
-        // next drain pass picks up its terminal event and `closed`
-        // ends the loop — no special case needed here.
+        let task = {
+            let mut tasks = dispatch.tasks.lock().expect("dispatch lock");
+            loop {
+                if let Some(task) = tasks.pop_front() {
+                    break Some(task);
+                }
+                if state.shutting_down() {
+                    break None;
+                }
+                tasks = dispatch
+                    .ready
+                    .wait_timeout(tasks, Duration::from_millis(200))
+                    .expect("dispatch lock")
+                    .0;
+            }
+        };
+        let Some((token, request)) = task else { return };
+        let reply = route(&request, state);
+        dispatch
+            .completions
+            .lock()
+            .expect("completions lock")
+            .push((token, reply));
+        waker.wake();
     }
-    writer.finish()
+}
+
+/// Where one connection's state machine stands.
+enum ConnState {
+    /// Accumulating request bytes through the incremental parser.
+    Reading(RequestParser),
+    /// Request dispatched to the handler pool; awaiting its reply.
+    Handling,
+    /// Flushing `out`; close when drained.
+    Writing,
+    /// Live event stream: the pump appends ring events to `out` as
+    /// they arrive (up to the high-water mark), the reactor flushes on
+    /// write readiness. `done` = terminator appended, close after the
+    /// final flush.
+    Streaming {
+        job: Arc<Job>,
+        cursor: usize,
+        done: bool,
+    },
+}
+
+/// One accepted connection.
+struct Conn {
+    stream: TcpStream,
+    state: ConnState,
+    /// Unsent output; `out[..written]` already went down the socket.
+    out: Vec<u8>,
+    written: usize,
+    /// Accepted past the connection cap: answer `503` after reading
+    /// the request (answering before consuming it would RST the
+    /// socket before the client sees the status).
+    shed: bool,
+    /// Peer shut its write side (EOF seen) after delivering its
+    /// request: stop watching for input, keep delivering output.
+    read_shut: bool,
+    /// Reading-phase cutoff (slow-loris budget).
+    deadline: Option<Instant>,
+    /// Last successful socket write (stall reclaim).
+    last_progress: Instant,
+    /// Last stream payload enqueued (heartbeat cadence).
+    last_emit: Instant,
+    /// Currently-registered epoll interest.
+    interest: u32,
+}
+
+impl Conn {
+    fn pending(&self) -> usize {
+        self.out.len() - self.written
+    }
+}
+
+/// What a readiness-driven read pass concluded.
+enum ReadOutcome {
+    /// Transport drained, nothing decided.
+    Idle,
+    /// Peer hung up mid-request (or transport error): reclaim.
+    Close,
+    /// Peer shut its write side AFTER its request completed — a
+    /// half-closing client (`curl --no-keepalive`, `nc -N`, proxies)
+    /// is still reading; its response/stream must be delivered. The
+    /// old blocking front never read past the request, so it was
+    /// naturally immune; the reactor must opt out of read interest
+    /// explicitly or the level-triggered EOF would spin.
+    ReadShut,
+    /// A complete request landed.
+    Complete(Request),
+    /// The bytes were not a parseable request.
+    Fail(HttpError),
+}
+
+/// Pull everything the socket has, feeding the parser while the
+/// connection is reading. Bytes arriving in any other state are
+/// discarded (no pipelining; every response closes the connection).
+fn read_conn(conn: &mut Conn) -> ReadOutcome {
+    let mut buf = [0u8; 16 * 1024];
+    loop {
+        match conn.stream.read(&mut buf) {
+            Ok(0) => {
+                return if matches!(conn.state, ConnState::Reading(_)) {
+                    ReadOutcome::Close
+                } else {
+                    ReadOutcome::ReadShut
+                }
+            }
+            Ok(n) => {
+                if let ConnState::Reading(parser) = &mut conn.state {
+                    match parser.feed(&buf[..n]) {
+                        Ok(Some(request)) => return ReadOutcome::Complete(request),
+                        Ok(None) => {}
+                        Err(e) => return ReadOutcome::Fail(e),
+                    }
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return ReadOutcome::Idle,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => return ReadOutcome::Close,
+        }
+    }
+}
+
+/// The reactor: owns the poller and every connection; runs on the
+/// thread that called [`Server::run`].
+struct Reactor<'a> {
+    state: &'a ServerState,
+    listener: &'a TcpListener,
+    poller: Poller,
+    waker: Arc<Waker>,
+    dispatch: &'a Dispatch,
+    conns: HashMap<u64, Conn>,
+    next_token: u64,
+    request_timeout: Duration,
+    high_water: usize,
+    write_stall: Duration,
+    /// Reusable pump buffer (ring bytes are staged here so the chunk
+    /// frame can be length-prefixed without per-line allocations).
+    scratch: Vec<u8>,
+}
+
+impl Reactor<'_> {
+    fn serve(&mut self) -> std::io::Result<()> {
+        self.poller
+            .add(self.waker.fd(), TOKEN_WAKER, reactor::READABLE)?;
+        self.poller
+            .add(self.listener.as_raw_fd(), TOKEN_LISTENER, reactor::READABLE)?;
+        let mut events: Vec<reactor::Event> = Vec::new();
+        let mut shutdown_grace: Option<Instant> = None;
+        let mut last_scan = Instant::now();
+        let mut last_pump = Instant::now();
+        loop {
+            events.clear();
+            self.poller.wait(&mut events, REACTOR_TICK_MS)?;
+            let mut woke = false;
+            for &event in &events {
+                match event.token {
+                    TOKEN_WAKER => {
+                        self.waker.drain();
+                        woke = true;
+                    }
+                    TOKEN_LISTENER => self.accept_ready(),
+                    token => self.conn_ready(token, event),
+                }
+            }
+            self.drain_completions();
+            // Pump when job activity woke us, or on a short tick that
+            // bounds the latency of a partial hook batch (job hooks
+            // fire every HOOK_BATCH events / HOOK_LATENCY). Pumping on
+            // *every* pass would make unrelated request churn
+            // O(open streams) per socket event.
+            if woke || last_pump.elapsed() >= Duration::from_millis(25) {
+                last_pump = Instant::now();
+                self.pump_all_streams();
+            }
+            // Timer work is coarse (5 s deadlines, 10 s heartbeats,
+            // 30 s stalls): scanning every connection on every wake
+            // would make busy streams O(conns) per event batch.
+            if last_scan.elapsed() >= Duration::from_millis(100) {
+                last_scan = Instant::now();
+                self.scan_timers();
+            }
+            if self.state.shutting_down() {
+                if shutdown_grace.is_none() {
+                    self.begin_shutdown();
+                    shutdown_grace = Some(Instant::now() + SHUTDOWN_GRACE);
+                }
+                // Settled jobs closed their rings: pump the terminal
+                // events out so watchers end cleanly.
+                self.pump_all_streams();
+                let grace = shutdown_grace.expect("grace set above");
+                if self.conns.is_empty() || Instant::now() >= grace {
+                    return Ok(());
+                }
+            }
+        }
+    }
+
+    /// Accept until the backlog drains. Capacity policy: past
+    /// `max_connections` a connection is still accepted but flagged to
+    /// shed (read the request, answer `503`); past twice the cap it is
+    /// dropped cold — the gauge is incremented and decremented within
+    /// this function, so the count stays exact.
+    fn accept_ready(&mut self) {
+        loop {
+            let (stream, _) = match self.listener.accept() {
+                Ok(accepted) => accepted,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => return,
+            };
+            if self.state.shutting_down() {
+                continue; // dropped: the listener closes right behind it
+            }
+            let active = self.state.active_connections.fetch_add(1, Ordering::AcqRel) + 1;
+            let cap = self.state.max_connections;
+            let over = cap > 0 && active > cap;
+            if over && active > cap.saturating_mul(2) {
+                self.state.active_connections.fetch_sub(1, Ordering::AcqRel);
+                continue;
+            }
+            // Nagle off: event streams write many small chunked
+            // frames; holding one back for the previous frame's ACK
+            // would serialize the stream on round trips.
+            let _ = stream.set_nodelay(true);
+            let now = Instant::now();
+            let token = self.next_token;
+            self.next_token += 1;
+            if reactor::set_nonblocking(stream.as_raw_fd()).is_err()
+                || self
+                    .poller
+                    .add(stream.as_raw_fd(), token, reactor::READABLE)
+                    .is_err()
+            {
+                self.state.active_connections.fetch_sub(1, Ordering::AcqRel);
+                continue;
+            }
+            self.conns.insert(
+                token,
+                Conn {
+                    stream,
+                    state: ConnState::Reading(RequestParser::new()),
+                    out: Vec::new(),
+                    written: 0,
+                    shed: over,
+                    read_shut: false,
+                    deadline: Some(now + self.request_timeout),
+                    last_progress: now,
+                    last_emit: now,
+                    interest: reactor::READABLE,
+                },
+            );
+        }
+    }
+
+    fn conn_ready(&mut self, token: u64, event: reactor::Event) {
+        if event.hangup() {
+            // Full hangup: both directions dead, nothing deliverable.
+            self.close(token);
+            return;
+        }
+        if event.readable() {
+            self.conn_readable(token);
+        }
+        if event.writable() && self.conns.contains_key(&token) {
+            self.flush(token);
+        }
+    }
+
+    fn conn_readable(&mut self, token: u64) {
+        let outcome = {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                return;
+            };
+            read_conn(conn)
+        };
+        match outcome {
+            ReadOutcome::Idle => {}
+            ReadOutcome::Close => self.close(token),
+            ReadOutcome::ReadShut => {
+                if let Some(conn) = self.conns.get_mut(&token) {
+                    conn.read_shut = true;
+                }
+                self.update_interest(token);
+            }
+            ReadOutcome::Complete(request) => self.request_complete(token, request),
+            ReadOutcome::Fail(e) => {
+                let (status, reason) = e.status();
+                let body = http::json_bytes(status, reason, &json!({"error": e.to_string()}));
+                self.respond(token, body);
+            }
+        }
+    }
+
+    /// Queue a complete response on the connection and start flushing.
+    fn respond(&mut self, token: u64, bytes: Vec<u8>) {
+        if let Some(conn) = self.conns.get_mut(&token) {
+            conn.out.extend_from_slice(&bytes);
+            conn.state = ConnState::Writing;
+            conn.deadline = None;
+        }
+        self.flush(token);
+    }
+
+    fn request_complete(&mut self, token: u64, request: Request) {
+        let limit = self.state.max_connections;
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        conn.deadline = None;
+        if conn.shed {
+            let body = http::json_bytes(
+                503,
+                "Service Unavailable",
+                &json!({"error": format!("connection limit {limit} reached, retry later")}),
+            );
+            let _ = conn;
+            self.respond(token, body);
+            return;
+        }
+        conn.state = ConnState::Handling;
+        self.dispatch
+            .tasks
+            .lock()
+            .expect("dispatch lock")
+            .push_back((token, request));
+        self.dispatch.ready.notify_one();
+    }
+
+    /// Apply replies the handler pool finished. A reply for a
+    /// connection that hung up meanwhile is dropped on the floor.
+    fn drain_completions(&mut self) {
+        let completed: Vec<(u64, Reply)> =
+            std::mem::take(&mut *self.dispatch.completions.lock().expect("completions lock"));
+        for (token, reply) in completed {
+            match reply {
+                Reply::Full(bytes) => self.respond(token, bytes),
+                Reply::Shutdown(bytes) => {
+                    self.respond(token, bytes);
+                    self.state.request_shutdown();
+                }
+                Reply::Stream { job, preamble } => {
+                    if let Some(conn) = self.conns.get_mut(&token) {
+                        conn.out
+                            .extend_from_slice(&http::stream_head_bytes("application/x-ndjson"));
+                        if let Some(line) = preamble {
+                            let mut framed = line.into_bytes();
+                            framed.push(b'\n');
+                            http::append_chunk(&mut conn.out, &framed);
+                        }
+                        conn.last_emit = Instant::now();
+                        conn.state = ConnState::Streaming {
+                            job,
+                            cursor: 0,
+                            done: false,
+                        };
+                        self.pump_stream(token);
+                    }
+                }
+            }
+        }
+    }
+
+    fn pump_all_streams(&mut self) {
+        let streaming: Vec<u64> = self
+            .conns
+            .iter()
+            .filter(|(_, c)| matches!(c.state, ConnState::Streaming { done: false, .. }))
+            .map(|(&t, _)| t)
+            .collect();
+        for token in streaming {
+            self.pump_stream(token);
+        }
+    }
+
+    /// Move ring events into the connection's output buffer, up to the
+    /// high-water mark (backpressure: a watcher that stops reading
+    /// stops consuming ring events; the ring's truncation marker tells
+    /// it what it missed when it resumes). Emits the chunked
+    /// terminator once the ring closes and is fully drained.
+    ///
+    /// Pump and flush alternate until the ring has nothing more or the
+    /// peer genuinely cannot keep up — a burst larger than the
+    /// high-water mark must not strand its tail behind a coalesced
+    /// wakeup when the watcher is reading just fine.
+    fn pump_stream(&mut self, token: u64) {
+        let high_water = self.high_water;
+        loop {
+            let hit_capacity = {
+                let scratch = &mut self.scratch;
+                let Some(conn) = self.conns.get_mut(&token) else {
+                    return;
+                };
+                let ConnState::Streaming { job, cursor, done } = &mut conn.state else {
+                    return;
+                };
+                let mut hit_capacity = false;
+                while !*done {
+                    if conn.out.len() - conn.written >= high_water {
+                        hit_capacity = true;
+                        break;
+                    }
+                    // One chunked frame per pump pass, not per event
+                    // line: a burst of points costs one write, which
+                    // is most of the reactor's throughput win over the
+                    // old flush-per-event streamer.
+                    scratch.clear();
+                    let (next, any, closed) = job.events_into(*cursor, scratch, high_water);
+                    *cursor = next;
+                    if !any {
+                        if closed {
+                            conn.out.extend_from_slice(http::CHUNK_TERMINATOR);
+                            *done = true;
+                        }
+                        break;
+                    }
+                    http::append_chunk(&mut conn.out, scratch);
+                    conn.last_emit = Instant::now();
+                }
+                hit_capacity
+            };
+            self.flush_raw(token);
+            if !hit_capacity {
+                return;
+            }
+            // Stopped for capacity: if the flush freed room, keep
+            // draining the ring now; otherwise the peer is backed up
+            // and the next write-readiness edge resumes the pump.
+            match self.conns.get(&token) {
+                Some(conn) if conn.pending() < high_water => continue,
+                _ => return,
+            }
+        }
+    }
+
+    /// [`Reactor::flush_raw`], then restart the stream pump if the
+    /// write freed room below the high-water mark. Every generic
+    /// flush path needs this: a watcher that resumed reading may have
+    /// drained through *any* of them (the write-readiness edge, a
+    /// heartbeat pulse) with its job's ring already closed — no event
+    /// hook will ever fire for it again, so whichever flush emptied
+    /// the buffer is the only thing left to restart its pump.
+    fn flush(&mut self, token: u64) {
+        self.flush_raw(token);
+        let resumable = self.conns.get(&token).is_some_and(|c| {
+            matches!(c.state, ConnState::Streaming { done: false, .. })
+                && c.pending() < self.high_water
+        });
+        if resumable {
+            self.pump_stream(token);
+        }
+    }
+
+    /// Write out buffered bytes until the socket would block. Closes
+    /// the connection when a terminal state finishes flushing, and
+    /// keeps the epoll interest in sync with whether bytes remain.
+    fn flush_raw(&mut self, token: u64) {
+        let mut close = false;
+        {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                return;
+            };
+            loop {
+                if conn.written == conn.out.len() {
+                    break;
+                }
+                match conn.stream.write(&conn.out[conn.written..]) {
+                    Ok(0) => {
+                        close = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        conn.written += n;
+                        conn.last_progress = Instant::now();
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        close = true;
+                        break;
+                    }
+                }
+            }
+            if !close {
+                if conn.written == conn.out.len() {
+                    conn.out.clear();
+                    conn.written = 0;
+                    close = matches!(
+                        conn.state,
+                        ConnState::Writing | ConnState::Streaming { done: true, .. }
+                    );
+                } else if conn.written > 32 * 1024 {
+                    // Reclaim the flushed prefix of a long-lived
+                    // stream buffer.
+                    conn.out.drain(..conn.written);
+                    conn.written = 0;
+                }
+            }
+        }
+        if close {
+            self.close(token);
+        } else {
+            self.update_interest(token);
+        }
+    }
+
+    /// Register write interest only while bytes are pending — epoll is
+    /// level-triggered, so a permanently-armed EPOLLOUT would spin.
+    fn update_interest(&mut self, token: u64) {
+        let poller = &self.poller;
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        let mut want = if conn.read_shut {
+            // EOF already observed: EPOLLIN/EPOLLRDHUP are
+            // level-triggered and would refire forever. A later full
+            // close still surfaces (EPOLLHUP is always reported, and
+            // writes fail).
+            0
+        } else {
+            reactor::READABLE
+        };
+        if conn.pending() > 0 {
+            want |= reactor::WRITABLE;
+        }
+        if want != conn.interest && poller.modify(conn.stream.as_raw_fd(), token, want).is_ok() {
+            conn.interest = want;
+        }
+    }
+
+    /// Time-based bookkeeping: request deadlines (slow-loris / shed
+    /// read budget), stream heartbeats, and stalled-writer reclaim.
+    fn scan_timers(&mut self) {
+        let now = Instant::now();
+        let mut expired: Vec<(u64, bool)> = Vec::new();
+        let mut pulse: Vec<u64> = Vec::new();
+        let mut stalled: Vec<u64> = Vec::new();
+        for (&token, conn) in &mut self.conns {
+            if conn.pending() > 0 && now.duration_since(conn.last_progress) >= self.write_stall {
+                stalled.push(token);
+                continue;
+            }
+            match &conn.state {
+                ConnState::Reading(_) if conn.deadline.is_some_and(|d| now >= d) => {
+                    expired.push((token, conn.shed));
+                }
+                ConnState::Streaming { done: false, .. }
+                    if now.duration_since(conn.last_emit) >= HEARTBEAT_EVERY =>
+                {
+                    http::append_chunk(&mut conn.out, b"{\"event\":\"heartbeat\"}\n");
+                    conn.last_emit = now;
+                    pulse.push(token);
+                }
+                _ => {}
+            }
+        }
+        let limit = self.state.max_connections;
+        for (token, shed) in expired {
+            // Sheds answer 503 even when the request never fully
+            // arrived (mirroring the old bounded-read shed thread);
+            // ordinary connections that sat on a partial request get
+            // the honest timeout status.
+            let body = if shed {
+                http::json_bytes(
+                    503,
+                    "Service Unavailable",
+                    &json!({"error": format!("connection limit {limit} reached, retry later")}),
+                )
+            } else {
+                http::json_bytes(
+                    408,
+                    "Request Timeout",
+                    &json!({"error": format!("request not received within {:?}", self.request_timeout)}),
+                )
+            };
+            self.respond(token, body);
+        }
+        for token in pulse {
+            self.flush(token);
+        }
+        for token in stalled {
+            self.close(token);
+        }
+    }
+
+    /// Stop accepting and cut connections that have no response owed
+    /// (still reading). Streams and in-flight handlers get the grace
+    /// period to emit their terminal events and flush.
+    fn begin_shutdown(&mut self) {
+        let _ = self.poller.delete(self.listener.as_raw_fd());
+        let reading: Vec<u64> = self
+            .conns
+            .iter()
+            .filter(|(_, c)| matches!(c.state, ConnState::Reading(_)))
+            .map(|(&t, _)| t)
+            .collect();
+        for token in reading {
+            self.close(token);
+        }
+    }
+
+    /// The single exit path for a connection: deregister, drop (which
+    /// closes the socket) and decrement the gauge — exactly once,
+    /// guarded by the map removal.
+    fn close(&mut self, token: u64) {
+        if let Some(conn) = self.conns.remove(&token) {
+            // No epoll_ctl(DEL): closing the only fd referencing the
+            // socket deregisters it implicitly, and this path runs
+            // once per connection served.
+            drop(conn);
+            self.state.active_connections.fetch_sub(1, Ordering::AcqRel);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hand_rolled_point_line_matches_the_tree_serializer() {
+        let spec = CampaignSpec::from_toml(
+            r#"
+            name = "fmt"
+            machines = ["thinkie"]
+            kernels = ["asm"]
+
+            [[workloads]]
+            app = "gromacs"
+            steps = [10000]
+            "#,
+        )
+        .unwrap();
+        let points = synapse_campaign::expand(&spec);
+        let cache = ResultCache::in_memory();
+        let (results, _) =
+            synapse_campaign::runner::run_points(&points, &cache, &RunConfig::default()).unwrap();
+        for (i, result) in results.iter().enumerate() {
+            let tree = ndjson(&json!({
+                "event": "point",
+                "index": result.point.index,
+                "label": result.point.label(),
+                "fingerprint": result.fingerprint,
+                "tx": result.tx,
+                "app_tx": result.app_tx,
+                "error_pct": result.error_pct(),
+                "cached": i % 2 == 0,
+                "done": i + 1,
+                "total": results.len(),
+            }));
+            let fast = point_event_line(result, i % 2 == 0, i + 1, results.len());
+            assert_eq!(fast, tree, "hot-path serializer must be byte-identical");
+        }
+    }
 }

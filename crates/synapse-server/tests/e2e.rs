@@ -557,6 +557,93 @@ fn cluster_endpoints_404_without_a_backend() {
 }
 
 #[test]
+fn submit_watch_streams_ack_then_events_on_one_connection() {
+    let (client, handle, join) = boot(ServerConfig::default());
+    let lines = Mutex::new(Vec::<String>::new());
+    let (ack, summary) = client
+        .submit_watch(small_spec(), |line| {
+            lines.lock().unwrap().push(line.to_string());
+            true
+        })
+        .unwrap();
+    // The ack carries the submit reply fields and is the stream's
+    // first line (CLI and CI pipe it straight through).
+    assert_eq!(ack["points"].as_u64(), Some(8));
+    let id = ack["id"].as_str().unwrap();
+    let lines = lines.into_inner().unwrap();
+    assert_eq!(
+        serde_json::from_str::<Value>(&lines[0]).unwrap()["id"].as_str(),
+        Some(id),
+        "first delivered line is the ack: {:?}",
+        lines[0]
+    );
+    assert_eq!(summary["event"].as_str(), Some("completed"));
+    assert_eq!(summary["points"].as_u64(), Some(8));
+    let points = lines
+        .iter()
+        .filter(|l| l.contains("\"event\":\"point\""))
+        .count();
+    assert_eq!(points, 8, "events followed the ack on the same stream");
+    // Errors still surface as plain status responses.
+    let err = client.submit_watch("machines = [", |_| true).unwrap_err();
+    assert!(err.to_string().contains("400"), "{err}");
+    handle.shutdown();
+    join.join().unwrap();
+}
+
+#[test]
+fn half_closing_clients_still_get_their_responses() {
+    // `printf ... | nc -N`, proxies, and strict HTTP clients shut
+    // their write side as soon as the request is out. The reactor
+    // must not treat that EOF as a hangup: the response — and a whole
+    // event stream — must still be delivered.
+    let (client, handle, join) = boot(ServerConfig {
+        queue_workers: 1,
+        job_workers: 1,
+        ..Default::default()
+    });
+
+    // Plain request.
+    let mut probe = TcpStream::connect(handle.addr()).unwrap();
+    write!(probe, "GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
+    probe.shutdown(std::net::Shutdown::Write).unwrap();
+    probe
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut response = String::new();
+    probe.read_to_string(&mut response).unwrap();
+    assert!(
+        response.starts_with("HTTP/1.1 200") && response.contains("\"status\":\"ok\""),
+        "{response:?}"
+    );
+
+    // Event stream: half-close right after the GET, then receive the
+    // whole job history through the terminal event.
+    let id = client.submit(small_spec()).unwrap()["id"]
+        .as_str()
+        .unwrap()
+        .to_string();
+    let mut watcher = TcpStream::connect(handle.addr()).unwrap();
+    write!(
+        watcher,
+        "GET /campaigns/{id}/events HTTP/1.1\r\nHost: t\r\n\r\n"
+    )
+    .unwrap();
+    watcher.shutdown(std::net::Shutdown::Write).unwrap();
+    watcher
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let mut raw = Vec::new();
+    watcher.read_to_end(&mut raw).unwrap();
+    let text = String::from_utf8_lossy(&raw);
+    assert!(text.contains("\"event\":\"completed\""), "{text:?}");
+    assert!(text.ends_with("0\r\n\r\n"), "clean terminator");
+
+    handle.shutdown();
+    join.join().unwrap();
+}
+
+#[test]
 fn shutdown_endpoint_stops_the_server() {
     let (client, _handle, join) = boot(ServerConfig::default());
     client.shutdown().unwrap();
@@ -564,4 +651,434 @@ fn shutdown_endpoint_stops_the_server() {
     // refused.
     join.join().unwrap();
     assert!(client.healthz().is_err());
+}
+
+// ---------------------------------------------------------------------------
+// Reactor-front coverage: slow-loris, backpressure, watcher scale,
+// disconnect reclaim, and the connection-gauge regression.
+// ---------------------------------------------------------------------------
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+/// A ~55k-point grid: at cold debug-build sweep rates this runs for
+/// tens of seconds, long enough to hold a queue worker busy while a
+/// test inspects the server — always cancelled before teardown.
+fn huge_spec() -> &'static str {
+    r#"
+    name = "e2e-huge"
+    seed = 77
+    machines = ["thinkie", "stampede", "archer", "supermic", "comet", "titan"]
+    kernels = ["asm", "c", "spin"]
+    modes = ["openmp", "mpi"]
+    threads = [1, 2, 4, 8]
+    io_blocks = [65536, 1048576]
+    sample_rates = [5.0, 10.0, 20.0]
+    filesystems = ["default", "local", "lustre", "nfs"]
+    atoms = ["all", "no-storage"]
+
+    [[workloads]]
+    app = "gromacs"
+    steps = [10000, 50000, 100000, 200000]
+
+    [[workloads]]
+    app = "amber"
+    steps = [10000, 50000, 100000, 200000]
+    "#
+}
+
+/// Open a raw socket to the server and send a `GET <path>` request.
+fn raw_get(addr: std::net::SocketAddr, path: &str) -> TcpStream {
+    let mut stream = TcpStream::connect(addr).expect("raw connect");
+    write!(stream, "GET {path} HTTP/1.1\r\nHost: t\r\n\r\n").expect("raw send");
+    stream
+}
+
+/// Clamp a socket's kernel receive buffer so TCP flow control pushes
+/// back on the sender after a few KB instead of absorbing megabytes —
+/// the only way to make a "watcher that stopped reading" observable
+/// to the server under test.
+fn shrink_rcvbuf(stream: &TcpStream) {
+    use std::os::unix::io::AsRawFd;
+    let size: libc::c_int = 4096;
+    let rc = unsafe {
+        libc::setsockopt(
+            stream.as_raw_fd(),
+            libc::SOL_SOCKET,
+            libc::SO_RCVBUF,
+            (&size as *const libc::c_int).cast(),
+            std::mem::size_of::<libc::c_int>() as libc::socklen_t,
+        )
+    };
+    assert_eq!(rc, 0, "SO_RCVBUF");
+}
+
+/// Poll `/healthz` until `active_connections` satisfies `accept`, or
+/// panic after `secs`. The probe's own connection counts: a quiet
+/// server reports 1, not 0.
+fn await_gauge(client: &Client, accept: impl Fn(u64) -> bool, secs: u64, what: &str) -> u64 {
+    let deadline = Instant::now() + Duration::from_secs(secs);
+    loop {
+        if let Ok(health) = client.healthz() {
+            let active = health["active_connections"].as_u64().expect("gauge");
+            if accept(active) {
+                return active;
+            }
+            assert!(Instant::now() < deadline, "{what}: gauge stuck at {active}");
+        } else {
+            assert!(Instant::now() < deadline, "{what}: healthz unreachable");
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+#[test]
+fn slow_loris_head_parses_within_budget_and_408s_past_it() {
+    let (client, handle, join) = boot(ServerConfig {
+        request_timeout: Duration::from_millis(600),
+        ..Default::default()
+    });
+    let addr = handle.addr();
+
+    // Byte-at-a-time inside the budget: the incremental parser
+    // assembles the request and the reactor answers normally.
+    let mut drip = TcpStream::connect(addr).unwrap();
+    for byte in b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n" {
+        drip.write_all(std::slice::from_ref(byte)).unwrap();
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let mut response = String::new();
+    drip.set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    drip.read_to_string(&mut response).unwrap();
+    assert!(response.starts_with("HTTP/1.1 200"), "{response:?}");
+
+    // Stalling past the budget: the connection is answered 408 and
+    // reclaimed — it cannot pin server resources indefinitely.
+    let mut loris = TcpStream::connect(addr).unwrap();
+    loris.write_all(b"GET /healthz HT").unwrap();
+    let started = Instant::now();
+    let mut response = String::new();
+    loris
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    loris.read_to_string(&mut response).unwrap();
+    assert!(response.starts_with("HTTP/1.1 408"), "{response:?}");
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "cut at the budget, not some longer socket timeout: {:?}",
+        started.elapsed()
+    );
+    // An idle connection that never sends a byte is reclaimed on the
+    // same budget.
+    let silent = TcpStream::connect(addr).unwrap();
+    await_gauge(&client, |active| active <= 1, 10, "silent conn reclaim");
+    drop(silent);
+
+    handle.shutdown();
+    join.join().unwrap();
+}
+
+#[test]
+fn stalled_watcher_gets_backpressure_then_truncated_tail() {
+    // Tiny ring + tiny high-water mark against a grid whose event
+    // history (~20 MB) dwarfs what the kernel will buffer for a
+    // zero-window peer: once the watcher stops reading, the server
+    // must stop pulling ring events for it (bounded memory), keep the
+    // sweep going, and on resume hand it a well-formed stream —
+    // truncation marker, retained tail, terminal event, terminator.
+    let (client, handle, join) = boot(ServerConfig {
+        event_buffer: 64,
+        stream_high_water: 4 * 1024,
+        // The deliberate stall below outlives the default reclaim.
+        write_stall_timeout: Duration::from_secs(300),
+        ..Default::default()
+    });
+    let reply = client.submit(huge_spec()).unwrap();
+    let id = reply["id"].as_str().unwrap().to_string();
+    let total = reply["points"].as_u64().unwrap();
+    assert!(total > 50_000, "{total}");
+
+    // Attach with a clamped receive window, then stall (never read).
+    let mut watcher = TcpStream::connect(handle.addr()).unwrap();
+    shrink_rcvbuf(&watcher);
+    write!(
+        watcher,
+        "GET /campaigns/{id}/events HTTP/1.1\r\nHost: t\r\n\r\n"
+    )
+    .unwrap();
+
+    // Let the sweep land far more points than kernel buffers + the
+    // high-water mark can hold (~4 MB / a few thousand events): the
+    // ring must truncate well past the stalled watcher's cursor.
+    let deadline = Instant::now() + Duration::from_secs(300);
+    let done = loop {
+        let status = client.status(&id).expect("status");
+        let done = status["done"].as_u64().unwrap();
+        if done >= 30_000 {
+            break done;
+        }
+        assert!(
+            ["queued", "running"].contains(&status["status"].as_str().unwrap()),
+            "sweep must survive its stalled watcher: {status:?}"
+        );
+        assert!(Instant::now() < deadline, "sweep too slow ({done} points)");
+        std::thread::sleep(Duration::from_millis(50));
+    };
+    client.cancel(&id).unwrap();
+
+    // Resume: drain the stream to its end.
+    watcher
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .unwrap();
+    let mut raw = Vec::new();
+    watcher.read_to_end(&mut raw).expect("drain stream");
+    let text = String::from_utf8_lossy(&raw);
+    assert!(
+        text.ends_with("0\r\n\r\n"),
+        "stream terminates cleanly: ...{:?}",
+        &text[text.len().saturating_sub(60)..]
+    );
+    assert!(
+        text.contains("\"event\":\"truncated\""),
+        "ring outran the stalled watcher, so the marker must appear \
+         ({} bytes received of ~{} swept)",
+        raw.len(),
+        done * 300,
+    );
+    assert!(
+        text.contains("\"event\":\"cancelled\"") || text.contains("\"event\":\"completed\""),
+        "terminal event survives truncation (newest ring line)"
+    );
+    // Backpressure bound: the watcher received kernel-buffered bytes +
+    // the high-water mark + the retained tail — not the full history.
+    assert!(
+        raw.len() < (done as usize * 300) / 2,
+        "received {} bytes; an unbounded buffer would have sent ~{}",
+        raw.len(),
+        done * 300
+    );
+
+    handle.shutdown();
+    join.join().unwrap();
+}
+/// Raise the fd soft limit toward the hard limit and report how many
+/// concurrent watcher sockets the test can afford (each one costs two
+/// fds: client end + server end).
+fn affordable_watchers(want: usize) -> usize {
+    let mut lim = libc::rlimit {
+        rlim_cur: 0,
+        rlim_max: 0,
+    };
+    if unsafe { libc::getrlimit(libc::RLIMIT_NOFILE, &mut lim) } != 0 {
+        return 64;
+    }
+    let target = (2 * want as u64 + 512).min(lim.rlim_max);
+    if lim.rlim_cur < target {
+        let raised = libc::rlimit {
+            rlim_cur: target,
+            rlim_max: lim.rlim_max,
+        };
+        unsafe { libc::setrlimit(libc::RLIMIT_NOFILE, &raised) };
+        unsafe { libc::getrlimit(libc::RLIMIT_NOFILE, &mut lim) };
+    }
+    ((lim.rlim_cur.saturating_sub(512)) / 2).min(want as u64) as usize
+}
+
+#[test]
+fn a_thousand_idle_watchers_cost_fds_not_threads() {
+    let watchers = affordable_watchers(1000);
+    assert!(
+        watchers >= 256,
+        "fd limit too low to say anything ({watchers})"
+    );
+    let (client, handle, join) = boot(ServerConfig {
+        max_connections: watchers + 64,
+        queue_workers: 1,
+        job_workers: 1,
+        ..Default::default()
+    });
+    // One long-running hog occupies the single queue worker; the
+    // watched job sits queued behind it, so its stream carries only
+    // heartbeats — the watchers are genuinely idle.
+    let hog = client.submit(huge_spec()).unwrap()["id"]
+        .as_str()
+        .unwrap()
+        .to_string();
+    let quiet = client.submit(small_spec()).unwrap()["id"]
+        .as_str()
+        .unwrap()
+        .to_string();
+
+    // The server reports its own live thread count through /healthz
+    // (it runs in this test process, so this is the same number the
+    // smoke test asserts on in CI).
+    let threads_before = client.healthz().unwrap()["threads"].as_u64().unwrap();
+    let mut sockets = Vec::with_capacity(watchers);
+    for _ in 0..watchers {
+        sockets.push(raw_get(
+            handle.addr(),
+            &format!("/campaigns/{quiet}/events"),
+        ));
+    }
+    // Every watcher is held concurrently (gauge counts them + probe).
+    await_gauge(
+        &client,
+        |active| active >= watchers as u64,
+        60,
+        "watchers attached",
+    );
+    let threads_after = client.healthz().unwrap()["threads"].as_u64().unwrap();
+    assert!(
+        threads_after < threads_before + 100,
+        "{watchers} watchers must not spawn per-connection threads \
+         ({threads_before} -> {threads_after})"
+    );
+
+    // Cancel the watched job: every stream ends with the terminal
+    // event and a clean chunked terminator (sampled).
+    client.cancel(&quiet).unwrap();
+    for (i, socket) in sockets.iter_mut().enumerate() {
+        if i % 50 != 0 {
+            continue; // sample every 50th stream end to end
+        }
+        socket
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+        let mut raw = Vec::new();
+        socket.read_to_end(&mut raw).expect("watcher drains");
+        let text = String::from_utf8_lossy(&raw);
+        // Cancelled in the expected interleaving; completed if this
+        // machine raced the sweep through first. Either way the
+        // stream must end with a terminal event and a clean
+        // terminator.
+        assert!(
+            text.contains("\"event\":\"cancelled\"") || text.contains("\"event\":\"completed\""),
+            "watcher {i}: {text:?}"
+        );
+        assert!(text.ends_with("0\r\n\r\n"), "watcher {i} terminator");
+    }
+    drop(sockets);
+    client.cancel(&hog).unwrap();
+    // Every slot is reclaimed.
+    await_gauge(&client, |active| active <= 1, 60, "slots reclaimed");
+
+    handle.shutdown();
+    join.join().unwrap();
+}
+
+#[test]
+fn mid_stream_disconnect_reclaims_the_connection_slot() {
+    let (client, handle, join) = boot(ServerConfig {
+        max_connections: 4,
+        queue_workers: 1,
+        job_workers: 1,
+        ..Default::default()
+    });
+    // A queued job's stream stays open indefinitely (heartbeats only).
+    let hog = client.submit(huge_spec()).unwrap()["id"]
+        .as_str()
+        .unwrap()
+        .to_string();
+    let quiet = client.submit(small_spec()).unwrap()["id"]
+        .as_str()
+        .unwrap()
+        .to_string();
+    let watcher = raw_get(handle.addr(), &format!("/campaigns/{quiet}/events"));
+    await_gauge(&client, |active| active >= 2, 30, "watcher attached");
+
+    // The watcher vanishes mid-stream: the reactor notices the hangup
+    // and frees the slot without waiting for the job to end.
+    drop(watcher);
+    await_gauge(&client, |active| active <= 1, 30, "slot reclaimed");
+
+    client.cancel(&quiet).unwrap();
+    client.cancel(&hog).unwrap();
+    handle.shutdown();
+    join.join().unwrap();
+}
+
+#[test]
+fn connection_gauge_survives_a_cap_hammering() {
+    // Satellite regression: every accepted connection — served, shed
+    // with 503, shed by read-timeout, or dropped cold past 2× — must
+    // decrement `active_connections` exactly once. After the storm the
+    // gauge returns to just the probe connection.
+    let (client, handle, join) = boot(ServerConfig {
+        max_connections: 2,
+        request_timeout: Duration::from_millis(300),
+        ..Default::default()
+    });
+    let addr = handle.addr();
+    for round in 0..25 {
+        let mut batch = Vec::new();
+        for kind in 0..6 {
+            let Ok(mut stream) = TcpStream::connect(addr) else {
+                continue;
+            };
+            match kind % 3 {
+                // A real request (may be served or shed 503).
+                0 => {
+                    let _ = write!(stream, "GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n");
+                }
+                // A partial request left to the read-timeout path.
+                1 => {
+                    let _ = stream.write_all(b"GET /heal");
+                }
+                // Connects and says nothing.
+                _ => {}
+            }
+            batch.push(stream);
+        }
+        // Let some batches linger past the request timeout, drop
+        // others immediately.
+        if round % 2 == 0 {
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        drop(batch);
+    }
+    // Exactly-once accounting: the gauge settles back to the probe
+    // itself, never negative (a usize underflow would read as huge).
+    let settled = await_gauge(&client, |active| active <= 1, 30, "hammered gauge");
+    assert!(settled <= 1, "{settled}");
+    handle.shutdown();
+    join.join().unwrap();
+}
+
+#[test]
+fn a_silent_server_is_detected_as_dead_within_the_heartbeat_budget() {
+    // A fake "server" that speaks just enough protocol to establish an
+    // event stream, then goes mute — a frozen worker or a partitioned
+    // network, from the client's point of view.
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let mute = std::thread::spawn(move || {
+        let (mut stream, _) = listener.accept().unwrap();
+        let mut scratch = [0u8; 1024];
+        let _ = stream.read(&mut scratch);
+        let _ = stream.write_all(
+            b"HTTP/1.1 200 OK\r\nContent-Type: application/x-ndjson\r\n\
+              Transfer-Encoding: chunked\r\nConnection: close\r\n\r\n\
+              14\r\n{\"event\":\"started\"}\n\r\n",
+        );
+        // Hold the socket open, silently, longer than the client's
+        // patience.
+        std::thread::sleep(Duration::from_secs(8));
+    });
+
+    let client = Client::new(addr.to_string()).with_stream_silence(Duration::from_millis(400));
+    let started = Instant::now();
+    let err = client.watch("j1", |_| true).unwrap_err();
+    assert!(err.is_disconnect(), "{err}");
+    assert!(
+        err.to_string().contains("presumed dead"),
+        "retriable disconnect, not a bare i/o error: {err}"
+    );
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "detected in ~the silence threshold, not the old flat 60 s \
+         socket timeout: {:?}",
+        started.elapsed()
+    );
+    mute.join().unwrap();
 }

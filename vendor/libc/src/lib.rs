@@ -27,6 +27,8 @@ pub type suseconds_t = i64;
 pub const EPERM: c_int = 1;
 pub const ENOENT: c_int = 2;
 pub const ESRCH: c_int = 3;
+pub const EINTR: c_int = 4;
+pub const EAGAIN: c_int = 11;
 pub const EACCES: c_int = 13;
 
 // Signals.
@@ -41,6 +43,44 @@ pub const LOCK_UN: c_int = 8;
 // getrusage(2) targets.
 pub const RUSAGE_SELF: c_int = 0;
 pub const RUSAGE_CHILDREN: c_int = -1;
+
+// epoll(7) — the readiness API behind the server's reactor front.
+pub const EPOLLIN: u32 = 0x001;
+pub const EPOLLOUT: u32 = 0x004;
+pub const EPOLLERR: u32 = 0x008;
+pub const EPOLLHUP: u32 = 0x010;
+pub const EPOLLRDHUP: u32 = 0x2000;
+pub const EPOLL_CTL_ADD: c_int = 1;
+pub const EPOLL_CTL_DEL: c_int = 2;
+pub const EPOLL_CTL_MOD: c_int = 3;
+pub const EPOLL_CLOEXEC: c_int = 0o2000000;
+
+// eventfd(2) — the reactor's cross-thread wakeup primitive.
+pub const EFD_CLOEXEC: c_int = 0o2000000;
+pub const EFD_NONBLOCK: c_int = 0o4000;
+
+// fcntl(2) file-status flags (nonblocking sockets).
+pub const F_GETFL: c_int = 3;
+pub const F_SETFL: c_int = 4;
+pub const O_NONBLOCK: c_int = 0o4000;
+
+// setsockopt(2): the reactor tests clamp SO_RCVBUF to make kernel
+// buffering deterministic when exercising stream backpressure.
+pub type socklen_t = u32;
+pub const SOL_SOCKET: c_int = 1;
+pub const SO_RCVBUF: c_int = 8;
+
+// getrlimit(2)/setrlimit(2): the reactor tests raise the fd ceiling
+// to hold thousands of concurrent watcher sockets.
+pub const RLIMIT_NOFILE: c_int = 7;
+pub type rlim_t = u64;
+
+#[repr(C)]
+#[derive(Debug, Clone, Copy)]
+pub struct rlimit {
+    pub rlim_cur: rlim_t,
+    pub rlim_max: rlim_t,
+}
 
 // waitid(2) id types and options.
 pub const P_PID: c_int = 1;
@@ -79,6 +119,18 @@ pub fn WIFSIGNALED(status: c_int) -> bool {
 /// Wait-status decoding, as the C `WTERMSIG` macro.
 pub fn WTERMSIG(status: c_int) -> c_int {
     status & 0x7f
+}
+
+/// One epoll readiness record. Glibc packs this on x86_64 (so the
+/// 64-bit payload sits at offset 4); other architectures use natural
+/// alignment — mirror both or `epoll_wait` scribbles over the wrong
+/// offsets.
+#[repr(C)]
+#[cfg_attr(target_arch = "x86_64", repr(packed))]
+#[derive(Clone, Copy)]
+pub struct epoll_event {
+    pub events: u32,
+    pub u64: u64,
 }
 
 #[repr(C)]
@@ -132,7 +184,27 @@ impl std::fmt::Debug for siginfo_t {
 
 extern "C" {
     pub fn close(fd: c_int) -> c_int;
+    pub fn epoll_create1(flags: c_int) -> c_int;
+    pub fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut epoll_event) -> c_int;
+    pub fn epoll_wait(
+        epfd: c_int,
+        events: *mut epoll_event,
+        maxevents: c_int,
+        timeout: c_int,
+    ) -> c_int;
+    pub fn eventfd(initval: c_uint, flags: c_int) -> c_int;
+    pub fn fcntl(fd: c_int, cmd: c_int, ...) -> c_int;
     pub fn flock(fd: c_int, operation: c_int) -> c_int;
+    pub fn getrlimit(resource: c_int, rlim: *mut rlimit) -> c_int;
+    pub fn setrlimit(resource: c_int, rlim: *const rlimit) -> c_int;
+    pub fn setsockopt(
+        sockfd: c_int,
+        level: c_int,
+        optname: c_int,
+        optval: *const c_void,
+        optlen: socklen_t,
+    ) -> c_int;
+    pub fn write(fd: c_int, buf: *const c_void, count: size_t) -> ssize_t;
     pub fn gethostname(name: *mut c_char, len: size_t) -> c_int;
     pub fn getrusage(who: c_int, usage: *mut rusage) -> c_int;
     pub fn ioctl(fd: c_int, request: c_ulong, ...) -> c_int;
@@ -187,5 +259,98 @@ mod tests {
     fn gettid_syscall() {
         let tid = unsafe { syscall(SYS_gettid) };
         assert!(tid > 0);
+    }
+
+    #[test]
+    fn epoll_event_layout_matches_glibc() {
+        // Packed on x86_64 (12 bytes), naturally aligned elsewhere.
+        #[cfg(target_arch = "x86_64")]
+        assert_eq!(std::mem::size_of::<epoll_event>(), 12);
+        #[cfg(not(target_arch = "x86_64"))]
+        assert_eq!(std::mem::size_of::<epoll_event>(), 16);
+    }
+
+    #[test]
+    fn eventfd_wakes_epoll() {
+        // The reactor's wakeup path end to end: an eventfd write makes
+        // the fd readable through epoll, and reading it drains the
+        // counter.
+        unsafe {
+            let ep = epoll_create1(EPOLL_CLOEXEC);
+            assert!(ep >= 0);
+            let ev = eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+            assert!(ev >= 0);
+            let mut reg = epoll_event {
+                events: EPOLLIN,
+                u64: 42,
+            };
+            assert_eq!(epoll_ctl(ep, EPOLL_CTL_ADD, ev, &mut reg), 0);
+
+            // Nothing pending: epoll_wait times out empty.
+            let mut out = [epoll_event { events: 0, u64: 0 }; 4];
+            assert_eq!(epoll_wait(ep, out.as_mut_ptr(), 4, 0), 0);
+
+            // A wake is observed with the registered token.
+            let one: u64 = 1;
+            assert_eq!(
+                write(ev, (&one as *const u64).cast(), 8),
+                8,
+                "eventfd write"
+            );
+            let n = epoll_wait(ep, out.as_mut_ptr(), 4, 1000);
+            assert_eq!(n, 1);
+            assert_eq!({ out[0].u64 }, 42);
+            assert_ne!({ out[0].events } & EPOLLIN, 0);
+
+            // Draining resets readiness.
+            let mut counter: u64 = 0;
+            assert_eq!(read(ev, (&mut counter as *mut u64).cast(), 8), 8);
+            assert_eq!(counter, 1);
+            assert_eq!(epoll_wait(ep, out.as_mut_ptr(), 4, 0), 0);
+
+            close(ev);
+            close(ep);
+        }
+    }
+
+    #[test]
+    fn fcntl_toggles_nonblocking() {
+        unsafe {
+            let ev = eventfd(0, 0);
+            assert!(ev >= 0);
+            let flags = fcntl(ev, F_GETFL);
+            assert!(flags >= 0);
+            assert_eq!(flags & O_NONBLOCK, 0);
+            assert_eq!(fcntl(ev, F_SETFL, flags | O_NONBLOCK), 0);
+            assert_ne!(fcntl(ev, F_GETFL) & O_NONBLOCK, 0);
+            close(ev);
+        }
+    }
+
+    #[test]
+    fn setsockopt_clamps_rcvbuf() {
+        use std::os::unix::io::AsRawFd;
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let size: c_int = 4096;
+        let rc = unsafe {
+            setsockopt(
+                listener.as_raw_fd(),
+                SOL_SOCKET,
+                SO_RCVBUF,
+                (&size as *const c_int).cast(),
+                std::mem::size_of::<c_int>() as socklen_t,
+            )
+        };
+        assert_eq!(rc, 0);
+    }
+
+    #[test]
+    fn rlimit_nofile_is_readable() {
+        let mut lim = rlimit {
+            rlim_cur: 0,
+            rlim_max: 0,
+        };
+        assert_eq!(unsafe { getrlimit(RLIMIT_NOFILE, &mut lim) }, 0);
+        assert!(lim.rlim_cur > 0 && lim.rlim_cur <= lim.rlim_max);
     }
 }
