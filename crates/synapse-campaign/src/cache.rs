@@ -136,6 +136,12 @@ impl ResultCache {
         self.db.stats()
     }
 
+    /// The store's live lock/reconcile counter handles, for binding
+    /// into a metrics registry — see [`synapse_store::ShardedDb::counters`].
+    pub fn store_counters(&self) -> synapse_store::StoreCounters {
+        self.db.counters()
+    }
+
     /// Shards mutated since the last persist (diagnostics/tests).
     pub fn dirty_shards(&self) -> Vec<u8> {
         self.db.dirty_shards()

@@ -23,6 +23,7 @@ use std::time::Instant;
 use crate::cache::{fingerprint, ResultCache};
 use crate::error::CampaignError;
 use crate::grid::ScenarioPoint;
+use crate::metrics::EngineMetrics;
 use crate::runner::{simulate_point, PointResult, RunConfig, RunStats};
 
 /// A shared cooperative-cancellation flag.
@@ -140,6 +141,9 @@ impl<'a> CampaignEngine<'a> {
         observer(PointEvent::Started {
             total: points.len(),
         });
+        // Handles into the process registry, resolved once per run;
+        // per-point updates below are plain relaxed atomics.
+        let metrics = EngineMetrics::get();
         let workers = self.config.effective_workers(points.len());
         let sweep = || loop {
             if cancel.is_cancelled() {
@@ -154,9 +158,14 @@ impl<'a> CampaignEngine<'a> {
             }
             let point = &points[idx];
             let fp = fingerprint(point);
-            let (outcome, cached) = match self.cache.get(&fp) {
+            let lookup_started = Instant::now();
+            let probed = self.cache.get(&fp);
+            metrics.cache_lookup_seconds.observe_since(lookup_started);
+            metrics.points.inc();
+            let (outcome, cached) = match probed {
                 Some(mut hit) => {
                     cache_hits.fetch_add(1, Ordering::Relaxed);
+                    metrics.cache_hits.inc();
                     // The fingerprint excludes the grid index,
                     // so a hit may come from a differently-
                     // shaped grid (a grown campaign): rebind it
@@ -166,7 +175,10 @@ impl<'a> CampaignEngine<'a> {
                 }
                 None => {
                     simulated.fetch_add(1, Ordering::Relaxed);
+                    metrics.cache_misses.inc();
+                    let sim_started = Instant::now();
                     let fresh = simulate_point(point).and_then(|r| {
+                        metrics.simulate_seconds.observe_since(sim_started);
                         self.cache.put(&fp, &r)?;
                         Ok(r)
                     });
@@ -235,11 +247,18 @@ impl<'a> CampaignEngine<'a> {
                 slot.ok_or_else(|| CampaignError::Spec(format!("point {i} was not executed")))?;
             collected.push(Arc::try_unwrap(shared).unwrap_or_else(|held| (*held).clone()));
         }
+        let sweep_secs = started.elapsed().as_secs_f64();
+        metrics.stage_sweep.observe(sweep_secs);
         let stats = RunStats {
             points: points.len(),
             simulated: simulated.into_inner(),
             cache_hits: cache_hits.into_inner(),
-            wall_secs: started.elapsed().as_secs_f64(),
+            // The engine only sees the sweep; `run_campaign_on` widens
+            // `wall_secs` to cover expansion and aggregation too.
+            wall_secs: sweep_secs,
+            expand_secs: 0.0,
+            sweep_secs,
+            aggregate_secs: 0.0,
         };
         observer(PointEvent::Finished { stats });
         Ok((collected, stats))

@@ -50,6 +50,7 @@ pub mod cache;
 pub mod engine;
 pub mod error;
 pub mod grid;
+mod metrics;
 pub mod partition;
 pub mod report;
 pub mod runner;
@@ -113,11 +114,23 @@ pub fn run_campaign_on(
     observer: &(dyn Fn(PointEvent) + Sync),
     cancel: &CancelToken,
 ) -> Result<CampaignOutcome, CampaignError> {
+    let engine_metrics = crate::metrics::EngineMetrics::get();
+    let run_started = std::time::Instant::now();
     let points = expand(spec);
+    let expand_secs = run_started.elapsed().as_secs_f64();
+    engine_metrics.stage_expansion.observe(expand_secs);
     let swept = CampaignEngine::new(&points, cache, config).run(observer, cancel);
+    let aggregate_started = std::time::Instant::now();
     cache.persist()?;
-    let (results, stats) = swept?;
+    let (results, mut stats) = swept?;
     let report = CampaignReport::assemble(spec, &results)?;
+    stats.expand_secs = expand_secs;
+    stats.aggregate_secs = aggregate_started.elapsed().as_secs_f64();
+    stats.wall_secs = run_started.elapsed().as_secs_f64();
+    engine_metrics
+        .stage_aggregation
+        .observe(stats.aggregate_secs);
+    engine_metrics.campaigns.inc();
     Ok(CampaignOutcome { report, stats })
 }
 

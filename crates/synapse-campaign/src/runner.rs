@@ -88,7 +88,7 @@ impl RunConfig {
 }
 
 /// Execution counters for one campaign run.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct RunStats {
     /// Total scenario points.
     pub points: usize,
@@ -96,11 +96,28 @@ pub struct RunStats {
     pub simulated: usize,
     /// Points served from the result cache.
     pub cache_hits: usize,
-    /// Wall-clock duration of the sweep.
+    /// Wall-clock duration of the whole run (all stages).
     pub wall_secs: f64,
+    /// Wall time spent expanding the spec into the scenario grid.
+    pub expand_secs: f64,
+    /// Wall time spent in the sweep (simulate/cache worker pool).
+    pub sweep_secs: f64,
+    /// Wall time spent persisting the cache and assembling the report.
+    pub aggregate_secs: f64,
 }
 
 impl RunStats {
+    /// The per-stage timing block every surface reports in the same
+    /// shape: `campaign run --summary-json`, the server's terminal
+    /// `completed` event, and the bench harness.
+    pub fn timings_json(&self) -> serde_json::Value {
+        serde_json::json!({
+            "expansion_secs": self.expand_secs,
+            "sweep_secs": self.sweep_secs,
+            "aggregation_secs": self.aggregate_secs,
+            "wall_secs": self.wall_secs,
+        })
+    }
     /// Sweep throughput (points per wall-clock second).
     pub fn points_per_sec(&self) -> f64 {
         if self.wall_secs <= 0.0 {

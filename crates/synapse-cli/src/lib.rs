@@ -13,7 +13,7 @@
 //! synapse stats    "<command>" [--tags k=v,...] [--store DIR]
 //! synapse inspect  "<command>" [--tags k=v,...] [--store DIR]
 //! synapse campaign run  <spec.toml|json> [--cache DIR] [--workers N]
-//!                  [--json PATH] [--csv PATH] [--summary-json PATH]
+//!                  [--json PATH] [--csv PATH] [--summary-json PATH] [--timings]
 //! synapse campaign plan <spec.toml|json>
 //! synapse campaign cache stats|compact [--cache DIR]
 //! synapse serve    [--addr HOST:PORT] [--cache DIR] [--queue-workers N] [--workers N]
@@ -115,6 +115,9 @@ pub enum Invocation {
         /// Optional machine-readable run-summary output path (cache
         /// hit rate, throughput) for scripts and CI.
         summary_json: Option<PathBuf>,
+        /// Print a per-stage wall-time and per-point latency
+        /// breakdown after the run summary.
+        timings: bool,
     },
     /// Show what a campaign spec expands into without running it.
     CampaignPlan {
@@ -430,6 +433,7 @@ fn parse_campaign_args(args: &[String]) -> Result<Invocation, String> {
     let mut json_out = None;
     let mut csv_out = None;
     let mut summary_json = None;
+    let mut timings = false;
     let mut i = 1;
     while i < args.len() {
         let arg = &args[i];
@@ -449,6 +453,7 @@ fn parse_campaign_args(args: &[String]) -> Result<Invocation, String> {
             "--json" => json_out = Some(PathBuf::from(value(&mut i)?)),
             "--csv" => csv_out = Some(PathBuf::from(value(&mut i)?)),
             "--summary-json" => summary_json = Some(PathBuf::from(value(&mut i)?)),
+            "--timings" => timings = true,
             other if other.starts_with("--") => return Err(format!("unknown flag {other}")),
             other => {
                 if spec.is_some() {
@@ -468,6 +473,7 @@ fn parse_campaign_args(args: &[String]) -> Result<Invocation, String> {
             json_out,
             csv_out,
             summary_json,
+            timings,
         }),
         "plan" => Ok(Invocation::CampaignPlan { spec }),
         other => Err(format!(
@@ -634,7 +640,7 @@ USAGE:
   synapse stats    \"<command>\" [--tags k=v,...] [--store DIR]
   synapse inspect  \"<command>\" [--tags k=v,...] [--store DIR]
   synapse campaign run  <spec.toml|json> [--cache DIR] [--workers N]
-                   [--json PATH] [--csv PATH] [--summary-json PATH]
+                   [--json PATH] [--csv PATH] [--summary-json PATH] [--timings]
   synapse campaign plan <spec.toml|json>
   synapse campaign cache stats|compact [--cache DIR]
   synapse serve    [--addr HOST:PORT] [--cache DIR] [--queue-workers N]
@@ -1031,6 +1037,7 @@ pub fn run(invocation: Invocation, out: &mut impl std::io::Write) -> Result<(), 
             json_out,
             csv_out,
             summary_json,
+            timings,
         } => {
             let spec =
                 synapse_campaign::CampaignSpec::from_path(&spec).map_err(|e| e.to_string())?;
@@ -1050,6 +1057,47 @@ pub fn run(invocation: Invocation, out: &mut impl std::io::Write) -> Result<(), 
                 stats.hit_rate() * 100.0,
             )
             .map_err(|e| e.to_string())?;
+            if timings {
+                writeln!(
+                    out,
+                    "  stages: expansion {:.3}s, sweep {:.3}s, aggregation {:.3}s",
+                    stats.expand_secs, stats.sweep_secs, stats.aggregate_secs,
+                )
+                .map_err(|e| e.to_string())?;
+                // Per-point latency distributions come from the same
+                // process-wide histograms `/metrics` exposes; the
+                // registry call returns the series the engine already
+                // populated during the run.
+                let registry = synapse_telemetry::global();
+                let latency = |name: &str| {
+                    registry.histogram(
+                        name,
+                        "Per-point latency.",
+                        synapse_telemetry::DURATION_BUCKETS,
+                    )
+                };
+                for (label, hist) in [
+                    ("simulate", latency("synapse_engine_simulate_seconds")),
+                    (
+                        "cache lookup",
+                        latency("synapse_engine_cache_lookup_seconds"),
+                    ),
+                ] {
+                    if hist.count() == 0 {
+                        writeln!(out, "  {label}: no observations").map_err(|e| e.to_string())?;
+                        continue;
+                    }
+                    writeln!(
+                        out,
+                        "  {label}: p50 {:.3}ms p90 {:.3}ms p99 {:.3}ms ({} observations)",
+                        hist.quantile(0.5) * 1e3,
+                        hist.quantile(0.9) * 1e3,
+                        hist.quantile(0.99) * 1e3,
+                        hist.count(),
+                    )
+                    .map_err(|e| e.to_string())?;
+                }
+            }
             if let Some(path) = json_out {
                 let json = outcome.report.to_json_pretty().map_err(|e| e.to_string())?;
                 std::fs::write(&path, json).map_err(|e| e.to_string())?;
@@ -1069,6 +1117,7 @@ pub fn run(invocation: Invocation, out: &mut impl std::io::Write) -> Result<(), 
                     "cache_hit_rate": stats.hit_rate(),
                     "wall_secs": stats.wall_secs,
                     "points_per_sec": stats.points_per_sec(),
+                    "timings": stats.timings_json(),
                 });
                 let json = serde_json::to_string_pretty(&summary).map_err(|e| e.to_string())?;
                 std::fs::write(&path, json).map_err(|e| e.to_string())?;
@@ -1239,6 +1288,7 @@ mod tests {
                 json_out,
                 csv_out,
                 summary_json,
+                timings,
             } => {
                 assert_eq!(spec, PathBuf::from("sweep.toml"));
                 assert_eq!(cache, PathBuf::from("/tmp/cc"));
@@ -1246,6 +1296,7 @@ mod tests {
                 assert_eq!(json_out, Some(PathBuf::from("out.json")));
                 assert_eq!(csv_out, Some(PathBuf::from("out.csv")));
                 assert_eq!(summary_json, None);
+                assert!(!timings);
             }
             other => panic!("wrong invocation: {other:?}"),
         }
@@ -1260,6 +1311,15 @@ mod tests {
         assert!(parse_args(&argv(&["campaign", "run"])).is_err());
         assert!(parse_args(&argv(&["campaign", "frob", "x.toml"])).is_err());
         assert!(parse_args(&argv(&["campaign", "run", "x.toml", "--bogus"])).is_err());
+    }
+
+    #[test]
+    fn parses_campaign_run_timings_flag() {
+        let inv = parse_args(&argv(&["campaign", "run", "sweep.toml", "--timings"])).unwrap();
+        match inv {
+            Invocation::CampaignRun { timings, .. } => assert!(timings),
+            other => panic!("wrong invocation: {other:?}"),
+        }
     }
 
     #[test]
@@ -1345,6 +1405,7 @@ mod tests {
             json_out: Some(json_path.clone()),
             csv_out: Some(dir.join("report.csv")),
             summary_json: Some(summary_path.clone()),
+            timings: true,
         };
         let mut buf1 = Vec::new();
         run(invocation(), &mut buf1).unwrap();
@@ -1368,6 +1429,12 @@ mod tests {
         assert_eq!(summary["simulated"].as_u64(), Some(0));
         assert_eq!(summary["cache_hits"].as_u64(), Some(4));
         assert!(summary["points_per_sec"].as_f64().unwrap() > 0.0);
+        // `--timings` prints the stage breakdown, and the summary
+        // carries the same shape machine-readably.
+        assert!(text2.contains("stages: expansion"), "{text2}");
+        assert!(text2.contains("cache lookup: p50"), "{text2}");
+        assert!(summary["timings"]["wall_secs"].as_f64().unwrap() > 0.0);
+        assert!(summary["timings"]["sweep_secs"].as_f64().unwrap() > 0.0);
 
         // The cache subcommands see the sharded store the runs built.
         let mut buf3 = Vec::new();

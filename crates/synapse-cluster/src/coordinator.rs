@@ -21,6 +21,7 @@ use synapse_campaign::{
 use synapse_server::{Client, ClusterBackend};
 
 use crate::merge::Collector;
+use crate::metrics::ClusterMetrics;
 use crate::protocol::{self, WorkerEvent};
 use crate::registry::WorkerRegistry;
 
@@ -176,23 +177,37 @@ impl Coordinator {
             if cancel.is_cancelled() || fatal.lock().expect("fatal lock").is_some() {
                 return;
             }
+            let metrics = ClusterMetrics::get();
             let claimed = {
                 let mut table = table.lock().expect("lease table lock");
                 if table.is_complete() {
                     return;
                 }
-                table.claim(worker_id)
+                table
+                    .claim(worker_id)
+                    .map(|lease| (lease, table.attempts(lease.id)))
             };
-            let Some(lease) = claimed else {
+            let Some((lease, attempts_now)) = claimed else {
                 // Leases are assigned to other live drivers; they will
                 // complete or release them. Poll cheaply meanwhile.
                 std::thread::sleep(Duration::from_millis(25));
                 continue;
             };
+            metrics.leases_assigned.inc();
+            if attempts_now > 1 {
+                metrics.leases_reassigned.inc();
+            }
+            let lease_started = Instant::now();
             match self.run_lease(&client, spec, &lease, collector, observer, cancel) {
                 LeaseRun::Completed => {
                     table.lock().expect("lease table lock").complete(lease.id);
                     self.registry.credit_lease(worker_id);
+                    metrics.leases_completed.inc();
+                    let secs = lease_started.elapsed().as_secs_f64();
+                    if secs > 0.0 {
+                        ClusterMetrics::worker_throughput(worker_id)
+                            .set((lease.end - lease.start) as f64 / secs);
+                    }
                 }
                 LeaseRun::Stopped => {
                     table.lock().expect("lease table lock").release(lease.id);
@@ -205,6 +220,7 @@ impl Coordinator {
                         table.attempts(lease.id)
                     };
                     self.registry.record_failure(worker_id);
+                    metrics.leases_failed.inc();
                     if attempts >= self.config.max_lease_attempts {
                         *fatal.lock().expect("fatal lock") = Some(format!(
                             "lease {} ({}..{}) failed {attempts} times, last: {reason}",
@@ -216,7 +232,10 @@ impl Coordinator {
                     // worker retires this driver; its released lease
                     // reassigns to the survivors (or the local
                     // fallback).
-                    if client.healthz().is_err() {
+                    let probe_started = Instant::now();
+                    let probe = client.healthz();
+                    metrics.probe_seconds.observe_since(probe_started);
+                    if probe.is_err() {
                         self.registry.mark_dead(worker_id);
                         return;
                     }
@@ -282,6 +301,7 @@ impl ClusterBackend for Coordinator {
                 if cancel.is_cancelled() {
                     break;
                 }
+                ClusterMetrics::get().leases_local_fallback.inc();
                 // Materialize only this lease's slice — finishing one
                 // straggler lease of a huge grid must cost the lease,
                 // not the grid.
@@ -304,15 +324,23 @@ impl ClusterBackend for Coordinator {
                 "grid incomplete after fan-out: {done}/{total} points"
             )));
         }
+        // Stage walls mirror the local pipeline's: fan-out is the
+        // sweep, merge + assembly is aggregation, expansion is lazy
+        // (per-lease slices) and therefore folded into the sweep.
+        let sweep_secs = started.elapsed().as_secs_f64();
+        let aggregate_started = Instant::now();
         let results = collector.into_results()?;
+        let report = CampaignReport::assemble(spec, &results)?;
         let stats = RunStats {
             points: total,
             simulated,
             cache_hits,
             wall_secs: started.elapsed().as_secs_f64(),
+            expand_secs: 0.0,
+            sweep_secs,
+            aggregate_secs: aggregate_started.elapsed().as_secs_f64(),
         };
         observer(PointEvent::Finished { stats });
-        let report = CampaignReport::assemble(spec, &results)?;
         Ok(CampaignOutcome { report, stats })
     }
 
@@ -331,7 +359,11 @@ impl ClusterBackend for Coordinator {
     fn status(&self) -> serde_json::Value {
         // The status probe doubles as the pull-side heartbeat: every
         // `synapse cluster status` refreshes liveness for real.
-        self.registry
-            .status_json(|addr| Client::new(addr.to_string()).healthz().is_ok())
+        self.registry.status_json(|addr| {
+            let started = Instant::now();
+            let alive = Client::new(addr.to_string()).healthz().is_ok();
+            ClusterMetrics::get().probe_seconds.observe_since(started);
+            alive
+        })
     }
 }

@@ -39,6 +39,7 @@
 
 pub mod coordinator;
 pub mod merge;
+mod metrics;
 pub mod protocol;
 pub mod registry;
 

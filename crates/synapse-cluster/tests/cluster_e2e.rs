@@ -165,6 +165,29 @@ fn distributed_run_merges_streams_and_reports_byte_stably() {
         .sum();
     assert_eq!(carried, 8, "all 8 leases ran remotely: {status:?}");
 
+    // The coordinator's /metrics scrape carries every subsystem the
+    // process touched: cluster lease lifecycle (and the liveness
+    // probes the status call above just ran), the serve front, and
+    // the store's lock counters behind the shared cache.
+    let metrics = client.metrics().unwrap();
+    let value = |name: &str| -> f64 {
+        metrics
+            .lines()
+            .filter_map(|l| l.split_once(' '))
+            .find(|(n, _)| *n == name)
+            .and_then(|(_, v)| v.parse().ok())
+            .unwrap_or_else(|| panic!("series {name} missing from coordinator scrape"))
+    };
+    assert!(value("synapse_cluster_leases_assigned_total") >= 8.0);
+    assert!(value("synapse_cluster_leases_completed_total") >= 8.0);
+    assert!(value("synapse_cluster_probe_seconds_count") >= 1.0);
+    assert!(value("synapse_server_connections_accepted_total") >= 1.0);
+    assert!(value("synapse_store_lock_acquisitions_total") >= 0.0);
+    assert!(
+        metrics.contains("synapse_cluster_worker_points_per_sec{worker="),
+        "per-worker throughput gauge missing"
+    );
+
     handle.shutdown();
     join.join().unwrap();
     h1.shutdown();

@@ -248,6 +248,12 @@ impl Client {
         self.request("GET", "/store/stats", None)?.ok()?.json()
     }
 
+    /// `GET /metrics` — the process-wide telemetry registry in
+    /// Prometheus text exposition format (not JSON).
+    pub fn metrics(&self) -> Result<String, ServerError> {
+        Ok(self.request("GET", "/metrics", None)?.ok()?.body)
+    }
+
     /// `POST /campaigns` with a TOML or JSON spec body. Returns the
     /// submit reply (`{"id": "j1", "points": N, ...}`).
     pub fn submit(&self, spec_text: &str) -> Result<Value, ServerError> {

@@ -268,6 +268,9 @@ impl Job {
             if events.lines.len() >= events.cap {
                 events.lines.pop_front();
                 events.base += 1;
+                crate::metrics::ServerMetrics::get()
+                    .ring_truncated_lines
+                    .inc();
             }
             events.lines.push_back(line);
             self.events_ready.notify_all();

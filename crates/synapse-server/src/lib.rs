@@ -69,6 +69,7 @@
 pub mod client;
 pub mod http;
 pub mod job;
+mod metrics;
 mod reactor;
 pub mod server;
 

@@ -1,0 +1,208 @@
+//! The serve daemon's handles into the process-wide telemetry
+//! registry (`synapse_server_<name>` series; catalog in the README).
+//!
+//! Everything here is registered once through a `OnceLock`, so the hot
+//! paths (reactor passes, stream pumps, request handling) touch only
+//! the atomic handles — never the registry lock. Gauges that mirror
+//! operational state (`connections_active`, queue depths) are
+//! refreshed at scrape time from the *same* sources `/healthz`
+//! reports, so the JSON and Prometheus views cannot disagree.
+
+use std::sync::{Arc, OnceLock};
+
+use synapse_telemetry::{global, Counter, Gauge, Histogram, DURATION_BUCKETS, SIZE_BUCKETS};
+
+/// Reactor, connection-lifecycle and streaming instrumentation.
+pub(crate) struct ServerMetrics {
+    /// Connections currently registered with the reactor (scrape-time
+    /// mirror of the `active_connections` gauge `/healthz` reports).
+    pub connections_active: Arc<Gauge>,
+    /// Connections accepted and registered with the poller.
+    pub connections_accepted: Arc<Counter>,
+    /// Connections accepted past the cap and flagged to answer `503`.
+    pub connections_shed: Arc<Counter>,
+    /// Connections dropped cold (past twice the cap).
+    pub connections_dropped: Arc<Counter>,
+    /// Connections the timer scan reclaimed (request timeouts and
+    /// stalled writers).
+    pub connections_reclaimed: Arc<Counter>,
+    /// Reactor work per wake: from `epoll_wait` returning events to
+    /// the end of that pass (quiet ticks are not recorded).
+    pub poll_seconds: Arc<Histogram>,
+    /// Readiness events delivered per non-empty `epoll_wait`.
+    pub wake_batch: Arc<Histogram>,
+    /// Event-stream payload bytes pumped from job rings into
+    /// connection buffers (chunk framing and heartbeats excluded).
+    pub stream_bytes: Arc<Counter>,
+    /// NDJSON lines dropped from bounded job rings (each shows up in
+    /// a stream's `truncated` marker).
+    pub ring_truncated_lines: Arc<Counter>,
+    /// Jobs sitting in the queue at the last scrape.
+    pub jobs_queued: Arc<Gauge>,
+    /// Jobs sweeping at the last scrape.
+    pub jobs_running: Arc<Gauge>,
+    /// Seconds since the server bound, at the last scrape.
+    pub uptime_seconds: Arc<Gauge>,
+    /// Per-endpoint request latency (dispatch-queue wait + handler
+    /// time), keyed by normalized route shape.
+    requests: Vec<(&'static str, Arc<Histogram>)>,
+}
+
+/// Every route shape the request-latency family is registered for.
+/// Paths normalize onto these so the label set stays bounded no
+/// matter what clients send.
+const ENDPOINTS: &[&str] = &[
+    "/healthz",
+    "/metrics",
+    "/store/stats",
+    "/campaigns",
+    "/campaigns/:id",
+    "/campaigns/:id/events",
+    "/campaigns/:id/report",
+    "/leases",
+    "/cluster",
+    "/shutdown",
+    "other",
+];
+
+impl ServerMetrics {
+    /// The process-wide handles (registering the series on first use).
+    pub fn get() -> &'static ServerMetrics {
+        static METRICS: OnceLock<ServerMetrics> = OnceLock::new();
+        METRICS.get_or_init(|| {
+            let r = global();
+            ServerMetrics {
+                connections_active: r.gauge(
+                    "synapse_server_connections_active",
+                    "Connections currently held by the reactor.",
+                ),
+                connections_accepted: r.counter(
+                    "synapse_server_connections_accepted_total",
+                    "Connections accepted and registered with the poller.",
+                ),
+                connections_shed: r.counter(
+                    "synapse_server_connections_shed_total",
+                    "Connections over the cap, flagged to answer 503.",
+                ),
+                connections_dropped: r.counter(
+                    "synapse_server_connections_dropped_total",
+                    "Connections dropped cold past twice the cap.",
+                ),
+                connections_reclaimed: r.counter(
+                    "synapse_server_connections_reclaimed_total",
+                    "Connections reclaimed for request timeout or write stall.",
+                ),
+                poll_seconds: r.histogram(
+                    "synapse_server_poll_iteration_seconds",
+                    "Reactor work per non-empty epoll wake.",
+                    DURATION_BUCKETS,
+                ),
+                wake_batch: r.histogram(
+                    "synapse_server_wake_batch_size",
+                    "Readiness events delivered per non-empty epoll_wait.",
+                    SIZE_BUCKETS,
+                ),
+                stream_bytes: r.counter(
+                    "synapse_server_stream_bytes_total",
+                    "Event-stream payload bytes pumped from job rings.",
+                ),
+                ring_truncated_lines: r.counter(
+                    "synapse_server_ring_truncated_lines_total",
+                    "Event lines dropped from bounded job rings.",
+                ),
+                jobs_queued: r.gauge(
+                    "synapse_server_jobs_queued",
+                    "Jobs waiting in the queue (refreshed at scrape).",
+                ),
+                jobs_running: r.gauge(
+                    "synapse_server_jobs_running",
+                    "Jobs currently sweeping (refreshed at scrape).",
+                ),
+                uptime_seconds: r.gauge(
+                    "synapse_server_uptime_seconds",
+                    "Seconds since the server bound (refreshed at scrape).",
+                ),
+                requests: ENDPOINTS
+                    .iter()
+                    .map(|&endpoint| {
+                        (
+                            endpoint,
+                            r.histogram_with(
+                                "synapse_server_request_seconds",
+                                "Request latency from dispatch to reply, by route shape.",
+                                DURATION_BUCKETS,
+                                &[("endpoint", endpoint)],
+                            ),
+                        )
+                    })
+                    .collect(),
+            }
+        })
+    }
+
+    /// The latency histogram for one normalized endpoint — a lock-free
+    /// scan over the fixed route table.
+    pub fn request_seconds(&self, endpoint: &'static str) -> &Arc<Histogram> {
+        self.requests
+            .iter()
+            .find(|(e, _)| *e == endpoint)
+            .map(|(_, h)| h)
+            .expect("endpoint_label only returns registered endpoints")
+    }
+}
+
+/// Collapse a request path onto its route shape (one of [`ENDPOINTS`])
+/// so per-endpoint series stay bounded under arbitrary client input.
+pub(crate) fn endpoint_label(path: &str) -> &'static str {
+    let trimmed = path.trim_end_matches('/');
+    let path = trimmed.split('?').next().unwrap_or(trimmed);
+    let segments: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
+    match segments.as_slice() {
+        ["healthz"] => "/healthz",
+        ["metrics"] => "/metrics",
+        ["store", "stats"] => "/store/stats",
+        ["campaigns"] => "/campaigns",
+        ["campaigns", _] => "/campaigns/:id",
+        ["campaigns", _, "events"] => "/campaigns/:id/events",
+        ["campaigns", _, "report"] => "/campaigns/:id/report",
+        ["leases"] => "/leases",
+        ["cluster", ..] => "/cluster",
+        ["shutdown"] => "/shutdown",
+        _ => "other",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoint_labels_normalize_onto_the_registered_table() {
+        assert_eq!(
+            endpoint_label("/campaigns/j42/events"),
+            "/campaigns/:id/events"
+        );
+        assert_eq!(endpoint_label("/campaigns/j42/"), "/campaigns/:id");
+        assert_eq!(endpoint_label("/campaigns?watch=1"), "/campaigns");
+        assert_eq!(endpoint_label("/cluster/workers/w1/heartbeat"), "/cluster");
+        assert_eq!(endpoint_label("/totally/unknown"), "other");
+        for path in [
+            "/healthz",
+            "/metrics",
+            "/store/stats",
+            "/campaigns/j1/report",
+            "/leases",
+            "/shutdown",
+        ] {
+            assert!(ENDPOINTS.contains(&endpoint_label(path)), "{path}");
+        }
+    }
+
+    #[test]
+    fn every_label_resolves_to_a_registered_histogram() {
+        let metrics = ServerMetrics::get();
+        for endpoint in ENDPOINTS {
+            metrics.request_seconds(endpoint).observe(0.001);
+        }
+    }
+}

@@ -44,6 +44,7 @@ use synapse_campaign::{
 
 use crate::http::{self, HttpError, Request, RequestParser};
 use crate::job::{EventHook, Job, JobKind, JobState, LeaseRequest};
+use crate::metrics::{endpoint_label, ServerMetrics};
 use crate::reactor::{self, Poller, Waker};
 use crate::{ClusterBackend, ServerError};
 
@@ -333,6 +334,22 @@ impl ServerState {
     }
 }
 
+/// Queue-depth snapshot under the jobs lock: (total, queued, running).
+/// Shared by `/healthz` and the `/metrics` scrape-time gauges so both
+/// views count from the same table at the same instant.
+fn job_counts(state: &ServerState) -> (usize, usize, usize) {
+    let jobs = state.jobs.lock().expect("jobs lock");
+    let queued = jobs
+        .iter()
+        .filter(|j| j.state() == JobState::Queued)
+        .count();
+    let running = jobs
+        .iter()
+        .filter(|j| j.state() == JobState::Running)
+        .count();
+    (jobs.len(), queued, running)
+}
+
 /// This process's live thread count (Linux `/proc`), surfaced through
 /// `/healthz` so operators — and the CI smoke — can verify the front
 /// holds watchers without spawning a thread per connection.
@@ -391,6 +408,28 @@ impl Server {
             Some(dir) => ResultCache::open_with_workers(dir, 0)?,
             None => ResultCache::in_memory(),
         };
+        // Expose the store's lock/reconcile counters in `/metrics` by
+        // binding the very atomics `/store/stats` reads — one source
+        // behind both formats, so the two views cannot drift. Re-bind
+        // on every bind(): the registry keeps the latest cache's
+        // handles (tests open many servers in one process).
+        let counters = cache.store_counters();
+        let registry = synapse_telemetry::global();
+        registry.bind_counter(
+            "synapse_store_lock_acquisitions_total",
+            "Shard-group lock acquisitions by this process.",
+            counters.lock_acquisitions,
+        );
+        registry.bind_counter(
+            "synapse_store_lock_contention_total",
+            "Lock acquisitions that waited out another process.",
+            counters.lock_contention,
+        );
+        registry.bind_counter(
+            "synapse_store_reconciled_docs_total",
+            "Results merged back from other processes sharing the cache dir.",
+            counters.reconciled_docs,
+        );
         let state = Arc::new(ServerState {
             cache,
             jobs: Mutex::new(Vec::new()),
@@ -663,6 +702,7 @@ fn publish_outcome(
                 "cache_hit_rate": stats.hit_rate(),
                 "wall_secs": stats.wall_secs,
                 "points_per_sec": stats.points_per_sec(),
+                "timings": stats.timings_json(),
             })));
         }
         Err(CampaignError::Cancelled { done, total }) => {
@@ -790,6 +830,7 @@ fn run_lease_job(state: &ServerState, job: &Arc<Job>, start: usize, end: usize) 
                 "cache_hits": stats.cache_hits,
                 "cache_hit_rate": stats.hit_rate(),
                 "wall_secs": stats.wall_secs,
+                "timings": stats.timings_json(),
             })));
         }
         Err(e) => publish_outcome(job, Err(e)),
@@ -825,18 +866,7 @@ fn route(request: &Request, state: &ServerState) -> Reply {
     let segments: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
     match (request.method.as_str(), segments.as_slice()) {
         ("GET", ["healthz"]) => {
-            let (jobs, queued, running) = {
-                let jobs = state.jobs.lock().expect("jobs lock");
-                let queued = jobs
-                    .iter()
-                    .filter(|j| j.state() == JobState::Queued)
-                    .count();
-                let running = jobs
-                    .iter()
-                    .filter(|j| j.state() == JobState::Running)
-                    .count();
-                (jobs.len(), queued, running)
-            };
+            let (jobs, queued, running) = job_counts(state);
             json_reply(
                 200,
                 "OK",
@@ -876,6 +906,27 @@ fn route(request: &Request, state: &ServerState) -> Reply {
                     "active_connections": state.active_connections.load(Ordering::Acquire),
                 }),
             )
+        }
+        ("GET", ["metrics"]) => {
+            // Refresh the scrape-time gauges from the very sources the
+            // JSON endpoints report — same job table, same connection
+            // counter — so `/healthz` and `/metrics` cannot drift.
+            let metrics = ServerMetrics::get();
+            let (_, queued, running) = job_counts(state);
+            metrics.jobs_queued.set(queued as f64);
+            metrics.jobs_running.set(running as f64);
+            metrics
+                .uptime_seconds
+                .set(state.started.elapsed().as_secs_f64());
+            metrics
+                .connections_active
+                .set(state.active_connections.load(Ordering::Acquire) as f64);
+            Reply::Full(http::response_bytes(
+                200,
+                "OK",
+                "text/plain; version=0.0.4",
+                synapse_telemetry::global().render().as_bytes(),
+            ))
         }
         ("POST", ["campaigns"]) => submit_campaign(request, state),
         ("POST", ["leases"]) => submit_lease(request, state),
@@ -937,7 +988,7 @@ fn route(request: &Request, state: &ServerState) -> Reply {
             "OK",
             &json!({"status": "shutting down"}),
         )),
-        (_, ["healthz" | "shutdown" | "leases"])
+        (_, ["healthz" | "shutdown" | "leases" | "metrics"])
         | (_, ["store", "stats"])
         | (_, ["campaigns", ..]) => json_reply(
             405,
@@ -1172,7 +1223,10 @@ const FIRST_CONN_TOKEN: u64 = 2;
 
 /// The handler-pool mailboxes: parsed requests in, replies out.
 struct Dispatch {
-    tasks: Mutex<VecDeque<(u64, Request)>>,
+    /// (connection token, parsed request, dispatch instant) — the
+    /// instant anchors the per-endpoint latency histogram, so queue
+    /// wait inside the handler pool is part of what it measures.
+    tasks: Mutex<VecDeque<(u64, Request, Instant)>>,
     ready: Condvar,
     completions: Mutex<Vec<(u64, Reply)>>,
 }
@@ -1198,8 +1252,14 @@ fn handler_worker(state: &ServerState, dispatch: &Dispatch, waker: &Waker) {
                     .0;
             }
         };
-        let Some((token, request)) = task else { return };
+        let Some((token, request, dispatched)) = task else {
+            return;
+        };
+        let endpoint = endpoint_label(request.path());
         let reply = route(&request, state);
+        ServerMetrics::get()
+            .request_seconds(endpoint)
+            .observe_since(dispatched);
         dispatch
             .completions
             .lock()
@@ -1335,9 +1395,17 @@ impl Reactor<'_> {
         let mut shutdown_grace: Option<Instant> = None;
         let mut last_scan = Instant::now();
         let mut last_pump = Instant::now();
+        let metrics = ServerMetrics::get();
         loop {
             events.clear();
             self.poller.wait(&mut events, REACTOR_TICK_MS)?;
+            // Quiet ticks (the 250 ms timeout with nothing ready) are
+            // not recorded — the histograms describe work per wake,
+            // not the idle heartbeat.
+            let pass_started = (!events.is_empty()).then(|| {
+                metrics.wake_batch.observe(events.len() as f64);
+                Instant::now()
+            });
             let mut woke = false;
             for &event in &events {
                 match event.token {
@@ -1366,6 +1434,9 @@ impl Reactor<'_> {
                 last_scan = Instant::now();
                 self.scan_timers();
             }
+            if let Some(started) = pass_started {
+                metrics.poll_seconds.observe_since(started);
+            }
             if self.state.shutting_down() {
                 if shutdown_grace.is_none() {
                     self.begin_shutdown();
@@ -1388,6 +1459,7 @@ impl Reactor<'_> {
     /// dropped cold — the gauge is incremented and decremented within
     /// this function, so the count stays exact.
     fn accept_ready(&mut self) {
+        let metrics = ServerMetrics::get();
         loop {
             let (stream, _) = match self.listener.accept() {
                 Ok(accepted) => accepted,
@@ -1403,6 +1475,7 @@ impl Reactor<'_> {
             let over = cap > 0 && active > cap;
             if over && active > cap.saturating_mul(2) {
                 self.state.active_connections.fetch_sub(1, Ordering::AcqRel);
+                metrics.connections_dropped.inc();
                 continue;
             }
             // Nagle off: event streams write many small chunked
@@ -1420,6 +1493,10 @@ impl Reactor<'_> {
             {
                 self.state.active_connections.fetch_sub(1, Ordering::AcqRel);
                 continue;
+            }
+            metrics.connections_accepted.inc();
+            if over {
+                metrics.connections_shed.inc();
             }
             self.conns.insert(
                 token,
@@ -1509,7 +1586,7 @@ impl Reactor<'_> {
             .tasks
             .lock()
             .expect("dispatch lock")
-            .push_back((token, request));
+            .push_back((token, request, Instant::now()));
         self.dispatch.ready.notify_one();
     }
 
@@ -1601,6 +1678,7 @@ impl Reactor<'_> {
                         break;
                     }
                     http::append_chunk(&mut conn.out, scratch);
+                    ServerMetrics::get().stream_bytes.add(scratch.len() as u64);
                     conn.last_emit = Instant::now();
                 }
                 hit_capacity
@@ -1740,6 +1818,9 @@ impl Reactor<'_> {
                 _ => {}
             }
         }
+        ServerMetrics::get()
+            .connections_reclaimed
+            .add((expired.len() + stalled.len()) as u64);
         let limit = self.state.max_connections;
         for (token, shed) in expired {
             // Sheds answer 503 even when the request never fully

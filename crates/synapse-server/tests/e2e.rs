@@ -1082,3 +1082,197 @@ fn a_silent_server_is_detected_as_dead_within_the_heartbeat_budget() {
     );
     mute.join().unwrap();
 }
+
+// ---------------------------------------------------------------------------
+// /metrics: Prometheus exposition of the process-wide registry.
+// ---------------------------------------------------------------------------
+
+/// Validate Prometheus 0.0.4 text shape: every line is `# HELP`,
+/// `# TYPE` (counter|gauge|histogram), or a `name{labels} value`
+/// sample whose family was declared. Returns the distinct series
+/// (name + label set) seen.
+fn assert_valid_exposition(text: &str) -> std::collections::HashSet<String> {
+    let mut types: std::collections::HashMap<&str, &str> = std::collections::HashMap::new();
+    let mut series = std::collections::HashSet::new();
+    for line in text.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut it = rest.split_whitespace();
+            let name = it.next().expect("TYPE line has a name");
+            let kind = it.next().expect("TYPE line has a kind");
+            assert!(
+                ["counter", "gauge", "histogram"].contains(&kind),
+                "unknown TYPE in {line:?}"
+            );
+            types.insert(name, kind);
+        } else if let Some(rest) = line.strip_prefix("# HELP ") {
+            assert!(
+                rest.split_whitespace().nth(1).is_some(),
+                "HELP without text: {line:?}"
+            );
+        } else {
+            assert!(!line.starts_with('#'), "unknown comment line {line:?}");
+            let (name_part, value) = line.rsplit_once(' ').expect("sample has a value");
+            assert!(
+                value.parse::<f64>().is_ok() || value == "+Inf" || value == "NaN",
+                "unparseable sample value in {line:?}"
+            );
+            let name = name_part.split('{').next().expect("sample has a name");
+            let base = name
+                .strip_suffix("_bucket")
+                .or_else(|| name.strip_suffix("_sum"))
+                .or_else(|| name.strip_suffix("_count"))
+                .filter(|b| types.get(b).copied() == Some("histogram"))
+                .unwrap_or(name);
+            assert!(
+                types.contains_key(base),
+                "sample {name} has no preceding TYPE"
+            );
+            series.insert(name_part.to_string());
+        }
+    }
+    series
+}
+
+/// The first sample value for an exact series name (unlabeled).
+fn metric_value(text: &str, name: &str) -> f64 {
+    text.lines()
+        .filter_map(|l| l.split_once(' '))
+        .find(|(n, _)| *n == name)
+        .and_then(|(_, v)| v.parse().ok())
+        .unwrap_or_else(|| panic!("series {name} missing from scrape"))
+}
+
+#[test]
+fn metrics_scrape_is_valid_exposition_and_spans_subsystems() {
+    let (client, handle, join) = boot(ServerConfig::default());
+    // One completed sweep populates the engine-side series.
+    let id = client.submit(small_spec()).unwrap()["id"]
+        .as_str()
+        .unwrap()
+        .to_string();
+    await_terminal(&client, &id);
+    let text = client.metrics().unwrap();
+    let series = assert_valid_exposition(&text);
+    assert!(
+        series.len() >= 20,
+        "expected >= 20 distinct series, got {}",
+        series.len()
+    );
+    // Engine, server and store series all present in one scrape (the
+    // cluster family needs a coordinator; cluster_e2e covers it).
+    for name in [
+        "synapse_engine_points_total",
+        "synapse_engine_cache_misses_total",
+        "synapse_engine_simulate_seconds_count",
+        "synapse_server_connections_active",
+        "synapse_server_connections_accepted_total",
+        "synapse_server_uptime_seconds",
+        "synapse_store_lock_acquisitions_total",
+        "synapse_store_reconciled_docs_total",
+    ] {
+        assert!(
+            text.lines()
+                .any(|l| l.split(['{', ' ']).next() == Some(name)),
+            "series {name} missing from scrape"
+        );
+    }
+    // The per-endpoint latency family saw the routes this test hit.
+    assert!(
+        text.contains("synapse_server_request_seconds_bucket{endpoint=\"/metrics\""),
+        "request latency histogram missing its /metrics label"
+    );
+    // Stage timing histograms carry one observation per stage per run.
+    assert!(metric_value(&text, "synapse_engine_campaigns_total") >= 1.0);
+    handle.shutdown();
+    join.join().unwrap();
+}
+
+#[test]
+fn metrics_counters_are_monotone_under_concurrent_scrapes_of_a_live_job() {
+    let (client, handle, join) = boot(ServerConfig::default());
+    let id = client.submit(huge_spec()).unwrap()["id"]
+        .as_str()
+        .unwrap()
+        .to_string();
+    // Let the sweep actually start moving before scraping.
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let status = client.status(&id).unwrap();
+        if status["done"].as_u64().unwrap_or(0) > 0 {
+            break;
+        }
+        assert!(Instant::now() < deadline, "55k-point job never progressed");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    // N concurrent scrapers against the active job: every scrape is a
+    // complete, valid exposition (the render is one atomic body).
+    std::thread::scope(|scope| {
+        for _ in 0..4 {
+            let client = &client;
+            scope.spawn(move || {
+                for _ in 0..3 {
+                    let text = client.metrics().expect("scrape under load");
+                    assert_valid_exposition(&text);
+                }
+            });
+        }
+    });
+    // Counters only move one way while the sweep runs.
+    let monotone = [
+        "synapse_engine_points_total",
+        "synapse_engine_simulate_seconds_count",
+        "synapse_server_connections_accepted_total",
+        "synapse_server_stream_bytes_total",
+    ];
+    let first = client.metrics().unwrap();
+    std::thread::sleep(Duration::from_millis(100));
+    let second = client.metrics().unwrap();
+    for name in monotone {
+        let (a, b) = (metric_value(&first, name), metric_value(&second, name));
+        assert!(b >= a, "{name} went backwards: {a} -> {b}");
+    }
+    assert!(
+        metric_value(&second, "synapse_engine_points_total")
+            > metric_value(&first, "synapse_engine_points_total"),
+        "an active sweep should land points between scrapes"
+    );
+    client.cancel(&id).unwrap();
+    await_terminal(&client, &id);
+    handle.shutdown();
+    join.join().unwrap();
+}
+
+#[test]
+fn warm_resubmit_moves_the_cache_hit_counter() {
+    let (client, handle, join) = boot(ServerConfig::default());
+    let id = client.submit(small_spec()).unwrap()["id"]
+        .as_str()
+        .unwrap()
+        .to_string();
+    let total = await_terminal(&client, &id)["total"].as_u64().unwrap();
+    let cold = metric_value(
+        &client.metrics().unwrap(),
+        "synapse_engine_cache_hits_total",
+    );
+    let id2 = client.submit(small_spec()).unwrap()["id"]
+        .as_str()
+        .unwrap()
+        .to_string();
+    let warm_status = await_terminal(&client, &id2);
+    assert_eq!(warm_status["cache_hits"].as_u64(), Some(total));
+    let warm = metric_value(
+        &client.metrics().unwrap(),
+        "synapse_engine_cache_hits_total",
+    );
+    // The registry is process-wide (other tests in this binary may be
+    // sweeping concurrently), so assert the floor, not equality.
+    assert!(
+        warm >= cold + total as f64,
+        "warm resubmit of {total} points moved hits only {cold} -> {warm}"
+    );
+    handle.shutdown();
+    join.join().unwrap();
+}

@@ -43,5 +43,5 @@ pub use lock::FileLock;
 pub use profilestore::{DbProfileStore, ProfileStore, SaveReport};
 pub use query::Query;
 pub use sharded::{
-    shard_of, CompactStats, SaveStats, ShardStats, ShardedDb, LOCK_FILE, SHARD_COUNT,
+    shard_of, CompactStats, SaveStats, ShardStats, ShardedDb, StoreCounters, LOCK_FILE, SHARD_COUNT,
 };

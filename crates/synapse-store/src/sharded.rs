@@ -26,11 +26,12 @@
 use std::collections::BTreeMap;
 use std::fs;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
 use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
+use synapse_telemetry::Counter;
 
 use crate::document::{Document, DEFAULT_DOC_LIMIT};
 use crate::error::StoreError;
@@ -225,11 +226,29 @@ pub struct ShardedDb {
     engine: String,
     state: RwLock<State>,
     /// Directory-lock acquisitions (opens + saves + compactions).
-    lock_acquisitions: AtomicU64,
+    ///
+    /// These three are [`synapse_telemetry::Counter`]s (still plain
+    /// relaxed atomics) so a server can bind the *same* handles into
+    /// its metrics registry — `/store/stats` and `/metrics` then read
+    /// identical state by construction. See [`ShardedDb::counters`].
+    lock_acquisitions: Arc<Counter>,
     /// Of those, ones that had to wait on another process.
-    lock_contention: AtomicU64,
+    lock_contention: Arc<Counter>,
     /// Foreign documents merged in from disk during lock-aware saves.
-    reconciled_docs: AtomicU64,
+    reconciled_docs: Arc<Counter>,
+}
+
+/// Clones of a [`ShardedDb`]'s live stat counters, for exposing in a
+/// metrics registry (e.g. [`synapse_telemetry::Registry::bind_counter`]).
+/// Incrementing happens inside the store; holders only read.
+#[derive(Clone)]
+pub struct StoreCounters {
+    /// Directory-lock acquisitions by this handle.
+    pub lock_acquisitions: Arc<Counter>,
+    /// Acquisitions that had to wait on another process.
+    pub lock_contention: Arc<Counter>,
+    /// Foreign documents merged in during lock-aware saves.
+    pub reconciled_docs: Arc<Counter>,
 }
 
 /// Parsed on-disk manifest: the layout groups plus each data file's
@@ -298,18 +317,30 @@ impl ShardedDb {
             doc_limit,
             engine: String::new(),
             state: RwLock::new(State::empty()),
-            lock_acquisitions: AtomicU64::new(0),
-            lock_contention: AtomicU64::new(0),
-            reconciled_docs: AtomicU64::new(0),
+            lock_acquisitions: Arc::new(Counter::new()),
+            lock_contention: Arc::new(Counter::new()),
+            reconciled_docs: Arc::new(Counter::new()),
+        }
+    }
+
+    /// The live counter handles behind [`ShardStats`]'s lock/reconcile
+    /// fields. Bind these into a registry and the exposition reads the
+    /// same atomics [`ShardedDb::stats`] reports — no second
+    /// bookkeeping path to drift.
+    pub fn counters(&self) -> StoreCounters {
+        StoreCounters {
+            lock_acquisitions: Arc::clone(&self.lock_acquisitions),
+            lock_contention: Arc::clone(&self.lock_contention),
+            reconciled_docs: Arc::clone(&self.reconciled_docs),
         }
     }
 
     /// Take the store directory's advisory lock, recording contention.
     fn lock_dir(&self, dir: &Path) -> Result<FileLock, StoreError> {
         let (lock, contended) = FileLock::exclusive(&dir.join(LOCK_FILE))?;
-        self.lock_acquisitions.fetch_add(1, Ordering::Relaxed);
+        self.lock_acquisitions.inc();
         if contended {
-            self.lock_contention.fetch_add(1, Ordering::Relaxed);
+            self.lock_contention.inc();
         }
         Ok(lock)
     }
@@ -342,9 +373,9 @@ impl ShardedDb {
             doc_limit,
             engine,
             state: RwLock::new(State::empty()),
-            lock_acquisitions: AtomicU64::new(0),
-            lock_contention: AtomicU64::new(0),
-            reconciled_docs: AtomicU64::new(0),
+            lock_acquisitions: Arc::new(Counter::new()),
+            lock_contention: Arc::new(Counter::new()),
+            reconciled_docs: Arc::new(Counter::new()),
         };
         if !dir.join(MANIFEST_FILE).exists() {
             // Nothing on disk yet: an empty store needs no lock (the
@@ -600,8 +631,7 @@ impl ShardedDb {
             }
         }
         if reconciled > 0 {
-            self.reconciled_docs
-                .fetch_add(reconciled, Ordering::Relaxed);
+            self.reconciled_docs.add(reconciled);
         }
 
         // Plan the post-save layout without touching `groups`, so an
@@ -740,8 +770,7 @@ impl ShardedDb {
                 }
             }
             if reconciled > 0 {
-                self.reconciled_docs
-                    .fetch_add(reconciled, Ordering::Relaxed);
+                self.reconciled_docs.add(reconciled);
             }
             state.groups = disk_groups;
         }
@@ -852,9 +881,9 @@ impl ShardedDb {
             dirty_shards: state.dirty.iter().filter(|&&d| d).count(),
             bytes_on_disk,
             engine: self.engine.clone(),
-            lock_acquisitions: self.lock_acquisitions.load(Ordering::Relaxed),
-            lock_contention: self.lock_contention.load(Ordering::Relaxed),
-            reconciled_docs: self.reconciled_docs.load(Ordering::Relaxed),
+            lock_acquisitions: self.lock_acquisitions.get(),
+            lock_contention: self.lock_contention.get(),
+            reconciled_docs: self.reconciled_docs.get(),
         }
     }
 }
