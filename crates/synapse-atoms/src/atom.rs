@@ -3,7 +3,7 @@
 use std::time::Duration;
 
 /// What one profile sample asks of the atoms (per-resource deltas,
-/// extracted from a [`synapse_model::Sample`] by the emulator).
+/// extracted from a `synapse_model::Sample` by the emulator).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct AtomDemand {
     /// CPU cycles to consume.

@@ -99,6 +99,12 @@ impl ResultCache {
     }
 
     /// Cached result for a fingerprint, if any.
+    ///
+    /// For on-disk caches this read is cross-process: a miss checks
+    /// (one `stat`) whether a peer sharing the directory has saved
+    /// since, and folds that save's shard file in before answering —
+    /// cluster workers pick up each other's results mid-campaign, not
+    /// only at the next open. See [`synapse_store::ShardedDb::get`].
     pub fn get(&self, fingerprint: &str) -> Option<PointResult> {
         self.db.get(fingerprint).and_then(|doc| doc.decode().ok())
     }

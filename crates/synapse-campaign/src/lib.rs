@@ -24,7 +24,7 @@
 //!   relative-error-vs-reference-machine views;
 //! * [`report`] — deterministic JSON/CSV reports (identical spec +
 //!   seed ⇒ byte-identical JSON);
-//! * [`partition`] — deterministic grid partitioning and the lease
+//! * [`partition`](mod@partition) — deterministic grid partitioning and the lease
 //!   table backing distributed fan-out across cooperating serve
 //!   processes (`synapse-cluster`).
 //!
@@ -66,7 +66,9 @@ pub use error::CampaignError;
 pub use grid::{
     atoms_by_name, expand, expand_range, fs_by_name, sample_order_by_name, AtomSet, ScenarioPoint,
 };
-pub use partition::{partition, Lease, LeaseState, LeaseTable};
+pub use partition::{
+    partition, partition_weighted, plan_leases, Lease, LeaseState, LeaseTable, MAX_PROBE_POINTS,
+};
 pub use report::{CampaignReport, PilotSummary, PointRow};
 pub use runner::{simulate_point, PointResult, RunConfig, RunStats};
 pub use spec::{CampaignSpec, PilotSpec, WorkloadSpec};

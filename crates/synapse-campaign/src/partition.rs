@@ -17,6 +17,16 @@
 //! retry forever) and any surviving worker picks it up — the
 //! coordinator's replay-tolerant merge makes re-running a
 //! half-finished lease harmless.
+//!
+//! Two refinements serve throughput-aware scheduling (see
+//! `docs/PROTOCOL.md`): [`plan_leases`] emits small *probe* leases
+//! first for workers with no throughput history, then main leases
+//! sized by [`partition_weighted`] proportionally to observed
+//! per-worker rates and ordered largest-first so the sweep tail is
+//! made of small leases; and [`LeaseTable::split_tail`] re-offers the
+//! unlanded tail of a straggling assigned lease as a brand-new lease,
+//! so an idle fast worker can speculatively re-run it — the overlap is
+//! harmless because the merge is first-arrival-wins.
 
 /// One contiguous range of grid indices offered for execution.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -67,6 +77,128 @@ pub fn partition(total: usize, parts: usize) -> Vec<Lease> {
     leases
 }
 
+/// Upper bound on the size of a probe lease emitted by
+/// [`plan_leases`] — probes exist to measure a worker, not to feed it.
+pub const MAX_PROBE_POINTS: usize = 256;
+
+/// Split `0..total` into `weights.len()` contiguous, disjoint,
+/// covering ranges whose sizes are proportional to the weights
+/// (largest-remainder rounding, index-order tie-break — fully
+/// deterministic). Every lease gets at least one point, so the part
+/// count is clamped to `total`; non-finite or non-positive weights
+/// are treated as unknown and fall back to the mean. Empty `weights`
+/// degrades to a single lease over the whole grid.
+pub fn partition_weighted(total: usize, weights: &[f64]) -> Vec<Lease> {
+    if total == 0 {
+        return Vec::new();
+    }
+    if weights.is_empty() {
+        return partition(total, 1);
+    }
+    let parts = weights.len().min(total);
+    let mut w: Vec<f64> = weights[..parts]
+        .iter()
+        .map(|x| if x.is_finite() && *x > 0.0 { *x } else { 0.0 })
+        .collect();
+    let known_sum: f64 = w.iter().sum();
+    if known_sum <= 0.0 {
+        w = vec![1.0; parts];
+    } else {
+        // Unknown weights take the mean of the known ones, so one
+        // fresh worker neither starves nor dominates the plan.
+        let known = w.iter().filter(|x| **x > 0.0).count().max(1);
+        let mean = known_sum / known as f64;
+        for x in &mut w {
+            if *x <= 0.0 {
+                *x = mean;
+            }
+        }
+    }
+    let sum: f64 = w.iter().sum();
+    // One point each up front; the spare points go out by weight with
+    // largest-remainder rounding.
+    let spare = total - parts;
+    let mut sizes = vec![1usize; parts];
+    let mut handed = 0usize;
+    let mut remainders: Vec<(usize, f64)> = Vec::with_capacity(parts);
+    for (i, wi) in w.iter().enumerate() {
+        let share = spare as f64 * wi / sum;
+        let whole = share.floor() as usize;
+        sizes[i] += whole;
+        handed += whole;
+        remainders.push((i, share - whole as f64));
+    }
+    remainders.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.0.cmp(&b.0))
+    });
+    for (i, _) in remainders.iter().take(spare - handed) {
+        sizes[*i] += 1;
+    }
+    let mut leases = Vec::with_capacity(parts);
+    let mut start = 0;
+    for (id, len) in sizes.into_iter().enumerate() {
+        leases.push(Lease {
+            id,
+            start,
+            end: start + len,
+        });
+        start += len;
+    }
+    leases
+}
+
+/// Plan the lease list for a throughput-aware fan-out: `probes` small
+/// probe leases first (one per worker with no observed rate — a cheap
+/// first assignment that measures the worker before it commits to a
+/// large slice), then `parts` main leases sized by
+/// [`partition_weighted`] over `weights` (per-worker observed rates,
+/// cycled across the lease slots) and reordered largest-first.
+/// Largest-first matters under work stealing: big slices start early
+/// and the final, imbalance-prone tail of the table is all small
+/// leases. Probes are skipped on grids too small to be worth
+/// measuring (`total < 4 * parts`). Ranges stay disjoint and covering;
+/// only the table *order* (claim priority) is rearranged. Lease ids
+/// are positions in the returned list.
+pub fn plan_leases(total: usize, parts: usize, probes: usize, weights: &[f64]) -> Vec<Lease> {
+    if total == 0 {
+        return Vec::new();
+    }
+    let parts = parts.clamp(1, total);
+    let probes = if total < 4 * parts {
+        0
+    } else {
+        probes.min(parts)
+    };
+    let probe_len = (total / (parts * 8)).clamp(1, MAX_PROBE_POINTS);
+    let probe_span = probes * probe_len;
+    let mut leases: Vec<Lease> = (0..probes)
+        .map(|p| Lease {
+            id: p,
+            start: p * probe_len,
+            end: (p + 1) * probe_len,
+        })
+        .collect();
+    let lease_weights: Vec<f64> = if weights.is_empty() {
+        vec![1.0; parts]
+    } else {
+        (0..parts).map(|i| weights[i % weights.len()]).collect()
+    };
+    let mut main = partition_weighted(total - probe_span, &lease_weights);
+    // Largest-first (stable on ties, so still deterministic).
+    main.sort_by_key(|lease| std::cmp::Reverse(lease.len()));
+    for lease in main {
+        let id = leases.len();
+        leases.push(Lease {
+            id,
+            start: lease.start + probe_span,
+            end: lease.end + probe_span,
+        });
+    }
+    leases
+}
+
 /// Lifecycle of one lease inside a [`LeaseTable`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum LeaseState {
@@ -86,19 +218,31 @@ pub struct LeaseTable {
     leases: Vec<Lease>,
     states: Vec<LeaseState>,
     attempts: Vec<usize>,
+    split: Vec<bool>,
 }
 
 impl LeaseTable {
     /// A table over the [`partition`] of `total` points into `parts`
     /// leases, all available.
     pub fn new(total: usize, parts: usize) -> LeaseTable {
-        let leases = partition(total, parts);
+        LeaseTable::from_leases(partition(total, parts))
+    }
+
+    /// A table over an explicit lease list (e.g. from [`plan_leases`]),
+    /// all available. Lease ids are rewritten to their positions —
+    /// the table's claim/complete/release cycle is keyed by position.
+    pub fn from_leases(mut leases: Vec<Lease>) -> LeaseTable {
+        for (id, lease) in leases.iter_mut().enumerate() {
+            lease.id = id;
+        }
         let states = vec![LeaseState::Available; leases.len()];
         let attempts = vec![0; leases.len()];
+        let split = vec![false; leases.len()];
         LeaseTable {
             leases,
             states,
             attempts,
+            split,
         }
     }
 
@@ -157,6 +301,48 @@ impl LeaseTable {
             }
         }
         counts
+    }
+
+    /// Assigned leases that have not been tail-split yet — the
+    /// candidates an idle worker may speculate on.
+    pub fn split_candidates(&self) -> Vec<Lease> {
+        self.leases
+            .iter()
+            .zip(&self.states)
+            .zip(&self.split)
+            .filter(|((_, state), split)| matches!(state, LeaseState::Assigned(_)) && !**split)
+            .map(|((lease, _), _)| *lease)
+            .collect()
+    }
+
+    /// Speculatively re-offer the tail `[mid, end)` of an assigned,
+    /// not-yet-split lease as a brand-new available lease, returning
+    /// it. The original lease keeps its full range and its worker
+    /// keeps streaming — the deliberate overlap is resolved by the
+    /// collector's first-arrival-wins merge, so whichever worker
+    /// lands a tail point first wins and the other's copy is dropped.
+    /// Returns `None` when the lease is not assigned, was already
+    /// split, or `mid` is outside `[start, end)`.
+    pub fn split_tail(&mut self, id: usize, mid: usize) -> Option<Lease> {
+        let lease = *self.leases.get(id)?;
+        if !matches!(self.states[id], LeaseState::Assigned(_))
+            || self.split[id]
+            || mid < lease.start
+            || mid >= lease.end
+        {
+            return None;
+        }
+        self.split[id] = true;
+        let tail = Lease {
+            id: self.leases.len(),
+            start: mid,
+            end: lease.end,
+        };
+        self.leases.push(tail);
+        self.states.push(LeaseState::Available);
+        self.attempts.push(0);
+        self.split.push(false);
+        Some(tail)
     }
 
     /// Every lease not yet completed, released back to available first
@@ -251,6 +437,136 @@ mod tests {
         table.complete(l.id);
         table.release(l.id);
         assert_eq!(table.counts().2, 1, "complete is final");
+    }
+
+    #[test]
+    fn weighted_partition_is_disjoint_covering_and_proportional() {
+        for (total, weights) in [
+            (80, vec![3.0, 1.0]),
+            (192, vec![1.0, 1.0, 1.0, 1.0]),
+            (55_296, vec![10.0, 1.0, 4.0]),
+            (7, vec![5.0, 0.5]),
+        ] {
+            let leases = partition_weighted(total, &weights);
+            assert_eq!(leases.len(), weights.len().min(total));
+            assert_eq!(leases[0].start, 0);
+            assert_eq!(leases[leases.len() - 1].end, total);
+            for pair in leases.windows(2) {
+                assert_eq!(pair[0].end, pair[1].start);
+            }
+            assert!(leases.iter().all(|l| !l.is_empty()));
+            // Proportionality within rounding: each size is within one
+            // of its exact share (after the 1-point floor).
+            let sum: f64 = weights.iter().sum();
+            for (lease, w) in leases.iter().zip(&weights) {
+                let share = total as f64 * w / sum;
+                assert!(
+                    (lease.len() as f64 - share).abs() <= weights.len() as f64,
+                    "{total} by {weights:?}: lease {} got {} want ~{share}",
+                    lease.id,
+                    lease.len()
+                );
+            }
+        }
+        // 3:1 weights really produce a ~3:1 split.
+        let skew = partition_weighted(80, &[3.0, 1.0]);
+        assert_eq!(skew[0].len(), 60);
+        assert_eq!(skew[1].len(), 20);
+    }
+
+    #[test]
+    fn weighted_partition_tolerates_degenerate_weights() {
+        // All-zero / non-finite weights fall back to near-equal.
+        let flat = partition_weighted(10, &[0.0, f64::NAN, -3.0]);
+        let sizes: Vec<usize> = flat.iter().map(Lease::len).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 10);
+        assert!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap() <= 1);
+        // One unknown weight takes the mean of the known ones.
+        let mixed = partition_weighted(90, &[4.0, 0.0, 2.0]);
+        assert_eq!(mixed.iter().map(Lease::len).sum::<usize>(), 90);
+        assert!(mixed[1].len() > mixed[2].len(), "{mixed:?}");
+        assert!(partition_weighted(5, &[]).len() == 1);
+        assert!(partition_weighted(0, &[1.0]).is_empty());
+    }
+
+    #[test]
+    fn planned_leases_put_probes_first_then_largest_main_slices() {
+        let plan = plan_leases(192, 8, 2, &[2.0, 1.0]);
+        assert_eq!(plan.len(), 10, "2 probes + 8 main leases");
+        // Ids are positions; ranges cover the grid contiguously up to
+        // reordering.
+        for (id, lease) in plan.iter().enumerate() {
+            assert_eq!(lease.id, id);
+        }
+        let mut sorted = plan.clone();
+        sorted.sort_by_key(|l| l.start);
+        assert_eq!(sorted[0].start, 0);
+        assert_eq!(sorted.last().unwrap().end, 192);
+        for pair in sorted.windows(2) {
+            assert_eq!(pair[0].end, pair[1].start);
+        }
+        // Probes are small and lead the table.
+        let probe_len = plan[0].len();
+        assert!(probe_len <= MAX_PROBE_POINTS);
+        assert!(probe_len <= plan[2].len());
+        assert_eq!(plan[1].len(), probe_len);
+        // Main slices descend in size (largest-first claim priority).
+        for pair in plan[2..].windows(2) {
+            assert!(pair[0].len() >= pair[1].len(), "{plan:?}");
+        }
+        // Weighted 2:1 shows up in the main slice sizes.
+        let main_points: usize = plan[2..].iter().map(Lease::len).sum();
+        assert_eq!(main_points, 192 - 2 * probe_len);
+    }
+
+    #[test]
+    fn planned_leases_skip_probes_on_tiny_grids_and_stay_deterministic() {
+        let tiny = plan_leases(16, 8, 2, &[1.0, 1.0]);
+        assert_eq!(tiny.len(), 8, "no probes when total < 4 * parts");
+        assert_eq!(tiny.iter().map(Lease::len).sum::<usize>(), 16);
+        assert_eq!(
+            plan_leases(501, 7, 3, &[5.0, 1.0]),
+            plan_leases(501, 7, 3, &[5.0, 1.0])
+        );
+        assert!(plan_leases(0, 4, 2, &[1.0]).is_empty());
+    }
+
+    #[test]
+    fn split_tail_offers_the_straggler_tail_once() {
+        let mut table = LeaseTable::new(100, 2);
+        let a = table.claim("slow").unwrap();
+        assert_eq!(table.split_candidates().len(), 1);
+        // Only assigned leases can split; out-of-range mids refuse.
+        assert!(table.split_tail(a.id, a.end).is_none());
+        assert!(table.split_tail(1, 60).is_none(), "lease 1 still available");
+
+        let tail = table.split_tail(a.id, 30).unwrap();
+        assert_eq!((tail.start, tail.end), (30, a.end));
+        assert_eq!(tail.id, 2, "appended with the next id");
+        assert_eq!(table.len(), 3);
+        assert_eq!(table.counts(), (2, 1, 0), "tail is claimable");
+        // A lease splits at most once.
+        assert!(table.split_candidates().is_empty());
+        assert!(table.split_tail(a.id, 40).is_none());
+
+        // The overlapping pair both complete normally.
+        let claimed = table.claim("fast").unwrap();
+        assert_eq!(claimed.id, 1, "claim order is table order");
+        let spec = table.claim("fast").unwrap();
+        assert_eq!(spec.id, tail.id);
+        table.complete(a.id);
+        table.complete(claimed.id);
+        table.complete(spec.id);
+        assert!(table.is_complete());
+    }
+
+    #[test]
+    fn from_leases_rewrites_ids_to_positions() {
+        let table = LeaseTable::from_leases(plan_leases(40, 4, 1, &[1.0]));
+        assert_eq!(table.len(), 5);
+        let mut t = table;
+        let first = t.claim("w").unwrap();
+        assert_eq!(first.id, 0, "probe lease leads");
     }
 
     #[test]

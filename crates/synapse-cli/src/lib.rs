@@ -138,6 +138,8 @@ pub enum Invocation {
         max_connections: usize,
         /// Handler-pool threads behind the epoll reactor (0 = default).
         reactor_threads: usize,
+        /// Points per lease-stream batch frame (1 = per-point events).
+        batch_points: usize,
     },
     /// Run a cluster coordinator: a serve process that fans
     /// `--cluster` submissions out over registered workers.
@@ -154,6 +156,8 @@ pub enum Invocation {
         max_connections: usize,
         /// Handler-pool threads behind the epoll reactor (0 = default).
         reactor_threads: usize,
+        /// Points per lease-stream batch frame (1 = per-point events).
+        batch_points: usize,
         /// Worker serve addresses registered at startup.
         worker_addrs: Vec<String>,
     },
@@ -241,6 +245,7 @@ fn parse_serve_like_args(args: &[String], cluster: bool) -> Result<Invocation, S
     let mut workers = 0usize;
     let mut max_connections = synapse_server::DEFAULT_MAX_CONNECTIONS;
     let mut reactor_threads = 0usize;
+    let mut batch_points = synapse_server::DEFAULT_BATCH_POINTS;
     let mut worker_addrs: Vec<String> = Vec::new();
     let mut i = 0;
     while i < args.len() {
@@ -274,6 +279,11 @@ fn parse_serve_like_args(args: &[String], cluster: bool) -> Result<Invocation, S
                     .parse()
                     .map_err(|e| format!("--reactor-threads: {e}"))?
             }
+            "--batch-points" => {
+                batch_points = value(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--batch-points: {e}"))?
+            }
             "--worker" if cluster => worker_addrs.push(value(&mut i)?),
             other => {
                 return Err(format!(
@@ -287,6 +297,9 @@ fn parse_serve_like_args(args: &[String], cluster: bool) -> Result<Invocation, S
     if queue_workers == 0 {
         return Err("--queue-workers must be at least 1".into());
     }
+    if batch_points == 0 {
+        return Err("--batch-points must be at least 1".into());
+    }
     Ok(if cluster {
         Invocation::ClusterStart {
             addr,
@@ -295,6 +308,7 @@ fn parse_serve_like_args(args: &[String], cluster: bool) -> Result<Invocation, S
             workers,
             max_connections,
             reactor_threads,
+            batch_points,
             worker_addrs,
         }
     } else {
@@ -305,6 +319,7 @@ fn parse_serve_like_args(args: &[String], cluster: bool) -> Result<Invocation, S
             workers,
             max_connections,
             reactor_threads,
+            batch_points,
         }
     })
 }
@@ -645,9 +660,10 @@ USAGE:
   synapse campaign cache stats|compact [--cache DIR]
   synapse serve    [--addr HOST:PORT] [--cache DIR] [--queue-workers N]
                    [--workers N] [--max-connections N] [--reactor-threads N]
+                   [--batch-points N]
   synapse cluster start [--addr HOST:PORT] [--cache DIR] [--worker ADDR]...
                    [--queue-workers N] [--workers N] [--max-connections N]
-                   [--reactor-threads N]
+                   [--reactor-threads N] [--batch-points N]
   synapse cluster add-worker <ADDR> [--server HOST:PORT]
   synapse cluster status [--server HOST:PORT]
   synapse campaign submit <spec.toml|json> [--server HOST:PORT] [--watch]
@@ -800,6 +816,7 @@ pub fn run(invocation: Invocation, out: &mut impl std::io::Write) -> Result<(), 
             workers,
             max_connections,
             reactor_threads,
+            batch_points,
         } => {
             let config = synapse_server::ServerConfig {
                 addr,
@@ -808,6 +825,7 @@ pub fn run(invocation: Invocation, out: &mut impl std::io::Write) -> Result<(), 
                 job_workers: workers,
                 max_connections,
                 handler_threads: reactor_threads,
+                batch_points,
                 ..Default::default()
             };
             let server = synapse_server::Server::bind(config).map_err(|e| e.to_string())?;
@@ -829,6 +847,7 @@ pub fn run(invocation: Invocation, out: &mut impl std::io::Write) -> Result<(), 
             workers,
             max_connections,
             reactor_threads,
+            batch_points,
             worker_addrs,
         } => {
             let config = synapse_server::ServerConfig {
@@ -838,6 +857,7 @@ pub fn run(invocation: Invocation, out: &mut impl std::io::Write) -> Result<(), 
                 job_workers: workers,
                 max_connections,
                 handler_threads: reactor_threads,
+                batch_points,
                 ..Default::default()
             };
             let coordinator = std::sync::Arc::new(synapse_cluster::Coordinator::new(
@@ -1467,6 +1487,7 @@ mod tests {
                 workers: 0,
                 max_connections: synapse_server::DEFAULT_MAX_CONNECTIONS,
                 reactor_threads: 0,
+                batch_points: synapse_server::DEFAULT_BATCH_POINTS,
             }
         );
         assert_eq!(
@@ -1484,6 +1505,8 @@ mod tests {
                 "64",
                 "--reactor-threads",
                 "8",
+                "--batch-points",
+                "16",
             ]))
             .unwrap(),
             Invocation::Serve {
@@ -1493,11 +1516,14 @@ mod tests {
                 workers: 2,
                 max_connections: 64,
                 reactor_threads: 8,
+                batch_points: 16,
             }
         );
         assert!(parse_args(&argv(&["serve", "--queue-workers", "0"])).is_err());
         assert!(parse_args(&argv(&["serve", "--bogus"])).is_err());
         assert!(parse_args(&argv(&["serve", "--reactor-threads", "lots"])).is_err());
+        assert!(parse_args(&argv(&["serve", "--batch-points", "0"])).is_err());
+        assert!(parse_args(&argv(&["serve", "--batch-points", "many"])).is_err());
 
         assert_eq!(
             parse_args(&argv(&["campaign", "submit", "s.toml", "--watch"])).unwrap(),
@@ -1563,6 +1589,7 @@ mod tests {
                 workers: 0,
                 max_connections: 128,
                 reactor_threads: 0,
+                batch_points: synapse_server::DEFAULT_BATCH_POINTS,
                 worker_addrs: vec!["127.0.0.1:9001".into(), "127.0.0.1:9002".into()],
             }
         );

@@ -1,22 +1,32 @@
-//! The coordinator: lease dispatch, worker drivers, failure-driven
-//! reassignment, and the local fallback that guarantees completion.
+//! The coordinator: throughput-aware lease dispatch, worker drivers,
+//! straggler tail-splitting, failure-driven reassignment, and the
+//! local fallback that guarantees completion.
 //!
 //! One driver thread per live worker claims leases from the shared
 //! [`LeaseTable`] and runs them to completion on its worker (`POST
-//! /leases`, then watch the event stream, feeding every point into the
-//! merge [`Collector`]). The claim loop is work-stealing: fast workers
-//! naturally take more leases, a dying worker's released lease is
-//! picked up by whoever claims next, and when *every* remote worker is
-//! gone the coordinator sweeps the remaining leases through its own
-//! engine — a cluster degrades to a single process, never to a hung
-//! job.
+//! /leases`, then watch the event stream, feeding every point — they
+//! arrive packed in `batch` frames — into the merge [`Collector`]).
+//! The table itself is planned by [`plan_leases`]: workers with no
+//! throughput history get a small probe lease first, and main leases
+//! are sized proportionally to the per-worker rates observed on
+//! earlier campaigns (the `worker_points_per_sec` gauges), largest
+//! first. The claim loop is work-stealing: fast workers naturally
+//! take more leases, a dying worker's released lease is picked up by
+//! whoever claims next, and an *idle* driver facing one straggling
+//! lease speculatively re-runs its unlanded tail
+//! ([`LeaseTable::split_tail`]) — completion is decided point-wise by
+//! the collector, so the fast copy of the tail finishes the campaign
+//! and the straggler's job is cancelled instead of setting the
+//! makespan. When *every* remote worker is gone the coordinator
+//! sweeps the remaining leases through its own engine — a cluster
+//! degrades to a single process, never to a hung job.
 
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use synapse_campaign::{
-    expand_range, CampaignEngine, CampaignError, CampaignOutcome, CampaignReport, CampaignSpec,
-    CancelToken, Lease, LeaseTable, PointEvent, ResultCache, RunConfig, RunStats,
+    expand_range, plan_leases, CampaignEngine, CampaignError, CampaignOutcome, CampaignReport,
+    CampaignSpec, CancelToken, Lease, LeaseTable, PointEvent, ResultCache, RunConfig, RunStats,
 };
 use synapse_server::{Client, ClusterBackend};
 
@@ -56,6 +66,11 @@ impl Default for ClusterConfig {
     }
 }
 
+/// Don't bother splitting a straggler's tail below this many unlanded
+/// points — the speculative re-run would cost more in lease dispatch
+/// than it saves in makespan.
+const MIN_SPLIT_POINTS: usize = 4;
+
 /// The distributed-execution backend a coordinator-mode server plugs
 /// into [`synapse_server::Server::with_cluster`].
 pub struct Coordinator {
@@ -65,7 +80,8 @@ pub struct Coordinator {
 
 /// How one lease run on one worker ended.
 enum LeaseRun {
-    /// Every point of the lease arrived; lease is done.
+    /// Every point of the lease arrived (or the grid finished while
+    /// it streamed); lease is done.
     Completed,
     /// The campaign's cancel token fired mid-lease; stop driving.
     Stopped,
@@ -117,8 +133,29 @@ impl Coordinator {
                 return false; // hang up; the job is cancelled below
             }
             match protocol::parse_event(line) {
+                Some(WorkerEvent::Batch(points)) => {
+                    ClusterMetrics::get()
+                        .batch_points
+                        .observe(points.len() as f64);
+                    collector.record_batch(points, observer);
+                    // Split tails overlap their parent lease, so the
+                    // grid can finish while this stream is mid-lease;
+                    // hang up instead of waiting out the straggler.
+                    if collector.is_complete() {
+                        return false;
+                    }
+                }
                 Some(WorkerEvent::Point { result, cached }) => {
                     collector.record(Arc::new(*result), cached, observer);
+                    if collector.is_complete() {
+                        return false;
+                    }
+                }
+                Some(WorkerEvent::Malformed { reason }) => {
+                    // The frame may have carried results; merging past
+                    // it could leave holes. Fail the lease and re-run.
+                    worker_error = Some(format!("malformed batch frame: {reason}"));
+                    return false;
                 }
                 Some(WorkerEvent::Failed { error }) => worker_error = Some(error),
                 Some(WorkerEvent::Truncated { dropped }) => {
@@ -138,6 +175,14 @@ impl Coordinator {
             let _ = client.cancel(&id);
             return LeaseRun::Stopped;
         }
+        if collector.is_complete() {
+            // Every grid point landed (this lease's tail may have
+            // finished on another worker). Stop the worker-side sweep
+            // if it is still running and count the lease done — its
+            // range is covered.
+            let _ = client.cancel(&id);
+            return LeaseRun::Completed;
+        }
         if let Some(error) = worker_error {
             return LeaseRun::Failed(error);
         }
@@ -148,6 +193,42 @@ impl Coordinator {
                 summary["event"].as_str().unwrap_or("nothing")
             )),
             Err(e) => LeaseRun::Failed(format!("lease stream: {e}")),
+        }
+    }
+
+    /// Pick the assigned lease with the most unlanded points and
+    /// re-offer that tail as a brand-new available lease. Returns
+    /// whether a split happened. The tail *overlaps* the straggler's
+    /// range — its owner keeps streaming — and the collector's
+    /// first-arrival-wins merge resolves the race; each lease splits
+    /// at most once, and tails below [`MIN_SPLIT_POINTS`] are left
+    /// alone, so speculation is bounded.
+    fn split_straggler_tail(&self, table: &Mutex<LeaseTable>, collector: &Collector) -> bool {
+        let candidates = table.lock().expect("lease table lock").split_candidates();
+        let mut best: Option<(Lease, usize)> = None;
+        for lease in candidates {
+            let missing = collector.missing_in(lease.start, lease.end);
+            if missing >= MIN_SPLIT_POINTS && best.is_none_or(|(_, m)| missing > m) {
+                best = Some((lease, missing));
+            }
+        }
+        let Some((lease, missing)) = best else {
+            return false;
+        };
+        // Points land roughly front-to-back within a lease, so the
+        // unlanded range is approximately the suffix of `missing`
+        // points; out-of-order landings only mean the tail overlaps a
+        // little more than it had to.
+        let mid = lease.end - missing;
+        let mut table = table.lock().expect("lease table lock");
+        match table.split_tail(lease.id, mid) {
+            Some(_) => {
+                ClusterMetrics::get().leases_split.inc();
+                true
+            }
+            // Raced: the lease completed, released, or split since the
+            // snapshot above.
+            None => false,
         }
     }
 
@@ -177,6 +258,12 @@ impl Coordinator {
             if cancel.is_cancelled() || fatal.lock().expect("fatal lock").is_some() {
                 return;
             }
+            // Completion is point-wise: once every grid index landed
+            // (wherever it ran), this driver is done even if some
+            // lease is still nominally assigned to a straggler.
+            if collector.is_complete() {
+                return;
+            }
             let metrics = ClusterMetrics::get();
             let claimed = {
                 let mut table = table.lock().expect("lease table lock");
@@ -188,9 +275,15 @@ impl Coordinator {
                     .map(|lease| (lease, table.attempts(lease.id)))
             };
             let Some((lease, attempts_now)) = claimed else {
-                // Leases are assigned to other live drivers; they will
-                // complete or release them. Poll cheaply meanwhile.
-                std::thread::sleep(Duration::from_millis(25));
+                // Nothing to claim, grid unfinished: every remaining
+                // lease is assigned to some other driver. If one of
+                // them is straggling, speculatively re-offer its
+                // unlanded tail as a fresh lease (claimed on the next
+                // iteration — by this idle driver, in practice);
+                // otherwise poll cheaply.
+                if !self.split_straggler_tail(table, collector) {
+                    std::thread::sleep(Duration::from_millis(25));
+                }
                 continue;
             };
             metrics.leases_assigned.inc();
@@ -264,7 +357,21 @@ impl ClusterBackend for Coordinator {
 
         let workers = self.registry.live();
         let lease_count = workers.len().max(1) * self.config.leases_per_worker;
-        let table = Mutex::new(LeaseTable::new(total, lease_count));
+        // Throughput-aware plan: per-worker rates observed on earlier
+        // campaigns weight the main lease sizes (largest first); every
+        // worker with no history yet gets a small probe lease up front
+        // so its first assignment measures it cheaply.
+        let weights: Vec<f64> = workers
+            .iter()
+            .map(|(id, _)| ClusterMetrics::worker_throughput(id).get())
+            .collect();
+        let probes = weights.iter().filter(|w| **w <= 0.0 || w.is_nan()).count();
+        let table = Mutex::new(LeaseTable::from_leases(plan_leases(
+            total,
+            lease_count,
+            probes,
+            &weights,
+        )));
         let collector = Collector::new(total);
         let fatal: Mutex<Option<String>> = Mutex::new(None);
 
@@ -286,9 +393,12 @@ impl ClusterBackend for Coordinator {
 
         // Whatever no remote worker completed (none registered, all
         // died, or stragglers released on cancel) sweeps locally —
-        // the coordinator is always its own last worker.
+        // the coordinator is always its own last worker. Skipped when
+        // the collector already has every point: drivers exit the
+        // moment the grid is point-complete, which can leave leases
+        // nominally assigned even though their ranges are covered.
         let leftover = table.lock().expect("lease table lock").drain_incomplete();
-        if !leftover.is_empty() && !cancel.is_cancelled() {
+        if !leftover.is_empty() && !cancel.is_cancelled() && !collector.is_complete() {
             let config = RunConfig {
                 workers: self.config.local_workers,
             };
@@ -300,6 +410,11 @@ impl ClusterBackend for Coordinator {
             for lease in leftover {
                 if cancel.is_cancelled() {
                     break;
+                }
+                // A split tail (or a replayed lease) may already be
+                // fully covered by what other workers delivered.
+                if collector.missing_in(lease.start, lease.end) == 0 {
+                    continue;
                 }
                 ClusterMetrics::get().leases_local_fallback.inc();
                 // Materialize only this lease's slice — finishing one

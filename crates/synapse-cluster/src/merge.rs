@@ -10,6 +10,7 @@
 //! in grid order, which is what makes the assembled report
 //! byte-identical to a single-process sweep.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::sync::Mutex;
 
@@ -25,6 +26,10 @@ struct Inner {
 /// Replay-tolerant, order-restoring point collector.
 pub struct Collector {
     inner: Mutex<Inner>,
+    /// Lock-free mirror of `Inner::done`, written under the lock —
+    /// lets per-event hot paths ask "is the grid finished?" without
+    /// contending with a merge in progress.
+    done_mirror: AtomicUsize,
     total: usize,
 }
 
@@ -38,8 +43,40 @@ impl Collector {
                 cache_hits: 0,
                 simulated: 0,
             }),
+            done_mirror: AtomicUsize::new(0),
             total,
         }
+    }
+
+    fn record_locked(
+        &self,
+        inner: &mut Inner,
+        result: Arc<PointResult>,
+        cached: bool,
+        observer: &(dyn Fn(PointEvent) + Sync),
+    ) -> bool {
+        let index = result.point.index;
+        if index >= self.total || inner.slots[index].is_some() {
+            return false;
+        }
+        inner.slots[index] = Some(result.clone());
+        inner.done += 1;
+        if cached {
+            inner.cache_hits += 1;
+        } else {
+            inner.simulated += 1;
+        }
+        let done = inner.done;
+        self.done_mirror.store(done, Ordering::Release);
+        // Emit under the lock so `done` is monotone in event order —
+        // the same discipline CampaignEngine uses.
+        observer(PointEvent::PointDone {
+            result,
+            cached,
+            done,
+            total: self.total,
+        });
+        true
     }
 
     /// Record one landed point by its global grid index, emitting the
@@ -53,31 +90,50 @@ impl Collector {
         cached: bool,
         observer: &(dyn Fn(PointEvent) + Sync),
     ) -> bool {
-        let index = result.point.index;
-        if index >= self.total {
-            return false;
-        }
         let mut inner = self.inner.lock().expect("collector lock");
-        if inner.slots[index].is_some() {
-            return false;
+        self.record_locked(&mut inner, result, cached, observer)
+    }
+
+    /// Merge one batch frame of points under a single lock
+    /// acquisition, with the exact semantics of point-by-point
+    /// [`record`](Collector::record): first arrival wins, duplicates
+    /// (including a whole replayed batch) and out-of-range indices
+    /// are dropped, and each fresh point emits its merged
+    /// [`PointEvent::PointDone`] with a monotone `done`. Returns how
+    /// many points in the batch were fresh.
+    pub fn record_batch(
+        &self,
+        points: Vec<(PointResult, bool)>,
+        observer: &(dyn Fn(PointEvent) + Sync),
+    ) -> usize {
+        let mut inner = self.inner.lock().expect("collector lock");
+        let mut fresh = 0;
+        for (result, cached) in points {
+            if self.record_locked(&mut inner, Arc::new(result), cached, observer) {
+                fresh += 1;
+            }
         }
-        inner.slots[index] = Some(result.clone());
-        inner.done += 1;
-        if cached {
-            inner.cache_hits += 1;
-        } else {
-            inner.simulated += 1;
+        fresh
+    }
+
+    /// Whether every grid point has landed (lock-free read).
+    pub fn is_complete(&self) -> bool {
+        self.done_mirror.load(Ordering::Acquire) >= self.total
+    }
+
+    /// How many grid indices in `start..end` have *not* landed yet —
+    /// the coordinator's straggler probe when deciding whether a
+    /// lease's tail is worth splitting.
+    pub fn missing_in(&self, start: usize, end: usize) -> usize {
+        let inner = self.inner.lock().expect("collector lock");
+        let end = end.min(self.total);
+        if start >= end {
+            return 0;
         }
-        let done = inner.done;
-        // Emit under the lock so `done` is monotone in event order —
-        // the same discipline CampaignEngine uses.
-        observer(PointEvent::PointDone {
-            result,
-            cached,
-            done,
-            total: self.total,
-        });
-        true
+        inner.slots[start..end]
+            .iter()
+            .filter(|slot| slot.is_none())
+            .count()
     }
 
     /// Points collected so far.
@@ -172,6 +228,52 @@ mod tests {
         alien.point.index = 99;
         assert!(!collector.record(Arc::new(alien), false, &observer));
         assert_eq!(collector.done(), 1);
+    }
+
+    #[test]
+    fn batches_merge_with_single_point_semantics() {
+        let rs = results();
+        let collector = Collector::new(rs.len());
+        let events: StdMutex<Vec<usize>> = StdMutex::new(Vec::new());
+        let observer = |e: PointEvent| {
+            if let PointEvent::PointDone { done, .. } = e {
+                events.lock().unwrap().push(done);
+            }
+        };
+        assert!(!collector.is_complete());
+        assert_eq!(collector.missing_in(0, rs.len()), rs.len());
+
+        let batch: Vec<(PointResult, bool)> = vec![(rs[2].clone(), false), (rs[0].clone(), true)];
+        assert_eq!(collector.record_batch(batch.clone(), &observer), 2);
+        assert_eq!(collector.missing_in(0, rs.len()), 2);
+
+        // A whole replayed batch is dropped point by point.
+        assert_eq!(collector.record_batch(batch, &observer), 0);
+        assert_eq!(collector.counts(), (2, 1, 1), "replay not double-counted");
+
+        // A mixed batch only lands the fresh points.
+        let rest: Vec<(PointResult, bool)> = vec![
+            (rs[0].clone(), false),
+            (rs[1].clone(), false),
+            (rs[3].clone(), false),
+        ];
+        assert_eq!(collector.record_batch(rest, &observer), 2);
+        assert!(collector.is_complete());
+        assert_eq!(collector.missing_in(0, rs.len()), 0);
+        assert_eq!(*events.lock().unwrap(), vec![1, 2, 3, 4], "monotone done");
+        assert_eq!(collector.into_results().unwrap(), rs, "grid order restored");
+    }
+
+    #[test]
+    fn missing_in_clamps_and_counts_per_range() {
+        let rs = results();
+        let collector = Collector::new(rs.len());
+        collector.record(Arc::new(rs[1].clone()), false, &|_| {});
+        assert_eq!(collector.missing_in(0, 2), 1);
+        assert_eq!(collector.missing_in(2, 4), 2);
+        assert_eq!(collector.missing_in(2, 99), 2, "end clamps to total");
+        assert_eq!(collector.missing_in(3, 3), 0);
+        assert_eq!(collector.missing_in(7, 2), 0, "inverted range is empty");
     }
 
     #[test]

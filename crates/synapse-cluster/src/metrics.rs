@@ -3,7 +3,7 @@
 
 use std::sync::{Arc, OnceLock};
 
-use synapse_telemetry::{global, Counter, Gauge, Histogram, DURATION_BUCKETS};
+use synapse_telemetry::{exponential_buckets, global, Counter, Gauge, Histogram, DURATION_BUCKETS};
 
 /// Lease-lifecycle counters, worker gauges, and probe latency.
 pub(crate) struct ClusterMetrics {
@@ -18,6 +18,13 @@ pub(crate) struct ClusterMetrics {
     pub leases_reassigned: Arc<Counter>,
     /// Leases the coordinator swept itself after fan-out.
     pub leases_local_fallback: Arc<Counter>,
+    /// Straggler tails speculatively re-offered as brand-new leases
+    /// by an idle driver.
+    pub leases_split: Arc<Counter>,
+    /// Points per merged `batch` frame — the transport-efficiency
+    /// signal (a warm cluster should sit near the configured
+    /// `--batch-points`; a cold one is spread by landing jitter).
+    pub batch_points: Arc<Histogram>,
     /// Liveness-probe (`GET /healthz`) latency against workers.
     pub probe_seconds: Arc<Histogram>,
 }
@@ -48,6 +55,15 @@ impl ClusterMetrics {
                 leases_local_fallback: r.counter(
                     "synapse_cluster_leases_local_fallback_total",
                     "Leases the coordinator swept through its own engine.",
+                ),
+                leases_split: r.counter(
+                    "synapse_cluster_leases_split_total",
+                    "Straggler lease tails re-offered as new speculative leases.",
+                ),
+                batch_points: r.histogram(
+                    "synapse_cluster_batch_points",
+                    "Points per merged lease batch frame.",
+                    &exponential_buckets(1.0, 2.0, 12),
                 ),
                 probe_seconds: r.histogram(
                     "synapse_cluster_probe_seconds",

@@ -181,6 +181,11 @@ fn distributed_run_merges_streams_and_reports_byte_stably() {
     assert!(value("synapse_cluster_leases_assigned_total") >= 8.0);
     assert!(value("synapse_cluster_leases_completed_total") >= 8.0);
     assert!(value("synapse_cluster_probe_seconds_count") >= 1.0);
+    // Lease streams are batched: every point of this run arrived
+    // inside a batch frame (one per lease at the default cap).
+    assert!(value("synapse_cluster_batch_points_count") >= 8.0);
+    assert!(value("synapse_cluster_batch_points_sum") >= 16.0);
+    assert!(value("synapse_cluster_leases_split_total") >= 0.0);
     assert!(value("synapse_server_connections_accepted_total") >= 1.0);
     assert!(value("synapse_store_lock_acquisitions_total") >= 0.0);
     assert!(
@@ -480,6 +485,183 @@ fn frozen_worker_stream_fails_fast_and_reassigns() {
     join.join().unwrap();
     // The fake's accept loop ends when its listener errors (process
     // teardown) or the frozen healthz probe breaks it out.
+    drop(fake);
+}
+
+#[test]
+fn straggling_lease_tail_splits_and_fast_workers_set_the_makespan() {
+    use std::collections::HashMap;
+    use std::io::{BufReader, Write};
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+    // 64 points across 2 workers: 8 main leases of ~8 points (plus a
+    // 1-point probe per unmeasured worker) — big enough tails for the
+    // MIN_SPLIT_POINTS=4 splitting floor.
+    let spec_text = r#"
+    name = "cluster-straggler"
+    seed = 41
+    machines = ["thinkie", "comet", "stampede", "titan"]
+    kernels = ["asm", "c"]
+    modes = ["openmp", "mpi"]
+
+    [[workloads]]
+    app = "gromacs"
+    steps = [10000, 20000, 50000, 100000]
+    "#;
+
+    fn chunk(line: &str) -> Vec<u8> {
+        let payload = format!("{line}\n");
+        format!("{:x}\r\n{payload}\r\n", payload.len()).into_bytes()
+    }
+
+    // A fake worker that serves CORRECT lease results but crawls: on
+    // any multi-point lease it sleeps ~3 s before each point, so a
+    // full 8-point lease would take ~24 s on its own. Probe leases
+    // (1 point) run at full speed so this worker measures healthy and
+    // promptly claims a big main lease. Thread-per-connection keeps
+    // liveness probes answered while a lease stream crawls.
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    let cancelled = Arc::new(AtomicBool::new(false));
+    let leases: Arc<Mutex<HashMap<String, Vec<synapse_campaign::ScenarioPoint>>>> =
+        Arc::new(Mutex::new(HashMap::new()));
+    let next_id = Arc::new(AtomicUsize::new(0));
+    let fake = {
+        let (cancelled, leases, next_id) = (cancelled.clone(), leases.clone(), next_id.clone());
+        std::thread::spawn(move || {
+            for conn in listener.incoming() {
+                let Ok(stream) = conn else { break };
+                let (cancelled, leases, next_id) =
+                    (cancelled.clone(), leases.clone(), next_id.clone());
+                std::thread::spawn(move || {
+                    let mut reader = BufReader::new(stream.try_clone().unwrap());
+                    let Ok(request) = synapse_server::http::read_request(&mut reader) else {
+                        return;
+                    };
+                    let mut out = stream;
+                    let path = request.path().to_string();
+                    match (request.method.as_str(), path.as_str()) {
+                        ("POST", "/leases") => {
+                            let body = String::from_utf8(request.body.clone()).expect("utf8 body");
+                            let lease: synapse_server::LeaseRequest =
+                                serde_json::from_str(&body).expect("lease body");
+                            let slice = synapse_campaign::expand(&lease.spec)
+                                [lease.start..lease.end]
+                                .to_vec();
+                            let id = format!("s{}", next_id.fetch_add(1, Ordering::SeqCst) + 1);
+                            leases.lock().unwrap().insert(id.clone(), slice);
+                            let _ = synapse_server::http::write_json(
+                                &mut out,
+                                202,
+                                "Accepted",
+                                &serde_json::json!({"id": id, "status": "queued"}),
+                            );
+                        }
+                        ("GET", p) if p.contains("/events") => {
+                            let id = p.split('/').nth(2).unwrap_or_default().to_string();
+                            let slice =
+                                leases.lock().unwrap().get(&id).cloned().unwrap_or_default();
+                            let _ = out.write_all(
+                                b"HTTP/1.1 200 OK\r\nContent-Type: application/x-ndjson\r\n\
+                                  Transfer-Encoding: chunked\r\nConnection: close\r\n\r\n",
+                            );
+                            let _ = out.write_all(&chunk("{\"event\":\"started\"}"));
+                            let slow = slice.len() > 1;
+                            'points: for point in &slice {
+                                if slow {
+                                    for _ in 0..30 {
+                                        if cancelled.load(Ordering::SeqCst) {
+                                            break 'points;
+                                        }
+                                        std::thread::sleep(Duration::from_millis(100));
+                                    }
+                                }
+                                let result = synapse_campaign::simulate_point(point)
+                                    .expect("simulate point");
+                                let result = serde_json::to_value(&result).unwrap();
+                                let line = serde_json::to_string(&serde_json::json!({
+                                    "event": "point",
+                                    "index": result["point"]["index"],
+                                    "result": result,
+                                    "cached": false,
+                                }))
+                                .unwrap();
+                                if out.write_all(&chunk(&line)).is_err() {
+                                    break;
+                                }
+                            }
+                            let done =
+                                format!("{{\"event\":\"completed\",\"points\":{}}}", slice.len());
+                            let _ = out.write_all(&chunk(&done));
+                            let _ = out.write_all(b"0\r\n\r\n");
+                        }
+                        ("DELETE", p) if p.starts_with("/campaigns/") => {
+                            cancelled.store(true, Ordering::SeqCst);
+                            let _ = synapse_server::http::write_json(
+                                &mut out,
+                                200,
+                                "OK",
+                                &serde_json::json!({"status": "cancelled"}),
+                            );
+                        }
+                        _ => {
+                            let _ = synapse_server::http::write_json(
+                                &mut out,
+                                200,
+                                "OK",
+                                &serde_json::json!({"status": "ok"}),
+                            );
+                        }
+                    }
+                });
+            }
+        })
+    };
+
+    let (fast_addr, _fc, fh, fj) = boot_worker(ServerConfig::default());
+    let (client, handle, join) = boot_coordinator(&[&fast_addr, &addr], ServerConfig::default());
+
+    let started = Instant::now();
+    let reply = client.submit_distributed(spec_text).unwrap();
+    assert_eq!(reply["points"].as_u64(), Some(64));
+    let id = reply["id"].as_str().unwrap().to_string();
+    let status = await_terminal(&client, &id);
+    assert_eq!(status["status"].as_str(), Some("completed"), "{status:?}");
+    assert_eq!(status["done"].as_u64(), Some(64));
+
+    // The makespan is set by the fast worker, not the straggler: an
+    // idle driver re-offered the crawling lease's tail as a new
+    // (overlapping) lease, swept it, and the coordinator hung up on
+    // the straggler the moment the grid was point-complete. Unsplit,
+    // the straggler's ~8-point lease alone needs ~24 s.
+    assert!(
+        started.elapsed() < Duration::from_secs(20),
+        "straggler tail was not split: {:?}",
+        started.elapsed()
+    );
+    assert!(
+        cancelled.load(Ordering::SeqCst),
+        "the straggler's sweep was never cancelled, so its lease ran to the end"
+    );
+
+    // Speculation left no trace in the merged result.
+    let merged = serde_json::to_string(&client.report(&id).unwrap()).unwrap();
+    assert_eq!(merged, single_process_report(spec_text));
+
+    // The split shows up on the coordinator's own scrape.
+    let metrics = client.metrics().unwrap();
+    let split: f64 = metrics
+        .lines()
+        .filter_map(|l| l.split_once(' '))
+        .find(|(n, _)| *n == "synapse_cluster_leases_split_total")
+        .and_then(|(_, v)| v.parse().ok())
+        .expect("split counter missing from scrape");
+    assert!(split >= 1.0, "no lease was ever split: {metrics}");
+
+    handle.shutdown();
+    join.join().unwrap();
+    fh.shutdown();
+    fj.join().unwrap();
     drop(fake);
 }
 

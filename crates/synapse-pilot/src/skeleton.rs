@@ -1,6 +1,6 @@
 //! Application Skeletons integration: DAGs of proxy tasks.
 //!
-//! The paper's related work (§7, ref. [24] Katz et al.) discusses how
+//! The paper's related work (§7, ref. \[24\] Katz et al.) discusses how
 //! "Synapse can be used to complement Application Skeletons, in that
 //! it provides configuration parameters at the level of individual DAG
 //! components": Skeletons describe the logical and data dependencies

@@ -76,8 +76,9 @@ pub mod server;
 pub use client::{Client, Response, STREAM_SILENCE_TIMEOUT};
 pub use job::{Job, JobKind, JobState, LeaseRequest};
 pub use server::{
-    Server, ServerConfig, ServerHandle, DEFAULT_EVENT_BUFFER, DEFAULT_HANDLER_THREADS,
-    DEFAULT_MAX_CONNECTIONS, DEFAULT_STREAM_HIGH_WATER, HEARTBEAT_EVERY, SNAPSHOT_EVERY,
+    lease_batch_line, Server, ServerConfig, ServerHandle, BATCH_FRAME_VERSION,
+    DEFAULT_BATCH_POINTS, DEFAULT_EVENT_BUFFER, DEFAULT_HANDLER_THREADS, DEFAULT_MAX_CONNECTIONS,
+    DEFAULT_STREAM_HIGH_WATER, HEARTBEAT_EVERY, SNAPSHOT_EVERY,
 };
 
 use synapse_campaign::{

@@ -427,22 +427,38 @@ fn lease_endpoint_sweeps_a_slice_with_full_results() {
     assert_eq!(summary["event"].as_str(), Some("completed"));
     assert_eq!(summary["points"].as_u64(), Some(4));
     let lines = lines.into_inner().unwrap();
-    let points: Vec<&Value> = lines
+    // Lease streams batch their point results: with the default
+    // `batch_points` (64) this 4-point lease lands as batch frames,
+    // not per-point events (docs/PROTOCOL.md §4).
+    assert!(
+        !lines.iter().any(|l| l["event"].as_str() == Some("point")),
+        "batched lease streams carry no per-point events"
+    );
+    let batches: Vec<&Value> = lines
         .iter()
-        .filter(|l| l["event"].as_str() == Some("point"))
+        .filter(|l| l["event"].as_str() == Some("batch"))
         .collect();
-    assert_eq!(points.len(), 4);
-    // Point events carry GLOBAL grid indices and the full result
+    assert!(!batches.is_empty());
+    let mut entries = Vec::<Value>::new();
+    for b in &batches {
+        assert_eq!(b["v"].as_u64(), Some(synapse_server::BATCH_FRAME_VERSION));
+        let pts = b["points"].as_array().unwrap();
+        assert_eq!(b["n"].as_u64(), Some(pts.len() as u64));
+        assert!(b["len"].as_u64().is_some());
+        entries.extend(pts.iter().cloned());
+    }
+    assert_eq!(entries.len(), 4);
+    // Batched results carry GLOBAL grid indices and the full result
     // payload the coordinator merges from.
-    let mut indices: Vec<u64> = points
+    let mut indices: Vec<u64> = entries
         .iter()
-        .map(|p| p["index"].as_u64().unwrap())
+        .map(|p| p["result"]["point"]["index"].as_u64().unwrap())
         .collect();
     indices.sort_unstable();
     assert_eq!(indices, vec![2, 3, 4, 5]);
-    for p in &points {
+    for p in &entries {
         let result = &p["result"];
-        assert_eq!(result["point"]["index"], p["index"]);
+        assert!(p["cached"].as_bool().is_some());
         assert!(result["tx"].as_f64().unwrap() > 0.0);
         assert!(result["consumed_cycles"].as_u64().is_some());
     }
@@ -462,6 +478,49 @@ fn lease_endpoint_sweeps_a_slice_with_full_results() {
             .unwrap_err();
         assert!(err.to_string().contains("400"), "{start}..{end}: {err}");
     }
+    handle.shutdown();
+    join.join().unwrap();
+}
+
+#[test]
+fn batch_points_one_keeps_the_legacy_per_point_stream() {
+    let (client, handle, join) = boot(ServerConfig {
+        batch_points: 1,
+        ..Default::default()
+    });
+    let spec = synapse_campaign::CampaignSpec::from_toml(small_spec()).unwrap();
+    let lease = synapse_server::LeaseRequest {
+        spec,
+        start: 0,
+        end: 3,
+    };
+    let reply = client
+        .submit_lease(&serde_json::to_string(&lease).unwrap())
+        .unwrap();
+    let id = reply["id"].as_str().unwrap().to_string();
+    let lines = Mutex::new(Vec::<Value>::new());
+    let summary = client
+        .watch(&id, |line| {
+            lines
+                .lock()
+                .unwrap()
+                .push(serde_json::from_str(line).unwrap());
+            true
+        })
+        .unwrap();
+    assert_eq!(summary["event"].as_str(), Some("completed"));
+    let lines = lines.into_inner().unwrap();
+    assert!(
+        !lines.iter().any(|l| l["event"].as_str() == Some("batch")),
+        "batch-points 1 disables frame batching"
+    );
+    let mut indices: Vec<u64> = lines
+        .iter()
+        .filter(|l| l["event"].as_str() == Some("point"))
+        .map(|p| p["index"].as_u64().unwrap())
+        .collect();
+    indices.sort_unstable();
+    assert_eq!(indices, vec![0, 1, 2]);
     handle.shutdown();
     join.join().unwrap();
 }

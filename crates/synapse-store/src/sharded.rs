@@ -28,6 +28,7 @@ use std::fs;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::SystemTime;
 
 use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
@@ -197,6 +198,31 @@ struct State {
     manifest_synced: bool,
 }
 
+/// Cross-process reload-on-miss bookkeeping (see [`ShardedDb::get`]).
+///
+/// A *generation* is one observed change of the on-disk manifest
+/// (another process saved). Misses cost one `stat` while the
+/// generation is unchanged; when it moves, the first miss per shard
+/// folds that shard's data file in and re-arms the cheap path.
+struct ReloadProbe {
+    /// Last observed manifest stamp (mtime + length).
+    stamp: Option<(SystemTime, u64)>,
+    /// Bumped every time the stamp changes.
+    generation: u64,
+    /// Generation each shard was last folded at (0 = never).
+    shard_synced: Vec<u64>,
+}
+
+impl ReloadProbe {
+    fn new() -> ReloadProbe {
+        ReloadProbe {
+            stamp: None,
+            generation: 0,
+            shard_synced: vec![0; SHARD_COUNT],
+        }
+    }
+}
+
 impl State {
     fn empty() -> State {
         State {
@@ -234,8 +260,13 @@ pub struct ShardedDb {
     lock_acquisitions: Arc<Counter>,
     /// Of those, ones that had to wait on another process.
     lock_contention: Arc<Counter>,
-    /// Foreign documents merged in from disk during lock-aware saves.
+    /// Foreign documents merged in from disk — during lock-aware saves
+    /// and reload-on-miss reads alike.
     reconciled_docs: Arc<Counter>,
+    /// Reload-on-miss state for on-disk stores (cross-process cache
+    /// *reads*: a miss learns peers' saved results without waiting for
+    /// this handle's next save).
+    reload: Mutex<ReloadProbe>,
 }
 
 /// Clones of a [`ShardedDb`]'s live stat counters, for exposing in a
@@ -254,6 +285,14 @@ pub struct StoreCounters {
 /// Parsed on-disk manifest: the layout groups plus each data file's
 /// recorded document count.
 type DiskManifest = (Vec<Group>, BTreeMap<String, u64>);
+
+/// The manifest's change stamp (mtime + length): saves rewrite the
+/// manifest atomically, so a changed stamp means another process
+/// saved. `None` when no manifest exists (nothing saved yet).
+fn manifest_stamp(dir: &Path) -> Option<(SystemTime, u64)> {
+    let meta = fs::metadata(dir.join(MANIFEST_FILE)).ok()?;
+    Some((meta.modified().ok()?, meta.len()))
+}
 
 /// Read and validate the on-disk manifest, if one exists: the groups
 /// plus each data file's recorded document count (kept so a save that
@@ -320,6 +359,7 @@ impl ShardedDb {
             lock_acquisitions: Arc::new(Counter::new()),
             lock_contention: Arc::new(Counter::new()),
             reconciled_docs: Arc::new(Counter::new()),
+            reload: Mutex::new(ReloadProbe::new()),
         }
     }
 
@@ -376,6 +416,7 @@ impl ShardedDb {
             lock_acquisitions: Arc::new(Counter::new()),
             lock_contention: Arc::new(Counter::new()),
             reconciled_docs: Arc::new(Counter::new()),
+            reload: Mutex::new(ReloadProbe::new()),
         };
         if !dir.join(MANIFEST_FILE).exists() {
             // Nothing on disk yet: an empty store needs no lock (the
@@ -404,6 +445,15 @@ impl ShardedDb {
         }
         state.groups = groups;
         state.manifest_synced = true;
+        // The in-memory image now matches this manifest: stamp it so
+        // reload-on-miss stays on its cheap (stat-only) path until
+        // another process actually saves.
+        if let Some(stamp) = manifest_stamp(&dir) {
+            let mut probe = db.reload.lock().expect("reload probe lock");
+            probe.stamp = Some(stamp);
+            probe.generation = 1;
+            probe.shard_synced = vec![1; SHARD_COUNT];
+        }
         drop(lock);
         *db.state.write() = state;
         Ok(db)
@@ -476,10 +526,93 @@ impl ShardedDb {
     }
 
     /// Fetch a document by key (cloned out of the lock).
+    ///
+    /// On-disk stores are cross-process readable: when the in-memory
+    /// image misses, the store checks (one `stat`) whether another
+    /// process has saved since it last looked, and if so folds the
+    /// missed shard's data file back in before answering — a worker
+    /// sharing a cache directory learns its peers' results at *read*
+    /// time, not only when its own next save reconciles. The fold is
+    /// insert-only (local mutations and tombstones win) and per
+    /// manifest generation, so a miss storm on an unchanged directory
+    /// costs one `stat` per miss and no reads.
     pub fn get(&self, key: &str) -> Option<Document> {
-        self.state.read().shards[shard_of(key) as usize]
-            .get(key)
-            .cloned()
+        let shard = shard_of(key);
+        if let Some(doc) = self.state.read().shards[shard as usize].get(key) {
+            return Some(doc.clone());
+        }
+        self.reload_on_miss(key, shard)
+    }
+
+    /// The miss path of [`get`](ShardedDb::get): fold the missed
+    /// shard's on-disk data file into memory if another process saved
+    /// since this handle last looked. Opportunistic by design — reads
+    /// race saves without the directory lock (data files are replaced
+    /// by atomic rename, so a read sees a complete old or new file,
+    /// never a torn one), and any read failure just stays a miss.
+    fn reload_on_miss(&self, key: &str, shard: u8) -> Option<Document> {
+        let dir = self.dir.as_deref()?;
+        let stamp = manifest_stamp(dir)?;
+        let generation = {
+            let mut probe = self.reload.lock().expect("reload probe lock");
+            if probe.stamp != Some(stamp) {
+                probe.stamp = Some(stamp);
+                probe.generation += 1;
+            }
+            if probe.shard_synced[shard as usize] >= probe.generation {
+                return None; // this shard already reflects the disk
+            }
+            probe.generation
+        };
+        // Read manifest + the one group file covering the shard,
+        // outside both locks.
+        let folded = read_disk_manifest(dir)
+            .ok()
+            .flatten()
+            .and_then(|(groups, _)| {
+                let group = groups.into_iter().find(|g| g.shards.contains(&shard))?;
+                let json = fs::read_to_string(dir.join(SHARD_DIR).join(&group.file)).ok()?;
+                let docs = serde_json::from_str::<Vec<Document>>(&json).ok()?;
+                Some((group, docs))
+            });
+        let mut probe = self.reload.lock().expect("reload probe lock");
+        let hit = match folded {
+            Some((group, docs)) => {
+                let mut state = self.state.write();
+                let mut merged = 0u64;
+                for doc in docs {
+                    let s = shard_of(&doc.id);
+                    // Skip documents that don't belong (corrupt file),
+                    // were locally removed (tombstones win), or that we
+                    // already hold (local mutations win).
+                    if !group.shards.contains(&s)
+                        || state.removed.contains(&doc.id)
+                        || state.shards[s as usize].contains_key(&doc.id)
+                    {
+                        continue;
+                    }
+                    // Folded docs are already on disk: not dirty.
+                    state.shards[s as usize].insert(doc.id.clone(), doc);
+                    merged += 1;
+                }
+                self.reconciled_docs.add(merged);
+                // The whole file was folded: every shard it covers is
+                // now synced to this generation.
+                for s in &group.shards {
+                    let synced = &mut probe.shard_synced[*s as usize];
+                    *synced = (*synced).max(generation);
+                }
+                state.shards[shard as usize].get(key).cloned()
+            }
+            // No group covers the shard, or the racing save replaced
+            // the file under us: stay a miss, but don't retry until
+            // the manifest moves again (a hot-loop of disk reads on a
+            // permanent miss would be worse than staleness).
+            None => None,
+        };
+        let synced = &mut probe.shard_synced[shard as usize];
+        *synced = (*synced).max(generation);
+        hit
     }
 
     /// Insert or replace a document under its id.
@@ -1262,5 +1395,69 @@ mod tests {
         assert!(s.bytes_on_disk > 0);
         assert_eq!(s.engine, "engine-tag");
         fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn reads_fold_in_peer_saves_without_a_local_save() {
+        let dir = tmpdir("reload");
+        let a = ShardedDb::open(&dir, DEFAULT_DOC_LIMIT, "e").unwrap();
+        let b = ShardedDb::open(&dir, DEFAULT_DOC_LIMIT, "e").unwrap();
+
+        // a saves; b sees the document at *read* time, no reopen.
+        a.upsert(doc(&hexkey(0x42, 1), 1)).unwrap();
+        a.save().unwrap();
+        let found = b.get(&hexkey(0x42, 1)).expect("miss folds in peer save");
+        assert_eq!(found.body["n"], 1);
+        assert_eq!(b.len(), 1);
+        assert_eq!(b.stats().reconciled_docs, 1);
+
+        // The fold is not a local mutation: b has nothing to save.
+        assert_eq!(b.stats().dirty_shards, 0);
+
+        // Misses on untouched shards stay misses and don't refold.
+        assert!(b.get(&hexkey(0x42, 99)).is_none());
+        assert!(b.get(&hexkey(0x07, 1)).is_none());
+        assert_eq!(
+            b.stats().reconciled_docs,
+            1,
+            "no rereads while the manifest is unchanged"
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn reload_respects_local_tombstones_and_mutations() {
+        let dir = tmpdir("reload-tombstone");
+        let k1 = hexkey(0x11, 1);
+        let k2 = hexkey(0x11, 2);
+        let k3 = hexkey(0x11, 3);
+        let a = ShardedDb::open(&dir, DEFAULT_DOC_LIMIT, "e").unwrap();
+        a.upsert(doc(&k1, 1)).unwrap();
+        a.upsert(doc(&k2, 1)).unwrap();
+        a.save().unwrap();
+
+        let b = ShardedDb::open(&dir, DEFAULT_DOC_LIMIT, "e").unwrap();
+        b.remove(&k1).unwrap();
+        b.upsert(doc(&k2, 7)).unwrap();
+
+        // a rewrites the shard file (still carrying k1 and its stale
+        // k2); a k3 miss on b folds that file back in.
+        a.upsert(doc(&k3, 1)).unwrap();
+        a.save().unwrap();
+        assert_eq!(b.get(&k3).expect("fresh peer doc folds in").body["n"], 1);
+        assert!(b.get(&k1).is_none(), "local tombstone wins over the fold");
+        assert_eq!(
+            b.get(&k2).unwrap().body["n"],
+            7,
+            "local mutation wins over the fold"
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn in_memory_stores_skip_the_reload_path() {
+        let db = ShardedDb::in_memory();
+        assert!(db.get(&hexkey(0x01, 1)).is_none());
+        assert_eq!(db.stats().reconciled_docs, 0);
     }
 }

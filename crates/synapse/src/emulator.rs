@@ -200,7 +200,7 @@ pub struct EmulationReport {
     pub samples: usize,
     /// Resource consumption totals.
     pub consumed: ConsumedTotals,
-    /// Backend tag ("real" or "sim:<machine>").
+    /// Backend tag (`"real"` or `"sim:<machine>"`).
     pub backend: String,
 }
 

@@ -1,6 +1,6 @@
 //! The profiling engine: spawn, watch, combine.
 //!
-//! Synapse "spawns the application process [and] communicates the
+//! Synapse "spawns the application process \[and\] communicates the
 //! application process' PID to the watcher threads, which monitor the
 //! application process" (§4.1). The process is wrapped in a `time -v`
 //! analogue so the measured `Tx` starts at spawn, correcting the small
