@@ -24,7 +24,11 @@
 //!   hundreds of idle watchers on one thread;
 //! * **connection_churn** — complete request round trips (connect,
 //!   parse, handle, respond, close) per second under that same
-//!   watcher load.
+//!   watcher load;
+//! * **trace_replay** — strict-mode validation of a recorded flight
+//!   trace (parse + causal verify), the operation the CI determinism
+//!   gate runs instead of re-simulating: its rate floor is a large
+//!   multiple of `simulation`.
 //!
 //! Each stage repeats until a minimum wall-clock budget is consumed,
 //! so a single fast iteration cannot produce a garbage rate. `run()`
@@ -162,6 +166,7 @@ pub fn stage_rates() -> Vec<StageRate> {
     let serve_throughput = measure_serve(&sim_spec);
     let cluster_throughput = measure_cluster(&sim_spec);
     let concurrency = measure_serve_concurrency(&sim_spec);
+    let trace_replay = measure_trace_replay(&sim_spec);
 
     let mut stages = vec![
         expansion,
@@ -172,7 +177,35 @@ pub fn stage_rates() -> Vec<StageRate> {
         cluster_throughput,
     ];
     stages.extend(concurrency);
+    stages.push(trace_replay);
     stages
+}
+
+/// Strict replay validation of a recorded trace: the sweep is recorded
+/// once (untimed), then each iteration parses the document and runs
+/// the strict causal verify — exactly what the CI determinism gate
+/// does instead of re-simulating the campaign.
+fn measure_trace_replay(spec: &CampaignSpec) -> StageRate {
+    let recorder = synapse_trace::TraceRecorder::new(spec);
+    let cache = ResultCache::in_memory();
+    let outcome = synapse_campaign::run_campaign_on(
+        spec,
+        &RunConfig::default(),
+        &cache,
+        &|event| recorder.observe(&event),
+        &synapse_campaign::CancelToken::new(),
+    )
+    .expect("bench recording sweep");
+    recorder.record_stats(&outcome.stats);
+    let text = recorder.render();
+    measure("trace_replay", || {
+        let trace = synapse_trace::Trace::parse(&text).expect("bench trace parses");
+        let summary = trace
+            .verify(synapse_trace::ReplayMode::Strict)
+            .expect("bench trace replays strictly");
+        assert!(summary.is_clean());
+        summary.points
+    })
 }
 
 /// One warm submission drained through its event stream (single
@@ -414,7 +447,7 @@ mod tests {
     }
 
     #[test]
-    fn bench_document_has_all_eight_nonzero_stages() {
+    fn bench_document_has_all_nine_nonzero_stages() {
         let doc: serde_json::Value = serde_json::from_str(&run()).unwrap();
         let stages = doc["stages"].as_array().unwrap();
         let names: Vec<&str> = stages
@@ -432,6 +465,7 @@ mod tests {
                 "cluster_throughput",
                 "serve_concurrency",
                 "connection_churn",
+                "trace_replay",
             ]
         );
         for s in stages {
@@ -440,5 +474,20 @@ mod tests {
                 "stage {s:?} must report a nonzero rate"
             );
         }
+        let rate = |name: &str| {
+            stages
+                .iter()
+                .find(|s| s["stage"].as_str() == Some(name))
+                .and_then(|s| s["points_per_sec"].as_f64())
+                .unwrap()
+        };
+        // The CI floor: replaying a recorded trace must beat
+        // re-simulating by a wide margin, or recording is pointless.
+        assert!(
+            rate("trace_replay") >= 50.0 * rate("simulation"),
+            "trace_replay {} vs simulation {}",
+            rate("trace_replay"),
+            rate("simulation"),
+        );
     }
 }

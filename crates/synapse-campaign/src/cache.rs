@@ -63,6 +63,24 @@ pub fn fingerprint(point: &ScenarioPoint) -> String {
     format!("{:016x}", fnv1a(&bytes, ENGINE_VERSION as u64))
 }
 
+/// Deterministic causality id for a campaign: the same spec (seed
+/// included) under the same engine version always yields the same id.
+///
+/// Determinism is load-bearing: the id is minted independently by the
+/// CLI, the server and the cluster coordinator, stamped on lease
+/// requests (`X-Synapse-Trace`) and echoed in worker events, and it
+/// must also never make two recordings of the same sweep differ by a
+/// byte (see `synapse-trace`) — so it is content-derived, not random.
+pub fn campaign_trace_id(spec: &crate::spec::CampaignSpec) -> String {
+    let json = serde_json::to_string(spec).expect("spec serializes");
+    let mut bytes = json.into_bytes();
+    bytes.extend_from_slice(b"|trace-engine=");
+    bytes.extend_from_slice(ENGINE_VERSION.to_string().as_bytes());
+    // Seeded differently from point fingerprints so a trace id can
+    // never collide into the result-cache keyspace.
+    format!("t{:016x}", fnv1a(&bytes, 0x7472616365)) // b"trace"
+}
+
 /// A fingerprint-keyed result store.
 pub struct ResultCache {
     db: ShardedDb,

@@ -60,7 +60,7 @@ pub mod toml;
 use std::path::Path;
 
 pub use aggregate::{AxisSlice, Percentiles, ReferenceError};
-pub use cache::{fingerprint, ResultCache, ENGINE_VERSION};
+pub use cache::{campaign_trace_id, fingerprint, ResultCache, ENGINE_VERSION};
 pub use engine::{CampaignEngine, CancelToken, PointEvent};
 pub use error::CampaignError;
 pub use grid::{

@@ -14,7 +14,10 @@
 //! synapse inspect  "<command>" [--tags k=v,...] [--store DIR]
 //! synapse campaign run  <spec.toml|json> [--cache DIR] [--workers N]
 //!                  [--json PATH] [--csv PATH] [--summary-json PATH] [--timings]
+//!                  [--record PATH]
 //! synapse campaign plan <spec.toml|json>
+//! synapse campaign replay <trace.jsonl> [--strict|--lenient] [--report PATH]
+//! synapse campaign trace-summary <trace.jsonl>
 //! synapse campaign cache stats|compact [--cache DIR]
 //! synapse serve    [--addr HOST:PORT] [--cache DIR] [--queue-workers N] [--workers N]
 //!                  [--max-connections N] [--reactor-threads N]
@@ -22,6 +25,7 @@
 //! synapse cluster add-worker <ADDR> [--server HOST:PORT]
 //! synapse cluster status [--server HOST:PORT]
 //! synapse campaign submit <spec.toml|json> [--server HOST:PORT] [--watch] [--cluster]
+//!                  [--record]
 //! synapse campaign watch  <job-id> [--server HOST:PORT]
 //! synapse campaign status [job-id] [--server HOST:PORT]
 //! synapse campaign cancel <job-id> [--server HOST:PORT]
@@ -118,11 +122,32 @@ pub enum Invocation {
         /// Print a per-stage wall-time and per-point latency
         /// breakdown after the run summary.
         timings: bool,
+        /// Optional flight-recorder trace output path (versioned
+        /// `.jsonl` causal event stream; see `docs/TRACE.md`).
+        record: Option<PathBuf>,
     },
     /// Show what a campaign spec expands into without running it.
     CampaignPlan {
         /// Path to the TOML/JSON campaign spec.
         spec: PathBuf,
+    },
+    /// Replay a recorded trace through the observer seam without
+    /// simulating, validating the causal stream.
+    CampaignReplay {
+        /// Path to a recorded `.jsonl` trace.
+        trace: PathBuf,
+        /// Collect divergences into an audit summary instead of
+        /// failing on the first one (`--lenient`).
+        lenient: bool,
+        /// Optional reconstructed-report output path (`.csv` writes
+        /// CSV, anything else the pretty JSON report).
+        report: Option<PathBuf>,
+    },
+    /// Print a recorded trace's provenance, per-stage walls, and
+    /// per-worker lease timelines.
+    CampaignTraceSummary {
+        /// Path to a recorded `.jsonl` trace.
+        trace: PathBuf,
     },
     /// Run the long-lived campaign server (`synapse serve`).
     Serve {
@@ -183,6 +208,9 @@ pub enum Invocation {
         watch: bool,
         /// Fan out across the coordinator's registered workers.
         cluster: bool,
+        /// Ask the server to flight-record the job (`?record=1`);
+        /// fetch the sealed trace with `GET /campaigns/<id>/trace`.
+        record: bool,
     },
     /// Stream a submitted job's NDJSON events until it ends.
     CampaignWatch {
@@ -382,6 +410,7 @@ fn parse_campaign_client_args(action: &str, args: &[String]) -> Result<Invocatio
     let mut server = DEFAULT_SERVER_ADDR.to_string();
     let mut watch = false;
     let mut cluster = false;
+    let mut record = false;
     let mut positional = None;
     let mut i = 0;
     while i < args.len() {
@@ -396,6 +425,7 @@ fn parse_campaign_client_args(action: &str, args: &[String]) -> Result<Invocatio
             }
             "--watch" if action == "submit" => watch = true,
             "--cluster" if action == "submit" => cluster = true,
+            "--record" if action == "submit" => record = true,
             other if other.starts_with("--") => {
                 return Err(format!("unknown campaign {action} flag {other}"))
             }
@@ -414,6 +444,7 @@ fn parse_campaign_client_args(action: &str, args: &[String]) -> Result<Invocatio
             server,
             watch,
             cluster,
+            record,
         }),
         "watch" => Ok(Invocation::CampaignWatch {
             id: positional.ok_or("campaign watch requires a job id")?,
@@ -434,10 +465,13 @@ fn parse_campaign_client_args(action: &str, args: &[String]) -> Result<Invocatio
 /// Parse the `campaign <action> <spec>` argument form.
 fn parse_campaign_args(args: &[String]) -> Result<Invocation, String> {
     let action = args.first().ok_or(
-        "campaign requires an action (run | plan | submit | watch | status | cancel | cache)",
+        "campaign requires an action (run | plan | replay | trace-summary | submit | watch | status | cancel | cache)",
     )?;
     if action == "cache" {
         return parse_campaign_cache_args(&args[1..]);
+    }
+    if ["replay", "trace-summary"].contains(&action.as_str()) {
+        return parse_campaign_trace_args(action, &args[1..]);
     }
     if ["submit", "watch", "status", "cancel"].contains(&action.as_str()) {
         return parse_campaign_client_args(action, &args[1..]);
@@ -449,6 +483,7 @@ fn parse_campaign_args(args: &[String]) -> Result<Invocation, String> {
     let mut csv_out = None;
     let mut summary_json = None;
     let mut timings = false;
+    let mut record = None;
     let mut i = 1;
     while i < args.len() {
         let arg = &args[i];
@@ -469,6 +504,7 @@ fn parse_campaign_args(args: &[String]) -> Result<Invocation, String> {
             "--csv" => csv_out = Some(PathBuf::from(value(&mut i)?)),
             "--summary-json" => summary_json = Some(PathBuf::from(value(&mut i)?)),
             "--timings" => timings = true,
+            "--record" => record = Some(PathBuf::from(value(&mut i)?)),
             other if other.starts_with("--") => return Err(format!("unknown flag {other}")),
             other => {
                 if spec.is_some() {
@@ -489,11 +525,54 @@ fn parse_campaign_args(args: &[String]) -> Result<Invocation, String> {
             csv_out,
             summary_json,
             timings,
+            record,
         }),
         "plan" => Ok(Invocation::CampaignPlan { spec }),
         other => Err(format!(
-            "unknown campaign action {other} (run | plan | submit | watch | status | cancel | cache)"
+            "unknown campaign action {other} (run | plan | replay | trace-summary | submit | watch | status | cancel | cache)"
         )),
+    }
+}
+
+/// Parse the `campaign replay|trace-summary <trace.jsonl>` forms.
+fn parse_campaign_trace_args(action: &str, args: &[String]) -> Result<Invocation, String> {
+    let mut trace = None;
+    let mut lenient = false;
+    let mut report = None;
+    let mut i = 0;
+    while i < args.len() {
+        let arg = &args[i];
+        match arg.as_str() {
+            "--strict" if action == "replay" => lenient = false,
+            "--lenient" if action == "replay" => lenient = true,
+            "--report" if action == "replay" => {
+                i += 1;
+                report = Some(PathBuf::from(
+                    args.get(i)
+                        .ok_or_else(|| format!("missing value after {arg}"))?,
+                ));
+            }
+            other if other.starts_with("--") => {
+                return Err(format!("unknown campaign {action} flag {other}"))
+            }
+            other => {
+                if trace.is_some() {
+                    return Err(format!("unexpected positional argument {other:?}"));
+                }
+                trace = Some(PathBuf::from(other));
+            }
+        }
+        i += 1;
+    }
+    let trace = trace.ok_or_else(|| format!("campaign {action} requires a trace file"))?;
+    match action {
+        "replay" => Ok(Invocation::CampaignReplay {
+            trace,
+            lenient,
+            report,
+        }),
+        "trace-summary" => Ok(Invocation::CampaignTraceSummary { trace }),
+        other => Err(format!("unknown campaign trace action {other}")),
     }
 }
 
@@ -656,7 +735,10 @@ USAGE:
   synapse inspect  \"<command>\" [--tags k=v,...] [--store DIR]
   synapse campaign run  <spec.toml|json> [--cache DIR] [--workers N]
                    [--json PATH] [--csv PATH] [--summary-json PATH] [--timings]
+                   [--record PATH]
   synapse campaign plan <spec.toml|json>
+  synapse campaign replay <trace.jsonl> [--strict|--lenient] [--report PATH]
+  synapse campaign trace-summary <trace.jsonl>
   synapse campaign cache stats|compact [--cache DIR]
   synapse serve    [--addr HOST:PORT] [--cache DIR] [--queue-workers N]
                    [--workers N] [--max-connections N] [--reactor-threads N]
@@ -667,7 +749,7 @@ USAGE:
   synapse cluster add-worker <ADDR> [--server HOST:PORT]
   synapse cluster status [--server HOST:PORT]
   synapse campaign submit <spec.toml|json> [--server HOST:PORT] [--watch]
-                   [--cluster]
+                   [--cluster] [--record]
   synapse campaign watch  <job-id> [--server HOST:PORT]
   synapse campaign status [job-id] [--server HOST:PORT]
   synapse campaign cancel <job-id> [--server HOST:PORT]
@@ -681,6 +763,14 @@ mode: `serve` keeps one process (and one warm result cache) alive;
 workers (registered with `--worker`/`add-worker`), and
 `campaign submit --cluster` fans one campaign out across all of them,
 merging the streams into one ordered feed and one byte-stable report.
+
+`campaign run --record` flight-records the sweep's causal event
+stream as a versioned .jsonl trace (docs/TRACE.md); `campaign replay`
+re-drives it without simulating — strict mode errors on the first
+divergence (the CI gate), `--lenient` collects them as an audit
+summary — and `--report` reconstructs the byte-identical report from
+the record alone. `submit --record` asks the server to record; the
+sealed trace is served at GET /campaigns/<id>/trace.
 ";
 
 /// Stream a job's NDJSON events to `out` until it reaches a terminal
@@ -906,10 +996,32 @@ pub fn run(invocation: Invocation, out: &mut impl std::io::Write) -> Result<(), 
             server,
             watch,
             cluster,
+            record,
         } => {
             let text = std::fs::read_to_string(&spec).map_err(|e| e.to_string())?;
             let client = synapse_server::Client::new(server);
-            if watch {
+            if record {
+                // Recorded submits ack first (the ack carries the
+                // trace id); `--watch` then follows the stream on a
+                // second connection. Fetch the sealed trace afterwards
+                // with `GET /campaigns/<id>/trace`.
+                let ack = client
+                    .submit_recorded(&text, cluster)
+                    .map_err(|e| e.to_string())?;
+                writeln!(
+                    out,
+                    "{}",
+                    serde_json::to_string(&ack).map_err(|e| e.to_string())?
+                )
+                .map_err(|e| e.to_string())?;
+                if watch {
+                    let id = ack["id"]
+                        .as_str()
+                        .ok_or("submit ack carries no job id")?
+                        .to_string();
+                    stream_job_events(&client, &id, out)?;
+                }
+            } else if watch {
                 // Submit and stream on ONE connection (`?watch=1`):
                 // the ack is the stream's first line, events follow.
                 let mut write_err: Option<std::io::Error> = None;
@@ -1058,12 +1170,36 @@ pub fn run(invocation: Invocation, out: &mut impl std::io::Write) -> Result<(), 
             csv_out,
             summary_json,
             timings,
+            record,
         } => {
             let spec =
                 synapse_campaign::CampaignSpec::from_path(&spec).map_err(|e| e.to_string())?;
             let config = synapse_campaign::RunConfig { workers };
-            let outcome = synapse_campaign::run_campaign(&spec, &config, Some(&cache))
+            let mut trace_id = None;
+            let outcome = if let Some(trace_path) = &record {
+                // Flight-record the run: the recorder sits on the same
+                // observer seam the server streams from, then the
+                // post-run stage timings are stamped in before sealing.
+                let recorder = synapse_trace::TraceRecorder::new(&spec);
+                let result_cache =
+                    synapse_campaign::ResultCache::open_with_workers(&cache, config.workers)
+                        .map_err(|e| e.to_string())?;
+                let outcome = synapse_campaign::run_campaign_on(
+                    &spec,
+                    &config,
+                    &result_cache,
+                    &|event| recorder.observe(&event),
+                    &synapse_campaign::CancelToken::new(),
+                )
                 .map_err(|e| e.to_string())?;
+                recorder.record_stats(&outcome.stats);
+                recorder.write_to(trace_path).map_err(|e| e.to_string())?;
+                trace_id = Some(recorder.trace_id().to_string());
+                outcome
+            } else {
+                synapse_campaign::run_campaign(&spec, &config, Some(&cache))
+                    .map_err(|e| e.to_string())?
+            };
             write!(out, "{}", outcome.report.render_summary()).map_err(|e| e.to_string())?;
             let stats = outcome.stats;
             writeln!(
@@ -1128,9 +1264,14 @@ pub fn run(invocation: Invocation, out: &mut impl std::io::Write) -> Result<(), 
                 std::fs::write(&path, outcome.report.to_csv()).map_err(|e| e.to_string())?;
                 writeln!(out, "  csv written to {}", path.display()).map_err(|e| e.to_string())?;
             }
+            if let (Some(path), Some(id)) = (&record, &trace_id) {
+                writeln!(out, "  trace {id} recorded to {}", path.display())
+                    .map_err(|e| e.to_string())?;
+            }
             if let Some(path) = summary_json {
-                let summary = serde_json::json!({
+                let mut summary = serde_json::json!({
                     "name": outcome.report.name,
+                    "engine_version": synapse_campaign::ENGINE_VERSION,
                     "points": stats.points,
                     "simulated": stats.simulated,
                     "cache_hits": stats.cache_hits,
@@ -1139,11 +1280,70 @@ pub fn run(invocation: Invocation, out: &mut impl std::io::Write) -> Result<(), 
                     "points_per_sec": stats.points_per_sec(),
                     "timings": stats.timings_json(),
                 });
+                if let (Some(trace_path), Some(id), serde_json::Value::Object(doc)) =
+                    (&record, &trace_id, &mut summary)
+                {
+                    doc.insert(
+                        "trace".to_string(),
+                        serde_json::json!({
+                            "path": trace_path.display().to_string(),
+                            "trace_id": id,
+                        }),
+                    );
+                }
                 let json = serde_json::to_string_pretty(&summary).map_err(|e| e.to_string())?;
                 std::fs::write(&path, json).map_err(|e| e.to_string())?;
                 writeln!(out, "  summary written to {}", path.display())
                     .map_err(|e| e.to_string())?;
             }
+        }
+        Invocation::CampaignReplay {
+            trace,
+            lenient,
+            report,
+        } => {
+            let loaded = synapse_trace::Trace::load(&trace).map_err(|e| e.to_string())?;
+            let mode = if lenient {
+                synapse_trace::ReplayMode::Lenient
+            } else {
+                synapse_trace::ReplayMode::Strict
+            };
+            let summary = loaded.verify(mode).map_err(|e| e.to_string())?;
+            writeln!(
+                out,
+                "replayed trace {}: {}/{} points, {} annotations ({})",
+                loaded.header.trace_id,
+                summary.points,
+                summary.total,
+                summary.annotations,
+                if summary.is_clean() {
+                    "clean".to_string()
+                } else {
+                    format!("{} divergences", summary.divergences.len())
+                },
+            )
+            .map_err(|e| e.to_string())?;
+            for divergence in &summary.divergences {
+                writeln!(out, "  divergence: {divergence}").map_err(|e| e.to_string())?;
+            }
+            if let Some(path) = report {
+                // Reconstructed purely from the record — the simulator
+                // is never invoked, so this is byte-identical to the
+                // live run's report or an error.
+                let report = loaded.reconstruct_report().map_err(|e| e.to_string())?;
+                let rendered = if path.extension().is_some_and(|e| e == "csv") {
+                    report.to_csv()
+                } else {
+                    report.to_json_pretty().map_err(|e| e.to_string())?
+                };
+                std::fs::write(&path, rendered).map_err(|e| e.to_string())?;
+                writeln!(out, "  report reconstructed to {}", path.display())
+                    .map_err(|e| e.to_string())?;
+            }
+        }
+        Invocation::CampaignTraceSummary { trace } => {
+            let loaded = synapse_trace::Trace::load(&trace).map_err(|e| e.to_string())?;
+            write!(out, "{}", loaded.summary()).map_err(|e| e.to_string())?;
         }
         Invocation::Stats {
             command,
@@ -1309,6 +1509,7 @@ mod tests {
                 csv_out,
                 summary_json,
                 timings,
+                record,
             } => {
                 assert_eq!(spec, PathBuf::from("sweep.toml"));
                 assert_eq!(cache, PathBuf::from("/tmp/cc"));
@@ -1317,6 +1518,7 @@ mod tests {
                 assert_eq!(csv_out, Some(PathBuf::from("out.csv")));
                 assert_eq!(summary_json, None);
                 assert!(!timings);
+                assert_eq!(record, None);
             }
             other => panic!("wrong invocation: {other:?}"),
         }
@@ -1358,6 +1560,59 @@ mod tests {
             }
             other => panic!("wrong invocation: {other:?}"),
         }
+    }
+
+    #[test]
+    fn parses_campaign_record_and_replay_forms() {
+        let inv = parse_args(&argv(&[
+            "campaign",
+            "run",
+            "sweep.toml",
+            "--record",
+            "run.trace.jsonl",
+        ]))
+        .unwrap();
+        match inv {
+            Invocation::CampaignRun { record, .. } => {
+                assert_eq!(record, Some(PathBuf::from("run.trace.jsonl")));
+            }
+            other => panic!("wrong invocation: {other:?}"),
+        }
+        assert!(parse_args(&argv(&["campaign", "run", "s.toml", "--record"])).is_err());
+
+        assert_eq!(
+            parse_args(&argv(&["campaign", "replay", "run.trace.jsonl"])).unwrap(),
+            Invocation::CampaignReplay {
+                trace: PathBuf::from("run.trace.jsonl"),
+                lenient: false,
+                report: None,
+            }
+        );
+        assert_eq!(
+            parse_args(&argv(&[
+                "campaign",
+                "replay",
+                "run.trace.jsonl",
+                "--lenient",
+                "--report",
+                "out.csv",
+            ]))
+            .unwrap(),
+            Invocation::CampaignReplay {
+                trace: PathBuf::from("run.trace.jsonl"),
+                lenient: true,
+                report: Some(PathBuf::from("out.csv")),
+            }
+        );
+        assert_eq!(
+            parse_args(&argv(&["campaign", "trace-summary", "t.jsonl"])).unwrap(),
+            Invocation::CampaignTraceSummary {
+                trace: PathBuf::from("t.jsonl"),
+            }
+        );
+        assert!(parse_args(&argv(&["campaign", "replay"])).is_err());
+        assert!(parse_args(&argv(&["campaign", "replay", "a", "b"])).is_err());
+        assert!(parse_args(&argv(&["campaign", "trace-summary", "t", "--lenient"])).is_err());
     }
 
     #[test]
@@ -1418,6 +1673,7 @@ mod tests {
         let cache = dir.join("cache");
         let json_path = dir.join("report.json");
         let summary_path = dir.join("summary.json");
+        let trace_path = dir.join("run.trace.jsonl");
         let invocation = || Invocation::CampaignRun {
             spec: spec_path.clone(),
             cache: cache.clone(),
@@ -1426,6 +1682,7 @@ mod tests {
             csv_out: Some(dir.join("report.csv")),
             summary_json: Some(summary_path.clone()),
             timings: true,
+            record: Some(trace_path.clone()),
         };
         let mut buf1 = Vec::new();
         run(invocation(), &mut buf1).unwrap();
@@ -1455,6 +1712,49 @@ mod tests {
         assert!(text2.contains("cache lookup: p50"), "{text2}");
         assert!(summary["timings"]["wall_secs"].as_f64().unwrap() > 0.0);
         assert!(summary["timings"]["sweep_secs"].as_f64().unwrap() > 0.0);
+        // The summary names the engine version and the recorded trace
+        // so downstream tooling can gate on compatibility directly.
+        assert_eq!(
+            summary["engine_version"].as_u64(),
+            Some(synapse_campaign::ENGINE_VERSION as u64)
+        );
+        assert_eq!(
+            summary["trace"]["path"].as_str(),
+            Some(trace_path.display().to_string().as_str())
+        );
+        assert!(summary["trace"]["trace_id"].as_str().is_some());
+
+        // Strict replay of the recorded trace reconstructs the report
+        // byte-identically without invoking the simulator.
+        let reconstructed = dir.join("replayed.json");
+        let mut buf_replay = Vec::new();
+        run(
+            Invocation::CampaignReplay {
+                trace: trace_path.clone(),
+                lenient: false,
+                report: Some(reconstructed.clone()),
+            },
+            &mut buf_replay,
+        )
+        .unwrap();
+        let replay_text = String::from_utf8(buf_replay).unwrap();
+        assert!(replay_text.contains("clean"), "{replay_text}");
+        assert_eq!(
+            std::fs::read(&json_path).unwrap(),
+            std::fs::read(&reconstructed).unwrap(),
+            "replayed report must be byte-identical to the live run's"
+        );
+        let mut buf_ts = Vec::new();
+        run(
+            Invocation::CampaignTraceSummary {
+                trace: trace_path.clone(),
+            },
+            &mut buf_ts,
+        )
+        .unwrap();
+        let ts_text = String::from_utf8(buf_ts).unwrap();
+        assert!(ts_text.contains("campaign \"cli-sweep\""), "{ts_text}");
+        assert!(ts_text.contains("stages:"), "{ts_text}");
 
         // The cache subcommands see the sharded store the runs built.
         let mut buf3 = Vec::new();
@@ -1532,6 +1832,24 @@ mod tests {
                 server: DEFAULT_SERVER_ADDR.into(),
                 watch: true,
                 cluster: false,
+                record: false,
+            }
+        );
+        assert_eq!(
+            parse_args(&argv(&[
+                "campaign",
+                "submit",
+                "s.toml",
+                "--cluster",
+                "--record"
+            ]))
+            .unwrap(),
+            Invocation::CampaignSubmit {
+                spec: PathBuf::from("s.toml"),
+                server: DEFAULT_SERVER_ADDR.into(),
+                watch: false,
+                cluster: true,
+                record: true,
             }
         );
         assert_eq!(
@@ -1627,6 +1945,7 @@ mod tests {
                 server: DEFAULT_SERVER_ADDR.into(),
                 watch: true,
                 cluster: true,
+                record: false,
             }
         );
         assert!(parse_args(&argv(&["cluster"])).is_err());
@@ -1720,6 +2039,7 @@ mod tests {
                 server: coord_addr,
                 watch: true,
                 cluster: true,
+                record: false,
             },
             &mut buf,
         )
@@ -1781,6 +2101,7 @@ mod tests {
                 server: addr.clone(),
                 watch: true,
                 cluster: false,
+                record: false,
             },
             &mut buf,
         )

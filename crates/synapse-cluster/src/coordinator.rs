@@ -29,6 +29,7 @@ use synapse_campaign::{
     CampaignSpec, CancelToken, Lease, LeaseTable, PointEvent, ResultCache, RunConfig, RunStats,
 };
 use synapse_server::{Client, ClusterBackend};
+use synapse_trace::TraceRecorder;
 
 use crate::merge::Collector;
 use crate::metrics::ClusterMetrics;
@@ -203,7 +204,13 @@ impl Coordinator {
     /// first-arrival-wins merge resolves the race; each lease splits
     /// at most once, and tails below [`MIN_SPLIT_POINTS`] are left
     /// alone, so speculation is bounded.
-    fn split_straggler_tail(&self, table: &Mutex<LeaseTable>, collector: &Collector) -> bool {
+    fn split_straggler_tail(
+        &self,
+        table: &Mutex<LeaseTable>,
+        collector: &Collector,
+        worker_id: &str,
+        recorder: Option<&TraceRecorder>,
+    ) -> bool {
         let candidates = table.lock().expect("lease table lock").split_candidates();
         let mut best: Option<(Lease, usize)> = None;
         for lease in candidates {
@@ -224,6 +231,9 @@ impl Coordinator {
         match table.split_tail(lease.id, mid) {
             Some(_) => {
                 ClusterMetrics::get().leases_split.inc();
+                if let Some(recorder) = recorder {
+                    recorder.record_lease("split", worker_id, mid, lease.end);
+                }
                 true
             }
             // Raced: the lease completed, released, or split since the
@@ -245,15 +255,22 @@ impl Coordinator {
         collector: &Collector,
         fatal: &Mutex<Option<String>>,
         observer: &(dyn Fn(PointEvent) + Sync),
+        recorder: Option<&TraceRecorder>,
         cancel: &CancelToken,
     ) {
         // Both timeouts bounded by the silence threshold (probe cap
         // 5 s): a frozen worker whose kernel still accepts connections
         // must fail the post-disconnect liveness probe promptly, or
         // the local-fallback sweep waits a whole socket timeout.
-        let client = Client::new(addr.to_string())
+        let mut client = Client::new(addr.to_string())
             .with_stream_silence(self.config.stream_silence)
             .with_socket_timeout(self.config.stream_silence.min(Duration::from_secs(5)));
+        // Propagate the campaign's causality id on every request this
+        // driver makes (`X-Synapse-Trace`): workers echo it in lease
+        // events and batch frames, tying their streams to the trace.
+        if let Some(recorder) = recorder {
+            client = client.with_trace(recorder.trace_id());
+        }
         loop {
             if cancel.is_cancelled() || fatal.lock().expect("fatal lock").is_some() {
                 return;
@@ -281,7 +298,7 @@ impl Coordinator {
                 // unlanded tail as a fresh lease (claimed on the next
                 // iteration — by this idle driver, in practice);
                 // otherwise poll cheaply.
-                if !self.split_straggler_tail(table, collector) {
+                if !self.split_straggler_tail(table, collector, worker_id, recorder) {
                     std::thread::sleep(Duration::from_millis(25));
                 }
                 continue;
@@ -290,12 +307,23 @@ impl Coordinator {
             if attempts_now > 1 {
                 metrics.leases_reassigned.inc();
             }
+            if let Some(recorder) = recorder {
+                let phase = if attempts_now > 1 {
+                    "reassigned"
+                } else {
+                    "assigned"
+                };
+                recorder.record_lease(phase, worker_id, lease.start, lease.end);
+            }
             let lease_started = Instant::now();
             match self.run_lease(&client, spec, &lease, collector, observer, cancel) {
                 LeaseRun::Completed => {
                     table.lock().expect("lease table lock").complete(lease.id);
                     self.registry.credit_lease(worker_id);
                     metrics.leases_completed.inc();
+                    if let Some(recorder) = recorder {
+                        recorder.record_lease("completed", worker_id, lease.start, lease.end);
+                    }
                     let secs = lease_started.elapsed().as_secs_f64();
                     if secs > 0.0 {
                         ClusterMetrics::worker_throughput(worker_id)
@@ -314,6 +342,9 @@ impl Coordinator {
                     };
                     self.registry.record_failure(worker_id);
                     metrics.leases_failed.inc();
+                    if let Some(recorder) = recorder {
+                        recorder.record_lease("failed", worker_id, lease.start, lease.end);
+                    }
                     if attempts >= self.config.max_lease_attempts {
                         *fatal.lock().expect("fatal lock") = Some(format!(
                             "lease {} ({}..{}) failed {attempts} times, last: {reason}",
@@ -349,6 +380,7 @@ impl ClusterBackend for Coordinator {
         spec: &CampaignSpec,
         cache: &ResultCache,
         observer: &(dyn Fn(PointEvent) + Sync),
+        recorder: Option<&TraceRecorder>,
         cancel: &CancelToken,
     ) -> Result<CampaignOutcome, CampaignError> {
         let started = Instant::now();
@@ -381,7 +413,8 @@ impl ClusterBackend for Coordinator {
                     let (table, collector, fatal) = (&table, &collector, &fatal);
                     scope.spawn(move || {
                         self.drive_worker(
-                            worker_id, addr, spec, table, collector, fatal, observer, cancel,
+                            worker_id, addr, spec, table, collector, fatal, observer, recorder,
+                            cancel,
                         )
                     });
                 }
@@ -417,6 +450,9 @@ impl ClusterBackend for Coordinator {
                     continue;
                 }
                 ClusterMetrics::get().leases_local_fallback.inc();
+                if let Some(recorder) = recorder {
+                    recorder.record_lease("local", "coordinator", lease.start, lease.end);
+                }
                 // Materialize only this lease's slice — finishing one
                 // straggler lease of a huge grid must cost the lease,
                 // not the grid.

@@ -249,7 +249,9 @@ mod tests {
             .enumerate()
             .map(|(i, r)| (Arc::new(r.clone()), i % 2 == 0))
             .collect();
-        let line = synapse_server::lease_batch_line(&packed);
+        // A coordinator causality id travels as an extra `trace` key —
+        // the parser must tolerate (and ignore) it.
+        let line = synapse_server::lease_batch_line(&packed, Some("t0123456789abcdef"));
         match parse_event(&line) {
             Some(WorkerEvent::Batch(points)) => {
                 assert_eq!(points.len(), results.len());
@@ -262,7 +264,7 @@ mod tests {
             other => panic!("wrong parse: {other:?}"),
         }
         // An empty batch is legal (a lease can flush nothing).
-        match parse_event(&synapse_server::lease_batch_line(&[])) {
+        match parse_event(&synapse_server::lease_batch_line(&[], None)) {
             Some(WorkerEvent::Batch(points)) => assert!(points.is_empty()),
             other => panic!("wrong parse: {other:?}"),
         }
@@ -273,7 +275,7 @@ mod tests {
         use std::sync::Arc;
         let s = spec();
         let result = synapse_campaign::simulate_point(&expand(&s)[0]).unwrap();
-        let good = synapse_server::lease_batch_line(&[(Arc::new(result), false)]);
+        let good = synapse_server::lease_batch_line(&[(Arc::new(result), false)], None);
         assert!(matches!(parse_event(&good), Some(WorkerEvent::Batch(_))));
 
         let assert_malformed = |line: &str, why: &str| match parse_event(line) {

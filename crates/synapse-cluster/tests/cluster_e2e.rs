@@ -709,3 +709,89 @@ fn registry_endpoints_roundtrip_over_http() {
     handle.shutdown();
     join.join().unwrap();
 }
+
+#[test]
+fn cluster_recorded_trace_replays_to_the_single_process_report() {
+    use synapse_trace::{ReplayMode, Trace};
+    let (addr1, _c1, h1, j1) = boot_worker(ServerConfig::default());
+    let (addr2, _c2, h2, j2) = boot_worker(ServerConfig::default());
+    let (client, handle, join) = boot_coordinator(&[&addr1, &addr2], ServerConfig::default());
+
+    let ack = client.submit_recorded(medium_spec(), true).unwrap();
+    assert_eq!(ack["distributed"].as_bool(), Some(true));
+    let id = ack["id"].as_str().unwrap().to_string();
+    let trace_id = ack["trace"]
+        .as_str()
+        .expect("ack carries trace id")
+        .to_string();
+    await_terminal(&client, &id);
+
+    // Fetch the sealed trace (small window between terminal status
+    // and the queue worker rendering the document).
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let text = loop {
+        match client.trace(&id) {
+            Ok(text) => break text,
+            Err(e) => assert!(Instant::now() < deadline, "trace never sealed: {e}"),
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    };
+
+    let trace = Trace::parse(&text).unwrap();
+    assert_eq!(trace.header.trace_id, trace_id);
+    let summary = trace.verify(ReplayMode::Strict).unwrap();
+    assert!(summary.is_clean());
+    assert_eq!(summary.points, 16);
+
+    // The lease lifecycle is in the trace: every lease was recorded
+    // as assigned and completed, attributed to a worker address.
+    let leases: Vec<&str> = text
+        .lines()
+        .filter(|l| l.starts_with("{\"kind\":\"lease\""))
+        .collect();
+    let assigned = leases
+        .iter()
+        .filter(|l| l.contains("\"phase\":\"assigned\""))
+        .count();
+    let completed = leases
+        .iter()
+        .filter(|l| l.contains("\"phase\":\"completed\""))
+        .count();
+    assert!(assigned >= 8, "expected >= 8 assigned leases: {assigned}");
+    assert!(
+        completed >= 8,
+        "expected >= 8 completed leases: {completed}"
+    );
+    let worker_ids: std::collections::BTreeSet<String> = leases
+        .iter()
+        .filter_map(|l| {
+            serde_json::from_str::<Value>(l)
+                .ok()
+                .and_then(|v| v["worker"].as_str().map(str::to_string))
+        })
+        .collect();
+    assert!(
+        worker_ids.len() >= 2,
+        "lease annotations attribute both workers: {worker_ids:?}"
+    );
+
+    // Replaying the cluster-recorded trace reconstructs the exact
+    // bytes of the single-process report — the acceptance gate.
+    let pretty = trace
+        .reconstruct_report()
+        .unwrap()
+        .to_json_pretty()
+        .unwrap();
+    let reconstructed: Value = serde_json::from_str(&pretty).unwrap();
+    assert_eq!(
+        serde_json::to_string(&reconstructed).unwrap(),
+        single_process_report(medium_spec())
+    );
+
+    handle.shutdown();
+    join.join().unwrap();
+    h1.shutdown();
+    j1.join().unwrap();
+    h2.shutdown();
+    j2.join().unwrap();
+}

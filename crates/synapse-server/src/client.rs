@@ -37,6 +37,11 @@ pub struct Client {
     stream_silence: Duration,
     /// Read/write timeout on plain request/response round trips.
     socket_timeout: Duration,
+    /// Causality id sent as `X-Synapse-Trace` on every request — how a
+    /// cluster coordinator stamps the lease traffic of a recorded
+    /// campaign so workers echo it and the recorder can attribute
+    /// per-endpoint spans.
+    trace: Option<String>,
 }
 
 /// A parsed response: status code plus body text (chunked bodies are
@@ -78,7 +83,15 @@ impl Client {
             addr: addr.into(),
             stream_silence: STREAM_SILENCE_TIMEOUT,
             socket_timeout: SOCKET_TIMEOUT,
+            trace: None,
         }
+    }
+
+    /// Attach a causality id: every subsequent request carries it as
+    /// the `X-Synapse-Trace` header.
+    pub fn with_trace(mut self, trace_id: impl Into<String>) -> Client {
+        self.trace = Some(trace_id.into());
+        self
     }
 
     /// Override the plain request/response socket timeout. A cluster
@@ -137,9 +150,13 @@ impl Client {
     ) -> Result<BufReader<TcpStream>, ServerError> {
         let mut stream = self.connect()?;
         let body = body.unwrap_or("");
+        let trace_header = match &self.trace {
+            Some(id) => format!("X-Synapse-Trace: {id}\r\n"),
+            None => String::new(),
+        };
         write!(
             stream,
-            "{method} {path} HTTP/1.1\r\nHost: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            "{method} {path} HTTP/1.1\r\nHost: {}\r\nContent-Length: {}\r\n{trace_header}Connection: close\r\n\r\n{body}",
             self.addr,
             body.len(),
         )?;
@@ -326,6 +343,31 @@ impl Client {
         self.request("POST", "/campaigns?cluster=1", Some(spec_text))?
             .ok()?
             .json()
+    }
+
+    /// `POST /campaigns?record=1` (plus `cluster=1` when `distributed`)
+    /// — submit with a flight recorder attached; the ack carries the
+    /// minted `trace` id.
+    pub fn submit_recorded(
+        &self,
+        spec_text: &str,
+        distributed: bool,
+    ) -> Result<Value, ServerError> {
+        let path = if distributed {
+            "/campaigns?cluster=1&record=1"
+        } else {
+            "/campaigns?record=1"
+        };
+        self.request("POST", path, Some(spec_text))?.ok()?.json()
+    }
+
+    /// `GET /campaigns/<id>/trace` — the sealed flight-recorder trace
+    /// of a finished recorded job, as raw NDJSON text.
+    pub fn trace(&self, id: &str) -> Result<String, ServerError> {
+        Ok(self
+            .request("GET", &format!("/campaigns/{id}/trace"), None)?
+            .ok()?
+            .body)
     }
 
     /// `POST /leases` — offer this worker a lease (JSON

@@ -18,7 +18,9 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
 use serde::{Deserialize, Serialize};
+use std::sync::OnceLock;
 use synapse_campaign::{CampaignReport, CampaignSpec, CancelToken, RunStats};
+use synapse_trace::TraceRecorder;
 
 /// Wire form of `POST /leases`: sweep grid indices `start..end` of the
 /// expanded `spec` on this worker, streaming full per-point results.
@@ -166,6 +168,17 @@ pub struct Job {
     done_events: AtomicUsize,
     /// Reactor wakeup, fired alongside the condvar.
     hook: Option<Arc<EventHook>>,
+    /// Flight recorder capturing this job's causal stream
+    /// (`POST /campaigns?record=1`). Attached before the job is queued,
+    /// so the sweep observer and the recorder see the same events.
+    recorder: OnceLock<Arc<TraceRecorder>>,
+    /// Rendered trace document of a finished recorded job, served by
+    /// `GET /campaigns/<id>/trace`.
+    trace_doc: OnceLock<String>,
+    /// Causality id a cluster coordinator sent in `X-Synapse-Trace`
+    /// (lease jobs only), echoed in this job's lease events and batch
+    /// frames so merged streams stay attributable.
+    lease_trace: OnceLock<String>,
 }
 
 /// Sentinel for "no more events will ever arrive".
@@ -227,7 +240,43 @@ impl Job {
             events_ready: Condvar::new(),
             done_events: AtomicUsize::new(0),
             hook,
+            recorder: OnceLock::new(),
+            trace_doc: OnceLock::new(),
+            lease_trace: OnceLock::new(),
         }
+    }
+
+    /// Attach a flight recorder (once, before the job is queued).
+    pub fn attach_recorder(&self, recorder: Arc<TraceRecorder>) {
+        let _ = self.recorder.set(recorder);
+    }
+
+    /// The attached flight recorder, if the job was submitted with
+    /// `?record=1`.
+    pub fn recorder(&self) -> Option<&Arc<TraceRecorder>> {
+        self.recorder.get()
+    }
+
+    /// Store the finished job's rendered trace document (idempotent —
+    /// first render wins, matching the determinism contract).
+    pub fn set_trace_doc(&self, doc: String) {
+        let _ = self.trace_doc.set(doc);
+    }
+
+    /// The finished job's rendered trace, if it was recorded.
+    pub fn trace_doc(&self) -> Option<&str> {
+        self.trace_doc.get().map(String::as_str)
+    }
+
+    /// Remember the coordinator's `X-Synapse-Trace` causality id (once,
+    /// before the lease job is queued).
+    pub fn set_lease_trace(&self, trace_id: String) {
+        let _ = self.lease_trace.set(trace_id);
+    }
+
+    /// The causality id this lease's events should echo, if any.
+    pub fn lease_trace(&self) -> Option<&str> {
+        self.lease_trace.get().map(String::as_str)
     }
 
     /// The id in its API form (`j<id>`).

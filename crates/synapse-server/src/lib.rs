@@ -27,6 +27,8 @@
 //! | `GET /campaigns/j1`         | one job's status/summary                      |
 //! | `GET /campaigns/j1/events`  | chunked NDJSON stream of per-point results    |
 //! | `GET /campaigns/j1/report`  | deterministic report of a completed job       |
+//! | `POST /campaigns?record=1`  | submit + capture a flight-recorder trace      |
+//! | `GET /campaigns/j1/trace`   | recorded trace (NDJSON) of a finished job     |
 //! | `DELETE /campaigns/j1`      | cooperative cancellation                      |
 //! | `GET /healthz`              | liveness + queue depth + connection load      |
 //! | `GET /store/stats`          | shape + lock contention of the shared cache   |
@@ -84,6 +86,7 @@ pub use server::{
 use synapse_campaign::{
     CampaignError, CampaignOutcome, CampaignSpec, CancelToken, PointEvent, ResultCache,
 };
+use synapse_trace::TraceRecorder;
 
 /// Distributed-execution backend a coordinator-mode server plugs in
 /// (implemented by `synapse-cluster`; the server stays ignorant of how
@@ -100,12 +103,17 @@ pub trait ClusterBackend: Send + Sync {
     /// Execute `spec` across the registered workers, emitting merged
     /// [`PointEvent`]s (with a globally monotone `done` counter) and
     /// honoring `cancel`. `cache` is the coordinator's own result
-    /// cache, used when leases fall back to local execution.
+    /// cache, used when leases fall back to local execution. When a
+    /// flight `recorder` is attached the backend annotates it with the
+    /// lease lifecycle (assigned/completed/failed/reassigned/split/
+    /// local) and propagates its causality id to workers as the
+    /// `X-Synapse-Trace` request header.
     fn run_distributed(
         &self,
         spec: &CampaignSpec,
         cache: &ResultCache,
         observer: &(dyn Fn(PointEvent) + Sync),
+        recorder: Option<&TraceRecorder>,
         cancel: &CancelToken,
     ) -> Result<CampaignOutcome, CampaignError>;
 

@@ -59,6 +59,7 @@ const ENDPOINTS: &[&str] = &[
     "/campaigns/:id",
     "/campaigns/:id/events",
     "/campaigns/:id/report",
+    "/campaigns/:id/trace",
     "/leases",
     "/cluster",
     "/shutdown",
@@ -165,6 +166,7 @@ pub(crate) fn endpoint_label(path: &str) -> &'static str {
         ["campaigns", _] => "/campaigns/:id",
         ["campaigns", _, "events"] => "/campaigns/:id/events",
         ["campaigns", _, "report"] => "/campaigns/:id/report",
+        ["campaigns", _, "trace"] => "/campaigns/:id/trace",
         ["leases"] => "/leases",
         ["cluster", ..] => "/cluster",
         ["shutdown"] => "/shutdown",
@@ -191,6 +193,7 @@ mod tests {
             "/metrics",
             "/store/stats",
             "/campaigns/j1/report",
+            "/campaigns/j1/trace",
             "/leases",
             "/shutdown",
         ] {

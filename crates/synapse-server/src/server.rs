@@ -42,6 +42,8 @@ use synapse_campaign::{
     ResultCache, RunConfig,
 };
 
+use synapse_trace::TraceRecorder;
+
 use crate::http::{self, HttpError, Request, RequestParser};
 use crate::job::{EventHook, Job, JobKind, JobState, LeaseRequest};
 use crate::metrics::{endpoint_label, ServerMetrics};
@@ -196,6 +198,11 @@ pub(crate) struct ServerState {
     /// Distributed-execution backend (coordinator mode); `None` for a
     /// plain worker/standalone server.
     cluster: Option<Arc<dyn ClusterBackend>>,
+    /// Live flight recorders by causality id, so the handler pool can
+    /// stamp per-endpoint spans onto the trace a request belongs to
+    /// (via `X-Synapse-Trace` or the `/campaigns/<id>` path). Entries
+    /// live from submit until the job's trace is finalized.
+    recorders: Mutex<HashMap<String, Arc<TraceRecorder>>>,
     started: Instant,
 }
 
@@ -210,7 +217,14 @@ impl ServerState {
             .cloned()
     }
 
-    fn submit(&self, spec: CampaignSpec, total: usize, kind: JobKind) -> Arc<Job> {
+    fn submit(
+        &self,
+        spec: CampaignSpec,
+        total: usize,
+        kind: JobKind,
+        recorder: Option<Arc<TraceRecorder>>,
+        lease_trace: Option<String>,
+    ) -> Arc<Job> {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         // Lease rings are never truncated: their point events *are*
         // the results the coordinator merges, so dropping any would
@@ -235,6 +249,19 @@ impl ServerState {
             event_cap,
             hook,
         ));
+        // Wire causality BEFORE the job becomes reachable (queue/table):
+        // a queue worker must never observe a recorded job without its
+        // recorder, and span stamping resolves through `recorders`.
+        if let Some(recorder) = recorder {
+            self.recorders
+                .lock()
+                .expect("recorders lock")
+                .insert(recorder.trace_id().to_string(), recorder.clone());
+            job.attach_recorder(recorder);
+        }
+        if let Some(trace_id) = lease_trace {
+            job.set_lease_trace(trace_id);
+        }
         {
             let mut jobs = self.jobs.lock().expect("jobs lock");
             jobs.push(job.clone());
@@ -279,10 +306,50 @@ impl ServerState {
         // the insertions above — after the shutdown sweep settled the
         // job table. Nobody would ever settle this job, leaving its
         // event stream open forever; settle it here.
-        if self.shutting_down() {
-            job.settle_if_queued();
+        if self.shutting_down() && job.settle_if_queued() {
+            self.finalize_trace(&job);
         }
         job
+    }
+
+    /// Seal a recorded job's trace: render the document (whatever was
+    /// captured — completed, cancelled or failed runs all leave a
+    /// coherent trace) and retire the live recorder so span stamping
+    /// stops. Idempotent; every path that terminates a job calls it.
+    fn finalize_trace(&self, job: &Arc<Job>) {
+        if let Some(recorder) = job.recorder() {
+            job.set_trace_doc(recorder.render());
+            self.recorders
+                .lock()
+                .expect("recorders lock")
+                .remove(recorder.trace_id());
+        }
+    }
+
+    /// Stamp one handled request onto the trace it belongs to, if any:
+    /// resolved by `X-Synapse-Trace` header first (cluster clients
+    /// propagate it), else by the `/campaigns/<id>` path through the
+    /// job table. Requests landing after the trace is sealed are not
+    /// recorded — the document is already immutable by then.
+    fn record_span(&self, request: &Request, endpoint: &str, secs: f64) {
+        let recorder = match request.header("x-synapse-trace") {
+            Some(id) => self
+                .recorders
+                .lock()
+                .expect("recorders lock")
+                .get(id)
+                .cloned(),
+            None => request
+                .path()
+                .trim_start_matches('/')
+                .strip_prefix("campaigns/")
+                .and_then(|rest| rest.split(['/', '?']).next())
+                .and_then(|public_id| self.job(public_id))
+                .and_then(|job| job.recorder().cloned()),
+        };
+        if let Some(recorder) = recorder {
+            recorder.record_span(endpoint, secs);
+        }
     }
 
     /// Block until a job is queued or shutdown is requested.
@@ -308,8 +375,16 @@ impl ServerState {
         // Stop in-flight sweeps; settle jobs no queue worker will ever
         // reach, so their event streams terminate instead of leaving
         // streamers blocked forever.
-        for job in self.jobs.lock().expect("jobs lock").iter() {
-            job.settle_if_queued();
+        let settled: Vec<Arc<Job>> = self
+            .jobs
+            .lock()
+            .expect("jobs lock")
+            .iter()
+            .filter(|job| job.settle_if_queued())
+            .cloned()
+            .collect();
+        for job in settled {
+            self.finalize_trace(&job);
         }
         self.queue_ready.notify_all();
         if let Some(waker) = self.reactor_waker.get() {
@@ -463,6 +538,7 @@ impl Server {
             active_connections: AtomicUsize::new(0),
             reactor_waker: OnceLock::new(),
             cluster: None,
+            recorders: Mutex::new(HashMap::new()),
             started: Instant::now(),
         });
         Ok(Server {
@@ -589,6 +665,7 @@ fn run_job(state: &ServerState, job: &Arc<Job>) {
             );
             job.close_events();
         }
+        state.finalize_trace(job);
         return;
     }
     // A DELETE may settle the job between the check above and here;
@@ -612,6 +689,7 @@ fn run_job(state: &ServerState, job: &Arc<Job>) {
         JobKind::Distributed => run_distributed_job(state, job),
     }
     job.close_events();
+    state.finalize_trace(job);
 }
 
 /// Serialize the hot per-point event by hand: at ~100k points/s the
@@ -670,7 +748,14 @@ fn point_event_line(
 /// key, which is what makes the check a pure suffix computation.
 /// Results round-trip f64-exactly through the JSON layer, so merged
 /// reports stay byte-stable.
-pub fn lease_batch_line(points: &[(Arc<synapse_campaign::PointResult>, bool)]) -> String {
+///
+/// When the lease carries a coordinator causality id (`X-Synapse-Trace`
+/// on the `POST /leases`), the frame echoes it as a `trace` key before
+/// `points`, so merged streams stay attributable to the campaign trace.
+pub fn lease_batch_line(
+    points: &[(Arc<synapse_campaign::PointResult>, bool)],
+    trace: Option<&str>,
+) -> String {
     use std::fmt::Write as _;
     let mut payload = String::with_capacity(points.len() * 512 + 2);
     payload.push('[');
@@ -685,14 +770,21 @@ pub fn lease_batch_line(points: &[(Arc<synapse_campaign::PointResult>, bool)]) -
         payload.push('}');
     }
     payload.push(']');
-    let mut line = String::with_capacity(payload.len() + 64);
+    let mut line = String::with_capacity(payload.len() + 96);
     let _ = write!(
         line,
-        "{{\"event\":\"batch\",\"v\":{BATCH_FRAME_VERSION},\"n\":{},\"len\":{},\"points\":{}}}",
+        "{{\"event\":\"batch\",\"v\":{BATCH_FRAME_VERSION},\"n\":{},\"len\":{}",
         points.len(),
         payload.len(),
-        payload
     );
+    if let Some(trace) = trace {
+        let _ = write!(
+            line,
+            ",\"trace\":{}",
+            serde_json::to_string(trace).expect("trace id serializes")
+        );
+    }
+    let _ = write!(line, ",\"points\":{payload}}}");
     line
 }
 
@@ -700,44 +792,51 @@ pub fn lease_batch_line(points: &[(Arc<synapse_campaign::PointResult>, bool)]) -
 /// per-point NDJSON events with running counters and periodic
 /// aggregate snapshots.
 fn point_observer(job: &Arc<Job>) -> impl Fn(PointEvent) + Sync + '_ {
-    move |event: PointEvent| match event {
-        PointEvent::Started { total } => {
-            job.push_event(ndjson(&json!({
-                "event": "started",
-                "id": job.public_id(),
-                "name": job.spec.name,
-                "total": total,
-            })));
+    move |event: PointEvent| {
+        // The flight recorder sees the identical event stream the
+        // NDJSON observers render — one seam, two consumers.
+        if let Some(recorder) = job.recorder() {
+            recorder.observe(&event);
         }
-        PointEvent::PointDone {
-            result,
-            cached,
-            done,
-            total,
-        } => {
-            let abs_err_sum = job.with_progress(|p| {
-                p.done = done;
-                p.cache_hits += usize::from(cached);
-                p.abs_err_sum += result.error_pct().abs();
-                p.abs_err_sum
-            });
-            job.push_event(point_event_line(&result, cached, done, total));
-            if done % SNAPSHOT_EVERY == 0 && done < total {
-                let (cache_hits, simulated) =
-                    job.with_progress(|p| (p.cache_hits, p.done - p.cache_hits));
+        match event {
+            PointEvent::Started { total } => {
                 job.push_event(ndjson(&json!({
-                    "event": "snapshot",
-                    "done": done,
+                    "event": "started",
+                    "id": job.public_id(),
+                    "name": job.spec.name,
                     "total": total,
-                    "cache_hits": cache_hits,
-                    "simulated": simulated,
-                    "mean_abs_error_pct": abs_err_sum / done as f64,
                 })));
             }
+            PointEvent::PointDone {
+                result,
+                cached,
+                done,
+                total,
+            } => {
+                let abs_err_sum = job.with_progress(|p| {
+                    p.done = done;
+                    p.cache_hits += usize::from(cached);
+                    p.abs_err_sum += result.error_pct().abs();
+                    p.abs_err_sum
+                });
+                job.push_event(point_event_line(&result, cached, done, total));
+                if done % SNAPSHOT_EVERY == 0 && done < total {
+                    let (cache_hits, simulated) =
+                        job.with_progress(|p| (p.cache_hits, p.done - p.cache_hits));
+                    job.push_event(ndjson(&json!({
+                        "event": "snapshot",
+                        "done": done,
+                        "total": total,
+                        "cache_hits": cache_hits,
+                        "simulated": simulated,
+                        "mean_abs_error_pct": abs_err_sum / done as f64,
+                    })));
+                }
+            }
+            // Terminal events are published below, where the report and
+            // final state are in hand.
+            PointEvent::Finished { .. } | PointEvent::Cancelled { .. } => {}
         }
-        // Terminal events are published below, where the report and
-        // final state are in hand.
-        PointEvent::Finished { .. } | PointEvent::Cancelled { .. } => {}
     }
 }
 
@@ -750,6 +849,12 @@ fn publish_outcome(
     match outcome {
         Ok(outcome) => {
             let stats = outcome.stats;
+            // Stage timings land in the trace here, not in the engine's
+            // Finished event — expand/aggregate walls are only known
+            // once the full run returns.
+            if let Some(recorder) = job.recorder() {
+                recorder.record_stats(&stats);
+            }
             job.set_report(outcome.report);
             job.with_progress(|p| {
                 p.state = JobState::Completed;
@@ -819,7 +924,9 @@ fn run_distributed_job(state: &ServerState, job: &Arc<Job>) {
         return;
     };
     let observer = point_observer(job);
-    let outcome = backend.run_distributed(&job.spec, &state.cache, &observer, &job.cancel);
+    let recorder = job.recorder().map(|r| &**r);
+    let outcome =
+        backend.run_distributed(&job.spec, &state.cache, &observer, recorder, &job.cancel);
     publish_outcome(job, outcome);
 }
 
@@ -842,23 +949,33 @@ fn run_lease_job(state: &ServerState, job: &Arc<Job>, start: usize, end: usize) 
     // The engine observer is called from every sweep thread, so the
     // pending batch lives behind a mutex; frames are built and pushed
     // under it, keeping frame order = landing order.
+    // The coordinator's causality id (if the lease carried one): echoed
+    // in the lease's own events and batch frames so a merged stream —
+    // or a recorded trace — attributes every frame to its campaign.
+    let trace = job.lease_trace();
+    let with_trace = |mut doc: serde_json::Value| {
+        if let (Some(id), serde_json::Value::Object(obj)) = (trace, &mut doc) {
+            obj.insert("trace".into(), json!(id));
+        }
+        doc
+    };
     let pending: Mutex<Vec<(Arc<synapse_campaign::PointResult>, bool)>> =
         Mutex::new(Vec::with_capacity(batch_cap.min(4096)));
     let flush = |buf: &mut Vec<(Arc<synapse_campaign::PointResult>, bool)>| {
         if !buf.is_empty() {
-            job.push_event(lease_batch_line(buf));
+            job.push_event(lease_batch_line(buf, trace));
             buf.clear();
         }
     };
     let observer = |event: PointEvent| match event {
         PointEvent::Started { total } => {
-            job.push_event(ndjson(&json!({
+            job.push_event(ndjson(&with_trace(json!({
                 "event": "started",
                 "id": job.public_id(),
                 "name": job.spec.name,
                 "lease": {"start": start, "end": end},
                 "total": total,
-            })));
+            }))));
         }
         PointEvent::PointDone {
             result,
@@ -877,7 +994,7 @@ fn run_lease_job(state: &ServerState, job: &Arc<Job>, start: usize, end: usize) 
                     flush(&mut buf);
                 }
             } else {
-                job.push_event(ndjson(&json!({
+                job.push_event(ndjson(&with_trace(json!({
                     "event": "point",
                     "index": result.point.index,
                     "cached": cached,
@@ -887,7 +1004,7 @@ fn run_lease_job(state: &ServerState, job: &Arc<Job>, start: usize, end: usize) 
                     // this field; f64s round-trip exactly through the
                     // JSON layer, so merged reports stay byte-stable.
                     "result": serde_json::to_value(&*result).expect("result serializes"),
-                })));
+                }))));
             }
         }
         PointEvent::Finished { .. } | PointEvent::Cancelled { .. } => {}
@@ -909,7 +1026,7 @@ fn run_lease_job(state: &ServerState, job: &Arc<Job>, start: usize, end: usize) 
                 p.state = JobState::Completed;
                 p.stats = Some(stats);
             });
-            job.push_event(ndjson(&json!({
+            job.push_event(ndjson(&with_trace(json!({
                 "event": "completed",
                 "id": job.public_id(),
                 "name": job.spec.name,
@@ -920,7 +1037,7 @@ fn run_lease_job(state: &ServerState, job: &Arc<Job>, start: usize, end: usize) 
                 "cache_hit_rate": stats.hit_rate(),
                 "wall_secs": stats.wall_secs,
                 "timings": stats.timings_json(),
-            })));
+            }))));
         }
         Err(e) => publish_outcome(job, Err(e)),
     }
@@ -1053,6 +1170,28 @@ fn route(request: &Request, state: &ServerState) -> Reply {
             },
             None => not_found(id),
         },
+        ("GET", ["campaigns", id, "trace"]) => match state.job(id) {
+            Some(job) => match job.trace_doc() {
+                Some(doc) => Reply::Full(http::response_bytes(
+                    200,
+                    "OK",
+                    "application/x-ndjson",
+                    doc.as_bytes(),
+                )),
+                None => json_reply(
+                    409,
+                    "Conflict",
+                    &json!({
+                        "error": if job.recorder().is_some() {
+                            format!("campaign {id} is {}, trace not sealed yet", job.state().name())
+                        } else {
+                            format!("campaign {id} was not recorded (submit with ?record=1)")
+                        },
+                    }),
+                ),
+            },
+            None => not_found(id),
+        },
         ("GET", ["campaigns", id, "events"]) => match state.job(id) {
             Some(job) => Reply::Stream {
                 job,
@@ -1067,7 +1206,9 @@ fn route(request: &Request, state: &ServerState) -> Reply {
                 // immediate for work that never started. (The queue
                 // worker re-checks and skips settled jobs; a running
                 // job just gets its token cancelled.)
-                job.settle_if_queued();
+                if job.settle_if_queued() {
+                    state.finalize_trace(&job);
+                }
                 json_reply(200, "OK", &state.status_json(&job))
             }
             None => not_found(id),
@@ -1142,14 +1283,24 @@ fn submit_campaign(request: &Request, state: &ServerState) -> Reply {
                 JobKind::Sweep
             };
             let total = spec.point_count();
-            let job = state.submit(spec, total, kind);
-            let ack = json!({
+            // `?record=1` attaches a flight recorder before the job is
+            // queued: the trace id is minted deterministically from the
+            // spec, so a cluster coordinator and a local run of the
+            // same campaign agree on it without coordination.
+            let recorder = request
+                .query_flag("record")
+                .then(|| Arc::new(TraceRecorder::new(&spec)));
+            let job = state.submit(spec, total, kind, recorder, None);
+            let mut ack = json!({
                 "id": job.public_id(),
                 "name": job.spec.name,
                 "status": job.state().name(),
                 "points": job.total,
                 "distributed": distributed,
             });
+            if let (Some(recorder), serde_json::Value::Object(obj)) = (job.recorder(), &mut ack) {
+                obj.insert("trace".into(), json!(recorder.trace_id()));
+            }
             // `?watch=1` folds submit + watch into ONE round trip: the
             // ack becomes the stream's first NDJSON line and the
             // job's events follow on the same connection — half the
@@ -1223,6 +1374,9 @@ fn submit_lease(request: &Request, state: &ServerState) -> Reply {
             }),
         );
     }
+    // A coordinator propagates its campaign's causality id with the
+    // lease; the worker echoes it in every event and batch frame.
+    let lease_trace = request.header("x-synapse-trace").map(str::to_string);
     let job = state.submit(
         spec,
         lease.end - lease.start,
@@ -1230,19 +1384,21 @@ fn submit_lease(request: &Request, state: &ServerState) -> Reply {
             start: lease.start,
             end: lease.end,
         },
+        None,
+        lease_trace,
     );
-    json_reply(
-        202,
-        "Accepted",
-        &json!({
-            "id": job.public_id(),
-            "name": job.spec.name,
-            "status": job.state().name(),
-            "points": job.total,
-            "lease": {"start": lease.start, "end": lease.end},
-            "grid_points": total,
-        }),
-    )
+    let mut ack = json!({
+        "id": job.public_id(),
+        "name": job.spec.name,
+        "status": job.state().name(),
+        "points": job.total,
+        "lease": {"start": lease.start, "end": lease.end},
+        "grid_points": total,
+    });
+    if let (Some(id), serde_json::Value::Object(obj)) = (job.lease_trace(), &mut ack) {
+        obj.insert("trace".into(), json!(id));
+    }
+    json_reply(202, "Accepted", &ack)
 }
 
 /// `/cluster/*`: the coordinator's worker registry. 404s (with a
@@ -1349,6 +1505,9 @@ fn handler_worker(state: &ServerState, dispatch: &Dispatch, waker: &Waker) {
         ServerMetrics::get()
             .request_seconds(endpoint)
             .observe_since(dispatched);
+        // Same wall the histogram just observed, stamped into the
+        // flight recorder this request belongs to (if one is live).
+        state.record_span(&request, endpoint, dispatched.elapsed().as_secs_f64());
         dispatch
             .completions
             .lock()

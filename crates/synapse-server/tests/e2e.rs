@@ -1335,3 +1335,66 @@ fn warm_resubmit_moves_the_cache_hit_counter() {
     handle.shutdown();
     join.join().unwrap();
 }
+
+/// Poll for the sealed trace: there is a small window where the job's
+/// status is terminal but the queue worker has not yet rendered the
+/// trace document.
+fn await_trace(client: &Client, id: &str) -> String {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        match client.trace(id) {
+            Ok(text) => return text,
+            Err(e) => assert!(
+                Instant::now() < deadline,
+                "trace for {id} never sealed: {e}"
+            ),
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+#[test]
+fn recorded_job_serves_a_strict_replayable_trace() {
+    use synapse_trace::{ReplayMode, Trace};
+    let (client, handle, join) = boot(ServerConfig::default());
+
+    let ack = client.submit_recorded(small_spec(), false).unwrap();
+    let id = ack["id"].as_str().unwrap().to_string();
+    let trace_id = ack["trace"]
+        .as_str()
+        .expect("ack carries trace id")
+        .to_string();
+    await_terminal(&client, &id);
+
+    let text = await_trace(&client, &id);
+    let trace = Trace::parse(&text).unwrap();
+    assert_eq!(trace.header.trace_id, trace_id);
+    let summary = trace.verify(ReplayMode::Strict).unwrap();
+    assert!(summary.is_clean());
+    assert_eq!(summary.points, 8);
+
+    // The reconstructed report equals the one the server assembled
+    // from the live sweep — the simulator never re-ran.
+    let pretty = trace
+        .reconstruct_report()
+        .unwrap()
+        .to_json_pretty()
+        .unwrap();
+    let reconstructed: Value = serde_json::from_str(&pretty).unwrap();
+    assert_eq!(reconstructed, client.report(&id).unwrap());
+
+    // A job submitted without ?record=1 has no trace to serve.
+    let plain = client.submit(small_spec()).unwrap()["id"]
+        .as_str()
+        .unwrap()
+        .to_string();
+    await_terminal(&client, &plain);
+    let err = client.trace(&plain).unwrap_err();
+    assert!(
+        err.to_string().contains("not recorded"),
+        "unexpected error: {err}"
+    );
+
+    handle.shutdown();
+    join.join().unwrap();
+}

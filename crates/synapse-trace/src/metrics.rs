@@ -1,0 +1,46 @@
+//! The flight recorder's handles into the process-wide telemetry
+//! registry.
+//!
+//! Resolved once (behind a `OnceLock`) and then updated through plain
+//! atomics, so recording an event costs two relaxed increments on top
+//! of rendering the line. Series follow the workspace naming scheme
+//! (`synapse_trace_<name>`, base units, `_total` on counters); the
+//! full catalog lives in the README's Observability section.
+
+use std::sync::{Arc, OnceLock};
+
+use synapse_telemetry::{global, Counter};
+
+/// Recording and replay-validation counters.
+pub(crate) struct TraceMetrics {
+    /// Causal events captured by recorders in this process.
+    pub events_recorded: Arc<Counter>,
+    /// Trace bytes rendered to files or response bodies.
+    pub bytes_written: Arc<Counter>,
+    /// Divergences found while replaying traces.
+    pub replay_divergences: Arc<Counter>,
+}
+
+impl TraceMetrics {
+    /// The process-wide handles (registering the series on first use).
+    pub fn get() -> &'static TraceMetrics {
+        static METRICS: OnceLock<TraceMetrics> = OnceLock::new();
+        METRICS.get_or_init(|| {
+            let r = global();
+            TraceMetrics {
+                events_recorded: r.counter(
+                    "synapse_trace_events_recorded_total",
+                    "Causal events captured by trace recorders.",
+                ),
+                bytes_written: r.counter(
+                    "synapse_trace_bytes_written_total",
+                    "Trace bytes rendered to files or response bodies.",
+                ),
+                replay_divergences: r.counter(
+                    "synapse_trace_replay_divergences_total",
+                    "Divergences found while replaying traces.",
+                ),
+            }
+        })
+    }
+}
