@@ -25,6 +25,11 @@
 //! * **connection_churn** — complete request round trips (connect,
 //!   parse, handle, respond, close) per second under that same
 //!   watcher load;
+//! * **watcher_aggregate** — a completed job's event stream replayed
+//!   in aggregate mode (`?aggregates=1`): lifecycle + snapshot deltas,
+//!   no per-point lines. The document also records the byte sizes of
+//!   one raw and one aggregate replay of the same job, so CI can
+//!   assert the aggregate stream is O(slices), not O(points);
 //! * **trace_replay** — strict-mode validation of a recorded flight
 //!   trace (parse + causal verify), the operation the CI determinism
 //!   gate runs instead of re-simulating: its rate floor is a large
@@ -131,8 +136,23 @@ fn simulation_spec() -> CampaignSpec {
     .expect("simulation bench spec parses")
 }
 
-/// Run all four stages and return their rates, in pipeline order.
+/// Byte sizes of one raw and one aggregate-mode replay of the same
+/// completed job — the O(points) vs O(slices) contrast.
+#[derive(Debug, Clone, Copy)]
+pub struct WatcherBytes {
+    /// Payload bytes of a full raw replay (per-point lines included).
+    pub raw: usize,
+    /// Payload bytes of an aggregate-mode replay of the same job.
+    pub aggregate: usize,
+}
+
+/// Run all stages and return their rates, in pipeline order.
 pub fn stage_rates() -> Vec<StageRate> {
+    stage_rates_with_bytes().0
+}
+
+/// [`stage_rates`] plus the watcher-stream byte contrast.
+pub fn stage_rates_with_bytes() -> (Vec<StageRate>, WatcherBytes) {
     let expansion = {
         let spec = expansion_spec();
         measure("expansion", || expand(&spec).len())
@@ -166,6 +186,7 @@ pub fn stage_rates() -> Vec<StageRate> {
     let serve_throughput = measure_serve(&sim_spec);
     let cluster_throughput = measure_cluster(&sim_spec);
     let concurrency = measure_serve_concurrency(&sim_spec);
+    let (watcher_aggregate, watcher_bytes) = measure_watcher_aggregate(&sim_spec);
     let trace_replay = measure_trace_replay(&sim_spec);
 
     let mut stages = vec![
@@ -177,8 +198,60 @@ pub fn stage_rates() -> Vec<StageRate> {
         cluster_throughput,
     ];
     stages.extend(concurrency);
+    stages.push(watcher_aggregate);
     stages.push(trace_replay);
-    stages
+    (stages, watcher_bytes)
+}
+
+/// The aggregate-watcher path: one job swept to completion, then its
+/// stream replayed in aggregate mode repeatedly. Also measures the
+/// byte sizes of one raw and one aggregate replay of that same job —
+/// the raw replay carries every per-point line, the aggregate one only
+/// lifecycle events and snapshot deltas.
+fn measure_watcher_aggregate(spec: &CampaignSpec) -> (StageRate, WatcherBytes) {
+    let server = synapse_server::Server::bind(synapse_server::ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        handler_threads: 1,
+        ..Default::default()
+    })
+    .expect("bind watcher bench server");
+    let addr = server.local_addr().expect("server addr").to_string();
+    let handle = server.handle().expect("server handle");
+    let join = std::thread::spawn(move || server.run().expect("watcher bench server run"));
+    let client = synapse_server::Client::new(addr);
+    let spec_json = serde_json::to_string(spec).expect("bench spec serializes");
+
+    let (ack, summary) = client
+        .submit_watch(&spec_json, |_| true)
+        .expect("bench watcher submit");
+    assert_eq!(summary["event"].as_str(), Some("completed"));
+    let id = ack["id"].as_str().expect("job id").to_string();
+
+    let mut raw = 0usize;
+    client
+        .watch(&id, |line| {
+            raw += line.len() + 1;
+            true
+        })
+        .expect("bench raw replay");
+    let mut aggregate = 0usize;
+    client
+        .watch_aggregates(&id, |line| {
+            aggregate += line.len() + 1;
+            true
+        })
+        .expect("bench aggregate replay");
+
+    let rate = measure("watcher_aggregate", || {
+        let summary = client
+            .watch_aggregates(&id, |_| true)
+            .expect("bench aggregate watch");
+        summary["points"].as_u64().expect("points") as usize
+    });
+
+    handle.shutdown();
+    join.join().expect("watcher bench server thread");
+    (rate, WatcherBytes { raw, aggregate })
 }
 
 /// Strict replay validation of a recorded trace: the sweep is recorded
@@ -402,7 +475,8 @@ fn measure_cluster(spec: &synapse_campaign::CampaignSpec) -> StageRate {
 
 /// Render the benchmark as the `BENCH_campaign.json` document.
 pub fn run() -> String {
-    let stages: Vec<serde_json::Value> = stage_rates()
+    let (rates, watcher_bytes) = stage_rates_with_bytes();
+    let stages: Vec<serde_json::Value> = rates
         .iter()
         .map(|r| {
             serde_json::json!({
@@ -417,6 +491,12 @@ pub fn run() -> String {
         "bench": "campaign_throughput",
         "unit": "points_per_sec",
         "stages": stages,
+        // One raw vs one aggregate replay of the same completed job:
+        // the aggregate stream must stay O(slices), not O(points).
+        "watcher_stream_bytes": {
+            "aggregate": watcher_bytes.aggregate,
+            "raw": watcher_bytes.raw,
+        },
     });
     serde_json::to_string_pretty(&doc).expect("bench document serializes")
 }
@@ -447,7 +527,7 @@ mod tests {
     }
 
     #[test]
-    fn bench_document_has_all_nine_nonzero_stages() {
+    fn bench_document_has_all_ten_nonzero_stages() {
         let doc: serde_json::Value = serde_json::from_str(&run()).unwrap();
         let stages = doc["stages"].as_array().unwrap();
         let names: Vec<&str> = stages
@@ -465,6 +545,7 @@ mod tests {
                 "cluster_throughput",
                 "serve_concurrency",
                 "connection_churn",
+                "watcher_aggregate",
                 "trace_replay",
             ]
         );
@@ -488,6 +569,17 @@ mod tests {
             "trace_replay {} vs simulation {}",
             rate("trace_replay"),
             rate("simulation"),
+        );
+        // The aggregate-mode replay drops every per-point line, so it
+        // must be materially smaller than the raw replay of the same
+        // job — the O(slices) vs O(points) contract.
+        let bytes = &doc["watcher_stream_bytes"];
+        let aggregate = bytes["aggregate"].as_u64().unwrap();
+        let raw = bytes["raw"].as_u64().unwrap();
+        assert!(aggregate > 0);
+        assert!(
+            2 * aggregate < raw,
+            "aggregate replay {aggregate}B vs raw {raw}B"
         );
     }
 }

@@ -74,24 +74,35 @@ pub struct AxisSlice {
 
 type AxisKeyFn = fn(&PointResult) -> String;
 
+/// The slice-keying table: every report axis with its value renderer,
+/// in alphabetical (= report) order. Offline reports
+/// ([`axis_slices`]) and the live plane ([`crate::live`]) both key
+/// from this one table, so their slice coordinates can never drift.
+pub const AXES: [(&str, AxisKeyFn); 11] = [
+    ("atoms", |r| r.point.atoms.clone()),
+    ("fs", |r| r.point.fs.clone()),
+    ("io_block", |r| r.point.io_block.to_string()),
+    ("kernel", |r| r.point.kernel.clone()),
+    ("machine", |r| r.point.machine.clone()),
+    ("mode", |r| r.point.mode.clone()),
+    ("sample_order", |r| r.point.sample_order.clone()),
+    ("sample_rate", |r| format!("{}", r.point.sample_rate)),
+    ("steps", |r| r.point.steps.to_string()),
+    ("threads", |r| r.point.threads.to_string()),
+    ("workload", |r| r.point.workload.clone()),
+];
+
+/// The `(axis, value)` coordinates of one result, one per [`AXES`]
+/// entry.
+pub fn axis_keys(r: &PointResult) -> [(&'static str, String); 11] {
+    AXES.map(|(axis, key_of)| (axis, key_of(r)))
+}
+
 /// Slice results along every axis: one [`AxisSlice`] per axis value,
 /// sorted by `(axis, value)` for deterministic reports.
 pub fn axis_slices(results: &[PointResult]) -> Vec<AxisSlice> {
-    let axes: [(&str, AxisKeyFn); 11] = [
-        ("atoms", |r| r.point.atoms.clone()),
-        ("fs", |r| r.point.fs.clone()),
-        ("io_block", |r| r.point.io_block.to_string()),
-        ("kernel", |r| r.point.kernel.clone()),
-        ("machine", |r| r.point.machine.clone()),
-        ("mode", |r| r.point.mode.clone()),
-        ("sample_order", |r| r.point.sample_order.clone()),
-        ("sample_rate", |r| format!("{}", r.point.sample_rate)),
-        ("steps", |r| r.point.steps.to_string()),
-        ("threads", |r| r.point.threads.to_string()),
-        ("workload", |r| r.point.workload.clone()),
-    ];
     let mut slices = Vec::new();
-    for (axis, key_of) in axes {
+    for (axis, key_of) in AXES {
         let mut groups: std::collections::BTreeMap<String, Vec<&PointResult>> =
             std::collections::BTreeMap::new();
         for r in results {

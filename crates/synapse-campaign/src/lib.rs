@@ -50,10 +50,12 @@ pub mod cache;
 pub mod engine;
 pub mod error;
 pub mod grid;
+pub mod live;
 mod metrics;
 pub mod partition;
 pub mod report;
 pub mod runner;
+pub mod sketch;
 pub mod spec;
 pub mod toml;
 
@@ -66,11 +68,13 @@ pub use error::CampaignError;
 pub use grid::{
     atoms_by_name, expand, expand_range, fs_by_name, sample_order_by_name, AtomSet, ScenarioPoint,
 };
+pub use live::{AggregateMetrics, LiveAggregates, AGGREGATES_VERSION};
 pub use partition::{
     partition, partition_weighted, plan_leases, Lease, LeaseState, LeaseTable, MAX_PROBE_POINTS,
 };
 pub use report::{CampaignReport, PilotSummary, PointRow};
 pub use runner::{simulate_point, PointResult, RunConfig, RunStats};
+pub use sketch::QuantileSketch;
 pub use spec::{CampaignSpec, PilotSpec, WorkloadSpec};
 
 /// A finished campaign: the deterministic report plus this run's

@@ -1,0 +1,550 @@
+//! Live, incrementally-maintained campaign aggregates.
+//!
+//! The offline path ([`crate::aggregate`]) sorts every series after
+//! the sweep; a watcher-facing server cannot afford that per viewer,
+//! and must answer *mid-sweep*. [`LiveAggregates`] is the shared
+//! incremental view: one per campaign, updated in O(axes) per
+//! [`PointResult`] from the engine's observer seam, read concurrently
+//! by every watcher and by `GET /campaigns/<id>/aggregates`.
+//!
+//! Slices are keyed by the same `(axis, value)` table as the offline
+//! report ([`crate::aggregate::AXES`]); each slice holds one
+//! [`QuantileSketch`] per metric (`tx`, `error_pct`), so count, mean,
+//! min and max are exact and quantiles carry the sketch's documented
+//! error bound. A monotone version counter stamps every slice on
+//! update, which is what makes **delta** snapshots possible: a caller
+//! that remembers the version of its last emission gets back only the
+//! slices that changed since ([`LiveAggregates::delta_since`]).
+//!
+//! For distributed runs, workers ship their lease's aggregates as a
+//! wire digest ([`LiveAggregates::digest`]); the coordinator folds
+//! them in with [`LiveAggregates::merge_digest`]. Sketch merging is
+//! bucket-count addition, so the merged view agrees with a
+//! single-process run on every exact moment and within sketch error
+//! on quantiles, no matter how the grid was leased.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use serde_json::{json, Value};
+use synapse_telemetry::{global, Counter, Histogram, SIZE_BUCKETS};
+
+use crate::aggregate::{axis_keys, AxisSlice};
+use crate::runner::PointResult;
+use crate::sketch::QuantileSketch;
+
+/// Version stamped on snapshot deltas and worker digests (`"v"` key).
+/// Consumers accept any version ≤ theirs and must ignore unknown
+/// keys; the version bumps only when an existing key changes meaning.
+pub const AGGREGATES_VERSION: u64 = 1;
+
+/// Metric names carried per slice, in render (alphabetical) order.
+pub const METRICS: [&str; 2] = ["error_pct", "tx"];
+
+/// One slice's (or the campaign-wide node's) metric sketches.
+#[derive(Debug, Clone, Default)]
+struct SliceNode {
+    error_pct: QuantileSketch,
+    tx: QuantileSketch,
+    /// [`Inner::version`] at this node's last update.
+    version: u64,
+}
+
+impl SliceNode {
+    fn observe(&mut self, tx: f64, error_pct: f64, version: u64) {
+        self.tx.observe(tx);
+        self.error_pct.observe(error_pct);
+        self.version = version;
+    }
+
+    fn merge(&mut self, other: &SliceNode, version: u64) {
+        self.tx.merge(&other.tx);
+        self.error_pct.merge(&other.error_pct);
+        self.version = version;
+    }
+
+    /// `{"error_pct": {...stats...}, "tx": {...}}`, optionally
+    /// restricted to one metric.
+    fn metrics_value(&self, metric: Option<&str>) -> Value {
+        let mut map = serde_json::Map::new();
+        for (name, sketch) in [("error_pct", &self.error_pct), ("tx", &self.tx)] {
+            if metric.is_none_or(|m| m == name) {
+                map.insert(name.to_string(), stats_value(sketch));
+            }
+        }
+        Value::Object(map)
+    }
+
+    fn digest(&self) -> Value {
+        json!({
+            "error_pct": self.error_pct.digest(),
+            "tx": self.tx.digest(),
+        })
+    }
+
+    fn from_digest(v: &Value) -> Option<SliceNode> {
+        Some(SliceNode {
+            error_pct: QuantileSketch::from_digest(v.get("error_pct")?)?,
+            tx: QuantileSketch::from_digest(v.get("tx")?)?,
+            version: 0,
+        })
+    }
+}
+
+/// Render one sketch as the stats object watchers consume:
+/// `n`/`mean`/`min`/`max` exact, `p50`/`p95`/`p99` within sketch
+/// error. An empty sketch renders `{"n": 0}`.
+fn stats_value(sketch: &QuantileSketch) -> Value {
+    match sketch.percentiles() {
+        Some(p) => json!({
+            "max": p.max,
+            "mean": p.mean,
+            "min": p.min,
+            "n": p.n,
+            "p50": p.p50,
+            "p95": p.p95,
+            "p99": p.p99,
+        }),
+        None => json!({"n": 0}),
+    }
+}
+
+struct Inner {
+    /// `(axis, value)` → sketches; BTreeMap order is render order.
+    slices: BTreeMap<(String, String), SliceNode>,
+    /// The campaign-wide node (all points, no slicing).
+    overall: SliceNode,
+    /// Bumped once per mutation; slices remember the version of their
+    /// last change, enabling delta reads.
+    version: u64,
+}
+
+/// Shared live aggregates for one campaign. All methods are
+/// thread-safe; `record` is called from engine observer context and
+/// must stay cheap.
+pub struct LiveAggregates {
+    inner: Mutex<Inner>,
+}
+
+impl Default for LiveAggregates {
+    fn default() -> LiveAggregates {
+        LiveAggregates::new()
+    }
+}
+
+impl LiveAggregates {
+    /// An empty aggregate view.
+    pub fn new() -> LiveAggregates {
+        LiveAggregates {
+            inner: Mutex::new(Inner {
+                slices: BTreeMap::new(),
+                overall: SliceNode::default(),
+                version: 0,
+            }),
+        }
+    }
+
+    /// Fold one finished point in: the overall node plus one slice per
+    /// report axis. O(axes · log slices) per point, independent of how
+    /// many points came before.
+    pub fn record(&self, result: &PointResult) {
+        let tx = result.tx;
+        let err = result.error_pct();
+        let keys = axis_keys(result);
+        let mut inner = self.inner.lock().expect("live aggregates lock");
+        inner.version += 1;
+        let version = inner.version;
+        inner.overall.observe(tx, err, version);
+        for (axis, value) in keys {
+            inner
+                .slices
+                .entry((axis.to_string(), value))
+                .or_default()
+                .observe(tx, err, version);
+        }
+        AggregateMetrics::get().updates.inc();
+    }
+
+    /// Current version: advances on every mutation. A reader that
+    /// remembers it can later ask [`LiveAggregates::delta_since`] for
+    /// just what changed.
+    pub fn version(&self) -> u64 {
+        self.inner.lock().expect("live aggregates lock").version
+    }
+
+    /// Points folded in so far.
+    pub fn points(&self) -> u64 {
+        self.inner
+            .lock()
+            .expect("live aggregates lock")
+            .overall
+            .tx
+            .count()
+    }
+
+    /// Exact mean of `|error_pct|` across all recorded points (the
+    /// figure the legacy snapshot carried as a hand-maintained sum).
+    pub fn mean_abs_error_pct(&self) -> Option<f64> {
+        self.inner
+            .lock()
+            .expect("live aggregates lock")
+            .overall
+            .error_pct
+            .mean_abs()
+    }
+
+    /// The slices that changed after version `since`, rendered for the
+    /// snapshot-delta wire format, plus the version to remember for
+    /// the next call. `since = 0` returns everything.
+    pub fn delta_since(&self, since: u64) -> (Vec<Value>, u64) {
+        let inner = self.inner.lock().expect("live aggregates lock");
+        let slices = inner
+            .slices
+            .iter()
+            .filter(|(_, node)| node.version > since)
+            .map(|((axis, value), node)| {
+                json!({
+                    "axis": axis,
+                    "metrics": node.metrics_value(None),
+                    "value": value,
+                })
+            })
+            .collect();
+        (slices, inner.version)
+    }
+
+    /// Full pull-mode render for `GET /campaigns/<id>/aggregates`,
+    /// optionally filtered to one axis and/or one metric. Axis and
+    /// metric names are validated by the caller against
+    /// [`crate::aggregate::AXES`] / [`METRICS`].
+    pub fn render(&self, axis: Option<&str>, metric: Option<&str>) -> Value {
+        let inner = self.inner.lock().expect("live aggregates lock");
+        let slices: Vec<Value> = inner
+            .slices
+            .iter()
+            .filter(|((a, _), _)| axis.is_none_or(|want| want == a))
+            .map(|((a, value), node)| {
+                json!({
+                    "axis": a,
+                    "metrics": node.metrics_value(metric),
+                    "value": value,
+                })
+            })
+            .collect();
+        json!({
+            "overall": {"metrics": inner.overall.metrics_value(metric)},
+            "points": inner.overall.tx.count(),
+            "slices": Value::Array(slices),
+            "v": AGGREGATES_VERSION,
+        })
+    }
+
+    /// Wire digest of the whole view, for worker → coordinator
+    /// shipment on lease completion.
+    pub fn digest(&self) -> Value {
+        let inner = self.inner.lock().expect("live aggregates lock");
+        let slices: Vec<Value> = inner
+            .slices
+            .iter()
+            .map(|((axis, value), node)| {
+                let mut map = serde_json::Map::new();
+                map.insert("axis".into(), json!(axis));
+                map.insert("value".into(), json!(value));
+                if let Value::Object(metrics) = node.digest() {
+                    map.extend(metrics);
+                }
+                Value::Object(map)
+            })
+            .collect();
+        json!({
+            "overall": inner.overall.digest(),
+            "slices": Value::Array(slices),
+            "v": AGGREGATES_VERSION,
+        })
+    }
+
+    /// Fold a worker digest in. Returns the number of slices merged,
+    /// or `None` — with this view untouched — on any shape mismatch
+    /// or an unsupported (newer) version.
+    pub fn merge_digest(&self, v: &Value) -> Option<usize> {
+        if v.get("v")?.as_u64()? > AGGREGATES_VERSION {
+            return None;
+        }
+        let overall = SliceNode::from_digest(v.get("overall")?)?;
+        let mut parsed: Vec<((String, String), SliceNode)> = Vec::new();
+        for slice in v.get("slices")?.as_array()? {
+            let axis = slice.get("axis")?.as_str()?.to_string();
+            let value = slice.get("value")?.as_str()?.to_string();
+            parsed.push(((axis, value), SliceNode::from_digest(slice)?));
+        }
+        // Everything parsed: now mutate, under one version bump.
+        let merged = parsed.len();
+        let mut inner = self.inner.lock().expect("live aggregates lock");
+        inner.version += 1;
+        let version = inner.version;
+        inner.overall.merge(&overall, version);
+        for (key, node) in parsed {
+            inner.slices.entry(key).or_default().merge(&node, version);
+        }
+        Some(merged)
+    }
+
+    /// The offline-report shape, computed from the sketches: exact
+    /// `n`/`mean`/`min`/`max`, quantiles within sketch error. Lets
+    /// large-grid report consumers reuse the watchers' computation
+    /// instead of re-sorting every slice.
+    pub fn approx_slices(&self) -> Vec<AxisSlice> {
+        let inner = self.inner.lock().expect("live aggregates lock");
+        inner
+            .slices
+            .iter()
+            .filter_map(|((axis, value), node)| {
+                Some(AxisSlice {
+                    axis: axis.clone(),
+                    value: value.clone(),
+                    tx: node.tx.percentiles()?,
+                    error_pct: node.error_pct.percentiles()?,
+                })
+            })
+            .collect()
+    }
+}
+
+/// Handles into the process-wide telemetry registry for the
+/// aggregates plane (`synapse_aggregates_*`; see the README catalog).
+pub struct AggregateMetrics {
+    /// Point observations folded into any live view.
+    pub updates: Arc<Counter>,
+    /// Snapshot delta events emitted to event streams.
+    pub snapshots_emitted: Arc<Counter>,
+    /// Pull-mode aggregate queries served.
+    pub queries: Arc<Counter>,
+    /// Serialized size of emitted snapshot deltas, in bytes.
+    pub snapshot_bytes: Arc<Histogram>,
+}
+
+impl AggregateMetrics {
+    /// The process-wide handles (registering the series on first use).
+    pub fn get() -> &'static AggregateMetrics {
+        static METRICS: OnceLock<AggregateMetrics> = OnceLock::new();
+        METRICS.get_or_init(|| {
+            let r = global();
+            AggregateMetrics {
+                updates: r.counter(
+                    "synapse_aggregates_updates_total",
+                    "Point observations folded into live aggregate views.",
+                ),
+                snapshots_emitted: r.counter(
+                    "synapse_aggregates_snapshots_emitted_total",
+                    "Aggregate snapshot delta events emitted to event streams.",
+                ),
+                queries: r.counter(
+                    "synapse_aggregates_queries_total",
+                    "Pull-mode aggregate queries served.",
+                ),
+                snapshot_bytes: r.histogram(
+                    "synapse_aggregates_snapshot_bytes",
+                    "Serialized size of emitted aggregate snapshot deltas.",
+                    SIZE_BUCKETS,
+                ),
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregate::{axis_slices, AXES};
+    use crate::cache::ResultCache;
+    use crate::grid::expand;
+    use crate::runner::{run_points, RunConfig};
+    use crate::sketch::{MIN_MAG, RELATIVE_ERROR};
+    use crate::spec::CampaignSpec;
+
+    fn results() -> Vec<PointResult> {
+        let spec = CampaignSpec::from_toml(
+            r#"
+            name = "live"
+            machines = ["thinkie", "stampede", "titan"]
+            kernels = ["asm", "c"]
+
+            [[workloads]]
+            app = "gromacs"
+            steps = [10000, 100000]
+            "#,
+        )
+        .unwrap();
+        run_points(
+            &expand(&spec),
+            &ResultCache::in_memory(),
+            &RunConfig::default(),
+        )
+        .unwrap()
+        .0
+    }
+
+    fn live_of(results: &[PointResult]) -> LiveAggregates {
+        let live = LiveAggregates::new();
+        for r in results {
+            live.record(r);
+        }
+        live
+    }
+
+    #[test]
+    fn render_covers_every_axis_with_exact_counts() {
+        let rs = results();
+        let live = live_of(&rs);
+        assert_eq!(live.points(), rs.len() as u64);
+        let doc = live.render(None, None);
+        assert_eq!(doc["v"].as_u64(), Some(AGGREGATES_VERSION));
+        let slices = doc["slices"].as_array().unwrap();
+        let exact = axis_slices(&rs);
+        assert_eq!(slices.len(), exact.len(), "one slice per (axis, value)");
+        for (got, want) in slices.iter().zip(&exact) {
+            assert_eq!(got["axis"].as_str().unwrap(), want.axis);
+            assert_eq!(got["value"].as_str().unwrap(), want.value);
+            let tx = &got["metrics"]["tx"];
+            assert_eq!(tx["n"].as_u64().unwrap() as usize, want.tx.n);
+            // The offline mean sums *sorted* values; the live mean
+            // sums in arrival order — identical up to f64 grouping.
+            let mean = tx["mean"].as_f64().unwrap();
+            assert!((mean - want.tx.mean).abs() <= 1e-9 * want.tx.mean.abs().max(1.0));
+            assert_eq!(tx["min"].as_f64().unwrap(), want.tx.min);
+            assert_eq!(tx["max"].as_f64().unwrap(), want.tx.max);
+        }
+    }
+
+    #[test]
+    fn filters_restrict_axis_and_metric() {
+        let live = live_of(&results());
+        let doc = live.render(Some("machine"), Some("tx"));
+        let slices = doc["slices"].as_array().unwrap();
+        assert_eq!(slices.len(), 3, "three machines");
+        for s in slices {
+            assert_eq!(s["axis"].as_str(), Some("machine"));
+            assert!(s["metrics"]["tx"].as_object().is_some());
+            assert!(
+                s["metrics"].get("error_pct").is_none(),
+                "metric filter drops the other metric"
+            );
+        }
+    }
+
+    #[test]
+    fn delta_reads_return_only_changed_slices() {
+        let rs = results();
+        let live = LiveAggregates::new();
+        for r in &rs[..rs.len() - 1] {
+            live.record(r);
+        }
+        let (all, cursor) = live.delta_since(0);
+        assert!(!all.is_empty(), "since 0 returns everything");
+        let (none, same) = live.delta_since(cursor);
+        assert!(none.is_empty(), "nothing changed since the cursor");
+        assert_eq!(same, cursor);
+        live.record(&rs[rs.len() - 1]);
+        let (delta, next) = live.delta_since(cursor);
+        assert!(next > cursor);
+        // One point touches exactly one value per axis.
+        assert_eq!(delta.len(), AXES.len());
+        assert!(delta.len() < all.len(), "a delta, not a full snapshot");
+    }
+
+    #[test]
+    fn digest_merge_reproduces_direct_recording() {
+        let rs = results();
+        let (left, right) = rs.split_at(5);
+        let (a, b) = (live_of(left).digest(), live_of(right).digest());
+        let merged = LiveAggregates::new();
+        assert!(merged.merge_digest(&a).is_some());
+        assert!(merged.merge_digest(&b).is_some());
+        // Merge order must not matter (exactly — two-operand f64
+        // addition is commutative).
+        let flipped = LiveAggregates::new();
+        assert!(flipped.merge_digest(&b).is_some());
+        assert!(flipped.merge_digest(&a).is_some());
+        assert_eq!(
+            serde_json::to_string(&merged.render(None, None)).unwrap(),
+            serde_json::to_string(&flipped.render(None, None)).unwrap(),
+        );
+        // Against single-process recording: every bucket-derived and
+        // count/min/max answer is identical; means agree up to f64
+        // sum grouping across the split.
+        let whole = live_of(&rs);
+        let (ms, ws) = (merged.approx_slices(), whole.approx_slices());
+        assert_eq!(ms.len(), ws.len());
+        for (m, w) in ms.iter().zip(&ws) {
+            assert_eq!(
+                (m.axis.as_str(), m.value.as_str()),
+                (w.axis.as_str(), w.value.as_str())
+            );
+            assert_eq!(m.tx.n, w.tx.n);
+            assert_eq!((m.tx.min, m.tx.max), (w.tx.min, w.tx.max));
+            assert_eq!(
+                (m.tx.p50, m.tx.p95, m.tx.p99),
+                (w.tx.p50, w.tx.p95, w.tx.p99)
+            );
+            assert!((m.tx.mean - w.tx.mean).abs() <= 1e-9 * w.tx.mean.abs().max(1.0));
+        }
+        let (m_err, w_err) = (
+            merged.mean_abs_error_pct().unwrap(),
+            whole.mean_abs_error_pct().unwrap(),
+        );
+        assert!((m_err - w_err).abs() <= 1e-9 * w_err.abs().max(1.0));
+    }
+
+    #[test]
+    fn malformed_digest_leaves_the_view_untouched() {
+        let live = live_of(&results());
+        let before = serde_json::to_string(&live.render(None, None)).unwrap();
+        assert_eq!(live.merge_digest(&json!({"v": 1})), None);
+        assert_eq!(
+            live.merge_digest(&json!({"v": AGGREGATES_VERSION + 1, "slices": [], "overall": {}})),
+            None,
+            "newer digest versions are refused"
+        );
+        let mut truncated = live.digest();
+        if let Value::Object(obj) = &mut truncated {
+            obj.insert("slices".into(), json!([{"axis": "machine"}]));
+        }
+        assert_eq!(live.merge_digest(&truncated), None);
+        assert_eq!(
+            serde_json::to_string(&live.render(None, None)).unwrap(),
+            before
+        );
+    }
+
+    #[test]
+    fn approx_slices_track_the_exact_report_within_sketch_error() {
+        let rs = results();
+        let approx = live_of(&rs).approx_slices();
+        let exact = axis_slices(&rs);
+        assert_eq!(approx.len(), exact.len());
+        for (a, e) in approx.iter().zip(&exact) {
+            assert_eq!(
+                (a.axis.as_str(), a.value.as_str()),
+                (e.axis.as_str(), e.value.as_str())
+            );
+            assert_eq!(a.tx.n, e.tx.n);
+            assert!((a.tx.mean - e.tx.mean).abs() <= 1e-9 * e.tx.mean.abs().max(1.0));
+            assert_eq!((a.tx.min, a.tx.max), (e.tx.min, e.tx.max));
+            for (got, want) in [
+                (a.tx.p50, e.tx.p50),
+                (a.tx.p95, e.tx.p95),
+                (a.tx.p99, e.tx.p99),
+                (a.error_pct.p50, e.error_pct.p50),
+                (a.error_pct.p95, e.error_pct.p95),
+                (a.error_pct.p99, e.error_pct.p99),
+            ] {
+                assert!(
+                    (got - want).abs() <= RELATIVE_ERROR * want.abs() + MIN_MAG,
+                    "{}/{}: got {got}, want {want}",
+                    a.axis,
+                    a.value
+                );
+            }
+        }
+    }
+}

@@ -218,6 +218,22 @@ pub enum Invocation {
         id: String,
         /// Server address.
         server: String,
+        /// Follow the aggregate ring (`?aggregates=1`): lifecycle +
+        /// snapshot deltas only, no per-point lines.
+        aggregates: bool,
+    },
+    /// Print a job's live aggregate view (answerable mid-sweep).
+    CampaignAggregates {
+        /// Job id.
+        id: String,
+        /// Server address.
+        server: String,
+        /// Restrict the slice table to one report axis.
+        axis: Option<String>,
+        /// Restrict per-slice stats to one metric.
+        metric: Option<String>,
+        /// Emit the raw JSON document instead of the table.
+        json: bool,
     },
     /// Print a job's status document (or all jobs without an id).
     CampaignStatus {
@@ -405,12 +421,17 @@ fn parse_cluster_args(args: &[String]) -> Result<Invocation, String> {
     }
 }
 
-/// Parse the `campaign submit|watch|status|cancel` client forms.
+/// Parse the `campaign submit|watch|status|cancel|aggregates` client
+/// forms.
 fn parse_campaign_client_args(action: &str, args: &[String]) -> Result<Invocation, String> {
     let mut server = DEFAULT_SERVER_ADDR.to_string();
     let mut watch = false;
     let mut cluster = false;
     let mut record = false;
+    let mut aggregates = false;
+    let mut axis = None;
+    let mut metric = None;
+    let mut json = false;
     let mut positional = None;
     let mut i = 0;
     while i < args.len() {
@@ -426,6 +447,24 @@ fn parse_campaign_client_args(action: &str, args: &[String]) -> Result<Invocatio
             "--watch" if action == "submit" => watch = true,
             "--cluster" if action == "submit" => cluster = true,
             "--record" if action == "submit" => record = true,
+            "--aggregates" if action == "watch" => aggregates = true,
+            "--axis" if action == "aggregates" => {
+                i += 1;
+                axis = Some(
+                    args.get(i)
+                        .cloned()
+                        .ok_or_else(|| format!("missing value after {arg}"))?,
+                );
+            }
+            "--metric" if action == "aggregates" => {
+                i += 1;
+                metric = Some(
+                    args.get(i)
+                        .cloned()
+                        .ok_or_else(|| format!("missing value after {arg}"))?,
+                );
+            }
+            "--json" if action == "aggregates" => json = true,
             other if other.starts_with("--") => {
                 return Err(format!("unknown campaign {action} flag {other}"))
             }
@@ -449,6 +488,14 @@ fn parse_campaign_client_args(action: &str, args: &[String]) -> Result<Invocatio
         "watch" => Ok(Invocation::CampaignWatch {
             id: positional.ok_or("campaign watch requires a job id")?,
             server,
+            aggregates,
+        }),
+        "aggregates" => Ok(Invocation::CampaignAggregates {
+            id: positional.ok_or("campaign aggregates requires a job id")?,
+            server,
+            axis,
+            metric,
+            json,
         }),
         "status" => Ok(Invocation::CampaignStatus {
             id: positional,
@@ -465,7 +512,7 @@ fn parse_campaign_client_args(action: &str, args: &[String]) -> Result<Invocatio
 /// Parse the `campaign <action> <spec>` argument form.
 fn parse_campaign_args(args: &[String]) -> Result<Invocation, String> {
     let action = args.first().ok_or(
-        "campaign requires an action (run | plan | replay | trace-summary | submit | watch | status | cancel | cache)",
+        "campaign requires an action (run | plan | replay | trace-summary | submit | watch | status | cancel | aggregates | cache)",
     )?;
     if action == "cache" {
         return parse_campaign_cache_args(&args[1..]);
@@ -473,7 +520,7 @@ fn parse_campaign_args(args: &[String]) -> Result<Invocation, String> {
     if ["replay", "trace-summary"].contains(&action.as_str()) {
         return parse_campaign_trace_args(action, &args[1..]);
     }
-    if ["submit", "watch", "status", "cancel"].contains(&action.as_str()) {
+    if ["submit", "watch", "status", "cancel", "aggregates"].contains(&action.as_str()) {
         return parse_campaign_client_args(action, &args[1..]);
     }
     let mut spec = None;
@@ -529,7 +576,7 @@ fn parse_campaign_args(args: &[String]) -> Result<Invocation, String> {
         }),
         "plan" => Ok(Invocation::CampaignPlan { spec }),
         other => Err(format!(
-            "unknown campaign action {other} (run | plan | replay | trace-summary | submit | watch | status | cancel | cache)"
+            "unknown campaign action {other} (run | plan | replay | trace-summary | submit | watch | status | cancel | aggregates | cache)"
         )),
     }
 }
@@ -750,15 +797,21 @@ USAGE:
   synapse cluster status [--server HOST:PORT]
   synapse campaign submit <spec.toml|json> [--server HOST:PORT] [--watch]
                    [--cluster] [--record]
-  synapse campaign watch  <job-id> [--server HOST:PORT]
+  synapse campaign watch  <job-id> [--server HOST:PORT] [--aggregates]
   synapse campaign status [job-id] [--server HOST:PORT]
   synapse campaign cancel <job-id> [--server HOST:PORT]
+  synapse campaign aggregates <job-id> [--server HOST:PORT]
+                   [--axis AXIS] [--metric METRIC] [--json]
   synapse table1
   synapse machines
 
 The serve/submit/watch/status/cancel commands form the client/server
 mode: `serve` keeps one process (and one warm result cache) alive;
 `submit --watch` streams per-point NDJSON events as the sweep runs.
+`campaign watch --aggregates` follows the lifecycle + snapshot-delta
+stream instead (O(slices), not O(points)), and
+`campaign aggregates <id>` prints the live per-(axis, value) stats
+table mid-sweep or after.
 `cluster start` runs a coordinator; plain `serve` processes are its
 workers (registered with `--worker`/`add-worker`), and
 `campaign submit --cluster` fans one campaign out across all of them,
@@ -778,21 +831,26 @@ sealed trace is served at GET /campaigns/<id>/trace.
 fn stream_job_events(
     client: &synapse_server::Client,
     id: &str,
+    aggregates: bool,
     out: &mut impl std::io::Write,
 ) -> Result<(), String> {
     let mut write_err: Option<std::io::Error> = None;
-    let last = client
-        .watch(id, |line| {
-            // Flush per line: watchers are typically piped into
-            // `jq`/logs and want events as they land. A dead pipe
-            // (`... | head`) aborts the watch instead of silently
-            // draining the rest of the sweep.
-            if let Err(e) = writeln!(out, "{line}").and_then(|()| out.flush()) {
-                write_err = Some(e);
-            }
-            write_err.is_none()
-        })
-        .map_err(|e| e.to_string())?;
+    let deliver = |line: &str| {
+        // Flush per line: watchers are typically piped into
+        // `jq`/logs and want events as they land. A dead pipe
+        // (`... | head`) aborts the watch instead of silently
+        // draining the rest of the sweep.
+        if let Err(e) = writeln!(out, "{line}").and_then(|()| out.flush()) {
+            write_err = Some(e);
+        }
+        write_err.is_none()
+    };
+    let last = if aggregates {
+        client.watch_aggregates(id, deliver)
+    } else {
+        client.watch(id, deliver)
+    }
+    .map_err(|e| e.to_string())?;
     if let Some(e) = write_err {
         // Truncating a watch stream (`... | head`) is routine, not an
         // error; other write failures still exit nonzero.
@@ -809,6 +867,63 @@ fn stream_job_events(
             .unwrap_or_else(|| format!("campaign {id} failed"))),
         _ => Ok(()),
     }
+}
+
+/// Render a `GET /campaigns/<id>/aggregates` document as the human
+/// table `campaign aggregates` prints: a header line with job identity
+/// and sweep progress, then one row per (axis, value, metric) slice —
+/// overall first — with count, mean and the sketch quantiles.
+fn render_aggregates_table(doc: &serde_json::Value) -> String {
+    use std::fmt::Write as _;
+    let mut text = String::new();
+    let _ = writeln!(
+        text,
+        "{} {:?} {} — {}/{} points aggregated ({} observed)",
+        doc["id"].as_str().unwrap_or("?"),
+        doc["name"].as_str().unwrap_or("?"),
+        doc["status"].as_str().unwrap_or("?"),
+        doc["done"].as_u64().unwrap_or(0),
+        doc["total"].as_u64().unwrap_or(0),
+        doc["points"].as_u64().unwrap_or(0),
+    );
+    let _ = writeln!(
+        text,
+        "{:<13} {:<14} {:<10} {:>7} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "AXIS", "VALUE", "METRIC", "N", "MEAN", "P50", "P95", "P99", "MIN", "MAX",
+    );
+    let mut row = |axis: &str, value: &str, metrics: &serde_json::Value| {
+        let Some(metrics) = metrics.as_object() else {
+            return;
+        };
+        for (metric, stats) in metrics {
+            if stats["n"].as_u64() == Some(0) {
+                continue;
+            }
+            let _ = write!(
+                text,
+                "{:<13} {:<14} {:<10} {:>7}",
+                axis,
+                value,
+                metric,
+                stats["n"].as_u64().unwrap_or(0),
+            );
+            for key in ["mean", "p50", "p95", "p99", "min", "max"] {
+                let _ = write!(text, " {:>10.4}", stats[key].as_f64().unwrap_or(f64::NAN));
+            }
+            text.push('\n');
+        }
+    };
+    row("(overall)", "-", &doc["overall"]["metrics"]);
+    if let Some(slices) = doc["slices"].as_array() {
+        for slice in slices {
+            row(
+                slice["axis"].as_str().unwrap_or("?"),
+                slice["value"].as_str().unwrap_or("?"),
+                &slice["metrics"],
+            );
+        }
+    }
+    text
 }
 
 /// Execute an invocation, writing human-readable output to `out`.
@@ -1019,7 +1134,7 @@ pub fn run(invocation: Invocation, out: &mut impl std::io::Write) -> Result<(), 
                         .as_str()
                         .ok_or("submit ack carries no job id")?
                         .to_string();
-                    stream_job_events(&client, &id, out)?;
+                    stream_job_events(&client, &id, false, out)?;
                 }
             } else if watch {
                 // Submit and stream on ONE connection (`?watch=1`):
@@ -1070,9 +1185,35 @@ pub fn run(invocation: Invocation, out: &mut impl std::io::Write) -> Result<(), 
                 .map_err(|e| e.to_string())?;
             }
         }
-        Invocation::CampaignWatch { id, server } => {
+        Invocation::CampaignWatch {
+            id,
+            server,
+            aggregates,
+        } => {
             let client = synapse_server::Client::new(server);
-            stream_job_events(&client, &id, out)?;
+            stream_job_events(&client, &id, aggregates, out)?;
+        }
+        Invocation::CampaignAggregates {
+            id,
+            server,
+            axis,
+            metric,
+            json,
+        } => {
+            let client = synapse_server::Client::new(server);
+            let doc = client
+                .aggregates(&id, axis.as_deref(), metric.as_deref())
+                .map_err(|e| e.to_string())?;
+            if json {
+                writeln!(
+                    out,
+                    "{}",
+                    serde_json::to_string(&doc).map_err(|e| e.to_string())?
+                )
+                .map_err(|e| e.to_string())?;
+            } else {
+                write!(out, "{}", render_aggregates_table(&doc)).map_err(|e| e.to_string())?;
+            }
         }
         Invocation::CampaignStatus { id, server } => {
             let client = synapse_server::Client::new(server);
@@ -1864,6 +2005,15 @@ mod tests {
             Invocation::CampaignWatch {
                 id: "j3".into(),
                 server: "127.0.0.1:17".into(),
+                aggregates: false,
+            }
+        );
+        assert_eq!(
+            parse_args(&argv(&["campaign", "watch", "j3", "--aggregates"])).unwrap(),
+            Invocation::CampaignWatch {
+                id: "j3".into(),
+                server: DEFAULT_SERVER_ADDR.into(),
+                aggregates: true,
             }
         );
         assert_eq!(
@@ -1880,10 +2030,59 @@ mod tests {
                 server: DEFAULT_SERVER_ADDR.into(),
             }
         );
+        assert_eq!(
+            parse_args(&argv(&[
+                "campaign",
+                "aggregates",
+                "j7",
+                "--axis",
+                "machine",
+                "--metric",
+                "error_pct",
+                "--json",
+            ]))
+            .unwrap(),
+            Invocation::CampaignAggregates {
+                id: "j7".into(),
+                server: DEFAULT_SERVER_ADDR.into(),
+                axis: Some("machine".into()),
+                metric: Some("error_pct".into()),
+                json: true,
+            }
+        );
         assert!(parse_args(&argv(&["campaign", "submit"])).is_err());
         assert!(parse_args(&argv(&["campaign", "cancel"])).is_err());
+        assert!(parse_args(&argv(&["campaign", "aggregates"])).is_err());
         // --watch is a submit-only flag.
         assert!(parse_args(&argv(&["campaign", "watch", "j1", "--watch"])).is_err());
+        // --aggregates is a watch-only flag; --axis belongs to aggregates.
+        assert!(parse_args(&argv(&["campaign", "status", "--aggregates"])).is_err());
+        assert!(parse_args(&argv(&["campaign", "watch", "j1", "--axis", "machine"])).is_err());
+    }
+
+    #[test]
+    fn aggregates_table_renders_overall_and_slices() {
+        let doc = serde_json::json!({
+            "id": "j1", "name": "sweep", "status": "running",
+            "done": 3, "total": 8, "points": 3, "v": 1,
+            "overall": {"metrics": {"error_pct": {
+                "n": 3, "mean": 4.5, "p50": 4.0, "p95": 6.0, "p99": 6.0,
+                "min": 3.0, "max": 6.0,
+            }, "tx": {"n": 0}}},
+            "slices": [{"axis": "machine", "value": "stampede",
+                "metrics": {"error_pct": {
+                    "n": 3, "mean": 4.5, "p50": 4.0, "p95": 6.0,
+                    "p99": 6.0, "min": 3.0, "max": 6.0,
+                }}}],
+        });
+        let table = render_aggregates_table(&doc);
+        assert!(table.contains("j1 \"sweep\" running — 3/8 points aggregated"));
+        assert!(table.contains("(overall)"));
+        assert!(table.contains("machine"));
+        assert!(table.contains("stampede"));
+        assert!(table.contains("error_pct"));
+        // Empty metrics (n=0) render no row.
+        assert!(!table.contains(" tx "));
     }
 
     #[test]
@@ -2140,6 +2339,7 @@ mod tests {
             Invocation::CampaignWatch {
                 id: id.clone(),
                 server: addr.clone(),
+                aggregates: false,
             },
             &mut buf,
         )
@@ -2147,6 +2347,40 @@ mod tests {
         assert!(String::from_utf8(buf)
             .unwrap()
             .contains("\"event\":\"completed\""));
+
+        // watch --aggregates replays the lifecycle + snapshot ring:
+        // terminal snapshot and completed event, but no per-point lines.
+        let mut buf = Vec::new();
+        run(
+            Invocation::CampaignWatch {
+                id: id.clone(),
+                server: addr.clone(),
+                aggregates: true,
+            },
+            &mut buf,
+        )
+        .unwrap();
+        let stream = String::from_utf8(buf).unwrap();
+        assert!(stream.contains("\"event\":\"snapshot\""));
+        assert!(stream.contains("\"event\":\"completed\""));
+        assert!(!stream.contains("\"event\":\"point\""));
+
+        // aggregates prints the live per-(axis, value) stats table.
+        let mut buf = Vec::new();
+        run(
+            Invocation::CampaignAggregates {
+                id: id.clone(),
+                server: addr.clone(),
+                axis: Some("machine".into()),
+                metric: Some("error_pct".into()),
+                json: false,
+            },
+            &mut buf,
+        )
+        .unwrap();
+        let table = String::from_utf8(buf).unwrap();
+        assert!(table.contains("(overall)"), "{table}");
+        assert!(table.contains("error_pct"), "{table}");
 
         // cancel on a finished job is a no-op status echo.
         let mut buf = Vec::new();

@@ -26,7 +26,8 @@ use std::time::{Duration, Instant};
 
 use synapse_campaign::{
     expand_range, plan_leases, CampaignEngine, CampaignError, CampaignOutcome, CampaignReport,
-    CampaignSpec, CancelToken, Lease, LeaseTable, PointEvent, ResultCache, RunConfig, RunStats,
+    CampaignSpec, CancelToken, Lease, LeaseTable, LiveAggregates, PointEvent, ResultCache,
+    RunConfig, RunStats,
 };
 use synapse_server::{Client, ClusterBackend};
 use synapse_trace::TraceRecorder;
@@ -79,6 +80,33 @@ pub struct Coordinator {
     registry: WorkerRegistry,
 }
 
+/// Fold one completed lease's shipped aggregate digest into the
+/// campaign's live view — only if no earlier digest covered any index
+/// of the lease's range. Split tails overlap their parent lease and a
+/// replayed lease re-ships every point, so merging two digests whose
+/// ranges intersect would double-count; first complete digest per
+/// range wins, decided under the coverage lock so racing drivers
+/// cannot both claim an overlap. A malformed digest leaves the view
+/// untouched *and* the range unclaimed — the end-of-run catch-up
+/// records those points directly.
+fn merge_lease_digest(
+    live: &LiveAggregates,
+    coverage: &Mutex<Vec<bool>>,
+    lease: &Lease,
+    digest: Option<&serde_json::Value>,
+) {
+    let Some(digest) = digest else { return };
+    let mut covered = coverage.lock().expect("digest coverage lock");
+    let end = lease.end.min(covered.len());
+    if lease.start >= end || covered[lease.start..end].iter().any(|c| *c) {
+        return;
+    }
+    if live.merge_digest(digest).is_some() {
+        covered[lease.start..end].iter_mut().for_each(|c| *c = true);
+        ClusterMetrics::get().sketch_merges.inc();
+    }
+}
+
 /// How one lease run on one worker ended.
 enum LeaseRun {
     /// Every point of the lease arrived (or the grid finished while
@@ -107,13 +135,18 @@ impl Coordinator {
     }
 
     /// Drive one lease on one worker, feeding points into the
-    /// collector as they stream in.
+    /// collector as they stream in. A clean completion ships the
+    /// lease's aggregate digest, folded into `live` via
+    /// [`merge_lease_digest`].
+    #[allow(clippy::too_many_arguments)]
     fn run_lease(
         &self,
         client: &Client,
         spec: &CampaignSpec,
         lease: &Lease,
         collector: &Collector,
+        live: &LiveAggregates,
+        coverage: &Mutex<Vec<bool>>,
         observer: &(dyn Fn(PointEvent) + Sync),
         cancel: &CancelToken,
     ) -> LeaseRun {
@@ -188,7 +221,10 @@ impl Coordinator {
             return LeaseRun::Failed(error);
         }
         match watched {
-            Ok(summary) if summary["event"].as_str() == Some("completed") => LeaseRun::Completed,
+            Ok(summary) if summary["event"].as_str() == Some("completed") => {
+                merge_lease_digest(live, coverage, lease, summary.get("aggregates"));
+                LeaseRun::Completed
+            }
             Ok(summary) => LeaseRun::Failed(format!(
                 "lease stream ended with {:?}",
                 summary["event"].as_str().unwrap_or("nothing")
@@ -253,6 +289,8 @@ impl Coordinator {
         spec: &CampaignSpec,
         table: &Mutex<LeaseTable>,
         collector: &Collector,
+        live: &LiveAggregates,
+        coverage: &Mutex<Vec<bool>>,
         fatal: &Mutex<Option<String>>,
         observer: &(dyn Fn(PointEvent) + Sync),
         recorder: Option<&TraceRecorder>,
@@ -316,7 +354,9 @@ impl Coordinator {
                 recorder.record_lease(phase, worker_id, lease.start, lease.end);
             }
             let lease_started = Instant::now();
-            match self.run_lease(&client, spec, &lease, collector, observer, cancel) {
+            match self.run_lease(
+                &client, spec, &lease, collector, live, coverage, observer, cancel,
+            ) {
                 LeaseRun::Completed => {
                     table.lock().expect("lease table lock").complete(lease.id);
                     self.registry.credit_lease(worker_id);
@@ -379,6 +419,7 @@ impl ClusterBackend for Coordinator {
         &self,
         spec: &CampaignSpec,
         cache: &ResultCache,
+        live: &LiveAggregates,
         observer: &(dyn Fn(PointEvent) + Sync),
         recorder: Option<&TraceRecorder>,
         cancel: &CancelToken,
@@ -405,16 +446,21 @@ impl ClusterBackend for Coordinator {
             &weights,
         )));
         let collector = Collector::new(total);
+        // Which grid indices a merged worker digest already covers:
+        // the catch-up after fan-out records only the rest, so the
+        // live view counts every point exactly once.
+        let coverage: Mutex<Vec<bool>> = Mutex::new(vec![false; total]);
         let fatal: Mutex<Option<String>> = Mutex::new(None);
 
         if !workers.is_empty() {
             std::thread::scope(|scope| {
                 for (worker_id, addr) in &workers {
                     let (table, collector, fatal) = (&table, &collector, &fatal);
+                    let coverage = &coverage;
                     scope.spawn(move || {
                         self.drive_worker(
-                            worker_id, addr, spec, table, collector, fatal, observer, recorder,
-                            cancel,
+                            worker_id, addr, spec, table, collector, live, coverage, fatal,
+                            observer, recorder, cancel,
                         )
                     });
                 }
@@ -481,6 +527,22 @@ impl ClusterBackend for Coordinator {
         let sweep_secs = started.elapsed().as_secs_f64();
         let aggregate_started = Instant::now();
         let results = collector.into_results()?;
+        // Catch-up for the live view: indices no merged digest covers
+        // (local-fallback sweeps, leases finished by overlapping split
+        // tails, streams that broke before their terminal event) are
+        // recorded point by point from the merged results. Together
+        // with the coverage rule above, every grid point lands in the
+        // live aggregates exactly once — which is why a cluster run's
+        // `/aggregates` agrees with a single-process sweep within
+        // sketch error.
+        {
+            let covered = coverage.lock().expect("digest coverage lock");
+            for (result, covered) in results.iter().zip(covered.iter()) {
+                if !covered {
+                    live.record(result);
+                }
+            }
+        }
         let report = CampaignReport::assemble(spec, &results)?;
         let stats = RunStats {
             points: total,

@@ -94,8 +94,9 @@ fn await_terminal(client: &Client, id: &str) -> Value {
 }
 
 /// Submit a spec plainly (no cluster) and return its compact report
-/// text — the single-process baseline for byte-stability checks.
-fn single_process_report(spec: &str) -> String {
+/// text — the single-process baseline for byte-stability checks —
+/// plus its final `/aggregates` document (the live-view baseline).
+fn single_process_report(spec: &str) -> (String, Value) {
     let (_, client, handle, join) = boot_worker(ServerConfig::default());
     let id = client.submit(spec).unwrap()["id"]
         .as_str()
@@ -104,9 +105,33 @@ fn single_process_report(spec: &str) -> String {
     let summary = client.watch(&id, |_| true).unwrap();
     assert_eq!(summary["event"].as_str(), Some("completed"));
     let report = client.report(&id).unwrap();
+    let aggregates = client.aggregates(&id, None, None).unwrap();
     handle.shutdown();
     join.join().unwrap();
-    serde_json::to_string(&report).unwrap()
+    (serde_json::to_string(&report).unwrap(), aggregates)
+}
+
+/// Assert two aggregate stats objects agree: counts and extrema
+/// exactly, mean and sketch quantiles within the sketch's relative
+/// error (merging per-worker sketches regroups f64 additions and must
+/// not change what a dashboard reads).
+fn assert_stats_close(cluster: &Value, local: &Value, what: &str) {
+    assert_eq!(cluster["n"], local["n"], "{what}: count");
+    if cluster["n"].as_u64() == Some(0) {
+        return;
+    }
+    for key in ["min", "max"] {
+        assert_eq!(cluster[key], local[key], "{what}: {key}");
+    }
+    for key in ["mean", "p50", "p95", "p99"] {
+        let c = cluster[key].as_f64().unwrap();
+        let l = local[key].as_f64().unwrap();
+        let tolerance = 0.02 * l.abs().max(1e-9);
+        assert!(
+            (c - l).abs() <= tolerance,
+            "{what}: {key} diverged: cluster {c} vs local {l}"
+        );
+    }
 }
 
 #[test]
@@ -152,7 +177,42 @@ fn distributed_run_merges_streams_and_reports_byte_stably() {
     // Byte-stable merge: the distributed report equals the
     // single-process baseline exactly.
     let merged = serde_json::to_string(&client.report(&id).unwrap()).unwrap();
-    assert_eq!(merged, single_process_report(medium_spec()));
+    let (baseline_report, baseline_aggregates) = single_process_report(medium_spec());
+    assert_eq!(merged, baseline_report);
+
+    // The live aggregate view assembled from worker-shipped sketch
+    // digests agrees with the single-process one: same coverage, same
+    // slice keys, stats within sketch error.
+    let aggregates = client.aggregates(&id, None, None).unwrap();
+    assert_eq!(aggregates["points"].as_u64(), Some(16));
+    assert_stats_close(
+        &aggregates["overall"]["metrics"]["error_pct"],
+        &baseline_aggregates["overall"]["metrics"]["error_pct"],
+        "overall error_pct",
+    );
+    let slice_key = |s: &Value| {
+        (
+            s["axis"].as_str().unwrap().to_string(),
+            s["value"].as_str().unwrap().to_string(),
+        )
+    };
+    let cluster_slices = aggregates["slices"].as_array().unwrap();
+    let local_slices = baseline_aggregates["slices"].as_array().unwrap();
+    assert_eq!(
+        cluster_slices.iter().map(slice_key).collect::<Vec<_>>(),
+        local_slices.iter().map(slice_key).collect::<Vec<_>>(),
+        "identical slice keys"
+    );
+    for (c, l) in cluster_slices.iter().zip(local_slices) {
+        let (axis, value) = slice_key(c);
+        for metric in ["error_pct", "tx"] {
+            assert_stats_close(
+                &c["metrics"][metric],
+                &l["metrics"][metric],
+                &format!("{axis}={value} {metric}"),
+            );
+        }
+    }
 
     // Both workers carried leases.
     let status = client.cluster_status().unwrap();
@@ -186,6 +246,16 @@ fn distributed_run_merges_streams_and_reports_byte_stably() {
     assert!(value("synapse_cluster_batch_points_count") >= 8.0);
     assert!(value("synapse_cluster_batch_points_sum") >= 16.0);
     assert!(value("synapse_cluster_leases_split_total") >= 0.0);
+    // Remotely-run leases shipped aggregate digests home and the
+    // coordinator folded them into the campaign's live view. Not all 8
+    // necessarily merge: a lease whose stream is still open when the
+    // grid completes hangs up before its terminal event (and the
+    // catch-up records its points directly), so the floor is most-of,
+    // not all-of.
+    assert!(
+        value("synapse_cluster_sketch_merges_total") >= 4.0,
+        "worker sketch digests merged: {metrics}"
+    );
     assert!(value("synapse_server_connections_accepted_total") >= 1.0);
     assert!(value("synapse_store_lock_acquisitions_total") >= 0.0);
     assert!(
@@ -240,7 +310,7 @@ fn worker_death_mid_sweep_reassigns_leases_and_completes() {
     // The merged report is still byte-identical to a single-process
     // run — lease replay and reassignment leave no trace.
     let merged = serde_json::to_string(&client.report(&id).unwrap()).unwrap();
-    assert_eq!(merged, single_process_report(wide_spec()));
+    assert_eq!(merged, single_process_report(wide_spec()).0);
 
     // The registry knows worker 2 is gone.
     let cluster = client.cluster_status().unwrap();
@@ -261,7 +331,7 @@ fn coordinator_without_workers_falls_back_to_local_execution() {
     assert_eq!(summary["event"].as_str(), Some("completed"));
     assert_eq!(summary["points"].as_u64(), Some(16));
     let merged = serde_json::to_string(&client.report(&id).unwrap()).unwrap();
-    assert_eq!(merged, single_process_report(medium_spec()));
+    assert_eq!(merged, single_process_report(medium_spec()).0);
     handle.shutdown();
     join.join().unwrap();
 }
@@ -475,7 +545,7 @@ fn frozen_worker_stream_fails_fast_and_reassigns() {
     // The merged report is still byte-identical to a single-process
     // run — the aborted lease left no trace.
     let merged = serde_json::to_string(&client.report(&id).unwrap()).unwrap();
-    assert_eq!(merged, single_process_report(medium_spec()));
+    assert_eq!(merged, single_process_report(medium_spec()).0);
 
     // The registry observed the death.
     let cluster = client.cluster_status().unwrap();
@@ -646,7 +716,7 @@ fn straggling_lease_tail_splits_and_fast_workers_set_the_makespan() {
 
     // Speculation left no trace in the merged result.
     let merged = serde_json::to_string(&client.report(&id).unwrap()).unwrap();
-    assert_eq!(merged, single_process_report(spec_text));
+    assert_eq!(merged, single_process_report(spec_text).0);
 
     // The split shows up on the coordinator's own scrape.
     let metrics = client.metrics().unwrap();
@@ -785,7 +855,7 @@ fn cluster_recorded_trace_replays_to_the_single_process_report() {
     let reconstructed: Value = serde_json::from_str(&pretty).unwrap();
     assert_eq!(
         serde_json::to_string(&reconstructed).unwrap(),
-        single_process_report(medium_spec())
+        single_process_report(medium_spec()).0
     );
 
     handle.shutdown();

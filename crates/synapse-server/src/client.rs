@@ -427,6 +427,32 @@ impl Client {
             .json()
     }
 
+    /// `GET /campaigns/<id>/aggregates` — the job's live per-(axis,
+    /// value) aggregate view, answerable mid-sweep. `axis` / `metric`
+    /// narrow the slice list server-side (unknown names are a 400
+    /// listing the valid ones).
+    pub fn aggregates(
+        &self,
+        id: &str,
+        axis: Option<&str>,
+        metric: Option<&str>,
+    ) -> Result<Value, ServerError> {
+        let mut path = format!("/campaigns/{id}/aggregates");
+        let mut sep = '?';
+        if let Some(axis) = axis {
+            path.push(sep);
+            path.push_str("axis=");
+            path.push_str(axis);
+            sep = '&';
+        }
+        if let Some(metric) = metric {
+            path.push(sep);
+            path.push_str("metric=");
+            path.push_str(metric);
+        }
+        self.request("GET", &path, None)?.ok()?.json()
+    }
+
     /// `DELETE /campaigns/<id>` — request cooperative cancellation.
     pub fn cancel(&self, id: &str) -> Result<Value, ServerError> {
         self.request("DELETE", &format!("/campaigns/{id}"), None)?
@@ -534,7 +560,20 @@ impl Client {
         id: &str,
         on_event: impl FnMut(&str) -> bool,
     ) -> Result<Value, ServerError> {
-        self.watch_opts(id, false, on_event)
+        self.watch_opts(id, false, false, on_event)
+    }
+
+    /// [`watch`](Client::watch) on the aggregate ring (`GET
+    /// /campaigns/<id>/events?aggregates=1`): lifecycle events plus
+    /// `snapshot` aggregate deltas, no per-point lines — the stream a
+    /// dashboard over a 100k-point sweep wants, sized O(slices ·
+    /// snapshots) instead of O(points).
+    pub fn watch_aggregates(
+        &self,
+        id: &str,
+        on_event: impl FnMut(&str) -> bool,
+    ) -> Result<Value, ServerError> {
+        self.watch_opts(id, false, true, on_event)
     }
 
     /// [`watch`](Client::watch), but heartbeat keepalives are *also*
@@ -548,16 +587,18 @@ impl Client {
         id: &str,
         on_event: impl FnMut(&str) -> bool,
     ) -> Result<Value, ServerError> {
-        self.watch_opts(id, true, on_event)
+        self.watch_opts(id, true, false, on_event)
     }
 
     fn watch_opts(
         &self,
         id: &str,
         keepalive_to_callback: bool,
+        aggregates: bool,
         mut on_event: impl FnMut(&str) -> bool,
     ) -> Result<Value, ServerError> {
-        let mut reader = self.send("GET", &format!("/campaigns/{id}/events"), None)?;
+        let query = if aggregates { "?aggregates=1" } else { "" };
+        let mut reader = self.send("GET", &format!("/campaigns/{id}/events{query}"), None)?;
         let (status, chunked) = Self::read_head(&mut reader)?;
         if status != 200 {
             let mut body = String::new();

@@ -53,6 +53,15 @@ impl Request {
         self.target.split_once('?').map(|(_, q)| q)
     }
 
+    /// First value of a query parameter (`?axis=machine`), if present
+    /// with a value. A bare key reads as absent.
+    pub fn query_value(&self, name: &str) -> Option<&str> {
+        self.query()?.split('&').find_map(|pair| {
+            let (key, value) = pair.split_once('=')?;
+            (key == name).then_some(value)
+        })
+    }
+
     /// Whether a boolean query parameter is set: present bare
     /// (`?cluster`) or with a truthy value (`?cluster=1`). `=0` and
     /// `=false` read as unset.

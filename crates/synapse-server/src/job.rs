@@ -19,7 +19,7 @@ use std::time::Duration;
 
 use serde::{Deserialize, Serialize};
 use std::sync::OnceLock;
-use synapse_campaign::{CampaignReport, CampaignSpec, CancelToken, RunStats};
+use synapse_campaign::{CampaignReport, CampaignSpec, CancelToken, LiveAggregates, RunStats};
 use synapse_trace::TraceRecorder;
 
 /// Wire form of `POST /leases`: sweep grid indices `start..end` of the
@@ -129,12 +129,38 @@ pub struct Progress {
     pub done: usize,
     /// Of those, served from the shared result cache.
     pub cache_hits: usize,
-    /// Running sum of |error_pct| over landed points (for snapshots).
-    pub abs_err_sum: f64,
     /// Final run stats (set on completion).
     pub stats: Option<RunStats>,
     /// Failure message (set on error).
     pub error: Option<String>,
+}
+
+/// Which of a job's two event rings to read.
+///
+/// Every job feeds two bounded rings from the same publication path:
+/// the **raw** ring carries everything (per-point events included);
+/// the **aggregates** ring carries only the shared lines — lifecycle
+/// transitions and `snapshot` aggregate deltas — so an
+/// aggregate-mode watcher's stream stays O(slices · snapshots), never
+/// O(points).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventRing {
+    /// All events, per-point stream included.
+    Raw,
+    /// Lifecycle + snapshot deltas only.
+    Aggregates,
+}
+
+/// Where snapshot-delta emission for a job stands: the aggregate
+/// version covered by the last emitted snapshot, and when it was
+/// emitted (the server's hybrid count+time cadence reads both).
+pub struct SnapshotCursor {
+    /// [`LiveAggregates::version`] already covered by emissions.
+    pub version: u64,
+    /// Points done at the last emission.
+    pub done: usize,
+    /// Instant of the last emission.
+    pub emitted_at: std::time::Instant,
 }
 
 /// Out-of-band notification that a job published (or closed) events —
@@ -160,8 +186,15 @@ pub struct Job {
     progress: Mutex<Progress>,
     /// Deterministic report of a completed job.
     report: Mutex<Option<CampaignReport>>,
+    /// Incremental per-(axis, metric) aggregates, shared by every
+    /// watcher, snapshot emission and `GET /campaigns/<id>/aggregates`.
+    live: Arc<LiveAggregates>,
+    /// Snapshot-delta emission state (see [`SnapshotCursor`]).
+    snapshot: Mutex<SnapshotCursor>,
     /// Bounded ring of serialized NDJSON lines, in emission order.
     events: Mutex<EventLog>,
+    /// Lifecycle + snapshot lines only (see [`EventRing`]).
+    aggregate_events: Mutex<EventLog>,
     events_ready: Condvar,
     /// Cheap terminal check for streamers (avoids taking the progress
     /// lock per poll).
@@ -210,6 +243,19 @@ impl Job {
         event_cap: usize,
         hook: Option<Arc<EventHook>>,
     ) -> Job {
+        let ring = || {
+            Mutex::new(EventLog {
+                lines: VecDeque::new(),
+                base: 0,
+                cap: if event_cap == 0 {
+                    usize::MAX
+                } else {
+                    event_cap
+                },
+                unflushed: 0,
+                last_hook: std::time::Instant::now(),
+            })
+        };
         Job {
             id,
             spec,
@@ -221,22 +267,18 @@ impl Job {
                 state: JobState::Queued,
                 done: 0,
                 cache_hits: 0,
-                abs_err_sum: 0.0,
                 stats: None,
                 error: None,
             }),
             report: Mutex::new(None),
-            events: Mutex::new(EventLog {
-                lines: VecDeque::new(),
-                base: 0,
-                cap: if event_cap == 0 {
-                    usize::MAX
-                } else {
-                    event_cap
-                },
-                unflushed: 0,
-                last_hook: std::time::Instant::now(),
+            live: Arc::new(LiveAggregates::new()),
+            snapshot: Mutex::new(SnapshotCursor {
+                version: 0,
+                done: 0,
+                emitted_at: std::time::Instant::now(),
             }),
+            events: ring(),
+            aggregate_events: ring(),
             events_ready: Condvar::new(),
             done_events: AtomicUsize::new(0),
             hook,
@@ -308,30 +350,56 @@ impl Job {
             .and_then(|r| r.to_json().ok())
     }
 
+    /// The job's shared live-aggregate view.
+    pub fn live(&self) -> &Arc<LiveAggregates> {
+        &self.live
+    }
+
+    /// Run a closure over the locked snapshot-emission cursor (the
+    /// server's cadence check reads and advances it atomically).
+    pub fn with_snapshot_cursor<T>(&self, f: impl FnOnce(&mut SnapshotCursor) -> T) -> T {
+        f(&mut self.snapshot.lock().expect("snapshot cursor lock"))
+    }
+
+    /// Push one line onto one ring; returns whether the hook should
+    /// fire (batching state is per ring).
+    fn push_line(&self, ring: &Mutex<EventLog>, line: String) -> bool {
+        let mut events = ring.lock().expect("events lock");
+        if events.lines.len() >= events.cap {
+            events.lines.pop_front();
+            events.base += 1;
+            crate::metrics::ServerMetrics::get()
+                .ring_truncated_lines
+                .inc();
+        }
+        events.lines.push_back(line);
+        self.events_ready.notify_all();
+        events.unflushed += 1;
+        let fire = events.unflushed >= HOOK_BATCH || events.last_hook.elapsed() >= HOOK_LATENCY;
+        if fire {
+            events.unflushed = 0;
+            events.last_hook = std::time::Instant::now();
+        }
+        fire
+    }
+
     /// Append one NDJSON event line and wake streamers. When the ring
     /// is at capacity the oldest line falls off (its absolute position
     /// survives in `base`, so late readers learn how much they missed).
     pub fn push_event(&self, line: String) {
-        let fire = {
-            let mut events = self.events.lock().expect("events lock");
-            if events.lines.len() >= events.cap {
-                events.lines.pop_front();
-                events.base += 1;
-                crate::metrics::ServerMetrics::get()
-                    .ring_truncated_lines
-                    .inc();
+        if self.push_line(&self.events, line) {
+            if let Some(hook) = &self.hook {
+                hook();
             }
-            events.lines.push_back(line);
-            self.events_ready.notify_all();
-            events.unflushed += 1;
-            let fire = events.unflushed >= HOOK_BATCH || events.last_hook.elapsed() >= HOOK_LATENCY;
-            if fire {
-                events.unflushed = 0;
-                events.last_hook = std::time::Instant::now();
-            }
-            fire
-        };
-        if fire {
+        }
+    }
+
+    /// Append one NDJSON line to *both* rings — lifecycle transitions
+    /// and snapshot deltas, the lines aggregate-mode watchers see too.
+    pub fn push_shared_event(&self, line: String) {
+        let fire_raw = self.push_line(&self.events, line.clone());
+        let fire_agg = self.push_line(&self.aggregate_events, line);
+        if fire_raw || fire_agg {
             if let Some(hook) = &self.hook {
                 hook();
             }
@@ -380,7 +448,7 @@ impl Job {
                 "done": 0,
                 "total": self.total,
             });
-            self.push_event(serde_json::to_string(&event).expect("event serializes"));
+            self.push_shared_event(serde_json::to_string(&event).expect("event serializes"));
             self.close_events();
         }
         settled
@@ -399,8 +467,24 @@ impl Job {
         out: &mut Vec<u8>,
         max_bytes: usize,
     ) -> (usize, bool, bool) {
+        self.ring_events_into(EventRing::Raw, from, out, max_bytes)
+    }
+
+    /// [`Job::events_into`] over a chosen ring: the aggregates ring
+    /// serves `GET /campaigns/<id>/events?aggregates=1` watchers.
+    pub fn ring_events_into(
+        &self,
+        ring: EventRing,
+        from: usize,
+        out: &mut Vec<u8>,
+        max_bytes: usize,
+    ) -> (usize, bool, bool) {
         use std::fmt::Write as _;
-        let events = self.events.lock().expect("events lock");
+        let ring = match ring {
+            EventRing::Raw => &self.events,
+            EventRing::Aggregates => &self.aggregate_events,
+        };
+        let events = ring.lock().expect("events lock");
         let start = out.len();
         let mut from = from;
         if from < events.base {
@@ -635,6 +719,27 @@ mod tests {
         // behind a partial batch.
         job.close_events();
         assert_eq!(fired.load(Ordering::SeqCst), after_burst + 1);
+    }
+
+    #[test]
+    fn shared_events_reach_both_rings_point_events_only_the_raw_one() {
+        let job = Job::new(12, spec(), 1, 1, JobKind::Sweep, 0);
+        job.push_event("{\"event\":\"point\"}".into());
+        job.push_shared_event("{\"event\":\"snapshot\"}".into());
+        let mut raw = Vec::new();
+        let (next, any, _) = job.ring_events_into(EventRing::Raw, 0, &mut raw, usize::MAX);
+        assert_eq!(next, 2);
+        assert!(any);
+        let mut agg = Vec::new();
+        let (next, any, _) = job.ring_events_into(EventRing::Aggregates, 0, &mut agg, usize::MAX);
+        assert_eq!(next, 1, "the point event never reaches the aggregates ring");
+        assert!(any);
+        assert_eq!(agg, b"{\"event\":\"snapshot\"}\n");
+        // Cursor spaces are per ring: each ring closes with its own
+        // tail intact.
+        job.close_events();
+        let (_, _, closed) = job.ring_events_into(EventRing::Aggregates, 1, &mut agg, usize::MAX);
+        assert!(closed);
     }
 
     #[test]

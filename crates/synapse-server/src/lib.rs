@@ -26,6 +26,8 @@
 //! | `GET /campaigns`            | status of every job                           |
 //! | `GET /campaigns/j1`         | one job's status/summary                      |
 //! | `GET /campaigns/j1/events`  | chunked NDJSON stream of per-point results    |
+//! | `…/events?aggregates=1`     | lifecycle + aggregate snapshot deltas only    |
+//! | `GET /campaigns/j1/aggregates` | live per-(axis, value) stats, mid-sweep too |
 //! | `GET /campaigns/j1/report`  | deterministic report of a completed job       |
 //! | `POST /campaigns?record=1`  | submit + capture a flight-recorder trace      |
 //! | `GET /campaigns/j1/trace`   | recorded trace (NDJSON) of a finished job     |
@@ -41,9 +43,14 @@
 //!
 //! `GET /campaigns/<id>/events` replays the job's history and then
 //! follows live: `started`, one `point` per landed scenario point (in
-//! completion order, each carrying its grid `index`), a `snapshot`
-//! aggregate every [`SNAPSHOT_EVERY`] points, and exactly one terminal
-//! event — `completed`, `cancelled` or `failed`.
+//! completion order, each carrying its grid `index`), periodic
+//! `snapshot` aggregate **deltas** (at most one per
+//! [`SNAPSHOT_MIN_INTERVAL`], each carrying only the slices that
+//! changed since the previous one, plus a guaranteed terminal
+//! snapshot), and exactly one terminal event — `completed`,
+//! `cancelled` or `failed`. With `?aggregates=1` the per-point lines
+//! are omitted: the stream is lifecycle + snapshots only, so its size
+//! is O(slices · snapshots) instead of O(points).
 //!
 //! ```no_run
 //! use synapse_server::{Client, Server, ServerConfig};
@@ -76,15 +83,16 @@ mod reactor;
 pub mod server;
 
 pub use client::{Client, Response, STREAM_SILENCE_TIMEOUT};
-pub use job::{Job, JobKind, JobState, LeaseRequest};
+pub use job::{EventRing, Job, JobKind, JobState, LeaseRequest};
 pub use server::{
     lease_batch_line, Server, ServerConfig, ServerHandle, BATCH_FRAME_VERSION,
     DEFAULT_BATCH_POINTS, DEFAULT_EVENT_BUFFER, DEFAULT_HANDLER_THREADS, DEFAULT_MAX_CONNECTIONS,
-    DEFAULT_STREAM_HIGH_WATER, HEARTBEAT_EVERY, SNAPSHOT_EVERY,
+    DEFAULT_STREAM_HIGH_WATER, HEARTBEAT_EVERY, SNAPSHOT_EVERY, SNAPSHOT_MIN_INTERVAL,
 };
 
 use synapse_campaign::{
-    CampaignError, CampaignOutcome, CampaignSpec, CancelToken, PointEvent, ResultCache,
+    CampaignError, CampaignOutcome, CampaignSpec, CancelToken, LiveAggregates, PointEvent,
+    ResultCache,
 };
 use synapse_trace::TraceRecorder;
 
@@ -108,10 +116,15 @@ pub trait ClusterBackend: Send + Sync {
     /// lease lifecycle (assigned/completed/failed/reassigned/split/
     /// local) and propagates its causality id to workers as the
     /// `X-Synapse-Trace` request header.
+    /// `live` is the campaign's shared aggregate view: the backend
+    /// folds worker-shipped sketch digests into it as leases complete
+    /// (and records locally-executed points directly), so mid-sweep
+    /// `GET /campaigns/<id>/aggregates` works for distributed runs too.
     fn run_distributed(
         &self,
         spec: &CampaignSpec,
         cache: &ResultCache,
+        live: &LiveAggregates,
         observer: &(dyn Fn(PointEvent) + Sync),
         recorder: Option<&TraceRecorder>,
         cancel: &CancelToken,

@@ -57,6 +57,7 @@ const ENDPOINTS: &[&str] = &[
     "/store/stats",
     "/campaigns",
     "/campaigns/:id",
+    "/campaigns/:id/aggregates",
     "/campaigns/:id/events",
     "/campaigns/:id/report",
     "/campaigns/:id/trace",
@@ -164,6 +165,7 @@ pub(crate) fn endpoint_label(path: &str) -> &'static str {
         ["store", "stats"] => "/store/stats",
         ["campaigns"] => "/campaigns",
         ["campaigns", _] => "/campaigns/:id",
+        ["campaigns", _, "aggregates"] => "/campaigns/:id/aggregates",
         ["campaigns", _, "events"] => "/campaigns/:id/events",
         ["campaigns", _, "report"] => "/campaigns/:id/report",
         ["campaigns", _, "trace"] => "/campaigns/:id/trace",
@@ -183,6 +185,10 @@ mod tests {
         assert_eq!(
             endpoint_label("/campaigns/j42/events"),
             "/campaigns/:id/events"
+        );
+        assert_eq!(
+            endpoint_label("/campaigns/j42/aggregates?axis=machine"),
+            "/campaigns/:id/aggregates"
         );
         assert_eq!(endpoint_label("/campaigns/j42/"), "/campaigns/:id");
         assert_eq!(endpoint_label("/campaigns?watch=1"), "/campaigns");

@@ -38,21 +38,31 @@ use std::time::{Duration, Instant};
 
 use serde_json::json;
 use synapse_campaign::{
-    expand_range, run_campaign_on, CampaignEngine, CampaignError, CampaignSpec, PointEvent,
-    ResultCache, RunConfig,
+    expand_range, run_campaign_on, AggregateMetrics, CampaignEngine, CampaignError, CampaignSpec,
+    PointEvent, ResultCache, RunConfig, AGGREGATES_VERSION,
 };
 
 use synapse_trace::TraceRecorder;
 
 use crate::http::{self, HttpError, Request, RequestParser};
-use crate::job::{EventHook, Job, JobKind, JobState, LeaseRequest};
+use crate::job::{EventHook, EventRing, Job, JobKind, JobState, LeaseRequest};
 use crate::metrics::{endpoint_label, ServerMetrics};
 use crate::reactor::{self, Poller, Waker};
 use crate::{ClusterBackend, ServerError};
 
-/// How often a long-lived sweep emits an aggregate `snapshot` event
-/// into its stream, in landed points.
+/// How many points must land since the last aggregate `snapshot`
+/// delta before another may be emitted. Paired with
+/// [`SNAPSHOT_MIN_INTERVAL`]: BOTH thresholds must pass, so a fast
+/// sweep's snapshot count is bounded by wall time (O(runtime ·
+/// slices) stream bytes for an aggregate-mode watcher, never
+/// O(points)) while a slow sweep's is bounded by progress.
 pub const SNAPSHOT_EVERY: usize = 32;
+
+/// Floor on the wall time between two mid-sweep `snapshot` deltas on
+/// one job's stream (see [`SNAPSHOT_EVERY`]). The terminal snapshot
+/// bypasses the cadence: a finished campaign's last delta always
+/// lands before its terminal event.
+pub const SNAPSHOT_MIN_INTERVAL: Duration = Duration::from_millis(250);
 
 /// Terminal jobs retained in the table (live jobs never count): the
 /// daemon serves status/report/replay for this many finished
@@ -660,7 +670,7 @@ fn run_job(state: &ServerState, job: &Arc<Job>) {
             }
         });
         if !already_settled {
-            job.push_event(
+            job.push_shared_event(
                 ndjson(&json!({"event": "cancelled", "id": job.public_id(), "done": 0, "total": job.total})),
             );
             job.close_events();
@@ -800,7 +810,7 @@ fn point_observer(job: &Arc<Job>) -> impl Fn(PointEvent) + Sync + '_ {
         }
         match event {
             PointEvent::Started { total } => {
-                job.push_event(ndjson(&json!({
+                job.push_shared_event(ndjson(&json!({
                     "event": "started",
                     "id": job.public_id(),
                     "name": job.spec.name,
@@ -813,24 +823,22 @@ fn point_observer(job: &Arc<Job>) -> impl Fn(PointEvent) + Sync + '_ {
                 done,
                 total,
             } => {
-                let abs_err_sum = job.with_progress(|p| {
+                job.with_progress(|p| {
                     p.done = done;
                     p.cache_hits += usize::from(cached);
-                    p.abs_err_sum += result.error_pct().abs();
-                    p.abs_err_sum
                 });
+                // Distributed runs fold worker-shipped digests into the
+                // live view at lease completion; recording the merged
+                // point stream here too would double-count every point.
+                if !matches!(job.kind, JobKind::Distributed) {
+                    job.live().record(&result);
+                }
                 job.push_event(point_event_line(&result, cached, done, total));
-                if done % SNAPSHOT_EVERY == 0 && done < total {
-                    let (cache_hits, simulated) =
-                        job.with_progress(|p| (p.cache_hits, p.done - p.cache_hits));
-                    job.push_event(ndjson(&json!({
-                        "event": "snapshot",
-                        "done": done,
-                        "total": total,
-                        "cache_hits": cache_hits,
-                        "simulated": simulated,
-                        "mean_abs_error_pct": abs_err_sum / done as f64,
-                    })));
+                // The final point's delta travels with the terminal
+                // snapshot instead (publish_outcome), so a watcher
+                // never sees a mid-sweep snapshot after the last point.
+                if done < total {
+                    emit_snapshot_delta(job, false);
                 }
             }
             // Terminal events are published below, where the report and
@@ -840,12 +848,63 @@ fn point_observer(job: &Arc<Job>) -> impl Fn(PointEvent) + Sync + '_ {
     }
 }
 
+/// Emit one aggregate `snapshot` **delta** event onto both of the
+/// job's rings — only the slices whose live aggregates changed since
+/// the last emission, never the full table. Skipped when nothing
+/// changed, or (unless `force`) when the hybrid cadence says it is
+/// too soon: both [`SNAPSHOT_EVERY`] points *and*
+/// [`SNAPSHOT_MIN_INTERVAL`] must have passed since the last one.
+fn emit_snapshot_delta(job: &Arc<Job>, force: bool) {
+    let live = job.live();
+    let (done, cache_hits) = job.with_progress(|p| (p.done, p.cache_hits));
+    // Decide and advance under the cursor lock, so concurrent sweep
+    // threads cannot double-emit one delta window.
+    let slices = job.with_snapshot_cursor(|cursor| {
+        let due = force
+            || (done.saturating_sub(cursor.done) >= SNAPSHOT_EVERY
+                && cursor.emitted_at.elapsed() >= SNAPSHOT_MIN_INTERVAL);
+        if !due || live.version() == cursor.version {
+            return None;
+        }
+        let (slices, version) = live.delta_since(cursor.version);
+        cursor.version = version;
+        cursor.done = done;
+        cursor.emitted_at = Instant::now();
+        Some(slices)
+    });
+    let Some(slices) = slices else {
+        return;
+    };
+    let line = ndjson(&json!({
+        "event": "snapshot",
+        "done": done,
+        "total": job.total,
+        "cache_hits": cache_hits,
+        "simulated": done - cache_hits,
+        "mean_abs_error_pct": live.mean_abs_error_pct().unwrap_or(0.0),
+        "slices": serde_json::Value::Array(slices),
+        "v": AGGREGATES_VERSION,
+    }));
+    let metrics = AggregateMetrics::get();
+    metrics.snapshots_emitted.inc();
+    metrics.snapshot_bytes.observe(line.len() as f64);
+    job.push_shared_event(line);
+}
+
 /// Publish a finished (or failed) outcome: final state, report, and
 /// exactly one terminal event.
 fn publish_outcome(
     job: &Arc<Job>,
     outcome: Result<synapse_campaign::CampaignOutcome, CampaignError>,
 ) {
+    // The guaranteed terminal snapshot: whatever the cadence held
+    // back since the last delta lands before the terminal event, so
+    // an aggregate-mode watcher always ends holding the complete
+    // view. Leases skip it — their stream is the coordinator merge
+    // protocol, and the digest rides the `completed` event instead.
+    if !matches!(job.kind, JobKind::Lease { .. }) {
+        emit_snapshot_delta(job, true);
+    }
     match outcome {
         Ok(outcome) => {
             let stats = outcome.stats;
@@ -860,7 +919,7 @@ fn publish_outcome(
                 p.state = JobState::Completed;
                 p.stats = Some(stats);
             });
-            job.push_event(ndjson(&json!({
+            job.push_shared_event(ndjson(&json!({
                 "event": "completed",
                 "id": job.public_id(),
                 "name": job.spec.name,
@@ -878,7 +937,7 @@ fn publish_outcome(
             // A DELETE racing the queue pop may have settled the job
             // (and closed its stream) already; don't emit twice.
             if !job.events_closed() {
-                job.push_event(ndjson(&json!({
+                job.push_shared_event(ndjson(&json!({
                     "event": "cancelled",
                     "id": job.public_id(),
                     "done": done,
@@ -892,7 +951,7 @@ fn publish_outcome(
                 p.state = JobState::Failed;
                 p.error = Some(message.clone());
             });
-            job.push_event(ndjson(
+            job.push_shared_event(ndjson(
                 &json!({"event": "failed", "id": job.public_id(), "error": message}),
             ));
         }
@@ -925,8 +984,14 @@ fn run_distributed_job(state: &ServerState, job: &Arc<Job>) {
     };
     let observer = point_observer(job);
     let recorder = job.recorder().map(|r| &**r);
-    let outcome =
-        backend.run_distributed(&job.spec, &state.cache, &observer, recorder, &job.cancel);
+    let outcome = backend.run_distributed(
+        &job.spec,
+        &state.cache,
+        job.live(),
+        &observer,
+        recorder,
+        &job.cancel,
+    );
     publish_outcome(job, outcome);
 }
 
@@ -987,6 +1052,9 @@ fn run_lease_job(state: &ServerState, job: &Arc<Job>, start: usize, end: usize) 
                 p.done = done;
                 p.cache_hits += usize::from(cached);
             });
+            // The lease keeps its own live view so its terminal event
+            // can ship a mergeable digest back to the coordinator.
+            job.live().record(&result);
             if batch_cap > 1 {
                 let mut buf = pending.lock().expect("lease batch lock");
                 buf.push((result, cached));
@@ -1037,6 +1105,12 @@ fn run_lease_job(state: &ServerState, job: &Arc<Job>, start: usize, end: usize) 
                 "cache_hit_rate": stats.hit_rate(),
                 "wall_secs": stats.wall_secs,
                 "timings": stats.timings_json(),
+                // The lease's aggregates as a mergeable digest: the
+                // coordinator folds it into the campaign's live view,
+                // so cluster-wide aggregates agree with a
+                // single-process sweep within sketch error. Old
+                // coordinators ignore the extra key.
+                "aggregates": job.live().digest(),
             }))));
         }
         Err(e) => publish_outcome(job, Err(e)),
@@ -1053,10 +1127,13 @@ pub(crate) enum Reply {
     /// A complete response: write, close.
     Full(Vec<u8>),
     /// Switch the connection to a live NDJSON event stream, after an
-    /// optional preamble line (the `?watch=1` submit ack).
+    /// optional preamble line (the `?watch=1` submit ack). `ring`
+    /// picks which of the job's event rings feeds the stream: raw
+    /// (everything) or aggregates-only (`?aggregates=1`).
     Stream {
         job: Arc<Job>,
         preamble: Option<String>,
+        ring: EventRing,
     },
     /// Write the response, then initiate server shutdown.
     Shutdown(Vec<u8>),
@@ -1192,10 +1269,15 @@ fn route(request: &Request, state: &ServerState) -> Reply {
             },
             None => not_found(id),
         },
+        ("GET", ["campaigns", id, "aggregates"]) => match state.job(id) {
+            Some(job) => aggregates_reply(request, &job),
+            None => not_found(id),
+        },
         ("GET", ["campaigns", id, "events"]) => match state.job(id) {
             Some(job) => Reply::Stream {
                 job,
                 preamble: None,
+                ring: stream_ring(request),
             },
             None => not_found(id),
         },
@@ -1239,6 +1321,67 @@ fn not_found(id: &str) -> Reply {
         "Not Found",
         &json!({"error": format!("no such campaign {id:?}")}),
     )
+}
+
+/// Which job ring a stream request asked for: `?aggregates=1` selects
+/// the lifecycle+snapshot-only ring, anything else the raw ring.
+fn stream_ring(request: &Request) -> EventRing {
+    if request.query_flag("aggregates") {
+        EventRing::Aggregates
+    } else {
+        EventRing::Raw
+    }
+}
+
+/// `GET /campaigns/<id>/aggregates[?axis=...&metric=...]`: the live
+/// per-(axis, value) aggregate table — answerable mid-sweep (whatever
+/// has landed so far) and after completion (the full campaign).
+/// Unknown axis or metric names are a 400, not an empty result, so a
+/// typo cannot read as "no data".
+fn aggregates_reply(request: &Request, job: &Arc<Job>) -> Reply {
+    let axis = request.query_value("axis");
+    if let Some(axis) = axis {
+        if !synapse_campaign::aggregate::AXES
+            .iter()
+            .any(|(name, _)| *name == axis)
+        {
+            let known: Vec<&str> = synapse_campaign::aggregate::AXES
+                .iter()
+                .map(|(name, _)| *name)
+                .collect();
+            return json_reply(
+                400,
+                "Bad Request",
+                &json!({"error": format!("unknown axis {axis:?} (one of {})", known.join(", "))}),
+            );
+        }
+    }
+    let metric = request.query_value("metric");
+    if let Some(metric) = metric {
+        if !synapse_campaign::live::METRICS.contains(&metric) {
+            return json_reply(
+                400,
+                "Bad Request",
+                &json!({
+                    "error": format!(
+                        "unknown metric {metric:?} (one of {})",
+                        synapse_campaign::live::METRICS.join(", ")
+                    ),
+                }),
+            );
+        }
+    }
+    AggregateMetrics::get().queries.inc();
+    let (done, state_name) = job.with_progress(|p| (p.done, p.state.name()));
+    let mut doc = job.live().render(axis, metric);
+    if let serde_json::Value::Object(obj) = &mut doc {
+        obj.insert("id".into(), json!(job.public_id()));
+        obj.insert("name".into(), json!(job.spec.name));
+        obj.insert("status".into(), json!(state_name));
+        obj.insert("done".into(), json!(done));
+        obj.insert("total".into(), json!(job.total));
+    }
+    json_reply(200, "OK", &doc)
 }
 
 /// `POST /campaigns[?cluster=1]`: parse a TOML or JSON spec, enqueue a
@@ -1309,6 +1452,7 @@ fn submit_campaign(request: &Request, state: &ServerState) -> Reply {
                 Reply::Stream {
                     job,
                     preamble: Some(ndjson(&ack)),
+                    ring: stream_ring(request),
                 }
             } else {
                 json_reply(202, "Accepted", &ack)
@@ -1531,6 +1675,7 @@ enum ConnState {
     /// final flush.
     Streaming {
         job: Arc<Job>,
+        ring: EventRing,
         cursor: usize,
         done: bool,
     },
@@ -1850,7 +1995,11 @@ impl Reactor<'_> {
                     self.respond(token, bytes);
                     self.state.request_shutdown();
                 }
-                Reply::Stream { job, preamble } => {
+                Reply::Stream {
+                    job,
+                    preamble,
+                    ring,
+                } => {
                     if let Some(conn) = self.conns.get_mut(&token) {
                         conn.out
                             .extend_from_slice(&http::stream_head_bytes("application/x-ndjson"));
@@ -1862,6 +2011,7 @@ impl Reactor<'_> {
                         conn.last_emit = Instant::now();
                         conn.state = ConnState::Streaming {
                             job,
+                            ring,
                             cursor: 0,
                             done: false,
                         };
@@ -1902,7 +2052,13 @@ impl Reactor<'_> {
                 let Some(conn) = self.conns.get_mut(&token) else {
                     return;
                 };
-                let ConnState::Streaming { job, cursor, done } = &mut conn.state else {
+                let ConnState::Streaming {
+                    job,
+                    ring,
+                    cursor,
+                    done,
+                } = &mut conn.state
+                else {
                     return;
                 };
                 let mut hit_capacity = false;
@@ -1916,7 +2072,8 @@ impl Reactor<'_> {
                     // is most of the reactor's throughput win over the
                     // old flush-per-event streamer.
                     scratch.clear();
-                    let (next, any, closed) = job.events_into(*cursor, scratch, high_water);
+                    let (next, any, closed) =
+                        job.ring_events_into(*ring, *cursor, scratch, high_water);
                     *cursor = next;
                     if !any {
                         if closed {

@@ -137,6 +137,128 @@ fn example_campaign_streams_every_point_and_summary_is_byte_stable() {
 }
 
 #[test]
+fn aggregates_endpoint_answers_mid_sweep_and_stream_mode_omits_points() {
+    // A wide grid on a single slow worker so the sweep is reliably
+    // still running when the mid-sweep queries land.
+    let wide = r#"
+    name = "e2e-aggregates"
+    seed = 7
+    machines = ["thinkie", "stampede", "archer", "supermic", "comet", "titan"]
+    kernels = ["asm", "c", "spin"]
+    modes = ["openmp", "mpi"]
+    threads = [1, 2, 4, 8]
+
+    [[workloads]]
+    app = "gromacs"
+    steps = [10000, 50000, 100000, 200000]
+    "#;
+    let (client, handle, join) = boot(ServerConfig {
+        queue_workers: 1,
+        job_workers: 1,
+        ..Default::default()
+    });
+    let reply = client.submit(wide).unwrap();
+    let id = reply["id"].as_str().unwrap().to_string();
+    let total = reply["points"].as_u64().unwrap();
+
+    // Poll /aggregates while the sweep runs: the view must answer
+    // mid-sweep with a consistent partial document.
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let mut saw_mid_sweep = false;
+    loop {
+        let doc = client.aggregates(&id, None, None).unwrap();
+        let done = doc["done"].as_u64().unwrap();
+        let points = doc["points"].as_u64().unwrap();
+        assert!(points <= done, "aggregated {points} of {done} done");
+        assert_eq!(doc["v"].as_u64(), Some(1));
+        if points > 0 && done < total {
+            assert!(
+                doc["overall"]["metrics"]["error_pct"]["n"]
+                    .as_u64()
+                    .unwrap()
+                    > 0,
+                "overall stats populated mid-sweep: {doc:?}"
+            );
+            assert!(
+                !doc["slices"].as_array().unwrap().is_empty(),
+                "per-axis slices populated mid-sweep"
+            );
+            saw_mid_sweep = true;
+            break;
+        }
+        if ["completed", "cancelled", "failed"]
+            .contains(&doc["status"].as_str().unwrap_or("unknown"))
+        {
+            break;
+        }
+        assert!(Instant::now() < deadline, "sweep never progressed");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert!(saw_mid_sweep, "aggregates answered while the job ran");
+
+    // Narrowing by axis keeps only that axis's slices; by metric keeps
+    // only that metric's stats.
+    let narrowed = client
+        .aggregates(&id, Some("machine"), Some("error_pct"))
+        .unwrap();
+    let slices = narrowed["slices"].as_array().unwrap();
+    assert!(!slices.is_empty());
+    for slice in slices {
+        assert_eq!(slice["axis"].as_str(), Some("machine"));
+        let metrics = slice["metrics"].as_object().unwrap();
+        assert!(metrics.contains_key("error_pct"));
+        assert!(!metrics.contains_key("tx"));
+    }
+    // Unknown axis names are a 400 listing the valid ones, not a 500.
+    let err = client.aggregates(&id, Some("bogus"), None).unwrap_err();
+    assert!(err.to_string().contains("400"), "{err}");
+    assert!(err.to_string().contains("machine"), "{err}");
+
+    let status = await_terminal(&client, &id);
+    assert_eq!(status["status"].as_str(), Some("completed"));
+
+    // After completion the view covers the whole grid, and the stream
+    // in aggregate mode replays lifecycle + snapshots but no points.
+    let final_doc = client.aggregates(&id, None, None).unwrap();
+    assert_eq!(final_doc["points"].as_u64(), Some(total));
+    let lines = Mutex::new(Vec::<Value>::new());
+    let last = client
+        .watch_aggregates(&id, |line| {
+            lines
+                .lock()
+                .unwrap()
+                .push(serde_json::from_str(line).expect("event is JSON"));
+            true
+        })
+        .unwrap();
+    assert_eq!(last["event"].as_str(), Some("completed"));
+    let lines = lines.into_inner().unwrap();
+    assert!(
+        lines.iter().all(|l| l["event"].as_str() != Some("point")),
+        "aggregate stream carries no per-point lines"
+    );
+    let snapshots: Vec<&Value> = lines
+        .iter()
+        .filter(|l| l["event"].as_str() == Some("snapshot"))
+        .collect();
+    assert!(!snapshots.is_empty(), "snapshot deltas present");
+    // Snapshot `done` counters are monotone and the last one covers
+    // the grid (the guaranteed terminal snapshot).
+    let dones: Vec<u64> = snapshots
+        .iter()
+        .map(|s| s["done"].as_u64().unwrap())
+        .collect();
+    assert!(dones.windows(2).all(|w| w[0] <= w[1]), "{dones:?}");
+    assert_eq!(*dones.last().unwrap(), total);
+
+    // /aggregates on an unknown job is a 404.
+    let err = client.aggregates("j999", None, None).unwrap_err();
+    assert!(err.to_string().contains("404"), "{err}");
+    handle.shutdown();
+    join.join().unwrap();
+}
+
+#[test]
 fn resubmitting_an_identical_spec_is_all_cache_hits() {
     let (client, handle, join) = boot(ServerConfig::default());
     let first = client.submit(small_spec()).unwrap();
