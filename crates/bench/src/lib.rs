@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Experiment harness regenerating every table and figure of the
 //! paper's evaluation (§5).
 //!

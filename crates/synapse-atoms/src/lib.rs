@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 //! Emulation atoms: "fine-grained and tunable software elements that
 //! consume one type of system resource" (§4).

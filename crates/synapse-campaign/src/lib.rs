@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 //! `synapse-campaign` — a parallel scenario-sweep engine over the
 //! Synapse simulator.

@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 //! `synapse-cluster` — distributed campaign fan-out across cooperating
 //! `synapse serve` processes.

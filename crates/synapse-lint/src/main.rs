@@ -1,0 +1,84 @@
+#![forbid(unsafe_code)]
+//! CLI for the workspace invariant checker:
+//! `cargo run -p synapse-lint -- check [--json] [--rule <name>] [--root <path>]`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use synapse_lint::{render_json, rules, run_check, CheckOptions};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("check") => check(&args[1..]),
+        Some("list-rules") => {
+            for rule in rules::all() {
+                println!("{:<22} {}", rule.id(), rule.describe());
+            }
+            ExitCode::SUCCESS
+        }
+        _ => {
+            eprintln!("usage: synapse-lint check [--json] [--rule <name>] [--root <path>]");
+            eprintln!("       synapse-lint list-rules");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn check(args: &[String]) -> ExitCode {
+    let mut json = false;
+    let mut opts = CheckOptions::default();
+    let mut root = PathBuf::from(".");
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--rule" => match it.next() {
+                Some(name) => opts.rule = Some(name.clone()),
+                None => return usage_error("--rule needs a rule id"),
+            },
+            "--root" => match it.next() {
+                Some(path) => root = PathBuf::from(path),
+                None => return usage_error("--root needs a path"),
+            },
+            other => return usage_error(&format!("unknown argument `{other}`")),
+        }
+    }
+    if !root.join("crates").is_dir() && !root.join("src").is_dir() {
+        return usage_error(&format!(
+            "`{}` does not look like the workspace root (no crates/ or src/)",
+            root.display()
+        ));
+    }
+    match run_check(&root, &opts) {
+        Ok(diags) => {
+            if json {
+                println!("{}", render_json(&diags));
+            } else {
+                for d in &diags {
+                    println!("{}", d.render());
+                }
+            }
+            if diags.is_empty() {
+                if !json {
+                    println!("synapse-lint: clean");
+                }
+                ExitCode::SUCCESS
+            } else {
+                if !json {
+                    eprintln!("synapse-lint: {} finding(s)", diags.len());
+                }
+                ExitCode::FAILURE
+            }
+        }
+        Err(err) => {
+            eprintln!("synapse-lint: {err}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("synapse-lint: {msg}");
+    ExitCode::from(2)
+}

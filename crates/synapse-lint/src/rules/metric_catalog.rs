@@ -1,0 +1,301 @@
+//! `metric-catalog`: the README "Observability" catalog and the
+//! telemetry registrations in the `metrics.rs` modules must describe
+//! the same set of `synapse_*` series, with the same kinds, and the
+//! names must follow the scheme the README states: counters end
+//! `_total`; histograms carry a base unit (`_seconds`/`_bytes`);
+//! gauges never end `_total`.
+
+use std::collections::BTreeMap;
+
+use crate::diag::Diagnostic;
+use crate::rules::{backtick_spans, line_of_offset, Rule};
+use crate::workspace::{SourceFile, Workspace};
+
+pub struct MetricCatalog;
+
+/// Registry methods that mint a series, with the kind they produce.
+const REGISTRATION_CALLS: &[(&str, &str)] = &[
+    (".counter(", "counter"),
+    (".counter_with(", "counter"),
+    (".bind_counter(", "counter"),
+    (".gauge(", "gauge"),
+    (".gauge_with(", "gauge"),
+    (".histogram(", "histogram"),
+    (".histogram_with(", "histogram"),
+];
+
+/// A series registration found in code.
+struct Registration {
+    name: String,
+    kind: &'static str,
+    file: String,
+    line: usize,
+}
+
+impl Rule for MetricCatalog {
+    fn id(&self) -> &'static str {
+        "metric-catalog"
+    }
+
+    fn describe(&self) -> &'static str {
+        "every registered synapse_* series appears in the README observability catalog (and vice \
+         versa, with matching kind); counters end _total, histograms _seconds/_bytes"
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Vec<Diagnostic>) {
+        let registered = collect_registrations(ws);
+        let Some(readme) = &ws.readme else {
+            out.push(Diagnostic::new(
+                "README.md",
+                0,
+                self.id(),
+                "README.md not found — the observability catalog is the normative series list"
+                    .to_string(),
+            ));
+            return;
+        };
+        let catalog = parse_catalog(readme);
+        if catalog.is_empty() && !registered.is_empty() {
+            out.push(Diagnostic::new(
+                "README.md",
+                0,
+                self.id(),
+                "no observability catalog table found in README.md (rows like \
+                 `| \\`synapse_…\\` | counter | …|`)"
+                    .to_string(),
+            ));
+            return;
+        }
+
+        for reg in &registered {
+            match catalog.get(&reg.name) {
+                None => out.push(Diagnostic::new(
+                    &reg.file,
+                    reg.line,
+                    self.id(),
+                    format!(
+                        "series `{}` is registered here but missing from the README \
+                         observability catalog",
+                        reg.name
+                    ),
+                )),
+                Some((kind, md_line)) if kind != reg.kind => out.push(Diagnostic::new(
+                    "README.md",
+                    *md_line,
+                    self.id(),
+                    format!(
+                        "catalog lists `{}` as {kind}, but it is registered as a {} at {}:{}",
+                        reg.name, reg.kind, reg.file, reg.line
+                    ),
+                )),
+                Some(_) => {}
+            }
+            check_naming(reg, self.id(), out);
+        }
+
+        for (name, (_, md_line)) in &catalog {
+            if !registered.iter().any(|r| &r.name == name) {
+                out.push(Diagnostic::new(
+                    "README.md",
+                    *md_line,
+                    self.id(),
+                    format!(
+                        "catalog lists `{name}` but no registration for it exists in any \
+                         metrics module"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// Naming-scheme checks at the registration site (suppressible there).
+fn check_naming(reg: &Registration, rule: &'static str, out: &mut Vec<Diagnostic>) {
+    let mut bad = |why: String| {
+        out.push(Diagnostic::new(&reg.file, reg.line, rule, why));
+    };
+    if reg.name.splitn(3, '_').count() < 3 {
+        bad(format!(
+            "series `{}` must be named `synapse_<subsystem>_<name>`",
+            reg.name
+        ));
+        return;
+    }
+    match reg.kind {
+        "counter" if !reg.name.ends_with("_total") => bad(format!(
+            "counter `{}` must end `_total` (Prometheus suffix convention, README scheme)",
+            reg.name
+        )),
+        "histogram" if !reg.name.ends_with("_seconds") && !reg.name.ends_with("_bytes") => {
+            bad(format!(
+                "histogram `{}` must carry a base unit suffix (`_seconds` or `_bytes`)",
+                reg.name
+            ))
+        }
+        "gauge" if reg.name.ends_with("_total") => bad(format!(
+            "gauge `{}` must not use the counter suffix `_total`",
+            reg.name
+        )),
+        _ => {}
+    }
+}
+
+/// Every `synapse_*` string literal passed as the first argument of a
+/// registry registration call, across runtime code.
+fn collect_registrations(ws: &Workspace) -> Vec<Registration> {
+    let mut out = Vec::new();
+    for file in &ws.files {
+        if file.in_tests_dir || file.rel.starts_with("crates/synapse-lint/") {
+            continue;
+        }
+        for (call, kind) in REGISTRATION_CALLS {
+            let mut from = 0;
+            let code = &file.lexed.code;
+            while let Some(pos) = code[from..].find(call) {
+                let paren = from + pos + call.len();
+                from = paren;
+                let call_line = line_of_offset(code, paren);
+                if !file.is_runtime_line(call_line) {
+                    continue;
+                }
+                if let Some((name, lit_line)) = string_literal_after(file, paren - 1) {
+                    if name.starts_with("synapse_") {
+                        out.push(Registration {
+                            name,
+                            kind,
+                            file: file.rel.clone(),
+                            line: lit_line,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// The string literal that opens the argument list whose `(` sits at
+/// `paren` in the original text, if the first argument is a literal.
+/// Whitespace and interposed comments (e.g. a suppression directive)
+/// before the literal are skipped.
+fn string_literal_after(file: &SourceFile, paren: usize) -> Option<(String, usize)> {
+    let text = &file.lexed.text;
+    let b = text.as_bytes();
+    let mut i = paren + 1;
+    while i < b.len()
+        && ((b[i] as char).is_whitespace()
+            || file.lexed.classes.get(i) == Some(&crate::lexer::Class::Comment))
+    {
+        i += 1;
+    }
+    if i >= b.len() || b[i] != b'"' {
+        return None;
+    }
+    let start = i + 1;
+    let mut j = start;
+    while j < b.len() && b[j] != b'"' {
+        if b[j] == b'\\' {
+            j += 1;
+        }
+        j += 1;
+    }
+    Some((
+        text[start..j.min(b.len())].to_string(),
+        line_of_offset(text, i),
+    ))
+}
+
+/// Parse the README catalog table: rows whose first cell holds
+/// backticked series names, second cell the kind. Returns
+/// `name -> (kind, line)`.
+fn parse_catalog(readme: &str) -> BTreeMap<String, (String, usize)> {
+    let mut out = BTreeMap::new();
+    for (idx, line) in readme.lines().enumerate() {
+        let trimmed = line.trim();
+        if !trimmed.starts_with('|') {
+            continue;
+        }
+        let cells: Vec<&str> = trimmed.trim_matches('|').split('|').collect();
+        if cells.len() < 3 {
+            continue;
+        }
+        let kind = cells[1].trim();
+        if !matches!(kind, "counter" | "gauge" | "histogram") {
+            continue;
+        }
+        let names = expand_cell(cells[0]);
+        for name in names {
+            out.insert(name, (kind.to_string(), idx + 1));
+        }
+    }
+    out
+}
+
+/// Expand one catalog cell into full series names: strips `{label=…}`
+/// suffixes, expands `{a,b,c}` alternation, and resolves the `…_x`
+/// shorthand against the `synapse_<subsystem>` prefix of the first
+/// name in the cell.
+fn expand_cell(cell: &str) -> Vec<String> {
+    let mut out: Vec<String> = Vec::new();
+    let mut subsystem_prefix: Option<String> = None;
+    for span in backtick_spans(cell) {
+        let span = strip_label(span);
+        if span.is_empty() {
+            continue;
+        }
+        let replaced = match span.strip_prefix('…') {
+            Some(tail) => match &subsystem_prefix {
+                Some(p) => format!("{p}{tail}"),
+                None => continue,
+            },
+            None => span.to_string(),
+        };
+        for name in expand_braces(&replaced) {
+            if !name.starts_with("synapse_") {
+                continue;
+            }
+            if subsystem_prefix.is_none() {
+                let mut parts = name.splitn(3, '_');
+                let (a, b) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+                subsystem_prefix = Some(format!("{a}_{b}"));
+            }
+            out.push(name);
+        }
+    }
+    out
+}
+
+/// Remove a `{label=…}` selector; keep `{a,b,c}` alternation intact.
+fn strip_label(span: &str) -> &str {
+    match span.find('{') {
+        Some(open) => {
+            let inner_end = span[open..]
+                .find('}')
+                .map(|e| open + e)
+                .unwrap_or(span.len());
+            if span[open..inner_end].contains('=') {
+                &span[..open]
+            } else {
+                span
+            }
+        }
+        None => span,
+    }
+}
+
+/// `prefix{a,b,c}suffix` → `prefixasuffix`, `prefixbsuffix`, …
+fn expand_braces(name: &str) -> Vec<String> {
+    let (Some(open), Some(close)) = (name.find('{'), name.find('}')) else {
+        return vec![name.to_string()];
+    };
+    if close < open {
+        return vec![name.to_string()];
+    }
+    let (prefix, rest) = name.split_at(open);
+    let inner = &rest[1..close - open];
+    let suffix = &rest[close - open + 1..];
+    inner
+        .split(',')
+        .map(|alt| format!("{prefix}{}{suffix}", alt.trim()))
+        .collect()
+}

@@ -1,0 +1,57 @@
+//! `monotonic-time`: docs/TRACE.md guarantees that traces carry only
+//! monotonic offsets from campaign start (`off_secs`) — never absolute
+//! wall-clock values — because byte-identical re-recordings are the
+//! determinism gate. Wall-clock APIs are therefore banned from the
+//! `synapse-trace` record/replay paths and from every file that drives
+//! a `TraceRecorder` (the annotation call sites in the server, the
+//! cluster coordinator, and the CLI).
+
+use crate::diag::Diagnostic;
+use crate::rules::{flag_token, Rule};
+use crate::workspace::Workspace;
+
+pub struct MonotonicTime;
+
+/// Wall-clock tokens that must not appear on a record path.
+const BANNED: &[&str] = &["SystemTime", "UNIX_EPOCH"];
+
+impl Rule for MonotonicTime {
+    fn id(&self) -> &'static str {
+        "monotonic-time"
+    }
+
+    fn describe(&self) -> &'static str {
+        "no wall-clock (SystemTime/UNIX_EPOCH) in synapse-trace or at TraceRecorder call sites; \
+         traces are monotonic-offset only (docs/TRACE.md)"
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Vec<Diagnostic>) {
+        for file in &ws.files {
+            if file.in_tests_dir {
+                continue;
+            }
+            let in_trace_crate = file.rel.starts_with("crates/synapse-trace/src/");
+            let drives_recorder = file.lexed.code.contains("TraceRecorder");
+            if !in_trace_crate && !drives_recorder {
+                continue;
+            }
+            let why = if in_trace_crate {
+                "wall-clock in the trace record/replay path"
+            } else {
+                "wall-clock in a file that drives a TraceRecorder"
+            };
+            for banned in BANNED {
+                flag_token(
+                    file,
+                    banned,
+                    self.id(),
+                    &format!(
+                        "{why}: `{banned}` — traces must use only monotonic offsets \
+                         from campaign start (docs/TRACE.md)"
+                    ),
+                    out,
+                );
+            }
+        }
+    }
+}

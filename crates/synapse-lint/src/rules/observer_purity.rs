@@ -1,0 +1,62 @@
+//! `observer-seam-purity`: library crates communicate through returned
+//! errors, the observer seam, and the telemetry registry — never by
+//! writing to stdout/stderr directly. Printing belongs to the CLI
+//! binary and the crates' `src/bin/` tools; a stray `println!` in a
+//! library corrupts NDJSON streams piped through the same process and
+//! bypasses every observer a caller installed.
+
+use crate::diag::Diagnostic;
+use crate::rules::{token_positions, Rule};
+use crate::workspace::Workspace;
+
+pub struct ObserverPurity;
+
+/// Direct-console macros banned from library code.
+const BANNED: &[&str] = &["println!", "eprintln!", "print!", "eprint!", "dbg!"];
+
+impl Rule for ObserverPurity {
+    fn id(&self) -> &'static str {
+        "observer-seam-purity"
+    }
+
+    fn describe(&self) -> &'static str {
+        "no println!/eprintln!/dbg! in library crates — use telemetry, the observer seam, or \
+         returned errors (CLI and src/bin/ excluded)"
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Vec<Diagnostic>) {
+        for file in &ws.files {
+            if file.in_tests_dir
+                || file.rel.starts_with("crates/synapse-cli/")
+                || file.rel.starts_with("crates/synapse-lint/")
+                || file.rel.contains("/bin/")
+                || file.rel.ends_with("/main.rs")
+            {
+                continue;
+            }
+            for (idx, line) in file.lexed.code.lines().enumerate() {
+                let lineno = idx + 1;
+                if !file.is_runtime_line(lineno) {
+                    continue;
+                }
+                for mac in BANNED {
+                    let bare = &mac[..mac.len() - 1];
+                    let hit = token_positions(line, bare)
+                        .into_iter()
+                        .any(|at| line[at + bare.len()..].starts_with('!'));
+                    if hit {
+                        out.push(Diagnostic::new(
+                            &file.rel,
+                            lineno,
+                            self.id(),
+                            format!(
+                                "`{mac}` in a library crate — route output through telemetry, \
+                                 the observer seam, or a returned error"
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+}

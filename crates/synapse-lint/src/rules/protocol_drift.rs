@@ -1,0 +1,584 @@
+//! `protocol-drift`: docs/PROTOCOL.md is the normative wire spec. Its
+//! §1 endpoint table must agree with the server's route table (the
+//! normalized `ENDPOINTS` list in `synapse-server/src/metrics.rs` and
+//! the dispatch arms in `server.rs`), and its pinned-constants table
+//! must agree with the named constants in code (versions, heartbeat /
+//! silence / snapshot cadence, probe and split bounds, lease retry
+//! policy). docs/TRACE.md's headline format version is checked against
+//! `TRACE_VERSION` the same way.
+
+use crate::diag::Diagnostic;
+use crate::rules::{backtick_spans, token_positions, Rule};
+use crate::workspace::{SourceFile, Workspace};
+
+pub struct ProtocolDrift;
+
+const PROTOCOL: &str = "docs/PROTOCOL.md";
+
+impl Rule for ProtocolDrift {
+    fn id(&self) -> &'static str {
+        "protocol-drift"
+    }
+
+    fn describe(&self) -> &'static str {
+        "docs/PROTOCOL.md endpoint table and pinned constants (versions, heartbeat/silence/backoff, \
+         snapshot cadence) match the code; docs/TRACE.md version matches TRACE_VERSION"
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Vec<Diagnostic>) {
+        let Some(protocol) = &ws.protocol else {
+            out.push(Diagnostic::new(
+                PROTOCOL,
+                0,
+                self.id(),
+                "docs/PROTOCOL.md not found — the wire protocol must stay a written spec"
+                    .to_string(),
+            ));
+            return;
+        };
+        self.check_constants(ws, protocol, out);
+        self.check_routes(ws, protocol, out);
+        self.check_trace_version(ws, out);
+    }
+}
+
+/// One row of the pinned-constants table.
+struct PinnedRow {
+    name: String,
+    value: String,
+    path: String,
+    line: usize,
+}
+
+impl ProtocolDrift {
+    fn check_constants(&self, ws: &Workspace, protocol: &str, out: &mut Vec<Diagnostic>) {
+        let rows = parse_pinned_table(protocol);
+        if rows.is_empty() {
+            out.push(Diagnostic::new(
+                PROTOCOL,
+                0,
+                self.id(),
+                "no pinned-constants table found (section \"Pinned constants\" with \
+                 | `NAME` | `value` | `path` | rows)"
+                    .to_string(),
+            ));
+            return;
+        }
+        for row in rows {
+            let Some(file) = ws.file(&row.path) else {
+                out.push(Diagnostic::new(
+                    PROTOCOL,
+                    row.line,
+                    self.id(),
+                    format!(
+                        "pinned constant `{}` points at `{}`, which is not in the workspace",
+                        row.name, row.path
+                    ),
+                ));
+                continue;
+            };
+            let check = if row.value.contains("min(") {
+                check_backoff_formula(file, &row)
+            } else if row.name.chars().all(|c| c.is_lowercase() || c == '_') {
+                check_field_default(file, &row)
+            } else {
+                check_named_const(ws, file, &row)
+            };
+            if let Err(msg) = check {
+                out.push(Diagnostic::new(PROTOCOL, row.line, self.id(), msg));
+            }
+        }
+    }
+
+    fn check_routes(&self, ws: &Workspace, protocol: &str, out: &mut Vec<Diagnostic>) {
+        let spec_routes = parse_route_table(protocol);
+        if spec_routes.is_empty() {
+            out.push(Diagnostic::new(
+                PROTOCOL,
+                0,
+                self.id(),
+                "no endpoint table found in docs/PROTOCOL.md §1".to_string(),
+            ));
+            return;
+        }
+        let metrics_rel = "crates/synapse-server/src/metrics.rs";
+        let server_rel = "crates/synapse-server/src/server.rs";
+        let endpoints = ws
+            .file(metrics_rel)
+            .map(parse_endpoints_list)
+            .unwrap_or_default();
+
+        for (path, line) in &spec_routes {
+            let normalized = normalize_route(path);
+            if !endpoints.iter().any(|e| e == &normalized) {
+                out.push(Diagnostic::new(
+                    PROTOCOL,
+                    *line,
+                    self.id(),
+                    format!(
+                        "spec endpoint `{path}` (normalized `{normalized}`) is missing from the \
+                         ENDPOINTS route table in {metrics_rel}"
+                    ),
+                ));
+            }
+            if let Some(server) = ws.file(server_rel) {
+                if !has_dispatch_arm(server, path) {
+                    out.push(Diagnostic::new(
+                        PROTOCOL,
+                        *line,
+                        self.id(),
+                        format!(
+                            "spec endpoint `{path}` has no matching dispatch arm in {server_rel}"
+                        ),
+                    ));
+                }
+            }
+        }
+        for endpoint in &endpoints {
+            if endpoint == "other" {
+                continue;
+            }
+            if !spec_routes
+                .iter()
+                .any(|(p, _)| &normalize_route(p) == endpoint)
+            {
+                out.push(Diagnostic::new(
+                    metrics_rel,
+                    ws.file(metrics_rel)
+                        .and_then(|f| {
+                            f.lexed
+                                .text
+                                .find(&format!("\"{endpoint}\""))
+                                .map(|at| crate::rules::line_of_offset(&f.lexed.text, at))
+                        })
+                        .unwrap_or(0),
+                    self.id(),
+                    format!(
+                        "route shape `{endpoint}` is served but absent from the \
+                         docs/PROTOCOL.md §1 endpoint table"
+                    ),
+                ));
+            }
+        }
+    }
+
+    fn check_trace_version(&self, ws: &Workspace, out: &mut Vec<Diagnostic>) {
+        let Some(trace_md) = &ws.trace_md else {
+            return; // PROTOCOL.md pins TRACE_VERSION; TRACE.md headline is extra.
+        };
+        let Some((spec_v, line)) = parse_trace_headline(trace_md) else {
+            out.push(Diagnostic::new(
+                "docs/TRACE.md",
+                0,
+                self.id(),
+                "no `**Trace format version: N**` headline found".to_string(),
+            ));
+            return;
+        };
+        let code_v = ws
+            .file("crates/synapse-trace/src/lib.rs")
+            .and_then(|f| const_int_value(f, "TRACE_VERSION"));
+        if code_v != Some(spec_v) {
+            out.push(Diagnostic::new(
+                "docs/TRACE.md",
+                line,
+                self.id(),
+                format!(
+                    "TRACE.md says trace format version {spec_v}, but TRACE_VERSION in \
+                     crates/synapse-trace/src/lib.rs is {}",
+                    code_v.map(|v| v.to_string()).unwrap_or("missing".into())
+                ),
+            ));
+        }
+    }
+}
+
+/// `**Trace format version: N**` → (N, line).
+fn parse_trace_headline(md: &str) -> Option<(u64, usize)> {
+    for (idx, line) in md.lines().enumerate() {
+        if let Some(tail) = line.strip_prefix("**Trace format version: ") {
+            let digits: String = tail.chars().take_while(|c| c.is_ascii_digit()).collect();
+            if let Ok(v) = digits.parse() {
+                return Some((v, idx + 1));
+            }
+        }
+    }
+    None
+}
+
+/// Rows of the pinned-constants table: `| `NAME` | `value` | `path` | …`
+/// under a heading containing "Pinned constants".
+fn parse_pinned_table(protocol: &str) -> Vec<PinnedRow> {
+    let mut rows = Vec::new();
+    let mut in_section = false;
+    for (idx, line) in protocol.lines().enumerate() {
+        if line.starts_with("#") {
+            in_section = line.contains("Pinned constants");
+            continue;
+        }
+        if !in_section || !line.trim_start().starts_with('|') {
+            continue;
+        }
+        let cells: Vec<&str> = line.trim().trim_matches('|').split('|').collect();
+        if cells.len() < 3 {
+            continue;
+        }
+        let name = backtick_spans(cells[0]).first().map(|s| s.to_string());
+        let value = backtick_spans(cells[1]).first().map(|s| s.to_string());
+        let path = backtick_spans(cells[2]).first().map(|s| s.to_string());
+        if let (Some(name), Some(value), Some(path)) = (name, value, path) {
+            rows.push(PinnedRow {
+                name,
+                value,
+                path,
+                line: idx + 1,
+            });
+        }
+    }
+    rows
+}
+
+/// §1 endpoint-table rows: the `METHOD /path` span of each row.
+fn parse_route_table(protocol: &str) -> Vec<(String, usize)> {
+    let mut out = Vec::new();
+    for (idx, line) in protocol.lines().enumerate() {
+        if !line.trim_start().starts_with('|') {
+            continue;
+        }
+        // Only the first span of a row names the route.
+        if let Some(span) = backtick_spans(line).first() {
+            let mut words = span.split_whitespace();
+            match (words.next(), words.next(), words.next()) {
+                (Some(m), Some(path), None)
+                    if matches!(m, "GET" | "POST" | "DELETE" | "PUT") && path.starts_with('/') =>
+                {
+                    out.push((path.to_string(), idx + 1));
+                }
+                _ => {}
+            }
+        }
+    }
+    out
+}
+
+/// Collapse a spec path onto the server's normalized route shape.
+fn normalize_route(path: &str) -> String {
+    let path = path.split('?').next().unwrap_or(path);
+    let segments: Vec<String> = path
+        .split('/')
+        .filter(|s| !s.is_empty())
+        .map(|s| {
+            if s.starts_with('<') && s.ends_with('>') {
+                ":id".to_string()
+            } else {
+                s.to_string()
+            }
+        })
+        .collect();
+    if segments.first().map(String::as_str) == Some("cluster") {
+        return "/cluster".to_string();
+    }
+    format!("/{}", segments.join("/"))
+}
+
+/// The string literals of `const ENDPOINTS: … = [ … ];`.
+fn parse_endpoints_list(file: &SourceFile) -> Vec<String> {
+    let code = &file.lexed.code;
+    let Some(start) = code.find("const ENDPOINTS") else {
+        return Vec::new();
+    };
+    // The array body is between the `=` and the first `]` after it
+    // (string contents are blanked in the code view, so the type's
+    // `&[&str]` bracket is skipped and no literal can hide a `]`).
+    let Some(eq) = code[start..].find('=').map(|e| start + e) else {
+        return Vec::new();
+    };
+    let Some(end) = code[eq..].find(']').map(|e| eq + e) else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    let mut rest = &file.lexed.text[eq..end];
+    while let Some(open) = rest.find('"') {
+        let tail = &rest[open + 1..];
+        let Some(close) = tail.find('"') else { break };
+        out.push(tail[..close].to_string());
+        rest = &tail[close + 1..];
+    }
+    out
+}
+
+/// Does `server.rs` contain a match arm for this spec path? Looks for
+/// the segment-array pattern (`["campaigns", id, "report"]`) in the
+/// original text (code-classified positions only), with `<…>` spec
+/// segments matching any identifier binding. Paths under `/cluster/`
+/// are resolved against the nested `cluster_route` arms after the
+/// `["cluster", …]` prefix arm.
+fn has_dispatch_arm(server: &SourceFile, path: &str) -> bool {
+    let path = path.split('?').next().unwrap_or(path);
+    let segments: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
+    if segments.first() == Some(&"cluster") {
+        return !server.lexed.code_occurrences("[\"cluster\"").is_empty()
+            && (segments.len() == 1 || find_arm(server, &segments[1..]));
+    }
+    find_arm(server, &segments)
+}
+
+/// Scan for `["a", <ident-or-binding>, "c"]` matching `segments`.
+fn find_arm(file: &SourceFile, segments: &[&str]) -> bool {
+    file.lexed
+        .code_occurrences("[")
+        .iter()
+        .any(|&open| match_arm_at(&file.lexed.text, open, segments))
+}
+
+fn match_arm_at(text: &str, open: usize, segments: &[&str]) -> bool {
+    let mut i = open + 1;
+    let b = text.as_bytes();
+    let skip_ws = |i: &mut usize| {
+        while *i < b.len() && (b[*i] as char).is_whitespace() {
+            *i += 1;
+        }
+    };
+    for (n, seg) in segments.iter().enumerate() {
+        skip_ws(&mut i);
+        if seg.starts_with('<') {
+            // Any binding: an identifier or `_`.
+            let start = i;
+            while i < b.len() && crate::lexer::is_ident_byte(b[i]) {
+                i += 1;
+            }
+            if i == start {
+                return false;
+            }
+        } else {
+            let want = format!("\"{seg}\"");
+            if !text[i..].starts_with(&want) {
+                return false;
+            }
+            i += want.len();
+        }
+        skip_ws(&mut i);
+        if n + 1 < segments.len() {
+            if i >= b.len() || b[i] != b',' {
+                return false;
+            }
+            i += 1;
+        }
+    }
+    skip_ws(&mut i);
+    i < b.len() && b[i] == b']'
+}
+
+/// Value of `const NAME: … = <int>;` in `file`'s runtime code.
+fn const_int_value(file: &SourceFile, name: &str) -> Option<u64> {
+    let init = const_initializer(file, name)?;
+    eval_expr(&init, &|_| None).map(|v| v.0)
+}
+
+/// The initializer text of `const NAME … = INIT ;`.
+fn const_initializer(file: &SourceFile, name: &str) -> Option<String> {
+    let code = &file.lexed.code;
+    for (idx, _) in code.match_indices("const ") {
+        let after = &code[idx + "const ".len()..];
+        let glued = after.as_bytes().get(name.len()).copied();
+        if !after.starts_with(name) || glued.map(crate::lexer::is_ident_byte).unwrap_or(false) {
+            continue;
+        }
+        let eq = after.find('=')?;
+        let semi = after[eq..].find(';')? + eq;
+        return Some(after[eq + 1..semi].trim().to_string());
+    }
+    None
+}
+
+/// Evaluate a constant initializer to `(value, unit)` where unit is
+/// `""` (unitless), `"s"`, or `"ms"`. Supports integer literals
+/// (with `_`), `+`, `*`, `Duration::from_secs(…)`,
+/// `Duration::from_millis(…)`, `as_secs()` / `as_millis()` on
+/// referenced constants resolved through `resolve`.
+fn eval_expr(
+    expr: &str,
+    resolve: &dyn Fn(&str) -> Option<(u64, &'static str)>,
+) -> Option<(u64, &'static str)> {
+    let expr = expr.trim();
+    for (ctor, unit) in [
+        ("Duration::from_secs(", "s"),
+        ("Duration::from_millis(", "ms"),
+    ] {
+        if let Some(inner) = expr.strip_prefix(ctor) {
+            let inner = inner.strip_suffix(')')?;
+            let (v, _) = eval_sum(inner, resolve)?;
+            return Some((v, unit));
+        }
+    }
+    eval_sum(expr, resolve)
+}
+
+fn eval_sum(
+    expr: &str,
+    resolve: &dyn Fn(&str) -> Option<(u64, &'static str)>,
+) -> Option<(u64, &'static str)> {
+    let mut total = 0u64;
+    for part in expr.split('+') {
+        let (v, _) = eval_product(part, resolve)?;
+        total += v;
+    }
+    Some((total, ""))
+}
+
+fn eval_product(
+    expr: &str,
+    resolve: &dyn Fn(&str) -> Option<(u64, &'static str)>,
+) -> Option<(u64, &'static str)> {
+    let mut total = 1u64;
+    for part in expr.split('*') {
+        let (v, _) = eval_atom(part.trim(), resolve)?;
+        total *= v;
+    }
+    Some((total, ""))
+}
+
+fn eval_atom(
+    atom: &str,
+    resolve: &dyn Fn(&str) -> Option<(u64, &'static str)>,
+) -> Option<(u64, &'static str)> {
+    let atom = atom.trim();
+    let cleaned: String = atom.chars().filter(|c| *c != '_').collect();
+    if let Ok(v) = cleaned.parse::<u64>() {
+        return Some((v, ""));
+    }
+    // `path::to::CONST.as_secs()` or bare `path::CONST`.
+    let (ident, method) = match atom.find('.') {
+        Some(dot) => (&atom[..dot], &atom[dot + 1..]),
+        None => (atom, ""),
+    };
+    let name = ident.rsplit("::").next()?.trim();
+    let (value, unit) = resolve(name)?;
+    match method.trim() {
+        "" => Some((value, unit)),
+        "as_secs()" => Some((if unit == "ms" { value / 1000 } else { value }, "")),
+        "as_millis()" => Some((if unit == "s" { value * 1000 } else { value }, "")),
+        _ => None,
+    }
+}
+
+/// Check a SCREAMING_CASE pinned row against the constant in `file`.
+fn check_named_const(ws: &Workspace, file: &SourceFile, row: &PinnedRow) -> Result<(), String> {
+    let (want, want_unit) = parse_spec_value(&row.value).ok_or_else(|| {
+        format!(
+            "unparseable pinned value `{}` for `{}`",
+            row.value, row.name
+        )
+    })?;
+    let init = const_initializer(file, &row.name).ok_or_else(|| {
+        format!(
+            "pinned constant `{}` not found as a `const` in `{}`",
+            row.name, row.path
+        )
+    })?;
+    let resolve = |name: &str| -> Option<(u64, &'static str)> {
+        // Cross-file references resolve against every workspace file.
+        for f in &ws.files {
+            if let Some(init) = const_initializer(f, name) {
+                return eval_expr(&init, &|_| None);
+            }
+        }
+        None
+    };
+    let (got, got_unit) = eval_expr(&init, &resolve).ok_or_else(|| {
+        format!(
+            "could not evaluate initializer `{init}` of `{}` in `{}`",
+            row.name, row.path
+        )
+    })?;
+    let to_ms = |v: u64, u: &str| match u {
+        "s" => v * 1000,
+        _ => v,
+    };
+    let matches = if want_unit.is_empty() && got_unit.is_empty() {
+        want == got
+    } else {
+        to_ms(want, want_unit) == to_ms(got, got_unit)
+    };
+    if !matches {
+        return Err(format!(
+            "`{}` drifted: spec pins `{}`, code in `{}` evaluates to {} {}",
+            row.name, row.value, row.path, got, got_unit
+        ));
+    }
+    Ok(())
+}
+
+/// `6`, `10 s`, `250 ms` → (value, unit).
+fn parse_spec_value(value: &str) -> Option<(u64, &'static str)> {
+    let mut words = value.split_whitespace();
+    let v: u64 = words.next()?.parse().ok()?;
+    match words.next() {
+        None => Some((v, "")),
+        Some("s") => Some((v, "s")),
+        Some("ms") => Some((v, "ms")),
+        _ => None,
+    }
+}
+
+/// A lowercase row pins a struct-field default: `name: <int>` must
+/// appear in the file's runtime code with the pinned integer.
+fn check_field_default(file: &SourceFile, row: &PinnedRow) -> Result<(), String> {
+    let want: u64 = row
+        .value
+        .split_whitespace()
+        .next()
+        .and_then(|w| w.parse().ok())
+        .ok_or_else(|| format!("unparseable pinned default `{}`", row.value))?;
+    for line in file.lexed.code.lines() {
+        if let Some(pos) = token_positions(line, &row.name).first() {
+            let after = line[pos + row.name.len()..].trim_start();
+            if let Some(rest) = after.strip_prefix(':') {
+                let digits: String = rest
+                    .trim_start()
+                    .chars()
+                    .take_while(|c| c.is_ascii_digit())
+                    .collect();
+                if let Ok(got) = digits.parse::<u64>() {
+                    if got == want {
+                        return Ok(());
+                    }
+                    return Err(format!(
+                        "default `{}` drifted: spec pins {}, code in `{}` says {}",
+                        row.name, want, row.path, got
+                    ));
+                }
+            }
+        }
+    }
+    Err(format!(
+        "no `{}: <int>` default found in `{}` to match the pinned {}",
+        row.name, row.path, want
+    ))
+}
+
+/// A formula row (`200 ms × min(attempts, 5)`) pins the lease retry
+/// backoff: the file must compute `from_millis(<base> * …min(<cap>)…)`.
+fn check_backoff_formula(file: &SourceFile, row: &PinnedRow) -> Result<(), String> {
+    let nums: Vec<u64> = row
+        .value
+        .split(|c: char| !c.is_ascii_digit())
+        .filter(|s| !s.is_empty())
+        .filter_map(|s| s.parse().ok())
+        .collect();
+    let (base, cap) = match nums.as_slice() {
+        [base, cap, ..] => (*base, *cap),
+        _ => return Err(format!("unparseable backoff formula `{}`", row.value)),
+    };
+    let want_base = format!("from_millis({base}");
+    let want_cap = format!(".min({cap})");
+    for (idx, line) in file.lexed.code.lines().enumerate() {
+        if file.is_runtime_line(idx + 1) && line.contains(&want_base) && line.contains(&want_cap) {
+            return Ok(());
+        }
+    }
+    Err(format!(
+        "backoff drifted: `{}` pins `{}`, but `{}` has no `{want_base} … {want_cap}` expression",
+        row.name, row.value, row.path
+    ))
+}

@@ -1,0 +1,135 @@
+//! `unsafe-audit`: the workspace's own `unsafe` surface is a handful
+//! of vendored-libc call sites (epoll, flock, rusage, perf). Every one
+//! of them must state its precondition in a `// SAFETY:` comment on
+//! the same line or directly above, and every crate that needs no
+//! unsafe at all must say so with `#![forbid(unsafe_code)]` so a
+//! future `unsafe` cannot slip in without widening the audit surface
+//! deliberately.
+
+use crate::diag::Diagnostic;
+use crate::rules::{token_positions, Rule};
+use crate::workspace::{SourceFile, Workspace};
+
+pub struct UnsafeAudit;
+
+impl Rule for UnsafeAudit {
+    fn id(&self) -> &'static str {
+        "unsafe-audit"
+    }
+
+    fn describe(&self) -> &'static str {
+        "every unsafe block carries a // SAFETY: comment; crates without unsafe declare \
+         #![forbid(unsafe_code)] in their root"
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Vec<Diagnostic>) {
+        for file in &ws.files {
+            self.check_safety_comments(file, out);
+        }
+        self.check_forbid_attrs(ws, out);
+    }
+}
+
+impl UnsafeAudit {
+    /// Flag `unsafe` tokens with no adjacent `// SAFETY:` comment.
+    /// Applies to test code too — an unsound test is still unsound.
+    fn check_safety_comments(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+        let code_lines: Vec<&str> = file.lexed.code.lines().collect();
+        let comment_lines: Vec<&str> = file.lexed.comments.lines().collect();
+        for (idx, line) in code_lines.iter().enumerate() {
+            let lineno = idx + 1;
+            if token_positions(line, "unsafe").is_empty() {
+                continue;
+            }
+            if !has_adjacent_safety(lineno, &code_lines, &comment_lines) {
+                out.push(Diagnostic::new(
+                    &file.rel,
+                    lineno,
+                    self.id(),
+                    "`unsafe` without a `// SAFETY:` comment on the same line or directly above"
+                        .to_string(),
+                ));
+            }
+        }
+    }
+
+    /// Crates whose sources contain no `unsafe` must carry
+    /// `#![forbid(unsafe_code)]` in their root (`src/lib.rs`, or
+    /// `src/main.rs` for binary-only crates).
+    fn check_forbid_attrs(&self, ws: &Workspace, out: &mut Vec<Diagnostic>) {
+        for crate_dir in ws.crate_dirs() {
+            let src_files: Vec<&SourceFile> = ws
+                .files
+                .iter()
+                .filter(|f| f.crate_dir() == crate_dir && !f.in_tests_dir)
+                .collect();
+            if src_files.is_empty() {
+                continue;
+            }
+            let has_unsafe = src_files.iter().any(|f| {
+                f.lexed
+                    .code
+                    .lines()
+                    .any(|l| !token_positions(l, "unsafe").is_empty())
+            });
+            if has_unsafe {
+                continue;
+            }
+            let root = ["src/lib.rs", "src/main.rs"]
+                .iter()
+                .filter_map(|tail| {
+                    let rel = if crate_dir == "." {
+                        tail.to_string()
+                    } else {
+                        format!("{crate_dir}/{tail}")
+                    };
+                    ws.file(&rel)
+                })
+                .next();
+            let Some(root) = root else { continue };
+            if !root.lexed.code.contains("#![forbid(unsafe_code)]") {
+                // Anchored at line 1 so a crate that *plans* to grow
+                // unsafe can suppress with a reasoned lint:allow at
+                // the top of its root file.
+                out.push(Diagnostic::new(
+                    &root.rel,
+                    1,
+                    self.id(),
+                    format!(
+                        "crate `{crate_dir}` uses no unsafe — add `#![forbid(unsafe_code)]` to \
+                         its root so none can creep in"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// Is there a `SAFETY:` comment on `lineno` or on the contiguous run
+/// of comment-only lines directly above it?
+fn has_adjacent_safety(lineno: usize, code_lines: &[&str], comment_lines: &[&str]) -> bool {
+    let has = |l: usize| {
+        comment_lines
+            .get(l - 1)
+            .map(|c| c.contains("SAFETY:"))
+            .unwrap_or(false)
+    };
+    if has(lineno) {
+        return true;
+    }
+    let mut l = lineno;
+    while l > 1 {
+        l -= 1;
+        let code_empty = code_lines
+            .get(l - 1)
+            .map(|c| c.trim().is_empty())
+            .unwrap_or(true);
+        if !code_empty {
+            return false;
+        }
+        if has(l) {
+            return true;
+        }
+    }
+    false
+}

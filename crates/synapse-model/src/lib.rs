@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 //! Data model for Synapse profiles, samples, metrics and statistics.
 //!

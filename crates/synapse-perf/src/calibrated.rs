@@ -88,6 +88,7 @@ fn cpu_seconds_of(pid: i32) -> Result<f64, PerfError> {
     let stime: u64 = rest[12]
         .parse()
         .map_err(|e| PerfError::BadRead(format!("stime: {e}")))?;
+    // SAFETY: sysconf takes no pointers and has no preconditions.
     let hz = unsafe { libc::sysconf(libc::_SC_CLK_TCK) };
     let hz = if hz <= 0 { 100.0 } else { hz as f64 };
     Ok((utime + stime) as f64 / hz)

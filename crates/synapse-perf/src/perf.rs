@@ -65,6 +65,8 @@ impl Counter {
     /// Open a counter for `event` on `pid` (any CPU), disabled,
     /// inherited by children threads.
     fn open(event: HardwareEvent, pid: i32) -> Result<Counter, PerfError> {
+        // SAFETY: PerfEventAttr is a plain-data repr(C) struct for
+        // which all-zero bytes are a valid (default) value.
         let mut attr: PerfEventAttr = unsafe { std::mem::zeroed() };
         attr.type_ = PERF_TYPE_HARDWARE;
         attr.size = std::mem::size_of::<PerfEventAttr>() as u32;

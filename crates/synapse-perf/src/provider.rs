@@ -65,6 +65,7 @@ mod tid_tests {
     #[test]
     fn attach_to_own_tid_counts_this_thread() {
         let provider = default_provider();
+        // SAFETY: gettid takes no arguments and cannot fail.
         let tid = unsafe { libc::syscall(libc::SYS_gettid) } as i32;
         let mut s = provider.attach(tid).expect("attach to own tid");
         let mut acc = 1u64;

@@ -45,6 +45,7 @@ impl PidStat {
 
     /// Resident set size in bytes.
     pub fn rss_bytes(&self) -> u64 {
+        // SAFETY: sysconf takes no pointers and has no preconditions.
         let page = unsafe { libc::sysconf(libc::_SC_PAGESIZE) };
         let page = if page <= 0 { 4096 } else { page as u64 };
         self.rss_pages.max(0) as u64 * page

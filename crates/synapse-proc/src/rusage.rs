@@ -52,6 +52,7 @@ impl ResourceUsage {
 }
 
 fn getrusage(who: libc::c_int) -> Result<ResourceUsage, ProcError> {
+    // SAFETY: rusage is plain old data; all-zero bytes are valid.
     let mut ru: libc::rusage = unsafe { std::mem::zeroed() };
     // SAFETY: ru is a valid, writable rusage struct.
     let rc = unsafe { libc::getrusage(who, &mut ru) };
@@ -78,6 +79,7 @@ pub fn rusage_children() -> Result<ResourceUsage, ProcError> {
 /// resource usage atomically.
 pub fn wait4(pid: i32) -> Result<(i32, ResourceUsage), ProcError> {
     let mut status: libc::c_int = 0;
+    // SAFETY: rusage is plain old data; all-zero bytes are valid.
     let mut ru: libc::rusage = unsafe { std::mem::zeroed() };
     // SAFETY: status and ru are valid writable out-parameters.
     let rc = unsafe { libc::wait4(pid, &mut status, 0, &mut ru) };

@@ -81,6 +81,8 @@ impl TimedChild {
     /// remain readable for the watchers' final samples. Follow up
     /// with [`TimedChild::wait`] to reap and collect rusage.
     pub fn wait_without_reaping(&self) -> Result<Duration, ProcError> {
+        // SAFETY: siginfo_t is plain old data; all-zero bytes are
+        // a valid value for an out-parameter about to be overwritten.
         let mut info: libc::siginfo_t = unsafe { std::mem::zeroed() };
         // SAFETY: info is a valid out-parameter; the pid belongs to a
         // child of this process.

@@ -52,6 +52,7 @@ pub(crate) struct Poller {
 
 impl Poller {
     pub fn new() -> io::Result<Poller> {
+        // SAFETY: epoll_create1 takes no pointers.
         let epfd = unsafe { libc::epoll_create1(libc::EPOLL_CLOEXEC) };
         if epfd < 0 {
             return Err(last_os_error());
@@ -69,6 +70,8 @@ impl Poller {
         } else {
             &mut event
         };
+        // SAFETY: epfd is the live epoll fd owned by this Poller;
+        // event_ptr is null or points at `event`, alive for the call.
         if unsafe { libc::epoll_ctl(self.epfd, op, fd, event_ptr) } < 0 {
             return Err(last_os_error());
         }
@@ -95,8 +98,10 @@ impl Poller {
     pub fn wait(&self, out: &mut Vec<Event>, timeout_ms: i32) -> io::Result<()> {
         const MAX_EVENTS: usize = 256;
         let mut raw = [libc::epoll_event { events: 0, u64: 0 }; MAX_EVENTS];
-        let n =
-            unsafe { libc::epoll_wait(self.epfd, raw.as_mut_ptr(), MAX_EVENTS as i32, timeout_ms) };
+        let cap = MAX_EVENTS as i32;
+        // SAFETY: raw is a stack buffer of MAX_EVENTS epoll_event
+        // slots, matching the capacity `cap` passed alongside it.
+        let n = unsafe { libc::epoll_wait(self.epfd, raw.as_mut_ptr(), cap, timeout_ms) };
         if n < 0 {
             let err = last_os_error();
             if err.raw_os_error() == Some(libc::EINTR) {
@@ -117,6 +122,7 @@ impl Poller {
 
 impl Drop for Poller {
     fn drop(&mut self) {
+        // SAFETY: epfd is owned by this Poller and closed exactly once.
         unsafe { libc::close(self.epfd) };
     }
 }
@@ -139,6 +145,7 @@ pub(crate) struct Waker {
 
 impl Waker {
     pub fn new() -> io::Result<Waker> {
+        // SAFETY: eventfd takes no pointers.
         let fd = unsafe { libc::eventfd(0, libc::EFD_CLOEXEC | libc::EFD_NONBLOCK) };
         if fd < 0 {
             return Err(last_os_error());
@@ -166,6 +173,8 @@ impl Waker {
             return;
         }
         let one: u64 = 1;
+        // SAFETY: writes exactly 8 bytes from `one`, which lives
+        // through the call; fd is the eventfd owned by this Waker.
         unsafe { libc::write(self.fd, (&one as *const u64).cast(), 8) };
     }
 
@@ -182,6 +191,8 @@ impl Waker {
     pub fn drain(&self) {
         use std::sync::atomic::Ordering;
         let mut counter: u64 = 0;
+        // SAFETY: reads exactly 8 bytes into `counter`, which lives
+        // through the call; fd is the eventfd owned by this Waker.
         unsafe { libc::read(self.fd, (&mut counter as *mut u64).cast(), 8) };
         self.pending.store(false, Ordering::Release);
     }
@@ -189,6 +200,7 @@ impl Waker {
 
 impl Drop for Waker {
     fn drop(&mut self) {
+        // SAFETY: fd is owned by this Waker and closed exactly once.
         unsafe { libc::close(self.fd) };
     }
 }
@@ -196,10 +208,13 @@ impl Drop for Waker {
 /// Switch an fd into nonblocking mode (accepted sockets; the listener
 /// uses the std API).
 pub(crate) fn set_nonblocking(fd: RawFd) -> io::Result<()> {
+    // SAFETY: F_GETFL takes no third argument; fd is the caller's
+    // accepted socket, valid for the duration of the call.
     let flags = unsafe { libc::fcntl(fd, libc::F_GETFL) };
     if flags < 0 {
         return Err(last_os_error());
     }
+    // SAFETY: F_SETFL with an integer flag argument; no pointers.
     if unsafe { libc::fcntl(fd, libc::F_SETFL, flags | libc::O_NONBLOCK) } < 0 {
         return Err(last_os_error());
     }

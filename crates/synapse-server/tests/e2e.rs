@@ -882,6 +882,8 @@ fn raw_get(addr: std::net::SocketAddr, path: &str) -> TcpStream {
 fn shrink_rcvbuf(stream: &TcpStream) {
     use std::os::unix::io::AsRawFd;
     let size: libc::c_int = 4096;
+    // SAFETY: passes a pointer to `size` (alive for the call) with the
+    // matching c_int length; the fd belongs to the borrowed stream.
     let rc = unsafe {
         libc::setsockopt(
             stream.as_raw_fd(),
@@ -1051,6 +1053,7 @@ fn affordable_watchers(want: usize) -> usize {
         rlim_cur: 0,
         rlim_max: 0,
     };
+    // SAFETY: lim is a valid writable rlimit out-parameter.
     if unsafe { libc::getrlimit(libc::RLIMIT_NOFILE, &mut lim) } != 0 {
         return 64;
     }
@@ -1060,7 +1063,10 @@ fn affordable_watchers(want: usize) -> usize {
             rlim_cur: target,
             rlim_max: lim.rlim_max,
         };
+        // SAFETY: raised and lim are valid rlimit structs, read-only
+        // and writable respectively, both alive for the calls.
         unsafe { libc::setrlimit(libc::RLIMIT_NOFILE, &raised) };
+        // SAFETY: as above; re-reads the effective limit.
         unsafe { libc::getrlimit(libc::RLIMIT_NOFILE, &mut lim) };
     }
     ((lim.rlim_cur.saturating_sub(512)) / 2).min(want as u64) as usize

@@ -47,6 +47,8 @@ fn lock_exclusive(file: &File) -> io::Result<bool> {
     use std::os::unix::io::AsRawFd;
     let fd = file.as_raw_fd();
     // Probe non-blocking first: success means no contention.
+    // SAFETY: fd is the raw descriptor of `file`, which outlives this
+    // call; flock has no memory preconditions.
     if unsafe { libc::flock(fd, libc::LOCK_EX | libc::LOCK_NB) } == 0 {
         return Ok(false);
     }
@@ -57,6 +59,7 @@ fn lock_exclusive(file: &File) -> io::Result<bool> {
         return Err(err);
     }
     loop {
+        // SAFETY: same fd as above, still owned by `file`.
         if unsafe { libc::flock(fd, libc::LOCK_EX) } == 0 {
             return Ok(true);
         }

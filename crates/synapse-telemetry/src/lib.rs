@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 //! `synapse-telemetry` — the workspace's lock-light metrics plane.
 //!

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Umbrella crate for the Synapse reproduction workspace.
 //!
 //! Re-exports the public crates so examples and integration tests can
